@@ -1,0 +1,177 @@
+package omflp
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/lowerbound"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Core problem types.
+type (
+	// Set is a commodity set (dynamic bitset); the zero value is empty.
+	Set = commodity.Set
+	// Request demands a commodity set at a point of the metric space.
+	Request = instance.Request
+	// Instance couples a space, a cost model and a request sequence.
+	Instance = instance.Instance
+	// Facility is an opened facility: point plus configuration.
+	Facility = instance.Facility
+	// Solution lists facilities and per-request connections.
+	Solution = instance.Solution
+	// Space is a finite metric space.
+	Space = metric.Space
+	// CostModel is a construction cost function f_m^σ.
+	CostModel = cost.Model
+	// Algorithm is an online OMFLP algorithm.
+	Algorithm = online.Algorithm
+	// Factory constructs algorithms for experiment runs.
+	Factory = online.Factory
+	// Options configures the core algorithms.
+	Options = core.Options
+	// Table is a rendered experiment result.
+	Table = report.Table
+)
+
+// Commodity set constructors.
+var (
+	// NewSet returns a set of the given commodity IDs.
+	NewSet = commodity.New
+	// FullSet returns {0..u-1}.
+	FullSet = commodity.Full
+	// ParseSet parses "{1,2,3}".
+	ParseSet = commodity.Parse
+)
+
+// Metric space constructors.
+var (
+	// NewLine builds a 1-d metric from coordinates.
+	NewLine = metric.NewLine
+	// NewGrid builds n evenly spaced line points spanning a width.
+	NewGrid = metric.NewGrid
+	// NewEuclidean builds a k-d Euclidean metric.
+	NewEuclidean = metric.NewEuclidean
+	// NewGraphBuilder accumulates weighted edges; Build yields the
+	// shortest-path metric.
+	NewGraphBuilder = metric.NewGraphBuilder
+	// NewUniform builds the uniform metric.
+	NewUniform = metric.NewUniform
+	// SinglePoint returns the one-point space of the Theorem 2 game.
+	SinglePoint = metric.SinglePoint
+	// CheckMetric verifies the metric axioms (O(n³); for tests).
+	CheckMetric = metric.Check
+)
+
+// Cost model constructors (all size-dependent models satisfy the paper's
+// Condition 1; see package cost for validators).
+var (
+	// PowerLawCost is the class-C model g_x(|σ|) = scale·|σ|^{x/2}.
+	PowerLawCost = cost.PowerLaw
+	// LinearCost is perCommodity·|σ| (x = 2).
+	LinearCost = cost.Linear
+	// ConstantCost is a flat cost per facility (x = 0).
+	ConstantCost = cost.Constant
+	// CeilSqrtCost is the Theorem 2 model ⌈|σ|/√|S|⌉.
+	CeilSqrtCost = cost.CeilSqrt
+	// PointScaledCost multiplies a base model by per-point factors.
+	PointScaledCost = cost.NewPointScaled
+)
+
+// NewPD constructs the deterministic PD-OMFLP algorithm (Algorithm 1,
+// Theorem 4).
+func NewPD(space Space, costs CostModel, opts Options) *core.PDOMFLP {
+	return core.NewPDOMFLP(space, costs, opts)
+}
+
+// NewRand constructs the randomized RAND-OMFLP algorithm (Algorithm 2,
+// Theorem 19).
+func NewRand(space Space, costs CostModel, opts Options, rng *rand.Rand) *core.RandOMFLP {
+	return core.NewRandOMFLP(space, costs, opts, rng)
+}
+
+// NewHeavyAware constructs the closing-remarks extension that serves heavy
+// commodities separately.
+func NewHeavyAware(space Space, costs CostModel, opts Options, theta float64) *core.HeavyAware {
+	return core.NewHeavyAware(space, costs, opts, theta)
+}
+
+// Algorithm factories for harness runs.
+var (
+	// PDFactory yields PD-OMFLP.
+	PDFactory = core.PDFactory
+	// RandFactory yields RAND-OMFLP (seeded per run).
+	RandFactory = core.RandFactory
+	// HeavyFactory yields the heavy-aware extension.
+	HeavyFactory = core.HeavyFactory
+	// PerCommodityFactory yields the trivial per-commodity baseline.
+	PerCommodityFactory = baseline.PerCommodityPDFactory
+	// NoPredictionFactory yields the no-prediction greedy strawman.
+	NoPredictionFactory = baseline.NoPredictionFactory
+)
+
+// Run replays an instance through a factory-constructed algorithm and
+// returns the verified solution and its cost.
+func Run(f Factory, in *Instance, seed int64) (*Solution, float64, error) {
+	return online.Run(f, in, seed, true)
+}
+
+// Offline OPT proxies.
+var (
+	// StarGreedy is the Ravi–Sinha-flavoured offline greedy.
+	StarGreedy = baseline.StarGreedy
+	// LocalSearch refines a facility set by add/drop/swap moves.
+	LocalSearch = baseline.LocalSearch
+	// BestOffline runs greedy + local search and keeps the better.
+	BestOffline = baseline.BestOffline
+	// ExactSmall is the exact branch-and-bound solver (small instances).
+	ExactSmall = baseline.ExactSmall
+)
+
+// Lower-bound adversaries.
+var (
+	// NewTheorem2Game builds the Ω(√|S|) single-point game.
+	NewTheorem2Game = lowerbound.NewTheorem2Game
+	// NewClassCGame builds the Theorem 18 variant with g_x costs.
+	NewClassCGame = lowerbound.NewClassCGame
+)
+
+// Workload generators.
+var (
+	// UniformWorkload generates uniform random demand.
+	UniformWorkload = workload.Uniform
+	// ClusteredWorkload plants cluster centers with known feasible cost.
+	ClusteredWorkload = workload.Clustered
+	// ZipfWorkload skews commodity popularity.
+	ZipfWorkload = workload.Zipf
+	// BundledWorkload makes every request demand all of S.
+	BundledWorkload = workload.Bundled
+)
+
+// ExperimentConfig configures a harness run.
+type ExperimentConfig = sim.Config
+
+// ExperimentResult bundles the tables and charts of one experiment.
+type ExperimentResult = sim.Result
+
+// Experiments lists every registered experiment (one per paper artifact).
+func Experiments() []sim.Experiment { return sim.All() }
+
+// RunExperiment runs a registered experiment by ID (e.g. "thm2", "fig2").
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return sim.RunByID(id, cfg)
+}
+
+// RenderChart renders a chart spec from an experiment result as ASCII.
+func RenderChart(w io.Writer, c sim.ChartSpec) error {
+	return report.Chart(w, c.Title, 72, 18, c.Series...)
+}

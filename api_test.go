@@ -1,0 +1,169 @@
+package omflp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart mirrors the doc-comment quickstart and keeps the
+// facade honest: if re-exports drift, this breaks at compile time.
+func TestPublicAPIQuickstart(t *testing.T) {
+	space := NewLine([]float64{0, 1, 5})
+	costs := PowerLawCost(8, 1, 1)
+	alg := NewPD(space, costs, Options{})
+	alg.Serve(Request{Point: 0, Demands: NewSet(1, 2)})
+	sol := alg.Solution()
+	if len(sol.Facilities) == 0 {
+		t.Fatal("no facilities after first request")
+	}
+	in := &Instance{Space: space, Costs: costs, Requests: []Request{
+		{Point: 0, Demands: NewSet(1, 2)},
+	}}
+	if err := sol.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRandAndHeavy(t *testing.T) {
+	space := NewGrid(6, 10)
+	costs := LinearCost(4, 2)
+	ra := NewRand(space, costs, Options{}, rand.New(rand.NewSource(1)))
+	ra.Serve(Request{Point: 2, Demands: NewSet(0, 3)})
+	if len(ra.Solution().Facilities) == 0 {
+		t.Error("RAND opened nothing")
+	}
+	ha := NewHeavyAware(space, costs, Options{}, 2)
+	ha.Serve(Request{Point: 1, Demands: NewSet(1)})
+	if len(ha.Solution().Facilities) == 0 {
+		t.Error("HeavyAware opened nothing")
+	}
+}
+
+func TestPublicAPIFactoriesAndRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	space := NewEuclidean([][]float64{{0, 0}, {3, 4}, {1, 1}})
+	costs := PowerLawCost(3, 1, 1)
+	tr := UniformWorkload(rng, space, costs, 10, 2)
+	for _, f := range []Factory{
+		PDFactory(Options{}),
+		RandFactory(Options{}),
+		HeavyFactory(Options{}, 2),
+		PerCommodityFactory(nil),
+		NoPredictionFactory(nil),
+	} {
+		sol, c, err := Run(f, tr.Instance, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if c <= 0 || len(sol.Facilities) == 0 {
+			t.Errorf("%s: cost %g, %d facilities", f.Name, c, len(sol.Facilities))
+		}
+	}
+}
+
+func TestPublicAPIOfflineAndGame(t *testing.T) {
+	in := &Instance{
+		Space: SinglePoint(),
+		Costs: CeilSqrtCost(16),
+		Requests: []Request{
+			{Point: 0, Demands: NewSet(0)},
+			{Point: 0, Demands: NewSet(5)},
+		},
+	}
+	exact := ExactSmall(in, 3)
+	if exact.Cost != 1 { // one facility covering both, g(2)=⌈2/4⌉=1
+		t.Errorf("exact OPT = %g, want 1", exact.Cost)
+	}
+	best := BestOffline(in, 10)
+	if best.Cost < exact.Cost-1e-9 {
+		t.Errorf("proxy %g below exact %g", best.Cost, exact.Cost)
+	}
+	game, err := NewTheorem2Game(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, _, _ := game.ExpectedRatio(PDFactory(Options{}), 1, 3)
+	if ratio < math.Sqrt(16)/16 {
+		t.Errorf("game ratio %g below bound", ratio)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	res, err := RunExperiment("fig2", ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Charts) == 0 {
+		t.Error("fig2 missing tables or charts")
+	}
+	var sb strings.Builder
+	if err := RenderChart(&sb, res.Charts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "upper") {
+		t.Error("chart legend missing")
+	}
+}
+
+func TestPublicAPISets(t *testing.T) {
+	s, err := ParseSet("{1,2,3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(NewSet(3, 2, 1)) {
+		t.Error("ParseSet mismatch")
+	}
+	if FullSet(4).Len() != 4 {
+		t.Error("FullSet wrong")
+	}
+}
+
+func TestPublicAPIMetricsAndValidation(t *testing.T) {
+	gb := NewGraphBuilder(3)
+	gb.AddEdge(0, 1, 1)
+	gb.AddEdge(1, 2, 2)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMetric(g); err != nil {
+		t.Error(err)
+	}
+	if g.Distance(0, 2) != 3 {
+		t.Errorf("d(0,2) = %g", g.Distance(0, 2))
+	}
+	u := NewUniform(4, 1)
+	if err := CheckMetric(u); err != nil {
+		t.Error(err)
+	}
+	ps := PointScaledCost(ConstantCost(2, 3), []float64{1, 2, 0.5, 1})
+	if ps.Cost(1, NewSet(0)) != 6 {
+		t.Errorf("scaled cost = %g", ps.Cost(1, NewSet(0)))
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	costs := PowerLawCost(6, 1, 2)
+	cl := ClusteredWorkload(rng, costs, 20, 2, 50, 1)
+	if cl.PlantedCost <= 0 {
+		t.Error("clustered workload lost its planted cost")
+	}
+	space := NewGrid(8, 100)
+	z := ZipfWorkload(rng, space, costs, 25, 3, 1.3)
+	if err := z.Instance.Validate(); err != nil {
+		t.Error(err)
+	}
+	bd := BundledWorkload(rng, space, costs, 10)
+	for _, r := range bd.Instance.Requests {
+		if r.Demands.Len() != 6 {
+			t.Error("bundled demand not full")
+		}
+	}
+}

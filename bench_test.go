@@ -1,0 +1,144 @@
+package omflp
+
+// bench_test.go is the benchmark harness required by DESIGN.md §4: one
+// BenchmarkExp_* per paper artifact (each regenerates the artifact's tables
+// in Quick mode, so `go test -bench .` re-derives every figure/theorem
+// reproduction), plus throughput benchmarks of the core algorithms across
+// the problem dimensions the paper's bounds depend on (n and |S|).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/lowerbound"
+	"repro/internal/metric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunByID(id, sim.Config{Seed: 1, Quick: true}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// One benchmark per reproduced artifact (figures and theorem-scale tables).
+func BenchmarkExp_fig1(b *testing.B)                { benchExperiment(b, "fig1") }
+func BenchmarkExp_fig2(b *testing.B)                { benchExperiment(b, "fig2") }
+func BenchmarkExp_fig3(b *testing.B)                { benchExperiment(b, "fig3") }
+func BenchmarkExp_thm2(b *testing.B)                { benchExperiment(b, "thm2") }
+func BenchmarkExp_cor3(b *testing.B)                { benchExperiment(b, "cor3") }
+func BenchmarkExp_thm4(b *testing.B)                { benchExperiment(b, "thm4") }
+func BenchmarkExp_thm18(b *testing.B)               { benchExperiment(b, "thm18") }
+func BenchmarkExp_thm19(b *testing.B)               { benchExperiment(b, "thm19") }
+func BenchmarkExp_lem12(b *testing.B)               { benchExperiment(b, "lem12") }
+func BenchmarkExp_dual(b *testing.B)                { benchExperiment(b, "dual") }
+func BenchmarkExp_ablation_pred(b *testing.B)       { benchExperiment(b, "ablation_pred") }
+func BenchmarkExp_ablation_candidates(b *testing.B) { benchExperiment(b, "ablation_candidates") }
+func BenchmarkExp_ablation_heavy(b *testing.B)      { benchExperiment(b, "ablation_heavy") }
+func BenchmarkExp_ablation_reassign(b *testing.B)   { benchExperiment(b, "ablation_reassign") }
+func BenchmarkExp_lpgap(b *testing.B)               { benchExperiment(b, "lpgap") }
+func BenchmarkExp_lem14(b *testing.B)               { benchExperiment(b, "lem14") }
+func BenchmarkExp_perf(b *testing.B)                { benchExperiment(b, "perf") }
+func BenchmarkExp_ext_order(b *testing.B)           { benchExperiment(b, "ext_order") }
+func BenchmarkExp_ext_split(b *testing.B)           { benchExperiment(b, "ext_split") }
+
+// benchWorkload builds a reusable uniform workload.
+func benchWorkload(n, u, points int) *workload.Trace {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomEuclidean(rng, points, 2, 100)
+	return workload.Uniform(rng, space, cost.PowerLaw(u, 1, 2), n, u/2+1)
+}
+
+// BenchmarkPDOnlineThroughput measures full-sequence processing for
+// PD-OMFLP across n (fixed |S|) — the log n axis of Theorem 4.
+func BenchmarkPDOnlineThroughput(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		tr := benchWorkload(n, 8, 25)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pd := core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+				for _, r := range tr.Instance.Requests {
+					pd.Serve(r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPDUniverseScaling sweeps |S| (fixed n) — the √|S| axis.
+func BenchmarkPDUniverseScaling(b *testing.B) {
+	for _, u := range []int{4, 16, 64} {
+		tr := benchWorkload(80, u, 20)
+		b.Run(fmt.Sprintf("S=%d", u), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pd := core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+				for _, r := range tr.Instance.Requests {
+					pd.Serve(r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandOnlineThroughput: RAND-OMFLP across n.
+func BenchmarkRandOnlineThroughput(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		tr := benchWorkload(n, 8, 25)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ra := core.NewRandOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{},
+					rand.New(rand.NewSource(int64(i))))
+				for _, r := range tr.Instance.Requests {
+					ra.Serve(r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGameScaling: the Theorem 2 adversary across |S|.
+func BenchmarkGameScaling(b *testing.B) {
+	for _, u := range []int{64, 256, 1024} {
+		g, err := lowerbound.NewTheorem2Game(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("S=%d", u), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.Play(core.PDFactory(core.Options{}), rng, int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkSingleServe: latency of one PD arrival against a warm state.
+func BenchmarkSingleServe(b *testing.B) {
+	tr := benchWorkload(200, 16, 30)
+	pd := core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+	for _, r := range tr.Instance.Requests {
+		pd.Serve(r)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd.Serve(instance.Request{
+			Point:   rng.Intn(tr.Instance.Space.Len()),
+			Demands: commodity.RandomSubset(rng, 16, 4),
+		})
+	}
+}

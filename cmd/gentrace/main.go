@@ -1,0 +1,82 @@
+// Command gentrace generates OMFLP workload traces as JSON files for
+// `omflp replay` (and any external tooling).
+//
+// Usage:
+//
+//	gentrace -kind uniform|zipf|bundled|singles [-n 100] [-s 16] [-points 20]
+//	         [-x 1.0] [-seed 1] [-o trace.json]
+//
+// The cost model is the class-C power law g_x(k) = k^{x/2} (uniform across
+// points, so the JSON by-size table is lossless); -kind singles uses the
+// Theorem 2 cost ⌈k/√|S|⌉ on a single point instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gentrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gentrace", flag.ContinueOnError)
+	var (
+		kind   = fs.String("kind", "uniform", "workload: uniform, zipf, bundled, singles")
+		n      = fs.Int("n", 100, "number of requests")
+		s      = fs.Int("s", 16, "universe size |S|")
+		points = fs.Int("points", 20, "points in the metric space")
+		x      = fs.Float64("x", 1.0, "class-C cost exponent in [0,2]")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tr *workload.Trace
+	switch *kind {
+	case "uniform":
+		space := metric.RandomEuclidean(rng, *points, 2, 100)
+		tr = workload.Uniform(rng, space, cost.PowerLaw(*s, *x, 1), *n, *s/2+1)
+	case "zipf":
+		space := metric.RandomEuclidean(rng, *points, 2, 100)
+		tr = workload.Zipf(rng, space, cost.PowerLaw(*s, *x, 1), *n, *s/2+1, 1.4)
+	case "bundled":
+		space := metric.RandomEuclidean(rng, *points, 2, 100)
+		tr = workload.Bundled(rng, space, cost.PowerLaw(*s, *x, 1), *n)
+	case "singles":
+		tr = workload.SinglePointSingles(rng, cost.CeilSqrt(*s), *n)
+	default:
+		return fmt.Errorf("unknown workload kind %q", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d requests, |S|=%d) to %s\n",
+			tr.Name, len(tr.Instance.Requests), tr.Instance.Universe(), *out)
+	}
+	return nil
+}

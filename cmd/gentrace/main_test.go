@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestGentraceKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"uniform", "zipf", "bundled", "singles"} {
+		out := filepath.Join(dir, kind+".json")
+		args := []string{"-kind", kind, "-n", "10", "-s", "9", "-points", "5", "-o", out}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", kind, err)
+		}
+		if len(tr.Instance.Requests) == 0 {
+			t.Errorf("%s: empty trace", kind)
+		}
+		if err := tr.Instance.Validate(); err != nil {
+			t.Errorf("%s: invalid instance: %v", kind, err)
+		}
+	}
+}
+
+func TestGentraceSinglesCapsAtUniverse(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s.json")
+	if err := run([]string{"-kind", "singles", "-n", "100", "-s", "9", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Instance.Requests) != 9 {
+		t.Errorf("singles produced %d requests, want 9", len(tr.Instance.Requests))
+	}
+}
+
+func TestGentraceErrors(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir/x.json"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

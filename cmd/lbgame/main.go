@@ -1,0 +1,104 @@
+// Command lbgame explores the Theorem 2 lower-bound game interactively from
+// the command line: it plays the single-point adversary against a chosen
+// algorithm, printing the per-request trace (the Figure 1 timeline) and the
+// final ratio against OPT = 1.
+//
+// Usage:
+//
+//	lbgame [-s 64] [-x -1] [-alg pd|rand|per-commodity|no-prediction]
+//	       [-seed 1] [-reps 10] [-trace]
+//
+// -s must be a perfect square. -x ≥ 0 switches to the Theorem 18 class-C
+// cost g_x(k) = k^{x/2} instead of ⌈k/√|S|⌉.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/online"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbgame:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lbgame", flag.ContinueOnError)
+	var (
+		s     = fs.Int("s", 64, "universe size |S| (perfect square)")
+		x     = fs.Float64("x", -1, "class-C exponent; negative = Theorem 2 cost ⌈k/√|S|⌉")
+		alg   = fs.String("alg", "pd", "algorithm: pd, rand, per-commodity, no-prediction")
+		seed  = fs.Int64("seed", 1, "random seed")
+		reps  = fs.Int("reps", 10, "repetitions for the expected ratio")
+		trace = fs.Bool("trace", false, "print the per-request trace of one run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var game *lowerbound.Game
+	var err error
+	if *x >= 0 {
+		game, err = lowerbound.NewClassCGame(*s, *x)
+	} else {
+		game, err = lowerbound.NewTheorem2Game(*s)
+	}
+	if err != nil {
+		return err
+	}
+
+	var factory online.Factory
+	switch *alg {
+	case "pd":
+		factory = core.PDFactory(core.Options{})
+	case "rand":
+		factory = core.RandFactory(core.Options{})
+	case "per-commodity":
+		factory = baseline.PerCommodityPDFactory(nil)
+	case "no-prediction":
+		factory = baseline.NoPredictionFactory(nil)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+
+	ratio, rounds, predicted := game.ExpectedRatio(factory, *seed, *reps)
+	tab := report.NewTable(fmt.Sprintf("Theorem 2 game: |S|=%d, alg=%s", *s, *alg),
+		"quantity", "value")
+	tab.AddRow("OPT per run", game.OptCost())
+	tab.AddRow("expected ratio", ratio)
+	tab.AddRow("sqrt(S)/16 lower bound", lowerbound.TheoreticalLowerBound(*s))
+	tab.AddRow("sqrt(S)", math.Sqrt(float64(*s)))
+	tab.AddRow("mean opening rounds X", rounds)
+	tab.AddRow("mean predicted commodities T", predicted)
+	if err := tab.Render(stdout); err != nil {
+		return err
+	}
+
+	if *trace {
+		rng := rand.New(rand.NewSource(*seed))
+		res := game.Play(factory, rng, *seed)
+		tt := report.NewTable("one run, step by step",
+			"step", "requested", "covered", "facilities")
+		for _, st := range res.Trace {
+			tt.AddRow(st.Step, st.RequestedSoFar, st.CoveredSoFar, st.FacilitiesSoFar)
+		}
+		fmt.Fprintln(stdout)
+		if err := tt.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nrun cost %.4g vs OPT %.4g → ratio %.4g\n", res.AlgCost, res.OptCost, res.Ratio)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLBGameDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-s", "16", "-reps", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Theorem 2 game", "expected ratio", "sqrt(S)/16"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLBGameTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-s", "16", "-reps", "2", "-trace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "step by step") {
+		t.Errorf("trace output missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "run cost") {
+		t.Error("per-run summary missing")
+	}
+}
+
+func TestLBGameClassC(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-s", "16", "-x", "1", "-reps", "2", "-alg", "rand"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alg=rand") {
+		t.Errorf("wrong algorithm header:\n%s", out.String())
+	}
+}
+
+func TestLBGameAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"pd", "rand", "per-commodity", "no-prediction"} {
+		var out strings.Builder
+		if err := run([]string{"-s", "16", "-reps", "2", "-alg", alg}, &out); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestLBGameErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-s", "15"}, &out); err == nil {
+		t.Error("non-square |S| accepted")
+	}
+	if err := run([]string{"-alg", "bogus"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,325 @@
+// Command omflp runs the reproduction experiments of "The Online
+// Multi-Commodity Facility Location Problem" (SPAA 2020).
+//
+// Usage:
+//
+//	omflp list
+//	omflp run <experiment-id> [-seed N] [-quick] [-csv DIR] [-no-charts]
+//	omflp all [-seed N] [-quick] [-csv DIR] [-no-charts]
+//	omflp replay -trace FILE [-seed N]        (replay a gentrace JSON file)
+//
+// Experiment IDs map to paper artifacts (fig1, fig2, fig3, thm2, cor3,
+// thm4, thm18, thm19, lem12, dual, ablation_*); see DESIGN.md §4 and
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omflp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "run":
+		return cmdRun(args[1:])
+	case "all":
+		return cmdAll(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
+	case "explain":
+		return cmdExplain(args[1:])
+	case "check":
+		return cmdCheck(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  omflp list                                     list experiments
+  omflp run <id> [-seed N] [-quick] [-csv DIR]   run one experiment
+  omflp all     [-seed N] [-quick] [-csv DIR]    run every experiment
+  omflp replay -trace FILE [-seed N]             replay a JSON trace through all algorithms
+  omflp explain -trace FILE                      narrate PD-OMFLP's decisions on a trace
+  omflp check -trace FILE                        validate a trace's metric and cost assumptions`)
+}
+
+func cmdList() error {
+	tab := report.NewTable("registered experiments", "id", "reproduces", "title")
+	for _, e := range sim.All() {
+		tab.AddRow(e.ID, e.Reproduces, e.Title)
+	}
+	return tab.Render(os.Stdout)
+}
+
+type runFlags struct {
+	seed    int64
+	quick   bool
+	csvDir  string
+	noChart bool
+}
+
+func parseRunFlags(name string, args []string) (runFlags, []string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var rf runFlags
+	fs.Int64Var(&rf.seed, "seed", 1, "random seed (fixed seed = identical results)")
+	fs.BoolVar(&rf.quick, "quick", false, "smaller sizes for a fast smoke run")
+	fs.StringVar(&rf.csvDir, "csv", "", "directory to also write tables as CSV")
+	fs.BoolVar(&rf.noChart, "no-charts", false, "suppress ASCII charts")
+	if err := fs.Parse(args); err != nil {
+		return rf, nil, err
+	}
+	return rf, fs.Args(), nil
+}
+
+func cmdRun(args []string) error {
+	var id string
+	// Accept both "run <id> -flags" and "run -flags <id>".
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	rf, rest, err := parseRunFlags("run", args)
+	if err != nil {
+		return err
+	}
+	if id == "" && len(rest) > 0 {
+		id = rest[0]
+	}
+	if id == "" {
+		return fmt.Errorf("run: missing experiment id (try `omflp list`)")
+	}
+	return execute(id, rf)
+}
+
+func cmdAll(args []string) error {
+	rf, _, err := parseRunFlags("all", args)
+	if err != nil {
+		return err
+	}
+	for _, e := range sim.All() {
+		if err := execute(e.ID, rf); err != nil {
+			return fmt.Errorf("%s: %v", e.ID, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func execute(id string, rf runFlags) error {
+	e, ok := sim.Get(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try `omflp list`)", id)
+	}
+	fmt.Printf("### %s — %s\n    reproduces: %s\n\n", e.ID, e.Title, e.Reproduces)
+	res, err := e.Run(sim.Config{Seed: rf.seed, Quick: rf.quick})
+	if err != nil {
+		return err
+	}
+	for ti, tab := range res.Tables {
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if rf.csvDir != "" {
+			if err := writeCSV(rf.csvDir, fmt.Sprintf("%s_%d.csv", e.ID, ti), tab); err != nil {
+				return err
+			}
+		}
+	}
+	if !rf.noChart {
+		for _, c := range res.Charts {
+			if err := report.Chart(os.Stdout, c.Title, 72, 18, c.Series...); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, tab *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteCSV(f)
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	var path string
+	fs.StringVar(&path, "trace", "", "JSON trace file written by gentrace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("explain: -trace is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	pd := core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+	for _, r := range tr.Instance.Requests {
+		pd.Serve(r)
+	}
+	sol := pd.Solution()
+	if err := sol.Verify(tr.Instance); err != nil {
+		return err
+	}
+
+	tab := report.NewTable(fmt.Sprintf("explain %s: PD-OMFLP decisions", tr.Name),
+		"request", "point", "commodity", "constraint", "facility point", "config size", "dual a_re")
+	for _, ev := range pd.ServeLog() {
+		fac := sol.Facilities[ev.Facility]
+		tab.AddRow(ev.Request, tr.Instance.Requests[ev.Request].Point, ev.Commodity,
+			ev.Mode.String(), fac.Point, fac.Config.Len(), ev.Dual)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	small, large := pd.FacilityCounts()
+	sum := report.NewTable("summary", "quantity", "value")
+	sum.AddRow("requests", len(tr.Instance.Requests))
+	sum.AddRow("small facilities", small)
+	sum.AddRow("large facilities", large)
+	sum.AddRow("total cost", sol.Cost(tr.Instance))
+	sum.AddRow("dual total (cost ≤ 3·dual)", pd.DualTotal())
+	fmt.Println()
+	return sum.Render(os.Stdout)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	var path string
+	var seed int64
+	fs.StringVar(&path, "trace", "", "JSON trace file written by gentrace")
+	fs.Int64Var(&seed, "seed", 1, "seed for sampled checks on large universes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("check: -trace is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	in := tr.Instance
+
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]int, in.Space.Len())
+	for i := range points {
+		points[i] = i
+	}
+	tab := report.NewTable(fmt.Sprintf("check %s", tr.Name), "assumption", "result")
+	pass := func(name string, err error) {
+		if err != nil {
+			tab.AddRow(name, "VIOLATED: "+err.Error())
+		} else {
+			tab.AddRow(name, "ok")
+		}
+	}
+	pass("instance structure", in.Validate())
+	pass("metric axioms (exhaustive)", metric.Check(in.Space))
+	pass("cost subadditivity", cost.CheckSubadditive(in.Costs, points, 8, 2000, rng))
+	pass("Condition 1 (f^σ/|σ| ≥ f^S/|S|)", cost.CheckCondition1(in.Costs, points, 8, 2000, rng))
+	pass("cost monotonicity", cost.CheckMonotone(in.Costs, points, 8, 2000, rng))
+	return tab.Render(os.Stdout)
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var path string
+	var seed int64
+	fs.StringVar(&path, "trace", "", "JSON trace file written by gentrace")
+	fs.Int64Var(&seed, "seed", 1, "seed for randomized algorithms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("replay: -trace is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	factories := []online.Factory{
+		core.PDFactory(core.Options{}),
+		core.RandFactory(core.Options{}),
+		baseline.PerCommodityPDFactory(nil),
+		baseline.NoPredictionFactory(nil),
+	}
+	offline := baseline.BestOffline(tr.Instance, 40)
+	opt := offline.Cost
+	optSrc := offline.Name
+	if tr.PlantedCost > 0 && tr.PlantedCost < opt {
+		opt, optSrc = tr.PlantedCost, "planted"
+	}
+
+	tab := report.NewTable(fmt.Sprintf("replay %s (n=%d, |S|=%d)", tr.Name,
+		len(tr.Instance.Requests), tr.Instance.Universe()),
+		"algorithm", "cost", "facilities", "ratio vs "+optSrc)
+	for _, fac := range factories {
+		sol, c, err := online.Run(fac, tr.Instance, seed, true)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(fac.Name, c, len(sol.Facilities), c/opt)
+	}
+	tab.AddRow(optSrc, opt, len(offline.Solution.Facilities), 1.0)
+	return tab.Render(os.Stdout)
+}

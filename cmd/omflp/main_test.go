@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/metric"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	if err := run([]string{"run", "fig2", "-quick", "-no-charts"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flags-before-id order is accepted too.
+	if err := run([]string{"run", "-quick", "-no-charts", "fig3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"run", "fig2", "-quick", "-no-charts", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig2_*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSV written: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without id accepted")
+	}
+	if err := run([]string{"run", "nope", "-quick"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"replay"}); err == nil {
+		t.Error("replay without trace accepted")
+	}
+	if err := run([]string{"replay", "-trace", "/does/not/exist.json"}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomLine(rng, 4, 10)
+	tr := workload.Uniform(rng, space, cost.PowerLaw(3, 1, 1), 8, 2)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"replay", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	space := metric.RandomLine(rng, 4, 10)
+	tr := workload.Uniform(rng, space, cost.PowerLaw(3, 1, 1), 5, 2)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"check", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check"}); err == nil {
+		t.Error("check without trace accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	space := metric.RandomLine(rng, 4, 10)
+	tr := workload.Uniform(rng, space, cost.PowerLaw(3, 1, 1), 6, 2)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"explain", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"explain"}); err == nil {
+		t.Error("explain without trace accepted")
+	}
+	if err := run([]string{"explain", "-trace", "/missing.json"}); err == nil {
+		t.Error("explain with missing file accepted")
+	}
+}

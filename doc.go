@@ -1,0 +1,38 @@
+// Package omflp is a Go reproduction of "The Online Multi-Commodity
+// Facility Location Problem" (Castenow, Feldkord, Knollmann, Malatyali,
+// Meyer auf der Heide; SPAA 2020, arXiv:2005.08391).
+//
+// In the Online Multi-Commodity Facility Location Problem (OMFLP), requests
+// arrive over time at points of a metric space, each demanding a subset of a
+// commodity universe S. An online algorithm irrevocably opens facilities —
+// each at a point, configured with a set of commodities, at construction
+// cost f_m^σ — and connects every request to facilities jointly covering its
+// demand, paying one distance per connection. The objective is construction
+// plus connection cost, compared against the offline optimum (competitive
+// analysis).
+//
+// The package re-exports the repository's stable public API:
+//
+//   - the paper's two algorithms, PD-OMFLP (deterministic primal-dual,
+//     O(√|S|·log n)-competitive, Theorem 4) and RAND-OMFLP (randomized,
+//     O(√|S|·log n/log log n)-competitive, Theorem 19), plus the HeavyAware
+//     extension of the closing remarks;
+//   - baselines: per-commodity decomposition, no-prediction greedy, offline
+//     star greedy / local search / exact branch-and-bound;
+//   - substrates: metric spaces, construction cost models, commodity sets,
+//     workload generators, the Theorem 2 lower-bound game, the c-ordered
+//     covering engine of Lemma 12;
+//   - the experiment harness regenerating every figure and theorem-scale
+//     claim of the paper (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	space := omflp.NewLine([]float64{0, 1, 5})
+//	costs := omflp.PowerLawCost(8, 1, 1) // g_x(|σ|)=|σ|^{1/2}
+//	alg := omflp.NewPD(space, costs, omflp.Options{})
+//	alg.Serve(omflp.Request{Point: 0, Demands: omflp.NewSet(1, 2)})
+//	sol := alg.Solution()
+//
+// See the examples/ directory for runnable programs and cmd/omflp for the
+// experiment CLI.
+package omflp

@@ -1,0 +1,86 @@
+package omflp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	omflp "repro"
+)
+
+// ExampleNewPD runs the deterministic algorithm on a tiny instance and
+// prints the facilities it opens.
+func ExampleNewPD() {
+	space := omflp.NewLine([]float64{0, 1, 10})
+	costs := omflp.PowerLawCost(3, 1, 2) // f^σ = 2·√|σ|
+	alg := omflp.NewPD(space, costs, omflp.Options{})
+
+	alg.Serve(omflp.Request{Point: 0, Demands: omflp.NewSet(0, 1)})
+	alg.Serve(omflp.Request{Point: 0, Demands: omflp.NewSet(2)})
+
+	// The first request's joint dual reaches f^S = 2√3 before any
+	// singleton constraint reaches f^{e} = 2, so PD opens one large
+	// facility; the second request connects to it for free.
+	for _, f := range alg.Solution().Facilities {
+		fmt.Printf("facility at point %d offering %v\n", f.Point, f.Config)
+	}
+	// Output:
+	// facility at point 0 offering {0,1,2}
+}
+
+// ExampleNewRand shows the randomized algorithm with a fixed seed.
+func ExampleNewRand() {
+	space := omflp.SinglePoint()
+	costs := omflp.ConstantCost(2, 5)
+	alg := omflp.NewRand(space, costs, omflp.Options{}, rand.New(rand.NewSource(1)))
+
+	alg.Serve(omflp.Request{Point: 0, Demands: omflp.FullSet(2)})
+	sol := alg.Solution()
+	fmt.Println("facilities:", len(sol.Facilities))
+	fmt.Println("request links:", len(sol.Assign[0]))
+	// Output:
+	// facilities: 1
+	// request links: 1
+}
+
+// ExampleNewTheorem2Game demonstrates the Ω(√|S|) adversary: the
+// no-prediction baseline pays exactly √|S| against OPT = 1.
+func ExampleNewTheorem2Game() {
+	game, err := omflp.NewTheorem2Game(64)
+	if err != nil {
+		panic(err)
+	}
+	ratio, _, _ := game.ExpectedRatio(omflp.NoPredictionFactory(nil), 1, 5)
+	fmt.Printf("no-prediction ratio on |S|=64: %.0f (= sqrt(64))\n", ratio)
+	// Output:
+	// no-prediction ratio on |S|=64: 8 (= sqrt(64))
+}
+
+// ExampleExactSmall computes an exact offline optimum for a small instance.
+func ExampleExactSmall() {
+	in := &omflp.Instance{
+		Space: omflp.SinglePoint(),
+		Costs: omflp.CeilSqrtCost(16), // g(k) = ⌈k/4⌉
+		Requests: []omflp.Request{
+			{Point: 0, Demands: omflp.NewSet(0)},
+			{Point: 0, Demands: omflp.NewSet(1)},
+			{Point: 0, Demands: omflp.NewSet(2)},
+		},
+	}
+	res := omflp.ExactSmall(in, 3)
+	fmt.Printf("OPT = %.0f with %d facility\n", res.Cost, len(res.Solution.Facilities))
+	// Output:
+	// OPT = 1 with 1 facility
+}
+
+// ExampleRunExperiment regenerates a paper artifact programmatically.
+func ExampleRunExperiment() {
+	res, err := omflp.RunExperiment("fig2", omflp.ExperimentConfig{Seed: 1, Quick: true})
+	if err != nil {
+		panic(err)
+	}
+	// The first row of Figure 2's table: x = 0, both bound factors are 1.
+	row := res.Tables[0].Rows[0]
+	fmt.Println(row[0], row[1], row[2])
+	// Output:
+	// 0 1 1
+}

@@ -1,0 +1,126 @@
+// CDN on a line: clustered demand along a backbone.
+//
+// Edge locations sit on a 1-d backbone (the line metric of Corollary 3).
+// Demand arrives in geographic clusters, each interested in its own content
+// bundle. The example compares the online algorithms against the planted
+// clustered solution and the offline proxy, and shows how RAND-OMFLP's
+// expected cost concentrates over seeds.
+//
+// Run with: go run ./examples/cdn_line
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	omflp "repro"
+)
+
+const (
+	contents = 9
+	demand   = 120
+	clusters = 4
+	seed     = 7
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+	costs := omflp.PowerLawCost(contents, 1, 4)
+
+	// Clustered generates its own 2-d space; for the line variant we
+	// project demand onto a 1-d backbone by generating a clustered line
+	// manually: cluster centers on the line, requests nearby.
+	centers := make([]float64, clusters)
+	for i := range centers {
+		centers[i] = rng.Float64() * 1000
+	}
+	var positions []float64
+	positions = append(positions, centers...)
+	clusterOf := make([]int, 0, demand)
+	for i := 0; i < demand; i++ {
+		c := rng.Intn(clusters)
+		positions = append(positions, centers[c]+rng.NormFloat64()*15)
+		clusterOf = append(clusterOf, c)
+	}
+	space := omflp.NewLine(positions)
+
+	// Each cluster cares about a content bundle.
+	bundles := make([]omflp.Set, clusters)
+	for c := range bundles {
+		ids := rng.Perm(contents)[:3+rng.Intn(contents-3)]
+		bundles[c] = omflp.NewSet(ids...)
+	}
+
+	in := &omflp.Instance{Space: space, Costs: costs}
+	plantedCost := 0.0
+	for c := range bundles {
+		plantedCost += costs.Cost(c, bundles[c])
+	}
+	for i := 0; i < demand; i++ {
+		c := clusterOf[i]
+		ids := bundles[c].IDs()
+		rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+		k := 1 + rng.Intn(len(ids))
+		in.Requests = append(in.Requests, omflp.Request{
+			Point:   clusters + i,
+			Demands: omflp.NewSet(ids[:k]...),
+		})
+		plantedCost += space.Distance(clusters+i, c)
+	}
+
+	offline := omflp.BestOffline(in, 40)
+	opt := offline.Cost
+	optSrc := "offline proxy"
+	if plantedCost < opt {
+		opt, optSrc = plantedCost, "planted clusters"
+	}
+
+	tab := &omflp.Table{
+		Title:   fmt.Sprintf("CDN on a line: %d contents, %d clusters, %d requests", contents, clusters, demand),
+		Columns: []string{"algorithm", "cost", "ratio vs " + optSrc},
+	}
+	sol, cPD, err := omflp.Run(omflp.PDFactory(omflp.Options{}), in, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab.AddRow("pd-omflp", cPD, cPD/opt)
+	_ = sol
+
+	// RAND over several seeds: mean and spread.
+	var costsRand []float64
+	for s := int64(0); s < 15; s++ {
+		_, c, err := omflp.Run(omflp.RandFactory(omflp.Options{}), in, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		costsRand = append(costsRand, c)
+	}
+	mean, lo, hi := summarize(costsRand)
+	tab.AddRow("rand-omflp (mean of 15 seeds)", mean, mean/opt)
+	tab.AddRow("rand-omflp (min..max)", fmt.Sprintf("%.1f..%.1f", lo, hi), "")
+	_, cPC, err := omflp.Run(omflp.PerCommodityFactory(nil), in, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab.AddRow("per-commodity", cPC, cPC/opt)
+	tab.AddRow(optSrc, opt, 1.0)
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func summarize(xs []float64) (mean, min, max float64) {
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return mean / float64(len(xs)), min, max
+}

@@ -1,0 +1,100 @@
+// Heavy commodities: the closing-remarks extension (Section 5).
+//
+// Condition 1 demands that no single commodity dominates the construction
+// cost. This example breaks it on purpose: one "heavy" service (think: a
+// GPU-bound model server) costs 50× the per-service share of a full bundle.
+// Plain PD-OMFLP's large facilities always include the heavy service and pay
+// its premium at every prediction; the HeavyAware wrapper detects the heavy
+// commodity, excludes it from large facilities, and serves it with its own
+// single-commodity facility-location instance — the strategy the paper
+// sketches in its closing remarks.
+//
+// Run with: go run ./examples/heavy_commodities
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	omflp "repro"
+)
+
+const (
+	services = 8   // service 7 is heavy
+	premium  = 150 // cost added to any configuration containing it
+	clients  = 80
+	seed     = 5
+)
+
+// bundleCost is |σ| + premium·[heavy ∈ σ]: subadditive, but Condition 1
+// fails for the heavy service.
+type bundleCost struct{}
+
+func (bundleCost) Universe() int { return services }
+func (bundleCost) Name() string  { return "bundle+heavy-premium" }
+func (bundleCost) Cost(m int, sigma omflp.Set) float64 {
+	k := sigma.Len()
+	if k == 0 {
+		return 0
+	}
+	c := float64(k)
+	if sigma.Contains(services - 1) {
+		c += premium
+	}
+	return c
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+	space := omflp.NewGrid(16, 30)
+	costs := bundleCost{}
+
+	// Demand: light bundles; the heavy service appears in 10% of requests.
+	in := &omflp.Instance{Space: space, Costs: costs}
+	light := omflp.NewSet(0, 1, 2, 3, 4, 5, 6)
+	for i := 0; i < clients; i++ {
+		ids := light.IDs()
+		rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+		d := omflp.NewSet(ids[:1+rng.Intn(4)]...)
+		if i%10 == 0 {
+			d = d.With(services - 1)
+		}
+		in.Requests = append(in.Requests, omflp.Request{Point: rng.Intn(space.Len()), Demands: d})
+	}
+
+	offline := omflp.BestOffline(in, 40)
+
+	tab := &omflp.Table{
+		Title:   "heavy commodity: plain PD vs the Section 5 extension",
+		Columns: []string{"algorithm", "cost", "heavy-in-bundle facilities", "ratio vs offline"},
+	}
+	for _, f := range []omflp.Factory{
+		omflp.PDFactory(omflp.Options{}),
+		omflp.HeavyFactory(omflp.Options{}, 3),
+	} {
+		sol, c, err := omflp.Run(f, in, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mixed := 0
+		for _, fac := range sol.Facilities {
+			if fac.Config.Contains(services-1) && fac.Config.Len() > 1 {
+				mixed++
+			}
+		}
+		tab.AddRow(f.Name, c, mixed, c/offline.Cost)
+	}
+	tab.AddRow(offline.Name, offline.Cost, "-", 1.0)
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	ha := omflp.NewHeavyAware(space, costs, omflp.Options{}, 3)
+	lightIDs, heavyIDs := ha.HeavySplit()
+	fmt.Printf("\nHeavyAware classified %d services as light %v and %v as heavy —\n",
+		len(lightIDs), lightIDs, heavyIDs)
+	fmt.Println("its large facilities bundle only the light ones, so the premium is paid")
+	fmt.Println("only where the heavy service is genuinely demanded.")
+}

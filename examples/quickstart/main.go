@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end use of the public API.
+//
+// Three clients on a line ask for services out of a catalog of four; the
+// deterministic PD-OMFLP decides online where to open facilities and which
+// services to offer at each, and we compare its cost against the exact
+// offline optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	omflp "repro"
+)
+
+func main() {
+	// A line metric with four possible locations.
+	space := omflp.NewLine([]float64{0, 2, 5, 9})
+
+	// Construction cost g(|σ|) = 3·√|σ|: strictly subadditive, so
+	// bundling services at one facility is cheaper than splitting.
+	costs := omflp.PowerLawCost(4, 1, 3)
+
+	alg := omflp.NewPD(space, costs, omflp.Options{})
+
+	// Requests arrive online; Serve decides irrevocably.
+	requests := []omflp.Request{
+		{Point: 0, Demands: omflp.NewSet(0, 1)},
+		{Point: 1, Demands: omflp.NewSet(1)},
+		{Point: 3, Demands: omflp.NewSet(2, 3)},
+		{Point: 2, Demands: omflp.NewSet(0, 2)},
+	}
+	for i, r := range requests {
+		alg.Serve(r)
+		fmt.Printf("request %d at point %d demanding %v served; facilities now: %d\n",
+			i, r.Point, r.Demands, len(alg.Solution().Facilities))
+	}
+
+	in := &omflp.Instance{Space: space, Costs: costs, Requests: requests}
+	sol := alg.Solution()
+	if err := sol.Verify(in); err != nil {
+		log.Fatalf("infeasible solution: %v", err)
+	}
+
+	fmt.Println("\nopened facilities:")
+	for _, f := range sol.Facilities {
+		fmt.Printf("  point %d offering %v (cost %.2f)\n",
+			f.Point, f.Config, costs.Cost(f.Point, f.Config))
+	}
+
+	online := sol.Cost(in)
+	offline := omflp.ExactSmall(in, 4)
+	tab := newSummary(online, offline.Cost)
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newSummary(online, offline float64) *omflp.Table {
+	tab := &omflp.Table{
+		Title:   "quickstart summary",
+		Columns: []string{"solution", "cost", "ratio"},
+	}
+	tab.AddRow("PD-OMFLP (online)", online, online/offline)
+	tab.AddRow("exact offline OPT", offline, 1.0)
+	return tab
+}

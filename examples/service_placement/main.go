@@ -1,0 +1,92 @@
+// Service placement: the paper's motivating scenario (Section 1).
+//
+// A provider operates a network (here: a random weighted graph whose
+// shortest-path closure is the metric). Clients appear over time at network
+// nodes and request subsets of a service catalog. Instantiating a VM that
+// bundles several services costs less than separate VMs (subadditive
+// construction cost), and a client talking to one VM offering several of its
+// services pays a single communication path.
+//
+// The example streams a Zipf-popular workload through PD-OMFLP, RAND-OMFLP
+// and the per-commodity baseline (one independent facility-location instance
+// per service — no bundling), then compares everything against the offline
+// greedy + local-search proxy.
+//
+// Run with: go run ./examples/service_placement
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	omflp "repro"
+)
+
+const (
+	nodes    = 24
+	services = 12
+	clients  = 150
+	seed     = 2020 // SPAA 2020
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Build a connected service network: ring + random chords.
+	gb := omflp.NewGraphBuilder(nodes)
+	for i := 0; i < nodes; i++ {
+		gb.AddEdge(i, (i+1)%nodes, 1+rng.Float64()*4)
+	}
+	for e := 0; e < nodes; e++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a != b {
+			gb.AddEdge(a, b, 2+rng.Float64()*8)
+		}
+	}
+	network, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// VM cost: 5·√(#services) — bundling all 12 services costs ~17, far
+	// less than 12 separate VMs at 5 each.
+	costs := omflp.PowerLawCost(services, 1, 5)
+
+	// Zipf-popular services: a few hot ones, a long tail.
+	tr := omflp.ZipfWorkload(rng, network, costs, clients, 5, 1.3)
+	in := tr.Instance
+
+	offline := omflp.BestOffline(in, 40)
+
+	tab := &omflp.Table{
+		Title:   fmt.Sprintf("service placement: %d nodes, %d services, %d clients", nodes, services, clients),
+		Columns: []string{"algorithm", "cost", "facilities", "large facilities", "ratio vs offline"},
+	}
+	for _, f := range []omflp.Factory{
+		omflp.PDFactory(omflp.Options{}),
+		omflp.RandFactory(omflp.Options{}),
+		omflp.PerCommodityFactory(nil),
+	} {
+		sol, c, err := omflp.Run(f, in, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		large := 0
+		for _, fac := range sol.Facilities {
+			if fac.Config.Len() == services {
+				large++
+			}
+		}
+		tab.AddRow(f.Name, c, len(sol.Facilities), large, c/offline.Cost)
+	}
+	tab.AddRow(offline.Name, offline.Cost, len(offline.Solution.Facilities), "-", 1.0)
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nNote how the per-commodity baseline opens many singleton VMs while")
+	fmt.Println("PD-OMFLP invests in shared large facilities once demand accumulates —")
+	fmt.Println("the bundling advantage the paper's model formalizes.")
+}

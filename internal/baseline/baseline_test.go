@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+func randomInstance(rng *rand.Rand, points, u, n int) *instance.Instance {
+	in := &instance.Instance{
+		Space: metric.RandomEuclidean(rng, points, 2, 10),
+		Costs: cost.PowerLaw(u, 1, 1+rng.Float64()),
+	}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(points),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+	}
+	return in
+}
+
+func TestPerCommodityPDFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 6, 4, 15)
+		sol, c, err := online.Run(PerCommodityPDFactory(nil), in, 1, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c <= 0 {
+			t.Errorf("cost = %g", c)
+		}
+		for _, f := range sol.Facilities {
+			if f.Config.Len() != 1 {
+				t.Errorf("per-commodity opened config %v", f.Config)
+			}
+		}
+	}
+}
+
+func TestPerCommodityMeyersonFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 6, 4, 15)
+		if _, _, err := online.Run(PerCommodityMeyersonFactory(nil), in, int64(trial), true); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPerCommodityIndependence(t *testing.T) {
+	// Requests for different commodities must not share facilities even
+	// when bundling would be cheaper — that is the point of the baseline.
+	space := metric.SinglePoint()
+	costs := cost.PowerLaw(4, 1, 1)
+	pc := NewPerCommodityPD(space, costs, []int{0})
+	pc.Serve(instance.Request{Point: 0, Demands: commodity.Full(4)})
+	sol := pc.Solution()
+	if len(sol.Facilities) != 4 {
+		t.Errorf("opened %d facilities, want 4 singletons", len(sol.Facilities))
+	}
+	if len(sol.Assign[0]) != 4 {
+		t.Errorf("links = %v, want 4", sol.Assign[0])
+	}
+}
+
+func TestNoPredictionOnGamePaysLinear(t *testing.T) {
+	// Theorem 2 game: |S|=16, g=⌈k/4⌉. OPT=1; no-prediction pays |S'|·g(1)
+	// = 4 (one singleton per distinct requested commodity).
+	u := 16
+	space := metric.SinglePoint()
+	costs := cost.CeilSqrt(u)
+	in := &instance.Instance{Space: space, Costs: costs}
+	for _, e := range []int{3, 7, 11, 15} {
+		in.Requests = append(in.Requests, instance.Request{Point: 0, Demands: commodity.New(e)})
+	}
+	sol, c, err := online.Run(NoPredictionFactory(nil), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 4 {
+		t.Errorf("cost = %g, want 4 singleton facilities", c)
+	}
+	if len(sol.Facilities) != 4 {
+		t.Errorf("facilities = %d", len(sol.Facilities))
+	}
+}
+
+func TestNoPredictionConnectsWhenCheaper(t *testing.T) {
+	space := metric.NewLine([]float64{0, 1})
+	costs := cost.Linear(1, 10)
+	np := NewNoPrediction(space, costs, nil)
+	np.Serve(instance.Request{Point: 0, Demands: commodity.New(0)})
+	np.Serve(instance.Request{Point: 1, Demands: commodity.New(0)}) // d=1 < 10
+	sol := np.Solution()
+	if len(sol.Facilities) != 1 {
+		t.Errorf("facilities = %d, want 1", len(sol.Facilities))
+	}
+}
+
+func TestStarGreedyFeasibleAndReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(rng, 5, 4, 10)
+		res := StarGreedy(in)
+		if err := res.Solution.Verify(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Sanity: never worse than one large facility per request point.
+		var trivial float64
+		full := commodity.Full(in.Universe())
+		for _, r := range in.Requests {
+			trivial += in.Costs.Cost(r.Point, full)
+		}
+		if res.Cost > trivial+1e-9 {
+			t.Errorf("trial %d: greedy %g worse than trivial %g", trial, res.Cost, trivial)
+		}
+	}
+}
+
+func TestLocalSearchNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 4, 3, 8)
+		greedy := StarGreedy(in)
+		ls := LocalSearch(in, greedy.Solution.Facilities, 50)
+		if err := ls.Solution.Verify(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ls.Cost > greedy.Cost+1e-9 {
+			t.Errorf("trial %d: local search %g worse than greedy %g", trial, ls.Cost, greedy.Cost)
+		}
+	}
+}
+
+func TestExactSmallOnKnownInstance(t *testing.T) {
+	// Two co-located requests for {0} and {1}; sqrt cost: one facility
+	// {0,1} at the point costs √2 < 1+1. OPT = √2.
+	space := metric.SinglePoint()
+	costs := cost.PowerLaw(2, 1, 1)
+	in := &instance.Instance{Space: space, Costs: costs, Requests: []instance.Request{
+		{Point: 0, Demands: commodity.New(0)},
+		{Point: 0, Demands: commodity.New(1)},
+	}}
+	res := ExactSmall(in, 3)
+	if err := res.Solution.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-math.Sqrt2) > 1e-9 {
+		t.Errorf("exact = %g, want √2", res.Cost)
+	}
+}
+
+func TestExactSmallMatchesBruteForceIntuition(t *testing.T) {
+	// Line 0—10, linear costs: requests on both ends demand {0}; facility
+	// cost 2 each. OPT opens two singleton facilities (4) rather than one
+	// plus distance 10.
+	space := metric.NewLine([]float64{0, 10})
+	costs := cost.Linear(1, 2)
+	in := &instance.Instance{Space: space, Costs: costs, Requests: []instance.Request{
+		{Point: 0, Demands: commodity.New(0)},
+		{Point: 1, Demands: commodity.New(0)},
+	}}
+	res := ExactSmall(in, 4)
+	if math.Abs(res.Cost-4) > 1e-9 {
+		t.Errorf("exact = %g, want 4", res.Cost)
+	}
+	if len(res.Solution.Facilities) != 2 {
+		t.Errorf("facilities = %+v", res.Solution.Facilities)
+	}
+}
+
+func TestExactSmallLowerBoundsProxies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		in := randomInstance(rng, 3, 3, 5)
+		exact := ExactSmall(in, 4)
+		proxy := BestOffline(in, 30)
+		if err := exact.Solution.Verify(in); err != nil {
+			t.Fatal(err)
+		}
+		if exact.Cost > proxy.Cost+1e-9 {
+			t.Errorf("trial %d: exact %g above proxy %g", trial, exact.Cost, proxy.Cost)
+		}
+	}
+}
+
+func TestSinglePointOPT(t *testing.T) {
+	space := metric.SinglePoint()
+	costs := cost.CeilSqrt(16)
+	in := &instance.Instance{Space: space, Costs: costs}
+	for _, e := range []int{1, 2, 3, 4} {
+		in.Requests = append(in.Requests, instance.Request{Point: 0, Demands: commodity.New(e)})
+	}
+	opt, ok := SinglePointOPT(in)
+	if !ok || opt != 1 {
+		t.Errorf("single point OPT = %g ok=%v, want 1", opt, ok)
+	}
+	// Multi-point instances are rejected.
+	in2 := &instance.Instance{Space: metric.NewLine([]float64{0, 1}), Costs: costs, Requests: []instance.Request{
+		{Point: 0, Demands: commodity.New(0)},
+		{Point: 1, Demands: commodity.New(1)},
+	}}
+	if _, ok := SinglePointOPT(in2); ok {
+		t.Error("multi-point accepted")
+	}
+	// Empty instance: OPT 0.
+	if opt, ok := SinglePointOPT(&instance.Instance{Space: space, Costs: costs}); !ok || opt != 0 {
+		t.Errorf("empty OPT = %g ok=%v", opt, ok)
+	}
+}
+
+func TestSinglePointOPTAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		u := 2 + rng.Intn(3)
+		in := &instance.Instance{
+			Space: metric.SinglePoint(),
+			Costs: cost.PowerLaw(u, 1, 1),
+		}
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   0,
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		sp, ok := SinglePointOPT(in)
+		if !ok {
+			t.Fatal("single point rejected")
+		}
+		exact := ExactSmall(in, 4)
+		if math.Abs(sp-exact.Cost) > 1e-9 {
+			t.Errorf("trial %d: analytic %g vs exact %g", trial, sp, exact.Cost)
+		}
+	}
+}
+
+func TestConfigFamilyLargeUniverse(t *testing.T) {
+	in := &instance.Instance{
+		Space: metric.SinglePoint(),
+		Costs: cost.PowerLaw(20, 1, 1),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0, 5)},
+			{Point: 0, Demands: commodity.New(7)},
+		},
+	}
+	fam := configFamily(in, 6)
+	// Must contain all singletons, the full set, the demand sets and
+	// their union.
+	keys := map[string]bool{}
+	for _, s := range fam {
+		keys[s.Key()] = true
+	}
+	for e := 0; e < 20; e++ {
+		if !keys[commodity.New(e).Key()] {
+			t.Errorf("family missing singleton {%d}", e)
+		}
+	}
+	for _, want := range []commodity.Set{
+		commodity.Full(20),
+		commodity.New(0, 5),
+		commodity.New(7),
+		commodity.New(0, 5, 7),
+	} {
+		if !keys[want.Key()] {
+			t.Errorf("family missing %v", want)
+		}
+	}
+}
+
+// Property: every offline proxy produces a feasible solution, and local
+// search never increases cost.
+func TestQuickOfflinePipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 4, 3, 6)
+		greedy := StarGreedy(in)
+		if greedy.Solution.Verify(in) != nil {
+			return false
+		}
+		ls := LocalSearch(in, greedy.Solution.Facilities, 20)
+		if ls.Solution.Verify(in) != nil {
+			return false
+		}
+		return ls.Cost <= greedy.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStarGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomInstance(rng, 8, 5, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = StarGreedy(in)
+	}
+}
+
+func BenchmarkPerCommodityServe(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomInstance(rng, 20, 8, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := NewPerCommodityPD(in.Space, in.Costs, candidateList(in.Space, nil))
+		for _, r := range in.Requests {
+			pc.Serve(r)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/commodity"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// LineExactFL computes the exact offline optimum of a *single-commodity*
+// facility location instance on a line metric in O(n²·|M|) time, using the
+// classic interval DP: on a line there is an optimal solution in which each
+// facility serves a contiguous (by position) block of requests, so
+//
+//	dp[i] = min_{j<i} dp[j] + min_m ( f(m) + Σ_{k=j+1..i} d(r_k, m) )
+//
+// over requests sorted by position. It returns an error if the instance has
+// more than one commodity or the space is not a *metric.Line. The exact
+// optimum replaces the single-facility proxy when evaluating the line
+// adversary of Corollary 3.
+func LineExactFL(in *instance.Instance) (float64, error) {
+	line, ok := in.Space.(*metric.Line)
+	if !ok {
+		return 0, fmt.Errorf("baseline: LineExactFL requires a line metric, got %s", in.Space.Name())
+	}
+	if in.Universe() != 1 {
+		return 0, fmt.Errorf("baseline: LineExactFL requires |S| = 1, got %d", in.Universe())
+	}
+	n := len(in.Requests)
+	if n == 0 {
+		return 0, nil
+	}
+	single := commodity.New(0)
+	for ri, r := range in.Requests {
+		if !r.Demands.Equal(single) {
+			return 0, fmt.Errorf("baseline: request %d demands %v, want {0}", ri, r.Demands)
+		}
+	}
+
+	// Sort request positions.
+	pos := make([]float64, n)
+	for i, r := range in.Requests {
+		pos[i] = line.Position(r.Point)
+	}
+	sort.Float64s(pos)
+	// Prefix sums for O(1) interval assignment cost at a fixed point.
+	prefix := make([]float64, n+1)
+	for i, p := range pos {
+		prefix[i+1] = prefix[i] + p
+	}
+	// sumDist(j, i, x) = Σ_{k=j..i-1} |pos[k] − x| via binary search.
+	sumDist := func(j, i int, x float64) float64 {
+		lo := sort.SearchFloat64s(pos[j:i], x) + j
+		left := x*float64(lo-j) - (prefix[lo] - prefix[j])
+		right := (prefix[i] - prefix[lo]) - x*float64(i-lo)
+		return left + right
+	}
+
+	m := in.Space.Len()
+	facPos := make([]float64, m)
+	facCost := make([]float64, m)
+	for p := 0; p < m; p++ {
+		facPos[p] = line.Position(p)
+		facCost[p] = in.Costs.Cost(p, single)
+	}
+
+	dp := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = math.Inf(1)
+		for j := 0; j < i; j++ {
+			// Best facility for block (j, i].
+			best := math.Inf(1)
+			for p := 0; p < m; p++ {
+				if c := facCost[p] + sumDist(j, i, facPos[p]); c < best {
+					best = c
+				}
+			}
+			if v := dp[j] + best; v < dp[i] {
+				dp[i] = v
+			}
+		}
+	}
+	return dp[n], nil
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+func lineFLInstance(rng *rand.Rand, n, points int, fcost float64) *instance.Instance {
+	in := &instance.Instance{
+		Space: metric.RandomLine(rng, points, 20),
+		Costs: cost.Constant(1, fcost),
+	}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(points),
+			Demands: commodity.New(0),
+		})
+	}
+	return in
+}
+
+func TestLineExactFLKnownCases(t *testing.T) {
+	// Two requests at the ends of a long segment, cheap facilities: open
+	// two facilities (2·f) rather than pay the distance.
+	in := &instance.Instance{
+		Space: metric.NewLine([]float64{0, 100}),
+		Costs: cost.Constant(1, 3),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0)},
+			{Point: 1, Demands: commodity.New(0)},
+		},
+	}
+	opt, err := LineExactFL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 6 {
+		t.Errorf("OPT = %g, want 6", opt)
+	}
+	// Expensive facilities (f = 150): one facility + distance 100 = 250
+	// beats two facilities at 300.
+	in.Costs = cost.Constant(1, 150)
+	opt, err = LineExactFL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 250 {
+		t.Errorf("OPT = %g, want 250", opt)
+	}
+}
+
+func TestLineExactFLEmptyAndErrors(t *testing.T) {
+	empty := &instance.Instance{Space: metric.NewLine([]float64{0}), Costs: cost.Constant(1, 1)}
+	if opt, err := LineExactFL(empty); err != nil || opt != 0 {
+		t.Errorf("empty: %g %v", opt, err)
+	}
+	multi := &instance.Instance{
+		Space: metric.NewLine([]float64{0}),
+		Costs: cost.Constant(2, 1),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(1)},
+		},
+	}
+	if _, err := LineExactFL(multi); err == nil {
+		t.Error("multi-commodity accepted")
+	}
+	notLine := &instance.Instance{
+		Space: metric.NewUniform(2, 1),
+		Costs: cost.Constant(1, 1),
+	}
+	if _, err := LineExactFL(notLine); err == nil {
+		t.Error("non-line metric accepted")
+	}
+}
+
+func TestLineExactFLMatchesExactSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 8; trial++ {
+		in := lineFLInstance(rng, 3+rng.Intn(3), 3, 1+rng.Float64()*4)
+		dpOpt, err := LineExactFL(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb := ExactSmall(in, 6)
+		if math.Abs(dpOpt-bb.Cost) > 1e-9 {
+			t.Errorf("trial %d: line DP %g vs branch-and-bound %g", trial, dpOpt, bb.Cost)
+		}
+	}
+}
+
+// Property: the line DP never exceeds any feasible solution's cost
+// (spot-checked against the offline greedy) and is never negative.
+func TestQuickLineExactFLLowerBoundsGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := lineFLInstance(rng, 2+rng.Intn(6), 4, 0.5+rng.Float64()*3)
+		dpOpt, err := LineExactFL(in)
+		if err != nil {
+			return false
+		}
+		greedy := StarGreedy(in)
+		return dpOpt >= 0 && dpOpt <= greedy.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLineExactFL(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := lineFLInstance(rng, 60, 20, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LineExactFL(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/lp"
+)
+
+// LPRound solves the Section 1.1 LP relaxation and rounds it: facility
+// candidates are ranked by their fractional opening mass y_m^σ (ties by
+// cheaper cost), then greedily accepted while they reduce the total cost of
+// the optimally re-assigned solution; a final feasibility pass adds the
+// cheapest cover for any request the accepted set misses. This mirrors the
+// flavour of the offline LP-based O(log |S|) approximations (Ravi–Sinha)
+// without reproducing their full filtering argument; in practice it is a
+// strong OPT proxy on the small instances the LP can solve.
+func LPRound(in *instance.Instance) (OfflineResult, error) {
+	relax, err := lp.OMFLPRelaxation(in)
+	if err != nil {
+		return OfflineResult{}, err
+	}
+
+	// Recover the y variables: they were added first, grouped per point
+	// over the same configuration family the relaxation used. Rebuild that
+	// family association by re-deriving it through the relaxation's config
+	// count.
+	cands := candidateFacilities(in, maxFullEnum, 0)
+	// The relaxation's variable layout is y[point][config] in family order;
+	// candidateFacilities enumerates the same (point-major) order when the
+	// family is complete. For restricted families the layouts may differ,
+	// so fall back to greedy when counts mismatch.
+	type weighted struct {
+		fac instance.Facility
+		y   float64
+	}
+	var ws []weighted
+	if relax.Exact && len(cands) == relax.Configs*in.Space.Len() {
+		// Complete family: candidateFacilities and the relaxation share
+		// the identical point-major × AllSubsets layout.
+		for i, f := range cands {
+			ws = append(ws, weighted{fac: f, y: relax.Solution.X[i]})
+		}
+	} else {
+		res := StarGreedy(in)
+		res.Name = "offline-lp-round(greedy-fallback)"
+		return res, nil
+	}
+
+	sort.SliceStable(ws, func(a, b int) bool {
+		if ws[a].y != ws[b].y {
+			return ws[a].y > ws[b].y
+		}
+		ca := in.Costs.Cost(ws[a].fac.Point, ws[a].fac.Config)
+		cb := in.Costs.Cost(ws[b].fac.Point, ws[b].fac.Config)
+		return ca < cb
+	})
+
+	var chosen []instance.Facility
+	bestCost := 0.0
+	first := true
+	for _, w := range ws {
+		if w.y <= 1e-9 {
+			break
+		}
+		trial := append(append([]instance.Facility(nil), chosen...), w.fac)
+		_, c := instance.AssignAll(in, trial)
+		if first || c < bestCost {
+			chosen, bestCost, first = trial, c, false
+		}
+	}
+	// Feasibility pass: cover anything still missing with the per-request
+	// demand set at its own point.
+	sol, c := instance.AssignAll(in, chosen)
+	for ri, links := range sol.Assign {
+		if links == nil {
+			chosen = append(chosen, instance.Facility{
+				Point:  in.Requests[ri].Point,
+				Config: in.Requests[ri].Demands.Clone(),
+			})
+		}
+	}
+	sol, c = instance.AssignAll(in, chosen)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-lp-round"}, nil
+}

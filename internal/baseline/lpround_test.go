@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+func TestLPRoundFeasibleAndNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		in := &instance.Instance{
+			Space: metric.RandomLine(rng, 3, 8),
+			Costs: cost.PowerLaw(3, 1, 1+rng.Float64()),
+		}
+		for i := 0; i < 5; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   rng.Intn(in.Space.Len()),
+				Demands: commodity.RandomSubset(rng, 3, 1+rng.Intn(3)),
+			})
+		}
+		res, err := LPRound(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Solution.Verify(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exact := ExactSmall(in, 4)
+		if res.Cost < exact.Cost-1e-9 {
+			t.Errorf("trial %d: LP round %g below exact OPT %g", trial, res.Cost, exact.Cost)
+		}
+		// LP rounding on integral LPs should land close to OPT.
+		if res.Cost > exact.Cost*2+1e-9 {
+			t.Errorf("trial %d: LP round %g more than 2x exact OPT %g", trial, res.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestLPRoundFallsBackOnLargeUniverse(t *testing.T) {
+	in := &instance.Instance{
+		Space: metric.SinglePoint(),
+		Costs: cost.PowerLaw(12, 1, 1), // > maxFullEnum: restricted family
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0, 7)},
+		},
+	}
+	res, err := LPRound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "offline-lp-round(greedy-fallback)" {
+		t.Errorf("expected greedy fallback, got %q", res.Name)
+	}
+	if err := res.Solution.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPRoundOnIntegralInstance(t *testing.T) {
+	// Instance where the LP is integral and OPT obvious: one request,
+	// sqrt cost → single facility with the demand set at the point.
+	in := &instance.Instance{
+		Space: metric.SinglePoint(),
+		Costs: cost.PowerLaw(3, 1, 2),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0, 1, 2)},
+		},
+	}
+	res, err := LPRound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Sqrt(3)
+	if math.Abs(res.Cost-want) > 1e-6 {
+		t.Errorf("LP round cost %g, want %g", res.Cost, want)
+	}
+}

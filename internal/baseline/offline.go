@@ -1,0 +1,360 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/commodity"
+	"repro/internal/instance"
+)
+
+// OfflineResult is a complete offline solution with its cost.
+type OfflineResult struct {
+	Solution *instance.Solution
+	Cost     float64
+	Name     string
+}
+
+// configFamily builds the candidate configurations offline algorithms
+// consider at each point: all singletons, the full set, every distinct
+// request demand set, and unions of demand-set pairs (capped). For small
+// universes (≤ maxFull commodities) it returns every non-empty subset, which
+// makes ExactSmall exact.
+func configFamily(in *instance.Instance, maxFull int) []commodity.Set {
+	u := in.Universe()
+	if u <= maxFull {
+		return commodity.AllSubsets(u)
+	}
+	seen := map[string]commodity.Set{}
+	add := func(s commodity.Set) {
+		if !s.IsEmpty() {
+			seen[s.Key()] = s
+		}
+	}
+	for e := 0; e < u; e++ {
+		add(commodity.New(e))
+	}
+	add(commodity.Full(u))
+	var demands []commodity.Set
+	var allDemands commodity.Set
+	for _, r := range in.Requests {
+		add(r.Demands)
+		demands = append(demands, r.Demands)
+		allDemands = allDemands.Union(r.Demands)
+	}
+	// The union of every demand (the "total catalog actually requested")
+	// and its prefix unions in arrival order — cheap, and they capture the
+	// bundles an optimal solution actually needs.
+	add(allDemands)
+	var prefix commodity.Set
+	for _, d := range demands {
+		prefix = prefix.Union(d)
+		add(prefix)
+	}
+	// Pairwise unions of distinct demand sets, capped to keep the family
+	// polynomial.
+	const unionCap = 256
+	for i := 0; i < len(demands) && len(seen) < unionCap; i++ {
+		for j := i + 1; j < len(demands) && len(seen) < unionCap; j++ {
+			add(demands[i].Union(demands[j]))
+		}
+	}
+	var out []commodity.Set
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	return commodity.Sorted(out)
+}
+
+// candidateFacilities enumerates (point, config) pairs over the instance's
+// points and the config family, deterministically stride-sampled down to
+// maxCands when the cross product explodes (large spaces × rich families).
+// Request demand sets at request points are always retained, so a feasible
+// solution survives sampling.
+func candidateFacilities(in *instance.Instance, maxFull, maxCands int) []instance.Facility {
+	configs := configFamily(in, maxFull)
+	var cands []instance.Facility
+	for m := 0; m < in.Space.Len(); m++ {
+		for _, cfg := range configs {
+			cands = append(cands, instance.Facility{Point: m, Config: cfg})
+		}
+	}
+	if maxCands <= 0 || len(cands) <= maxCands {
+		return cands
+	}
+	keep := make([]instance.Facility, 0, maxCands+len(in.Requests))
+	stride := len(cands) / maxCands
+	for i := 0; i < len(cands); i += stride {
+		keep = append(keep, cands[i])
+	}
+	for _, r := range in.Requests {
+		keep = append(keep, instance.Facility{Point: r.Point, Config: r.Demands.Clone()})
+	}
+	return keep
+}
+
+// proxyMaxCands caps the candidate list of the heuristic OPT proxies; the
+// exact solver never samples.
+const proxyMaxCands = 600
+
+// proxyScanCap caps how many candidates one local-search scan evaluates.
+const proxyScanCap = 150
+
+// StarGreedy is an offline greedy in the spirit of Ravi–Sinha: repeatedly
+// pick the "star" — a candidate facility plus a set of requests connected to
+// it — minimizing (construction + connection) per newly covered
+// (request, commodity) pair, until all pairs are covered. Finally requests
+// are re-assigned optimally against the chosen facilities.
+func StarGreedy(in *instance.Instance) OfflineResult {
+	type pair struct{ r, e int }
+	uncovered := map[pair]bool{}
+	for ri, r := range in.Requests {
+		r.Demands.ForEach(func(e int) {
+			uncovered[pair{ri, e}] = true
+		})
+	}
+	cands := candidateFacilities(in, 5, proxyMaxCands)
+	var chosen []instance.Facility
+
+	for len(uncovered) > 0 {
+		bestRatio := math.Inf(1)
+		var bestFac instance.Facility
+		var bestCover []pair
+		for _, f := range cands {
+			// Per request: gain = #uncovered demanded commodities in the
+			// config; cost = distance. Choose the best prefix of requests
+			// sorted by distance/gain.
+			type rg struct {
+				ri   int
+				gain int
+				d    float64
+			}
+			var rgs []rg
+			for ri, r := range in.Requests {
+				gain := 0
+				r.Demands.Intersect(f.Config).ForEach(func(e int) {
+					if uncovered[pair{ri, e}] {
+						gain++
+					}
+				})
+				if gain > 0 {
+					rgs = append(rgs, rg{ri: ri, gain: gain, d: in.Space.Distance(r.Point, f.Point)})
+				}
+			}
+			if len(rgs) == 0 {
+				continue
+			}
+			sort.Slice(rgs, func(i, j int) bool {
+				return rgs[i].d*float64(rgs[j].gain) < rgs[j].d*float64(rgs[i].gain)
+			})
+			fCost := in.Costs.Cost(f.Point, f.Config)
+			cum, gains := fCost, 0
+			for k, x := range rgs {
+				cum += x.d
+				gains += x.gain
+				ratio := cum / float64(gains)
+				if ratio < bestRatio {
+					bestRatio = ratio
+					bestFac = f
+					bestCover = bestCover[:0]
+					for _, y := range rgs[:k+1] {
+						in.Requests[y.ri].Demands.Intersect(f.Config).ForEach(func(e int) {
+							if uncovered[pair{y.ri, e}] {
+								bestCover = append(bestCover, pair{y.ri, e})
+							}
+						})
+					}
+				}
+			}
+		}
+		if len(bestCover) == 0 {
+			panic("baseline: StarGreedy made no progress")
+		}
+		chosen = append(chosen, bestFac)
+		for _, pr := range bestCover {
+			delete(uncovered, pr)
+		}
+	}
+
+	sol, c := instance.AssignAll(in, chosen)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-star-greedy"}
+}
+
+// LocalSearch improves a starting solution by add / drop / swap moves over
+// the candidate facility list, re-assigning requests optimally after each
+// tentative move, until no move improves the cost or the move budget is
+// exhausted.
+func LocalSearch(in *instance.Instance, start []instance.Facility, maxMoves int) OfflineResult {
+	cands := candidateFacilities(in, 5, proxyMaxCands)
+	// Cap scan width: sample the candidate list for add/swap scans.
+	scan := cands
+	if len(scan) > proxyScanCap {
+		scan = make([]instance.Facility, 0, proxyScanCap)
+		stride := len(cands) / proxyScanCap
+		for i := 0; i < len(cands); i += stride {
+			scan = append(scan, cands[i])
+		}
+	}
+	current := append([]instance.Facility(nil), start...)
+	_, best := instance.AssignAll(in, current)
+
+	improved := true
+	moves := 0
+	for improved && moves < maxMoves {
+		improved = false
+
+		// Drop moves.
+		for i := 0; i < len(current) && moves < maxMoves; i++ {
+			trial := append(append([]instance.Facility(nil), current[:i]...), current[i+1:]...)
+			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+				current, best = trial, c
+				improved = true
+				moves++
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Add moves.
+		for _, f := range scan {
+			if moves >= maxMoves {
+				break
+			}
+			trial := append(append([]instance.Facility(nil), current...), f)
+			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+				current, best = trial, c
+				improved = true
+				moves++
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Swap moves (replace one chosen facility by one candidate).
+		for i := 0; i < len(current) && !improved; i++ {
+			for _, f := range scan {
+				if moves >= maxMoves {
+					break
+				}
+				trial := append([]instance.Facility(nil), current...)
+				trial[i] = f
+				if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+					current, best = trial, c
+					improved = true
+					moves++
+					break
+				}
+			}
+		}
+	}
+
+	sol, c := instance.AssignAll(in, current)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-local-search"}
+}
+
+// BestOffline runs StarGreedy followed by LocalSearch refinement and returns
+// the better result — the standard OPT proxy for instances too large for
+// ExactSmall.
+func BestOffline(in *instance.Instance, maxMoves int) OfflineResult {
+	greedy := StarGreedy(in)
+	ls := LocalSearch(in, greedy.Solution.Facilities, maxMoves)
+	if ls.Cost <= greedy.Cost {
+		ls.Name = "offline-best(greedy+ls)"
+		return ls
+	}
+	greedy.Name = "offline-best(greedy+ls)"
+	return greedy
+}
+
+// ExactSmall computes the exact offline optimum by branch-and-bound over the
+// candidate facility list. It is exponential in the number of candidates:
+// intended for instances with ≤ ~4 points, ≤ ~4 commodities (the config
+// family is all subsets when |S| ≤ maxFullEnum) and a handful of requests.
+// The bound combines the construction cost committed so far with a
+// connection lower bound (each request's cheapest cover if every remaining
+// candidate were free).
+func ExactSmall(in *instance.Instance, maxFacilities int) OfflineResult {
+	cands := candidateFacilities(in, maxFullEnum, 0)
+	best := math.Inf(1)
+	var bestSet []instance.Facility
+
+	// Seed the incumbent with the greedy solution to sharpen pruning.
+	seed := StarGreedy(in)
+	if seed.Cost < best {
+		best = seed.Cost
+		bestSet = seed.Solution.Facilities
+	}
+
+	var rec func(idx int, open []instance.Facility, consCost float64)
+	rec = func(idx int, open []instance.Facility, consCost float64) {
+		// Bound: committed construction + optimal assignment against every
+		// candidate from idx on being free is a valid lower bound.
+		pool := append(append([]instance.Facility(nil), open...), cands[idx:]...)
+		var lb float64
+		for _, r := range in.Requests {
+			_, c := instance.BestAssignment(in.Space, pool, r)
+			lb += c
+		}
+		if consCost+lb >= best-1e-12 {
+			return
+		}
+		if idx == len(cands) {
+			if _, c := instance.AssignAll(in, open); c < best {
+				best = c
+				bestSet = append([]instance.Facility(nil), open...)
+			}
+			return
+		}
+		// Evaluate the current open set as a complete solution as well
+		// (pruning works best when incumbents appear early).
+		if _, c := instance.AssignAll(in, open); c < best {
+			best = c
+			bestSet = append([]instance.Facility(nil), open...)
+		}
+		// Branch: include cands[idx] (if budget allows), then exclude.
+		if len(open) < maxFacilities {
+			f := cands[idx]
+			rec(idx+1, append(open, f), consCost+in.Costs.Cost(f.Point, f.Config))
+		}
+		rec(idx+1, open, consCost)
+	}
+	rec(0, nil, 0)
+
+	sol, c := instance.AssignAll(in, bestSet)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-exact"}
+}
+
+// maxFullEnum is the universe size up to which the config family enumerates
+// every subset, making ExactSmall exact rather than restricted.
+const maxFullEnum = 6
+
+// SinglePointOPT returns the exact offline optimum for instances whose
+// requests all sit on one point with a subadditive cost model: one facility
+// configured with the union of all demands (assignment cost 0). The second
+// return value is false if the precondition fails.
+func SinglePointOPT(in *instance.Instance) (float64, bool) {
+	if len(in.Requests) == 0 {
+		return 0, true
+	}
+	p := in.Requests[0].Point
+	var union commodity.Set
+	for _, r := range in.Requests {
+		if r.Point != p {
+			return 0, false
+		}
+		union = union.Union(r.Demands)
+	}
+	// With subadditive costs a single facility with the union is optimal;
+	// still take the min over facility locations (relevant when costs are
+	// point-scaled: a facility elsewhere costs distance per request).
+	best := in.Costs.Cost(p, union)
+	for m := 0; m < in.Space.Len(); m++ {
+		c := in.Costs.Cost(m, union) + float64(len(in.Requests))*in.Space.Distance(p, m)
+		if c < best {
+			best = c
+		}
+	}
+	return best, true
+}

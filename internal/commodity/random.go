@@ -1,0 +1,69 @@
+package commodity
+
+import "math/rand"
+
+// RandomSubset returns a uniformly random subset of size k drawn from the
+// universe [0, u). It panics if k < 0 or k > u. The selection uses a partial
+// Fisher–Yates shuffle, so the cost is O(u) memory and O(u) time.
+func RandomSubset(rng *rand.Rand, u, k int) Set {
+	if k < 0 || k > u {
+		panic("commodity: RandomSubset size out of range")
+	}
+	perm := rng.Perm(u)
+	return New(perm[:k]...)
+}
+
+// RandomSubsetOf returns a uniformly random k-subset of the given set.
+// It panics if k < 0 or k > base.Len().
+func RandomSubsetOf(rng *rand.Rand, base Set, k int) Set {
+	ids := base.IDs()
+	if k < 0 || k > len(ids) {
+		panic("commodity: RandomSubsetOf size out of range")
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return New(ids[:k]...)
+}
+
+// AllSubsets enumerates every non-empty subset of [0, u). It is intended for
+// exhaustive validation on small universes and panics for u > 20.
+func AllSubsets(u int) []Set {
+	if u > 20 {
+		panic("commodity: AllSubsets universe too large")
+	}
+	out := make([]Set, 0, (1<<uint(u))-1)
+	for mask := 1; mask < 1<<uint(u); mask++ {
+		var s Set
+		for id := 0; id < u; id++ {
+			if mask&(1<<uint(id)) != 0 {
+				s.add(id)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FromMask builds a set from the low u bits of mask. It is a convenience for
+// tests and subset-DP code; IDs at positions where mask has a 1 bit are
+// members.
+func FromMask(mask uint64) Set {
+	if mask == 0 {
+		return Set{}
+	}
+	return Set{words: []uint64{mask}}
+}
+
+// Mask returns the members of s as a uint64 bitmask. It panics if s contains
+// an ID ≥ 64; callers use it only for local subset-DP universes.
+func (s Set) Mask() uint64 {
+	t := s
+	t.trim()
+	switch len(t.words) {
+	case 0:
+		return 0
+	case 1:
+		return t.words[0]
+	default:
+		panic("commodity: Mask requires all IDs < 64")
+	}
+}

@@ -1,0 +1,337 @@
+// Package commodity provides compact commodity sets for the Online
+// Multi-Commodity Facility Location Problem (OMFLP).
+//
+// Commodities are identified by integer IDs in a universe [0, U). A Set is a
+// dynamically sized bitset; the zero value is the empty set and is ready to
+// use. Sets are value-like: operations return new sets and never alias the
+// inputs unless documented otherwise.
+package commodity
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of commodity IDs backed by a bitset. The zero value is the
+// empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing exactly the given IDs. IDs must be
+// non-negative; New panics otherwise (a malformed ID is a programming error,
+// not a recoverable condition).
+func New(ids ...int) Set {
+	var s Set
+	for _, id := range ids {
+		s.add(id)
+	}
+	return s
+}
+
+// Full returns the set {0, 1, ..., u-1}. Full panics if u is negative.
+func Full(u int) Set {
+	if u < 0 {
+		panic("commodity: negative universe size")
+	}
+	if u == 0 {
+		return Set{}
+	}
+	n := (u + wordBits - 1) / wordBits
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	// Clear the bits above u-1 in the last word.
+	if rem := u % wordBits; rem != 0 {
+		words[n-1] = (uint64(1) << uint(rem)) - 1
+	}
+	return Set{words: words}
+}
+
+func (s *Set) add(id int) {
+	if id < 0 {
+		panic(fmt.Sprintf("commodity: negative ID %d", id))
+	}
+	w := id / wordBits
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= uint64(1) << uint(id%wordBits)
+}
+
+// trim removes trailing zero words so that structurally equal sets compare
+// equal regardless of construction history.
+func (s *Set) trim() {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	s.words = s.words[:n]
+}
+
+// With returns s ∪ {id}.
+func (s Set) With(id int) Set {
+	t := s.Clone()
+	t.add(id)
+	return t
+}
+
+// Without returns s \ {id}.
+func (s Set) Without(id int) Set {
+	if !s.Contains(id) {
+		return s.Clone()
+	}
+	t := s.Clone()
+	t.words[id/wordBits] &^= uint64(1) << uint(id%wordBits)
+	t.trim()
+	return t
+}
+
+// Contains reports whether id is in s.
+func (s Set) Contains(id int) bool {
+	if id < 0 {
+		return false
+	}
+	w := id / wordBits
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(uint64(1)<<uint(id%wordBits)) != 0
+}
+
+// Len returns |s|.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether s is the empty set.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s that shares no storage with s.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	return Set{words: words}
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	a, b := s.words, t.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	words := make([]uint64, len(a))
+	copy(words, a)
+	for i := range b {
+		words[i] |= b[i]
+	}
+	u := Set{words: words}
+	u.trim()
+	return u
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = s.words[i] & t.words[i]
+	}
+	u := Set{words: words}
+	u.trim()
+	return u
+}
+
+// Subtract returns s \ t.
+func (s Set) Subtract(t Set) Set {
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	n := len(words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		words[i] &^= t.words[i]
+	}
+	u := Set{words: words}
+	u.trim()
+	return u
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if i >= len(t.words) || w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same IDs.
+func (s Set) Equal(t Set) bool {
+	a, b := s, t
+	a.trim()
+	b.trim()
+	if len(a.words) != len(b.words) {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IDs returns the members of s in increasing order.
+func (s Set) IDs() []int {
+	ids := make([]int, 0, s.Len())
+	s.ForEach(func(id int) {
+		ids = append(ids, id)
+	})
+	return ids
+}
+
+// ForEach calls fn for every member of s in increasing order.
+func (s Set) ForEach(fn func(id int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest ID in s, or -1 if s is empty.
+func (s Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest ID in s, or -1 if s is empty.
+func (s Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a canonical string usable as a map key. Two sets have the same
+// Key exactly when they are Equal.
+func (s Set) Key() string {
+	t := s
+	t.trim()
+	if len(t.words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, w := range t.words {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> uint(8*i))
+		}
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// String renders s as "{a,b,c}".
+func (s Set) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Parse parses the output of String ("{1,2,3}" or "1,2,3") into a Set.
+func Parse(text string) (Set, error) {
+	text = strings.TrimSpace(text)
+	text = strings.TrimPrefix(text, "{")
+	text = strings.TrimSuffix(text, "}")
+	if strings.TrimSpace(text) == "" {
+		return Set{}, nil
+	}
+	var s Set
+	for _, part := range strings.Split(text, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return Set{}, fmt.Errorf("commodity: parsing %q: %v", part, err)
+		}
+		if id < 0 {
+			return Set{}, fmt.Errorf("commodity: negative ID %d", id)
+		}
+		s.add(id)
+	}
+	return s, nil
+}
+
+// Sorted returns the sets ordered by (size, lexicographic IDs); useful for
+// deterministic iteration over map-collected sets.
+func Sorted(sets []Set) []Set {
+	out := make([]Set, len(sets))
+	copy(out, sets)
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Len(), out[j].Len()
+		if li != lj {
+			return li < lj
+		}
+		a, b := out[i].IDs(), out[j].IDs()
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

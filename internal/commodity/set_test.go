@@ -1,0 +1,306 @@
+package commodity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndContains(t *testing.T) {
+	s := New(0, 3, 64, 100)
+	for _, id := range []int{0, 3, 64, 100} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []int{1, 2, 63, 65, 99, 101, -1} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Errorf("Len() = %d, want 4", got)
+	}
+}
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Error("zero Set is not empty")
+	}
+	if s.Len() != 0 {
+		t.Errorf("zero Set Len = %d", s.Len())
+	}
+	if !s.Equal(New()) {
+		t.Error("zero Set != New()")
+	}
+	if s.String() != "{}" {
+		t.Errorf("zero Set String = %q", s.String())
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, u := range []int{0, 1, 5, 63, 64, 65, 128, 130} {
+		s := Full(u)
+		if s.Len() != u {
+			t.Errorf("Full(%d).Len() = %d", u, s.Len())
+		}
+		for id := 0; id < u; id++ {
+			if !s.Contains(id) {
+				t.Errorf("Full(%d) missing %d", u, id)
+			}
+		}
+		if s.Contains(u) {
+			t.Errorf("Full(%d) contains %d", u, u)
+		}
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := New(1, 2)
+	s2 := s.With(5)
+	if !s2.Contains(5) || s.Contains(5) {
+		t.Error("With must not mutate the receiver")
+	}
+	s3 := s2.Without(1)
+	if s3.Contains(1) || !s2.Contains(1) {
+		t.Error("Without must not mutate the receiver")
+	}
+	if !s3.Equal(New(2, 5)) {
+		t.Errorf("got %v, want {2,5}", s3)
+	}
+	// Removing an absent element is a no-op clone.
+	if !s.Without(99).Equal(s) {
+		t.Error("Without(absent) changed the set")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3, 70)
+	b := New(3, 4, 70, 200)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4, 70, 200)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(3, 70)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(New(1, 2)) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if !New(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Intersects(b) || a.Intersects(New(9)) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestEqualIgnoresTrailingWords(t *testing.T) {
+	a := New(1, 200).Without(200) // leaves high words allocated then trimmed
+	b := New(1)
+	if !a.Equal(b) {
+		t.Error("sets with different storage but same members must be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("Keys of equal sets differ")
+	}
+}
+
+func TestIDsAndForEachOrdered(t *testing.T) {
+	s := New(5, 1, 127, 64)
+	want := []int{1, 5, 64, 127}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	prev := -1
+	s.ForEach(func(id int) {
+		if id <= prev {
+			t.Errorf("ForEach out of order: %d after %d", id, prev)
+		}
+		prev = id
+	})
+}
+
+func TestMinMax(t *testing.T) {
+	if got := New().Min(); got != -1 {
+		t.Errorf("empty Min = %d", got)
+	}
+	if got := New().Max(); got != -1 {
+		t.Errorf("empty Max = %d", got)
+	}
+	s := New(17, 90, 3)
+	if s.Min() != 3 || s.Max() != 90 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []Set{New(), New(0), New(1, 5, 64), Full(70)} {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip: got %v, want %v", got, s)
+		}
+	}
+	if _, err := Parse("{1,x}"); err == nil {
+		t.Error("Parse accepted junk")
+	}
+	if _, err := Parse("{-1}"); err == nil {
+		t.Error("Parse accepted negative ID")
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	for _, mask := range []uint64{0, 1, 0b1011, 1 << 63} {
+		if got := FromMask(mask).Mask(); got != mask {
+			t.Errorf("mask round trip: got %b, want %b", got, mask)
+		}
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k <= 10; k++ {
+		s := RandomSubset(rng, 10, k)
+		if s.Len() != k {
+			t.Errorf("RandomSubset size = %d, want %d", s.Len(), k)
+		}
+		if !s.SubsetOf(Full(10)) {
+			t.Errorf("RandomSubset out of universe: %v", s)
+		}
+	}
+}
+
+func TestRandomSubsetUniformCoverage(t *testing.T) {
+	// Over many draws of 1-subsets from [0,4), every element must appear.
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		seen[RandomSubset(rng, 4, 1).Min()]++
+	}
+	for id := 0; id < 4; id++ {
+		if seen[id] < 40 {
+			t.Errorf("element %d drawn only %d/400 times", id, seen[id])
+		}
+	}
+}
+
+func TestRandomSubsetOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := New(2, 4, 8, 16)
+	s := RandomSubsetOf(rng, base, 2)
+	if s.Len() != 2 || !s.SubsetOf(base) {
+		t.Errorf("RandomSubsetOf = %v", s)
+	}
+}
+
+func TestAllSubsets(t *testing.T) {
+	subs := AllSubsets(3)
+	if len(subs) != 7 {
+		t.Fatalf("AllSubsets(3) has %d sets, want 7", len(subs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range subs {
+		if s.IsEmpty() {
+			t.Error("AllSubsets produced empty set")
+		}
+		if !s.SubsetOf(Full(3)) {
+			t.Errorf("subset %v out of universe", s)
+		}
+		seen[s.Key()] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("AllSubsets produced duplicates: %d unique", len(seen))
+	}
+}
+
+func TestSorted(t *testing.T) {
+	sets := []Set{New(2, 3), New(1), New(0, 9), New()}
+	out := Sorted(sets)
+	if !out[0].Equal(New()) || !out[1].Equal(New(1)) || !out[2].Equal(New(0, 9)) || !out[3].Equal(New(2, 3)) {
+		t.Errorf("Sorted = %v", out)
+	}
+}
+
+// Property: union is commutative, associative, and monotone in size.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(am, bm, cm uint64) bool {
+		a, b, c := FromMask(am), FromMask(bm), FromMask(cm)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		u := a.Union(b)
+		return u.Len() >= a.Len() && u.Len() >= b.Len() && a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |A| + |B| = |A∪B| + |A∩B| (inclusion–exclusion).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := FromMask(am), FromMask(bm)
+		return a.Len()+b.Len() == a.Union(b).Len()+a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: A \ B is disjoint from B and (A\B) ∪ (A∩B) = A.
+func TestQuickSubtractPartition(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := FromMask(am), FromMask(bm)
+		d := a.Subtract(b)
+		if d.Intersects(b) {
+			return false
+		}
+		return d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bitmask semantics agree with Go's uint64 operators.
+func TestQuickMaskAgreement(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := FromMask(am), FromMask(bm)
+		return a.Union(b).Mask() == am|bm &&
+			a.Intersect(b).Mask() == am&bm &&
+			a.Subtract(b).Mask() == am&^bm &&
+			a.SubsetOf(b) == (am&^bm == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := Full(256)
+	y := New(1, 100, 200, 255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	s := Full(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Contains(i & 255)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// TestCoveringInstanceFromExecution closes the loop between Algorithm 1 and
+// its analysis: the A/B partition extracted from an actual PD run must form
+// a valid c-ordered covering instance (Definition 9), and the constructive
+// covering must respect the 2c·H_n bound — the exact argument of Lemma 14.
+func TestCoveringInstanceFromExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 6; trial++ {
+		u := 2 + rng.Intn(3)
+		space := metric.RandomLine(rng, 4, 10)
+		costs := cost.PowerLaw(u, 1, 1+rng.Float64())
+		pd := NewPDOMFLP(space, costs, Options{TraceAnalysis: true})
+		n := 8 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			pd.Serve(instance.Request{
+				Point:   rng.Intn(space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		for e := 0; e < u; e++ {
+			for m := 0; m < space.Len(); m++ {
+				inst, ok := pd.CoveringInstance(e, m)
+				if !ok {
+					continue
+				}
+				if err := inst.Validate(); err != nil {
+					t.Fatalf("trial %d e=%d m=%d: execution-derived instance invalid: %v",
+						trial, e, m, err)
+				}
+				res := inst.Cover()
+				if !res.Covered(inst.N()) {
+					t.Fatalf("trial %d e=%d m=%d: covering incomplete", trial, e, m)
+				}
+				if res.Weight > inst.Bound()+1e-9 {
+					t.Errorf("trial %d e=%d m=%d: weight %g exceeds 2cH_n %g",
+						trial, e, m, res.Weight, inst.Bound())
+				}
+			}
+		}
+	}
+}
+
+// Property: for arbitrary seeds, extracted B sets are monotone (the
+// Definition 9 property the proof depends on).
+func TestQuickExecutionBSetsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 2 + rng.Intn(3)
+		space := metric.RandomLine(rng, 3, 8)
+		pd := NewPDOMFLP(space, cost.PowerLaw(u, 1, 1), Options{TraceAnalysis: true})
+		for i := 0; i < 10; i++ {
+			pd.Serve(instance.Request{
+				Point:   rng.Intn(space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		for e := 0; e < u; e++ {
+			inst, ok := pd.CoveringInstance(e, 0)
+			if !ok {
+				continue
+			}
+			if inst.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoveringInstanceRequiresTracing(t *testing.T) {
+	space := metric.SinglePoint()
+	pd := NewPDOMFLP(space, cost.PowerLaw(2, 1, 1), Options{})
+	pd.Serve(instance.Request{Point: 0, Demands: commodity.New(0)})
+	if _, ok := pd.CoveringInstance(0, 0); ok {
+		t.Error("CoveringInstance available without TraceAnalysis")
+	}
+	// With tracing but no request for the commodity: not available either.
+	pd2 := NewPDOMFLP(space, cost.PowerLaw(2, 1, 1), Options{TraceAnalysis: true})
+	pd2.Serve(instance.Request{Point: 0, Demands: commodity.New(0)})
+	if _, ok := pd2.CoveringInstance(1, 0); ok {
+		t.Error("CoveringInstance for an unrequested commodity")
+	}
+	if _, ok := pd2.CoveringInstance(0, 0); !ok {
+		t.Error("CoveringInstance unavailable despite tracing")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// Property: opening facilities can only shrink RAND's budgets — X(r,e) and
+// Z(r) are minima over a growing option set.
+func TestQuickBudgetsMonotoneUnderPlanting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 2 + rng.Intn(4)
+		space := metric.RandomLine(rng, 5, 10)
+		ra := NewRandOMFLP(space, cost.PowerLaw(u, 1, 2), Options{}, rng)
+		r := instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		}
+		per0, x0, z0 := ra.Budgets(r)
+		ra.PlantSmall(r.Demands.Min(), rng.Intn(space.Len()))
+		ra.PlantLarge(rng.Intn(space.Len()))
+		per1, x1, z1 := ra.Budgets(r)
+		if x1 > x0+1e-9 || z1 > z0+1e-9 {
+			return false
+		}
+		for i := range per0 {
+			if per1[i] > per0[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Budgets must agree with the facility index: with a planted large facility
+// at distance d, Z(r) ≤ d; with small facilities covering e at distance d,
+// X(r,e) ≤ d.
+func TestBudgetsMatchFacilityState(t *testing.T) {
+	space := metric.NewLine([]float64{0, 3, 7})
+	costs := cost.PowerLaw(3, 1, 100) // expensive: budgets dominated by distances
+	ra := NewRandOMFLP(space, costs, Options{}, rand.New(rand.NewSource(1)))
+	ra.PlantLarge(1)    // distance 3 from point 0
+	ra.PlantSmall(0, 2) // distance 7 from point 0
+	per, x, z := ra.Budgets(instance.Request{Point: 0, Demands: commodity.New(0)})
+	if z != 3 {
+		t.Errorf("Z = %g, want 3 (planted large at distance 3)", z)
+	}
+	// F(0) includes both the small at 7 and the large at 3 → nearest 3.
+	if per[0] != 3 || x != 3 {
+		t.Errorf("X(r,0) = %g, X = %g, want 3", per[0], x)
+	}
+}
+
+// Budgets with no facilities equal the cheapest class option.
+func TestBudgetsColdStart(t *testing.T) {
+	space := metric.SinglePoint()
+	costs := cost.PowerLaw(2, 1, 4) // singleton 4, pair 4√2
+	ra := NewRandOMFLP(space, costs, Options{}, rand.New(rand.NewSource(1)))
+	per, x, z := ra.Budgets(instance.Request{Point: 0, Demands: commodity.Full(2)})
+	// Class value of cost 4 is 4 (power of two); distance 0.
+	if per[0] != 4 || per[1] != 4 || x != 8 {
+		t.Errorf("cold budgets: per=%v x=%g", per, x)
+	}
+	// Large: f^S = 4√2 ≈ 5.66 → class 4; Z = 4.
+	if z != 4 {
+		t.Errorf("Z = %g, want 4", z)
+	}
+	if math.IsInf(z, 1) {
+		t.Error("Z infinite despite candidates")
+	}
+}
+
+// A long mixed stream keeps every PD invariant and stays feasible — the
+// stress version of the unit tests.
+func TestPDLongStreamStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	u := 6
+	space := metric.RandomEuclidean(rng, 12, 2, 40)
+	costs := cost.NewPointScaled(cost.PowerLaw(u, 1, 2), cost.RandomFactors(rng, 12, 0.5, 2))
+	pd := NewPDOMFLP(space, costs, Options{})
+	in := &instance.Instance{Space: space, Costs: costs}
+	const n = 300
+	for i := 0; i < n; i++ {
+		r := instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		}
+		pd.Serve(r)
+		in.Requests = append(in.Requests, r)
+	}
+	if err := pd.Solution().Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	if c := pd.Solution().Cost(in); c > 3*pd.DualTotal()+1e-6 {
+		t.Errorf("Corollary 8 violated on long stream: %g > 3·%g", c, pd.DualTotal())
+	}
+	checkPDInvariants(t, pd)
+	small, large := pd.FacilityCounts()
+	if small+large == 0 || small+large > n {
+		t.Errorf("suspicious facility count: %d small, %d large over %d requests", small, large, n)
+	}
+}

@@ -1,0 +1,151 @@
+// Package core implements the two online algorithms contributed by the
+// paper: the deterministic primal-dual PD-OMFLP (Algorithm 1, Theorem 4,
+// O(√|S|·log n)-competitive) and the randomized RAND-OMFLP (Algorithm 2,
+// Theorem 19, O(√|S|·log n/log log n)-competitive), plus the dual-solution
+// machinery used to validate Corollary 17 empirically.
+//
+// Both algorithms follow the structural insight of Section 2: they only ever
+// open "small" facilities offering a single commodity and "large" facilities
+// offering all of S — the large facilities realize the prediction that the
+// Ω(√|S|) lower bound shows is unavoidable.
+package core
+
+import (
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// Options configures the core algorithms.
+type Options struct {
+	// Candidates lists the points where facilities may be opened.
+	// nil means every point of the metric space (the paper's setting).
+	Candidates []int
+	// DisablePrediction turns off large facilities entirely (PD-OMFLP
+	// ignores Constraints (2) and (4); RAND-OMFLP never rolls for large
+	// facilities). This is the ablation of the Section 2 discussion: any
+	// such algorithm is forced into Ω(|S|) on the Theorem 2 game.
+	DisablePrediction bool
+	// OptimalReassign, for RAND-OMFLP only: connect each request with the
+	// exact min-cost facility subset (subset DP) instead of the paper's
+	// two connection modes (all-small vs one-large, Figure 3). Never
+	// worse; kept as an ablation.
+	OptimalReassign bool
+	// TraceAnalysis, for PD-OMFLP only: record the per-commodity arrival
+	// history needed to reconstruct the Lemma 14 c-ordered covering
+	// instances (see PDOMFLP.CoveringInstance). Costs O(n²) memory per
+	// commodity; off by default.
+	TraceAnalysis bool
+}
+
+func (o Options) candidates(space metric.Space) []int {
+	if o.Candidates != nil {
+		cands := append([]int(nil), o.Candidates...)
+		return cands
+	}
+	cands := make([]int, space.Len())
+	for i := range cands {
+		cands[i] = i
+	}
+	return cands
+}
+
+// facilityIndex tracks open facilities and answers nearest-facility queries
+// per commodity. Small facilities offer one commodity; large facilities
+// offer all of S.
+type facilityIndex struct {
+	space   metric.Space
+	u       int
+	sol     *instance.Solution
+	smallBy [][]int // smallBy[e]: indices into sol.Facilities of small facilities for e
+	large   []int   // indices into sol.Facilities of large facilities
+}
+
+func newFacilityIndex(space metric.Space, u int) *facilityIndex {
+	return &facilityIndex{
+		space:   space,
+		u:       u,
+		sol:     &instance.Solution{},
+		smallBy: make([][]int, u),
+	}
+}
+
+// openSmall opens a small facility for commodity e at point m and returns
+// its index.
+func (fx *facilityIndex) openSmall(e, m int) int {
+	idx := len(fx.sol.Facilities)
+	fx.sol.Facilities = append(fx.sol.Facilities, instance.Facility{
+		Point:  m,
+		Config: commodity.New(e),
+	})
+	fx.smallBy[e] = append(fx.smallBy[e], idx)
+	return idx
+}
+
+// openLarge opens a large facility (offering all of S) at point m and
+// returns its index.
+func (fx *facilityIndex) openLarge(m int) int {
+	idx := len(fx.sol.Facilities)
+	fx.sol.Facilities = append(fx.sol.Facilities, instance.Facility{
+		Point:  m,
+		Config: commodity.Full(fx.u),
+	})
+	fx.large = append(fx.large, idx)
+	return idx
+}
+
+// nearestOffering returns the open facility nearest to p that offers
+// commodity e (small-for-e or large), as (facility index, distance);
+// (-1, +Inf) if none.
+func (fx *facilityIndex) nearestOffering(e, p int) (int, float64) {
+	best, bestD := fx.nearestLarge(p)
+	for _, idx := range fx.smallBy[e] {
+		if d := fx.space.Distance(p, fx.sol.Facilities[idx].Point); d < bestD {
+			best, bestD = idx, d
+		}
+	}
+	return best, bestD
+}
+
+// nearestLarge returns the nearest large facility as (index, distance);
+// (-1, +Inf) if none.
+func (fx *facilityIndex) nearestLarge(p int) (int, float64) {
+	best, bestD := -1, infinity
+	for _, idx := range fx.large {
+		if d := fx.space.Distance(p, fx.sol.Facilities[idx].Point); d < bestD {
+			best, bestD = idx, d
+		}
+	}
+	return best, bestD
+}
+
+const infinity = 1e308
+
+// singleCosts precomputes f_m^{e} for every candidate point (and f_m^S),
+// shared by both algorithms.
+type costTable struct {
+	cands  []int
+	single [][]float64 // [e][candIdx]
+	full   []float64   // [candIdx]
+}
+
+func buildCostTable(costs cost.Model, cands []int) *costTable {
+	u := costs.Universe()
+	t := &costTable{cands: cands}
+	t.single = make([][]float64, u)
+	fullSet := commodity.Full(u)
+	for e := 0; e < u; e++ {
+		row := make([]float64, len(cands))
+		cfg := commodity.New(e)
+		for ci, m := range cands {
+			row[ci] = costs.Cost(m, cfg)
+		}
+		t.single[e] = row
+	}
+	t.full = make([]float64, len(cands))
+	for ci, m := range cands {
+		t.full[ci] = costs.Cost(m, fullSet)
+	}
+	return t
+}

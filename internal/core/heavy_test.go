@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// heavyTestCost makes commodity u-1 "heavy": its singleton cost is huge
+// relative to the per-commodity share of the full configuration.
+type heavyTestCost struct {
+	u     int
+	heavy float64
+}
+
+func (h *heavyTestCost) Universe() int { return h.u }
+func (h *heavyTestCost) Name() string  { return "heavy-test" }
+
+func (h *heavyTestCost) Cost(m int, sigma commodity.Set) float64 {
+	k := sigma.Len()
+	if k == 0 {
+		return 0
+	}
+	base := float64(k)
+	if sigma.Contains(h.u - 1) {
+		base += h.heavy
+	}
+	return base
+}
+
+func TestHeavySplitDetectsHeavyCommodity(t *testing.T) {
+	space := metric.SinglePoint()
+	costs := &heavyTestCost{u: 5, heavy: 100}
+	ha := NewHeavyAware(space, costs, Options{}, 3)
+	light, heavy := ha.HeavySplit()
+	if len(heavy) != 1 || heavy[0] != 4 {
+		t.Fatalf("heavy = %v, want [4]", heavy)
+	}
+	if len(light) != 4 {
+		t.Errorf("light = %v", light)
+	}
+}
+
+func TestHeavyAwareFeasibleSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	space := metric.RandomEuclidean(rng, 6, 2, 10)
+	costs := &heavyTestCost{u: 5, heavy: 40}
+	in := &instance.Instance{Space: space, Costs: costs}
+	for i := 0; i < 20; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, 5, 1+rng.Intn(5)),
+		})
+	}
+	sol, c, err := online.Run(HeavyFactory(Options{}, 3), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || len(sol.Facilities) == 0 {
+		t.Errorf("cost %g, facilities %d", c, len(sol.Facilities))
+	}
+	// "Large" facilities of the inner instance must never include the
+	// heavy commodity (they offer all *light* commodities only).
+	for _, f := range sol.Facilities {
+		if f.Config.Contains(4) && f.Config.Len() > 1 {
+			t.Errorf("facility config %v mixes the heavy commodity into a bundle", f.Config)
+		}
+	}
+}
+
+func TestHeavyAwareAllLightDegeneratesToPD(t *testing.T) {
+	// Uniform costs: nothing is heavy; HeavyAware must match plain PD.
+	rng := rand.New(rand.NewSource(9))
+	space := metric.RandomLine(rng, 5, 10)
+	costs := cost.PowerLaw(4, 1, 1)
+	in := &instance.Instance{Space: space, Costs: costs}
+	for i := 0; i < 15; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, 4, 1+rng.Intn(4)),
+		})
+	}
+	_, cHA, err := online.Run(HeavyFactory(Options{}, 2), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cPD, err := online.Run(PDFactory(Options{}), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHA != cPD {
+		t.Errorf("heavy-aware %g != plain PD %g with no heavy commodities", cHA, cPD)
+	}
+	ha := NewHeavyAware(space, costs, Options{}, 2)
+	if _, heavy := ha.HeavySplit(); len(heavy) != 0 {
+		t.Errorf("uniform costs marked %v heavy", heavy)
+	}
+}
+
+func TestHeavyAwareAllHeavyFallsBackToLight(t *testing.T) {
+	// theta so tight that everything looks heavy: the constructor must
+	// fall back to treating all commodities as light rather than leaving
+	// an empty inner instance.
+	space := metric.SinglePoint()
+	costs := cost.PowerLaw(3, 0, 1) // constant cost: per-commodity share 1/3 < singleton 1
+	ha := NewHeavyAware(space, costs, Options{}, 1)
+	light, heavy := ha.HeavySplit()
+	if len(light) == 0 {
+		t.Fatalf("no light commodities: light=%v heavy=%v", light, heavy)
+	}
+	ha.Serve(instance.Request{Point: 0, Demands: commodity.Full(3)})
+	in := &instance.Instance{Space: space, Costs: costs, Requests: []instance.Request{
+		{Point: 0, Demands: commodity.Full(3)},
+	}}
+	if err := ha.Solution().Verify(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyAwareBeatsPlainPDWhenHeavyHurts(t *testing.T) {
+	// A workload where requests demand light bundles; a heavy commodity
+	// appears rarely. Plain PD's large facilities include the heavy
+	// commodity and pay its premium every time; HeavyAware avoids that.
+	rng := rand.New(rand.NewSource(4))
+	space := metric.RandomEuclidean(rng, 8, 2, 4)
+	u := 6
+	costs := &heavyTestCost{u: u, heavy: 200}
+	in := &instance.Instance{Space: space, Costs: costs}
+	light := commodity.New(0, 1, 2, 3, 4)
+	for i := 0; i < 30; i++ {
+		d := commodity.RandomSubsetOf(rng, light, 1+rng.Intn(4))
+		if i%10 == 9 {
+			d = d.With(u - 1)
+		}
+		in.Requests = append(in.Requests, instance.Request{Point: rng.Intn(space.Len()), Demands: d})
+	}
+	_, cHA, err := online.Run(HeavyFactory(Options{}, 3), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cPD, err := online.Run(PDFactory(Options{}), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHA > cPD {
+		t.Errorf("heavy-aware %g worse than plain PD %g on heavy-hostile workload", cHA, cPD)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/instance"
+)
+
+// Budgets exposes RAND-OMFLP's internal request budgets for diagnostics and
+// the Figure 3 reproduction: per demanded commodity the small budget X(r,e),
+// their sum X(r), and the large budget Z(r). It does not change state.
+func (ra *RandOMFLP) Budgets(r instance.Request) (perCommodity []float64, x, z float64) {
+	ids := r.Demands.IDs()
+	perCommodity = make([]float64, len(ids))
+	for i, e := range ids {
+		perCommodity[i], _, _ = ra.budgetSmall(e, r.Point)
+		x += perCommodity[i]
+	}
+	z = math.Inf(1)
+	if !ra.opts.DisablePrediction {
+		z, _, _ = ra.budgetLarge(r.Point)
+	}
+	return perCommodity, x, z
+}
+
+// PlantSmall force-opens a small facility for commodity e at the given
+// point. It exists so experiments (Figure 3) and tests can set up facility
+// layouts without relying on coin flips; it is not part of Algorithm 2.
+func (ra *RandOMFLP) PlantSmall(e, point int) {
+	ra.openSmallDedup(e, point)
+}
+
+// PlantLarge force-opens a large facility at the given point (see
+// PlantSmall).
+func (ra *RandOMFLP) PlantLarge(point int) {
+	ra.openLargeDedup(point)
+}
+
+// FacilityCounts reports how many small and large facilities are open —
+// the Figure 1 / game diagnostics.
+func (ra *RandOMFLP) FacilityCounts() (small, large int) {
+	return len(ra.fx.sol.Facilities) - len(ra.fx.large), len(ra.fx.large)
+}
+
+// FacilityCounts reports how many small and large facilities PD-OMFLP has
+// open.
+func (pd *PDOMFLP) FacilityCounts() (small, large int) {
+	return len(pd.fx.sol.Facilities) - len(pd.fx.large), len(pd.fx.large)
+}

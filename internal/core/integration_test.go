@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/stats"
+)
+
+// theorem4Bound returns the explicit constant from the proof of Theorem 4:
+// cost(PD) ≤ 15·√|S|·H_n·OPT.
+func theorem4Bound(u, n int) float64 {
+	return 15 * math.Sqrt(float64(u)) * stats.Harmonic(n)
+}
+
+// TestPDWithinTheorem4BoundOfExactOPT is the strongest end-to-end check we
+// can run: on small random instances where the branch-and-bound optimum is
+// exact, PD's cost must stay within the proven 15·√|S|·H_n factor.
+func TestPDWithinTheorem4BoundOfExactOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	for trial := 0; trial < 12; trial++ {
+		u := 2 + rng.Intn(3)
+		in := &instance.Instance{
+			Space: metric.RandomLine(rng, 2+rng.Intn(3), 10),
+			Costs: cost.PowerLaw(u, rng.Float64()*2, 0.5+rng.Float64()*2),
+		}
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   rng.Intn(in.Space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		sol, pdCost, err := online.Run(PDFactory(Options{}), in, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sol
+		opt := baseline.ExactSmall(in, 4).Cost
+		bound := theorem4Bound(u, n)
+		if pdCost > bound*opt+1e-9 {
+			t.Errorf("trial %d: PD %g exceeds %g·OPT = %g (u=%d n=%d)",
+				trial, pdCost, bound, bound*opt, u, n)
+		}
+		// And PD can never beat OPT.
+		if pdCost < opt-1e-9 {
+			t.Errorf("trial %d: PD %g below exact OPT %g — solver or verifier broken", trial, pdCost, opt)
+		}
+	}
+}
+
+// TestRandWithinTheorem19BoundOfExactOPT: the randomized algorithm's *mean*
+// cost over seeds stays within the (loose) Theorem 19 factor of exact OPT.
+func TestRandWithinTheorem19BoundOfExactOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 6; trial++ {
+		u := 2 + rng.Intn(3)
+		in := &instance.Instance{
+			Space: metric.RandomLine(rng, 3, 8),
+			Costs: cost.PowerLaw(u, 1, 1),
+		}
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   rng.Intn(in.Space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		var mean float64
+		const reps = 20
+		for s := int64(0); s < reps; s++ {
+			_, c, err := online.Run(RandFactory(Options{}), in, s, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean += c
+		}
+		mean /= reps
+		opt := baseline.ExactSmall(in, 4).Cost
+		// Generous constant: the theorem's O(·) hides moderate factors.
+		bound := 30 * math.Sqrt(float64(u)) * math.Log(float64(n)+2)
+		if mean > bound*opt {
+			t.Errorf("trial %d: RAND mean %g exceeds %g·OPT = %g", trial, mean, bound, bound*opt)
+		}
+		if mean < opt-1e-9 {
+			t.Errorf("trial %d: RAND mean %g below exact OPT %g", trial, mean, opt)
+		}
+	}
+}
+
+// TestOnlineAlgorithmsAgreeOnDegenerateInstances: all algorithms must
+// produce the identical (forced) solution when there is exactly one
+// candidate point and one commodity.
+func TestOnlineAlgorithmsAgreeOnDegenerateInstances(t *testing.T) {
+	in := &instance.Instance{
+		Space: metric.SinglePoint(),
+		Costs: cost.Constant(1, 5),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0)},
+			{Point: 0, Demands: commodity.New(0)},
+		},
+	}
+	want := 5.0 // one facility, zero distance
+	for _, f := range []online.Factory{
+		PDFactory(Options{}),
+		RandFactory(Options{}),
+	} {
+		_, c, err := online.Run(f, in, 1, true)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if math.Abs(c-want) > 1e-9 {
+			t.Errorf("%s: cost %g, want %g", f.Name, c, want)
+		}
+	}
+}
+
+// TestPDMonotoneUnderPrefix: serving a prefix of a sequence never costs more
+// than serving the whole sequence (irrevocability sanity).
+func TestPDMonotoneUnderPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	u := 4
+	space := metric.RandomLine(rng, 5, 10)
+	costs := cost.PowerLaw(u, 1, 1)
+	reqs := make([]instance.Request, 12)
+	for i := range reqs {
+		reqs[i] = instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		}
+	}
+	var prev float64
+	pd := NewPDOMFLP(space, costs, Options{})
+	for i, r := range reqs {
+		pd.Serve(r)
+		in := &instance.Instance{Space: space, Costs: costs, Requests: reqs[:i+1]}
+		c := pd.Solution().Cost(in)
+		if c < prev-1e-9 {
+			t.Fatalf("cost decreased from %g to %g after request %d", prev, c, i)
+		}
+		prev = c
+	}
+}
+
+// TestPDHandlesRepeatedIdenticalRequests: n identical requests cost at most
+// the first request's cost (everything after connects at distance 0... or
+// pays only its frozen dual ≤ first cost).
+func TestPDHandlesRepeatedIdenticalRequests(t *testing.T) {
+	space := metric.SinglePoint()
+	costs := cost.PowerLaw(6, 1, 3)
+	pd := NewPDOMFLP(space, costs, Options{})
+	r := instance.Request{Point: 0, Demands: commodity.New(0, 3, 5)}
+	pd.Serve(r)
+	in := &instance.Instance{Space: space, Costs: costs, Requests: []instance.Request{r}}
+	first := pd.Solution().Cost(in)
+	for i := 0; i < 20; i++ {
+		pd.Serve(r)
+		in.Requests = append(in.Requests, r)
+	}
+	final := pd.Solution().Cost(in)
+	if final > first+1e-9 {
+		t.Errorf("repeats raised cost from %g to %g", first, final)
+	}
+}
+
+// TestLargeUniverseSmoke: the algorithms handle |S| in the thousands (the
+// Figure 2 regime) without falling over.
+func TestLargeUniverseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-universe smoke test")
+	}
+	u := 4096
+	space := metric.SinglePoint()
+	costs := cost.CeilSqrt(u)
+	pd := NewPDOMFLP(space, costs, Options{})
+	for e := 0; e < 64; e++ {
+		pd.Serve(instance.Request{Point: 0, Demands: commodity.New(e * 64)})
+	}
+	small, large := pd.FacilityCounts()
+	if small+large == 0 {
+		t.Fatal("no facilities")
+	}
+	if large == 0 {
+		t.Error("PD never predicted at |S|=4096 despite 64 = √|S| singleton rounds")
+	}
+}

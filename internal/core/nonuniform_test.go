@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// Non-uniform facility costs (the paper's "non-uniform" setting) exercise
+// RAND-OMFLP's cost classes and PD-OMFLP's per-point cost table.
+
+func nonUniformSetup(rng *rand.Rand, u, points int) (metric.Space, cost.Model) {
+	space := metric.RandomEuclidean(rng, points, 2, 20)
+	base := cost.PowerLaw(u, 1, 2)
+	factors := cost.RandomFactors(rng, points, 0.25, 4)
+	return space, cost.NewPointScaled(base, factors)
+}
+
+func TestPDNonUniformFeasibleAndSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		u := 2 + rng.Intn(4)
+		space, costs := nonUniformSetup(rng, u, 6)
+		in := &instance.Instance{Space: space, Costs: costs}
+		for i := 0; i < 15; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   rng.Intn(space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		sol, c, err := online.Run(PDFactory(Options{}), in, 1, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c <= 0 {
+			t.Errorf("trial %d: cost %g", trial, c)
+		}
+		// Corollary 8 holds regardless of non-uniformity.
+		pd := NewPDOMFLP(space, costs, Options{})
+		for _, r := range in.Requests {
+			pd.Serve(r)
+		}
+		if pdCost := pd.Solution().Cost(in); pdCost > 3*pd.DualTotal()+1e-6 {
+			t.Errorf("trial %d: cost %g > 3·dual %g", trial, pdCost, 3*pd.DualTotal())
+		}
+		_ = sol
+	}
+}
+
+func TestRandNonUniformPrefersCheapPoints(t *testing.T) {
+	// Two co-located points (uniform distance 0), one 64× cheaper: over
+	// many runs RAND must open (almost) everything at the cheap point.
+	u := 3
+	space := metric.NewUniform(2, 0)
+	base := cost.PowerLaw(u, 1, 8)
+	costs := cost.NewPointScaled(base, []float64{8, 0.125})
+	cheap, expensive := 0, 0
+	for s := int64(0); s < 100; s++ {
+		ra := NewRandOMFLP(space, costs, Options{}, rand.New(rand.NewSource(s)))
+		for i := 0; i < 6; i++ {
+			ra.Serve(instance.Request{Point: 0, Demands: commodity.Full(u)})
+		}
+		for _, f := range ra.Solution().Facilities {
+			if f.Point == 1 {
+				cheap++
+			} else {
+				expensive++
+			}
+		}
+	}
+	if cheap <= expensive {
+		t.Errorf("cheap-point openings %d vs expensive %d: class machinery ignores costs", cheap, expensive)
+	}
+}
+
+func TestRandNonUniformFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		u := 2 + rng.Intn(4)
+		space, costs := nonUniformSetup(rng, u, 6)
+		in := &instance.Instance{Space: space, Costs: costs}
+		for i := 0; i < 15; i++ {
+			in.Requests = append(in.Requests, instance.Request{
+				Point:   rng.Intn(space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		if _, _, err := online.Run(RandFactory(Options{}), in, int64(trial), true); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPDOnTreeMetric(t *testing.T) {
+	// A balanced-ish tree: requests at the leaves, cheap hub.
+	parent := []int{-1, 0, 0, 1, 1, 2, 2}
+	weight := []float64{0, 1, 1, 2, 2, 2, 2}
+	tree, err := metric.NewTree(parent, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := cost.PowerLaw(4, 1, 2)
+	in := &instance.Instance{Space: tree, Costs: costs}
+	rng := rand.New(rand.NewSource(5))
+	leaves := []int{3, 4, 5, 6}
+	for i := 0; i < 20; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   leaves[rng.Intn(len(leaves))],
+			Demands: commodity.RandomSubset(rng, 4, 1+rng.Intn(4)),
+		})
+	}
+	sol, c, err := online.Run(PDFactory(Options{}), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || len(sol.Facilities) == 0 {
+		t.Errorf("cost %g facilities %d", c, len(sol.Facilities))
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// PDOMFLP is the deterministic primal-dual algorithm of Section 3
+// (Algorithm 1). On each arriving request it simultaneously raises the dual
+// variables a_re of the request's not-yet-served commodities until one of
+// four constraints becomes tight:
+//
+//	(1) a_re = d(F(e), r)            — connect e to an existing facility
+//	(2) Σ_e a_re = d(F̂, r)           — connect r to an existing large facility
+//	(3) (a_re − d(m,r))_+ + Σ_j bids = f_m^{e} — tentatively open small at m
+//	(4) (Σa − d(m,r))_+ + Σ_j bids   = f_m^S   — open a large facility at m
+//
+// where the bids reinvest earlier requests' frozen duals, capped by their
+// distance to the nearest facility already serving them (the min-terms of
+// the constraints). Tight (3) opens a temporary small facility; tight (2) or
+// (4) serves the whole request with a single large facility and discards the
+// temporaries. All raises happen event-driven: every threshold is affine in
+// the raise Δ, so the algorithm jumps straight to the earliest event.
+type PDOMFLP struct {
+	space metric.Space
+	costs cost.Model
+	u     int
+	opts  Options
+	fx    *facilityIndex
+	ct    *costTable
+
+	// Frozen duals: duals[r][i] aligns with demandIDs[r][i].
+	duals     [][]float64
+	demandIDs [][]int
+	points    []int
+
+	// creditSmall[e] holds, per earlier request demanding e, the bid cap
+	// min{a_je, d(F(e), j)} kept current as facilities open.
+	creditSmall [][]pdCredit
+	// creditLarge holds, per earlier request, min{Σ_e a_je, d(F̂, j)}.
+	creditLarge []pdCredit
+	// distHistory backs the Lemma 14 analysis extraction (TraceAnalysis).
+	distHistory map[int][]analysisRecord
+	// facBoundary[i] = number of facilities after arrival i (for ServeLog).
+	facBoundary []int
+}
+
+type pdCredit struct {
+	point  int
+	credit float64
+}
+
+// NewPDOMFLP constructs the deterministic algorithm.
+func NewPDOMFLP(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
+	u := costs.Universe()
+	cands := opts.candidates(space)
+	if len(cands) == 0 {
+		panic("core: PD-OMFLP needs at least one candidate point")
+	}
+	return &PDOMFLP{
+		space:       space,
+		costs:       costs,
+		u:           u,
+		opts:        opts,
+		fx:          newFacilityIndex(space, u),
+		ct:          buildCostTable(costs, cands),
+		creditSmall: make([][]pdCredit, u),
+	}
+}
+
+// Name implements online.Algorithm.
+func (pd *PDOMFLP) Name() string {
+	if pd.opts.DisablePrediction {
+		return "pd-omflp(no-prediction)"
+	}
+	return "pd-omflp"
+}
+
+// Solution implements online.Algorithm. The returned solution is the
+// algorithm's live state; callers must not mutate it.
+func (pd *PDOMFLP) Solution() *instance.Solution { return pd.fx.sol }
+
+// PDFactory returns an online.Factory for PD-OMFLP with the given options.
+func PDFactory(opts Options) online.Factory {
+	name := "pd-omflp"
+	if opts.DisablePrediction {
+		name = "pd-omflp(no-prediction)"
+	}
+	return online.Factory{
+		Name: name,
+		New: func(space metric.Space, costs cost.Model, seed int64) online.Algorithm {
+			return NewPDOMFLP(space, costs, opts)
+		},
+	}
+}
+
+// serveState tracks how each demanded commodity of the current request got
+// served.
+type pdServe struct {
+	mode int // 0 = unserved, 1 = existing facility, 2 = temporary small
+	fac  int // facility index (mode 1)
+	temp int // index into temps (mode 2)
+}
+
+type pdTemp struct {
+	e, m    int
+	removed bool
+}
+
+const pdEps = 1e-9
+
+// Serve implements online.Algorithm: Algorithm 1 on arrival of request r.
+func (pd *PDOMFLP) Serve(r instance.Request) {
+	p := r.Point
+	ids := r.Demands.IDs()
+	k := len(ids)
+	cands := pd.ct.cands
+
+	var analysisSnaps map[int][]float64
+	if pd.opts.TraceAnalysis {
+		analysisSnaps = pd.snapshotAnalysis(ids)
+	}
+
+	// Static per-arrival quantities: distances to nearest facilities and
+	// the earlier requests' bid sums toward each candidate point. No real
+	// facility opens mid-arrival, so these stay valid for the whole loop.
+	dFe := make([]float64, k)
+	for i, e := range ids {
+		_, dFe[i] = pd.fx.nearestOffering(e, p)
+	}
+	_, dLarge := pd.fx.nearestLarge(p)
+
+	// bid3[i][ci] = Σ_j (creditSmall[e_i][j] − d(m_ci, j))_+
+	bid3 := make([][]float64, k)
+	for i, e := range ids {
+		row := make([]float64, len(cands))
+		for _, cr := range pd.creditSmall[e] {
+			for ci, m := range cands {
+				if b := cr.credit - pd.space.Distance(m, cr.point); b > 0 {
+					row[ci] += b
+				}
+			}
+		}
+		bid3[i] = row
+	}
+	bid4 := make([]float64, len(cands))
+	if !pd.opts.DisablePrediction {
+		for _, cr := range pd.creditLarge {
+			for ci, m := range cands {
+				if b := cr.credit - pd.space.Distance(m, cr.point); b > 0 {
+					bid4[ci] += b
+				}
+			}
+		}
+	}
+	dCand := make([]float64, len(cands))
+	for ci, m := range cands {
+		dCand[ci] = pd.space.Distance(m, p)
+	}
+
+	a := make([]float64, k)
+	frozen := make([]bool, k)
+	serve := make([]pdServe, k)
+	var temps []pdTemp
+	sumA := 0.0
+	unfrozen := k
+	largeServed := -1 // facility index once the request is served large
+
+	for unfrozen > 0 {
+		// Find the earliest event. All thresholds are affine in the raise
+		// Δ: slope 1 for (1)/(3) on a single commodity, slope `unfrozen`
+		// for (2)/(4) on the sum.
+		delta := math.Inf(1)
+
+		// Constraint (1): a_e + Δ = d(F(e), r).
+		for i := range ids {
+			if frozen[i] {
+				continue
+			}
+			if d := dFe[i] - a[i]; d < delta {
+				delta = d
+			}
+		}
+		// Constraint (3): a_e + Δ = f^{e}_m − bids + d(m, r).
+		for i := range ids {
+			if frozen[i] {
+				continue
+			}
+			for ci := range cands {
+				need := pd.ct.single[ids[i]][ci] - bid3[i][ci] + dCand[ci] - a[i]
+				if need < 0 {
+					need = 0
+				}
+				if need < delta {
+					delta = need
+				}
+			}
+		}
+		if !pd.opts.DisablePrediction {
+			// Constraint (2): sumA + unfrozen·Δ = d(F̂, r).
+			if dLarge < infinity {
+				if d := (dLarge - sumA) / float64(unfrozen); d < delta {
+					delta = d
+				}
+			}
+			// Constraint (4): sumA + unfrozen·Δ = f^S_m − bids + d(m, r).
+			for ci := range cands {
+				need := (pd.ct.full[ci] - bid4[ci] + dCand[ci] - sumA) / float64(unfrozen)
+				if need < 0 {
+					need = 0
+				}
+				if need < delta {
+					delta = need
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			panic("core: PD-OMFLP found no tight constraint; no candidate can serve the request")
+		}
+		if delta < 0 {
+			delta = 0
+		}
+
+		// Raise all unfrozen duals by delta.
+		for i := range ids {
+			if !frozen[i] {
+				a[i] += delta
+			}
+		}
+		sumA += float64(unfrozen) * delta
+		tol := pdEps * (1 + sumA)
+
+		// Lines 3–5: freeze commodities with tight Constraint (1) or (3).
+		for i := range ids {
+			if frozen[i] {
+				continue
+			}
+			if a[i] >= dFe[i]-tol {
+				// Constraint (1): connect to the nearest existing facility.
+				fac, _ := pd.fx.nearestOffering(ids[i], p)
+				frozen[i] = true
+				unfrozen--
+				serve[i] = pdServe{mode: 1, fac: fac}
+				continue
+			}
+			bestM := -1
+			bestD := math.Inf(1)
+			for ci := range cands {
+				if a[i]-dCand[ci]+bid3[i][ci] >= pd.ct.single[ids[i]][ci]-tol {
+					if dCand[ci] < bestD {
+						bestM, bestD = ci, dCand[ci]
+					}
+				}
+			}
+			if bestM >= 0 {
+				// Constraint (3): temporary small facility at the
+				// nearest tight point.
+				frozen[i] = true
+				unfrozen--
+				serve[i] = pdServe{mode: 2, temp: len(temps)}
+				temps = append(temps, pdTemp{e: ids[i], m: cands[bestM]})
+			}
+		}
+
+		if pd.opts.DisablePrediction {
+			continue
+		}
+
+		// Lines 6–9: Constraint (2) — existing large facility.
+		if dLarge < infinity && sumA >= dLarge-tol {
+			fac, _ := pd.fx.nearestLarge(p)
+			largeServed = fac
+			break
+		}
+		// Constraint (4): open a new large facility at the nearest tight
+		// candidate.
+		bestM, bestD := -1, math.Inf(1)
+		for ci := range cands {
+			if sumA-dCand[ci]+bid4[ci] >= pd.ct.full[ci]-tol {
+				if dCand[ci] < bestD {
+					bestM, bestD = ci, dCand[ci]
+				}
+			}
+		}
+		if bestM >= 0 {
+			largeServed = pd.fx.openLarge(cands[bestM])
+			break
+		}
+	}
+
+	// Materialize the outcome.
+	pd.points = append(pd.points, p)
+	pd.demandIDs = append(pd.demandIDs, ids)
+	pd.duals = append(pd.duals, a)
+
+	var links []int
+	if largeServed >= 0 {
+		// Whole request served by one large facility; temporaries vanish.
+		links = []int{largeServed}
+		newPt := pd.fx.sol.Facilities[largeServed].Point
+		pd.refreshCreditsForPoint(newPt, true)
+	} else {
+		// Open the surviving temporaries and connect each commodity.
+		opened := make([]int, len(temps))
+		for ti, tmp := range temps {
+			opened[ti] = pd.fx.openSmall(tmp.e, tmp.m)
+		}
+		linkSet := map[int]bool{}
+		for i := range ids {
+			var fac int
+			switch serve[i].mode {
+			case 1:
+				fac = serve[i].fac
+			case 2:
+				fac = opened[serve[i].temp]
+			default:
+				panic("core: PD-OMFLP left a commodity unserved")
+			}
+			if !linkSet[fac] {
+				linkSet[fac] = true
+				links = append(links, fac)
+			}
+		}
+		for _, tmp := range temps {
+			pd.refreshCreditsForSmall(tmp.e, tmp.m)
+		}
+	}
+	pd.fx.sol.Assign = append(pd.fx.sol.Assign, links)
+	pd.facBoundary = append(pd.facBoundary, len(pd.fx.sol.Facilities))
+
+	if pd.opts.TraceAnalysis {
+		pd.recordAnalysis(ids, a, p, analysisSnaps)
+	}
+
+	// Record this request's own credits against the updated facility sets.
+	for i, e := range ids {
+		_, d := pd.fx.nearestOffering(e, p)
+		pd.creditSmall[e] = append(pd.creditSmall[e], pdCredit{point: p, credit: math.Min(a[i], d)})
+	}
+	_, dHat := pd.fx.nearestLarge(p)
+	pd.creditLarge = append(pd.creditLarge, pdCredit{point: p, credit: math.Min(sumA, dHat)})
+}
+
+// refreshCreditsForSmall lowers the small-facility credits of commodity e
+// after a new facility for e opened at point m.
+func (pd *PDOMFLP) refreshCreditsForSmall(e, m int) {
+	for j := range pd.creditSmall[e] {
+		if d := pd.space.Distance(m, pd.creditSmall[e][j].point); d < pd.creditSmall[e][j].credit {
+			pd.creditSmall[e][j].credit = d
+		}
+	}
+}
+
+// refreshCreditsForPoint lowers credits after a facility opened at point m.
+// If large is true the facility offers every commodity, so both the large
+// credits and every commodity's small credits shrink.
+func (pd *PDOMFLP) refreshCreditsForPoint(m int, large bool) {
+	if large {
+		for j := range pd.creditLarge {
+			if d := pd.space.Distance(m, pd.creditLarge[j].point); d < pd.creditLarge[j].credit {
+				pd.creditLarge[j].credit = d
+			}
+		}
+		for e := range pd.creditSmall {
+			pd.refreshCreditsForSmall(e, m)
+		}
+	}
+}
+
+// DualTotal returns Σ_r Σ_{e∈s_r} a_re, the dual objective the analysis
+// compares against 3·cost(ALG) (Corollary 8) and γ-scales for feasibility
+// (Corollary 17).
+func (pd *PDOMFLP) DualTotal() float64 {
+	var sum float64
+	for _, row := range pd.duals {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Duals exposes the frozen dual variables: per served request, the demanded
+// commodity IDs and the aligned dual values. Callers must not mutate.
+func (pd *PDOMFLP) Duals() (demandIDs [][]int, duals [][]float64, points []int) {
+	return pd.demandIDs, pd.duals, pd.points
+}

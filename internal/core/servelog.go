@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// ServeMode describes how a commodity of a request got served (which
+// constraint of Algorithm 1 became tight).
+type ServeMode int
+
+// Serve modes, aligned with the constraints of Algorithm 1.
+const (
+	// ServedExisting: Constraint (1) — connected to an already-open
+	// facility offering the commodity.
+	ServedExisting ServeMode = iota + 1
+	// ServedNewSmall: Constraint (3) — a (surviving) temporary small
+	// facility opened for the commodity.
+	ServedNewSmall
+	// ServedExistingLarge: Constraint (2) — the whole request connected
+	// to an already-open large facility.
+	ServedExistingLarge
+	// ServedNewLarge: Constraint (4) — a new large facility opened and
+	// serves the whole request.
+	ServedNewLarge
+)
+
+func (m ServeMode) String() string {
+	switch m {
+	case ServedExisting:
+		return "existing-facility (1)"
+	case ServedNewSmall:
+		return "new-small (3)"
+	case ServedExistingLarge:
+		return "existing-large (2)"
+	case ServedNewLarge:
+		return "new-large (4)"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ServeEvent records the outcome for one commodity of one request.
+type ServeEvent struct {
+	Request   int // arrival index
+	Commodity int
+	Mode      ServeMode
+	Facility  int     // facility index in Solution().Facilities
+	Dual      float64 // the frozen dual a_re
+}
+
+// ServeLog returns the per-commodity outcomes of every request served so
+// far. The log is reconstructed from the final assignment and recorded
+// duals: commodities linked to a large facility report the large mode
+// variants; others distinguish "existing" vs "new" by whether their facility
+// was opened during their own arrival.
+func (pd *PDOMFLP) ServeLog() []ServeEvent {
+	var log []ServeEvent
+	sol := pd.fx.sol
+	// Track which facility indices were opened by which arrival: facility
+	// indices grow monotonically; record the boundary after each arrival.
+	// The boundaries slice is maintained in Serve (facBoundary[i] =
+	// #facilities after arrival i).
+	for ri, ids := range pd.demandIDs {
+		links := sol.Assign[ri]
+		var largeIdx = -1
+		for _, fi := range links {
+			if sol.Facilities[fi].Config.Len() == pd.u && pd.u > 1 {
+				largeIdx = fi
+				break
+			}
+		}
+		var before int
+		if ri > 0 {
+			before = pd.facBoundary[ri-1]
+		}
+		after := pd.facBoundary[ri]
+		for i, e := range ids {
+			ev := ServeEvent{Request: ri, Commodity: e, Dual: pd.duals[ri][i]}
+			if largeIdx >= 0 && len(links) == 1 {
+				ev.Facility = largeIdx
+				if largeIdx >= before && largeIdx < after {
+					ev.Mode = ServedNewLarge
+				} else {
+					ev.Mode = ServedExistingLarge
+				}
+			} else {
+				// Find the linked facility offering e nearest to the
+				// request.
+				best, bestD := -1, 0.0
+				for _, fi := range links {
+					if !sol.Facilities[fi].Config.Contains(e) {
+						continue
+					}
+					d := pd.space.Distance(pd.points[ri], sol.Facilities[fi].Point)
+					if best < 0 || d < bestD {
+						best, bestD = fi, d
+					}
+				}
+				ev.Facility = best
+				if best >= before && best < after {
+					ev.Mode = ServedNewSmall
+				} else {
+					ev.Mode = ServedExisting
+				}
+			}
+			log = append(log, ev)
+		}
+	}
+	return log
+}

@@ -1,0 +1,197 @@
+// Package cost models the facility construction cost f_m^σ of the OMFLP:
+// the cost of opening a facility at point m offering commodity set σ.
+//
+// The paper assumes two structural properties, both checkable here:
+//
+//   - Subadditivity: f_m^{a∪b} ≤ f_m^a + f_m^b (Section 1.1; always safe to
+//     assume because violating configurations would never be built).
+//   - Condition 1:   f_m^σ/|σ| ≥ f_m^S/|S| — the per-commodity cost is
+//     minimal for the full configuration S.
+//
+// Most models in the paper depend only on |σ| (the lower-bound construction
+// g(|σ|) = ⌈|σ|/√|S|⌉ and the class C = {g_x(|σ|) = |σ|^{x/2}, x ∈ [0,2]} of
+// Theorem 18); SizeCost captures those. PointScaled adds non-uniformity
+// across points, which RAND-OMFLP's cost classes exist to handle.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/commodity"
+)
+
+// Model is a construction cost function f_m^σ over a fixed universe of
+// commodities S = [0, Universe()).
+type Model interface {
+	// Cost returns f_m^σ, the cost of opening a facility at point m with
+	// configuration sigma. Implementations must return 0 for the empty
+	// configuration and a positive, finite value otherwise.
+	Cost(m int, sigma commodity.Set) float64
+	// Universe returns |S|.
+	Universe() int
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// SizeFunc is a cost function depending only on the configuration size.
+type SizeFunc func(size int) float64
+
+// SizeCost adapts a SizeFunc into a Model: f_m^σ = g(|σ|) for every point m.
+type SizeCost struct {
+	U     int
+	G     SizeFunc
+	Label string
+}
+
+// NewSizeCost builds a uniform size-dependent cost model over universe u.
+func NewSizeCost(u int, g SizeFunc, label string) *SizeCost {
+	if u <= 0 {
+		panic("cost: universe must be positive")
+	}
+	return &SizeCost{U: u, G: g, Label: label}
+}
+
+func (c *SizeCost) Universe() int { return c.U }
+func (c *SizeCost) Name() string  { return c.Label }
+
+func (c *SizeCost) Cost(m int, sigma commodity.Set) float64 {
+	k := sigma.Len()
+	if k == 0 {
+		return 0
+	}
+	return c.G(k)
+}
+
+// BySize returns g(k) directly; useful for analytical baselines.
+func (c *SizeCost) BySize(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return c.G(k)
+}
+
+// CeilSqrt returns the Theorem 2 lower-bound cost function
+// g(|σ|) = ⌈|σ|/√|S|⌉ (uniform across points). OPT's full cover of a √|S|
+// subset costs exactly 1 under this model.
+//
+// Like the paper (which assumes √|S| ∈ N "to improve readability"), this
+// model satisfies Condition 1 only when u is a perfect square; e.g. for
+// u = 7, g(5)/5 = 2/5 < g(7)/7 = 3/7. Subadditivity holds for every u.
+func CeilSqrt(u int) *SizeCost {
+	sq := math.Sqrt(float64(u))
+	return NewSizeCost(u, func(k int) float64 {
+		return math.Ceil(float64(k) / sq)
+	}, fmt.Sprintf("ceil(k/sqrt(%d))", u))
+}
+
+// PowerLaw returns the class-C cost g_x(|σ|) = scale·|σ|^{x/2} of Section 3.3
+// with exponent parameter x ∈ [0, 2]: x = 0 is constant, x = 1 is the square
+// root, x = 2 is linear.
+func PowerLaw(u int, x, scale float64) *SizeCost {
+	if x < 0 || x > 2 {
+		panic("cost: PowerLaw exponent x must lie in [0,2]")
+	}
+	if scale <= 0 {
+		panic("cost: PowerLaw scale must be positive")
+	}
+	return NewSizeCost(u, func(k int) float64 {
+		return scale * math.Pow(float64(k), x/2)
+	}, fmt.Sprintf("g_x(k)=%.3g*k^%.3g", scale, x/2))
+}
+
+// Linear returns f^σ = perCommodity·|σ|: the fully separable cost under which
+// combining commodities gives OPT no advantage (x = 2 in class C).
+func Linear(u int, perCommodity float64) *SizeCost {
+	if perCommodity <= 0 {
+		panic("cost: Linear per-commodity cost must be positive")
+	}
+	return NewSizeCost(u, func(k int) float64 {
+		return perCommodity * float64(k)
+	}, fmt.Sprintf("linear(%.3g*k)", perCommodity))
+}
+
+// Constant returns f^σ = c for every non-empty σ (x = 0 in class C):
+// prediction is free, so large facilities dominate.
+func Constant(u int, c float64) *SizeCost {
+	if c <= 0 {
+		panic("cost: Constant must be positive")
+	}
+	return NewSizeCost(u, func(k int) float64 { return c }, fmt.Sprintf("const(%.3g)", c))
+}
+
+// Table is a size-indexed cost table: f^σ = bySize[|σ|]. Entry 0 must be 0.
+type Table struct {
+	u      int
+	bySize []float64
+}
+
+// NewTable builds a table cost model; bySize must have u+1 entries with
+// bySize[0] == 0 and positive entries elsewhere.
+func NewTable(bySize []float64) (*Table, error) {
+	u := len(bySize) - 1
+	if u < 1 {
+		return nil, fmt.Errorf("cost: table needs at least sizes 0..1")
+	}
+	if bySize[0] != 0 {
+		return nil, fmt.Errorf("cost: table entry for size 0 must be 0, got %g", bySize[0])
+	}
+	for k := 1; k <= u; k++ {
+		if bySize[k] <= 0 || math.IsNaN(bySize[k]) || math.IsInf(bySize[k], 0) {
+			return nil, fmt.Errorf("cost: table entry %d = %g is not positive and finite", k, bySize[k])
+		}
+	}
+	cp := append([]float64(nil), bySize...)
+	return &Table{u: u, bySize: cp}, nil
+}
+
+func (t *Table) Universe() int { return t.u }
+func (t *Table) Name() string  { return "table" }
+
+func (t *Table) Cost(m int, sigma commodity.Set) float64 {
+	return t.bySize[sigma.Len()]
+}
+
+// PointScaled multiplies a base model by a per-point factor:
+// f_m^σ = factor[m]·base(σ). Scaling preserves subadditivity and Condition 1
+// pointwise, and creates the non-uniform facility costs that exercise the
+// cost classes of RAND-OMFLP.
+type PointScaled struct {
+	Base   Model
+	Factor []float64
+}
+
+// NewPointScaled builds a point-scaled model; all factors must be positive.
+func NewPointScaled(base Model, factor []float64) *PointScaled {
+	for i, f := range factor {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			panic(fmt.Sprintf("cost: factor[%d] = %g is not positive and finite", i, f))
+		}
+	}
+	cp := append([]float64(nil), factor...)
+	return &PointScaled{Base: base, Factor: cp}
+}
+
+func (p *PointScaled) Universe() int { return p.Base.Universe() }
+func (p *PointScaled) Name() string  { return "scaled(" + p.Base.Name() + ")" }
+
+func (p *PointScaled) Cost(m int, sigma commodity.Set) float64 {
+	if m < 0 || m >= len(p.Factor) {
+		panic(fmt.Sprintf("cost: point %d outside factor table of %d points", m, len(p.Factor)))
+	}
+	return p.Factor[m] * p.Base.Cost(m, sigma)
+}
+
+// RandomFactors draws point factors uniformly from [lo, hi]; a convenience
+// for building PointScaled models in workloads.
+func RandomFactors(rng *rand.Rand, n int, lo, hi float64) []float64 {
+	if lo <= 0 || hi < lo {
+		panic("cost: RandomFactors requires 0 < lo <= hi")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+)
+
+var testPoints = []int{0, 1, 2}
+
+func TestCeilSqrtValues(t *testing.T) {
+	// |S| = 16, √|S| = 4: g(k) = ⌈k/4⌉.
+	g := CeilSqrt(16)
+	want := map[int]float64{1: 1, 2: 1, 4: 1, 5: 2, 8: 2, 9: 3, 16: 4}
+	for k, w := range want {
+		if got := g.BySize(k); got != w {
+			t.Errorf("g(%d) = %g, want %g", k, got, w)
+		}
+	}
+	if got := g.Cost(0, commodity.Set{}); got != 0 {
+		t.Errorf("empty config cost = %g, want 0", got)
+	}
+	// OPT in the Theorem 2 game: one facility covering √|S| commodities
+	// costs exactly 1.
+	if got := g.BySize(4); got != 1 {
+		t.Errorf("g(sqrt(S)) = %g, want 1", got)
+	}
+}
+
+func TestPowerLawEndpoints(t *testing.T) {
+	u := 9
+	// x = 0: constant 1 for all non-empty sizes.
+	g0 := PowerLaw(u, 0, 1)
+	if g0.BySize(1) != 1 || g0.BySize(9) != 1 {
+		t.Error("x=0 power law is not constant")
+	}
+	// x = 2: linear.
+	g2 := PowerLaw(u, 2, 1)
+	if g2.BySize(3) != 3 || g2.BySize(9) != 9 {
+		t.Error("x=2 power law is not linear")
+	}
+	// x = 1: square root.
+	g1 := PowerLaw(u, 1, 1)
+	if math.Abs(g1.BySize(9)-3) > 1e-12 {
+		t.Errorf("x=1 g(9) = %g, want 3", g1.BySize(9))
+	}
+	// Scale multiplies through.
+	gs := PowerLaw(u, 1, 2.5)
+	if math.Abs(gs.BySize(4)-5) > 1e-12 {
+		t.Errorf("scaled g(4) = %g, want 5", gs.BySize(4))
+	}
+}
+
+func TestPowerLawPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PowerLaw(4, -0.1, 1) },
+		func() { PowerLaw(4, 2.1, 1) },
+		func() { PowerLaw(4, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinearAndConstant(t *testing.T) {
+	l := Linear(5, 2)
+	if l.BySize(3) != 6 {
+		t.Errorf("linear(3) = %g", l.BySize(3))
+	}
+	c := Constant(5, 7)
+	if c.BySize(1) != 7 || c.BySize(5) != 7 {
+		t.Error("constant model not constant")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable([]float64{0, 1, 1.5}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	if _, err := NewTable([]float64{1, 2}); err == nil {
+		t.Error("table with nonzero size-0 entry accepted")
+	}
+	if _, err := NewTable([]float64{0, -1}); err == nil {
+		t.Error("table with negative entry accepted")
+	}
+	if _, err := NewTable([]float64{0}); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab, err := NewTable([]float64{0, 1, 1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Cost(0, commodity.New(0, 2)); got != 1.5 {
+		t.Errorf("table cost = %g", got)
+	}
+	if tab.Universe() != 3 {
+		t.Errorf("table universe = %d", tab.Universe())
+	}
+}
+
+func TestPointScaled(t *testing.T) {
+	base := Linear(4, 1)
+	ps := NewPointScaled(base, []float64{1, 2, 0.5})
+	if got := ps.Cost(1, commodity.New(0, 1)); got != 4 {
+		t.Errorf("scaled cost = %g, want 4", got)
+	}
+	if got := ps.Cost(2, commodity.New(0)); got != 0.5 {
+		t.Errorf("scaled cost = %g, want 0.5", got)
+	}
+	if ps.Universe() != 4 {
+		t.Errorf("universe = %d", ps.Universe())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range point must panic")
+		}
+	}()
+	ps.Cost(5, commodity.New(0))
+}
+
+func TestPaperModelsSatisfyAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []Model{
+		CeilSqrt(4),
+		PowerLaw(6, 0, 1),
+		PowerLaw(6, 0.5, 1),
+		PowerLaw(6, 1, 1),
+		PowerLaw(6, 1.7, 2),
+		PowerLaw(6, 2, 1),
+		Linear(6, 3),
+		Constant(6, 5),
+		NewPointScaled(PowerLaw(6, 1, 1), []float64{1, 2.5, 0.25}),
+	}
+	for _, m := range models {
+		if err := CheckSubadditive(m, testPoints, 6, 0, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+		if err := CheckCondition1(m, testPoints, 6, 0, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+		if err := CheckMonotone(m, testPoints, 6, 0, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+	// The paper's Theorem 2 model at a perfect-square universe.
+	if err := CheckCondition1(CeilSqrt(9), []int{0}, 9, 0, nil); err != nil {
+		t.Errorf("CeilSqrt(9): %v", err)
+	}
+	// Large universe exercises the sampling paths.
+	big := CeilSqrt(100)
+	if err := CheckSubadditive(big, testPoints, 8, 500, rng); err != nil {
+		t.Errorf("sampled subadditivity: %v", err)
+	}
+	if err := CheckCondition1(big, testPoints, 8, 500, rng); err != nil {
+		t.Errorf("sampled Condition 1: %v", err)
+	}
+	if err := CheckMonotone(big, testPoints, 8, 500, rng); err != nil {
+		t.Errorf("sampled monotonicity: %v", err)
+	}
+}
+
+func TestValidatorsDetectViolations(t *testing.T) {
+	// Superadditive model: f(k) = k² violates subadditivity (1+1 < 4)
+	// and Condition 1 (per-commodity cost is maximal at S, not minimal).
+	super := NewSizeCost(4, func(k int) float64 { return float64(k * k) }, "square")
+	if err := CheckSubadditive(super, testPoints, 4, 0, nil); err == nil {
+		t.Error("subadditivity check passed a superadditive model")
+	}
+	if err := CheckCondition1(super, testPoints, 4, 0, nil); err == nil {
+		t.Error("Condition 1 check passed the square model")
+	}
+	// Concave-enough model violates Condition 1: per-commodity cost of S
+	// exceeds that of singletons... use f(k)=1 for k<4, f(4)=8.
+	bad := NewSizeCost(4, func(k int) float64 {
+		if k < 4 {
+			return 1
+		}
+		return 8
+	}, "cond1-violator")
+	if err := CheckCondition1(bad, testPoints, 4, 0, nil); err == nil {
+		t.Error("Condition 1 check passed a violating model")
+	}
+	// Non-monotone model.
+	nm := NewSizeCost(3, func(k int) float64 { return float64(4 - k) }, "shrinking")
+	if err := CheckMonotone(nm, testPoints, 3, 0, nil); err == nil {
+		t.Error("monotonicity check passed a shrinking model")
+	}
+	// Sampling paths without an rng must fail loudly.
+	if err := CheckSubadditive(CeilSqrt(64), testPoints, 8, 10, nil); err == nil {
+		t.Error("sampling check without rng must error")
+	}
+}
+
+// Property: every class-C power law is subadditive and satisfies Condition 1
+// for arbitrary x ∈ [0,2] (checked on a small universe exhaustively).
+func TestQuickPowerLawClassC(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 2)
+		if math.IsNaN(x) {
+			return true
+		}
+		m := PowerLaw(6, x, 1)
+		return CheckSubadditive(m, []int{0}, 6, 0, nil) == nil &&
+			CheckCondition1(m, []int{0}, 6, 0, nil) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CeilSqrt is always subadditive, and satisfies Condition 1 for
+// perfect-square universes (the paper assumes √|S| ∈ N).
+func TestQuickCeilSqrtAssumptions(t *testing.T) {
+	f := func(raw uint8) bool {
+		u := 1 + int(raw)%12
+		m := CeilSqrt(u)
+		if CheckSubadditive(m, []int{0}, 12, 0, nil) != nil {
+			return false
+		}
+		root := int(math.Sqrt(float64(u)))
+		if root*root == u {
+			return CheckCondition1(m, []int{0}, 12, 0, nil) == nil
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// CeilSqrt on a non-square universe is a documented Condition 1 exception;
+// pin that behaviour so the docs stay honest.
+func TestCeilSqrtNonSquareViolatesCondition1(t *testing.T) {
+	if err := CheckCondition1(CeilSqrt(7), []int{0}, 8, 0, nil); err == nil {
+		t.Error("CeilSqrt(7) unexpectedly satisfies Condition 1; update docs")
+	}
+}
+
+func TestRandomFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := RandomFactors(rng, 20, 0.5, 2)
+	if len(f) != 20 {
+		t.Fatalf("len = %d", len(f))
+	}
+	for _, v := range f {
+		if v < 0.5 || v > 2 {
+			t.Errorf("factor %g out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid range must panic")
+		}
+	}()
+	RandomFactors(rng, 3, 0, 1)
+}
+
+func BenchmarkPowerLawCost(b *testing.B) {
+	m := PowerLaw(64, 1, 1)
+	s := commodity.Full(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Cost(0, s)
+	}
+}

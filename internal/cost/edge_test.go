@@ -1,0 +1,82 @@
+package cost
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/commodity"
+)
+
+func TestNames(t *testing.T) {
+	models := map[Model]string{
+		CeilSqrt(4):       "sqrt",
+		PowerLaw(4, 1, 1): "g_x",
+		Linear(4, 2):      "linear",
+		Constant(4, 3):    "const",
+		NewPointScaled(Linear(4, 1), []float64{1}): "scaled",
+	}
+	for m, want := range models {
+		if !strings.Contains(m.Name(), want) {
+			t.Errorf("Name() = %q, want substring %q", m.Name(), want)
+		}
+	}
+	tab, err := NewTable([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "table" {
+		t.Errorf("table Name = %q", tab.Name())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"size-cost-zero-universe": func() { NewSizeCost(0, func(int) float64 { return 1 }, "x") },
+		"linear-zero":             func() { Linear(3, 0) },
+		"constant-zero":           func() { Constant(3, 0) },
+		"scaled-zero-factor":      func() { NewPointScaled(Linear(3, 1), []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBySizeZero(t *testing.T) {
+	if got := CeilSqrt(9).BySize(0); got != 0 {
+		t.Errorf("BySize(0) = %g", got)
+	}
+	if got := Linear(3, 2).Cost(0, commodity.Set{}); got != 0 {
+		t.Errorf("Cost(empty) = %g", got)
+	}
+}
+
+func TestCheckCondition1SamplingRejectsViolator(t *testing.T) {
+	// A violating model at a large universe must be caught by sampling.
+	bad := NewSizeCost(40, func(k int) float64 {
+		if k < 40 {
+			return 1
+		}
+		return 1000 // per-commodity cost of S far above singletons
+	}, "bad")
+	rng := newTestRand()
+	if err := CheckCondition1(bad, []int{0}, 8, 2000, rng); err == nil {
+		t.Error("sampled Condition 1 check missed a blatant violator")
+	}
+}
+
+func TestCheckSubadditiveSamplingRejectsViolator(t *testing.T) {
+	bad := NewSizeCost(40, func(k int) float64 { return float64(k * k) }, "square")
+	rng := newTestRand()
+	if err := CheckSubadditive(bad, []int{0}, 8, 2000, rng); err == nil {
+		t.Error("sampled subadditivity check missed a superadditive model")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(77)) }

@@ -1,0 +1,143 @@
+package cost
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/commodity"
+)
+
+const validateEps = 1e-9
+
+// CheckSubadditive verifies f_m^{a∪b} ≤ f_m^a + f_m^b at the given points.
+// For universes up to maxExhaustive it checks every pair of subsets whose
+// union it can form; for larger universes it samples trials random pairs
+// using rng (which must then be non-nil). It returns the first violation.
+func CheckSubadditive(m Model, points []int, maxExhaustive, trials int, rng *rand.Rand) error {
+	u := m.Universe()
+	if u <= maxExhaustive {
+		subsets := commodity.AllSubsets(u)
+		for _, pt := range points {
+			for _, a := range subsets {
+				for _, b := range subsets {
+					if err := subadditiveAt(m, pt, a, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if rng == nil {
+		return fmt.Errorf("cost: sampling subadditivity check needs an rng")
+	}
+	for t := 0; t < trials; t++ {
+		pt := points[rng.Intn(len(points))]
+		a := randomNonEmpty(rng, u)
+		b := randomNonEmpty(rng, u)
+		if err := subadditiveAt(m, pt, a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func subadditiveAt(m Model, pt int, a, b commodity.Set) error {
+	un := a.Union(b)
+	fu := m.Cost(pt, un)
+	fa := m.Cost(pt, a)
+	fb := m.Cost(pt, b)
+	if fu > fa+fb+validateEps*(1+fa+fb) {
+		return fmt.Errorf("cost: subadditivity violated at point %d: f(%v)=%g > f(%v)+f(%v)=%g",
+			pt, un, fu, a, b, fa+fb)
+	}
+	return nil
+}
+
+// CheckCondition1 verifies the paper's Condition 1,
+// f_m^σ/|σ| ≥ f_m^S/|S|, at the given points. Exhaustive for universes up to
+// maxExhaustive, sampled otherwise (rng required).
+func CheckCondition1(m Model, points []int, maxExhaustive, trials int, rng *rand.Rand) error {
+	u := m.Universe()
+	full := commodity.Full(u)
+	check := func(pt int, sigma commodity.Set) error {
+		k := sigma.Len()
+		if k == 0 {
+			return nil
+		}
+		per := m.Cost(pt, sigma) / float64(k)
+		perFull := m.Cost(pt, full) / float64(u)
+		if per+validateEps*(1+perFull) < perFull {
+			return fmt.Errorf("cost: Condition 1 violated at point %d: f(%v)/%d = %g < f(S)/|S| = %g",
+				pt, sigma, k, per, perFull)
+		}
+		return nil
+	}
+	if u <= maxExhaustive {
+		for _, pt := range points {
+			for _, sigma := range commodity.AllSubsets(u) {
+				if err := check(pt, sigma); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if rng == nil {
+		return fmt.Errorf("cost: sampling Condition 1 check needs an rng")
+	}
+	for t := 0; t < trials; t++ {
+		pt := points[rng.Intn(len(points))]
+		if err := check(pt, randomNonEmpty(rng, u)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies f_m^a ≤ f_m^b for a ⊆ b at the given points — not
+// assumed by the paper, but a useful sanity property of sensible models.
+// Exhaustive for small universes, sampled otherwise.
+func CheckMonotone(m Model, points []int, maxExhaustive, trials int, rng *rand.Rand) error {
+	u := m.Universe()
+	check := func(pt int, a, b commodity.Set) error {
+		if !a.SubsetOf(b) {
+			return nil
+		}
+		fa, fb := m.Cost(pt, a), m.Cost(pt, b)
+		if fa > fb+validateEps*(1+fb) {
+			return fmt.Errorf("cost: monotonicity violated at point %d: f(%v)=%g > f(%v)=%g",
+				pt, a, fa, b, fb)
+		}
+		return nil
+	}
+	if u <= maxExhaustive {
+		subsets := commodity.AllSubsets(u)
+		for _, pt := range points {
+			for _, a := range subsets {
+				for _, b := range subsets {
+					if err := check(pt, a, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if rng == nil {
+		return fmt.Errorf("cost: sampling monotonicity check needs an rng")
+	}
+	for t := 0; t < trials; t++ {
+		pt := points[rng.Intn(len(points))]
+		b := randomNonEmpty(rng, u)
+		a := commodity.RandomSubsetOf(rng, b, 1+rng.Intn(b.Len()))
+		if err := check(pt, a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func randomNonEmpty(rng *rand.Rand, u int) commodity.Set {
+	return commodity.RandomSubset(rng, u, 1+rng.Intn(u))
+}

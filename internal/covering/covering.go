@@ -1,0 +1,205 @@
+// Package covering implements the c-ordered covering problem of Definition 9
+// and the constructive covering of Lemmas 10–12, which power the dual
+// feasibility analysis of PD-OMFLP (Lemmas 14 and 16).
+//
+// An instance over elements 0..n-1 specifies, for each element i, a set
+// B_i ⊆ {0..i-1} (with A_i := {0..i-1} \ B_i implied) such that B_i ⊆ B_j
+// whenever i < j. Available sets are, for every i:
+//
+//	{i}        with weight c/(|B_i|+1), and
+//	{i} ∪ A_i  with weight c.
+//
+// Lemma 12 shows {0..n-1} can always be covered with weight ≤ 2c·H_n; Cover
+// reproduces the constructive proof (peel the last block, take the cheaper
+// of the two choices per element, remove, repeat).
+package covering
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Instance is a c-ordered covering instance. B[i] lists the members of B_i
+// (element indices < i) in any order.
+type Instance struct {
+	C float64
+	B [][]int
+}
+
+// N returns the number of elements.
+func (in *Instance) N() int { return len(in.B) }
+
+// Validate checks Definition 9: B_i ⊆ {0..i-1} and B_i ⊆ B_j for i < j,
+// and C > 0.
+func (in *Instance) Validate() error {
+	if in.C <= 0 || math.IsNaN(in.C) || math.IsInf(in.C, 0) {
+		return fmt.Errorf("covering: weight parameter c = %g must be positive and finite", in.C)
+	}
+	prev := map[int]bool{}
+	for i, bi := range in.B {
+		cur := make(map[int]bool, len(bi))
+		for _, e := range bi {
+			if e < 0 || e >= i {
+				return fmt.Errorf("covering: B_%d contains %d outside {0..%d}", i, e, i-1)
+			}
+			if cur[e] {
+				return fmt.Errorf("covering: B_%d contains %d twice", i, e)
+			}
+			cur[e] = true
+		}
+		for e := range prev {
+			if !cur[e] {
+				return fmt.Errorf("covering: monotonicity violated, %d in B_%d but not B_%d", e, i-1, i)
+			}
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// Pick is one selected set in a covering.
+type Pick struct {
+	Element  int     // the element i the set is anchored at
+	WithA    bool    // true: {i} ∪ A_i (weight c); false: {i} (weight c/(|B_i|+1))
+	Weight   float64 // the weight actually paid
+	Covers   []int   // the elements this pick covers (subset of remaining at pick time)
+	BlockLen int     // size of the last block when the pick was made (diagnostics)
+}
+
+// Result is a complete covering.
+type Result struct {
+	Picks  []Pick
+	Weight float64
+}
+
+// Covered reports whether the picks jointly cover all n elements.
+func (r *Result) Covered(n int) bool {
+	seen := make([]bool, n)
+	for _, p := range r.Picks {
+		for _, e := range p.Covers {
+			if e < 0 || e >= n {
+				return false
+			}
+			seen[e] = true
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// Bound returns the Lemma 12 guarantee 2c·H_n for the instance.
+func (in *Instance) Bound() float64 {
+	return 2 * in.C * stats.Harmonic(in.N())
+}
+
+// Cover runs the constructive procedure of Lemmas 10–12 and returns the
+// chosen sets and total weight, guaranteed ≤ 2c·H_n. It panics if the
+// instance is invalid; call Validate first for untrusted input.
+func (in *Instance) Cover() *Result {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	n := in.N()
+	res := &Result{}
+	if n == 0 {
+		return res
+	}
+
+	// remaining holds original element IDs in increasing order; B sets are
+	// stored by original ID and never contain removed elements (Lemma 11).
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	inB := make([]map[int]bool, n)
+	for i, bi := range in.B {
+		inB[i] = make(map[int]bool, len(bi))
+		for _, e := range bi {
+			inB[i][e] = true
+		}
+	}
+
+	for len(remaining) > 0 {
+		m := len(remaining)
+		last := remaining[m-1]
+		bLast := inB[last]
+		// The last block: trailing elements whose B equals B_last. With
+		// monotone B it suffices to compare sizes.
+		blockStart := m - 1
+		for blockStart > 0 && len(inB[remaining[blockStart-1]]) == len(bLast) {
+			blockStart--
+		}
+		blockLen := m - blockStart
+		// A_last among remaining: earlier remaining elements not in B_last.
+		var aLast []int
+		for _, e := range remaining[:m-1] {
+			if !bLast[e] {
+				aLast = append(aLast, e)
+			}
+		}
+		copedCount := len(aLast) + 1 // elements covered by choice 1
+
+		perElemChoice1 := in.C / float64(copedCount)
+		perElemChoice2 := in.C / float64(len(bLast)+1)
+
+		var covered []int
+		if perElemChoice1 <= perElemChoice2 {
+			covered = append(append([]int{}, aLast...), last)
+			res.Picks = append(res.Picks, Pick{
+				Element:  last,
+				WithA:    true,
+				Weight:   in.C,
+				Covers:   covered,
+				BlockLen: blockLen,
+			})
+			res.Weight += in.C
+		} else {
+			covered = append([]int{}, remaining[blockStart:]...)
+			for _, e := range remaining[blockStart:] {
+				w := in.C / float64(len(inB[e])+1)
+				res.Picks = append(res.Picks, Pick{
+					Element:  e,
+					WithA:    false,
+					Weight:   w,
+					Covers:   []int{e},
+					BlockLen: blockLen,
+				})
+				res.Weight += w
+			}
+		}
+
+		// Remove covered elements. All of them are coped by the last
+		// element, so they appear in no remaining B set (Lemma 11).
+		rm := make(map[int]bool, len(covered))
+		for _, e := range covered {
+			rm[e] = true
+		}
+		next := remaining[:0]
+		for _, e := range remaining {
+			if !rm[e] {
+				next = append(next, e)
+			}
+		}
+		remaining = next
+	}
+	return res
+}
+
+// GreedyNaive covers every element with its singleton set — the strategy an
+// analysis without Lemma 12 would be stuck with. Used as a comparison
+// baseline in tests and the lem12 experiment.
+func (in *Instance) GreedyNaive() *Result {
+	res := &Result{}
+	for i := 0; i < in.N(); i++ {
+		w := in.C / float64(len(in.B[i])+1)
+		res.Picks = append(res.Picks, Pick{Element: i, Weight: w, Covers: []int{i}})
+		res.Weight += w
+	}
+	return res
+}

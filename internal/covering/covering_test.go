@@ -1,0 +1,202 @@
+package covering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Instance{C: 1, B: [][]int{{}, {0}, {0}, {0, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := &Instance{C: 1, B: [][]int{{}, {1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("B_i containing i accepted")
+	}
+	bad = &Instance{C: 1, B: [][]int{{}, {0}, {}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone B accepted")
+	}
+	bad = &Instance{C: 0, B: [][]int{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("c = 0 accepted")
+	}
+	bad = &Instance{C: 1, B: [][]int{{}, {0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}
+
+func TestCoverEmptyAndSingleton(t *testing.T) {
+	empty := &Instance{C: 1}
+	res := empty.Cover()
+	if res.Weight != 0 || len(res.Picks) != 0 {
+		t.Errorf("empty instance: %+v", res)
+	}
+	single := &Instance{C: 3, B: [][]int{{}}}
+	res = single.Cover()
+	if !res.Covered(1) {
+		t.Fatal("singleton not covered")
+	}
+	// Both choices coincide for one element: weight 3 either way, within
+	// the bound 2·3·H_1 = 6.
+	if res.Weight > single.Bound() {
+		t.Errorf("weight %g exceeds bound %g", res.Weight, single.Bound())
+	}
+}
+
+func TestWorstCaseInstanceCoveredCheaply(t *testing.T) {
+	// All B empty: one pick {n-1} ∪ A_{n-1} of weight c covers everything.
+	in := WorstCaseInstance(50, 2)
+	res := in.Cover()
+	if !res.Covered(50) {
+		t.Fatal("not covered")
+	}
+	if res.Weight != 2 {
+		t.Errorf("weight = %g, want a single pick of weight 2", res.Weight)
+	}
+	if len(res.Picks) != 1 || !res.Picks[0].WithA {
+		t.Errorf("picks = %+v", res.Picks)
+	}
+}
+
+func TestChainInstanceHarmonic(t *testing.T) {
+	// B_i = {0..i-1}: every element is its own block of size 1; choice 2
+	// pays c/(i+1) for element i; choice 1 pays c covering only {i}. The
+	// procedure picks the cheaper, c/(i+1), so total = c·H_n.
+	n, c := 40, 3.0
+	in := ChainInstance(n, c)
+	res := in.Cover()
+	if !res.Covered(n) {
+		t.Fatal("not covered")
+	}
+	want := c * stats.Harmonic(n)
+	if math.Abs(res.Weight-want) > 1e-9 {
+		t.Errorf("weight = %g, want c·H_n = %g", res.Weight, want)
+	}
+	if res.Weight > in.Bound() {
+		t.Errorf("weight %g exceeds bound %g", res.Weight, in.Bound())
+	}
+}
+
+func TestCoverRespectsLemma12BoundOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		c := 0.5 + rng.Float64()*4
+		growth := rng.Float64() * 0.5
+		in := RandomInstance(rng, n, c, growth)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("generator produced invalid instance: %v", err)
+		}
+		res := in.Cover()
+		if !res.Covered(n) {
+			t.Fatalf("trial %d: not covered", trial)
+		}
+		if res.Weight > in.Bound()+1e-9 {
+			t.Errorf("trial %d: weight %g exceeds 2cH_n = %g (n=%d)", trial, res.Weight, in.Bound(), n)
+		}
+	}
+}
+
+func TestPickWeightsMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := RandomInstance(rng, 25, 2, 0.3)
+	res := in.Cover()
+	var sum float64
+	for _, p := range res.Picks {
+		if p.WithA {
+			if p.Weight != in.C {
+				t.Errorf("choice-1 pick weight %g != c", p.Weight)
+			}
+		} else {
+			want := in.C / float64(len(in.B[p.Element])+1)
+			if math.Abs(p.Weight-want) > 1e-12 {
+				t.Errorf("choice-2 pick weight %g, want %g", p.Weight, want)
+			}
+			if len(p.Covers) != 1 || p.Covers[0] != p.Element {
+				t.Errorf("choice-2 pick covers %v", p.Covers)
+			}
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-res.Weight) > 1e-9 {
+		t.Errorf("pick weights sum to %g, result says %g", sum, res.Weight)
+	}
+}
+
+func TestGreedyNaive(t *testing.T) {
+	in := ChainInstance(10, 1)
+	res := in.GreedyNaive()
+	if !res.Covered(10) {
+		t.Fatal("naive not covered")
+	}
+	// Naive equals Cover on the chain: both pay c/(i+1) per element.
+	if math.Abs(res.Weight-in.Cover().Weight) > 1e-9 {
+		t.Errorf("naive %g vs cover %g on chain", res.Weight, in.Cover().Weight)
+	}
+	// On the worst case, naive pays c·n while Cover pays c.
+	wc := WorstCaseInstance(20, 1)
+	if naive := wc.GreedyNaive().Weight; naive != 20 {
+		t.Errorf("naive on worst case = %g, want 20", naive)
+	}
+}
+
+// Property (Lemma 12): the covering weight never exceeds 2c·H_n, and the
+// covering is always complete, on arbitrary random instances.
+func TestQuickLemma12(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawGrowth float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rawN)%80
+		growth := math.Mod(math.Abs(rawGrowth), 1)
+		if math.IsNaN(growth) {
+			growth = 0
+		}
+		in := RandomInstance(rng, n, 1+rng.Float64()*3, growth)
+		res := in.Cover()
+		return res.Covered(n) && res.Weight <= in.Bound()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: each element is covered exactly once (the procedure removes
+// covered elements, so picks never overlap).
+func TestQuickCoverDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		in := RandomInstance(rng, n, 2, rng.Float64()*0.6)
+		res := in.Cover()
+		count := make([]int, n)
+		for _, p := range res.Picks {
+			for _, e := range p.Covers {
+				count[e]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := RandomInstance(rng, 500, 1, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = in.Cover()
+	}
+}

@@ -1,0 +1,48 @@
+package covering
+
+import "math/rand"
+
+// RandomInstance generates a valid c-ordered covering instance of n elements.
+// growth ∈ [0,1] controls how aggressively earlier elements migrate into the
+// monotone B sets: after each element arrives, every not-yet-absorbed earlier
+// element joins B independently with probability growth.
+func RandomInstance(rng *rand.Rand, n int, c, growth float64) *Instance {
+	in := &Instance{C: c, B: make([][]int, n)}
+	var absorbed []int
+	inAbsorbed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		in.B[i] = append([]int(nil), absorbed...)
+		// After element i arrives, earlier elements may join B.
+		for e := 0; e < i; e++ {
+			if !inAbsorbed[e] && rng.Float64() < growth {
+				inAbsorbed[e] = true
+				absorbed = append(absorbed, e)
+			}
+		}
+	}
+	return in
+}
+
+// WorstCaseInstance builds the instance family that stresses the H_n bound:
+// every element's B set is empty (one single block), so choice 1 covers all
+// remaining elements at once while choice 2 pays c per element. The covering
+// procedure must recognize that a single {n-1} ∪ A_{n-1} pick of weight c
+// suffices.
+func WorstCaseInstance(n int, c float64) *Instance {
+	return &Instance{C: c, B: make([][]int, n)}
+}
+
+// ChainInstance builds the opposite extreme: B_i = {0..i-1} for every i
+// (each element is its own block). Choice 2 costs c/i per element, summing
+// to ~c·H_n — the harmonic behaviour the bound is tight against.
+func ChainInstance(n int, c float64) *Instance {
+	in := &Instance{C: c, B: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		b := make([]int, i)
+		for e := 0; e < i; e++ {
+			b[e] = e
+		}
+		in.B[i] = b
+	}
+	return in
+}

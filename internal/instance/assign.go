@@ -1,0 +1,45 @@
+package instance
+
+import (
+	"math"
+
+	"repro/internal/metric"
+)
+
+// AssignAll builds the optimal assignment of every request in the instance to
+// the given facilities (via BestAssignment) and returns the completed
+// solution together with its total cost. If some request cannot be covered,
+// the cost is +Inf and the solution's Assign row for it is nil.
+func AssignAll(in *Instance, facilities []Facility) (*Solution, float64) {
+	sol := &Solution{
+		Facilities: facilities,
+		Assign:     make([][]int, len(in.Requests)),
+	}
+	feasible := true
+	for ri, r := range in.Requests {
+		links, c := BestAssignment(in.Space, facilities, r)
+		if math.IsInf(c, 1) {
+			feasible = false
+			sol.Assign[ri] = nil
+			continue
+		}
+		sol.Assign[ri] = links
+	}
+	if !feasible {
+		return sol, math.Inf(1)
+	}
+	return sol, sol.Cost(in)
+}
+
+// CoverLowerBound returns, per request, the cheapest conceivable connection
+// cost if every candidate facility were already open for free — a valid
+// lower bound on any solution's assignment cost restricted to those
+// candidates. Used for branch-and-bound pruning in the exact offline solver.
+func CoverLowerBound(space metric.Space, candidates []Facility, requests []Request) []float64 {
+	lb := make([]float64, len(requests))
+	for i, r := range requests {
+		_, c := BestAssignment(space, candidates, r)
+		lb[i] = c
+	}
+	return lb
+}

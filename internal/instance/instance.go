@@ -1,0 +1,277 @@
+// Package instance defines OMFLP problem instances and solutions.
+//
+// An Instance couples a finite metric space, a construction cost model and a
+// sequence of requests. Requests arrive in sequence order in the online
+// setting; offline algorithms see the whole slice at once. A Solution lists
+// the opened facilities (point + configuration) and, per request, the set of
+// facilities it is connected to. Verify checks feasibility — every commodity
+// demanded by a request must be offered by at least one facility the request
+// connects to — and Cost implements the paper's objective: construction cost
+// plus one distance term per (request, connected facility) pair.
+package instance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/metric"
+)
+
+// Request is a demand for the commodity set Demands arriving at point Point.
+type Request struct {
+	Point   int
+	Demands commodity.Set
+}
+
+// Instance is a complete OMFLP problem: metric space, cost model, commodity
+// universe and request sequence.
+type Instance struct {
+	Space    metric.Space
+	Costs    cost.Model
+	Requests []Request
+}
+
+// Universe returns |S|.
+func (in *Instance) Universe() int { return in.Costs.Universe() }
+
+// Validate checks structural consistency: request points inside the space,
+// demands non-empty and inside the universe.
+func (in *Instance) Validate() error {
+	if in.Space == nil || in.Costs == nil {
+		return fmt.Errorf("instance: nil space or cost model")
+	}
+	full := commodity.Full(in.Universe())
+	for i, r := range in.Requests {
+		if r.Point < 0 || r.Point >= in.Space.Len() {
+			return fmt.Errorf("instance: request %d at point %d outside space of %d points", i, r.Point, in.Space.Len())
+		}
+		if r.Demands.IsEmpty() {
+			return fmt.Errorf("instance: request %d demands nothing", i)
+		}
+		if !r.Demands.SubsetOf(full) {
+			return fmt.Errorf("instance: request %d demands %v outside universe of %d", i, r.Demands, in.Universe())
+		}
+	}
+	return nil
+}
+
+// Facility is an opened facility: a point of the metric space plus the
+// configuration of commodities it offers.
+type Facility struct {
+	Point  int
+	Config commodity.Set
+}
+
+// Solution is a feasible (or candidate) solution: opened facilities plus,
+// for each request index, the indices of facilities it connects to.
+type Solution struct {
+	Facilities []Facility
+	// Assign[r] lists facility indices request r is connected to. The
+	// same facility index appearing twice would be double-counted;
+	// Verify rejects duplicates.
+	Assign [][]int
+}
+
+// Clone returns a deep copy.
+func (s *Solution) Clone() *Solution {
+	cp := &Solution{
+		Facilities: make([]Facility, len(s.Facilities)),
+		Assign:     make([][]int, len(s.Assign)),
+	}
+	for i, f := range s.Facilities {
+		cp.Facilities[i] = Facility{Point: f.Point, Config: f.Config.Clone()}
+	}
+	for i, a := range s.Assign {
+		cp.Assign[i] = append([]int(nil), a...)
+	}
+	return cp
+}
+
+// Verify checks that the solution is feasible for the instance: assignment
+// rows match requests, facility indices are valid and not duplicated, and
+// the connected facilities jointly offer each request's demands.
+func (s *Solution) Verify(in *Instance) error {
+	if len(s.Assign) != len(in.Requests) {
+		return fmt.Errorf("instance: solution covers %d requests, instance has %d", len(s.Assign), len(in.Requests))
+	}
+	for fi, f := range s.Facilities {
+		if f.Point < 0 || f.Point >= in.Space.Len() {
+			return fmt.Errorf("instance: facility %d at point %d outside space", fi, f.Point)
+		}
+		if f.Config.IsEmpty() {
+			return fmt.Errorf("instance: facility %d has empty configuration", fi)
+		}
+	}
+	for ri, links := range s.Assign {
+		seen := make(map[int]bool, len(links))
+		var offered commodity.Set
+		for _, fi := range links {
+			if fi < 0 || fi >= len(s.Facilities) {
+				return fmt.Errorf("instance: request %d linked to invalid facility %d", ri, fi)
+			}
+			if seen[fi] {
+				return fmt.Errorf("instance: request %d linked to facility %d twice", ri, fi)
+			}
+			seen[fi] = true
+			offered = offered.Union(s.Facilities[fi].Config)
+		}
+		if !in.Requests[ri].Demands.SubsetOf(offered) {
+			missing := in.Requests[ri].Demands.Subtract(offered)
+			return fmt.Errorf("instance: request %d missing commodities %v", ri, missing)
+		}
+	}
+	return nil
+}
+
+// ConstructionCost returns the total facility construction cost.
+func (s *Solution) ConstructionCost(in *Instance) float64 {
+	var sum float64
+	for _, f := range s.Facilities {
+		sum += in.Costs.Cost(f.Point, f.Config)
+	}
+	return sum
+}
+
+// AssignmentCost returns the total connection cost: one distance term per
+// (request, connected facility) pair, as in the paper's objective.
+func (s *Solution) AssignmentCost(in *Instance) float64 {
+	var sum float64
+	for ri, links := range s.Assign {
+		p := in.Requests[ri].Point
+		for _, fi := range links {
+			sum += in.Space.Distance(p, s.Facilities[fi].Point)
+		}
+	}
+	return sum
+}
+
+// Cost returns construction plus assignment cost.
+func (s *Solution) Cost(in *Instance) float64 {
+	return s.ConstructionCost(in) + s.AssignmentCost(in)
+}
+
+// dpDemandLimit bounds the exact subset DP in BestAssignment: 2^20 masks
+// (~8 MB of DP state). Larger demands use a greedy cover instead.
+const dpDemandLimit = 20
+
+// BestAssignment computes, for request r against the given open facilities,
+// a minimum-cost set of facility indices jointly covering r.Demands. For
+// demands of at most dpDemandLimit commodities the subset DP is exact
+// (O(2^|s_r|·|facilities|)); beyond that it falls back to a greedy
+// distance-per-new-commodity cover, which is feasible but only approximate.
+// The second return value is the cost (+Inf and nil if the facilities cannot
+// cover the demands).
+func BestAssignment(space metric.Space, facilities []Facility, r Request) ([]int, float64) {
+	ids := r.Demands.IDs()
+	k := len(ids)
+	if k == 0 {
+		return nil, 0
+	}
+	if k > dpDemandLimit {
+		return greedyAssignment(space, facilities, r)
+	}
+	local := make(map[int]int, k) // commodity ID -> local bit
+	for b, id := range ids {
+		local[id] = b
+	}
+	fullMask := (1 << uint(k)) - 1
+
+	// For each facility: its local coverage mask and distance. Among
+	// facilities with identical masks only the nearest matters.
+	type cand struct {
+		mask int
+		d    float64
+		idx  int
+	}
+	bestByMask := make(map[int]cand)
+	for fi, f := range facilities {
+		mask := 0
+		f.Config.ForEach(func(id int) {
+			if b, ok := local[id]; ok {
+				mask |= 1 << uint(b)
+			}
+		})
+		if mask == 0 {
+			continue
+		}
+		d := space.Distance(r.Point, f.Point)
+		if prev, ok := bestByMask[mask]; !ok || d < prev.d {
+			bestByMask[mask] = cand{mask: mask, d: d, idx: fi}
+		}
+	}
+	cands := make([]cand, 0, len(bestByMask))
+	for _, c := range bestByMask {
+		cands = append(cands, c)
+	}
+
+	const inf = math.MaxFloat64
+	dp := make([]float64, fullMask+1)
+	choice := make([]int, fullMask+1) // candidate used to reach the mask
+	parent := make([]int, fullMask+1) // predecessor mask
+	for m := 1; m <= fullMask; m++ {
+		dp[m] = inf
+		choice[m] = -1
+	}
+	for m := 0; m <= fullMask; m++ {
+		if dp[m] == inf {
+			continue
+		}
+		for ci, c := range cands {
+			nm := m | c.mask
+			if nm == m {
+				continue
+			}
+			if nd := dp[m] + c.d; nd < dp[nm] {
+				dp[nm] = nd
+				choice[nm] = ci
+				parent[nm] = m
+			}
+		}
+	}
+	if dp[fullMask] == inf {
+		return nil, math.Inf(1)
+	}
+	var picks []int
+	for m := fullMask; m != 0; m = parent[m] {
+		picks = append(picks, cands[choice[m]].idx)
+	}
+	return picks, dp[fullMask]
+}
+
+// greedyAssignment covers r.Demands by repeatedly connecting to the facility
+// with the best distance-per-newly-covered-commodity ratio. Used when the
+// demand is too large for the exact DP.
+func greedyAssignment(space metric.Space, facilities []Facility, r Request) ([]int, float64) {
+	remaining := r.Demands.Clone()
+	var picks []int
+	var total float64
+	used := make([]bool, len(facilities))
+	for !remaining.IsEmpty() {
+		best, bestGain := -1, 0
+		bestD := math.Inf(1)
+		for fi, f := range facilities {
+			if used[fi] {
+				continue
+			}
+			gain := f.Config.Intersect(remaining).Len()
+			if gain == 0 {
+				continue
+			}
+			d := space.Distance(r.Point, f.Point)
+			// Compare d/gain ratios without division.
+			if best < 0 || d*float64(bestGain) < bestD*float64(gain) {
+				best, bestGain, bestD = fi, gain, d
+			}
+		}
+		if best < 0 {
+			return nil, math.Inf(1)
+		}
+		used[best] = true
+		picks = append(picks, best)
+		total += bestD
+		remaining = remaining.Subtract(facilities[best].Config)
+	}
+	return picks, total
+}

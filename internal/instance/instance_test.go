@@ -1,0 +1,306 @@
+package instance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/metric"
+)
+
+func lineInstance() *Instance {
+	return &Instance{
+		Space: metric.NewLine([]float64{0, 1, 2, 10}),
+		Costs: cost.PowerLaw(4, 1, 1),
+		Requests: []Request{
+			{Point: 0, Demands: commodity.New(0, 1)},
+			{Point: 3, Demands: commodity.New(2)},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := lineInstance()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := lineInstance()
+	bad.Requests[0].Point = 7
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-space point accepted")
+	}
+	bad = lineInstance()
+	bad.Requests[1].Demands = commodity.Set{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty demand accepted")
+	}
+	bad = lineInstance()
+	bad.Requests[1].Demands = commodity.New(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("demand outside universe accepted")
+	}
+	if err := (&Instance{}).Validate(); err == nil {
+		t.Error("nil space accepted")
+	}
+}
+
+func TestVerifyAndCost(t *testing.T) {
+	in := lineInstance()
+	sol := &Solution{
+		Facilities: []Facility{
+			{Point: 1, Config: commodity.New(0, 1)},
+			{Point: 3, Config: commodity.New(2)},
+		},
+		Assign: [][]int{{0}, {1}},
+	}
+	if err := sol.Verify(in); err != nil {
+		t.Fatalf("feasible solution rejected: %v", err)
+	}
+	// Construction: g(2)+g(1) = sqrt2 + 1; assignment: d(0,1)+d(3,3) = 1.
+	wantCons := math.Sqrt2 + 1
+	if got := sol.ConstructionCost(in); math.Abs(got-wantCons) > 1e-12 {
+		t.Errorf("construction = %g, want %g", got, wantCons)
+	}
+	if got := sol.AssignmentCost(in); got != 1 {
+		t.Errorf("assignment = %g, want 1", got)
+	}
+	if got := sol.Cost(in); math.Abs(got-wantCons-1) > 1e-12 {
+		t.Errorf("total = %g", got)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	in := lineInstance()
+	base := func() *Solution {
+		return &Solution{
+			Facilities: []Facility{
+				{Point: 1, Config: commodity.New(0, 1)},
+				{Point: 3, Config: commodity.New(2)},
+			},
+			Assign: [][]int{{0}, {1}},
+		}
+	}
+	s := base()
+	s.Assign = s.Assign[:1]
+	if err := s.Verify(in); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	s = base()
+	s.Assign[1] = []int{5}
+	if err := s.Verify(in); err == nil {
+		t.Error("invalid facility index accepted")
+	}
+	s = base()
+	s.Assign[0] = []int{0, 0}
+	if err := s.Verify(in); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	s = base()
+	s.Assign[0] = []int{1}
+	if err := s.Verify(in); err == nil {
+		t.Error("uncovered demand accepted")
+	}
+	s = base()
+	s.Facilities[0].Point = -1
+	if err := s.Verify(in); err == nil {
+		t.Error("facility outside space accepted")
+	}
+	s = base()
+	s.Facilities[0].Config = commodity.Set{}
+	if err := s.Verify(in); err == nil {
+		t.Error("empty facility config accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := &Solution{
+		Facilities: []Facility{{Point: 1, Config: commodity.New(0)}},
+		Assign:     [][]int{{0}},
+	}
+	cp := s.Clone()
+	cp.Facilities[0].Point = 2
+	cp.Assign[0][0] = 9
+	if s.Facilities[0].Point != 1 || s.Assign[0][0] != 0 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestBestAssignmentPicksJointFacility(t *testing.T) {
+	space := metric.NewLine([]float64{0, 1, 2})
+	facs := []Facility{
+		{Point: 1, Config: commodity.New(0)},    // d=1 covers {0}
+		{Point: 1, Config: commodity.New(1)},    // d=1 covers {1}
+		{Point: 2, Config: commodity.New(0, 1)}, // d=2 covers both
+	}
+	r := Request{Point: 0, Demands: commodity.New(0, 1)}
+	links, c := BestAssignment(space, facs, r)
+	if c != 2 {
+		t.Fatalf("cost = %g, want 2", c)
+	}
+	// Either the two singles (1+1) or the joint (2) is fine; both cost 2.
+	if len(links) != 1 && len(links) != 2 {
+		t.Errorf("links = %v", links)
+	}
+	// With the joint facility closer, it must win outright.
+	facs[2].Point = 0
+	links, c = BestAssignment(space, facs, r)
+	if c != 0 || len(links) != 1 || links[0] != 2 {
+		t.Errorf("links = %v cost %g, want joint facility at distance 0", links, c)
+	}
+}
+
+func TestBestAssignmentInfeasible(t *testing.T) {
+	space := metric.NewLine([]float64{0, 1})
+	facs := []Facility{{Point: 1, Config: commodity.New(0)}}
+	r := Request{Point: 0, Demands: commodity.New(0, 5)}
+	links, c := BestAssignment(space, facs, r)
+	if !math.IsInf(c, 1) || links != nil {
+		t.Errorf("infeasible cover: links=%v cost=%g", links, c)
+	}
+	// Empty demand is free.
+	links, c = BestAssignment(space, facs, Request{Point: 0, Demands: commodity.Set{}})
+	if c != 0 || links != nil {
+		t.Errorf("empty demand: links=%v cost=%g", links, c)
+	}
+}
+
+func TestBestAssignmentIgnoresIrrelevantFacilities(t *testing.T) {
+	space := metric.NewLine([]float64{0, 0.5, 9})
+	facs := []Facility{
+		{Point: 2, Config: commodity.New(7)}, // irrelevant commodity
+		{Point: 1, Config: commodity.New(0)},
+	}
+	r := Request{Point: 0, Demands: commodity.New(0)}
+	links, c := BestAssignment(space, facs, r)
+	if c != 0.5 || len(links) != 1 || links[0] != 1 {
+		t.Errorf("links=%v cost=%g", links, c)
+	}
+}
+
+func TestAssignAll(t *testing.T) {
+	in := lineInstance()
+	facs := []Facility{
+		{Point: 0, Config: commodity.New(0, 1)},
+		{Point: 3, Config: commodity.New(2)},
+	}
+	sol, c := AssignAll(in, facs)
+	if err := sol.Verify(in); err != nil {
+		t.Fatalf("AssignAll produced infeasible solution: %v", err)
+	}
+	want := in.Costs.Cost(0, commodity.New(0, 1)) + in.Costs.Cost(3, commodity.New(2))
+	if math.Abs(c-want) > 1e-12 {
+		t.Errorf("cost = %g, want %g (zero assignment)", c, want)
+	}
+	// Remove coverage of commodity 2: infeasible.
+	_, c = AssignAll(in, facs[:1])
+	if !math.IsInf(c, 1) {
+		t.Errorf("infeasible AssignAll cost = %g", c)
+	}
+}
+
+func TestCoverLowerBound(t *testing.T) {
+	in := lineInstance()
+	cands := []Facility{
+		{Point: 1, Config: commodity.New(0, 1)},
+		{Point: 3, Config: commodity.New(2)},
+	}
+	lb := CoverLowerBound(in.Space, cands, in.Requests)
+	if lb[0] != 1 || lb[1] != 0 {
+		t.Errorf("lb = %v", lb)
+	}
+}
+
+// Property: BestAssignment never beats brute force over facility subsets and
+// always matches it exactly (on small random instances).
+func TestQuickBestAssignmentMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := metric.RandomLine(rng, 6, 10)
+		nf := 1 + rng.Intn(5)
+		facs := make([]Facility, nf)
+		for i := range facs {
+			facs[i] = Facility{
+				Point:  rng.Intn(space.Len()),
+				Config: commodity.RandomSubset(rng, 4, 1+rng.Intn(4)),
+			}
+		}
+		r := Request{Point: rng.Intn(space.Len()), Demands: commodity.RandomSubset(rng, 4, 1+rng.Intn(4))}
+		_, got := BestAssignment(space, facs, r)
+
+		// Brute force over all subsets of facilities.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<uint(nf); mask++ {
+			var covered commodity.Set
+			var c float64
+			for i := 0; i < nf; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					covered = covered.Union(facs[i].Config)
+					c += space.Distance(r.Point, facs[i].Point)
+				}
+			}
+			if r.Demands.SubsetOf(covered) && c < best {
+				best = c
+			}
+		}
+		if math.IsInf(best, 1) != math.IsInf(got, 1) {
+			return false
+		}
+		return math.IsInf(best, 1) || math.Abs(best-got) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the links returned by BestAssignment always form a feasible,
+// duplicate-free cover whose cost equals the reported optimum.
+func TestQuickBestAssignmentLinksConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := metric.RandomEuclidean(rng, 8, 2, 10)
+		facs := make([]Facility, 6)
+		for i := range facs {
+			facs[i] = Facility{
+				Point:  rng.Intn(space.Len()),
+				Config: commodity.RandomSubset(rng, 5, 1+rng.Intn(5)),
+			}
+		}
+		r := Request{Point: rng.Intn(space.Len()), Demands: commodity.RandomSubset(rng, 5, 1+rng.Intn(5))}
+		links, c := BestAssignment(space, facs, r)
+		if math.IsInf(c, 1) {
+			return true
+		}
+		var covered commodity.Set
+		var sum float64
+		seen := map[int]bool{}
+		for _, fi := range links {
+			if seen[fi] {
+				return false
+			}
+			seen[fi] = true
+			covered = covered.Union(facs[fi].Config)
+			sum += space.Distance(r.Point, facs[fi].Point)
+		}
+		return r.Demands.SubsetOf(covered) && math.Abs(sum-c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBestAssignment(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomEuclidean(rng, 50, 2, 100)
+	facs := make([]Facility, 40)
+	for i := range facs {
+		facs[i] = Facility{Point: rng.Intn(50), Config: commodity.RandomSubset(rng, 16, 1+rng.Intn(8))}
+	}
+	r := Request{Point: 7, Demands: commodity.RandomSubset(rng, 16, 8)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = BestAssignment(space, facs, r)
+	}
+}

@@ -1,0 +1,102 @@
+package instance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/metric"
+)
+
+func TestSplitPerCommodity(t *testing.T) {
+	in := &Instance{
+		Space: metric.NewLine([]float64{0, 1}),
+		Costs: cost.PowerLaw(4, 1, 1),
+		Requests: []Request{
+			{Point: 0, Demands: commodity.New(0, 2)},
+			{Point: 1, Demands: commodity.New(3)},
+		},
+	}
+	split := SplitPerCommodity(in)
+	if len(split.Requests) != 3 {
+		t.Fatalf("split into %d requests, want 3", len(split.Requests))
+	}
+	for i, r := range split.Requests {
+		if r.Demands.Len() != 1 {
+			t.Errorf("split request %d demands %v", i, r.Demands)
+		}
+	}
+	if split.Requests[0].Point != 0 || split.Requests[2].Point != 1 {
+		t.Error("split lost request positions")
+	}
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerCommodityCostCountsPerCommodity(t *testing.T) {
+	// One facility serving both commodities at distance 2: joint model
+	// charges 2 once; per-commodity model charges it twice.
+	in := &Instance{
+		Space: metric.NewLine([]float64{0, 2}),
+		Costs: cost.PowerLaw(2, 1, 1),
+		Requests: []Request{
+			{Point: 0, Demands: commodity.New(0, 1)},
+		},
+	}
+	sol := &Solution{
+		Facilities: []Facility{{Point: 1, Config: commodity.Full(2)}},
+		Assign:     [][]int{{0}},
+	}
+	joint := sol.Cost(in)
+	per := PerCommodityCost(in, sol)
+	cons := sol.ConstructionCost(in)
+	if math.Abs((joint-cons)-2) > 1e-12 {
+		t.Errorf("joint connection = %g, want 2", joint-cons)
+	}
+	if math.Abs((per-cons)-4) > 1e-12 {
+		t.Errorf("per-commodity connection = %g, want 4", per-cons)
+	}
+}
+
+// Property: the per-commodity cost is always ≥ the joint cost (each link is
+// charged at least once) and ≤ joint + (|s_r|−1)·links-worth of distance.
+func TestQuickPerCommodityCostDominatesJoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 1 + rng.Intn(4)
+		in := &Instance{
+			Space: metric.RandomLine(rng, 4, 10),
+			Costs: cost.PowerLaw(u, 1, 1),
+		}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			in.Requests = append(in.Requests, Request{
+				Point:   rng.Intn(4),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+		}
+		// Build a feasible solution: one full facility per request point.
+		var facs []Facility
+		seen := map[int]int{}
+		for _, r := range in.Requests {
+			if _, ok := seen[r.Point]; !ok {
+				seen[r.Point] = len(facs)
+				facs = append(facs, Facility{Point: r.Point, Config: commodity.Full(u)})
+			}
+		}
+		sol := &Solution{Facilities: facs}
+		for _, r := range in.Requests {
+			sol.Assign = append(sol.Assign, []int{seen[r.Point]})
+		}
+		if sol.Verify(in) != nil {
+			return false
+		}
+		return PerCommodityCost(in, sol) >= sol.Cost(in)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// LineAdversary is a simplified hierarchical adversary on the line in the
+// spirit of the Ω(log n / log log n) lower bound for classic online facility
+// location (Fotakis, Algorithmica 2008), which Corollary 3 adds to the
+// Ω(√|S|) term. It is *not* the exact Fotakis construction (that argument
+// is substantially more intricate); it reproduces its mechanism: requests
+// arrive at the midpoint of a shrinking interval, and whenever the
+// algorithm opens a facility nearby, the adversary recurses into the half
+// away from the algorithm's facilities, forcing either long connections or
+// repeated openings while OPT pays one facility at the final accumulation
+// point.
+type LineAdversary struct {
+	Depth        int     // recursion depth (levels of halving)
+	PerLevel     int     // requests per level
+	FacilityCost float64 // uniform facility cost
+	Points       int     // resolution of the line grid
+}
+
+// LineResult reports one adversary run. Instance holds the generated
+// request sequence so callers can compute stronger OPT references (e.g. the
+// exact line DP in package baseline) than the built-in single-facility
+// proxy.
+type LineResult struct {
+	AlgCost  float64
+	OptProxy float64 // cost of the best single facility in hindsight
+	Ratio    float64
+	Requests int
+	Instance *instance.Instance
+}
+
+// Run drives the adversary against a fresh single-commodity (|S| = 1)
+// algorithm built by the factory.
+func (la *LineAdversary) Run(f online.Factory, seed int64) LineResult {
+	if la.Points < 8 {
+		la.Points = 1 << uint(la.Depth+3)
+	}
+	space := metric.NewGrid(la.Points, 1)
+	costs := cost.Constant(1, la.FacilityCost)
+	alg := f.New(space, costs, seed)
+
+	lo, hi := 0, la.Points-1
+	var reqs []instance.Request
+	demand := commodity.New(0)
+	for level := 0; level < la.Depth && hi-lo >= 2; level++ {
+		mid := (lo + hi) / 2
+		for i := 0; i < la.PerLevel; i++ {
+			r := instance.Request{Point: mid, Demands: demand}
+			alg.Serve(r)
+			reqs = append(reqs, r)
+		}
+		// Recurse into the half farther from the algorithm's nearest
+		// facility (the adversary observes the algorithm's state).
+		facPts := alg.Solution().Facilities
+		nearest := -1
+		bestD := math.Inf(1)
+		for _, fc := range facPts {
+			if d := space.Distance(mid, fc.Point); d < bestD {
+				nearest, bestD = fc.Point, d
+			}
+		}
+		if nearest < 0 || nearest >= mid {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	in := &instance.Instance{Space: space, Costs: costs, Requests: reqs}
+	sol := alg.Solution()
+	if err := sol.Verify(in); err != nil {
+		panic("lowerbound: line adversary produced infeasible run: " + err.Error())
+	}
+	res := LineResult{AlgCost: sol.Cost(in), Requests: len(reqs), Instance: in}
+
+	// OPT proxy: best single facility in hindsight.
+	best := math.Inf(1)
+	for m := 0; m < space.Len(); m++ {
+		c := la.FacilityCost
+		for _, r := range reqs {
+			c += space.Distance(r.Point, m)
+		}
+		best = math.Min(best, c)
+	}
+	res.OptProxy = best
+	res.Ratio = res.AlgCost / res.OptProxy
+	return res
+}
+
+// MeanRatio averages the adversary ratio over reps independent runs.
+func (la *LineAdversary) MeanRatio(f online.Factory, seed int64, reps int) float64 {
+	var sum float64
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < reps; i++ {
+		sum += la.Run(f, rng.Int63()).Ratio
+	}
+	return sum / float64(reps)
+}

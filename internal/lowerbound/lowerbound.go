@@ -1,0 +1,176 @@
+// Package lowerbound turns the paper's lower-bound proofs into executable
+// adversaries.
+//
+// Theorem 2: on a single point with cost g(|σ|) = ⌈|σ|/√|S|⌉, an adversary
+// draws a uniformly random subset S′ ⊂ S of size √|S| and requests its
+// commodities one at a time (each exactly once). OPT pays g(√|S|) = 1; any
+// online algorithm pays Ω(√|S|) in expectation. Game runs the distribution
+// against a concrete algorithm and reports the empirical ratio together
+// with the Figure 1 quantities: the number of facility-opening rounds X and
+// the total prediction volume T.
+//
+// Theorem 18 (lower bound): the same construction under a class-C cost
+// g_x(k) = k^{x/2}, where OPT pays g_x(√|S|) = |S|^{x/4} and the bound
+// becomes Ω(min{√|S|^{(2−x)/2}, √|S|^{x/2}}).
+//
+// Corollary 3's additive log n/log log n term comes from classic online
+// facility location on a line; LineAdversary implements a simplified
+// hierarchical adversary in that spirit (documented as such — the exact
+// Fotakis construction is more intricate).
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// GameResult reports one run of the Theorem 2 game.
+type GameResult struct {
+	AlgCost float64
+	OptCost float64
+	Ratio   float64
+	// Figure 1 quantities.
+	Rounds     int        // X: number of requests that triggered openings
+	Predicted  int        // T: commodities offered beyond those requested so far
+	Facilities int        // total facilities opened
+	Trace      []GameStep // per-request trace
+}
+
+// GameStep captures the state after one request of the game (Figure 1's
+// timeline).
+type GameStep struct {
+	Step            int
+	RequestedSoFar  int
+	CoveredSoFar    int // commodities covered by ALG's facilities
+	FacilitiesSoFar int
+}
+
+// Game is the Theorem 2 adversary distribution over a single point.
+type Game struct {
+	U     int        // |S|; must be a perfect square (the paper assumes √|S| ∈ N)
+	Costs cost.Model // size-dependent; CeilSqrt(U) reproduces Theorem 2 exactly
+}
+
+// NewTheorem2Game builds the exact Theorem 2 game for universe u (perfect
+// square required).
+func NewTheorem2Game(u int) (*Game, error) {
+	root := int(math.Sqrt(float64(u)))
+	if root*root != u {
+		return nil, fmt.Errorf("lowerbound: |S| = %d is not a perfect square", u)
+	}
+	return &Game{U: u, Costs: cost.CeilSqrt(u)}, nil
+}
+
+// NewClassCGame builds the Theorem 18 variant with cost g_x(k) = k^{x/2}.
+func NewClassCGame(u int, x float64) (*Game, error) {
+	root := int(math.Sqrt(float64(u)))
+	if root*root != u {
+		return nil, fmt.Errorf("lowerbound: |S| = %d is not a perfect square", u)
+	}
+	return &Game{U: u, Costs: cost.PowerLaw(u, x, 1)}, nil
+}
+
+// OptCost returns the offline optimum of one game run: a single facility
+// covering the √|S| requested commodities.
+func (g *Game) OptCost() float64 {
+	root := int(math.Sqrt(float64(g.U)))
+	return g.Costs.Cost(0, commodity.Full(root)) // size-dependent: any root-sized set
+}
+
+// Play runs one game against a fresh algorithm from the factory. The rng
+// drives the adversary's choice of S′; algSeed seeds the algorithm.
+func (g *Game) Play(f online.Factory, rng *rand.Rand, algSeed int64) GameResult {
+	space := metric.SinglePoint()
+	alg := f.New(space, g.Costs, algSeed)
+	root := int(math.Sqrt(float64(g.U)))
+	sprime := commodity.RandomSubset(rng, g.U, root)
+
+	res := GameResult{OptCost: g.OptCost()}
+	covered := func() commodity.Set {
+		var c commodity.Set
+		for _, fac := range alg.Solution().Facilities {
+			c = c.Union(fac.Config)
+		}
+		return c
+	}
+
+	step := 0
+	requested := 0
+	prevFacilities := 0
+	sprime.ForEach(func(e int) {
+		alg.Serve(instance.Request{Point: 0, Demands: commodity.New(e)})
+		step++
+		requested++
+		nf := len(alg.Solution().Facilities)
+		if nf > prevFacilities {
+			res.Rounds++
+			prevFacilities = nf
+		}
+		res.Trace = append(res.Trace, GameStep{
+			Step:            step,
+			RequestedSoFar:  requested,
+			CoveredSoFar:    covered().Len(),
+			FacilitiesSoFar: nf,
+		})
+	})
+
+	in := &instance.Instance{Space: space, Costs: g.Costs}
+	sprime.ForEach(func(e int) {
+		in.Requests = append(in.Requests, instance.Request{Point: 0, Demands: commodity.New(e)})
+	})
+	sol := alg.Solution()
+	if err := sol.Verify(in); err != nil {
+		panic(fmt.Sprintf("lowerbound: %s infeasible on the game: %v", f.Name, err))
+	}
+	res.AlgCost = sol.Cost(in)
+	res.Facilities = len(sol.Facilities)
+	res.Predicted = covered().Len() - requested
+	if res.Predicted < 0 {
+		res.Predicted = 0
+	}
+	res.Ratio = res.AlgCost / res.OptCost
+	return res
+}
+
+// ExpectedRatio plays the game `reps` times with fresh adversaries and
+// algorithm seeds and returns the mean ratio and the mean Figure 1
+// quantities.
+func (g *Game) ExpectedRatio(f online.Factory, seed int64, reps int) (ratio, rounds, predicted float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var rSum, xSum, tSum float64
+	for i := 0; i < reps; i++ {
+		res := g.Play(f, rng, seed+int64(i)*7919)
+		rSum += res.Ratio
+		xSum += float64(res.Rounds)
+		tSum += float64(res.Predicted)
+	}
+	n := float64(reps)
+	return rSum / n, xSum / n, tSum / n
+}
+
+// TheoreticalLowerBound returns the Ω(√|S|)/16 bound of Theorem 2 (the
+// explicit constant from the proof).
+func TheoreticalLowerBound(u int) float64 {
+	return math.Sqrt(float64(u)) / 16
+}
+
+// ClassCLowerBound returns the Theorem 18 bound
+// min{√|S|^{(2−x)/2}, √|S|^{x/2}} (without the additive log n term).
+func ClassCLowerBound(u int, x float64) float64 {
+	s := math.Sqrt(float64(u))
+	return math.Min(math.Pow(s, (2-x)/2), math.Pow(s, x/2))
+}
+
+// ClassCUpperBound returns the Theorem 18 upper-bound factor
+// √|S|^{(2x−x²)/2} (without the log n term).
+func ClassCUpperBound(u int, x float64) float64 {
+	s := math.Sqrt(float64(u))
+	return math.Pow(s, (2*x-x*x)/2)
+}

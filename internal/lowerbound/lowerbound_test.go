@@ -1,0 +1,235 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+func TestNewTheorem2GameValidation(t *testing.T) {
+	if _, err := NewTheorem2Game(15); err == nil {
+		t.Error("non-square universe accepted")
+	}
+	g, err := NewTheorem2Game(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OptCost() != 1 {
+		t.Errorf("OPT = %g, want 1 (g(√|S|) = 1)", g.OptCost())
+	}
+}
+
+func TestGamePlayNoPredictionPaysSqrtS(t *testing.T) {
+	// The no-prediction baseline buys exactly √|S| singletons at cost 1
+	// each: ratio exactly √|S|.
+	u := 64
+	g, err := NewTheorem2Game(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	res := g.Play(baseline.NoPredictionFactory(nil), rng, 1)
+	if res.AlgCost != 8 {
+		t.Errorf("no-prediction cost = %g, want √64 = 8", res.AlgCost)
+	}
+	if res.Ratio != 8 {
+		t.Errorf("ratio = %g", res.Ratio)
+	}
+	if res.Predicted != 0 {
+		t.Errorf("no-prediction predicted %d commodities", res.Predicted)
+	}
+	if len(res.Trace) != 8 {
+		t.Errorf("trace length = %d", len(res.Trace))
+	}
+}
+
+func TestGamePDIsThetaSqrtS(t *testing.T) {
+	// PD's ratio on the exact √|S|-request game is Θ(√|S|): it buys
+	// √|S|−1 singletons (cost 1 each) and then predicts by opening the
+	// large facility (cost √|S|) on the last request — total 2√|S|−1.
+	// The lower bound is tight, so no algorithm does better than √|S|/16.
+	u := 64
+	g, err := NewTheorem2Game(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, rounds, predicted := g.ExpectedRatio(core.PDFactory(core.Options{}), 7, 10)
+	if math.Abs(ratio-15) > 1e-9 { // 2√64 − 1
+		t.Errorf("PD ratio = %g, want exactly 15 on the deterministic trace", ratio)
+	}
+	if predicted == 0 {
+		t.Error("PD never predicted on the game")
+	}
+	if rounds > 8 {
+		t.Errorf("PD used %g opening rounds, more than √|S|", rounds)
+	}
+	if ratio < TheoreticalLowerBound(u)-1e-9 {
+		t.Errorf("PD ratio %g below the proven lower bound %g", ratio, TheoreticalLowerBound(u))
+	}
+}
+
+func TestGamePDBeatsNoPredictionOnLongSequence(t *testing.T) {
+	// The prediction payoff shows once the sequence continues past √|S|:
+	// requesting all |S| commodities costs no-prediction |S|·g(1) = |S|,
+	// while PD freezes at 2√|S|−1 (everything after the large facility
+	// connects for free).
+	u := 64
+	space := metric.SinglePoint()
+	costs := cost.CeilSqrt(u)
+	in := &instance.Instance{Space: space, Costs: costs}
+	for e := 0; e < u; e++ {
+		in.Requests = append(in.Requests, instance.Request{Point: 0, Demands: commodity.New(e)})
+	}
+	_, cPD, err := online.Run(core.PDFactory(core.Options{}), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cNP, err := online.Run(baseline.NoPredictionFactory(nil), in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNP != float64(u) {
+		t.Errorf("no-prediction cost = %g, want %d", cNP, u)
+	}
+	if math.Abs(cPD-15) > 1e-9 {
+		t.Errorf("PD cost = %g, want 15 = 2√|S|−1", cPD)
+	}
+}
+
+func TestGameLowerBoundHoldsForAllAlgorithms(t *testing.T) {
+	u := 100
+	g, err := NewTheorem2Game(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := TheoreticalLowerBound(u)
+	factories := []struct {
+		name string
+		f    func() (ratio float64)
+	}{
+		{"pd", func() float64 { r, _, _ := g.ExpectedRatio(core.PDFactory(core.Options{}), 3, 8); return r }},
+		{"rand", func() float64 { r, _, _ := g.ExpectedRatio(core.RandFactory(core.Options{}), 3, 8); return r }},
+		{"per-commodity", func() float64 {
+			r, _, _ := g.ExpectedRatio(baseline.PerCommodityPDFactory(nil), 3, 8)
+			return r
+		}},
+		{"no-prediction", func() float64 {
+			r, _, _ := g.ExpectedRatio(baseline.NoPredictionFactory(nil), 3, 8)
+			return r
+		}},
+	}
+	for _, tc := range factories {
+		if ratio := tc.f(); ratio < bound-1e-9 {
+			t.Errorf("%s: expected ratio %g below the Theorem 2 bound %g", tc.name, ratio, bound)
+		}
+	}
+}
+
+func TestClassCGameEndpoints(t *testing.T) {
+	// x = 2 (linear cost): combining commodities has no advantage; OPT
+	// pays √|S| too, so ratios collapse toward 1.
+	u := 64
+	g, err := NewClassCGame(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OptCost() != 8 {
+		t.Errorf("linear OPT = %g, want 8", g.OptCost())
+	}
+	ratio, _, _ := g.ExpectedRatio(baseline.NoPredictionFactory(nil), 5, 5)
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Errorf("no-prediction ratio under linear cost = %g, want 1", ratio)
+	}
+	// x = 0 (constant cost): a single facility covers everything for 1.
+	g0, err := NewClassCGame(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.OptCost() != 1 {
+		t.Errorf("constant OPT = %g", g0.OptCost())
+	}
+}
+
+func TestBoundFunctions(t *testing.T) {
+	u := 10000 // the |S| of Figure 2
+	// At x ∈ {0, 2} both curves equal 1·√|S|^0 = 1; at x = 1 both peak at
+	// |S|^{1/4} = 10.
+	for _, x := range []float64{0, 2} {
+		if got := ClassCUpperBound(u, x); math.Abs(got-1) > 1e-9 {
+			t.Errorf("upper(%g) = %g, want 1", x, got)
+		}
+		if got := ClassCLowerBound(u, x); math.Abs(got-1) > 1e-9 {
+			t.Errorf("lower(%g) = %g, want 1", x, got)
+		}
+	}
+	if got := ClassCUpperBound(u, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("upper(1) = %g, want 10 (= ⁴√|S|)", got)
+	}
+	if got := ClassCLowerBound(u, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("lower(1) = %g, want 10", got)
+	}
+	// Upper dominates lower everywhere on [0,2].
+	for x := 0.0; x <= 2.0001; x += 0.1 {
+		if ClassCUpperBound(u, x) < ClassCLowerBound(u, x)-1e-9 {
+			t.Errorf("upper(%g) < lower(%g)", x, x)
+		}
+	}
+}
+
+func TestLineAdversaryForcesRatioAboveOne(t *testing.T) {
+	la := &LineAdversary{Depth: 6, PerLevel: 3, FacilityCost: 1}
+	ratio := la.MeanRatio(core.PDFactory(core.Options{}), 11, 3)
+	if ratio <= 1 {
+		t.Errorf("line adversary ratio = %g, want > 1", ratio)
+	}
+}
+
+func TestLineAdversaryDeeperIsNoEasier(t *testing.T) {
+	shallow := &LineAdversary{Depth: 3, PerLevel: 2, FacilityCost: 1}
+	deep := &LineAdversary{Depth: 8, PerLevel: 2, FacilityCost: 1}
+	f := baseline.PerCommodityPDFactory(nil)
+	rs := shallow.MeanRatio(f, 2, 3)
+	rd := deep.MeanRatio(f, 2, 3)
+	if rd < rs*0.8 {
+		t.Errorf("deeper adversary ratio %g much below shallow %g", rd, rs)
+	}
+}
+
+func TestGameTraceMonotonicity(t *testing.T) {
+	g, err := NewTheorem2Game(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	res := g.Play(core.PDFactory(core.Options{}), rng, 3)
+	prevCovered, prevFac := 0, 0
+	for _, st := range res.Trace {
+		if st.CoveredSoFar < prevCovered || st.FacilitiesSoFar < prevFac {
+			t.Errorf("trace not monotone: %+v", st)
+		}
+		if st.CoveredSoFar < st.RequestedSoFar {
+			t.Errorf("covered %d < requested %d at step %d", st.CoveredSoFar, st.RequestedSoFar, st.Step)
+		}
+		prevCovered, prevFac = st.CoveredSoFar, st.FacilitiesSoFar
+	}
+}
+
+func BenchmarkTheorem2GamePD(b *testing.B) {
+	g, err := NewTheorem2Game(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Play(core.PDFactory(core.Options{}), rng, int64(i))
+	}
+}

@@ -1,0 +1,175 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/commodity"
+	"repro/internal/instance"
+)
+
+// OMFLPRelaxation builds and solves the simplified LP relaxation of
+// Section 1.1 over a configuration family:
+//
+//	min  Σ_{m,σ} f_m^σ y_m^σ + Σ_{m,σ,r} d(m,r) x_{mr}^σ
+//	s.t. Σ_{m, σ∋e} x_{mr}^σ ≥ 1   ∀r, ∀e ∈ s_r
+//	     x_{mr}^σ ≤ y_m^σ          ∀m, σ, r
+//	     x, y ≥ 0
+//
+// When the family contains every non-empty subset of S (universes ≤
+// maxFullEnum), the LP value is a true lower bound on the integral OPT.
+// Larger universes use a restricted family, in which case the value is only
+// a lower bound on the restricted ILP — the report flags this.
+type RelaxationResult struct {
+	Value    float64
+	Exact    bool // true when the configuration family was complete
+	Configs  int
+	Vars     int
+	Rows     int
+	Solution *Solution
+}
+
+// maxFullEnum mirrors the exact offline solver's threshold: up to this
+// universe size every subset is enumerated.
+const maxFullEnum = 6
+
+// OMFLPRelaxation solves the LP relaxation for the instance. The x
+// variables are restricted to (m, σ, r) triples with σ ∩ s_r ≠ ∅ (others
+// never help), keeping the LP compact.
+func OMFLPRelaxation(in *instance.Instance) (*RelaxationResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	u := in.Universe()
+	var family []commodity.Set
+	exact := u <= maxFullEnum
+	if exact {
+		family = commodity.AllSubsets(u)
+	} else {
+		seen := map[string]commodity.Set{}
+		for e := 0; e < u; e++ {
+			s := commodity.New(e)
+			seen[s.Key()] = s
+		}
+		full := commodity.Full(u)
+		seen[full.Key()] = full
+		for _, r := range in.Requests {
+			seen[r.Demands.Key()] = r.Demands
+		}
+		for _, s := range seen {
+			family = append(family, s)
+		}
+		family = commodity.Sorted(family)
+	}
+
+	p := NewProblem()
+	nPoints := in.Space.Len()
+
+	// y variables.
+	yIdx := make([][]int, nPoints) // [m][configIdx]
+	for m := 0; m < nPoints; m++ {
+		yIdx[m] = make([]int, len(family))
+		for ci, cfg := range family {
+			yIdx[m][ci] = p.AddVariable(in.Costs.Cost(m, cfg), fmt.Sprintf("y[%d,%s]", m, cfg))
+		}
+	}
+	// x variables (sparse: only configs intersecting the request demand).
+	type xKey struct{ m, ci, r int }
+	xIdx := map[xKey]int{}
+	for ri, r := range in.Requests {
+		for m := 0; m < nPoints; m++ {
+			d := in.Space.Distance(m, r.Point)
+			for ci, cfg := range family {
+				if !cfg.Intersects(r.Demands) {
+					continue
+				}
+				xIdx[xKey{m, ci, ri}] = p.AddVariable(d, fmt.Sprintf("x[%d,%s,%d]", m, cfg, ri))
+			}
+		}
+	}
+
+	// Coverage constraints: Σ_{m, σ∋e} x ≥ 1.
+	for ri, r := range in.Requests {
+		ids := r.Demands.IDs()
+		for _, e := range ids {
+			coeffs := map[int]float64{}
+			for m := 0; m < nPoints; m++ {
+				for ci, cfg := range family {
+					if !cfg.Contains(e) {
+						continue
+					}
+					if v, ok := xIdx[xKey{m, ci, ri}]; ok {
+						coeffs[v] = 1
+					}
+				}
+			}
+			p.AddConstraint(coeffs, GE, 1)
+		}
+	}
+	// Capacity constraints: x ≤ y.
+	for k, xv := range xIdx {
+		p.AddConstraint(map[int]float64{xv: 1, yIdx[k.m][k.ci]: -1}, LE, 0)
+	}
+
+	status, sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if status != Optimal {
+		return nil, fmt.Errorf("lp: OMFLP relaxation %v", status)
+	}
+	return &RelaxationResult{
+		Value:    sol.Objective,
+		Exact:    exact,
+		Configs:  len(family),
+		Vars:     p.NumVariables(),
+		Rows:     p.NumConstraints(),
+		Solution: sol,
+	}, nil
+}
+
+// DualObjective evaluates the simplified dual objective Σ_r Σ_{e∈s_r} a_re
+// for externally produced dual values (e.g. PD-OMFLP's γ-scaled duals) and
+// reports whether they satisfy every dual constraint over the given family:
+//
+//	Σ_r ( Σ_{e∈s_r∩σ} a_re − d(m,r) )_+ ≤ f_m^σ
+//
+// Feasible duals certify DualObjective ≤ LP ≤ OPT (weak duality).
+func DualObjective(in *instance.Instance, duals [][]float64, demandIDs [][]int, points []int, family []commodity.Set, tol float64) (float64, bool) {
+	var obj float64
+	for ri := range duals {
+		for i := range duals[ri] {
+			obj += duals[ri][i]
+		}
+	}
+	for m := 0; m < in.Space.Len(); m++ {
+		for _, sigma := range family {
+			var lhs float64
+			for ri := range duals {
+				var sum float64
+				for i, e := range demandIDs[ri] {
+					if sigma.Contains(e) {
+						sum += duals[ri][i]
+					}
+				}
+				if v := sum - in.Space.Distance(m, points[ri]); v > 0 {
+					lhs += v
+				}
+			}
+			if lhs > in.Costs.Cost(m, sigma)+tol {
+				return obj, false
+			}
+		}
+	}
+	return obj, true
+}
+
+// IntegralityGap computes exactOPT / LP for a small instance given the exact
+// optimum (from the branch-and-bound solver). Returns NaN when the LP value
+// is ~0 (both costs zero).
+func IntegralityGap(exactOPT, lpValue float64) float64 {
+	if lpValue < 1e-12 {
+		return math.NaN()
+	}
+	return exactOPT / lpValue
+}

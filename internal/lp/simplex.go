@@ -1,0 +1,329 @@
+// Package lp provides a from-scratch dense linear programming solver (two-
+// phase primal simplex with Bland's rule) and a builder for the OMFLP linear
+// program of Section 1.1. The paper's entire analysis is LP duality: the
+// primal covers requests with configured facilities, the dual raises
+// per-commodity request variables a_re against facility budgets. Solving the
+// relaxation exactly (for small universes, where the configuration family is
+// complete) yields true lower bounds on OPT — the reference the empirical
+// competitive ratios are measured against in the lpgap experiment.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation of a linear constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota // Σ a_i x_i ≤ b
+	GE                 // Σ a_i x_i ≥ b
+	EQ                 // Σ a_i x_i = b
+)
+
+// Problem is a linear program: minimize c·x subject to linear constraints
+// and x ≥ 0. Build it incrementally; Solve returns the optimum.
+type Problem struct {
+	obj  []float64 // objective coefficients per variable
+	rows []row
+	name []string
+}
+
+type row struct {
+	coeffs map[int]float64
+	rel    Relation
+	rhs    float64
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a variable with the given objective coefficient and
+// returns its index. Variables are implicitly ≥ 0.
+func (p *Problem) AddVariable(objCoeff float64, name string) int {
+	p.obj = append(p.obj, objCoeff)
+	p.name = append(p.name, name)
+	return len(p.obj) - 1
+}
+
+// AddConstraint adds Σ coeffs[v]·x_v REL rhs. Unknown variable indices are an
+// error at Solve time; coefficients map from variable index.
+func (p *Problem) AddConstraint(coeffs map[int]float64, rel Relation, rhs float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for v, c := range coeffs {
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	p.rows = append(p.rows, row{coeffs: cp, rel: rel, rhs: rhs})
+}
+
+// NumVariables returns the number of declared variables.
+func (p *Problem) NumVariables() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Solution of a solved LP.
+type Solution struct {
+	Objective float64
+	X         []float64
+}
+
+// Status of a solve attempt.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+const simplexEps = 1e-9
+
+// Solve runs two-phase primal simplex. It returns the status and, for
+// Optimal, the solution.
+func (p *Problem) Solve() (Status, *Solution, error) {
+	n := len(p.obj)
+	for _, r := range p.rows {
+		for v := range r.coeffs {
+			if v < 0 || v >= n {
+				return Infeasible, nil, fmt.Errorf("lp: constraint references unknown variable %d", v)
+			}
+		}
+	}
+
+	// Standard form: flip rows to non-negative rhs, add slack (LE) or
+	// surplus (GE) variables, then artificials where no natural basis
+	// column exists.
+	m := len(p.rows)
+	type stdRow struct {
+		coeffs map[int]float64
+		rhs    float64
+	}
+	rows := make([]stdRow, m)
+	next := n // next variable index to allocate
+	slackOf := make([]int, m)
+	for i := range slackOf {
+		slackOf[i] = -1
+	}
+	for i, r := range p.rows {
+		coeffs := make(map[int]float64, len(r.coeffs)+1)
+		for v, c := range r.coeffs {
+			coeffs[v] = c
+		}
+		rhs := r.rhs
+		rel := r.rel
+		if rhs < 0 {
+			for v := range coeffs {
+				coeffs[v] = -coeffs[v]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			coeffs[next] = 1 // slack; natural basis column
+			slackOf[i] = next
+			next++
+		case GE:
+			coeffs[next] = -1 // surplus
+			next++
+		}
+		rows[i] = stdRow{coeffs: coeffs, rhs: rhs}
+	}
+
+	// Artificials for rows without a usable basis column.
+	totalVars := next
+	basis := make([]int, m)
+	artificial := map[int]bool{}
+	for i := range rows {
+		if slackOf[i] >= 0 {
+			basis[i] = slackOf[i]
+			continue
+		}
+		a := totalVars
+		totalVars++
+		rows[i].coeffs[a] = 1
+		basis[i] = a
+		artificial[a] = true
+	}
+
+	// Dense tableau: m rows × totalVars columns plus rhs.
+	tab := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i, r := range rows {
+		tab[i] = make([]float64, totalVars)
+		for v, c := range r.coeffs {
+			tab[i][v] = c
+		}
+		rhs[i] = r.rhs
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if len(artificial) > 0 {
+		objP1 := make([]float64, totalVars)
+		for a := range artificial {
+			objP1[a] = 1
+		}
+		val, status := runSimplex(tab, rhs, basis, objP1)
+		if status == Unbounded {
+			return Infeasible, nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if val > simplexEps {
+			return Infeasible, nil, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, b := range basis {
+			if !artificial[b] {
+				continue
+			}
+			pivoted := false
+			for v := 0; v < totalVars; v++ {
+				if artificial[v] {
+					continue
+				}
+				if math.Abs(tab[i][v]) > simplexEps {
+					pivot(tab, rhs, basis, i, v)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is redundant; leave the artificial at value 0.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: original objective (artificials pinned by zeroing their
+	// columns' eligibility — we simply forbid them as entering variables).
+	objP2 := make([]float64, totalVars)
+	copy(objP2, p.obj)
+	val, status := runSimplexFiltered(tab, rhs, basis, objP2, artificial)
+	if status == Unbounded {
+		return Unbounded, nil, nil
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = rhs[i]
+		}
+	}
+	return Optimal, &Solution{Objective: val, X: x}, nil
+}
+
+// runSimplex minimizes obj over the current tableau (no forbidden columns).
+func runSimplex(tab [][]float64, rhs []float64, basis []int, obj []float64) (float64, Status) {
+	return runSimplexFiltered(tab, rhs, basis, obj, nil)
+}
+
+// runSimplexFiltered minimizes obj, never letting variables in `forbidden`
+// enter the basis. Bland's rule guarantees termination.
+func runSimplexFiltered(tab [][]float64, rhs []float64, basis []int, obj []float64, forbidden map[int]bool) (float64, Status) {
+	m := len(tab)
+	if m == 0 {
+		return 0, Optimal
+	}
+	nv := len(tab[0])
+	// y = simplex multipliers implied by the basis: reduced cost of v is
+	// obj[v] − Σ_i y_i tab[i][v] where y solves obj over basis columns.
+	// With an explicit tableau we instead keep the tableau in "basis =
+	// identity" form by pivoting, so the reduced costs are obj[v] −
+	// Σ_i obj[basis[i]]·tab[i][v].
+	for iter := 0; ; iter++ {
+		if iter > 10000*(nv+m) {
+			// Bland's rule makes cycling impossible; this guards against
+			// numerical livelock on pathological inputs.
+			return 0, Unbounded
+		}
+		// Entering variable: smallest index with negative reduced cost.
+		enter := -1
+		for v := 0; v < nv; v++ {
+			if forbidden != nil && forbidden[v] {
+				continue
+			}
+			rc := obj[v]
+			for i := 0; i < m; i++ {
+				if cb := obj[basis[i]]; cb != 0 {
+					rc -= cb * tab[i][v]
+				}
+			}
+			if rc < -simplexEps {
+				enter = v
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal: objective value = Σ obj[basis[i]]·rhs[i].
+			var val float64
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * rhs[i]
+			}
+			return val, Optimal
+		}
+		// Leaving row: min ratio, ties by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > simplexEps {
+				ratio := rhs[i] / tab[i][enter]
+				if ratio < bestRatio-simplexEps ||
+					(math.Abs(ratio-bestRatio) <= simplexEps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, Unbounded
+		}
+		pivot(tab, rhs, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col) and updates the basis.
+func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
+	m := len(tab)
+	nv := len(tab[row])
+	pv := tab[row][col]
+	for v := 0; v < nv; v++ {
+		tab[row][v] /= pv
+	}
+	rhs[row] /= pv
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for v := 0; v < nv; v++ {
+			tab[i][v] -= f * tab[row][v]
+		}
+		rhs[i] -= f * rhs[row]
+	}
+	basis[row] = col
+}

@@ -1,0 +1,250 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	status, sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Optimal {
+		t.Fatalf("status = %v, want optimal", status)
+	}
+	return sol
+}
+
+func TestSimplexTextbook(t *testing.T) {
+	// min -3x - 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=-36.
+	p := NewProblem()
+	x := p.AddVariable(-3, "x")
+	y := p.AddVariable(-5, "y")
+	p.AddConstraint(map[int]float64{x: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{y: 2}, LE, 12)
+	p.AddConstraint(map[int]float64{x: 3, y: 2}, LE, 18)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+36) > 1e-9 {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if math.Abs(sol.X[x]-2) > 1e-9 || math.Abs(sol.X[y]-6) > 1e-9 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestSimplexGEConstraints(t *testing.T) {
+	// min 2a + 3b s.t. a + b ≥ 4, a ≥ 1 → a=4, b=0, obj=8.
+	p := NewProblem()
+	a := p.AddVariable(2, "a")
+	b := p.AddVariable(3, "b")
+	p.AddConstraint(map[int]float64{a: 1, b: 1}, GE, 4)
+	p.AddConstraint(map[int]float64{a: 1}, GE, 1)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-8) > 1e-9 {
+		t.Errorf("objective = %g, want 8", sol.Objective)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x ≥ 0, y ≥ 0 → y=2, obj=2.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	y := p.AddVariable(1, "y")
+	p.AddConstraint(map[int]float64{x: 1, y: 2}, EQ, 4)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -3 (i.e. x ≥ 3) → 3.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	p.AddConstraint(map[int]float64{x: -1}, LE, -3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("objective = %g, want 3", sol.Objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	p.AddConstraint(map[int]float64{x: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{x: 1}, GE, 2)
+	status, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Infeasible {
+		t.Errorf("status = %v, want infeasible", status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1, "x") // minimize -x with no upper bound
+	p.AddConstraint(map[int]float64{x: 1}, GE, 0)
+	status, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Unbounded {
+		t.Errorf("status = %v, want unbounded", status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex (redundant constraints through one point); Bland's
+	// rule must terminate.
+	p := NewProblem()
+	x := p.AddVariable(-1, "x")
+	y := p.AddVariable(-1, "y")
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, LE, 2)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, LE, 2)
+	p.AddConstraint(map[int]float64{x: 2, y: 2}, LE, 4)
+	p.AddConstraint(map[int]float64{x: 1}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+2) > 1e-9 {
+		t.Errorf("objective = %g, want -2", sol.Objective)
+	}
+}
+
+func TestSimplexUnknownVariable(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable(1, "x")
+	p.AddConstraint(map[int]float64{5: 1}, LE, 1)
+	if _, _, err := p.Solve(); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestSimplexEmptyProblem(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(3, "x")
+	sol := solveOK(t, p)
+	if sol.Objective != 0 || sol.X[x] != 0 {
+		t.Errorf("empty problem: %+v", sol)
+	}
+}
+
+// Property: on random feasible bounded LPs (min cᵀx, Ax ≤ b with b ≥ 0,
+// c ≥ 0), the optimum is 0 (x = 0 is optimal). Checks phase handling and
+// sign conventions.
+func TestQuickTrivialOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		n := 1 + rng.Intn(5)
+		for v := 0; v < n; v++ {
+			p.AddVariable(rng.Float64()*5, "v")
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			coeffs := map[int]float64{}
+			for v := 0; v < n; v++ {
+				coeffs[v] = rng.Float64()*4 - 2
+			}
+			p.AddConstraint(coeffs, LE, rng.Float64()*3)
+		}
+		status, sol, err := p.Solve()
+		return err == nil && status == Optimal && math.Abs(sol.Objective) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simplex solution is primal-feasible: every constraint holds
+// and x ≥ 0, and the objective matches c·x.
+func TestQuickSolutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		n := 1 + rng.Intn(4)
+		obj := make([]float64, n)
+		for v := 0; v < n; v++ {
+			obj[v] = rng.Float64() * 3
+			p.AddVariable(obj[v], "v")
+		}
+		type cons struct {
+			coeffs map[int]float64
+			rel    Relation
+			rhs    float64
+		}
+		var cs []cons
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			coeffs := map[int]float64{}
+			for v := 0; v < n; v++ {
+				coeffs[v] = rng.Float64() * 2
+			}
+			// GE with positive rhs keeps the problem feasible and bounded.
+			c := cons{coeffs: coeffs, rel: GE, rhs: rng.Float64() * 2}
+			cs = append(cs, c)
+			p.AddConstraint(coeffs, c.rel, c.rhs)
+		}
+		status, sol, err := p.Solve()
+		if err != nil || status != Optimal {
+			// GE rows with all-zero coefficients and positive rhs are
+			// legitimately infeasible; accept that outcome.
+			return status == Infeasible && err == nil
+		}
+		var dot float64
+		for v := 0; v < n; v++ {
+			if sol.X[v] < -1e-9 {
+				return false
+			}
+			dot += obj[v] * sol.X[v]
+		}
+		if math.Abs(dot-sol.Objective) > 1e-6 {
+			return false
+		}
+		for _, c := range cs {
+			var lhs float64
+			for v, a := range c.coeffs {
+				lhs += a * sol.X[v]
+			}
+			if lhs < c.rhs-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	build := func() *Problem {
+		p := NewProblem()
+		const n, m = 40, 30
+		for v := 0; v < n; v++ {
+			p.AddVariable(rng.Float64()*5, "v")
+		}
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					coeffs[v] = rng.Float64() * 2
+				}
+			}
+			coeffs[rng.Intn(n)] = 1 + rng.Float64()
+			p.AddConstraint(coeffs, GE, 1)
+		}
+		return p
+	}
+	p := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package metric
+
+import "math/rand"
+
+// RandomLine returns a line metric of n points drawn uniformly from
+// [0, width].
+func RandomLine(rng *rand.Rand, n int, width float64) *Line {
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.Float64() * width
+	}
+	return NewLine(pos)
+}
+
+// RandomEuclidean returns n points drawn uniformly from [0, width]^dim.
+func RandomEuclidean(rng *rand.Rand, n, dim int, width float64) *Euclidean {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for k := range p {
+			p[k] = rng.Float64() * width
+		}
+		pts[i] = p
+	}
+	return NewEuclidean(pts)
+}
+
+// ClusteredEuclidean returns n 2-d points grouped around k cluster centers
+// placed uniformly in [0, width]^2, with per-cluster Gaussian spread. The
+// returned center indices give the point closest to each cluster center
+// (centers themselves are included as the first k points).
+func ClusteredEuclidean(rng *rand.Rand, n, k int, width, spread float64) (space *Euclidean, centers []int) {
+	if k < 1 {
+		panic("metric: need at least one cluster")
+	}
+	if n < k {
+		n = k
+	}
+	pts := make([][]float64, 0, n)
+	centerPos := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		centerPos[c] = []float64{rng.Float64() * width, rng.Float64() * width}
+		pts = append(pts, centerPos[c])
+	}
+	for i := k; i < n; i++ {
+		c := rng.Intn(k)
+		pts = append(pts, []float64{
+			centerPos[c][0] + rng.NormFloat64()*spread,
+			centerPos[c][1] + rng.NormFloat64()*spread,
+		})
+	}
+	centers = make([]int, k)
+	for c := range centers {
+		centers[c] = c
+	}
+	return NewEuclidean(pts), centers
+}
+
+// RandomGraph returns the shortest-path metric of a connected random graph:
+// a Hamiltonian path (guaranteeing connectivity) plus extra random edges,
+// with weights uniform in (0, maxW].
+func RandomGraph(rng *rand.Rand, n, extraEdges int, maxW float64) *Graph {
+	b := NewGraphBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(perm[i-1], perm[i], rng.Float64()*maxW+1e-9)
+	}
+	for e := 0; e < extraEdges; e++ {
+		a, bb := rng.Intn(n), rng.Intn(n)
+		if a == bb {
+			continue
+		}
+		b.AddEdge(a, bb, rng.Float64()*maxW+1e-9)
+	}
+	g, err := b.Build()
+	if err != nil {
+		// Unreachable: the Hamiltonian path keeps the graph connected.
+		panic(err)
+	}
+	return g
+}

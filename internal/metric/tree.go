@@ -1,0 +1,82 @@
+package metric
+
+import "fmt"
+
+// Tree is the shortest-path metric of a weighted rooted tree — the classic
+// hierarchical substrate of facility-location theory (cf. the hierarchical
+// cost functions of Svitkina–Tardos referenced in the paper's related work).
+// Distances are computed via lowest common ancestors on depth arrays.
+type Tree struct {
+	parent []int
+	depthW []float64 // weighted depth from the root
+	depth  []int     // unweighted depth (for LCA stepping)
+}
+
+// NewTree builds a tree metric from parent pointers: parent[0] must be -1
+// (the root) and parent[i] < i for i > 0 (nodes in topological order);
+// weight[i] is the length of the edge to the parent (weight[0] ignored).
+func NewTree(parent []int, weight []float64) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("metric: empty tree")
+	}
+	if len(weight) != n {
+		return nil, fmt.Errorf("metric: %d weights for %d nodes", len(weight), n)
+	}
+	if parent[0] != -1 {
+		return nil, fmt.Errorf("metric: node 0 must be the root (parent -1)")
+	}
+	t := &Tree{
+		parent: append([]int(nil), parent...),
+		depthW: make([]float64, n),
+		depth:  make([]int, n),
+	}
+	for i := 1; i < n; i++ {
+		if parent[i] < 0 || parent[i] >= i {
+			return nil, fmt.Errorf("metric: parent[%d] = %d must be in [0, %d)", i, parent[i], i)
+		}
+		if weight[i] < 0 {
+			return nil, fmt.Errorf("metric: negative edge weight at node %d", i)
+		}
+		t.depthW[i] = t.depthW[parent[i]] + weight[i]
+		t.depth[i] = t.depth[parent[i]] + 1
+	}
+	return t, nil
+}
+
+func (t *Tree) Len() int     { return len(t.parent) }
+func (t *Tree) Name() string { return "tree" }
+
+// Distance walks both nodes up to their lowest common ancestor.
+func (t *Tree) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	di, dj := t.depthW[i], t.depthW[j]
+	for t.depth[i] > t.depth[j] {
+		i = t.parent[i]
+	}
+	for t.depth[j] > t.depth[i] {
+		j = t.parent[j]
+	}
+	for i != j {
+		i = t.parent[i]
+		j = t.parent[j]
+	}
+	return di + dj - 2*t.depthW[i]
+}
+
+// LCA returns the lowest common ancestor of i and j.
+func (t *Tree) LCA(i, j int) int {
+	for t.depth[i] > t.depth[j] {
+		i = t.parent[i]
+	}
+	for t.depth[j] > t.depth[i] {
+		j = t.parent[j]
+	}
+	for i != j {
+		i = t.parent[i]
+		j = t.parent[j]
+	}
+	return i
+}

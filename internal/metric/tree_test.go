@@ -1,0 +1,125 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeKnownDistances(t *testing.T) {
+	//       0
+	//      / \
+	//     1   2      edge weights: 1→0: 2, 2→0: 3, 3→1: 1, 4→1: 4
+	//    / \
+	//   3   4
+	tr, err := NewTree([]int{-1, 0, 0, 1, 1}, []float64{0, 2, 3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 0},
+		{0, 1, 2},
+		{0, 3, 3},
+		{3, 4, 5},
+		{3, 2, 6},
+		{4, 2, 9},
+	}
+	for _, c := range cases {
+		if got := tr.Distance(c.i, c.j); got != c.want {
+			t.Errorf("d(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+		if got := tr.Distance(c.j, c.i); got != c.want {
+			t.Errorf("d(%d,%d) asymmetric", c.j, c.i)
+		}
+	}
+	if lca := tr.LCA(3, 4); lca != 1 {
+		t.Errorf("LCA(3,4) = %d, want 1", lca)
+	}
+	if lca := tr.LCA(3, 2); lca != 0 {
+		t.Errorf("LCA(3,2) = %d, want 0", lca)
+	}
+	if err := Check(tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := NewTree(nil, nil); err == nil {
+		t.Error("empty tree accepted")
+	}
+	if _, err := NewTree([]int{0}, []float64{0}); err == nil {
+		t.Error("non-root node 0 accepted")
+	}
+	if _, err := NewTree([]int{-1, 2, 1}, []float64{0, 1, 1}); err == nil {
+		t.Error("forward parent pointer accepted")
+	}
+	if _, err := NewTree([]int{-1, 0}, []float64{0, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewTree([]int{-1, 0}, []float64{0}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+}
+
+// Property: random trees always satisfy the metric axioms, and tree
+// distances match the equivalent graph's shortest paths.
+func TestQuickTreeIsMetricAndMatchesGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		parent := make([]int, n)
+		weight := make([]float64, n)
+		parent[0] = -1
+		gb := NewGraphBuilder(n)
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i)
+			weight[i] = rng.Float64() * 5
+			gb.AddEdge(i, parent[i], weight[i])
+		}
+		tr, err := NewTree(parent, weight)
+		if err != nil {
+			return false
+		}
+		if Check(tr) != nil {
+			return false
+		}
+		g, err := gb.Build()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if diff := tr.Distance(i, j) - g.Distance(i, j); diff > 1e-9 || diff < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTreeDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	parent := make([]int, n)
+	weight := make([]float64, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = rng.Float64()
+	}
+	tr, err := NewTree(parent, weight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Distance(i%n, (i*31)%n)
+	}
+}

@@ -1,0 +1,64 @@
+package ofl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+func TestConstructorPanics(t *testing.T) {
+	space := metric.SinglePoint()
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"meyerson-no-candidates": func() { NewMeyerson(space, uniformCost(1), nil, rng) },
+		"fotakis-no-candidates":  func() { NewFotakisPD(space, uniformCost(1), nil) },
+		"fotakis-zero-cost":      func() { NewFotakisPD(space, uniformCost(0), []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeyersonForcedOpeningPath(t *testing.T) {
+	// With enormous facility costs, every coin flip has probability
+	// d/C ≈ 0 on the first demand (budget = C + d dominated by C, and
+	// improvement/C ≪ 1), so the forced-opening branch must cover it.
+	space := metric.SinglePoint()
+	for s := int64(0); s < 30; s++ {
+		rng := rand.New(rand.NewSource(s))
+		m := NewMeyerson(space, uniformCost(1e9), []int{0}, rng)
+		connect, opened := m.Place(0)
+		if len(m.Facilities()) != 1 {
+			t.Fatalf("seed %d: facilities = %v", s, m.Facilities())
+		}
+		if connect != 0 || len(opened) != 1 {
+			t.Errorf("seed %d: connect=%d opened=%v", s, connect, opened)
+		}
+	}
+}
+
+func TestMeyersonManyClasses(t *testing.T) {
+	// Costs spanning many powers of two exercise the multi-class loop.
+	space := metric.NewGrid(8, 10)
+	costs := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	fc := func(m int) float64 { return costs[m] }
+	rng := rand.New(rand.NewSource(5))
+	m := NewMeyerson(space, fc, allPoints(8), rng)
+	open := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		connect, opened := m.Place(i % 8)
+		for _, o := range opened {
+			open[o] = true
+		}
+		if !open[connect] {
+			t.Fatal("connected to unopened facility")
+		}
+	}
+}

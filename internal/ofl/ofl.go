@@ -1,0 +1,107 @@
+// Package ofl provides classic single-commodity Online Facility Location
+// algorithms, the substrate for the trivial per-commodity OMFLP baseline the
+// paper mentions in Section 1.3 ("solve an instance of the OFLP for each
+// commodity separately").
+//
+// Two algorithms are provided:
+//
+//   - Meyerson: the randomized algorithm of Meyerson (FOCS 2001),
+//     O(log n / log log n)-competitive, generalized to non-uniform facility
+//     costs via power-of-two cost classes (the same machinery RAND-OMFLP
+//     reuses for configurations).
+//   - FotakisPD: a deterministic primal-dual algorithm in the style of
+//     Fotakis (J. Discrete Algorithms 2007), O(log n)-competitive; it is the
+//     single-commodity restriction of PD-OMFLP (Constraints (1) and (3)).
+//
+// Both operate on a metric space with a per-point facility opening cost and
+// process demand points online.
+package ofl
+
+import (
+	"math"
+
+	"repro/internal/metric"
+)
+
+// Algorithm is a single-commodity online facility location algorithm.
+type Algorithm interface {
+	// Place processes a demand at point p. It returns the point of the
+	// facility the demand is connected to and the points of any facilities
+	// opened while processing the demand.
+	Place(p int) (connectTo int, opened []int)
+	// Facilities returns the points with an open facility, in opening
+	// order.
+	Facilities() []int
+}
+
+// FacilityCost gives the opening cost at each candidate point.
+type FacilityCost func(point int) float64
+
+// nearestFacility returns the open facility closest to p, or (-1, +Inf).
+func nearestFacility(space metric.Space, facilities []int, p int) (int, float64) {
+	return metric.Nearest(space, p, facilities)
+}
+
+// classes partitions candidate points by facility cost rounded down to the
+// nearest power of two, ascending. points[i] lists the candidates whose
+// class index is ≤ i (cumulative), so a "class-i facility closest to p"
+// always means the best facility at least as cheap as class i.
+type classes struct {
+	values []float64 // distinct power-of-two class values, ascending
+	points [][]int   // cumulative point lists, aligned with values
+}
+
+// buildClasses groups candidates by cost class. Zero- or negative-cost
+// points are treated as class value of the smallest positive power of two
+// below the smallest positive cost (the paper assumes positive costs).
+func buildClasses(cands []int, fc FacilityCost) classes {
+	type pc struct {
+		point int
+		class float64
+	}
+	pcs := make([]pc, 0, len(cands))
+	for _, m := range cands {
+		c := fc(m)
+		if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			panic("ofl: facility costs must be positive and finite")
+		}
+		pcs = append(pcs, pc{point: m, class: math.Pow(2, math.Floor(math.Log2(c)))})
+	}
+	// Collect distinct class values ascending.
+	distinct := map[float64]bool{}
+	for _, x := range pcs {
+		distinct[x.class] = true
+	}
+	var cl classes
+	for v := range distinct {
+		cl.values = append(cl.values, v)
+	}
+	sortFloats(cl.values)
+	cl.points = make([][]int, len(cl.values))
+	for i, v := range cl.values {
+		var pts []int
+		if i > 0 {
+			pts = append(pts, cl.points[i-1]...)
+		}
+		for _, x := range pcs {
+			if x.class == v {
+				pts = append(pts, x.point)
+			}
+		}
+		cl.points[i] = pts
+	}
+	return cl
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// nearest returns the candidate of class ≤ i nearest to p.
+func (c *classes) nearest(space metric.Space, i, p int) (int, float64) {
+	return metric.Nearest(space, p, c.points[i])
+}

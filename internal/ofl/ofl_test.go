@@ -1,0 +1,306 @@
+package ofl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+)
+
+func uniformCost(c float64) FacilityCost {
+	return func(int) float64 { return c }
+}
+
+func allPoints(n int) []int {
+	pts := make([]int, n)
+	for i := range pts {
+		pts[i] = i
+	}
+	return pts
+}
+
+func TestBuildClasses(t *testing.T) {
+	// Costs 1, 3, 5, 8 → classes 1, 2, 4, 8.
+	costs := []float64{1, 3, 5, 8}
+	fc := func(m int) float64 { return costs[m] }
+	cl := buildClasses(allPoints(4), fc)
+	want := []float64{1, 2, 4, 8}
+	if len(cl.values) != 4 {
+		t.Fatalf("classes = %v", cl.values)
+	}
+	for i, v := range want {
+		if cl.values[i] != v {
+			t.Errorf("class %d = %g, want %g", i, cl.values[i], v)
+		}
+	}
+	// Cumulative points: class i includes all cheaper classes.
+	for i := range cl.points {
+		if len(cl.points[i]) != i+1 {
+			t.Errorf("cumulative class %d has %d points", i, len(cl.points[i]))
+		}
+	}
+}
+
+func TestBuildClassesRejectsBadCosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero cost must panic")
+		}
+	}()
+	buildClasses([]int{0}, uniformCost(0))
+}
+
+func TestMeyersonFirstDemandOpensFacility(t *testing.T) {
+	space := metric.NewLine([]float64{0, 5, 10})
+	rng := rand.New(rand.NewSource(1))
+	m := NewMeyerson(space, uniformCost(3), allPoints(3), rng)
+	connect, opened := m.Place(0)
+	if len(m.Facilities()) == 0 {
+		t.Fatal("no facility after first demand")
+	}
+	if len(opened) == 0 {
+		t.Error("first demand must report an opening")
+	}
+	if connect != m.Facilities()[0] && len(m.Facilities()) == 1 {
+		t.Errorf("connected to %d, facilities %v", connect, m.Facilities())
+	}
+}
+
+func TestMeyersonColocatedDemandsOpenFewFacilities(t *testing.T) {
+	// All demands at one point with expensive facilities: Meyerson should
+	// open roughly one facility there, not one per demand.
+	space := metric.SinglePoint()
+	rng := rand.New(rand.NewSource(7))
+	m := NewMeyerson(space, uniformCost(100), []int{0}, rng)
+	for i := 0; i < 200; i++ {
+		m.Place(0)
+	}
+	if got := len(m.Facilities()); got != 1 {
+		t.Errorf("opened %d facilities at a single point, want 1", got)
+	}
+}
+
+func TestMeyersonConnectsToNearest(t *testing.T) {
+	space := metric.NewLine([]float64{0, 1, 100})
+	rng := rand.New(rand.NewSource(3))
+	m := NewMeyerson(space, uniformCost(0.001), allPoints(3), rng)
+	m.Place(0) // opens at/near 0 (cost tiny)
+	connect, _ := m.Place(1)
+	// With near-zero costs a facility opens at the demand point itself.
+	if d := space.Distance(1, connect); d > 1 {
+		t.Errorf("connected across distance %g", d)
+	}
+}
+
+func TestFotakisPDSingleDemand(t *testing.T) {
+	space := metric.NewLine([]float64{0, 2})
+	f := NewFotakisPD(space, uniformCost(5), allPoints(2))
+	connect, opened := f.Place(0)
+	if len(opened) != 1 || opened[0] != 0 {
+		t.Fatalf("opened %v, want facility at point 0", opened)
+	}
+	if connect != 0 {
+		t.Errorf("connected to %d", connect)
+	}
+}
+
+func TestFotakisPDAccumulatesBids(t *testing.T) {
+	// Facility cost 10 at both ends of a short segment; demands at point 0.
+	// The first demand pays the whole cost; subsequent co-located demands
+	// connect for free (their dual freezes at 0).
+	space := metric.NewLine([]float64{0, 1})
+	f := NewFotakisPD(space, uniformCost(10), allPoints(2))
+	f.Place(0)
+	if len(f.Facilities()) != 1 {
+		t.Fatalf("facilities = %v", f.Facilities())
+	}
+	for i := 0; i < 5; i++ {
+		connect, opened := f.Place(0)
+		if len(opened) != 0 {
+			t.Errorf("reopened facility: %v", opened)
+		}
+		if connect != 0 {
+			t.Errorf("connected to %d", connect)
+		}
+	}
+}
+
+func TestFotakisPDOpensSecondFacilityWhenWorthwhile(t *testing.T) {
+	// Two far-apart clusters: repeated demands at the far point must
+	// eventually open a local facility rather than pay the long distance
+	// forever.
+	space := metric.NewLine([]float64{0, 100})
+	f := NewFotakisPD(space, uniformCost(10), allPoints(2))
+	f.Place(0) // opens at 0
+	var openedSecond bool
+	for i := 0; i < 5; i++ {
+		_, opened := f.Place(1)
+		if len(opened) > 0 {
+			openedSecond = true
+			break
+		}
+	}
+	if !openedSecond {
+		t.Error("never opened a facility at the far cluster")
+	}
+	// In fact the very first far demand should open it: its dual rises to
+	// min(d(F,r)=100, f + d(m,r) = 10+0) = 10.
+	if len(f.Facilities()) != 2 {
+		t.Errorf("facilities = %v", f.Facilities())
+	}
+}
+
+func TestFotakisPDNeverExceedsTrivialCost(t *testing.T) {
+	// Sanity: on random instances, total PD cost ≤ n·(f + diameter) and
+	// every demand connects to an open facility.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		space := metric.RandomLine(rng, 20, 50)
+		fcost := 1 + rng.Float64()*10
+		f := NewFotakisPD(space, uniformCost(fcost), allPoints(20))
+		var total float64
+		n := 30
+		open := map[int]bool{}
+		for i := 0; i < n; i++ {
+			p := rng.Intn(20)
+			connect, opened := f.Place(p)
+			for _, o := range opened {
+				open[o] = true
+				total += fcost
+			}
+			if !open[connect] {
+				t.Fatal("connected to an unopened facility")
+			}
+			total += space.Distance(p, connect)
+		}
+		if limit := float64(n) * (fcost + 50); total > limit {
+			t.Errorf("trial %d: cost %g exceeds trivial bound %g", trial, total, limit)
+		}
+	}
+}
+
+// Property: both algorithms always return an open facility for connection,
+// and facility lists never contain duplicates.
+func TestQuickAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := metric.RandomEuclidean(rng, 10, 2, 20)
+		costs := make([]float64, 10)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()*8
+		}
+		fc := func(m int) float64 { return costs[m] }
+		algs := []Algorithm{
+			NewMeyerson(space, fc, allPoints(10), rng),
+			NewFotakisPD(space, fc, allPoints(10)),
+		}
+		for _, alg := range algs {
+			open := map[int]bool{}
+			for i := 0; i < 25; i++ {
+				p := rng.Intn(10)
+				connect, opened := alg.Place(p)
+				for _, o := range opened {
+					open[o] = true
+				}
+				if !open[connect] {
+					return false
+				}
+			}
+			seen := map[int]bool{}
+			for _, m := range alg.Facilities() {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Meyerson's expected cost on a co-located batch is within a
+// reasonable factor of f + 0 (OPT). This is a smoke-level statistical check,
+// not a proof: with n=64 demands at one point and f=8, mean total cost over
+// many runs must be below ~6·OPT (theory gives O(log n/log log n) ≈ 3).
+func TestMeyersonStatisticalCompetitiveness(t *testing.T) {
+	space := metric.SinglePoint()
+	const f = 8.0
+	var total float64
+	const runs = 300
+	for s := int64(0); s < runs; s++ {
+		rng := rand.New(rand.NewSource(s))
+		m := NewMeyerson(space, uniformCost(f), []int{0}, rng)
+		var cost float64
+		for i := 0; i < 64; i++ {
+			_, opened := m.Place(0)
+			cost += f * float64(len(opened))
+		}
+		total += cost
+	}
+	avg := total / runs
+	if avg > 6*f {
+		t.Errorf("mean Meyerson cost %g vs OPT %g: ratio %g too high", avg, f, avg/f)
+	}
+	if avg < f {
+		t.Errorf("mean cost %g below OPT %g: impossible", avg, f)
+	}
+}
+
+func TestMeyersonNonUniformPrefersCheapPoints(t *testing.T) {
+	// Expensive facility at the demand point, cheap one nearby: over many
+	// runs, openings at the cheap point must dominate.
+	space := metric.NewLine([]float64{0, 1})
+	costs := []float64{64, 1}
+	fc := func(m int) float64 { return costs[m] }
+	cheap, expensive := 0, 0
+	for s := int64(0); s < 200; s++ {
+		rng := rand.New(rand.NewSource(s))
+		m := NewMeyerson(space, fc, allPoints(2), rng)
+		for i := 0; i < 10; i++ {
+			m.Place(0)
+		}
+		for _, pt := range m.Facilities() {
+			if pt == 1 {
+				cheap++
+			} else {
+				expensive++
+			}
+		}
+	}
+	if cheap <= expensive {
+		t.Errorf("cheap openings %d vs expensive %d: class machinery broken", cheap, expensive)
+	}
+}
+
+func TestNearestFacilityEmpty(t *testing.T) {
+	space := metric.SinglePoint()
+	pt, d := nearestFacility(space, nil, 0)
+	if pt != -1 || !math.IsInf(d, 1) {
+		t.Errorf("nearestFacility(empty) = %d, %g", pt, d)
+	}
+}
+
+func BenchmarkFotakisPDPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomEuclidean(rng, 100, 2, 100)
+	f := NewFotakisPD(space, uniformCost(5), allPoints(100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Place(i % 100)
+	}
+}
+
+func BenchmarkMeyersonPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomEuclidean(rng, 100, 2, 100)
+	m := NewMeyerson(space, uniformCost(5), allPoints(100), rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Place(i % 100)
+	}
+}

@@ -1,0 +1,93 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// stubAlg opens one facility covering everything on the first request and
+// connects every request to it — a minimal feasible algorithm.
+type stubAlg struct {
+	u    int
+	sol  *instance.Solution
+	drop bool // if true, "forget" to assign requests (infeasible)
+}
+
+func (s *stubAlg) Name() string { return "stub" }
+
+func (s *stubAlg) Serve(r instance.Request) {
+	if len(s.sol.Facilities) == 0 {
+		s.sol.Facilities = append(s.sol.Facilities, instance.Facility{
+			Point:  r.Point,
+			Config: commodity.Full(s.u),
+		})
+	}
+	if s.drop {
+		s.sol.Assign = append(s.sol.Assign, nil)
+		return
+	}
+	s.sol.Assign = append(s.sol.Assign, []int{0})
+}
+
+func (s *stubAlg) Solution() *instance.Solution { return s.sol }
+
+func testInstance() *instance.Instance {
+	return &instance.Instance{
+		Space: metric.NewLine([]float64{0, 3}),
+		Costs: cost.Linear(2, 1),
+		Requests: []instance.Request{
+			{Point: 0, Demands: commodity.New(0)},
+			{Point: 1, Demands: commodity.New(1)},
+		},
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	f := Factory{Name: "stub", New: func(space metric.Space, costs cost.Model, seed int64) Algorithm {
+		return &stubAlg{u: costs.Universe(), sol: &instance.Solution{}}
+	}}
+	in := testInstance()
+	sol, c, err := Run(f, in, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One facility {0,1} at point 0 (cost 2) + distance 3 for request 1.
+	if want := 5.0; math.Abs(c-want) > 1e-9 {
+		t.Errorf("cost = %g, want %g", c, want)
+	}
+	if len(sol.Facilities) != 1 {
+		t.Errorf("facilities = %d", len(sol.Facilities))
+	}
+}
+
+func TestRunDetectsInfeasibility(t *testing.T) {
+	f := Factory{Name: "stub-broken", New: func(space metric.Space, costs cost.Model, seed int64) Algorithm {
+		return &stubAlg{u: costs.Universe(), sol: &instance.Solution{}, drop: true}
+	}}
+	if _, _, err := Run(f, testInstance(), 1, true); err == nil {
+		t.Error("infeasible solution passed verification")
+	}
+	// Without checking, the broken run is reported as-is.
+	if _, _, err := Run(f, testInstance(), 1, false); err != nil {
+		t.Errorf("unchecked run errored: %v", err)
+	}
+}
+
+func TestRunSeedPropagation(t *testing.T) {
+	var seen []int64
+	f := Factory{Name: "seed-spy", New: func(space metric.Space, costs cost.Model, seed int64) Algorithm {
+		seen = append(seen, seed)
+		return &stubAlg{u: costs.Universe(), sol: &instance.Solution{}}
+	}}
+	if _, _, err := Run(f, testInstance(), 42, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 42 {
+		t.Errorf("seeds seen: %v", seen)
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "alg", "ratio")
+	tab.Note = "reproduces nothing"
+	tab.AddRow("pd", 1.5)
+	tab.AddRow("rand", 2.0)
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "alg", "ratio", "pd", "1.5", "rand", "2", "reproduces nothing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "a", "long-column")
+	tab.AddRow("xxxxxxxx", 1)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and data rows must align on the second column.
+	hdrIdx := strings.Index(lines[0], "long-column")
+	dataIdx := strings.Index(lines[2], "1")
+	if hdrIdx != dataIdx {
+		t.Errorf("columns misaligned: %d vs %d\n%s", hdrIdx, dataIdx, out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:            "1",
+		1.5:          "1.5",
+		12345678:     "12345678",
+		0.00001:      "1.000e-05",
+		1234.5:       "1.234e+03",
+		math.Inf(1):  "inf",
+		math.Inf(-1): "-inf",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "nan" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow(1, 2.5)
+	tab.AddRow("a,b", "q\"q")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Errorf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("csv quoting broken: %q", out)
+	}
+}
+
+func TestChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "curve", 40, 10,
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"-- curve --", "[*] up", "[+] down", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "empty", 20, 8); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: ranges collapse; must not panic or divide by zero.
+	err := Chart(&buf, "dot", 20, 8, Series{Name: "p", X: []float64{1}, Y: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}

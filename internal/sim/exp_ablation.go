@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "ablation_pred",
+		Title:      "Prediction ablation: large facilities disabled",
+		Reproduces: "Section 2 discussion (prediction is necessary for sub-linear |S| dependence)",
+		Run:        runAblationPred,
+	})
+	register(Experiment{
+		ID:         "ablation_candidates",
+		Title:      "Candidate facility locations: all points vs request points vs one point",
+		Reproduces: "implementation choice discussed in DESIGN.md",
+		Run:        runAblationCandidates,
+	})
+	register(Experiment{
+		ID:         "ablation_heavy",
+		Title:      "Heavy-aware extension: threshold sweep on heavy-hostile workloads",
+		Reproduces: "Section 5 closing remarks (excluding heavy commodities)",
+		Run:        runAblationHeavy,
+	})
+	register(Experiment{
+		ID:         "ablation_reassign",
+		Title:      "RAND connection rule: two-mode (Figure 3) vs exact subset DP",
+		Reproduces: "implementation ablation of Algorithm 2's connection step",
+		Run:        runAblationReassign,
+	})
+}
+
+// exactTinyOPT computes exact OPT for tiny instances (helper shared with the
+// dual experiment).
+func exactTinyOPT(in *instance.Instance) float64 {
+	return baseline.ExactSmall(in, 4).Cost
+}
+
+func runAblationPred(cfg Config) (*Result, error) {
+	sizes := pick(cfg, []int{16, 64}, []int{16, 64, 256, 1024})
+	tab := report.NewTable("ablation_pred: full-universe single-commodity sequence at one point",
+		"|S|", "OPT", "pd", "pd(no-prediction)", "rand", "rand(no-prediction)")
+	tab.Note = "without prediction both algorithms degrade from Θ(√|S|) to Θ(|S|)"
+	for _, u := range sizes {
+		costs := cost.CeilSqrt(u)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		tr := workload.SinglePointSingles(rng, costs, u)
+		opt, ok := baseline.SinglePointOPT(tr.Instance)
+		if !ok {
+			panic("sim: single-point workload not on a single point")
+		}
+		row := []interface{}{u, opt}
+		for _, f := range []online.Factory{
+			core.PDFactory(core.Options{}),
+			core.PDFactory(core.Options{DisablePrediction: true}),
+			core.RandFactory(core.Options{}),
+			core.RandFactory(core.Options{DisablePrediction: true}),
+		} {
+			c, err := meanCost(f, tr, cfg.Seed, pickInt(cfg, 2, 5))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, c/opt)
+		}
+		tab.AddRow(row...)
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}
+
+func runAblationCandidates(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := pickInt(cfg, 5, 8)
+	n := pickInt(cfg, 20, 80)
+	points := pickInt(cfg, 10, 30)
+	space := metric.RandomEuclidean(rng, points, 2, 50)
+	costs := cost.PowerLaw(u, 1, 2)
+	tr := workload.Uniform(rng, space, costs, n, u/2+1)
+
+	reqPoints := map[int]bool{}
+	for _, r := range tr.Instance.Requests {
+		reqPoints[r.Point] = true
+	}
+	var reqCands []int
+	for p := range reqPoints {
+		reqCands = append(reqCands, p)
+	}
+
+	opt, src := bestKnownOPT(tr, pickInt(cfg, 12, 40))
+	tab := report.NewTable("ablation_candidates: PD-OMFLP candidate location policies",
+		"policy", "candidates", "cost", "ratio vs "+src)
+	for _, tc := range []struct {
+		name  string
+		cands []int
+	}{
+		{"all points", nil},
+		{"request points", reqCands},
+		{"single point {0}", []int{0}},
+	} {
+		c, err := meanCost(core.PDFactory(core.Options{Candidates: tc.cands}), tr, cfg.Seed, 1)
+		if err != nil {
+			return nil, err
+		}
+		nCands := len(tc.cands)
+		if tc.cands == nil {
+			nCands = space.Len()
+		}
+		tab.AddRow(tc.name, nCands, c, c/opt)
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}
+
+// heavyHostileCost penalizes one commodity heavily (violating Condition 1),
+// the situation of the closing remarks.
+type heavyHostileCost struct {
+	u       int
+	premium float64
+}
+
+func (h *heavyHostileCost) Universe() int { return h.u }
+func (h *heavyHostileCost) Name() string  { return "heavy-hostile" }
+func (h *heavyHostileCost) Cost(m int, sigma commodity.Set) float64 {
+	k := sigma.Len()
+	if k == 0 {
+		return 0
+	}
+	c := float64(k)
+	if sigma.Contains(h.u - 1) {
+		c += h.premium
+	}
+	return c
+}
+
+func runAblationHeavy(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := pickInt(cfg, 6, 10)
+	n := pickInt(cfg, 30, 100)
+	space := metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 5)
+	costs := &heavyHostileCost{u: u, premium: 150}
+
+	in := &instance.Instance{Space: space, Costs: costs}
+	light := commodity.Full(u - 1)
+	for i := 0; i < n; i++ {
+		d := commodity.RandomSubsetOf(rng, light, 1+rng.Intn(u-2))
+		if i%10 == 9 {
+			d = d.With(u - 1) // the heavy commodity appears rarely
+		}
+		in.Requests = append(in.Requests, instance.Request{Point: rng.Intn(space.Len()), Demands: d})
+	}
+	tr := &workload.Trace{Instance: in, Name: "heavy-hostile"}
+
+	opt, src := bestKnownOPT(tr, pickInt(cfg, 10, 30))
+	tab := report.NewTable("ablation_heavy: threshold θ sweep",
+		"algorithm", "theta", "cost", "ratio vs "+src)
+	c, err := meanCost(core.PDFactory(core.Options{}), tr, cfg.Seed, 1)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("pd (plain)", "-", c, c/opt)
+	for _, theta := range []float64{1.5, 3, 10, 50} {
+		c, err := meanCost(core.HeavyFactory(core.Options{}, theta), tr, cfg.Seed, 1)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow("pd (heavy-aware)", theta, c, c/opt)
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}
+
+func runAblationReassign(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := pickInt(cfg, 5, 8)
+	n := pickInt(cfg, 25, 100)
+	space := metric.RandomEuclidean(rng, pickInt(cfg, 10, 25), 2, 50)
+	costs := cost.PowerLaw(u, 1, 2)
+	tr := workload.Uniform(rng, space, costs, n, u)
+
+	opt, src := bestKnownOPT(tr, pickInt(cfg, 12, 40))
+	reps := pickInt(cfg, 3, 10)
+	tab := report.NewTable("ablation_reassign: RAND-OMFLP connection rules",
+		"rule", "mean cost", "ratio vs "+src)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"two-mode (Figure 3)", core.Options{}},
+		{"exact subset DP", core.Options{OptimalReassign: true}},
+	} {
+		c, err := meanCost(core.RandFactory(tc.opts), tr, cfg.Seed, reps)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(tc.name, c, c/opt)
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}

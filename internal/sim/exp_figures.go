@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/lowerbound"
+	"repro/internal/metric"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "fig1",
+		Title:      "Lower-bound game dynamics: rounds X and predictions T",
+		Reproduces: "Figure 1 (ALG's behaviour in rounds 1..X of the Theorem 2 game)",
+		Run:        runFig1,
+	})
+	register(Experiment{
+		ID:         "fig2",
+		Title:      "Theorem 18 bound curves over the cost exponent x",
+		Reproduces: "Figure 2 (√|S|^{(2x−x²)/2} vs min{√|S|^{(2−x)/2}, √|S|^{x/2}}, |S|=10,000)",
+		Run:        runFig2,
+	})
+	register(Experiment{
+		ID:         "fig3",
+		Title:      "RAND-OMFLP connection modes: small facilities vs one large",
+		Reproduces: "Figure 3 (cheapest connection for a 3-commodity request)",
+		Run:        runFig3,
+	})
+}
+
+// runFig1 plays the Theorem 2 game with PD-OMFLP and reports, per universe
+// size, the Figure 1 quantities: the number of facility-opening rounds X
+// (≈ √|S| before the algorithm predicts) and the prediction volume T (the
+// commodities covered beyond those requested).
+func runFig1(cfg Config) (*Result, error) {
+	sizes := pick(cfg, []int{16, 64}, []int{16, 64, 256, 1024, 4096})
+	reps := pickInt(cfg, 3, 20)
+
+	tab := report.NewTable("fig1: game dynamics of PD-OMFLP",
+		"|S|", "sqrt(S)", "rounds X", "predicted T", "X/sqrt(S)", "ratio")
+	tab.Note = "Figure 1: X facility rounds, then one large facility predicting T commodities"
+
+	var xs, ys []float64
+	for _, u := range sizes {
+		g, err := lowerbound.NewTheorem2Game(u)
+		if err != nil {
+			return nil, err
+		}
+		ratio, rounds, predicted := g.ExpectedRatio(core.PDFactory(core.Options{}), cfg.Seed, reps)
+		root := math.Sqrt(float64(u))
+		tab.AddRow(u, root, rounds, predicted, rounds/root, ratio)
+		xs = append(xs, root)
+		ys = append(ys, rounds)
+	}
+
+	trace := traceTable(cfg)
+	return &Result{
+		Tables: []*report.Table{tab, trace},
+		Charts: []ChartSpec{{
+			Title:  "fig1: opening rounds X vs sqrt(|S|)",
+			Series: []report.Series{{Name: "X(PD)", X: xs, Y: ys}, {Name: "y=x", X: xs, Y: xs}},
+		}},
+	}, nil
+}
+
+// traceTable renders one concrete game run step by step (the Figure 1
+// timeline: covered commodities per round).
+func traceTable(cfg Config) *report.Table {
+	u := pickInt(cfg, 64, 256)
+	g, err := lowerbound.NewTheorem2Game(u)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := g.Play(core.PDFactory(core.Options{}), rng, cfg.Seed)
+	tab := report.NewTable("fig1: one game trace (PD-OMFLP)",
+		"step", "requested", "covered", "facilities")
+	for _, st := range res.Trace {
+		tab.AddRow(st.Step, st.RequestedSoFar, st.CoveredSoFar, st.FacilitiesSoFar)
+	}
+	return tab
+}
+
+// runFig2 regenerates the two exponent curves of Figure 2 exactly as
+// plotted in the paper (|S| = 10,000, so √|S| = 100 and both curves peak at
+// ⁴√|S| = 10 at x = 1).
+func runFig2(cfg Config) (*Result, error) {
+	const u = 10000
+	step := 0.1
+	if cfg.Quick {
+		step = 0.25
+	}
+	tab := report.NewTable("fig2: Theorem 18 bound factors, |S|=10000",
+		"x", "upper sqrtS^((2x-x^2)/2)", "lower min{sqrtS^((2-x)/2), sqrtS^(x/2)}", "gap")
+	tab.Note = "Figure 2: curves coincide at x in {0,1,2}; both peak at 4th-root(|S|)=10"
+
+	var xs, upper, lower []float64
+	for x := 0.0; x <= 2.0+1e-9; x += step {
+		ub := lowerbound.ClassCUpperBound(u, x)
+		lb := lowerbound.ClassCLowerBound(u, x)
+		tab.AddRow(x, ub, lb, ub/lb)
+		xs = append(xs, x)
+		upper = append(upper, ub)
+		lower = append(lower, lb)
+	}
+	return &Result{
+		Tables: []*report.Table{tab},
+		Charts: []ChartSpec{{
+			Title: "fig2: bound factors vs x (|S|=10000)",
+			Series: []report.Series{
+				{Name: "upper", X: xs, Y: upper},
+				{Name: "lower", X: xs, Y: lower},
+			},
+		}},
+	}, nil
+}
+
+// runFig3 reproduces the two situations of Figure 3: a request demanding
+// three commodities connects either to three nearby small facilities (left)
+// or to a single large facility (right), whichever is cheaper.
+func runFig3(cfg Config) (*Result, error) {
+	u := 3
+	costs := cost.PowerLaw(u, 1, 10) // expensive enough that opening never beats connecting
+	demands := commodity.New(0, 1, 2)
+
+	type scenario struct {
+		name      string
+		smallAt   [3]int // point of the small facility for each commodity
+		largeAt   int
+		wantLarge bool
+		space     metric.Space
+		reqPoint  int
+	}
+	// Line: request at 0; smalls at distance 1; large at distance d.
+	line := metric.NewLine([]float64{0, 1, -1, 1.5, 20, 2})
+	scenarios := []scenario{
+		{
+			name:      "left: smalls near, large far",
+			smallAt:   [3]int{1, 2, 3}, // distances 1, 1, 1.5 → Σ = 3.5
+			largeAt:   4,               // distance 20
+			wantLarge: false,
+			space:     line,
+			reqPoint:  0,
+		},
+		{
+			name:      "right: large nearby",
+			smallAt:   [3]int{1, 2, 3},
+			largeAt:   5, // distance 2 < 3.5
+			wantLarge: true,
+			space:     line,
+			reqPoint:  0,
+		},
+	}
+
+	tab := report.NewTable("fig3: connection mode chosen by RAND-OMFLP",
+		"scenario", "X(r) small-mode cost", "Z(r) large-mode cost", "chosen", "links")
+	for _, sc := range scenarios {
+		ra := core.NewRandOMFLP(sc.space, costs, core.Options{}, rand.New(rand.NewSource(cfg.Seed)))
+		for e := 0; e < u; e++ {
+			ra.PlantSmall(e, sc.smallAt[e])
+		}
+		ra.PlantLarge(sc.largeAt)
+		r := instance.Request{Point: sc.reqPoint, Demands: demands}
+		_, x, z := ra.Budgets(r)
+		ra.Serve(r)
+		sol := ra.Solution()
+		links := sol.Assign[len(sol.Assign)-1]
+		choseLarge := len(links) == 1 && sol.Facilities[links[0]].Config.Len() == u
+		mode := "small facilities"
+		if choseLarge {
+			mode = "one large facility"
+		}
+		if choseLarge != sc.wantLarge {
+			tab.AddRow(sc.name, x, z, mode+" (UNEXPECTED)", len(links))
+		} else {
+			tab.AddRow(sc.name, x, z, mode, len(links))
+		}
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "lem14",
+		Title:      "Lemma 14 bridge: covering instances extracted from live PD runs",
+		Reproduces: "Lemma 14 (the A/B request partition of PD-OMFLP forms a c-ordered covering instance)",
+		Run:        runLem14,
+	})
+}
+
+// runLem14 executes PD-OMFLP with analysis tracing, extracts the Definition 9
+// instance for every (commodity, point) pair as the Lemma 14 proof does, and
+// reports validity and covering weight vs the 2c·H_n bound — the bridge
+// between the algorithm's execution and its competitive analysis.
+func runLem14(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := pickInt(cfg, 3, 5)
+	n := pickInt(cfg, 15, 50)
+	points := pickInt(cfg, 4, 8)
+
+	space := metric.RandomEuclidean(rng, points, 2, 15)
+	costs := cost.PowerLaw(u, 1, 1.5)
+	pd := core.NewPDOMFLP(space, costs, core.Options{TraceAnalysis: true})
+	for i := 0; i < n; i++ {
+		pd.Serve(instance.Request{
+			Point:   rng.Intn(points),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+	}
+
+	tab := report.NewTable("lem14: execution-derived c-ordered covering instances",
+		"commodity", "point", "elements", "valid", "cover weight", "2c*H_n", "utilization")
+	tab.Note = "Definition 9 monotonicity must emerge from PD's execution; weight ≤ 2c·H_n (Lemma 12)"
+
+	extracted, worstUtil := 0, 0.0
+	for e := 0; e < u; e++ {
+		for m := 0; m < points; m++ {
+			inst, ok := pd.CoveringInstance(e, m)
+			if !ok {
+				continue
+			}
+			valid := "yes"
+			if err := inst.Validate(); err != nil {
+				valid = "NO: " + err.Error()
+			}
+			res := inst.Cover()
+			util := res.Weight / inst.Bound()
+			if util > worstUtil {
+				worstUtil = util
+			}
+			extracted++
+			// Report a sample: first point per commodity plus any invalid.
+			if m == 0 || valid != "yes" {
+				tab.AddRow(e, m, inst.N(), valid, res.Weight, inst.Bound(), util)
+			}
+		}
+	}
+
+	sum := report.NewTable("lem14: summary", "quantity", "value")
+	sum.AddRow("instances extracted", extracted)
+	sum.AddRow("worst utilization (must be ≤ 1)", worstUtil)
+	return &Result{Tables: []*report.Table{tab, sum}}, nil
+}

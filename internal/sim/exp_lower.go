@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "thm2",
+		Title:      "Ω(√|S|) lower bound game: empirical ratios for every algorithm",
+		Reproduces: "Theorem 2 (single-point adversary, cost ⌈|σ|/√|S|⌉)",
+		Run:        runThm2,
+	})
+	register(Experiment{
+		ID:         "cor3",
+		Title:      "Line metric: √|S| game plus log n/log log n line adversary",
+		Reproduces: "Corollary 3 (combined lower bound on line metrics)",
+		Run:        runCor3,
+	})
+	register(Experiment{
+		ID:         "thm18",
+		Title:      "Class-C cost functions: ratio vs exponent x",
+		Reproduces: "Theorem 18 (adaptive upper/lower bounds for g_x(k)=k^{x/2})",
+		Run:        runThm18,
+	})
+}
+
+func runThm2(cfg Config) (*Result, error) {
+	sizes := pick(cfg, []int{16, 64}, []int{16, 64, 256, 1024})
+	reps := pickInt(cfg, 3, 15)
+
+	factories := []online.Factory{
+		core.PDFactory(core.Options{}),
+		core.RandFactory(core.Options{}),
+		baseline.PerCommodityPDFactory(nil),
+		baseline.NoPredictionFactory(nil),
+	}
+	tab := report.NewTable("thm2: expected ratio on the Theorem 2 game",
+		"|S|", "sqrt(S)", "LB sqrt(S)/16", "pd", "rand", "per-commodity", "no-prediction")
+	tab.Note = "Theorem 2: every ratio must exceed √|S|/16; prediction caps PD at ~2√|S|"
+
+	var sVals []float64
+	ratioSeries := make([][]float64, len(factories))
+	for _, u := range sizes {
+		g, err := lowerbound.NewTheorem2Game(u)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{u, math.Sqrt(float64(u)), lowerbound.TheoreticalLowerBound(u)}
+		for fi, f := range factories {
+			ratio, _, _ := g.ExpectedRatio(f, cfg.Seed+int64(fi), reps)
+			row = append(row, ratio)
+			ratioSeries[fi] = append(ratioSeries[fi], ratio)
+		}
+		tab.AddRow(row...)
+		sVals = append(sVals, float64(u))
+	}
+
+	// Scaling fit: PD's ratio must grow like |S|^0.5 in √|S|, i.e. S^0.5
+	// as a function of S... the ratio is Θ(√|S|) so the log-log exponent
+	// against |S| should be ≈ 0.5.
+	fit := report.NewTable("thm2: power-law fit ratio ~ |S|^b", "algorithm", "exponent b", "R^2")
+	names := []string{"pd", "rand", "per-commodity", "no-prediction"}
+	var series []report.Series
+	for fi := range factories {
+		if len(sVals) >= 2 {
+			b, _, r2 := stats.FitPowerLaw(sVals, ratioSeries[fi])
+			fit.AddRow(names[fi], b, r2)
+		}
+		series = append(series, report.Series{Name: names[fi], X: sVals, Y: ratioSeries[fi]})
+	}
+	return &Result{
+		Tables: []*report.Table{tab, fit},
+		Charts: []ChartSpec{{Title: "thm2: ratio vs |S|", Series: series}},
+	}, nil
+}
+
+func runCor3(cfg Config) (*Result, error) {
+	depths := pick(cfg, []int{3, 5}, []int{3, 5, 7, 9, 11})
+	perLevel := pickInt(cfg, 2, 4)
+	reps := pickInt(cfg, 2, 6)
+
+	tab := report.NewTable("cor3: simplified line adversary (single commodity component)",
+		"depth", "requests n", "pd ratio (exact OPT)", "ratio/(log n/log log n)")
+	tab.Note = "Corollary 3's additive term; simplified hierarchical adversary, ratios vs the exact line DP optimum"
+	f := core.PDFactory(core.Options{})
+	for _, d := range depths {
+		la := &lowerbound.LineAdversary{Depth: d, PerLevel: perLevel, FacilityCost: 1}
+		// Mean ratio against the *exact* line optimum (single-commodity
+		// facility location on a line is polynomial; see baseline.LineExactFL).
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			res := la.Run(f, cfg.Seed+int64(rep)*31)
+			opt, err := baseline.LineExactFL(res.Instance)
+			if err != nil {
+				return nil, err
+			}
+			if opt <= 0 {
+				opt = res.OptProxy
+			}
+			sum += res.AlgCost / opt
+		}
+		ratio := sum / float64(reps)
+		n := float64(d * perLevel)
+		norm := math.Log(n) / math.Log(math.Log(n)+1e-9)
+		if norm <= 0 || math.IsNaN(norm) {
+			norm = 1
+		}
+		tab.AddRow(d, d*perLevel, ratio, ratio/norm)
+	}
+
+	// The combined statement: the √|S| game already lives on a (single
+	// point of a) line, so both terms coexist on line metrics.
+	comb := report.NewTable("cor3: combined bound Ω(√|S| + log n/log log n)",
+		"|S|", "game ratio (pd)", "sqrt(S)/16")
+	for _, u := range pick(cfg, []int{16, 64}, []int{16, 64, 256}) {
+		g, err := lowerbound.NewTheorem2Game(u)
+		if err != nil {
+			return nil, err
+		}
+		ratio, _, _ := g.ExpectedRatio(f, cfg.Seed, pickInt(cfg, 3, 10))
+		comb.AddRow(u, ratio, lowerbound.TheoreticalLowerBound(u))
+	}
+	return &Result{Tables: []*report.Table{tab, comb}}, nil
+}
+
+func runThm18(cfg Config) (*Result, error) {
+	u := pickInt(cfg, 64, 1024)
+	reps := pickInt(cfg, 3, 12)
+	xsGrid := []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2}
+	if cfg.Quick {
+		xsGrid = []float64{0, 0.5, 1, 1.5, 2}
+	}
+
+	tab := report.NewTable("thm18: PD-OMFLP on the class-C game",
+		"x", "OPT g_x(sqrt S)", "pd ratio", "LB factor", "UB factor", "ratio/LB")
+	tab.Note = "Theorem 18: measured ratio should track min{√S^{(2−x)/2}, √S^{x/2}} with a constant, peaking at x=1"
+
+	var xs, measured, lbs, ubs []float64
+	f := core.PDFactory(core.Options{})
+	for _, x := range xsGrid {
+		g, err := lowerbound.NewClassCGame(u, x)
+		if err != nil {
+			return nil, err
+		}
+		ratio, _, _ := g.ExpectedRatio(f, cfg.Seed, reps)
+		lb := lowerbound.ClassCLowerBound(u, x)
+		ub := lowerbound.ClassCUpperBound(u, x)
+		tab.AddRow(x, g.OptCost(), ratio, lb, ub, ratio/lb)
+		xs = append(xs, x)
+		measured = append(measured, ratio)
+		lbs = append(lbs, lb)
+		ubs = append(ubs, ub)
+	}
+	return &Result{
+		Tables: []*report.Table{tab},
+		Charts: []ChartSpec{{
+			Title: "thm18: measured ratio vs bound factors",
+			Series: []report.Series{
+				{Name: "pd measured", X: xs, Y: measured},
+				{Name: "lower factor", X: xs, Y: lbs},
+				{Name: "upper factor", X: xs, Y: ubs},
+			},
+		}},
+	}, nil
+}

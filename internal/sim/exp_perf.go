@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "perf",
+		Title:      "Throughput: arrivals/second per algorithm across n and |S|",
+		Reproduces: "systems evaluation of the implementations (no paper counterpart — the paper is theory-only)",
+		Run:        runPerf,
+	})
+}
+
+// runPerf measures wall-clock throughput of every online algorithm across
+// problem sizes. The timings are machine-dependent (unlike every other
+// experiment's tables, which are bit-reproducible under a fixed seed); the
+// purpose is to document the practical cost of the algorithms — the paper's
+// remark that RAND-OMFLP "is much more efficient to implement" (Section 4)
+// becomes measurable here.
+func runPerf(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	factories := []online.Factory{
+		core.PDFactory(core.Options{}),
+		core.RandFactory(core.Options{}),
+		baseline.PerCommodityPDFactory(nil),
+		baseline.NoPredictionFactory(nil),
+	}
+
+	type dims struct{ n, u, points int }
+	var sweeps []dims
+	if cfg.Quick {
+		sweeps = []dims{{50, 8, 15}, {100, 8, 15}}
+	} else {
+		sweeps = []dims{
+			{100, 8, 25}, {200, 8, 25}, {400, 8, 25}, // n sweep
+			{200, 4, 25}, {200, 16, 25}, {200, 64, 25}, // |S| sweep
+		}
+	}
+
+	tab := report.NewTable("perf: arrivals per second (higher is better)",
+		"n", "|S|", "points", "pd", "rand", "per-commodity", "no-prediction")
+	tab.Note = "wall-clock measurements — machine-dependent, not seed-reproducible"
+	for _, d := range sweeps {
+		space := metric.RandomEuclidean(rng, d.points, 2, 100)
+		tr := workload.Uniform(rng, space, cost.PowerLaw(d.u, 1, 2), d.n, d.u/2+1)
+		row := []interface{}{d.n, d.u, d.points}
+		for _, f := range factories {
+			alg := f.New(tr.Instance.Space, tr.Instance.Costs, cfg.Seed)
+			start := time.Now()
+			for _, r := range tr.Instance.Requests {
+				alg.Serve(r)
+			}
+			elapsed := time.Since(start)
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			row = append(row, float64(d.n)/elapsed.Seconds())
+		}
+		tab.AddRow(row...)
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "ext_split",
+		Title:      "The alternative cost model: per-commodity connection charges",
+		Reproduces: "Section 1.1 'A different cost model' (simulation by splitting requests into singletons)",
+		Run:        runExtSplit,
+	})
+}
+
+// runExtSplit exercises the Section 1.1 simulation: the model where each
+// served commodity pays its own connection is handled by feeding the
+// algorithms the split (all-singleton) sequence. The table compares, per
+// workload: the joint-model cost, the solution's cost re-priced under
+// per-commodity accounting, and the cost of running PD directly on the
+// split sequence — the paper's reduction says the latter solves the
+// alternative model at a ≤ 2× ratio penalty.
+func runExtSplit(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := pickInt(cfg, 5, 8)
+	n := pickInt(cfg, 20, 60)
+	costs := cost.PowerLaw(u, 1, 2)
+
+	tab := report.NewTable("ext_split: joint vs per-commodity connection accounting",
+		"workload", "pd joint cost", "re-priced per-commodity", "pd on split sequence", "split n")
+	tab.Note = "per-commodity re-pricing ≥ joint; running on the split sequence solves the alternative model"
+
+	traces := []*workload.Trace{
+		workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 40), costs, n, u/2+1),
+		workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 12), 2, 40), costs, n/2),
+	}
+	for _, tr := range traces {
+		sol, joint, err := online.Run(core.PDFactory(core.Options{}), tr.Instance, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		rePriced := instance.PerCommodityCost(tr.Instance, sol)
+		split := instance.SplitPerCommodity(tr.Instance)
+		_, splitCost, err := online.Run(core.PDFactory(core.Options{}),
+			split, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(tr.Name, joint, rePriced, splitCost, len(split.Requests))
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}

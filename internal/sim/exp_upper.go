@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "thm4",
+		Title:      "PD-OMFLP competitiveness: n sweep and |S| sweep vs baselines",
+		Reproduces: "Theorem 4 (O(√|S|·log n) upper bound for the deterministic algorithm)",
+		Run:        runThm4,
+	})
+	register(Experiment{
+		ID:         "thm19",
+		Title:      "RAND-OMFLP vs PD-OMFLP on the same workloads",
+		Reproduces: "Theorem 19 (O(√|S|·log n/log log n) randomized upper bound)",
+		Run:        runThm19,
+	})
+}
+
+func runThm4(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	factories := []online.Factory{
+		core.PDFactory(core.Options{}),
+		core.RandFactory(core.Options{}),
+		baseline.PerCommodityPDFactory(nil),
+		baseline.NoPredictionFactory(nil),
+	}
+	moveBudget := pickInt(cfg, 12, 40)
+	reps := pickInt(cfg, 1, 3)
+
+	// Sweep 1: n grows, |S| fixed — ratio/log n should stay flat for PD.
+	nTab := report.NewTable("thm4: n sweep (clustered 2-d workload, |S|=8)",
+		"n", "OPT proxy", "source", "pd", "pd/log2(n)", "rand", "per-commodity", "no-prediction")
+	nTab.Note = "Theorem 4: PD ratio grows at most like log n at fixed |S|"
+	u := 8
+	var nVals, pdRatios []float64
+	for _, n := range pick(cfg, []int{20, 40}, []int{25, 50, 100, 200, 400}) {
+		costs := cost.PowerLaw(u, 1, 2)
+		tr := workload.Clustered(rng, costs, n, 1+n/25, 100, 2)
+		opt, src, ratios, err := ratioRow(factories, tr, cfg.Seed, reps, moveBudget)
+		if err != nil {
+			return nil, err
+		}
+		nTab.AddRow(n, opt, src, ratios[0], ratios[0]/math.Log2(float64(n)),
+			ratios[1], ratios[2], ratios[3])
+		nVals = append(nVals, float64(n))
+		pdRatios = append(pdRatios, ratios[0])
+	}
+
+	// Sweep 2: |S| grows with bundled demand — the workload that separates
+	// PD (flat, thanks to large facilities) from per-commodity (~√|S|).
+	sTab := report.NewTable("thm4: |S| sweep (bundled demand, fixed n)",
+		"|S|", "OPT proxy", "source", "pd", "rand", "per-commodity", "pc/sqrt(S)")
+	sTab.Note = "bundled requests: per-commodity pays ~√|S|·OPT; PD stays O(log n)"
+	n := pickInt(cfg, 15, 60)
+	for _, s := range pick(cfg, []int{4, 16}, []int{4, 16, 64, 144}) {
+		space := metric.RandomEuclidean(rng, pickInt(cfg, 8, 20), 2, 50)
+		costs := cost.PowerLaw(s, 1, 2)
+		tr := workload.Bundled(rng, space, costs, n)
+		opt, src, ratios, err := ratioRow(factories[:3], tr, cfg.Seed, reps, moveBudget)
+		if err != nil {
+			return nil, err
+		}
+		sTab.AddRow(s, opt, src, ratios[0], ratios[1], ratios[2],
+			ratios[2]/math.Sqrt(float64(s)))
+	}
+
+	return &Result{
+		Tables: []*report.Table{nTab, sTab},
+		Charts: []ChartSpec{{
+			Title:  "thm4: PD ratio vs n (clustered)",
+			Series: []report.Series{{Name: "pd", X: nVals, Y: pdRatios}},
+		}},
+	}, nil
+}
+
+func runThm19(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	moveBudget := pickInt(cfg, 12, 40)
+	randReps := pickInt(cfg, 3, 10)
+
+	tab := report.NewTable("thm19: RAND vs PD across workload families",
+		"workload", "OPT proxy", "source", "pd", "rand (mean)", "rand (std)", "rand/pd")
+	tab.Note = "Theorem 19: RAND's expected ratio is O(√|S|·log n/log log n) — comparable to PD"
+
+	u := pickInt(cfg, 6, 12)
+	n := pickInt(cfg, 25, 120)
+	costs := cost.PowerLaw(u, 1, 2)
+	traces := []*workload.Trace{
+		workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 25), 2, 50), costs, n, u/2),
+		workload.Clustered(rng, costs, n, 3, 100, 2),
+		workload.Zipf(rng, metric.RandomLine(rng, pickInt(cfg, 8, 25), 100), costs, n, u/2, 1.4),
+		workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 15), 2, 50), costs, n/2),
+	}
+	pdF := core.PDFactory(core.Options{})
+	raF := core.RandFactory(core.Options{})
+	for _, tr := range traces {
+		opt, src := bestKnownOPT(tr, moveBudget)
+		pdCost, err := meanCost(pdF, tr, cfg.Seed, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Per-seed RAND costs so the table can report the spread.
+		costs := make([]float64, randReps)
+		for i := range costs {
+			c, err := meanCost(raF, tr, cfg.Seed+int64(i)*104729, 1)
+			if err != nil {
+				return nil, err
+			}
+			costs[i] = c / opt
+		}
+		sum := stats.Summarize(costs)
+		tab.AddRow(tr.Name, opt, src, pdCost/opt, sum.Mean, sum.Std, sum.Mean/(pdCost/opt))
+	}
+	return &Result{Tables: []*report.Table{tab}}, nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/online"
+	"repro/internal/workload"
+)
+
+// bestKnownOPT returns the tightest available upper bound on OPT for a
+// trace: the minimum of the planted solution cost (if any) and the offline
+// greedy + local-search proxy. The second return names the source.
+func bestKnownOPT(tr *workload.Trace, moveBudget int) (float64, string) {
+	res := baseline.BestOffline(tr.Instance, moveBudget)
+	best, src := res.Cost, res.Name
+	if tr.PlantedCost > 0 && tr.PlantedCost < best {
+		best, src = tr.PlantedCost, "planted"
+	}
+	return best, src
+}
+
+// meanCost replays the trace through the factory `reps` times with distinct
+// seeds and returns the mean cost. Deterministic algorithms short-circuit
+// to one run. Every run is feasibility-checked; errors propagate.
+func meanCost(f online.Factory, tr *workload.Trace, seed int64, reps int) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var sum float64
+	for i := 0; i < reps; i++ {
+		_, c, err := online.Run(f, tr.Instance, seed+int64(i)*104729, true)
+		if err != nil {
+			return 0, err
+		}
+		sum += c
+	}
+	return sum / float64(reps), nil
+}
+
+// ratioRow computes mean empirical ratios for a set of algorithms on one
+// trace against the best-known OPT bound.
+func ratioRow(fs []online.Factory, tr *workload.Trace, seed int64, reps, moveBudget int) (opt float64, src string, ratios []float64, err error) {
+	opt, src = bestKnownOPT(tr, moveBudget)
+	if opt <= 0 || math.IsInf(opt, 1) {
+		return 0, src, nil, fmt.Errorf("sim: OPT bound %g unusable for %s", opt, tr.Name)
+	}
+	ratios = make([]float64, len(fs))
+	for i, f := range fs {
+		c, e := meanCost(f, tr, seed, reps)
+		if e != nil {
+			return 0, src, nil, e
+		}
+		ratios[i] = c / opt
+	}
+	return opt, src, ratios, nil
+}

@@ -1,0 +1,102 @@
+// Package sim is the experiment harness: one registered experiment per paper
+// artifact (figure, theorem, lemma) plus the ablations called out in
+// DESIGN.md. Each experiment is deterministic given Config.Seed and shrinks
+// to a fast smoke configuration with Config.Quick (used by tests and
+// benchmarks).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random choice (workloads, adversaries, algorithm
+	// coins). Two runs with equal Config produce identical tables.
+	Seed int64
+	// Quick shrinks problem sizes and repetition counts for smoke runs.
+	Quick bool
+}
+
+// Result bundles an experiment's output tables and charts.
+type Result struct {
+	Tables []*report.Table
+	Charts []ChartSpec
+}
+
+// ChartSpec is a renderable ASCII chart.
+type ChartSpec struct {
+	Title  string
+	Series []report.Series
+}
+
+// Experiment is a registered, runnable reproduction artifact.
+type Experiment struct {
+	ID         string
+	Title      string
+	Reproduces string // which paper artifact this regenerates
+	Run        func(cfg Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("sim: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the registered experiment IDs sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunByID runs one experiment.
+func RunByID(id string, cfg Config) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Run(cfg)
+}
+
+// pick returns quick for Quick configs and full otherwise — a tiny helper
+// used throughout the experiment definitions.
+func pick(cfg Config, quick, full []int) []int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+func pickInt(cfg Config, quick, full int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}

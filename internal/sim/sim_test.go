@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation_candidates", "ablation_heavy", "ablation_pred", "ablation_reassign",
+		"cor3", "dual", "ext_order", "ext_split", "fig1", "fig2", "fig3", "lem12", "lem14", "lpgap", "perf", "thm18", "thm19", "thm2", "thm4",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Reproduces == "" || e.Run == nil {
+			t.Errorf("experiment %q missing metadata", e.ID)
+		}
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	if _, err := RunByID("nope", quickCfg()); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tab.Title)
+				}
+				if out := tab.String(); out == "" {
+					t.Errorf("%s: table %q renders empty", e.ID, tab.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Randomized experiments must be reproducible under a fixed seed.
+	for _, id := range []string{"thm2", "fig1", "lem12"} {
+		a, err := RunByID(id, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunByID(id, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Tables[0].String() != b.Tables[0].String() {
+			t.Errorf("%s not deterministic under fixed seed", id)
+		}
+	}
+}
+
+// cell parses the table cell at (row, col) as a float.
+func cell(t *testing.T, tab interface{ String() string }, rows [][]string, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a float:\n%s", row, col, rows[row][col], tab.String())
+	}
+	return v
+}
+
+func TestThm2RatiosRespectLowerBound(t *testing.T) {
+	res, err := RunByID("thm2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Columns: |S|, sqrt(S), LB, pd, rand, per-commodity, no-prediction.
+	for ri := range tab.Rows {
+		lb := cell(t, tab, tab.Rows, ri, 2)
+		for ci := 3; ci <= 6; ci++ {
+			ratio := cell(t, tab, tab.Rows, ri, ci)
+			if ratio < lb-1e-9 {
+				t.Errorf("row %d col %d: ratio %g below Theorem 2 bound %g", ri, ci, ratio, lb)
+			}
+		}
+	}
+}
+
+func TestFig2CurvesMeetAtEndpointsAndPeak(t *testing.T) {
+	res, err := RunByID("fig2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if first[1] != "1" || first[2] != "1" {
+		t.Errorf("x=0 row not (1,1): %v", first)
+	}
+	if last[1] != "1" || last[2] != "1" {
+		t.Errorf("x=2 row not (1,1): %v", last)
+	}
+	// Find the x=1 row: both curves at 10 for |S|=10000.
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "1" {
+			found = true
+			if row[1] != "10" || row[2] != "10" {
+				t.Errorf("x=1 row: %v, want peak 10/10", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("no x=1 row in fig2")
+	}
+}
+
+func TestFig3ChoosesExpectedModes(t *testing.T) {
+	res, err := RunByID("fig3", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig3 rows: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if strings.Contains(row[3], "UNEXPECTED") {
+			t.Errorf("fig3 mode mismatch: %v", row)
+		}
+	}
+	if !strings.Contains(tab.Rows[0][3], "small") {
+		t.Errorf("left scenario chose %q", tab.Rows[0][3])
+	}
+	if !strings.Contains(tab.Rows[1][3], "large") {
+		t.Errorf("right scenario chose %q", tab.Rows[1][3])
+	}
+}
+
+func TestLem12UtilizationBelowOne(t *testing.T) {
+	res, err := RunByID("lem12", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	for ri := range tab.Rows {
+		if util := cell(t, tab, tab.Rows, ri, 4); util > 1+1e-9 {
+			t.Errorf("row %d: utilization %g exceeds 1 (Lemma 12 violated)", ri, util)
+		}
+	}
+}
+
+func TestDualExperimentFeasible(t *testing.T) {
+	res, err := RunByID("dual", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	for ri := range tab.Rows {
+		if cd := cell(t, tab, tab.Rows, ri, 3); cd > 3+1e-6 {
+			t.Errorf("row %d: cost/dual = %g exceeds 3 (Corollary 8)", ri, cd)
+		}
+		if viol := cell(t, tab, tab.Rows, ri, 5); viol > 1e-6 {
+			t.Errorf("row %d: dual violation %g > 0 (Corollary 17)", ri, viol)
+		}
+	}
+	// Weak duality sandwich: γ·dual ≤ OPT.
+	sand := res.Tables[1]
+	if gd, opt := cell(t, sand, sand.Rows, 0, 0), cell(t, sand, sand.Rows, 0, 1); gd > opt+1e-9 {
+		t.Errorf("γ·dual %g exceeds exact OPT %g", gd, opt)
+	}
+}
+
+func TestAblationPredShowsSeparation(t *testing.T) {
+	res, err := RunByID("ablation_pred", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// On the largest |S|: no-prediction PD ratio must exceed plain PD.
+	last := len(tab.Rows) - 1
+	pd := cell(t, tab, tab.Rows, last, 2)
+	pdNoPred := cell(t, tab, tab.Rows, last, 3)
+	if pdNoPred <= pd {
+		t.Errorf("no-prediction ratio %g not worse than prediction %g", pdNoPred, pd)
+	}
+}
+
+func TestThm4PerCommodityWorseOnBundles(t *testing.T) {
+	res, err := RunByID("thm4", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTab := res.Tables[1]
+	// Columns: |S|, OPT, source, pd, rand, per-commodity, pc/sqrt(S).
+	last := len(sTab.Rows) - 1
+	pd := cell(t, sTab, sTab.Rows, last, 3)
+	pc := cell(t, sTab, sTab.Rows, last, 5)
+	if pc <= pd {
+		t.Errorf("per-commodity ratio %g not worse than PD %g on bundled demand at largest |S|", pc, pd)
+	}
+}
+
+func TestLPGapSandwich(t *testing.T) {
+	res, err := RunByID("lpgap", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Columns: trial, LP, exact OPT, gap, pd cost, pd/LP, gamma*dual.
+	for ri := range tab.Rows {
+		lpVal := cell(t, tab, tab.Rows, ri, 1)
+		opt := cell(t, tab, tab.Rows, ri, 2)
+		pdCost := cell(t, tab, tab.Rows, ri, 4)
+		gd := cell(t, tab, tab.Rows, ri, 6)
+		if lpVal > opt+1e-6 {
+			t.Errorf("row %d: LP %g exceeds exact OPT %g", ri, lpVal, opt)
+		}
+		if opt > pdCost+1e-6 {
+			t.Errorf("row %d: exact OPT %g exceeds PD cost %g", ri, opt, pdCost)
+		}
+		if gd > lpVal+1e-6 {
+			t.Errorf("row %d: γ·dual %g exceeds LP %g (weak duality)", ri, gd, lpVal)
+		}
+	}
+}
+
+func BenchmarkQuickThm2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunByID("thm2", Config{Seed: int64(i), Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Hypergeometric is the distribution of the number of "successes" in n draws
+// without replacement from a population of N items containing K successes —
+// exactly the Y ~ Hypergeometric(|S|/2, √|S|/2, |S|/c) variable in the proof
+// of Theorem 2.
+type Hypergeometric struct {
+	N int // population size
+	K int // successes in the population
+	D int // number of draws
+}
+
+// NewHypergeometric validates the parameters (0 ≤ K, D ≤ N).
+func NewHypergeometric(n, k, d int) (Hypergeometric, error) {
+	if n < 0 || k < 0 || d < 0 || k > n || d > n {
+		return Hypergeometric{}, fmt.Errorf("stats: invalid hypergeometric parameters N=%d K=%d D=%d", n, k, d)
+	}
+	return Hypergeometric{N: n, K: k, D: d}, nil
+}
+
+// Mean returns E[Y] = D·K/N.
+func (h Hypergeometric) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.D) * float64(h.K) / float64(h.N)
+}
+
+// PMF returns P(Y = y) computed in log space for numeric stability.
+func (h Hypergeometric) PMF(y int) float64 {
+	if y < 0 || y > h.D || y > h.K || h.D-y > h.N-h.K {
+		return 0
+	}
+	lp := logChoose(h.K, y) + logChoose(h.N-h.K, h.D-y) - logChoose(h.N, h.D)
+	return math.Exp(lp)
+}
+
+// CDF returns P(Y ≤ y).
+func (h Hypergeometric) CDF(y int) float64 {
+	if y < 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i <= y && i <= h.D; i++ {
+		sum += h.PMF(i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Sample draws one value by simulating the draws without replacement in
+// O(D) time.
+func (h Hypergeometric) Sample(rng *rand.Rand) int {
+	succ := 0
+	remK, remN := h.K, h.N
+	for i := 0; i < h.D; i++ {
+		if rng.Float64() < float64(remK)/float64(remN) {
+			succ++
+			remK--
+		}
+		remN--
+	}
+	return succ
+}
+
+// TailUpper bounds P(Y ≥ E[Y] + t·D) ≤ exp(−2t²D), the Hoeffding bound that
+// Chvátal showed applies to the hypergeometric tail — the bound invoked in
+// Equation (3) of the paper.
+func (h Hypergeometric) TailUpper(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-2 * t * t * float64(h.D))
+}
+
+// logChoose returns ln C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

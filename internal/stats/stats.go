@@ -1,0 +1,165 @@
+// Package stats provides the small statistical toolkit the reproduction
+// needs: harmonic numbers (the H_n in Theorem 4's scaling factor),
+// descriptive summaries for repeated experiment runs, the hypergeometric
+// distribution from the Theorem 2 proof (with the Hoeffding–Chvátal tail
+// bound of Equation (3)), and least-squares fits for empirical scaling laws.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Harmonic returns H_n = Σ_{k=1..n} 1/k, with H_0 = 0. For n beyond 1e7 it
+// switches to the asymptotic expansion ln n + γ + 1/(2n) − 1/(12n²), whose
+// error is far below float64 resolution there.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= 1e7 {
+		// Sum smallest-first for floating-point accuracy.
+		var h float64
+		for k := n; k >= 1; k-- {
+			h += 1 / float64(k)
+		}
+		return h
+	}
+	const gamma = 0.57721566490153286060651209008240243
+	fn := float64(n)
+	return math.Log(fn) + gamma + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty sample or a
+// q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit holds a least-squares line y = Slope·x + Intercept with the
+// coefficient of determination R².
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear computes the ordinary least-squares fit of ys against xs.
+// It panics if the slices differ in length or have fewer than two points.
+func FitLinear(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitLinear length mismatch")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		panic("stats: FitLinear needs at least two points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{Slope: 0, Intercept: sy / n, R2: 0}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// FitPowerLaw fits y = a·x^b by least squares in log–log space and returns
+// (exponent b, prefactor a, R²). All xs and ys must be positive.
+func FitPowerLaw(xs, ys []float64) (exponent, prefactor, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: FitPowerLaw requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit := FitLinear(lx, ly)
+	return fit.Slope, math.Exp(fit.Intercept), fit.R2
+}

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := map[int]float64{
+		0: 0,
+		1: 1,
+		2: 1.5,
+		3: 1.5 + 1.0/3,
+		4: 1.5 + 1.0/3 + 0.25,
+	}
+	for n, want := range cases {
+		if got := Harmonic(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("H_%d = %g, want %g", n, got, want)
+		}
+	}
+	if got := Harmonic(-5); got != 0 {
+		t.Errorf("H_{-5} = %g, want 0", got)
+	}
+}
+
+func TestHarmonicAsymptotic(t *testing.T) {
+	// The asymptotic branch must agree with the exact sum at the handover.
+	n := int(1e7)
+	exact := Harmonic(n)
+	const gamma = 0.57721566490153286060651209008240243
+	approx := math.Log(float64(n)) + gamma + 1/(2*float64(n))
+	if math.Abs(exact-approx) > 1e-9 {
+		t.Errorf("H_1e7: exact %g vs asymptotic %g", exact, approx)
+	}
+	// Beyond the handover, values must keep increasing.
+	if Harmonic(2e7) <= exact {
+		t.Error("Harmonic not increasing past the asymptotic handover")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N/Mean = %d/%g", s.N, s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %g", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g", got)
+	}
+	for _, bad := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile(xs, -0.1) },
+		func() { Quantile(xs, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit := FitLinear(xs, ys)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	// All xs equal: slope defined as 0, intercept = mean.
+	fit := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if fit.Slope != 0 || fit.Intercept != 2 {
+		t.Errorf("degenerate fit = %+v", fit)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	FitLinear([]float64{1}, []float64{1, 2})
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3·x^1.5 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	b, a, r2 := FitPowerLaw(xs, ys)
+	if math.Abs(b-1.5) > 1e-9 || math.Abs(a-3) > 1e-9 || r2 < 1-1e-9 {
+		t.Errorf("power fit: b=%g a=%g r2=%g", b, a, r2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive data must panic")
+		}
+	}()
+	FitPowerLaw([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestHypergeometricValidation(t *testing.T) {
+	if _, err := NewHypergeometric(10, 11, 5); err == nil {
+		t.Error("K > N accepted")
+	}
+	if _, err := NewHypergeometric(10, 5, 11); err == nil {
+		t.Error("D > N accepted")
+	}
+	if _, err := NewHypergeometric(-1, 0, 0); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := NewHypergeometric(10, 5, 5); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestHypergeometricPMFSumsToOne(t *testing.T) {
+	h, _ := NewHypergeometric(30, 12, 10)
+	var sum float64
+	for y := 0; y <= h.D; y++ {
+		p := h.PMF(y)
+		if p < 0 || p > 1 {
+			t.Fatalf("PMF(%d) = %g out of range", y, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %g", sum)
+	}
+	if h.PMF(-1) != 0 || h.PMF(h.D+1) != 0 {
+		t.Error("PMF outside support must be 0")
+	}
+}
+
+func TestHypergeometricMeanAndCDF(t *testing.T) {
+	h, _ := NewHypergeometric(20, 8, 5)
+	if want := 2.0; math.Abs(h.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", h.Mean(), want)
+	}
+	if got := h.CDF(h.D); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(D) = %g", got)
+	}
+	if got := h.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %g", got)
+	}
+	// CDF is non-decreasing.
+	prev := 0.0
+	for y := 0; y <= h.D; y++ {
+		c := h.CDF(y)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreasing at %d", y)
+		}
+		prev = c
+	}
+}
+
+func TestHypergeometricSampleMatchesMean(t *testing.T) {
+	h, _ := NewHypergeometric(100, 25, 40)
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		y := h.Sample(rng)
+		if y < 0 || y > h.D || y > h.K {
+			t.Fatalf("sample %d outside support", y)
+		}
+		sum += float64(y)
+	}
+	got := sum / trials
+	if math.Abs(got-h.Mean()) > 0.15 {
+		t.Errorf("empirical mean %g vs %g", got, h.Mean())
+	}
+}
+
+func TestHypergeometricTailBound(t *testing.T) {
+	// The Hoeffding–Chvátal bound must dominate the exact tail,
+	// P(Y ≥ E+tD) ≤ exp(-2t²D) — the inequality used in Equation (3).
+	h, _ := NewHypergeometric(64, 16, 20)
+	for _, tt := range []float64{0.05, 0.1, 0.2, 0.3} {
+		thresh := h.Mean() + tt*float64(h.D)
+		exact := 0.0
+		for y := int(math.Ceil(thresh)); y <= h.D; y++ {
+			exact += h.PMF(y)
+		}
+		if bound := h.TailUpper(tt); exact > bound+1e-9 {
+			t.Errorf("t=%g: exact tail %g exceeds bound %g", tt, exact, bound)
+		}
+	}
+	if h.TailUpper(0) != 1 || h.TailUpper(-1) != 1 {
+		t.Error("non-positive t must give trivial bound 1")
+	}
+}
+
+// Property: Harmonic is monotone and bounded by 1+ln n.
+func TestQuickHarmonicBounds(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%5000 + 1
+		h := Harmonic(n)
+		if h < math.Log(float64(n)) || h > 1+math.Log(float64(n)) {
+			return false
+		}
+		return Harmonic(n+1) > h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize respects Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e15 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHarmonic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Harmonic(100000)
+	}
+}
+
+func BenchmarkHypergeomSample(b *testing.B) {
+	h, _ := NewHypergeometric(4096, 64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Sample(rng)
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/metric"
+)
+
+// Property: every generated uniform-cost workload survives a JSON round trip
+// bit-exactly (names, planted costs, requests, distances, costs).
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		points := 1 + rng.Intn(8)
+		var tr *Trace
+		switch rng.Intn(3) {
+		case 0:
+			tr = Uniform(rng, metric.RandomLine(rng, points, 10), cost.PowerLaw(u, rng.Float64()*2, 1), n, u)
+		case 1:
+			tr = Bundled(rng, metric.RandomEuclidean(rng, points, 2, 10), cost.Linear(u, 1+rng.Float64()), n)
+		default:
+			tr = Zipf(rng, metric.RandomLine(rng, points, 10), cost.Constant(u, 1+rng.Float64()*3), n, u, 1.2)
+		}
+		tr.PlantedCost = rng.Float64() * 10
+
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Name != tr.Name || got.PlantedCost != tr.PlantedCost {
+			return false
+		}
+		if len(got.Instance.Requests) != len(tr.Instance.Requests) {
+			return false
+		}
+		for i, r := range tr.Instance.Requests {
+			gr := got.Instance.Requests[i]
+			if gr.Point != r.Point || !gr.Demands.Equal(r.Demands) {
+				return false
+			}
+		}
+		for i := 0; i < points; i++ {
+			for j := 0; j < points; j++ {
+				if got.Instance.Space.Distance(i, j) != tr.Instance.Space.Distance(i, j) {
+					return false
+				}
+			}
+		}
+		for _, r := range tr.Instance.Requests {
+			if got.Instance.Costs.Cost(0, r.Demands) != tr.Instance.Costs.Cost(0, r.Demands) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated instances always validate, across every generator.
+func TestQuickGeneratorsProduceValidInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 1 + rng.Intn(8)
+		costs := cost.PowerLaw(u, rng.Float64()*2, 0.5+rng.Float64())
+		traces := []*Trace{
+			Uniform(rng, metric.RandomLine(rng, 1+rng.Intn(6), 10), costs, 1+rng.Intn(15), u),
+			Bundled(rng, metric.RandomEuclidean(rng, 1+rng.Intn(6), 2, 10), costs, 1+rng.Intn(10)),
+			Clustered(rng, costs, 2+rng.Intn(15), 1+rng.Intn(3), 50, 1),
+			SinglePointSingles(rng, costs, 1+rng.Intn(u+3)),
+		}
+		for _, tr := range traces {
+			if tr.Instance.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

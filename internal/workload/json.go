@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// FileTrace is the JSON serialization of a trace, used by cmd/gentrace and
+// cmd/omflp to exchange workloads. Only matrix metrics and size-dependent
+// cost tables are serialized — enough to round-trip every generated
+// workload.
+type FileTrace struct {
+	Name        string      `json:"name"`
+	Universe    int         `json:"universe"`
+	Distances   [][]float64 `json:"distances"`
+	CostBySize  []float64   `json:"cost_by_size"`
+	Requests    []FileReq   `json:"requests"`
+	PlantedCost float64     `json:"planted_cost,omitempty"`
+}
+
+// FileReq is one serialized request.
+type FileReq struct {
+	Point   int   `json:"point"`
+	Demands []int `json:"demands"`
+}
+
+// WriteJSON serializes the trace. Cost models are sampled into a by-size
+// table (using point 0), so point-scaled models lose their non-uniformity;
+// an error is returned if the model is detectably non-uniform across points.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	in := t.Instance
+	u := in.Universe()
+	n := in.Space.Len()
+	ft := FileTrace{
+		Name:        t.Name,
+		Universe:    u,
+		PlantedCost: t.PlantedCost,
+	}
+	ft.Distances = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ft.Distances[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			ft.Distances[i][j] = in.Space.Distance(i, j)
+		}
+	}
+	ft.CostBySize = make([]float64, u+1)
+	for k := 1; k <= u; k++ {
+		cfg := commodity.Full(k)
+		c0 := in.Costs.Cost(0, cfg)
+		for m := 1; m < n; m++ {
+			if in.Costs.Cost(m, cfg) != c0 {
+				return fmt.Errorf("workload: cost model is non-uniform across points; JSON export unsupported")
+			}
+		}
+		ft.CostBySize[k] = c0
+	}
+	for _, r := range in.Requests {
+		ft.Requests = append(ft.Requests, FileReq{Point: r.Point, Demands: r.Demands.IDs()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ft)
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var ft FileTrace
+	if err := json.NewDecoder(r).Decode(&ft); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %v", err)
+	}
+	if len(ft.CostBySize) != ft.Universe+1 {
+		return nil, fmt.Errorf("workload: cost table has %d entries for universe %d", len(ft.CostBySize), ft.Universe)
+	}
+	table, err := cost.NewTable(ft.CostBySize)
+	if err != nil {
+		return nil, err
+	}
+	space := metric.NewMatrix(ft.Distances)
+	if err := metric.Check(space); err != nil {
+		return nil, err
+	}
+	in := &instance.Instance{Space: space, Costs: table}
+	for _, fr := range ft.Requests {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   fr.Point,
+			Demands: commodity.New(fr.Demands...),
+		})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &Trace{Instance: in, Name: ft.Name, PlantedCost: ft.PlantedCost}, nil
+}

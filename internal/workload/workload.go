@@ -1,0 +1,152 @@
+// Package workload generates OMFLP request sequences for the experiments:
+// uniform random demand, clustered demand with a planted feasible solution
+// (giving a certified upper bound on OPT), Zipf-popular commodities, and
+// bundled demand that rewards large facilities. All generators are
+// deterministic given their *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// Trace is a generated instance plus provenance. If PlantedCost > 0 it is
+// the cost of a known feasible solution, hence an upper bound on OPT.
+type Trace struct {
+	Instance    *instance.Instance
+	Name        string
+	PlantedCost float64
+}
+
+// Uniform generates n requests at uniform random points, each demanding a
+// uniform random non-empty subset of at most maxDemand commodities.
+func Uniform(rng *rand.Rand, space metric.Space, costs cost.Model, n, maxDemand int) *Trace {
+	u := costs.Universe()
+	if maxDemand <= 0 || maxDemand > u {
+		maxDemand = u
+	}
+	in := &instance.Instance{Space: space, Costs: costs}
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxDemand)
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, k),
+		})
+	}
+	return &Trace{Instance: in, Name: fmt.Sprintf("uniform(n=%d,S=%d)", n, u)}
+}
+
+// Zipf generates demand with Zipf-distributed commodity popularity
+// (exponent s > 1): popular commodities appear in many requests, the tail
+// is rare — the service-catalog shape of the paper's motivating scenario.
+func Zipf(rng *rand.Rand, space metric.Space, costs cost.Model, n, maxDemand int, s float64) *Trace {
+	u := costs.Universe()
+	if maxDemand <= 0 || maxDemand > u {
+		maxDemand = u
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(u-1))
+	in := &instance.Instance{Space: space, Costs: costs}
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxDemand)
+		var d commodity.Set
+		for d.Len() < k {
+			d = d.With(int(zipf.Uint64()))
+		}
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: d,
+		})
+	}
+	return &Trace{Instance: in, Name: fmt.Sprintf("zipf(n=%d,S=%d,s=%.1f)", n, u, s)}
+}
+
+// Clustered plants k cluster centers on a fresh 2-d Euclidean space; each
+// cluster is assigned a bundle of commodities, and its requests demand
+// random subsets of that bundle from nearby points. The planted solution
+// opens one facility per cluster (the bundle at the center); its cost
+// certifies an upper bound on OPT.
+func Clustered(rng *rand.Rand, costs cost.Model, n, k int, width, spread float64) *Trace {
+	u := costs.Universe()
+	if k < 1 {
+		panic("workload: need at least one cluster")
+	}
+	space, centers := metric.ClusteredEuclidean(rng, n+k, k, width, spread)
+
+	// Assign each cluster a bundle: a random subset of between 1 and u
+	// commodities, biased toward larger bundles so large facilities help.
+	bundles := make([]commodity.Set, k)
+	for c := range bundles {
+		size := 1 + rng.Intn(u)
+		bundles[c] = commodity.RandomSubset(rng, u, size)
+	}
+
+	in := &instance.Instance{Space: space, Costs: costs}
+	planted := make([]instance.Facility, k)
+	for c := range planted {
+		planted[c] = instance.Facility{Point: centers[c], Config: bundles[c]}
+	}
+	var plantedCost float64
+	for c := range planted {
+		plantedCost += costs.Cost(planted[c].Point, planted[c].Config)
+	}
+
+	// Requests: points k..n+k-1 were generated around random clusters;
+	// assign each to its nearest center's bundle.
+	for p := k; p < space.Len(); p++ {
+		c := 0
+		bestD := math.Inf(1)
+		for ci, ctr := range centers {
+			if d := space.Distance(p, ctr); d < bestD {
+				c, bestD = ci, d
+			}
+		}
+		size := 1 + rng.Intn(bundles[c].Len())
+		d := commodity.RandomSubsetOf(rng, bundles[c], size)
+		in.Requests = append(in.Requests, instance.Request{Point: p, Demands: d})
+		plantedCost += bestD // the planted solution connects to the center once
+	}
+	return &Trace{
+		Instance:    in,
+		Name:        fmt.Sprintf("clustered(n=%d,k=%d,S=%d)", len(in.Requests), k, u),
+		PlantedCost: plantedCost,
+	}
+}
+
+// Bundled generates requests that each demand the full commodity set at
+// random points — the workload separating PD-OMFLP from the per-commodity
+// baseline: with subadditive costs, serving bundles from one large facility
+// is ~√|S| cheaper than |S| singleton facilities.
+func Bundled(rng *rand.Rand, space metric.Space, costs cost.Model, n int) *Trace {
+	u := costs.Universe()
+	full := commodity.Full(u)
+	in := &instance.Instance{Space: space, Costs: costs}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: full,
+		})
+	}
+	return &Trace{Instance: in, Name: fmt.Sprintf("bundled(n=%d,S=%d)", n, u)}
+}
+
+// SinglePointSingles requests distinct single commodities at one point —
+// the deterministic skeleton of the Theorem 2 game (commodity order
+// shuffled).
+func SinglePointSingles(rng *rand.Rand, costs cost.Model, count int) *Trace {
+	u := costs.Universe()
+	if count > u {
+		count = u
+	}
+	in := &instance.Instance{Space: metric.SinglePoint(), Costs: costs}
+	perm := rng.Perm(u)
+	for _, e := range perm[:count] {
+		in.Requests = append(in.Requests, instance.Request{Point: 0, Demands: commodity.New(e)})
+	}
+	return &Trace{Instance: in, Name: fmt.Sprintf("single-point(n=%d,S=%d)", count, u)}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+func TestUniformValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	space := metric.RandomEuclidean(rng, 10, 2, 10)
+	tr := Uniform(rng, space, cost.PowerLaw(6, 1, 1), 30, 3)
+	if err := tr.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Instance.Requests) != 30 {
+		t.Errorf("n = %d", len(tr.Instance.Requests))
+	}
+	for _, r := range tr.Instance.Requests {
+		if r.Demands.Len() > 3 {
+			t.Errorf("demand %v exceeds maxDemand", r.Demands)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	space := metric.RandomLine(rng, 5, 10)
+	tr := Zipf(rng, space, cost.PowerLaw(16, 1, 1), 300, 2, 1.5)
+	if err := tr.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 16)
+	for _, r := range tr.Instance.Requests {
+		r.Demands.ForEach(func(e int) { counts[e]++ })
+	}
+	// Commodity 0 must be requested far more often than commodity 15.
+	if counts[0] <= counts[15]*2 {
+		t.Errorf("no Zipf skew: counts[0]=%d counts[15]=%d", counts[0], counts[15])
+	}
+}
+
+func TestClusteredPlantedCostIsFeasibleUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Clustered(rng, cost.PowerLaw(6, 1, 2), 40, 3, 100, 1)
+	if err := tr.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PlantedCost <= 0 {
+		t.Fatal("no planted cost")
+	}
+	// The offline greedy must never exceed the planted solution by much —
+	// and the planted cost must be ≥ the (near-)optimal offline cost.
+	res := baseline.BestOffline(tr.Instance, 40)
+	if res.Cost > tr.PlantedCost*1.5+1e-9 {
+		t.Errorf("offline proxy %g far above planted %g", res.Cost, tr.PlantedCost)
+	}
+}
+
+func TestBundledDemandsAreFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	space := metric.RandomLine(rng, 6, 10)
+	tr := Bundled(rng, space, cost.PowerLaw(5, 1, 1), 10)
+	for _, r := range tr.Instance.Requests {
+		if r.Demands.Len() != 5 {
+			t.Errorf("bundled demand %v not full", r.Demands)
+		}
+	}
+}
+
+func TestSinglePointSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := SinglePointSingles(rng, cost.CeilSqrt(16), 4)
+	if len(tr.Instance.Requests) != 4 {
+		t.Fatalf("n = %d", len(tr.Instance.Requests))
+	}
+	seen := map[int]bool{}
+	for _, r := range tr.Instance.Requests {
+		if r.Point != 0 || r.Demands.Len() != 1 {
+			t.Errorf("bad request %+v", r)
+		}
+		e := r.Demands.Min()
+		if seen[e] {
+			t.Errorf("commodity %d requested twice", e)
+		}
+		seen[e] = true
+	}
+	// Count capped at |S|.
+	tr2 := SinglePointSingles(rng, cost.CeilSqrt(4), 99)
+	if len(tr2.Instance.Requests) != 4 {
+		t.Errorf("cap failed: n = %d", len(tr2.Instance.Requests))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	space := metric.RandomLine(rng, 5, 10)
+	tr := Uniform(rng, space, cost.PowerLaw(4, 1, 1.5), 12, 3)
+	tr.PlantedCost = 7.5
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.PlantedCost != 7.5 {
+		t.Errorf("metadata lost: %q %g", got.Name, got.PlantedCost)
+	}
+	if len(got.Instance.Requests) != len(tr.Instance.Requests) {
+		t.Fatalf("request count mismatch")
+	}
+	for i, r := range tr.Instance.Requests {
+		gr := got.Instance.Requests[i]
+		if gr.Point != r.Point || !gr.Demands.Equal(r.Demands) {
+			t.Errorf("request %d mismatch: %+v vs %+v", i, gr, r)
+		}
+	}
+	// Distances and costs survive.
+	if got.Instance.Space.Distance(0, 4) != space.Distance(0, 4) {
+		t.Error("distance mismatch after round trip")
+	}
+	cfg := tr.Instance.Requests[0].Demands
+	if got.Instance.Costs.Cost(0, cfg) != tr.Instance.Costs.Cost(0, cfg) {
+		t.Error("cost mismatch after round trip")
+	}
+}
+
+func TestJSONRejectsNonUniformCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	space := metric.RandomLine(rng, 3, 5)
+	base := cost.PowerLaw(3, 1, 1)
+	scaled := cost.NewPointScaled(base, []float64{1, 2, 3})
+	tr := Uniform(rng, space, scaled, 5, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err == nil {
+		t.Error("non-uniform cost model serialized without error")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"universe":3,"cost_by_size":[0,1]}`)); err == nil {
+		t.Error("mismatched cost table accepted")
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	mk := func() *Trace {
+		rng := rand.New(rand.NewSource(42))
+		space := metric.RandomEuclidean(rng, 8, 2, 10)
+		return Uniform(rng, space, cost.PowerLaw(5, 1, 1), 20, 3)
+	}
+	a, b := mk(), mk()
+	for i := range a.Instance.Requests {
+		ra, rb := a.Instance.Requests[i], b.Instance.Requests[i]
+		if ra.Point != rb.Point || !ra.Demands.Equal(rb.Demands) {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+	_ = instance.Request{}
+}
