@@ -9,6 +9,7 @@ package omflp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/commodity"
@@ -23,10 +24,29 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	// Workers: 0 = GOMAXPROCS — the default parallel harness configuration.
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunByID(id, sim.Config{Seed: 1, Quick: true}); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
+	}
+}
+
+// BenchmarkHarnessWorkers pins the worker-pool win on a repetition-heavy
+// experiment: the same quick thm2 run sequential vs fanned out.
+func BenchmarkHarnessWorkers(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("workers=GOMAXPROCS(%d)", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunByID("thm2", sim.Config{Seed: 1, Quick: true, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -72,6 +92,32 @@ func BenchmarkPDOnlineThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPDBidAccounting compares the incremental bid accumulators
+// against the naive per-arrival rebuild across n — run with benchstat to
+// verify the ≥2× serve-throughput claim at n ≥ 2000 (the perf experiment's
+// BENCH_pd.json reports the same comparison machine-readably).
+func BenchmarkPDBidAccounting(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		tr := benchWorkload(n, 8, 25)
+		for _, mode := range []string{"incremental", "naive"} {
+			b.Run(fmt.Sprintf("mode=%s/n=%d", mode, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var pd *core.PDOMFLP
+					if mode == "naive" {
+						pd = core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+					} else {
+						pd = core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+					}
+					for _, r := range tr.Instance.Requests {
+						pd.Serve(r)
+					}
+				}
+			})
+		}
 	}
 }
 

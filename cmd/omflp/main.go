@@ -4,9 +4,15 @@
 // Usage:
 //
 //	omflp list
-//	omflp run <experiment-id> [-seed N] [-quick] [-csv DIR] [-no-charts]
-//	omflp all [-seed N] [-quick] [-csv DIR] [-no-charts]
+//	omflp run <experiment-id> [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR] [-no-charts]
+//	omflp all [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR] [-no-charts]
 //	omflp replay -trace FILE [-seed N]        (replay a gentrace JSON file)
+//
+// -workers fans independent experiment repetitions out across goroutines
+// (0 = GOMAXPROCS, 1 = sequential); output is byte-identical for every
+// worker count under a fixed seed. -bench-out makes the perf experiment
+// write a machine-readable BENCH_pd.json (incremental vs naive PD-OMFLP
+// serve throughput) into the given directory.
 //
 // Experiment IDs map to paper artifacts (fig1, fig2, fig3, thm2, cor3,
 // thm4, thm18, thm19, lem12, dual, ablation_*); see DESIGN.md §4 and
@@ -68,11 +74,18 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   omflp list                                     list experiments
-  omflp run <id> [-seed N] [-quick] [-csv DIR]   run one experiment
-  omflp all     [-seed N] [-quick] [-csv DIR]    run every experiment
+  omflp run <id> [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR]
+                                                 run one experiment
+  omflp all     [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR]
+                                                 run every experiment
   omflp replay -trace FILE [-seed N]             replay a JSON trace through all algorithms
   omflp explain -trace FILE                      narrate PD-OMFLP's decisions on a trace
-  omflp check -trace FILE                        validate a trace's metric and cost assumptions`)
+  omflp check -trace FILE                        validate a trace's metric and cost assumptions
+
+-workers 0 (default) uses GOMAXPROCS goroutines for independent repetitions;
+-workers 1 forces a sequential run. Tables are byte-identical either way
+under a fixed seed. -bench-out DIR makes the perf experiment write
+BENCH_pd.json (incremental vs naive PD serve throughput) into DIR.`)
 }
 
 func cmdList() error {
@@ -84,10 +97,12 @@ func cmdList() error {
 }
 
 type runFlags struct {
-	seed    int64
-	quick   bool
-	csvDir  string
-	noChart bool
+	seed     int64
+	quick    bool
+	workers  int
+	csvDir   string
+	benchDir string
+	noChart  bool
 }
 
 func parseRunFlags(name string, args []string) (runFlags, []string, error) {
@@ -95,7 +110,9 @@ func parseRunFlags(name string, args []string) (runFlags, []string, error) {
 	var rf runFlags
 	fs.Int64Var(&rf.seed, "seed", 1, "random seed (fixed seed = identical results)")
 	fs.BoolVar(&rf.quick, "quick", false, "smaller sizes for a fast smoke run")
+	fs.IntVar(&rf.workers, "workers", 0, "goroutines for independent repetitions (0 = GOMAXPROCS, 1 = sequential)")
 	fs.StringVar(&rf.csvDir, "csv", "", "directory to also write tables as CSV")
+	fs.StringVar(&rf.benchDir, "bench-out", "", "directory for machine-readable benchmark artifacts (perf writes BENCH_pd.json)")
 	fs.BoolVar(&rf.noChart, "no-charts", false, "suppress ASCII charts")
 	if err := fs.Parse(args); err != nil {
 		return rf, nil, err
@@ -142,7 +159,7 @@ func execute(id string, rf runFlags) error {
 		return fmt.Errorf("unknown experiment %q (try `omflp list`)", id)
 	}
 	fmt.Printf("### %s — %s\n    reproduces: %s\n\n", e.ID, e.Title, e.Reproduces)
-	res, err := e.Run(sim.Config{Seed: rf.seed, Quick: rf.quick})
+	res, err := e.Run(sim.Config{Seed: rf.seed, Quick: rf.quick, Workers: rf.workers, BenchDir: rf.benchDir})
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,17 @@
 //   - the experiment harness regenerating every figure and theorem-scale
 //     claim of the paper (see EXPERIMENTS.md).
 //
+// Performance. PD-OMFLP maintains its Constraint (3)/(4) bid sums
+// incrementally — per (commodity, candidate) accumulators updated when a
+// credit is added or lowered — so serving a request costs O(k·|candidates|)
+// instead of rescanning the full request history (the naive reference is
+// kept behind core.NewPDReference for differential tests and benchmarks;
+// the perf experiment quantifies the gap and can emit BENCH_pd.json). The
+// experiment harness fans independent repetitions out across a worker pool:
+// ExperimentConfig.Workers selects the goroutine count (0 = GOMAXPROCS,
+// 1 = sequential), with per-repetition sub-seeds and ordered merging making
+// every table byte-identical across worker counts under a fixed seed.
+//
 // Quickstart:
 //
 //	space := omflp.NewLine([]float64{0, 1, 5})

@@ -123,16 +123,22 @@ func (fx *facilityIndex) nearestLarge(p int) (int, float64) {
 const infinity = 1e308
 
 // singleCosts precomputes f_m^{e} for every candidate point (and f_m^S),
-// shared by both algorithms.
+// shared by both algorithms. It also caches, per point of the space, the
+// distances from every candidate to that point: the dCand vector of the
+// PD Serve loop and the per-credit distance lookups of the incremental bid
+// accumulators both read the same rows, so each (candidate, point) distance
+// is computed at most once over the whole run.
 type costTable struct {
-	cands  []int
-	single [][]float64 // [e][candIdx]
-	full   []float64   // [candIdx]
+	space    metric.Space
+	cands    []int
+	single   [][]float64 // [e][candIdx]
+	full     []float64   // [candIdx]
+	distRows [][]float64 // [point][candIdx], filled lazily by distTo
 }
 
-func buildCostTable(costs cost.Model, cands []int) *costTable {
+func buildCostTable(space metric.Space, costs cost.Model, cands []int) *costTable {
 	u := costs.Universe()
-	t := &costTable{cands: cands}
+	t := &costTable{space: space, cands: cands, distRows: make([][]float64, space.Len())}
 	t.single = make([][]float64, u)
 	fullSet := commodity.Full(u)
 	for e := 0; e < u; e++ {
@@ -148,4 +154,18 @@ func buildCostTable(costs cost.Model, cands []int) *costTable {
 		t.full[ci] = costs.Cost(m, fullSet)
 	}
 	return t
+}
+
+// distTo returns the distances from every candidate to point p, computing
+// and caching the row on first use.
+func (t *costTable) distTo(p int) []float64 {
+	if row := t.distRows[p]; row != nil {
+		return row
+	}
+	row := make([]float64, len(t.cands))
+	for ci, m := range t.cands {
+		row[ci] = t.space.Distance(m, p)
+	}
+	t.distRows[p] = row
+	return row
 }

@@ -43,6 +43,25 @@ type PDOMFLP struct {
 	creditSmall [][]pdCredit
 	// creditLarge holds, per earlier request, min{Σ_e a_je, d(F̂, j)}.
 	creditLarge []pdCredit
+
+	// bidSmall[e][ci] = Σ_j (creditSmall[e][j].credit − d(m_ci, j.point))_+,
+	// the Constraint (3) bid sum toward candidate ci, maintained
+	// incrementally: contributions are added when a credit is recorded and
+	// corrected when a credit is lowered, so Serve reads them in O(1) per
+	// (commodity, candidate) instead of rescanning the request history.
+	// A row is nil until the first credit for its commodity arrives.
+	bidSmall [][]float64
+	// bidLarge[ci] is the Constraint (4) analogue over creditLarge.
+	bidLarge []float64
+	// zeroBids is the shared all-zero row read for commodities that have no
+	// credits yet. Callers never mutate bid rows mid-arrival, so sharing is
+	// safe.
+	zeroBids []float64
+	// naiveBids switches Serve to recomputing the bid sums from the full
+	// credit history on every arrival — the original O(history×candidates)
+	// accounting, kept as the reference implementation for differential
+	// tests and benchmarks (see NewPDReference).
+	naiveBids bool
 	// distHistory backs the Lemma 14 analysis extraction (TraceAnalysis).
 	distHistory map[int][]analysisRecord
 	// facBoundary[i] = number of facilities after arrival i (for ServeLog).
@@ -67,9 +86,23 @@ func NewPDOMFLP(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
 		u:           u,
 		opts:        opts,
 		fx:          newFacilityIndex(space, u),
-		ct:          buildCostTable(costs, cands),
+		ct:          buildCostTable(space, costs, cands),
 		creditSmall: make([][]pdCredit, u),
+		bidSmall:    make([][]float64, u),
+		bidLarge:    make([]float64, len(cands)),
+		zeroBids:    make([]float64, len(cands)),
 	}
+}
+
+// NewPDReference constructs PD-OMFLP with the original per-arrival
+// recomputation of the bid sums from the full credit history instead of the
+// incremental accumulators. It is semantically identical to NewPDOMFLP but
+// pays O(history × candidates) per arrival; it exists so benchmarks can
+// quantify — and differential tests validate — the incremental accounting.
+func NewPDReference(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
+	pd := NewPDOMFLP(space, costs, opts)
+	pd.naiveBids = true
+	return pd
 }
 
 // Name implements online.Algorithm.
@@ -134,33 +167,33 @@ func (pd *PDOMFLP) Serve(r instance.Request) {
 	}
 	_, dLarge := pd.fx.nearestLarge(p)
 
-	// bid3[i][ci] = Σ_j (creditSmall[e_i][j] − d(m_ci, j))_+
+	// bid3[i][ci] = Σ_j (creditSmall[e_i][j] − d(m_ci, j))_+ and
+	// bid4[ci] the Constraint (4) analogue. The incremental accumulators
+	// hold exactly these sums; credits only change after the event loop, so
+	// aliasing the live rows is safe. The reference mode rescans the credit
+	// history instead.
 	bid3 := make([][]float64, k)
-	for i, e := range ids {
-		row := make([]float64, len(cands))
-		for _, cr := range pd.creditSmall[e] {
-			for ci, m := range cands {
-				if b := cr.credit - pd.space.Distance(m, cr.point); b > 0 {
-					row[ci] += b
-				}
+	var bid4 []float64
+	if pd.naiveBids {
+		for i, e := range ids {
+			bid3[i] = pd.naiveSmallBids(e)
+		}
+		if pd.opts.DisablePrediction {
+			bid4 = pd.zeroBids // never read; constraints (2)/(4) are skipped
+		} else {
+			bid4 = pd.naiveLargeBids()
+		}
+	} else {
+		for i, e := range ids {
+			if row := pd.bidSmall[e]; row != nil {
+				bid3[i] = row
+			} else {
+				bid3[i] = pd.zeroBids
 			}
 		}
-		bid3[i] = row
+		bid4 = pd.bidLarge
 	}
-	bid4 := make([]float64, len(cands))
-	if !pd.opts.DisablePrediction {
-		for _, cr := range pd.creditLarge {
-			for ci, m := range cands {
-				if b := cr.credit - pd.space.Distance(m, cr.point); b > 0 {
-					bid4[ci] += b
-				}
-			}
-		}
-	}
-	dCand := make([]float64, len(cands))
-	for ci, m := range cands {
-		dCand[ci] = pd.space.Distance(m, p)
-	}
+	dCand := pd.ct.distTo(p)
 
 	a := make([]float64, k)
 	frozen := make([]bool, k)
@@ -302,7 +335,7 @@ func (pd *PDOMFLP) Serve(r instance.Request) {
 		// Whole request served by one large facility; temporaries vanish.
 		links = []int{largeServed}
 		newPt := pd.fx.sol.Facilities[largeServed].Point
-		pd.refreshCreditsForPoint(newPt, true)
+		pd.refreshCreditsForLarge(newPt)
 	} else {
 		// Open the surviving temporaries and connect each commodity.
 		opened := make([]int, len(temps))
@@ -339,35 +372,129 @@ func (pd *PDOMFLP) Serve(r instance.Request) {
 	// Record this request's own credits against the updated facility sets.
 	for i, e := range ids {
 		_, d := pd.fx.nearestOffering(e, p)
-		pd.creditSmall[e] = append(pd.creditSmall[e], pdCredit{point: p, credit: math.Min(a[i], d)})
+		pd.addCreditSmall(e, p, math.Min(a[i], d))
 	}
 	_, dHat := pd.fx.nearestLarge(p)
-	pd.creditLarge = append(pd.creditLarge, pdCredit{point: p, credit: math.Min(sumA, dHat)})
+	pd.addCreditLarge(p, math.Min(sumA, dHat))
+}
+
+// addBid folds one credit's contribution (credit − d(m_ci, p))_+ into a bid
+// row; the single place the bid formula is written for accumulation.
+func (pd *PDOMFLP) addBid(row []float64, p int, credit float64) {
+	dRow := pd.ct.distTo(p)
+	for ci := range row {
+		if b := credit - dRow[ci]; b > 0 {
+			row[ci] += b
+		}
+	}
+}
+
+// addCreditSmall records a new small-facility credit for commodity e and
+// folds its contribution into the per-candidate bid accumulators.
+func (pd *PDOMFLP) addCreditSmall(e, p int, credit float64) {
+	pd.creditSmall[e] = append(pd.creditSmall[e], pdCredit{point: p, credit: credit})
+	if pd.naiveBids {
+		return
+	}
+	row := pd.bidSmall[e]
+	if row == nil {
+		row = make([]float64, len(pd.ct.cands))
+		pd.bidSmall[e] = row
+	}
+	pd.addBid(row, p, credit)
+}
+
+// addCreditLarge records a new large-facility credit and folds its
+// contribution into the Constraint (4) accumulators.
+func (pd *PDOMFLP) addCreditLarge(p int, credit float64) {
+	pd.creditLarge = append(pd.creditLarge, pdCredit{point: p, credit: credit})
+	if pd.naiveBids {
+		return
+	}
+	pd.addBid(pd.bidLarge, p, credit)
+}
+
+// lowerBid subtracts from row the contribution change of a credit at point p
+// lowered from oldCredit to newCredit (oldCredit > newCredit ≥ 0).
+func (pd *PDOMFLP) lowerBid(row []float64, p int, oldCredit, newCredit float64) {
+	dRow := pd.ct.distTo(p)
+	for ci := range row {
+		ob := oldCredit - dRow[ci]
+		if ob <= 0 {
+			continue
+		}
+		nb := newCredit - dRow[ci]
+		if nb < 0 {
+			nb = 0
+		}
+		row[ci] -= ob - nb
+	}
+}
+
+// naiveBidsOver recomputes Σ_j (credit − d(m, j))_+ over every candidate by
+// rescanning a credit history — the reference accounting the incremental
+// rows are validated against. Distances are deliberately computed directly
+// (not via the distTo cache) so the reference stays an independent oracle.
+func (pd *PDOMFLP) naiveBidsOver(credits []pdCredit) []float64 {
+	row := make([]float64, len(pd.ct.cands))
+	for _, cr := range credits {
+		for ci, m := range pd.ct.cands {
+			if b := cr.credit - pd.space.Distance(m, cr.point); b > 0 {
+				row[ci] += b
+			}
+		}
+	}
+	return row
+}
+
+// naiveSmallBids is the Constraint (3) reference bid row for commodity e.
+func (pd *PDOMFLP) naiveSmallBids(e int) []float64 {
+	return pd.naiveBidsOver(pd.creditSmall[e])
+}
+
+// naiveLargeBids is the Constraint (4) analogue of naiveSmallBids.
+func (pd *PDOMFLP) naiveLargeBids() []float64 {
+	return pd.naiveBidsOver(pd.creditLarge)
 }
 
 // refreshCreditsForSmall lowers the small-facility credits of commodity e
-// after a new facility for e opened at point m.
+// after a new facility for e opened at point m, correcting the bid
+// accumulators by the exact contribution each lowered credit loses.
+// Together with addCreditSmall/addCreditLarge and refreshCreditsForLarge,
+// these are the only places bids change.
 func (pd *PDOMFLP) refreshCreditsForSmall(e, m int) {
-	for j := range pd.creditSmall[e] {
-		if d := pd.space.Distance(m, pd.creditSmall[e][j].point); d < pd.creditSmall[e][j].credit {
-			pd.creditSmall[e][j].credit = d
+	credits := pd.creditSmall[e]
+	for j := range credits {
+		d := pd.space.Distance(m, credits[j].point)
+		if d >= credits[j].credit {
+			continue
 		}
+		if !pd.naiveBids {
+			pd.lowerBid(pd.bidSmall[e], credits[j].point, credits[j].credit, d)
+		}
+		credits[j].credit = d
 	}
 }
 
-// refreshCreditsForPoint lowers credits after a facility opened at point m.
-// If large is true the facility offers every commodity, so both the large
-// credits and every commodity's small credits shrink.
-func (pd *PDOMFLP) refreshCreditsForPoint(m int, large bool) {
-	if large {
-		for j := range pd.creditLarge {
-			if d := pd.space.Distance(m, pd.creditLarge[j].point); d < pd.creditLarge[j].credit {
-				pd.creditLarge[j].credit = d
-			}
+// refreshCreditsForLarge lowers credits after a large facility opened at
+// point m: the facility offers every commodity, so both the large credits
+// and every commodity's small credits shrink. (This used to be
+// refreshCreditsForPoint(m, large bool); the large=false branch was a dead
+// no-op — small openings are handled by refreshCreditsForSmall — so the
+// flag is gone.)
+func (pd *PDOMFLP) refreshCreditsForLarge(m int) {
+	for j := range pd.creditLarge {
+		d := pd.space.Distance(m, pd.creditLarge[j].point)
+		if d >= pd.creditLarge[j].credit {
+			continue
 		}
-		for e := range pd.creditSmall {
-			pd.refreshCreditsForSmall(e, m)
+		if !pd.naiveBids {
+			pd.lowerBid(pd.bidLarge, pd.creditLarge[j].point, pd.creditLarge[j].credit, d)
 		}
+		pd.creditLarge[j].credit = d
+	}
+	for e := range pd.creditSmall {
+		pd.refreshCreditsForSmall(e, m)
 	}
 }
 

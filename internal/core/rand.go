@@ -108,7 +108,7 @@ func NewRandOMFLP(space metric.Space, costs cost.Model, opts Options, rng *rand.
 	if len(cands) == 0 {
 		panic("core: RAND-OMFLP needs at least one candidate point")
 	}
-	ct := buildCostTable(costs, cands)
+	ct := buildCostTable(space, costs, cands)
 	ra := &RandOMFLP{
 		space:     space,
 		costs:     costs,

@@ -29,6 +29,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 )
 
 // GameResult reports one run of the Theorem 2 game.
@@ -141,12 +142,26 @@ func (g *Game) Play(f online.Factory, rng *rand.Rand, algSeed int64) GameResult 
 
 // ExpectedRatio plays the game `reps` times with fresh adversaries and
 // algorithm seeds and returns the mean ratio and the mean Figure 1
-// quantities.
+// quantities. Repetitions are independent — each derives its own adversary
+// rng from the rep index — so ExpectedRatioParallel fans them out across
+// goroutines with identical results.
 func (g *Game) ExpectedRatio(f online.Factory, seed int64, reps int) (ratio, rounds, predicted float64) {
-	rng := rand.New(rand.NewSource(seed))
+	return g.ExpectedRatioParallel(f, seed, reps, 1)
+}
+
+// ExpectedRatioParallel is ExpectedRatio across `workers` goroutines
+// (workers < 1 meaning GOMAXPROCS). The per-rep sub-seeds and the ordered
+// reduction make the result identical for every worker count.
+func (g *Game) ExpectedRatioParallel(f online.Factory, seed int64, reps, workers int) (ratio, rounds, predicted float64) {
+	results, err := par.Map(workers, reps, func(i int) (GameResult, error) {
+		repSeed := seed + int64(i)*7919
+		return g.Play(f, rand.New(rand.NewSource(repSeed)), repSeed), nil
+	})
+	if err != nil { // Play never errors; keep the invariant loud.
+		panic("lowerbound: " + err.Error())
+	}
 	var rSum, xSum, tSum float64
-	for i := 0; i < reps; i++ {
-		res := g.Play(f, rng, seed+int64(i)*7919)
+	for _, res := range results {
 		rSum += res.Ratio
 		xSum += float64(res.Rounds)
 		tSum += float64(res.Predicted)

@@ -1,0 +1,109 @@
+// Package par is the worker pool behind the experiment harness: it fans
+// independent repetitions out across goroutines and hands the results back
+// in index order, so callers that reduce sequentially (sums, table rows)
+// produce output byte-identical to a fully sequential run regardless of the
+// worker count. Determinism is the caller's side of the contract: fn(i) must
+// depend only on i (derive per-index rngs from per-index seeds — never share
+// an rng across indices).
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values < 1 mean GOMAXPROCS, and
+// the count is capped at n since more workers than items is pure overhead.
+func Workers(workers, n int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(0..n-1) across at most `workers` goroutines (< 1 meaning
+// GOMAXPROCS) and returns the results in index order. On error, workers
+// stop claiming new indices, in-flight calls drain, and the lowest-index
+// error observed is returned with nil results. With workers == 1, or n < 2,
+// fn runs inline on the calling goroutine in index order.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64
+		errored atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstID = n // lowest index that errored
+		firstE  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !errored.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errored.Store(true)
+					mu.Lock()
+					if i < firstID {
+						firstID, firstE = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	return results, nil
+}
+
+// MeanOf maps fn over [0, n) in parallel and returns the mean of the
+// results, summed in index order (so the float reduction is identical for
+// every worker count). n < 1 is an error — a mean over nothing is NaN, and
+// silently returning it would poison report tables downstream.
+func MeanOf(workers, n int, fn func(i int) (float64, error)) (float64, error) {
+	if n < 1 {
+		return 0, errors.New("par: MeanOf needs at least one item")
+	}
+	vals, err := Map(workers, n, fn)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(.., 0, ..) = %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorByIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 50, func(i int) (int, error) {
+			if i%10 == 3 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestMapRunsEverythingConcurrently(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 100, func(i int) (struct{}, error) {
+		ran.Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Errorf("ran %d of 100", ran.Load())
+	}
+}
+
+func TestMeanOfMatchesSequentialSum(t *testing.T) {
+	vals := make([]float64, 257)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+3)
+	}
+	var want float64
+	for _, v := range vals {
+		want += v
+	}
+	want /= float64(len(vals))
+	for _, workers := range []int{1, 2, 16} {
+		got, err := MeanOf(workers, len(vals), func(i int) (float64, error) { return vals[i], nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: mean %g != sequential %g (must be bit-identical)", workers, got, want)
+		}
+	}
+}
+
+func TestMeanOfError(t *testing.T) {
+	if _, err := MeanOf(2, 5, func(i int) (float64, error) { return 0, errors.New("x") }); err == nil {
+		t.Error("error swallowed")
+	}
+}
+
+func TestMeanOfRejectsEmpty(t *testing.T) {
+	if v, err := MeanOf(2, 0, func(i int) (float64, error) { return 1, nil }); err == nil {
+		t.Errorf("MeanOf over 0 items returned %g with nil error, want error (NaN guard)", v)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(-2, 0); got != 1 {
+		t.Errorf("Workers(-2, 0) = %d, want 1", got)
+	}
+}

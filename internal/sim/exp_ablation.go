@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/baseline"
 	"repro/internal/commodity"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -61,16 +63,19 @@ func runAblationPred(cfg Config) (*Result, error) {
 			panic("sim: single-point workload not on a single point")
 		}
 		row := []interface{}{u, opt}
-		for _, f := range []online.Factory{
+		factories := []online.Factory{
 			core.PDFactory(core.Options{}),
 			core.PDFactory(core.Options{DisablePrediction: true}),
 			core.RandFactory(core.Options{}),
 			core.RandFactory(core.Options{DisablePrediction: true}),
-		} {
-			c, err := meanCost(f, tr, cfg.Seed, pickInt(cfg, 2, 5))
-			if err != nil {
-				return nil, err
-			}
+		}
+		algCosts, err := par.Map(cfg.Workers, len(factories), func(i int) (float64, error) {
+			return meanCost(seqConfig(cfg), factories[i], tr, cfg.Seed, pickInt(cfg, 2, 5))
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range algCosts {
 			row = append(row, c/opt)
 		}
 		tab.AddRow(row...)
@@ -95,27 +100,33 @@ func runAblationCandidates(cfg Config) (*Result, error) {
 	for p := range reqPoints {
 		reqCands = append(reqCands, p)
 	}
+	// Candidate order breaks distance ties in PD's facility placement; map
+	// iteration order would make this row nondeterministic run to run.
+	sort.Ints(reqCands)
 
 	opt, src := bestKnownOPT(tr, pickInt(cfg, 12, 40))
 	tab := report.NewTable("ablation_candidates: PD-OMFLP candidate location policies",
 		"policy", "candidates", "cost", "ratio vs "+src)
-	for _, tc := range []struct {
+	policies := []struct {
 		name  string
 		cands []int
 	}{
 		{"all points", nil},
 		{"request points", reqCands},
 		{"single point {0}", []int{0}},
-	} {
-		c, err := meanCost(core.PDFactory(core.Options{Candidates: tc.cands}), tr, cfg.Seed, 1)
-		if err != nil {
-			return nil, err
-		}
+	}
+	algCosts, err := par.Map(cfg.Workers, len(policies), func(i int) (float64, error) {
+		return meanCost(seqConfig(cfg), core.PDFactory(core.Options{Candidates: policies[i].cands}), tr, cfg.Seed, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range policies {
 		nCands := len(tc.cands)
 		if tc.cands == nil {
 			nCands = space.Len()
 		}
-		tab.AddRow(tc.name, nCands, c, c/opt)
+		tab.AddRow(tc.name, nCands, algCosts[i], algCosts[i]/opt)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }
@@ -162,17 +173,20 @@ func runAblationHeavy(cfg Config) (*Result, error) {
 	opt, src := bestKnownOPT(tr, pickInt(cfg, 10, 30))
 	tab := report.NewTable("ablation_heavy: threshold θ sweep",
 		"algorithm", "theta", "cost", "ratio vs "+src)
-	c, err := meanCost(core.PDFactory(core.Options{}), tr, cfg.Seed, 1)
+	thetas := []float64{1.5, 3, 10, 50}
+	costs2, err := par.Map(cfg.Workers, len(thetas)+1, func(i int) (float64, error) {
+		f := core.PDFactory(core.Options{})
+		if i > 0 {
+			f = core.HeavyFactory(core.Options{}, thetas[i-1])
+		}
+		return meanCost(seqConfig(cfg), f, tr, cfg.Seed, 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	tab.AddRow("pd (plain)", "-", c, c/opt)
-	for _, theta := range []float64{1.5, 3, 10, 50} {
-		c, err := meanCost(core.HeavyFactory(core.Options{}, theta), tr, cfg.Seed, 1)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow("pd (heavy-aware)", theta, c, c/opt)
+	tab.AddRow("pd (plain)", "-", costs2[0], costs2[0]/opt)
+	for i, theta := range thetas {
+		tab.AddRow("pd (heavy-aware)", theta, costs2[i+1], costs2[i+1]/opt)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }
@@ -196,7 +210,7 @@ func runAblationReassign(cfg Config) (*Result, error) {
 		{"two-mode (Figure 3)", core.Options{}},
 		{"exact subset DP", core.Options{OptimalReassign: true}},
 	} {
-		c, err := meanCost(core.RandFactory(tc.opts), tr, cfg.Seed, reps)
+		c, err := meanCost(cfg, core.RandFactory(tc.opts), tr, cfg.Seed, reps)
 		if err != nil {
 			return nil, err
 		}

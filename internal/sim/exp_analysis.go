@@ -9,6 +9,7 @@ import (
 	"repro/internal/covering"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -29,7 +30,6 @@ func init() {
 }
 
 func runLem12(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := pick(cfg, []int{10, 50}, []int{10, 50, 200, 1000})
 	trials := pickInt(cfg, 5, 25)
 
@@ -37,18 +37,31 @@ func runLem12(cfg Config) (*Result, error) {
 		"n", "family", "weight", "2c*H_n", "utilization", "naive weight")
 	tab.Note = "Lemma 12: the constructive covering never exceeds 2c·H_n"
 	const c = 1.0
+	type trialOut struct{ util, weight, naive float64 }
 	for _, n := range sizes {
-		// Random instances: report the worst utilization over trials.
-		worstU, worstW, worstNaive := 0.0, 0.0, 0.0
-		for t := 0; t < trials; t++ {
+		// Random instances: report the worst utilization over trials. Each
+		// trial derives its own rng from (seed, n, trial), so the fan-out
+		// is order-independent.
+		outs, err := par.Map(cfg.Workers, trials, func(t int) (trialOut, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*1000003 + int64(t)*7919))
 			in := covering.RandomInstance(rng, n, c, rng.Float64()*0.4)
 			res := in.Cover()
-			if util := res.Weight / in.Bound(); util > worstU {
-				worstU, worstW = util, res.Weight
-				worstNaive = in.GreedyNaive().Weight
+			return trialOut{
+				util:   res.Weight / in.Bound(),
+				weight: res.Weight,
+				naive:  in.GreedyNaive().Weight,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worstU, worstW, worstNaive := 0.0, 0.0, 0.0
+		for _, o := range outs {
+			if o.util > worstU {
+				worstU, worstW, worstNaive = o.util, o.weight, o.naive
 			}
 		}
-		inR := covering.RandomInstance(rng, n, c, 0.2)
+		inR := covering.RandomInstance(rand.New(rand.NewSource(cfg.Seed+int64(n)*1000003-1)), n, c, 0.2)
 		tab.AddRow(n, "random(worst)", worstW, inR.Bound(), worstU, worstNaive)
 
 		chain := covering.ChainInstance(n, c)
@@ -100,21 +113,43 @@ func runDual(cfg Config) (*Result, error) {
 		},
 	}
 
-	for _, w := range workloads {
-		in := w.mk()
+	// Instances come out of the shared rng sequentially (the workload
+	// streams are order-dependent); the PD runs and dual checks fan out.
+	instances := make([]*instance.Instance, len(workloads))
+	for wi, w := range workloads {
+		instances[wi] = w.mk()
+	}
+	type dualRow struct {
+		algCost, dual, gamma, maxViolation float64
+		checked                            int
+	}
+	rows, err := par.Map(cfg.Workers, len(workloads), func(wi int) (dualRow, error) {
+		in := instances[wi]
 		pd := core.NewPDOMFLP(in.Space, in.Costs, core.Options{})
 		for _, r := range in.Requests {
 			pd.Serve(r)
 		}
 		sol := pd.Solution()
 		if err := sol.Verify(in); err != nil {
-			return nil, err
+			return dualRow{}, err
 		}
-		algCost := sol.Cost(in)
-		dual := pd.DualTotal()
 		gamma := core.Gamma(in.Universe(), len(in.Requests))
-		rep := pd.CheckScaledDuals(gamma, 8, pickInt(cfg, 20, 100), rng)
-		tab.AddRow(w.name, algCost, dual, algCost/dual, gamma, rep.MaxViolation, rep.Checked)
+		sampler := rand.New(rand.NewSource(cfg.Seed + int64(wi)*104729))
+		rep := pd.CheckScaledDuals(gamma, 8, pickInt(cfg, 20, 100), sampler)
+		return dualRow{
+			algCost:      sol.Cost(in),
+			dual:         pd.DualTotal(),
+			gamma:        gamma,
+			maxViolation: rep.MaxViolation,
+			checked:      rep.Checked,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range workloads {
+		r := rows[wi]
+		tab.AddRow(w.name, r.algCost, r.dual, r.algCost/r.dual, r.gamma, r.maxViolation, r.checked)
 	}
 
 	// Show the sandwich OPT ≥ γ·dual explicitly on a tiny instance where

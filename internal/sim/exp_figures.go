@@ -52,7 +52,7 @@ func runFig1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio, rounds, predicted := g.ExpectedRatio(core.PDFactory(core.Options{}), cfg.Seed, reps)
+		ratio, rounds, predicted := g.ExpectedRatioParallel(core.PDFactory(core.Options{}), cfg.Seed, reps, cfg.Workers)
 		root := math.Sqrt(float64(u))
 		tab.AddRow(u, root, rounds, predicted, rounds/root, ratio)
 		xs = append(xs, root)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -44,27 +45,53 @@ func runLem14(cfg Config) (*Result, error) {
 		"commodity", "point", "elements", "valid", "cover weight", "2c*H_n", "utilization")
 	tab.Note = "Definition 9 monotonicity must emerge from PD's execution; weight ≤ 2c·H_n (Lemma 12)"
 
+	// Extraction and covering are read-only on the finished PD run, so the
+	// (commodity, point) grid fans out across workers; rows merge back in
+	// (e, m) order.
+	type cell struct {
+		ok       bool
+		valid    string
+		elements int
+		weight   float64
+		bound    float64
+		util     float64
+	}
+	cells, err := par.Map(cfg.Workers, u*points, func(i int) (cell, error) {
+		e, m := i/points, i%points
+		inst, ok := pd.CoveringInstance(e, m)
+		if !ok {
+			return cell{}, nil
+		}
+		valid := "yes"
+		if err := inst.Validate(); err != nil {
+			valid = "NO: " + err.Error()
+		}
+		res := inst.Cover()
+		return cell{
+			ok:       true,
+			valid:    valid,
+			elements: inst.N(),
+			weight:   res.Weight,
+			bound:    inst.Bound(),
+			util:     res.Weight / inst.Bound(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	extracted, worstUtil := 0, 0.0
-	for e := 0; e < u; e++ {
-		for m := 0; m < points; m++ {
-			inst, ok := pd.CoveringInstance(e, m)
-			if !ok {
-				continue
-			}
-			valid := "yes"
-			if err := inst.Validate(); err != nil {
-				valid = "NO: " + err.Error()
-			}
-			res := inst.Cover()
-			util := res.Weight / inst.Bound()
-			if util > worstUtil {
-				worstUtil = util
-			}
-			extracted++
-			// Report a sample: first point per commodity plus any invalid.
-			if m == 0 || valid != "yes" {
-				tab.AddRow(e, m, inst.N(), valid, res.Weight, inst.Bound(), util)
-			}
+	for i, c := range cells {
+		if !c.ok {
+			continue
+		}
+		e, m := i/points, i%points
+		if c.util > worstUtil {
+			worstUtil = c.util
+		}
+		extracted++
+		// Report a sample: first point per commodity plus any invalid.
+		if m == 0 || c.valid != "yes" {
+			tab.AddRow(e, m, c.elements, c.valid, c.weight, c.bound, c.util)
 		}
 	}
 

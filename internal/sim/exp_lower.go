@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -54,8 +55,14 @@ func runThm2(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		row := []interface{}{u, math.Sqrt(float64(u)), lowerbound.TheoreticalLowerBound(u)}
-		for fi, f := range factories {
-			ratio, _, _ := g.ExpectedRatio(f, cfg.Seed+int64(fi), reps)
+		ratios, err := par.Map(cfg.Workers, len(factories), func(fi int) (float64, error) {
+			ratio, _, _ := g.ExpectedRatio(factories[fi], cfg.Seed+int64(fi), reps)
+			return ratio, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for fi, ratio := range ratios {
 			row = append(row, ratio)
 			ratioSeries[fi] = append(ratioSeries[fi], ratio)
 		}
@@ -92,22 +99,26 @@ func runCor3(cfg Config) (*Result, error) {
 	tab.Note = "Corollary 3's additive term; simplified hierarchical adversary, ratios vs the exact line DP optimum"
 	f := core.PDFactory(core.Options{})
 	for _, d := range depths {
-		la := &lowerbound.LineAdversary{Depth: d, PerLevel: perLevel, FacilityCost: 1}
 		// Mean ratio against the *exact* line optimum (single-commodity
-		// facility location on a line is polynomial; see baseline.LineExactFL).
-		var sum float64
-		for rep := 0; rep < reps; rep++ {
+		// facility location on a line is polynomial; see
+		// baseline.LineExactFL). Repetitions run per-seed and independent;
+		// each gets its own adversary — Run lazily initializes Points on
+		// the receiver, so sharing one across goroutines would race.
+		ratio, err := par.MeanOf(cfg.Workers, reps, func(rep int) (float64, error) {
+			la := &lowerbound.LineAdversary{Depth: d, PerLevel: perLevel, FacilityCost: 1}
 			res := la.Run(f, cfg.Seed+int64(rep)*31)
 			opt, err := baseline.LineExactFL(res.Instance)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if opt <= 0 {
 				opt = res.OptProxy
 			}
-			sum += res.AlgCost / opt
+			return res.AlgCost / opt, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		ratio := sum / float64(reps)
 		n := float64(d * perLevel)
 		norm := math.Log(n) / math.Log(math.Log(n)+1e-9)
 		if norm <= 0 || math.IsNaN(norm) {
@@ -125,7 +136,7 @@ func runCor3(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio, _, _ := g.ExpectedRatio(f, cfg.Seed, pickInt(cfg, 3, 10))
+		ratio, _, _ := g.ExpectedRatioParallel(f, cfg.Seed, pickInt(cfg, 3, 10), cfg.Workers)
 		comb.AddRow(u, ratio, lowerbound.TheoreticalLowerBound(u))
 	}
 	return &Result{Tables: []*report.Table{tab, comb}}, nil
@@ -150,7 +161,7 @@ func runThm18(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio, _, _ := g.ExpectedRatio(f, cfg.Seed, reps)
+		ratio, _, _ := g.ExpectedRatioParallel(f, cfg.Seed, reps, cfg.Workers)
 		lb := lowerbound.ClassCLowerBound(u, x)
 		ub := lowerbound.ClassCUpperBound(u, x)
 		tab.AddRow(x, g.OptCost(), ratio, lb, ub, ratio/lb)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -32,15 +33,18 @@ func init() {
 // and reporting the integrality gap and the *certified* competitive ratio
 // cost(PD)/LP — unlike proxy-based ratios this one cannot understate.
 func runLPGap(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	trials := pickInt(cfg, 4, 15)
 
 	tab := report.NewTable("lpgap: per-instance sandwich on small random instances",
 		"trial", "LP", "exact OPT", "gap OPT/LP", "pd cost", "pd/LP (certified)", "gamma*dual (≤LP)")
 	tab.Note = "complete configuration family: the LP value is a true lower bound on OPT"
 
-	var gaps, certified []float64
-	for trial := 0; trial < trials; trial++ {
+	// Each trial generates its instance from its own sub-seeded rng and
+	// solves LP + exact + PD independently, so trials fan out across
+	// workers; rows merge back in trial order.
+	type lpRow struct{ lpVal, exact, gap, pdCost, cert, gammaDual float64 }
+	rows, err := par.Map(cfg.Workers, trials, func(trial int) (lpRow, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*104729))
 		u := 2 + rng.Intn(3)
 		in := &instance.Instance{
 			Space: metric.RandomLine(rng, 2+rng.Intn(3), 10),
@@ -56,7 +60,7 @@ func runLPGap(cfg Config) (*Result, error) {
 
 		relax, err := lp.OMFLPRelaxation(in)
 		if err != nil {
-			return nil, err
+			return lpRow{}, err
 		}
 		exact := baseline.ExactSmall(in, 4)
 
@@ -65,17 +69,26 @@ func runLPGap(cfg Config) (*Result, error) {
 			pd.Serve(r)
 		}
 		if err := pd.Solution().Verify(in); err != nil {
-			return nil, err
+			return lpRow{}, err
 		}
 		pdCost := pd.Solution().Cost(in)
-		gamma := core.Gamma(u, n)
-		gammaDual := gamma * pd.DualTotal()
-
-		gap := lp.IntegralityGap(exact.Cost, relax.Value)
-		cert := pdCost / relax.Value
-		tab.AddRow(trial, relax.Value, exact.Cost, gap, pdCost, cert, gammaDual)
-		gaps = append(gaps, gap)
-		certified = append(certified, cert)
+		return lpRow{
+			lpVal:     relax.Value,
+			exact:     exact.Cost,
+			gap:       lp.IntegralityGap(exact.Cost, relax.Value),
+			pdCost:    pdCost,
+			cert:      pdCost / relax.Value,
+			gammaDual: core.Gamma(u, n) * pd.DualTotal(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gaps, certified []float64
+	for trial, r := range rows {
+		tab.AddRow(trial, r.lpVal, r.exact, r.gap, r.pdCost, r.cert, r.gammaDual)
+		gaps = append(gaps, r.gap)
+		certified = append(certified, r.cert)
 	}
 
 	sum := report.NewTable("lpgap: summary over trials",
@@ -101,16 +114,14 @@ func runLPGap(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	raCost := 0.0
 	reps := pickInt(cfg, 5, 20)
-	for i := 0; i < reps; i++ {
+	raCost, err := par.MeanOf(cfg.Workers, reps, func(i int) (float64, error) {
 		_, c, err := online.Run(core.RandFactory(core.Options{}), inFixed, cfg.Seed+int64(i), true)
-		if err != nil {
-			return nil, err
-		}
-		raCost += c
+		return c, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	raCost /= float64(reps)
 	sum.AddRow("rand/LP on fixed instance", raCost/relax.Value, raCost/relax.Value)
 
 	return &Result{Tables: []*report.Table{tab, sum}}, nil

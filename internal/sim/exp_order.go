@@ -9,6 +9,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -70,13 +71,13 @@ func runExtOrder(cfg Config) (*Result, error) {
 		tr := w.mk()
 		opt, _ := bestKnownOPT(tr, pickInt(cfg, 10, 30))
 		for _, f := range algos {
-			orig, err := meanCost(f, tr, cfg.Seed, reps)
+			orig, err := meanCost(cfg, f, tr, cfg.Seed, reps)
 			if err != nil {
 				return nil, err
 			}
-			// Random order: shuffle a copy per repetition.
-			var shuffled float64
-			for rep := 0; rep < reps; rep++ {
+			// Random order: shuffle a copy per repetition; each rep derives
+			// its permutation and seed from the rep index, so reps fan out.
+			shuffled, err := par.MeanOf(cfg.Workers, reps, func(rep int) (float64, error) {
 				perm := rand.New(rand.NewSource(cfg.Seed + int64(rep)*13)).Perm(len(tr.Instance.Requests))
 				cp := &workload.Trace{
 					Instance: &instance.Instance{
@@ -88,13 +89,11 @@ func runExtOrder(cfg Config) (*Result, error) {
 				for _, idx := range perm {
 					cp.Instance.Requests = append(cp.Instance.Requests, tr.Instance.Requests[idx])
 				}
-				c, err := meanCost(f, cp, cfg.Seed+int64(rep)*17, 1)
-				if err != nil {
-					return nil, err
-				}
-				shuffled += c
+				return meanCost(seqConfig(cfg), f, cp, cfg.Seed+int64(rep)*17, 1)
+			})
+			if err != nil {
+				return nil, err
 			}
-			shuffled /= float64(reps)
 			tab.AddRow(w.name, f.Name, orig/opt, shuffled/opt, shuffled/orig)
 		}
 	}
@@ -105,7 +104,7 @@ func runExtOrder(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ratio, _, _ := g.ExpectedRatio(core.PDFactory(core.Options{}), cfg.Seed, reps)
+	ratio, _, _ := g.ExpectedRatioParallel(core.PDFactory(core.Options{}), cfg.Seed, reps, cfg.Workers)
 	inv := report.NewTable("ext_order: order-invariant case", "game", "pd ratio")
 	inv.AddRow("thm2 single point (exchangeable requests)", ratio)
 	return &Result{Tables: []*report.Table{tab, inv}}, nil

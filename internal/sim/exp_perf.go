@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/baseline"
@@ -16,18 +19,46 @@ import (
 func init() {
 	register(Experiment{
 		ID:         "perf",
-		Title:      "Throughput: arrivals/second per algorithm across n and |S|",
+		Title:      "Throughput: arrivals/second per algorithm across n and |S|, plus incremental vs naive PD bids",
 		Reproduces: "systems evaluation of the implementations (no paper counterpart — the paper is theory-only)",
 		Run:        runPerf,
+		WallClock:  true,
 	})
 }
 
+// pdBenchRow is one machine-readable measurement of the PD-OMFLP serve loop:
+// the incremental bid accounting versus the naive per-arrival recomputation
+// on the same workload. Written to BENCH_pd.json when Config.BenchDir is set.
+type pdBenchRow struct {
+	N                  int     `json:"n"`
+	Universe           int     `json:"universe"`
+	Points             int     `json:"points"`
+	IncrementalPerSec  float64 `json:"incremental_arrivals_per_sec"`
+	NaivePerSec        float64 `json:"naive_arrivals_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	IncrementalSeconds float64 `json:"incremental_seconds"`
+	NaiveSeconds       float64 `json:"naive_seconds"`
+}
+
+type pdBenchFile struct {
+	Description string       `json:"description"`
+	Seed        int64        `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Rows        []pdBenchRow `json:"rows"`
+}
+
 // runPerf measures wall-clock throughput of every online algorithm across
-// problem sizes. The timings are machine-dependent (unlike every other
-// experiment's tables, which are bit-reproducible under a fixed seed); the
-// purpose is to document the practical cost of the algorithms — the paper's
-// remark that RAND-OMFLP "is much more efficient to implement" (Section 4)
-// becomes measurable here.
+// problem sizes, and of PD-OMFLP's incremental bid accounting against the
+// naive reference rebuild. The timings are machine-dependent (unlike every
+// other experiment's tables, which are bit-reproducible under a fixed seed);
+// the purpose is to document the practical cost of the algorithms — the
+// paper's remark that RAND-OMFLP "is much more efficient to implement"
+// (Section 4) becomes measurable here, as does the asymptotic gap between
+// O(k·|cands|) and O(history·|cands|) per arrival in PD.
+//
+// Unlike the other experiments, the measurement loops deliberately ignore
+// Config.Workers: concurrent timing runs would contend for cores and skew
+// the numbers.
 func runPerf(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	factories := []online.Factory{
@@ -69,5 +100,77 @@ func runPerf(cfg Config) (*Result, error) {
 		}
 		tab.AddRow(row...)
 	}
-	return &Result{Tables: []*report.Table{tab}}, nil
+
+	// PD incremental vs naive bid accounting: same sequence through both
+	// implementations. The naive path is O(history × candidates) per
+	// arrival, so the gap widens with n.
+	pdTab, bench := runPDBench(cfg)
+	if cfg.BenchDir != "" {
+		if err := writePDBench(cfg, bench); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{Tables: []*report.Table{tab, pdTab}}, nil
+}
+
+func runPDBench(cfg Config) (*report.Table, []pdBenchRow) {
+	sizes := pick(cfg, []int{200, 400}, []int{500, 1000, 2000})
+	const u, points = 8, 25
+
+	tab := report.NewTable("perf: PD-OMFLP serve loop, incremental vs naive bid accounting",
+		"n", "|S|", "points", "incremental arrivals/s", "naive arrivals/s", "speedup")
+	tab.Note = "wall-clock; the naive reference rebuilds bids from the full history every arrival"
+
+	var rows []pdBenchRow
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		space := metric.RandomEuclidean(rng, points, 2, 100)
+		tr := workload.Uniform(rng, space, cost.PowerLaw(u, 1, 2), n, u/2+1)
+
+		timeRun := func(alg online.Algorithm) float64 {
+			start := time.Now()
+			for _, r := range tr.Instance.Requests {
+				alg.Serve(r)
+			}
+			elapsed := time.Since(start)
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			return elapsed.Seconds()
+		}
+		incSec := timeRun(core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+		naiveSec := timeRun(core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+
+		row := pdBenchRow{
+			N:                  n,
+			Universe:           u,
+			Points:             points,
+			IncrementalPerSec:  float64(n) / incSec,
+			NaivePerSec:        float64(n) / naiveSec,
+			Speedup:            naiveSec / incSec,
+			IncrementalSeconds: incSec,
+			NaiveSeconds:       naiveSec,
+		}
+		rows = append(rows, row)
+		tab.AddRow(n, u, points, row.IncrementalPerSec, row.NaivePerSec, row.Speedup)
+	}
+	return tab, rows
+}
+
+func writePDBench(cfg Config, rows []pdBenchRow) error {
+	if err := os.MkdirAll(cfg.BenchDir, 0o755); err != nil {
+		return err
+	}
+	out := pdBenchFile{
+		Description: "PD-OMFLP serve throughput: incremental bid accounting vs naive per-arrival rebuild",
+		Seed:        cfg.Seed,
+		Quick:       cfg.Quick,
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cfg.BenchDir, "BENCH_pd.json"), append(data, '\n'), 0o644)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -42,19 +43,33 @@ func runExtSplit(cfg Config) (*Result, error) {
 		workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 40), costs, n, u/2+1),
 		workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 12), 2, 40), costs, n/2),
 	}
-	for _, tr := range traces {
+	// The two traces evaluate independently (three PD runs each); fan them
+	// out and add rows back in trace order.
+	type splitRow struct {
+		joint, rePriced, splitCost float64
+		splitN                     int
+	}
+	rows, err := par.Map(cfg.Workers, len(traces), func(i int) (splitRow, error) {
+		tr := traces[i]
 		sol, joint, err := online.Run(core.PDFactory(core.Options{}), tr.Instance, cfg.Seed, true)
 		if err != nil {
-			return nil, err
+			return splitRow{}, err
 		}
 		rePriced := instance.PerCommodityCost(tr.Instance, sol)
 		split := instance.SplitPerCommodity(tr.Instance)
 		_, splitCost, err := online.Run(core.PDFactory(core.Options{}),
 			split, cfg.Seed, true)
 		if err != nil {
-			return nil, err
+			return splitRow{}, err
 		}
-		tab.AddRow(tr.Name, joint, rePriced, splitCost, len(split.Requests))
+		return splitRow{joint: joint, rePriced: rePriced, splitCost: splitCost, splitN: len(split.Requests)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tr := range traces {
+		r := rows[i]
+		tab.AddRow(tr.Name, r.joint, r.rePriced, r.splitCost, r.splitN)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/metric"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -49,7 +50,7 @@ func runThm4(cfg Config) (*Result, error) {
 	for _, n := range pick(cfg, []int{20, 40}, []int{25, 50, 100, 200, 400}) {
 		costs := cost.PowerLaw(u, 1, 2)
 		tr := workload.Clustered(rng, costs, n, 1+n/25, 100, 2)
-		opt, src, ratios, err := ratioRow(factories, tr, cfg.Seed, reps, moveBudget)
+		opt, src, ratios, err := ratioRow(cfg, factories, tr, cfg.Seed, reps, moveBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +70,7 @@ func runThm4(cfg Config) (*Result, error) {
 		space := metric.RandomEuclidean(rng, pickInt(cfg, 8, 20), 2, 50)
 		costs := cost.PowerLaw(s, 1, 2)
 		tr := workload.Bundled(rng, space, costs, n)
-		opt, src, ratios, err := ratioRow(factories[:3], tr, cfg.Seed, reps, moveBudget)
+		opt, src, ratios, err := ratioRow(cfg, factories[:3], tr, cfg.Seed, reps, moveBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -108,18 +109,18 @@ func runThm19(cfg Config) (*Result, error) {
 	raF := core.RandFactory(core.Options{})
 	for _, tr := range traces {
 		opt, src := bestKnownOPT(tr, moveBudget)
-		pdCost, err := meanCost(pdF, tr, cfg.Seed, 1)
+		pdCost, err := meanCost(cfg, pdF, tr, cfg.Seed, 1)
 		if err != nil {
 			return nil, err
 		}
-		// Per-seed RAND costs so the table can report the spread.
-		costs := make([]float64, randReps)
-		for i := range costs {
-			c, err := meanCost(raF, tr, cfg.Seed+int64(i)*104729, 1)
-			if err != nil {
-				return nil, err
-			}
-			costs[i] = c / opt
+		// Per-seed RAND costs (fanned out across workers) so the table can
+		// report the spread.
+		costs, err := par.Map(cfg.Workers, randReps, func(i int) (float64, error) {
+			_, c, err := online.Run(raF, tr.Instance, cfg.Seed+int64(i)*104729, true)
+			return c / opt, err
+		})
+		if err != nil {
+			return nil, err
 		}
 		sum := stats.Summarize(costs)
 		tab.AddRow(tr.Name, opt, src, pdCost/opt, sum.Mean, sum.Std, sum.Mean/(pdCost/opt))

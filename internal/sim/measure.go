@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/online"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -22,37 +23,43 @@ func bestKnownOPT(tr *workload.Trace, moveBudget int) (float64, string) {
 }
 
 // meanCost replays the trace through the factory `reps` times with distinct
-// seeds and returns the mean cost. Deterministic algorithms short-circuit
-// to one run. Every run is feasibility-checked; errors propagate.
-func meanCost(f online.Factory, tr *workload.Trace, seed int64, reps int) (float64, error) {
+// per-rep seeds, fanned out across cfg.Workers goroutines, and returns the
+// mean cost (reduced in rep order, so identical for every worker count).
+// Every run is feasibility-checked; errors propagate.
+func meanCost(cfg Config, f online.Factory, tr *workload.Trace, seed int64, reps int) (float64, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var sum float64
-	for i := 0; i < reps; i++ {
+	return par.MeanOf(cfg.Workers, reps, func(i int) (float64, error) {
 		_, c, err := online.Run(f, tr.Instance, seed+int64(i)*104729, true)
-		if err != nil {
-			return 0, err
-		}
-		sum += c
-	}
-	return sum / float64(reps), nil
+		return c, err
+	})
 }
 
 // ratioRow computes mean empirical ratios for a set of algorithms on one
-// trace against the best-known OPT bound.
-func ratioRow(fs []online.Factory, tr *workload.Trace, seed int64, reps, moveBudget int) (opt float64, src string, ratios []float64, err error) {
+// trace against the best-known OPT bound. The algorithms run concurrently
+// (they are independent); the returned slice is in factory order.
+func ratioRow(cfg Config, fs []online.Factory, tr *workload.Trace, seed int64, reps, moveBudget int) (opt float64, src string, ratios []float64, err error) {
 	opt, src = bestKnownOPT(tr, moveBudget)
 	if opt <= 0 || math.IsInf(opt, 1) {
 		return 0, src, nil, fmt.Errorf("sim: OPT bound %g unusable for %s", opt, tr.Name)
 	}
+	costs, err := par.Map(cfg.Workers, len(fs), func(i int) (float64, error) {
+		return meanCost(seqConfig(cfg), fs[i], tr, seed, reps)
+	})
+	if err != nil {
+		return 0, src, nil, err
+	}
 	ratios = make([]float64, len(fs))
-	for i, f := range fs {
-		c, e := meanCost(f, tr, seed, reps)
-		if e != nil {
-			return 0, src, nil, e
-		}
+	for i, c := range costs {
 		ratios[i] = c / opt
 	}
 	return opt, src, ratios, nil
+}
+
+// seqConfig returns cfg with Workers forced to 1, for nesting: an outer
+// par.Map already fans out, so inner loops run inline on the worker.
+func seqConfig(cfg Config) Config {
+	cfg.Workers = 1
+	return cfg
 }

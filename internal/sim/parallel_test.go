@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+)
+
+// tableStrings renders every table of a result.
+func tableStrings(res *Result) []string {
+	out := make([]string, len(res.Tables))
+	for i, tab := range res.Tables {
+		out[i] = tab.String()
+	}
+	return out
+}
+
+// TestWorkersDeterministic is the harness determinism contract: the same
+// Config.Seed must yield identical report.Table output for Workers=1 and
+// Workers=8 across every registered experiment in Quick mode. Wall-clock
+// experiments (perf) are exempt from value identity — their timings are
+// machine-dependent by documented design — but must still produce the same
+// table shape.
+func TestWorkersDeterministic(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, err := e.Run(Config{Seed: 1, Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s sequential: %v", e.ID, err)
+			}
+			par8, err := e.Run(Config{Seed: 1, Quick: true, Workers: 8})
+			if err != nil {
+				t.Fatalf("%s workers=8: %v", e.ID, err)
+			}
+			seqTabs, parTabs := tableStrings(seq), tableStrings(par8)
+			if len(seqTabs) != len(parTabs) {
+				t.Fatalf("%s: %d tables sequential vs %d with workers=8", e.ID, len(seqTabs), len(parTabs))
+			}
+			for i := range seqTabs {
+				if e.WallClock {
+					if len(seq.Tables[i].Rows) != len(par8.Tables[i].Rows) ||
+						len(seq.Tables[i].Columns) != len(par8.Tables[i].Columns) {
+						t.Errorf("%s table %d: shape differs between worker counts", e.ID, i)
+					}
+					continue
+				}
+				if seqTabs[i] != parTabs[i] {
+					t.Errorf("%s table %d: workers=8 output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+						e.ID, i, seqTabs[i], parTabs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersDefaultIsParallel pins the Workers semantics: 0 means
+// GOMAXPROCS and must agree with an explicit worker count on a randomized
+// experiment.
+func TestWorkersDefaultIsParallel(t *testing.T) {
+	a, err := RunByID("thm2", Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunByID("thm2", Config{Seed: 3, Quick: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tables[0].String() != b.Tables[0].String() {
+		t.Error("Workers=0 (GOMAXPROCS) output differs from Workers=3")
+	}
+}

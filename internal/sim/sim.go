@@ -15,10 +15,21 @@ import (
 // Config controls an experiment run.
 type Config struct {
 	// Seed drives every random choice (workloads, adversaries, algorithm
-	// coins). Two runs with equal Config produce identical tables.
+	// coins). Two runs with equal Seed and Quick produce identical tables
+	// for every Workers value: repetitions derive per-rep sub-seeds and the
+	// harness merges their results in index order.
 	Seed int64
 	// Quick shrinks problem sizes and repetition counts for smoke runs.
 	Quick bool
+	// Workers caps the goroutines used to fan out independent repetitions
+	// and per-row measurements. 0 (the default) means GOMAXPROCS; 1 forces
+	// a fully sequential run. Output is byte-identical across values
+	// (except wall-clock timing experiments, which are machine-dependent
+	// by nature; see Experiment.WallClock).
+	Workers int
+	// BenchDir, when non-empty, lets experiments write machine-readable
+	// benchmark artifacts there (the perf experiment writes BENCH_pd.json).
+	BenchDir string
 }
 
 // Result bundles an experiment's output tables and charts.
@@ -39,6 +50,10 @@ type Experiment struct {
 	Title      string
 	Reproduces string // which paper artifact this regenerates
 	Run        func(cfg Config) (*Result, error)
+	// WallClock marks experiments whose tables contain wall-clock timings:
+	// their values are machine-dependent and exempt from the byte-identical
+	// reproducibility contract (table shape is still deterministic).
+	WallClock bool
 }
 
 var registry = map[string]Experiment{}
