@@ -8,6 +8,7 @@ import (
 	"repro/internal/commodity"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/instance"
 	"repro/internal/lowerbound"
 	"repro/internal/metric"
@@ -42,6 +43,32 @@ type (
 	// Table is a rendered experiment result.
 	Table = report.Table
 )
+
+// Streaming serving engine (see internal/engine): a long-lived, sharded
+// multi-tenant subsystem that ingests arrival streams continuously and
+// exposes deterministic per-tenant snapshots plus engine-wide metrics.
+type (
+	// Engine hosts many independent OMFLP instances ("tenants") sharded
+	// across goroutines with bounded mailboxes.
+	Engine = engine.Engine
+	// EngineConfig selects the algorithm, shard count, mailbox capacity
+	// and seed of an Engine.
+	EngineConfig = engine.Config
+	// Snapshot is a consistent per-tenant state cut: open facilities,
+	// assignments, cost-so-far vs the dual lower bound.
+	Snapshot = engine.TenantSnapshot
+	// Metrics is an engine-wide health report: arrivals/s, p50/p99 serve
+	// latency, queue depth.
+	Metrics = engine.Metrics
+	// EngineOp is one line of the engine's JSON-lines ingestion protocol.
+	EngineOp = engine.Op
+)
+
+// NewEngine starts a streaming serving engine; see EngineConfig. The
+// returned error reports an unknown algorithm name.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return engine.NewChecked(cfg)
+}
 
 // Commodity set constructors.
 var (

@@ -148,6 +148,58 @@ func TestPublicAPIMetricsAndValidation(t *testing.T) {
 	}
 }
 
+// TestPublicAPIEngine drives the streaming serving engine through the
+// facade: create tenants, stream arrivals, snapshot, read metrics.
+func TestPublicAPIEngine(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Algorithm: "pd", Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	space := NewGrid(5, 10)
+	costs := PowerLawCost(4, 1, 1)
+	for _, id := range []string{"eu-west", "us-east"} {
+		if err := eng.CreateTenant(id, space, costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		tenant := "eu-west"
+		if i%2 == 1 {
+			tenant = "us-east"
+		}
+		if err := eng.Serve(tenant, Request{Point: i % 5, Demands: NewSet(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := eng.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Tenant != "eu-west" {
+		t.Fatalf("unexpected snapshots: %+v", snaps)
+	}
+	for _, s := range snaps {
+		if s.Served != 10 || s.Cost <= 0 {
+			t.Errorf("tenant %s: served=%d cost=%g", s.Tenant, s.Served, s.Cost)
+		}
+		if s.Cost > 3*s.DualTotal+1e-6 {
+			t.Errorf("tenant %s: cost %g exceeds 3×dual %g", s.Tenant, s.Cost, s.DualTotal)
+		}
+	}
+	var m Metrics = eng.Metrics()
+	if m.Served != 20 || m.Tenants != 2 {
+		t.Errorf("metrics: %+v", m)
+	}
+	single, err := eng.Snapshot("us-east")
+	if err != nil || single.Tenant != "us-east" {
+		t.Errorf("Snapshot(us-east): %+v, %v", single, err)
+	}
+	if _, err := eng.Snapshot("nope"); err == nil {
+		t.Error("unknown tenant snapshot accepted")
+	}
+}
+
 func TestPublicAPIWorkloads(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	costs := PowerLawCost(6, 1, 2)

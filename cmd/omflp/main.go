@@ -7,12 +7,22 @@
 //	omflp run <experiment-id> [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR] [-no-charts]
 //	omflp all [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR] [-no-charts]
 //	omflp replay -trace FILE [-seed N]        (replay a gentrace JSON file)
+//	omflp serve [-trace FILE] [-algo pd|rand] [-shards N] [-tenants N]
+//	            [-metrics-every DUR] [-snapshot-out FILE]
+//
+// serve is the streaming mode: it hosts internal/engine, ingests arrivals
+// continuously (gentrace file traces or JSON-lines op streams, from stdin or
+// -trace) across sharded multi-tenant serving goroutines, and emits
+// deterministic per-tenant snapshots plus wall-clock metrics. See the usage
+// text and the internal/engine package documentation for the wire formats.
 //
 // -workers fans independent experiment repetitions out across goroutines
 // (0 = GOMAXPROCS, 1 = sequential); output is byte-identical for every
 // worker count under a fixed seed. -bench-out makes the perf experiment
-// write a machine-readable BENCH_pd.json (incremental vs naive PD-OMFLP
-// serve throughput) into the given directory.
+// write machine-readable benchmark artifacts into the given directory:
+// BENCH_pd.json (incremental vs naive PD-OMFLP serve throughput) and
+// BENCH_algos.json (arrivals/s for all four online algorithms across n and
+// |S| sweeps).
 //
 // Experiment IDs map to paper artifacts (fig1, fig2, fig3, thm2, cor3,
 // thm4, thm18, thm19, lem12, dual, ablation_*); see DESIGN.md §4 and
@@ -58,6 +68,8 @@ func run(args []string) error {
 		return cmdAll(args[1:])
 	case "replay":
 		return cmdReplay(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "explain":
 		return cmdExplain(args[1:])
 	case "check":
@@ -79,13 +91,23 @@ func usage() {
   omflp all     [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR]
                                                  run every experiment
   omflp replay -trace FILE [-seed N]             replay a JSON trace through all algorithms
+  omflp serve [-trace FILE] [-algo pd|rand] [-shards N] [-tenants N] [-seed N]
+              [-mailbox N] [-metrics-every DUR] [-snapshot-out FILE] [-quiet]
+                                                 stream arrivals through a serving engine
   omflp explain -trace FILE                      narrate PD-OMFLP's decisions on a trace
   omflp check -trace FILE                        validate a trace's metric and cost assumptions
 
 -workers 0 (default) uses GOMAXPROCS goroutines for independent repetitions;
 -workers 1 forces a sequential run. Tables are byte-identical either way
 under a fixed seed. -bench-out DIR makes the perf experiment write
-BENCH_pd.json (incremental vs naive PD serve throughput) into DIR.`)
+BENCH_pd.json and BENCH_algos.json (per-algorithm serve throughput) into DIR.
+
+serve reads a gentrace JSON trace or a JSON-lines op stream from stdin (or
+-trace FILE) — "gentrace ... | omflp serve -algo pd -shards 8" works end to
+end. Final per-tenant snapshots (open facilities, assignments, cost vs dual
+lower bound) are printed as JSON to stdout, byte-identical for every -shards
+value under a fixed seed; metrics (arrivals/s, p50/p99 serve latency, queue
+depth) go to stderr. The op-stream format is documented in internal/engine.`)
 }
 
 func cmdList() error {

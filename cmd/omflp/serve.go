@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// cmdServe is the streaming serving mode: it hosts an engine, ingests
+// arrivals from stdin or -trace (either a gentrace file trace or a JSON-lines
+// op stream — autodetected), and emits the final per-tenant snapshots as
+// JSON. Snapshots go to -snapshot-out (default stdout) and are byte-identical
+// for every -shards value under a fixed seed; metrics go to stderr, where
+// they cannot pollute golden-file diffs.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		tracePath    = fs.String("trace", "", "input file (default: stdin); gentrace JSON or a JSON-lines op stream")
+		algo         = fs.String("algo", "pd", "serving algorithm per tenant: pd or rand")
+		shards       = fs.Int("shards", 0, "serving goroutines (0 = GOMAXPROCS)")
+		tenants      = fs.Int("tenants", 1, "tenants to fan a file trace across (round-robin); ignored for op streams")
+		mailbox      = fs.Int("mailbox", 0, "per-shard queue capacity (0 = 256); full mailboxes block ingestion")
+		seed         = fs.Int64("seed", 1, "engine seed (rand tenants derive per-tenant streams from it)")
+		noPrediction = fs.Bool("no-prediction", false, "ablation: disable large facilities")
+		metricsEvery = fs.Duration("metrics-every", 0, "dump engine metrics to stderr at this interval (0 = off)")
+		snapOut      = fs.String("snapshot-out", "", "file for the final snapshots (default: stdout)")
+		quiet        = fs.Bool("quiet", false, "suppress the final metrics summary on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var input io.Reader = os.Stdin
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+
+	eng, err := engine.NewChecked(engine.Config{
+		Algorithm: *algo,
+		Shards:    *shards,
+		Mailbox:   *mailbox,
+		Seed:      *seed,
+		Options:   core.Options{DisablePrediction: *noPrediction},
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	if *metricsEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			enc := json.NewEncoder(os.Stderr)
+			for {
+				select {
+				case <-tick.C:
+					enc.Encode(eng.Metrics())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	arrivals, err := eng.ReplayReader(input, *tenants)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+
+	snaps, err := eng.SnapshotAll()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if *snapOut != "" {
+		f, err := os.Create(*snapOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := writeSnapshots(out, snaps); err != nil {
+		return err
+	}
+
+	if !*quiet {
+		m := eng.Metrics()
+		fmt.Fprintf(os.Stderr,
+			"serve: %d arrivals, %d tenants, %d shards — %.0f arrivals/s, p50 %.1fµs, p99 %.1fµs\n",
+			arrivals, m.Tenants, m.Shards, m.ArrivalsPerSec, m.LatencyP50Micros, m.LatencyP99Micros)
+	}
+	return nil
+}
+
+// writeSnapshots emits the deterministic snapshot artifact: indented JSON,
+// tenants sorted by name, trailing newline.
+func writeSnapshots(w io.Writer, snaps []*engine.TenantSnapshot) error {
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

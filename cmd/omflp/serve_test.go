@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const (
+	smokeTrace  = "testdata/serve_smoke_trace.json"
+	smokeGolden = "testdata/serve_smoke_golden.json"
+)
+
+// TestServeMatchesGoldenAcrossShardCounts is the serve-mode determinism
+// contract, pinned to the committed golden file the CI smoke job also diffs
+// against: fixed trace + fixed seed must yield byte-identical snapshots for
+// -shards 1, 2 and 8.
+func TestServeMatchesGoldenAcrossShardCounts(t *testing.T) {
+	want, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []string{"1", "2", "8"} {
+		out := filepath.Join(t.TempDir(), "snap.json")
+		err := run([]string{"serve", "-trace", smokeTrace, "-algo", "pd",
+			"-shards", shards, "-tenants", "3", "-seed", "1", "-quiet",
+			"-snapshot-out", out})
+		if err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("shards=%s: snapshot differs from %s — regenerate the golden if the change is intended", shards, smokeGolden)
+		}
+	}
+}
+
+// TestServeRandDeterministic: the randomized algorithm must also be
+// shard-count invariant under a fixed engine seed.
+func TestServeRandDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var first []byte
+	for _, shards := range []string{"1", "4"} {
+		out := filepath.Join(dir, "rand_"+shards+".json")
+		err := run([]string{"serve", "-trace", smokeTrace, "-algo", "rand",
+			"-shards", shards, "-tenants", "2", "-seed", "9", "-quiet",
+			"-snapshot-out", out})
+		if err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = got
+		} else if !bytes.Equal(first, got) {
+			t.Error("rand serve output differs between shard counts")
+		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	if err := run([]string{"serve", "-trace", "/does/not/exist.json"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"serve", "-trace", smokeTrace, "-algo", "quantum", "-quiet"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -25,16 +25,33 @@
 //   - the experiment harness regenerating every figure and theorem-scale
 //     claim of the paper (see EXPERIMENTS.md).
 //
+// Streaming. The package also exports a serving engine (Engine,
+// EngineConfig, Snapshot, Metrics — see internal/engine): a long-lived
+// subsystem hosting many independent OMFLP instances ("tenants") sharded
+// across goroutines with bounded mailboxes. It ingests arrivals continuously
+// — API calls, JSON-lines op streams, or gentrace file traces — and exposes
+// per-tenant snapshots (open facilities, assignments, cost-so-far vs the
+// PD dual lower bound) plus engine-wide metrics (arrivals/s, p50/p99 serve
+// latency, queue depth). Snapshots are deterministic: a fixed trace and seed
+// yield byte-identical output for every shard count. The CLI front end is
+// "omflp serve"; "gentrace ... | omflp serve -algo pd -shards 8" streams a
+// generated workload end to end.
+//
 // Performance. PD-OMFLP maintains its Constraint (3)/(4) bid sums
 // incrementally — per (commodity, candidate) accumulators updated when a
 // credit is added or lowered — so serving a request costs O(k·|candidates|)
 // instead of rescanning the full request history (the naive reference is
 // kept behind core.NewPDReference for differential tests and benchmarks;
-// the perf experiment quantifies the gap and can emit BENCH_pd.json). The
-// experiment harness fans independent repetitions out across a worker pool:
-// ExperimentConfig.Workers selects the goroutine count (0 = GOMAXPROCS,
-// 1 = sequential), with per-repetition sub-seeds and ordered merging making
-// every table byte-identical across worker counts under a fixed seed.
+// the perf experiment quantifies the gap and can emit BENCH_pd.json and
+// BENCH_algos.json). Nearest-facility queries and RAND-OMFLP's class-
+// distance budget minima are answered from per-point incremental caches, so
+// serve throughput no longer degrades linearly in the number of open
+// facilities. The experiment harness fans independent repetitions — and,
+// where generators own sub-seeded rng streams (workload.SubSeed), whole
+// experiment rows — out across a worker pool: ExperimentConfig.Workers
+// selects the goroutine count (0 = GOMAXPROCS, 1 = sequential), with
+// per-index sub-seeds and ordered merging making every table byte-identical
+// across worker counts under a fixed seed.
 //
 // Quickstart:
 //

@@ -54,21 +54,67 @@ func (o Options) candidates(space metric.Space) []int {
 // facilityIndex tracks open facilities and answers nearest-facility queries
 // per commodity. Small facilities offer one commodity; large facilities
 // offer all of S.
+//
+// Queries are answered through per-point incremental caches: facilities only
+// ever open (never close or move), so the nearest-facility distance from any
+// fixed point is non-increasing over the run. Each cache entry remembers the
+// best facility seen so far plus a cursor into the append-only facility list;
+// a query only scans the facilities opened since the cursor. Every
+// (query point, facility) pair is therefore examined at most once over the
+// whole run, instead of every open facility being rescanned on every query —
+// the O(|open|) scan that made serve throughput degrade linearly in |S|.
 type facilityIndex struct {
 	space   metric.Space
 	u       int
 	sol     *instance.Solution
 	smallBy [][]int // smallBy[e]: indices into sol.Facilities of small facilities for e
 	large   []int   // indices into sol.Facilities of large facilities
+
+	// largeCache[p] caches the nearest large facility from point p;
+	// smallCache[e][p] the nearest small facility for commodity e (rows
+	// allocated lazily on the first facility/query for e).
+	largeCache []nearestCache
+	smallCache [][]nearestCache
+}
+
+// nearestCache is one point's incremental view of an append-only facility
+// list: best facility among list[:cursor] and its distance.
+type nearestCache struct {
+	cursor int
+	best   int
+	bestD  float64
 }
 
 func newFacilityIndex(space metric.Space, u int) *facilityIndex {
 	return &facilityIndex{
-		space:   space,
-		u:       u,
-		sol:     &instance.Solution{},
-		smallBy: make([][]int, u),
+		space:      space,
+		u:          u,
+		sol:        &instance.Solution{},
+		smallBy:    make([][]int, u),
+		largeCache: newNearestCacheRow(space.Len()),
+		smallCache: make([][]nearestCache, u),
 	}
+}
+
+func newNearestCacheRow(n int) []nearestCache {
+	row := make([]nearestCache, n)
+	for i := range row {
+		row[i] = nearestCache{best: -1, bestD: infinity}
+	}
+	return row
+}
+
+// advance scans list[c.cursor:] (facility indices into sol.Facilities) and
+// folds any strictly closer facility into the cache. Strict < keeps the
+// earliest-opened facility on ties — the same tie-break as the original full
+// scan, so results are bit-identical to the pre-cache implementation.
+func (c *nearestCache) advance(fx *facilityIndex, list []int, p int) {
+	for _, idx := range list[c.cursor:] {
+		if d := fx.space.Distance(p, fx.sol.Facilities[idx].Point); d < c.bestD {
+			c.best, c.bestD = idx, d
+		}
+	}
+	c.cursor = len(list)
 }
 
 // openSmall opens a small facility for commodity e at point m and returns
@@ -97,13 +143,20 @@ func (fx *facilityIndex) openLarge(m int) int {
 
 // nearestOffering returns the open facility nearest to p that offers
 // commodity e (small-for-e or large), as (facility index, distance);
-// (-1, +Inf) if none.
+// (-1, +Inf) if none. Amortized O(1) per query plus O(1) per facility opened
+// since the last query from p (see facilityIndex).
 func (fx *facilityIndex) nearestOffering(e, p int) (int, float64) {
 	best, bestD := fx.nearestLarge(p)
-	for _, idx := range fx.smallBy[e] {
-		if d := fx.space.Distance(p, fx.sol.Facilities[idx].Point); d < bestD {
-			best, bestD = idx, d
+	if fx.smallCache[e] == nil {
+		if len(fx.smallBy[e]) == 0 {
+			return best, bestD
 		}
+		fx.smallCache[e] = newNearestCacheRow(fx.space.Len())
+	}
+	c := &fx.smallCache[e][p]
+	c.advance(fx, fx.smallBy[e], p)
+	if c.bestD < bestD {
+		best, bestD = c.best, c.bestD
 	}
 	return best, bestD
 }
@@ -111,13 +164,9 @@ func (fx *facilityIndex) nearestOffering(e, p int) (int, float64) {
 // nearestLarge returns the nearest large facility as (index, distance);
 // (-1, +Inf) if none.
 func (fx *facilityIndex) nearestLarge(p int) (int, float64) {
-	best, bestD := -1, infinity
-	for _, idx := range fx.large {
-		if d := fx.space.Distance(p, fx.sol.Facilities[idx].Point); d < bestD {
-			best, bestD = idx, d
-		}
-	}
-	return best, bestD
+	c := &fx.largeCache[p]
+	c.advance(fx, fx.large, p)
+	return c.best, c.bestD
 }
 
 const infinity = 1e308

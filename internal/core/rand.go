@@ -47,9 +47,69 @@ type RandOMFLP struct {
 
 // tauClasses holds the power-of-two cost classes of one configuration τ:
 // ascending class values with cumulative candidate-point lists.
+//
+// Classes and candidates never change after construction, so the
+// class-distance minima d(C^τ_i, r) — and hence the budget term
+// min_i{C^τ_i + d(C^τ_i, r)} — depend only on the query point. They are
+// computed once per point and cached (the same accumulator treatment PD's
+// bid sums got): budget evaluation drops from O(|cands|·|classes|) per
+// arrival to O(|classes|) after the first arrival at a point.
 type tauClasses struct {
 	values []float64
 	points [][]int // points[i] = candidates of class ≤ i
+
+	// perPoint[p] caches the per-class nearest candidates from point p and
+	// the via-minimum; allocated lazily on first query.
+	perPoint []*tauPointCache
+}
+
+// tauPointCache is the static part of one point's budget: per class i the
+// nearest candidate of class ≤ i, and the minimizer of C_i + d(C_i, p).
+type tauPointCache struct {
+	nearPt    []int
+	nearD     []float64
+	bestVia   float64
+	bestClass int
+	bestPoint int
+}
+
+// at returns the (lazily computed) class-distance minima for point p. One
+// pass over the exact-class candidate suffixes with a running prefix minimum
+// examines each candidate once and reproduces metric.Nearest's
+// earliest-wins tie-breaking over the cumulative lists exactly.
+func (tc *tauClasses) at(space metric.Space, p int) *tauPointCache {
+	if tc.perPoint == nil {
+		tc.perPoint = make([]*tauPointCache, space.Len())
+	}
+	if c := tc.perPoint[p]; c != nil {
+		return c
+	}
+	c := &tauPointCache{
+		nearPt:    make([]int, len(tc.values)),
+		nearD:     make([]float64, len(tc.values)),
+		bestVia:   math.Inf(1),
+		bestClass: -1,
+		bestPoint: -1,
+	}
+	bestPt, bestD := -1, math.Inf(1)
+	for i, v := range tc.values {
+		lo := 0
+		if i > 0 {
+			lo = len(tc.points[i-1])
+		}
+		for _, m := range tc.points[i][lo:] {
+			if d := space.Distance(p, m); d < bestD {
+				bestPt, bestD = m, d
+			}
+		}
+		c.nearPt[i], c.nearD[i] = bestPt, bestD
+		if via := v + bestD; via < c.bestVia {
+			c.bestVia = via
+			c.bestClass, c.bestPoint = i, bestPt
+		}
+	}
+	tc.perPoint[p] = c
+	return c
 }
 
 func buildTauClasses(cands []int, costAt func(m int) float64) tauClasses {
@@ -168,15 +228,49 @@ func RandFactory(opts Options) online.Factory {
 }
 
 // budgetSmall returns X(r,e) and the (class, point) minimizing
-// C_i + d(C_i, r) for forced openings.
+// C_i + d(C_i, r) for forced openings. The class-distance part is read from
+// the per-point cache; only the nearest-open-facility term is dynamic.
 func (ra *RandOMFLP) budgetSmall(e, p int) (x float64, bestClass, bestPoint int) {
 	_, dF := ra.fx.nearestOffering(e, p)
+	c := ra.smallClasses[e].at(ra.space, p)
+	x = dF
+	if c.bestVia < x {
+		x = c.bestVia
+	}
+	return x, c.bestClass, c.bestPoint
+}
+
+// budgetLarge returns Z(r) and the minimizing (class, point).
+func (ra *RandOMFLP) budgetLarge(p int) (z float64, bestClass, bestPoint int) {
+	_, dF := ra.fx.nearestLarge(p)
+	c := ra.largeClasses.at(ra.space, p)
+	z = dF
+	if c.bestVia < z {
+		z = c.bestVia
+	}
+	return z, c.bestClass, c.bestPoint
+}
+
+// budgetSmallRef recomputes X(r,e) from scratch with per-class nearest scans
+// over the cumulative candidate lists — the original accounting, kept as the
+// reference oracle for differential tests.
+func (ra *RandOMFLP) budgetSmallRef(e, p int) (x float64, bestClass, bestPoint int) {
+	_, dF := ra.fx.nearestOffering(e, p)
+	return budgetRef(ra.space, &ra.smallClasses[e], dF, p)
+}
+
+// budgetLargeRef is the Z(r) analogue of budgetSmallRef.
+func (ra *RandOMFLP) budgetLargeRef(p int) (z float64, bestClass, bestPoint int) {
+	_, dF := ra.fx.nearestLarge(p)
+	return budgetRef(ra.space, &ra.largeClasses, dF, p)
+}
+
+func budgetRef(space metric.Space, tc *tauClasses, dF float64, p int) (x float64, bestClass, bestPoint int) {
 	x = dF
 	bestClass, bestPoint = -1, -1
-	tc := &ra.smallClasses[e]
 	bestVia := math.Inf(1)
 	for i, ci := range tc.values {
-		pt, d := tc.nearest(ra.space, i, p)
+		pt, d := tc.nearest(space, i, p)
 		if ci+d < bestVia {
 			bestVia = ci + d
 			bestClass, bestPoint = i, pt
@@ -186,25 +280,6 @@ func (ra *RandOMFLP) budgetSmall(e, p int) (x float64, bestClass, bestPoint int)
 		x = bestVia
 	}
 	return x, bestClass, bestPoint
-}
-
-// budgetLarge returns Z(r) and the minimizing (class, point).
-func (ra *RandOMFLP) budgetLarge(p int) (z float64, bestClass, bestPoint int) {
-	_, dF := ra.fx.nearestLarge(p)
-	z = dF
-	bestClass, bestPoint = -1, -1
-	bestVia := math.Inf(1)
-	for i, ci := range ra.largeClasses.values {
-		pt, d := ra.largeClasses.nearest(ra.space, i, p)
-		if ci+d < bestVia {
-			bestVia = ci + d
-			bestClass, bestPoint = i, pt
-		}
-	}
-	if bestVia < z {
-		z = bestVia
-	}
-	return z, bestClass, bestPoint
 }
 
 // Serve implements online.Algorithm: Algorithm 2 on arrival of request r.
@@ -231,9 +306,10 @@ func (ra *RandOMFLP) Serve(r instance.Request) {
 		}
 		share := xr[i] / x
 		tc := &ra.smallClasses[e]
+		cache := tc.at(ra.space, p)
 		prev := d0
 		for ci, cv := range tc.values {
-			pt, d := tc.nearest(ra.space, ci, p)
+			pt, d := cache.nearPt[ci], cache.nearD[ci]
 			improvement := prev - d
 			prev = math.Min(prev, d)
 			if improvement <= 0 {
@@ -251,9 +327,10 @@ func (ra *RandOMFLP) Serve(r instance.Request) {
 
 	// Coin flips for large facilities, per class.
 	if !ra.opts.DisablePrediction {
+		cache := ra.largeClasses.at(ra.space, p)
 		prev := d0
 		for ci, cv := range ra.largeClasses.values {
-			pt, d := ra.largeClasses.nearest(ra.space, ci, p)
+			pt, d := cache.nearPt[ci], cache.nearD[ci]
 			improvement := prev - d
 			prev = math.Min(prev, d)
 			if improvement <= 0 {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// TestBudgetsCachedMatchesReference interleaves serving, planting and budget
+// queries and checks the per-point class-minima cache agrees exactly — value,
+// class and point — with the naive per-call recompute, under both uniform and
+// point-scaled cost models (the latter spreads candidates across classes).
+func TestBudgetsCachedMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		u := 2 + rng.Intn(5)
+		n := 5 + rng.Intn(10)
+		space := metric.RandomEuclidean(rng, n, 2, 30)
+		var costs cost.Model = cost.PowerLaw(u, 1, 2)
+		if seed%2 == 0 {
+			costs = cost.NewPointScaled(costs, cost.RandomFactors(rng, n, 0.5, 4))
+		}
+		ra := NewRandOMFLP(space, costs, Options{}, rng)
+		for step := 0; step < 200; step++ {
+			p := rng.Intn(n)
+			e := rng.Intn(u)
+			switch rng.Intn(5) {
+			case 0:
+				ra.Serve(instance.Request{
+					Point:   p,
+					Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+				})
+				continue
+			case 1:
+				ra.PlantSmall(e, rng.Intn(n))
+			case 2:
+				ra.PlantLarge(rng.Intn(n))
+			}
+			x, xc, xp := ra.budgetSmall(e, p)
+			rx, rxc, rxp := ra.budgetSmallRef(e, p)
+			if x != rx || xc != rxc || xp != rxp {
+				t.Fatalf("seed %d step %d: budgetSmall(%d,%d) = (%g,%d,%d), reference (%g,%d,%d)",
+					seed, step, e, p, x, xc, xp, rx, rxc, rxp)
+			}
+			z, zc, zp := ra.budgetLarge(p)
+			rz, rzc, rzp := ra.budgetLargeRef(p)
+			if z != rz || zc != rzc || zp != rzp {
+				t.Fatalf("seed %d step %d: budgetLarge(%d) = (%g,%d,%d), reference (%g,%d,%d)",
+					seed, step, p, z, zc, zp, rz, rzc, rzp)
+			}
+		}
+	}
+}
+
+// TestTauPointCacheMatchesNearest pins the cached per-class nearest lists
+// against metric.Nearest over the cumulative candidate lists.
+func TestTauPointCacheMatchesNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	space := metric.RandomEuclidean(rng, 12, 2, 50)
+	costs := cost.NewPointScaled(cost.PowerLaw(4, 1, 2), cost.RandomFactors(rng, 12, 0.25, 8))
+	ra := NewRandOMFLP(space, costs, Options{}, rng)
+	for _, tc := range append([]tauClasses{ra.largeClasses}, ra.smallClasses...) {
+		tc := tc
+		for p := 0; p < space.Len(); p++ {
+			c := tc.at(space, p)
+			for i := range tc.values {
+				wantPt, wantD := tc.nearest(space, i, p)
+				if c.nearPt[i] != wantPt || c.nearD[i] != wantD {
+					t.Fatalf("class %d from point %d: cache (%d,%g), nearest (%d,%g)",
+						i, p, c.nearPt[i], c.nearD[i], wantPt, wantD)
+				}
+			}
+		}
+	}
+}

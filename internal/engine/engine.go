@@ -1,0 +1,438 @@
+// Package engine is the streaming serving subsystem: a long-lived Engine
+// hosts many independent OMFLP instances ("tenants"), shards them across a
+// pool of goroutines with bounded mailboxes, ingests arrivals continuously
+// (API calls, JSON-lines op streams, or gentrace file traces) and exposes
+// per-tenant state snapshots plus engine-wide metrics.
+//
+// The paper's algorithms are inherently online — they serve one arrival at a
+// time — and the engine is the abstraction that serves them that way: unlike
+// the batch experiment harness in internal/sim, nothing here rebuilds the
+// world per table row; tenants live for as long as the engine does and every
+// arrival is served exactly once, irrevocably.
+//
+// # Sharding and determinism
+//
+// Each tenant is pinned to one shard by a hash of its name, so all of a
+// tenant's arrivals are served in ingestion order by a single goroutine —
+// no locks on algorithm state, no cross-shard coordination. Tenants are
+// independent, so the interleaving across shards cannot affect any tenant's
+// final state: a fixed trace yields byte-identical snapshots for every shard
+// count (the streaming analogue of internal/par's ordered-merge discipline).
+// Randomized tenants draw their rng seed from the engine seed and the tenant
+// name (workload.NamedSeed), never from creation order or shard layout.
+//
+// # Snapshots and metrics
+//
+// Snapshot and SnapshotAll return TenantSnapshot values: the open facilities
+// (point + offered commodities), per-request facility assignments, the
+// cost-so-far split into construction and connection, and — for PD-OMFLP
+// tenants — the dual total whose triple upper-bounds the algorithm's cost
+// (Corollary 8), i.e. a certified lower bound on the achievable cost of the
+// served prefix. Snapshots are taken on the owning shard's goroutine,
+// serialized with the tenant's arrival stream, so they are always consistent
+// cuts of a tenant's state. Metrics reports arrivals/s (lifetime and since
+// the previous call), p50/p99 serve latency from lock-free histograms, and
+// the current mailbox depth.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/commodity"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+	"repro/internal/workload"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Algorithm selects the per-tenant serving algorithm: "pd" (default,
+	// deterministic primal-dual) or "rand" (randomized Meyerson-style).
+	Algorithm string
+	// Shards is the number of serving goroutines; <= 0 means GOMAXPROCS.
+	Shards int
+	// Mailbox is the per-shard queue capacity (arrivals admitted but not
+	// yet served); <= 0 means 256. A full mailbox blocks Serve — the
+	// engine's backpressure.
+	Mailbox int
+	// Seed drives all tenant randomness (rand tenants derive per-tenant
+	// seeds from it and their name). Fixed seed + fixed trace = identical
+	// snapshots for every shard count.
+	Seed int64
+	// Options is passed through to the core algorithms.
+	Options core.Options
+}
+
+func (c Config) factory() (online.Factory, error) {
+	switch c.Algorithm {
+	case "", "pd":
+		return core.PDFactory(c.Options), nil
+	case "rand":
+		return core.RandFactory(c.Options), nil
+	default:
+		return online.Factory{}, fmt.Errorf("engine: unknown algorithm %q (want pd or rand)", c.Algorithm)
+	}
+}
+
+// Engine hosts tenants and serves their arrival streams. Create one with
+// New, feed it via Serve / ReplayOps / ReplayTrace, inspect it via Snapshot
+// and Metrics, and Close it when the stream ends. Serve may be called from
+// many goroutines; it must not race with Close.
+type Engine struct {
+	cfg     Config
+	factory online.Factory
+	shards  []*shard
+	start   time.Time
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	closed   bool
+	lastAt   time.Time // previous Metrics call, for windowed rates
+	lastSrvd int64
+}
+
+// tenant is one hosted OMFLP instance. After creation its mutable state is
+// owned by its shard's goroutine: serve and snapshots both execute there.
+type tenant struct {
+	id       string
+	shard    *shard
+	space    metric.Space
+	costs    cost.Model
+	universe commodity.Set // Full(|S|), for admission-time demand validation
+	alg      online.Algorithm
+
+	served       int
+	construction float64
+	assignment   float64
+	facCursor    int // facilities already priced into construction
+}
+
+// serve processes one arrival and keeps the cost accounting incremental:
+// facilities only open and assignments never change retroactively, so the
+// deltas are exact.
+func (t *tenant) serve(r instance.Request) {
+	t.alg.Serve(r)
+	sol := t.alg.Solution()
+	for _, f := range sol.Facilities[t.facCursor:] {
+		t.construction += t.costs.Cost(f.Point, f.Config)
+	}
+	t.facCursor = len(sol.Facilities)
+	for _, fi := range sol.Assign[len(sol.Assign)-1] {
+		t.assignment += t.space.Distance(r.Point, sol.Facilities[fi].Point)
+	}
+	t.served++
+}
+
+// shardOp is one mailbox entry: either an arrival for a tenant or a control
+// closure (snapshot, drain barrier) to run on the shard goroutine.
+type shardOp struct {
+	tn   *tenant
+	req  instance.Request
+	fn   func()
+	done chan<- struct{}
+}
+
+type shard struct {
+	ops  chan shardOp
+	done chan struct{}
+	hist latencyHist
+}
+
+func (s *shard) run() {
+	defer close(s.done)
+	for op := range s.ops {
+		if op.fn != nil {
+			op.fn()
+			close(op.done)
+			continue
+		}
+		start := time.Now()
+		op.tn.serve(op.req)
+		s.hist.record(time.Since(start))
+	}
+}
+
+// New starts an engine with cfg.Shards serving goroutines. New panics on an
+// unknown algorithm name (a configuration error, not a runtime condition);
+// use Config.Validate via NewChecked if the name is user input.
+func New(cfg Config) *Engine {
+	e, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewChecked is New with the configuration error returned instead of a
+// panic — for CLI front ends where the algorithm name is user input.
+func NewChecked(cfg Config) (*Engine, error) {
+	f, err := cfg.factory()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mailbox <= 0 {
+		cfg.Mailbox = 256
+	}
+	e := &Engine{
+		cfg:     cfg,
+		factory: f,
+		shards:  make([]*shard, cfg.Shards),
+		start:   time.Now(),
+		tenants: map[string]*tenant{},
+	}
+	e.lastAt = e.start
+	for i := range e.shards {
+		s := &shard{ops: make(chan shardOp, cfg.Mailbox), done: make(chan struct{})}
+		e.shards[i] = s
+		go s.run()
+	}
+	return e, nil
+}
+
+// shardFor pins a tenant name to a shard: stable across runs, independent of
+// creation order.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return e.shards[int(h.Sum32())%len(e.shards)]
+}
+
+// CreateTenant registers a new tenant serving requests on the given space
+// and cost model. The tenant's algorithm instance is constructed here with a
+// name-derived seed; arrivals may be served as soon as CreateTenant returns.
+func (e *Engine) CreateTenant(id string, space metric.Space, costs cost.Model) error {
+	if id == "" {
+		return fmt.Errorf("engine: tenant name must be non-empty")
+	}
+	if space == nil || costs == nil {
+		return fmt.Errorf("engine: tenant %q needs a space and a cost model", id)
+	}
+	alg := e.factory.New(space, costs, workload.NamedSeed(e.cfg.Seed, id))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine: closed")
+	}
+	if _, dup := e.tenants[id]; dup {
+		return fmt.Errorf("engine: tenant %q already exists", id)
+	}
+	e.tenants[id] = &tenant{
+		id:       id,
+		shard:    e.shardFor(id),
+		space:    space,
+		costs:    costs,
+		universe: commodity.Full(costs.Universe()),
+		alg:      alg,
+	}
+	return nil
+}
+
+func (e *Engine) tenant(id string) (*tenant, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("engine: closed")
+	}
+	t, ok := e.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown tenant %q", id)
+	}
+	return t, nil
+}
+
+// Serve enqueues one arrival for a tenant. It blocks while the tenant's
+// shard mailbox is full (backpressure) and returns once the arrival is
+// admitted — not necessarily served; Drain waits for the latter.
+func (e *Engine) Serve(tenantID string, r instance.Request) error {
+	t, err := e.tenant(tenantID)
+	if err != nil {
+		return err
+	}
+	if r.Point < 0 || r.Point >= t.space.Len() {
+		return fmt.Errorf("engine: tenant %q: point %d outside space of %d points", tenantID, r.Point, t.space.Len())
+	}
+	if r.Demands.IsEmpty() {
+		return fmt.Errorf("engine: tenant %q: request demands nothing", tenantID)
+	}
+	if !r.Demands.SubsetOf(t.universe) {
+		return fmt.Errorf("engine: tenant %q: demands %v outside universe of %d",
+			tenantID, r.Demands, t.universe.Len())
+	}
+	t.shard.ops <- shardOp{tn: t, req: r}
+	return nil
+}
+
+// control runs fn on the shard's goroutine, serialized with its arrival
+// stream, and waits for it to finish.
+func (s *shard) control(fn func()) {
+	done := make(chan struct{})
+	s.ops <- shardOp{fn: fn, done: done}
+	<-done
+}
+
+// Drain blocks until every arrival admitted before the call has been served.
+// On a closed engine it returns immediately (Close already drained).
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			s.control(func() {})
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Close drains the engine and stops its shard goroutines. Serve and Snapshot
+// fail after Close; Close is not safe to call concurrently with Serve.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.ops)
+	}
+	for _, s := range e.shards {
+		<-s.done
+	}
+}
+
+// Snapshot returns a consistent snapshot of one tenant, taken on its shard's
+// goroutine after every previously admitted arrival for it has been served.
+func (e *Engine) Snapshot(tenantID string) (*TenantSnapshot, error) {
+	t, err := e.tenant(tenantID)
+	if err != nil {
+		return nil, err
+	}
+	var snap *TenantSnapshot
+	t.shard.control(func() { snap = t.snapshot(e.factory.Name) })
+	return snap, nil
+}
+
+// SnapshotAll drains the engine and returns every tenant's snapshot sorted
+// by tenant name — the deterministic artifact the serve CLI emits: fixed
+// seed + fixed trace yield byte-identical JSON for every shard count.
+func (e *Engine) SnapshotAll() ([]*TenantSnapshot, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: closed")
+	}
+	tns := make([]*tenant, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		tns = append(tns, t)
+	}
+	e.mu.Unlock()
+	sort.Slice(tns, func(i, j int) bool { return tns[i].id < tns[j].id })
+
+	// Group tenants by shard so each shard executes one control op.
+	byShard := map[*shard][]*tenant{}
+	for _, t := range tns {
+		byShard[t.shard] = append(byShard[t.shard], t)
+	}
+	snaps := make(map[string]*TenantSnapshot, len(tns))
+	var smu sync.Mutex
+	var wg sync.WaitGroup
+	for s, group := range byShard {
+		wg.Add(1)
+		go func(s *shard, group []*tenant) {
+			defer wg.Done()
+			s.control(func() {
+				for _, t := range group {
+					snap := t.snapshot(e.factory.Name)
+					smu.Lock()
+					snaps[t.id] = snap
+					smu.Unlock()
+				}
+			})
+		}(s, group)
+	}
+	wg.Wait()
+
+	out := make([]*TenantSnapshot, len(tns))
+	for i, t := range tns {
+		out[i] = snaps[t.id]
+	}
+	return out, nil
+}
+
+// TenantSnapshot is a consistent cut of one tenant's state: who it is, what
+// it has served, the facilities it opened, how requests are connected, and
+// the cost-so-far against the dual lower bound (PD tenants).
+type TenantSnapshot struct {
+	Tenant    string `json:"tenant"`
+	Algorithm string `json:"algorithm"`
+	Served    int    `json:"served"`
+	// Facilities lists open facilities in opening order.
+	Facilities []SnapshotFacility `json:"facilities"`
+	// Assignments[i] lists the facility indices arrival i connects to.
+	Assignments [][]int `json:"assignments"`
+	// Cost = ConstructionCost + AssignmentCost, maintained incrementally.
+	ConstructionCost float64 `json:"construction_cost"`
+	AssignmentCost   float64 `json:"assignment_cost"`
+	Cost             float64 `json:"cost"`
+	// DualTotal is PD-OMFLP's dual objective Σ a_re: cost ≤ 3·DualTotal
+	// (Corollary 8), so DualTotal is a certified lower bound on a third of
+	// any achievable cost for the served prefix. Zero for rand tenants.
+	DualTotal float64 `json:"dual_total,omitempty"`
+}
+
+// SnapshotFacility is one open facility in a snapshot.
+type SnapshotFacility struct {
+	Point       int   `json:"point"`
+	Commodities []int `json:"commodities"`
+}
+
+// snapshot must run on the tenant's shard goroutine.
+func (t *tenant) snapshot(algName string) *TenantSnapshot {
+	sol := t.alg.Solution()
+	snap := &TenantSnapshot{
+		Tenant:           t.id,
+		Algorithm:        algName,
+		Served:           t.served,
+		Facilities:       make([]SnapshotFacility, len(sol.Facilities)),
+		Assignments:      make([][]int, len(sol.Assign)),
+		ConstructionCost: t.construction,
+		AssignmentCost:   t.assignment,
+		Cost:             t.construction + t.assignment,
+	}
+	for i, f := range sol.Facilities {
+		snap.Facilities[i] = SnapshotFacility{Point: f.Point, Commodities: f.Config.IDs()}
+	}
+	for i, links := range sol.Assign {
+		snap.Assignments[i] = append([]int{}, links...)
+	}
+	if d, ok := t.alg.(interface{ DualTotal() float64 }); ok {
+		snap.DualTotal = d.DualTotal()
+	}
+	return snap
+}
+
+// TenantCount returns the number of registered tenants.
+func (e *Engine) TenantCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.tenants)
+}

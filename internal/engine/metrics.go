@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free power-of-two latency histogram: bucket b counts
+// serve durations whose nanosecond count has bit-length b, i.e. d ∈
+// [2^(b-1), 2^b). One writer (the shard goroutine) and any number of readers
+// (Metrics) touch it concurrently, hence the atomics.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBuckets covers durations up to 2^47 ns ≈ 39 h — beyond any serve call.
+const histBuckets = 48
+
+func (h *latencyHist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// merged sums per-shard histograms into one bucket vector plus a total.
+func mergedHist(shards []*shard) (sum [histBuckets]int64, total int64) {
+	for _, s := range shards {
+		for b := range sum {
+			c := s.hist.buckets[b].Load()
+			sum[b] += c
+			total += c
+		}
+	}
+	return sum, total
+}
+
+// quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds from a merged
+// histogram: the geometric midpoint of the bucket holding the target rank.
+// Zero when nothing has been recorded.
+func quantile(sum [histBuckets]int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range sum {
+		cum += c
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << uint(b-1))
+			return lo * 1.5 // midpoint of [2^(b-1), 2^b)
+		}
+	}
+	return 0
+}
+
+// Metrics is an engine-wide health report. Rates and latencies are
+// wall-clock measurements — unlike snapshots they are not part of the
+// deterministic-output contract.
+type Metrics struct {
+	Tenants int   `json:"tenants"`
+	Shards  int   `json:"shards"`
+	Served  int64 `json:"served"`
+	// UptimeSeconds is the time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ArrivalsPerSec is the lifetime serving rate; WindowArrivalsPerSec
+	// the rate since the previous Metrics call (the one to watch live).
+	ArrivalsPerSec       float64 `json:"arrivals_per_sec"`
+	WindowArrivalsPerSec float64 `json:"window_arrivals_per_sec"`
+	// QueueDepth counts arrivals admitted but not yet served, summed over
+	// shard mailboxes.
+	QueueDepth int `json:"queue_depth"`
+	// Serve latency quantiles from the merged per-shard histograms.
+	LatencyP50Micros float64 `json:"serve_latency_p50_us"`
+	LatencyP99Micros float64 `json:"serve_latency_p99_us"`
+}
+
+// Metrics reports current engine health. Each call also closes the rate
+// window opened by the previous one.
+func (e *Engine) Metrics() Metrics {
+	depth := 0
+	for _, s := range e.shards {
+		depth += len(s.ops)
+	}
+
+	// The histogram read happens under the mutex so concurrent Metrics
+	// calls serialize: the served total is monotone, so each caller's read
+	// is ≥ the lastSrvd recorded by the previous one and the window count
+	// can never go negative.
+	e.mu.Lock()
+	now := time.Now()
+	sum, total := mergedHist(e.shards)
+	window := now.Sub(e.lastAt).Seconds()
+	windowServed := total - e.lastSrvd
+	e.lastAt = now
+	e.lastSrvd = total
+	tenants := len(e.tenants)
+	e.mu.Unlock()
+
+	m := Metrics{
+		Tenants:          tenants,
+		Shards:           len(e.shards),
+		Served:           total,
+		UptimeSeconds:    now.Sub(e.start).Seconds(),
+		QueueDepth:       depth,
+		LatencyP50Micros: quantile(sum, total, 0.50) / 1e3,
+		LatencyP99Micros: quantile(sum, total, 0.99) / 1e3,
+	}
+	if up := m.UptimeSeconds; up > 0 {
+		m.ArrivalsPerSec = float64(total) / up
+	}
+	if window > 0 {
+		m.WindowArrivalsPerSec = float64(windowServed) / window
+	}
+	return m
+}

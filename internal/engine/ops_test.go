@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/commodity"
+)
+
+const opStream = `
+{"op":"create","tenant":"b","universe":2,"distances":[[0,1,2],[1,0,1],[2,1,0]],"cost_by_size":[0,1,1.5]}
+{"op":"create","tenant":"a","universe":2,"distances":[[0,1,2],[1,0,1],[2,1,0]],"cost_by_size":[0,1,1.5]}
+
+{"op":"arrive","tenant":"a","point":0,"demands":[0]}
+{"op":"arrive","tenant":"b","point":2,"demands":[0,1]}
+{"op":"arrive","tenant":"a","point":1,"demands":[1]}
+`
+
+func TestReplayOps(t *testing.T) {
+	e := New(Config{Shards: 2, Seed: 1})
+	defer e.Close()
+	n, err := e.ReplayOps(strings.NewReader(opStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("replayed %d arrivals, want 3", n)
+	}
+	snaps, err := e.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Tenant != "a" || snaps[1].Tenant != "b" {
+		t.Fatalf("snapshots not sorted by tenant: %+v", snaps)
+	}
+	if snaps[0].Served != 2 || snaps[1].Served != 1 {
+		t.Errorf("served a=%d b=%d, want 2 and 1", snaps[0].Served, snaps[1].Served)
+	}
+	for _, s := range snaps {
+		if s.Cost <= 0 || len(s.Facilities) == 0 {
+			t.Errorf("tenant %s: implausible snapshot %+v", s.Tenant, s)
+		}
+		if len(s.Assignments) != s.Served {
+			t.Errorf("tenant %s: %d assignment rows for %d served", s.Tenant, len(s.Assignments), s.Served)
+		}
+	}
+}
+
+func TestReplayOpsErrors(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"unknown op", `{"op":"destroy","tenant":"a"}`},
+		{"bad json", `{"op":`},
+		{"arrive before create", `{"op":"arrive","tenant":"nope","point":0,"demands":[0]}`},
+		{"empty demand", opStream + `{"op":"arrive","tenant":"a","point":0}`},
+		{"demand outside universe", opStream + `{"op":"arrive","tenant":"a","point":0,"demands":[9]}`},
+		{"short cost table", `{"op":"create","tenant":"a","universe":3,"distances":[[0]],"cost_by_size":[0,1]}`},
+		{"ragged matrix", `{"op":"create","tenant":"a","universe":1,"distances":[[0,1],[1]],"cost_by_size":[0,1]}`},
+		{"no matrix", `{"op":"create","tenant":"a","universe":1,"cost_by_size":[0,1]}`},
+	}
+	for _, tc := range cases {
+		e := New(Config{Shards: 1})
+		if _, err := e.ReplayOps(strings.NewReader(tc.line)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+		e.Close()
+	}
+}
+
+// TestReplayReaderAutodetect feeds the same workload once as a gentrace-style
+// file trace and once rewritten as an op stream; both paths must land on the
+// identical final snapshot.
+func TestReplayReaderAutodetect(t *testing.T) {
+	tr := fixedTrace(3, 40, 4, 8)
+
+	var traceDoc bytes.Buffer
+	if err := tr.WriteJSON(&traceDoc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the trace as an op stream for one tenant.
+	var ops bytes.Buffer
+	in := tr.Instance
+	n := in.Space.Len()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = in.Space.Distance(i, j)
+		}
+	}
+	costBySize := make([]float64, in.Universe()+1)
+	for k := 1; k <= in.Universe(); k++ {
+		costBySize[k] = in.Costs.Cost(0, commodity.Full(k))
+	}
+	enc := json.NewEncoder(&ops)
+	if err := enc.Encode(Op{Op: "create", Tenant: "tenant-000", Universe: in.Universe(),
+		Distances: dist, CostBySize: costBySize}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range in.Requests {
+		if err := enc.Encode(Op{Op: "arrive", Tenant: "tenant-000", Point: r.Point,
+			Demands: r.Demands.IDs()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(input string) []byte {
+		e := New(Config{Shards: 3, Seed: 1})
+		defer e.Close()
+		if _, err := e.ReplayReader(strings.NewReader(input), 1); err != nil {
+			t.Fatal(err)
+		}
+		snaps, err := e.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshalSnaps(t, snaps)
+	}
+	fromTrace := run(traceDoc.String())
+	fromOps := run(ops.String())
+	if !bytes.Equal(fromTrace, fromOps) {
+		t.Error("file-trace and op-stream ingestion disagree on the final snapshot")
+	}
+
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	if _, err := e.ReplayReader(strings.NewReader("\n  \n"), 1); err == nil {
+		t.Error("blank input accepted")
+	}
+}

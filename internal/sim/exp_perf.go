@@ -26,6 +26,26 @@ func init() {
 	})
 }
 
+// algoBenchRow is one machine-readable throughput measurement of one online
+// algorithm on one workload size. Written to BENCH_algos.json when
+// Config.BenchDir is set, so per-algorithm serve-throughput regressions —
+// e.g. nearest-facility queries degrading with |S| — are machine-checkable.
+type algoBenchRow struct {
+	N              int     `json:"n"`
+	Universe       int     `json:"universe"`
+	Points         int     `json:"points"`
+	Algorithm      string  `json:"algorithm"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+	Seconds        float64 `json:"seconds"`
+}
+
+type algoBenchFile struct {
+	Description string         `json:"description"`
+	Seed        int64          `json:"seed"`
+	Quick       bool           `json:"quick"`
+	Rows        []algoBenchRow `json:"rows"`
+}
+
 // pdBenchRow is one machine-readable measurement of the PD-OMFLP serve loop:
 // the incremental bid accounting versus the naive per-arrival recomputation
 // on the same workload. Written to BENCH_pd.json when Config.BenchDir is set.
@@ -60,7 +80,6 @@ type pdBenchFile struct {
 // Config.Workers: concurrent timing runs would contend for cores and skew
 // the numbers.
 func runPerf(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	factories := []online.Factory{
 		core.PDFactory(core.Options{}),
 		core.RandFactory(core.Options{}),
@@ -82,7 +101,11 @@ func runPerf(cfg Config) (*Result, error) {
 	tab := report.NewTable("perf: arrivals per second (higher is better)",
 		"n", "|S|", "points", "pd", "rand", "per-commodity", "no-prediction")
 	tab.Note = "wall-clock measurements — machine-dependent, not seed-reproducible"
-	for _, d := range sweeps {
+	var algoRows []algoBenchRow
+	for di, d := range sweeps {
+		// Each sweep row owns its rng stream, so the workload of row i is
+		// independent of how many rows ran before it.
+		rng := workload.Rng(cfg.Seed, int64(di))
 		space := metric.RandomEuclidean(rng, d.points, 2, 100)
 		tr := workload.Uniform(rng, space, cost.PowerLaw(d.u, 1, 2), d.n, d.u/2+1)
 		row := []interface{}{d.n, d.u, d.points}
@@ -97,6 +120,14 @@ func runPerf(cfg Config) (*Result, error) {
 				elapsed = time.Nanosecond
 			}
 			row = append(row, float64(d.n)/elapsed.Seconds())
+			algoRows = append(algoRows, algoBenchRow{
+				N:              d.n,
+				Universe:       d.u,
+				Points:         d.points,
+				Algorithm:      f.Name,
+				ArrivalsPerSec: float64(d.n) / elapsed.Seconds(),
+				Seconds:        elapsed.Seconds(),
+			})
 		}
 		tab.AddRow(row...)
 	}
@@ -109,9 +140,29 @@ func runPerf(cfg Config) (*Result, error) {
 		if err := writePDBench(cfg, bench); err != nil {
 			return nil, err
 		}
+		if err := writeAlgoBench(cfg, algoRows); err != nil {
+			return nil, err
+		}
 	}
 
 	return &Result{Tables: []*report.Table{tab, pdTab}}, nil
+}
+
+func writeAlgoBench(cfg Config, rows []algoBenchRow) error {
+	if err := os.MkdirAll(cfg.BenchDir, 0o755); err != nil {
+		return err
+	}
+	out := algoBenchFile{
+		Description: "serve throughput (arrivals/s) of every online algorithm across n and |S| sweeps",
+		Seed:        cfg.Seed,
+		Quick:       cfg.Quick,
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cfg.BenchDir, "BENCH_algos.json"), append(data, '\n'), 0o644)
 }
 
 func runPDBench(cfg Config) (*report.Table, []pdBenchRow) {

@@ -30,8 +30,14 @@ func init() {
 	})
 }
 
+// Workload generation in these experiments gives every row its own
+// sub-seeded rng stream (workload.Rng with a per-sweep, per-row stream id),
+// so whole rows — trace generation, the offline OPT proxy, and the online
+// replays, which dominate wall-clock here — fan out across Config.Workers
+// instead of only the repetitions inside a row. Row results are merged in
+// index order, keeping tables byte-identical for every worker count.
+
 func runThm4(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	factories := []online.Factory{
 		core.PDFactory(core.Options{}),
 		core.RandFactory(core.Options{}),
@@ -46,18 +52,29 @@ func runThm4(cfg Config) (*Result, error) {
 		"n", "OPT proxy", "source", "pd", "pd/log2(n)", "rand", "per-commodity", "no-prediction")
 	nTab.Note = "Theorem 4: PD ratio grows at most like log n at fixed |S|"
 	u := 8
-	var nVals, pdRatios []float64
-	for _, n := range pick(cfg, []int{20, 40}, []int{25, 50, 100, 200, 400}) {
+	ns := pick(cfg, []int{20, 40}, []int{25, 50, 100, 200, 400})
+	type ratioResult struct {
+		opt    float64
+		src    string
+		ratios []float64
+	}
+	nRows, err := par.Map(cfg.Workers, len(ns), func(i int) (ratioResult, error) {
+		rng := workload.Rng(cfg.Seed, 1, int64(i))
 		costs := cost.PowerLaw(u, 1, 2)
-		tr := workload.Clustered(rng, costs, n, 1+n/25, 100, 2)
-		opt, src, ratios, err := ratioRow(cfg, factories, tr, cfg.Seed, reps, moveBudget)
-		if err != nil {
-			return nil, err
-		}
-		nTab.AddRow(n, opt, src, ratios[0], ratios[0]/math.Log2(float64(n)),
-			ratios[1], ratios[2], ratios[3])
+		tr := workload.Clustered(rng, costs, ns[i], 1+ns[i]/25, 100, 2)
+		opt, src, ratios, err := ratioRow(seqConfig(cfg), factories, tr, cfg.Seed, reps, moveBudget)
+		return ratioResult{opt, src, ratios}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nVals, pdRatios []float64
+	for i, row := range nRows {
+		n := ns[i]
+		nTab.AddRow(n, row.opt, row.src, row.ratios[0], row.ratios[0]/math.Log2(float64(n)),
+			row.ratios[1], row.ratios[2], row.ratios[3])
 		nVals = append(nVals, float64(n))
-		pdRatios = append(pdRatios, ratios[0])
+		pdRatios = append(pdRatios, row.ratios[0])
 	}
 
 	// Sweep 2: |S| grows with bundled demand — the workload that separates
@@ -66,16 +83,22 @@ func runThm4(cfg Config) (*Result, error) {
 		"|S|", "OPT proxy", "source", "pd", "rand", "per-commodity", "pc/sqrt(S)")
 	sTab.Note = "bundled requests: per-commodity pays ~√|S|·OPT; PD stays O(log n)"
 	n := pickInt(cfg, 15, 60)
-	for _, s := range pick(cfg, []int{4, 16}, []int{4, 16, 64, 144}) {
+	ss := pick(cfg, []int{4, 16}, []int{4, 16, 64, 144})
+	sRows, err := par.Map(cfg.Workers, len(ss), func(i int) (ratioResult, error) {
+		rng := workload.Rng(cfg.Seed, 2, int64(i))
 		space := metric.RandomEuclidean(rng, pickInt(cfg, 8, 20), 2, 50)
-		costs := cost.PowerLaw(s, 1, 2)
+		costs := cost.PowerLaw(ss[i], 1, 2)
 		tr := workload.Bundled(rng, space, costs, n)
-		opt, src, ratios, err := ratioRow(cfg, factories[:3], tr, cfg.Seed, reps, moveBudget)
-		if err != nil {
-			return nil, err
-		}
-		sTab.AddRow(s, opt, src, ratios[0], ratios[1], ratios[2],
-			ratios[2]/math.Sqrt(float64(s)))
+		opt, src, ratios, err := ratioRow(seqConfig(cfg), factories[:3], tr, cfg.Seed, reps, moveBudget)
+		return ratioResult{opt, src, ratios}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range sRows {
+		s := ss[i]
+		sTab.AddRow(s, row.opt, row.src, row.ratios[0], row.ratios[1], row.ratios[2],
+			row.ratios[2]/math.Sqrt(float64(s)))
 	}
 
 	return &Result{
@@ -88,7 +111,6 @@ func runThm4(cfg Config) (*Result, error) {
 }
 
 func runThm19(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	moveBudget := pickInt(cfg, 12, 40)
 	randReps := pickInt(cfg, 3, 10)
 
@@ -99,31 +121,60 @@ func runThm19(cfg Config) (*Result, error) {
 	u := pickInt(cfg, 6, 12)
 	n := pickInt(cfg, 25, 120)
 	costs := cost.PowerLaw(u, 1, 2)
-	traces := []*workload.Trace{
-		workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 25), 2, 50), costs, n, u/2),
-		workload.Clustered(rng, costs, n, 3, 100, 2),
-		workload.Zipf(rng, metric.RandomLine(rng, pickInt(cfg, 8, 25), 100), costs, n, u/2, 1.4),
-		workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 15), 2, 50), costs, n/2),
+	builders := []func(rng *rand.Rand) *workload.Trace{
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 25), 2, 50), costs, n, u/2)
+		},
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Clustered(rng, costs, n, 3, 100, 2)
+		},
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Zipf(rng, metric.RandomLine(rng, pickInt(cfg, 8, 25), 100), costs, n, u/2, 1.4)
+		},
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 15), 2, 50), costs, n/2)
+		},
 	}
 	pdF := core.PDFactory(core.Options{})
 	raF := core.RandFactory(core.Options{})
-	for _, tr := range traces {
+
+	type thm19Row struct {
+		name    string
+		opt     float64
+		src     string
+		pdRatio float64
+		sum     stats.Summary
+	}
+	rows, err := par.Map(cfg.Workers, len(builders), func(i int) (thm19Row, error) {
+		tr := builders[i](workload.Rng(cfg.Seed, 3, int64(i)))
 		opt, src := bestKnownOPT(tr, moveBudget)
-		pdCost, err := meanCost(cfg, pdF, tr, cfg.Seed, 1)
+		pdCost, err := meanCost(seqConfig(cfg), pdF, tr, cfg.Seed, 1)
 		if err != nil {
-			return nil, err
+			return thm19Row{}, err
 		}
-		// Per-seed RAND costs (fanned out across workers) so the table can
-		// report the spread.
-		costs, err := par.Map(cfg.Workers, randReps, func(i int) (float64, error) {
-			_, c, err := online.Run(raF, tr.Instance, cfg.Seed+int64(i)*104729, true)
+		// Per-seed RAND costs, reduced in rep order, so the row can report
+		// the spread.
+		ratios, err := par.Map(1, randReps, func(j int) (float64, error) {
+			_, c, err := online.Run(raF, tr.Instance, cfg.Seed+int64(j)*104729, true)
 			return c / opt, err
 		})
 		if err != nil {
-			return nil, err
+			return thm19Row{}, err
 		}
-		sum := stats.Summarize(costs)
-		tab.AddRow(tr.Name, opt, src, pdCost/opt, sum.Mean, sum.Std, sum.Mean/(pdCost/opt))
+		return thm19Row{
+			name:    tr.Name,
+			opt:     opt,
+			src:     src,
+			pdRatio: pdCost / opt,
+			sum:     stats.Summarize(ratios),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tab.AddRow(row.name, row.opt, row.src, row.pdRatio, row.sum.Mean, row.sum.Std,
+			row.sum.Mean/row.pdRatio)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }

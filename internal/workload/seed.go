@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// SubSeed derives a decorrelated child seed from a parent seed and a stream
+// index using the splitmix64 finalizer. Generators holding their own
+// SubSeed-derived rng are independent of one another and of consumption
+// order, so whole experiment rows — not just repetitions within a row — can
+// fan out across workers while staying byte-identical to a sequential run.
+func SubSeed(parent int64, stream ...int64) int64 {
+	z := uint64(parent)
+	for _, s := range stream {
+		z += uint64(s)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// Rng returns a fresh *rand.Rand seeded with SubSeed(parent, stream...) —
+// the one-liner experiments use to give each generator its own stream.
+func Rng(parent int64, stream ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(parent, stream...)))
+}
+
+// NamedSeed derives a child seed from a parent seed and a string identity
+// (e.g. an engine tenant name), so named entities get stable, decorrelated
+// rng streams regardless of creation order.
+func NamedSeed(parent int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return SubSeed(parent, int64(h.Sum64()))
+}
