@@ -14,6 +14,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/online"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -62,6 +63,9 @@ type (
 	Metrics = engine.Metrics
 	// EngineOp is one line of the engine's JSON-lines ingestion protocol.
 	EngineOp = engine.Op
+	// Checkpoint is a durable, replayable record of engine state: per
+	// tenant, the serializable substrate plus the served arrival sequence.
+	Checkpoint = engine.Checkpoint
 )
 
 // NewEngine starts a streaming serving engine; see EngineConfig. The
@@ -69,6 +73,29 @@ type (
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return engine.NewChecked(cfg)
 }
+
+// Network serving layer (see internal/server): an HTTP API and a
+// length-prefixed TCP op protocol multiplexed onto one shared Engine, with
+// periodic checkpointing to disk and restore-on-start. The CLI front end is
+// "omflp serve -listen-http/-listen-tcp"; "omflp loadgen" drives it.
+type (
+	// Server binds the HTTP/TCP listeners over one engine.
+	Server = server.Server
+	// ServerConfig selects listen addresses, checkpoint directory and
+	// interval, and the underlying engine configuration.
+	ServerConfig = server.Config
+)
+
+// NewServer creates a network serving layer (restoring any checkpoint found
+// in ServerConfig.CheckpointDir); call Start to bind its listeners and
+// Shutdown for a graceful drain + final checkpoint.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return server.New(cfg)
+}
+
+// ReadCheckpoint reads a checkpoint file written by the serving layer (or
+// Checkpoint.WriteFile); replay it onto a fresh engine with Engine.Restore.
+var ReadCheckpoint = engine.ReadCheckpointFile
 
 // Commodity set constructors.
 var (
@@ -164,10 +191,16 @@ func Run(f Factory, in *Instance, seed int64) (*Solution, float64, error) {
 var (
 	// StarGreedy is the Ravi–Sinha-flavoured offline greedy.
 	StarGreedy = baseline.StarGreedy
-	// LocalSearch refines a facility set by add/drop/swap moves.
+	// LocalSearch refines a facility set by add/drop/swap moves, with
+	// move evaluation fanned across GOMAXPROCS goroutines.
 	LocalSearch = baseline.LocalSearch
+	// LocalSearchParallel is LocalSearch with an explicit worker count;
+	// results are byte-identical for every count.
+	LocalSearchParallel = baseline.LocalSearchParallel
 	// BestOffline runs greedy + local search and keeps the better.
 	BestOffline = baseline.BestOffline
+	// BestOfflineParallel is BestOffline with an explicit worker count.
+	BestOfflineParallel = baseline.BestOfflineParallel
 	// ExactSmall is the exact branch-and-bound solver (small instances).
 	ExactSmall = baseline.ExactSmall
 )

@@ -1,0 +1,533 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/metric"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// cmdLoadgen drives an omflp serve daemon over HTTP or the framed TCP
+// protocol with configurable concurrency and reports achieved arrivals/s
+// plus latency percentiles. Without -addr it spawns an in-process server on
+// loopback first — "omflp loadgen -mode tcp" benchmarks the whole network
+// stack with one command. Workers partition tenants (tenant t drives on
+// worker t mod conc), so per-tenant arrival order is exactly trace order:
+// driving a server with -trace reproduces the stdin path's snapshots.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "tcp", "transport to drive: http or tcp")
+		addr      = fs.String("addr", "", "server address (empty: spawn an in-process server on loopback)")
+		httpAddr  = fs.String("http-addr", "", "HTTP address of the target server for metrics/draining (default: -addr in http mode)")
+		tracePath = fs.String("trace", "", "drive a gentrace JSON file instead of a synthetic workload")
+		tenants   = fs.Int("tenants", 4, "tenants to create and fan arrivals across")
+		arrivals  = fs.Int("arrivals", 20000, "synthetic arrivals to send (ignored with -trace)")
+		points    = fs.Int("points", 20, "points in the synthetic metric space")
+		universe  = fs.Int("universe", 8, "universe size |S| of the synthetic workload")
+		conc      = fs.Int("conc", 4, "concurrent driver workers (connections in tcp mode)")
+		batch     = fs.Int("batch", 64, "arrivals per HTTP request (http mode)")
+		seed      = fs.Int64("seed", 1, "workload + engine seed")
+		algo      = fs.String("algo", "pd", "algorithm for a spawned server: pd or rand")
+		shards    = fs.Int("shards", 0, "shards for a spawned server (0 = GOMAXPROCS)")
+		benchDir  = fs.String("bench-out", "", "directory to write/update BENCH_serve.json")
+		quiet     = fs.Bool("quiet", false, "suppress progress messages on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mode != "http" && *mode != "tcp" {
+		return fmt.Errorf("loadgen: unknown mode %q (want http or tcp)", *mode)
+	}
+	if *conc < 1 {
+		*conc = 1
+	}
+
+	// Workload: a trace file, or a synthetic uniform workload.
+	var tr *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		tr, rerr = workload.ReadJSON(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		space := metric.RandomEuclidean(rng, *points, 2, 100)
+		tr = workload.Uniform(rng, space, cost.PowerLaw(*universe, 1, 1), *arrivals, *universe/2+1)
+	}
+	ops := traceToOps(tr, *tenants)
+
+	// Target: an external server, or a spawned in-process one.
+	target := *addr
+	metricsBase := *httpAddr
+	if *mode == "http" && metricsBase == "" {
+		metricsBase = *addr
+	}
+	if target == "" {
+		srv, err := server.New(server.Config{
+			HTTPAddr: "127.0.0.1:0",
+			TCPAddr:  "127.0.0.1:0",
+			Engine:   engine.Config{Algorithm: *algo, Shards: *shards, Seed: *seed},
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.Start(); err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		if *mode == "http" {
+			target = srv.HTTPAddr()
+		} else {
+			target = srv.TCPAddr()
+		}
+		metricsBase = srv.HTTPAddr()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: spawned server http=%s tcp=%s\n", srv.HTTPAddr(), srv.TCPAddr())
+		}
+	}
+
+	servedBefore, _ := serverServed(metricsBase)
+
+	// Phase 1: create the tenants (serialized; arrivals must not race
+	// tenant existence across workers).
+	if err := runCreates(*mode, target, ops.creates); err != nil {
+		return err
+	}
+
+	// Phase 2: drive arrivals with conc workers, tenants partitioned by
+	// worker so per-tenant order is preserved. Payload rendering happens
+	// before the clock starts — the measurement is server ingestion, not
+	// client-side JSON marshaling.
+	work, err := prepareDrive(*mode, ops, *conc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	lats, err := runArrivals(*mode, target, work, *batch)
+	if err != nil {
+		return err
+	}
+	sent := len(ops.arrives)
+
+	// The TCP ack (and an HTTP 200) mean admitted, not served: wait until
+	// the server reports everything served before stopping the clock.
+	// Without an HTTP address to poll (tcp mode against an external server
+	// with no -http-addr) the number would measure admission instead —
+	// say so loudly rather than silently reporting an inflated rate.
+	if metricsBase != "" {
+		if err := waitServed(metricsBase, servedBefore+int64(sent), 30*time.Second); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "loadgen: warning: no -http-addr to poll — reported"+
+			" arrivals/s measures admission (mailbox backlog excluded); pass -http-addr"+
+			" for drain-aware timing")
+	}
+	elapsed := time.Since(start)
+
+	rep := loadgenReport{
+		Mode:           *mode,
+		Arrivals:       sent,
+		Tenants:        *tenants,
+		Concurrency:    *conc,
+		ElapsedSeconds: elapsed.Seconds(),
+		ArrivalsPerSec: float64(sent) / elapsed.Seconds(),
+	}
+	if *mode == "http" {
+		rep.Batch = *batch
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.RequestP50Millis = lats[len(lats)/2]
+		rep.RequestP99Millis = lats[(len(lats)*99)/100]
+	}
+	if metricsBase != "" {
+		if m, err := serverMetrics(metricsBase); err == nil {
+			rep.ServeLatencyP50Micros = m.LatencyP50Micros
+			rep.ServeLatencyP99Micros = m.LatencyP99Micros
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *benchDir != "" {
+		if err := writeServeBench(*benchDir, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadgenReport is the machine-readable result of one loadgen run.
+type loadgenReport struct {
+	Mode           string  `json:"mode"`
+	Arrivals       int     `json:"arrivals"`
+	Tenants        int     `json:"tenants"`
+	Concurrency    int     `json:"concurrency"`
+	Batch          int     `json:"batch,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+	// Request latencies are client-side per-HTTP-request round trips;
+	// absent in tcp mode (the framed protocol acks once per stream).
+	RequestP50Millis float64 `json:"request_p50_ms,omitempty"`
+	RequestP99Millis float64 `json:"request_p99_ms,omitempty"`
+	// Serve latencies are the engine-side per-arrival quantiles.
+	ServeLatencyP50Micros float64 `json:"serve_latency_p50_us,omitempty"`
+	ServeLatencyP99Micros float64 `json:"serve_latency_p99_us,omitempty"`
+}
+
+// opSplit is a trace rewritten as creates + arrivals in op form.
+type opSplit struct {
+	creates []engine.Op
+	arrives []engine.Op
+}
+
+// traceToOps mirrors engine.ReplayTrace's fan-out: tenant-%03d names,
+// arrival i to tenant i%tenants — so a driven server lands on the same
+// snapshots as the stdin path.
+func traceToOps(tr *workload.Trace, tenants int) opSplit {
+	if tenants < 1 {
+		tenants = 1
+	}
+	in := tr.Instance
+	n := in.Space.Len()
+	u := in.Universe()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = in.Space.Distance(i, j)
+		}
+	}
+	bySize := make([]float64, u+1)
+	for k := 1; k <= u; k++ {
+		bySize[k] = in.Costs.Cost(0, commodity.Full(k))
+	}
+	var out opSplit
+	for i := 0; i < tenants; i++ {
+		out.creates = append(out.creates, engine.Op{
+			Op: "create", Tenant: fmt.Sprintf("tenant-%03d", i),
+			Universe: u, Distances: dist, CostBySize: bySize,
+		})
+	}
+	for i, r := range in.Requests {
+		out.arrives = append(out.arrives, engine.Op{
+			Op: "arrive", Tenant: fmt.Sprintf("tenant-%03d", i%tenants),
+			Point: r.Point, Demands: r.Demands.IDs(),
+		})
+	}
+	return out
+}
+
+// runCreates registers the tenants: POSTs in http mode, one awaited framed
+// stream in tcp mode.
+func runCreates(mode, target string, creates []engine.Op) error {
+	if mode == "http" {
+		for _, op := range creates {
+			body := map[string]interface{}{
+				"universe": op.Universe, "distances": op.Distances, "cost_by_size": op.CostBySize,
+			}
+			if _, err := postJSON(target, "/v1/tenants/"+op.Tenant, body); err != nil {
+				return fmt.Errorf("loadgen: creating %s: %v", op.Tenant, err)
+			}
+		}
+		return nil
+	}
+	_, err := streamTCP(target, creates)
+	return err
+}
+
+// driveWork is one worker's pre-partitioned (and, in tcp mode,
+// pre-rendered) share of the arrival stream.
+type driveWork struct {
+	ops      []engine.Op // http mode
+	blob     []byte      // tcp mode: concatenated frames, ready to write
+	arrivals int
+}
+
+// prepareDrive partitions the arrivals across conc workers (tenant t on
+// worker t%conc, preserving per-tenant order) and, in tcp mode, renders each
+// worker's stream into one frame blob up front.
+func prepareDrive(mode string, ops opSplit, conc int) ([]driveWork, error) {
+	work := make([]driveWork, conc)
+	for _, op := range ops.arrives {
+		var tn int
+		fmt.Sscanf(op.Tenant, "tenant-%03d", &tn)
+		w := &work[tn%conc]
+		w.ops = append(w.ops, op)
+		w.arrivals++
+	}
+	if mode == "tcp" {
+		for i := range work {
+			var blob bytes.Buffer
+			for _, op := range work[i].ops {
+				payload, err := json.Marshal(op)
+				if err != nil {
+					return nil, err
+				}
+				if err := server.WriteFrame(&blob, payload); err != nil {
+					return nil, err
+				}
+			}
+			work[i].blob = blob.Bytes()
+			work[i].ops = nil
+		}
+	}
+	return work, nil
+}
+
+// runArrivals fans the prepared work across its workers and returns
+// client-side per-request latencies (http mode only).
+func runArrivals(mode, target string, work []driveWork, batch int) ([]float64, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		allLats  []float64
+	)
+	for w := range work {
+		if work[w].arrivals == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w driveWork) {
+			defer wg.Done()
+			var lats []float64
+			var err error
+			if mode == "http" {
+				lats, err = driveHTTP(target, w.ops, batch)
+			} else {
+				err = streamBlob(target, w.blob, w.arrivals)
+			}
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(work[w])
+	}
+	wg.Wait()
+	return allLats, firstErr
+}
+
+// streamBlob writes a pre-rendered frame blob over one connection,
+// half-closes and checks the server's ack.
+func streamBlob(target string, blob []byte, arrivals int) error {
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(blob); err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return err
+		}
+	}
+	frame, err := server.ReadFrame(bufio.NewReader(conn), nil)
+	if err != nil {
+		return err
+	}
+	var res server.TCPResult
+	if err := json.Unmarshal(frame, &res); err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("loadgen: server rejected stream: %s", res.Error)
+	}
+	if res.Arrivals != arrivals {
+		return fmt.Errorf("loadgen: server acked %d of %d arrivals", res.Arrivals, arrivals)
+	}
+	return nil
+}
+
+// driveHTTP sends one worker's arrivals as batched POSTs, measuring each
+// request's round trip. Consecutive ops for the same tenant share a batch.
+func driveHTTP(target string, ops []engine.Op, batch int) ([]float64, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	type arrival struct {
+		Point   int   `json:"point"`
+		Demands []int `json:"demands"`
+	}
+	var lats []float64
+	flush := func(tenant string, group []arrival) error {
+		if len(group) == 0 {
+			return nil
+		}
+		start := time.Now()
+		_, err := postJSON(target, "/v1/tenants/"+tenant+"/arrive", map[string]interface{}{"arrivals": group})
+		lats = append(lats, float64(time.Since(start).Microseconds())/1e3)
+		return err
+	}
+	var group []arrival
+	curTenant := ""
+	for _, op := range ops {
+		if op.Tenant != curTenant || len(group) >= batch {
+			if err := flush(curTenant, group); err != nil {
+				return lats, err
+			}
+			group = group[:0]
+			curTenant = op.Tenant
+		}
+		group = append(group, arrival{Point: op.Point, Demands: op.Demands})
+	}
+	if err := flush(curTenant, group); err != nil {
+		return lats, err
+	}
+	return lats, nil
+}
+
+// streamTCP sends ops as one framed stream, half-closes and awaits the
+// server's result frame.
+func streamTCP(target string, ops []engine.Op) (server.TCPResult, error) {
+	var res server.TCPResult
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return res, err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for _, op := range ops {
+		payload, err := json.Marshal(op)
+		if err != nil {
+			return res, err
+		}
+		if err := server.WriteFrame(bw, payload); err != nil {
+			return res, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return res, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return res, err
+		}
+	}
+	frame, err := server.ReadFrame(bufio.NewReader(conn), nil)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(frame, &res); err != nil {
+		return res, err
+	}
+	if !res.OK {
+		return res, fmt.Errorf("loadgen: server rejected stream: %s", res.Error)
+	}
+	return res, nil
+}
+
+func postJSON(host, path string, body interface{}) ([]byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post("http://"+host+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return buf.Bytes(), fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes(), nil
+}
+
+func serverMetrics(host string) (engine.Metrics, error) {
+	var m engine.Metrics
+	resp, err := http.Get("http://" + host + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+func serverServed(host string) (int64, error) {
+	if host == "" {
+		return 0, nil
+	}
+	m, err := serverMetrics(host)
+	return m.Served, err
+}
+
+// waitServed polls the server until its served count reaches want.
+func waitServed(host string, want int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m, err := serverMetrics(host)
+		if err == nil && m.Served >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: waiting for drain: %v", err)
+			}
+			return fmt.Errorf("loadgen: server served %d of %d arrivals before timeout", m.Served, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeServeBench writes or updates BENCH_serve.json in dir, keyed by mode,
+// so tcp and http runs accumulate into one artifact.
+func writeServeBench(dir string, rep loadgenReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_serve.json")
+	doc := struct {
+		Benchmark string                   `json:"benchmark"`
+		Modes     map[string]loadgenReport `json:"modes"`
+	}{Benchmark: "omflp loadgen: network serve throughput", Modes: map[string]loadgenReport{}}
+	if data, err := os.ReadFile(path); err == nil {
+		json.Unmarshal(data, &doc) //nolint:errcheck // a corrupt file is simply rewritten
+		if doc.Modes == nil {
+			doc.Modes = map[string]loadgenReport{}
+		}
+	}
+	doc.Modes[rep.Mode] = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

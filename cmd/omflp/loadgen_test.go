@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// captureStdout redirects os.Stdout around fn (loadgen writes its report
+// there) and returns what was written.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	ferr := <-errc
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatalf("loadgen: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+// TestLoadgenSpawnedServer runs loadgen end-to-end against a server it
+// spawns itself, in both transport modes, and checks the report and the
+// BENCH_serve.json artifact.
+func TestLoadgenSpawnedServer(t *testing.T) {
+	dir := t.TempDir()
+	for _, mode := range []string{"tcp", "http"} {
+		out := captureStdout(t, func() error {
+			return run([]string{"loadgen", "-mode", mode, "-arrivals", "400",
+				"-tenants", "3", "-conc", "2", "-points", "8", "-universe", "4",
+				"-seed", "3", "-bench-out", dir, "-quiet"})
+		})
+		var rep struct {
+			Mode           string  `json:"mode"`
+			Arrivals       int     `json:"arrivals"`
+			ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+			RequestP99     float64 `json:"request_p99_ms"`
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatalf("%s: report not JSON: %v\n%s", mode, err, out)
+		}
+		if rep.Mode != mode || rep.Arrivals != 400 || rep.ArrivalsPerSec <= 0 {
+			t.Errorf("%s report = %+v", mode, rep)
+		}
+		if mode == "http" && rep.RequestP99 <= 0 {
+			t.Errorf("http mode reported no request latency: %+v", rep)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Modes map[string]json.RawMessage `json:"modes"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Modes) != 2 {
+		t.Errorf("BENCH_serve.json has modes %v, want tcp and http", bench.Modes)
+	}
+}
+
+// TestLoadgenTraceReproducesGolden is the network acceptance contract at the
+// CLI level: driving a daemon with the smoke trace over HTTP and over TCP
+// must yield the exact snapshot artifact the stdin path produces (the
+// committed golden file).
+func TestLoadgenTraceReproducesGolden(t *testing.T) {
+	want, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"http", "tcp"} {
+		srv, err := server.New(server.Config{
+			HTTPAddr: "127.0.0.1:0",
+			TCPAddr:  "127.0.0.1:0",
+			Engine:   engine.Config{Algorithm: "pd", Shards: 4, Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.HTTPAddr()
+		if mode == "tcp" {
+			addr = srv.TCPAddr()
+		}
+		captureStdout(t, func() error {
+			return run([]string{"loadgen", "-mode", mode, "-addr", addr,
+				"-http-addr", srv.HTTPAddr(), "-trace", smokeTrace,
+				"-tenants", "3", "-conc", "2", "-quiet"})
+		})
+		resp, err := http.Get("http://" + srv.HTTPAddr() + "/v1/snapshots")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: snapshots from the network path differ from %s", mode, smokeGolden)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+func TestLoadgenErrors(t *testing.T) {
+	if err := run([]string{"loadgen", "-mode", "carrier-pigeon"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"loadgen", "-trace", "/does/not/exist.json"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

@@ -8,13 +8,24 @@
 //	omflp all [-seed N] [-quick] [-workers N] [-csv DIR] [-bench-out DIR] [-no-charts]
 //	omflp replay -trace FILE [-seed N]        (replay a gentrace JSON file)
 //	omflp serve [-trace FILE] [-algo pd|rand] [-shards N] [-tenants N]
-//	            [-metrics-every DUR] [-snapshot-out FILE]
+//	            [-metrics-every DUR] [-snapshot-out FILE] [-snapshot-compact]
+//	            [-listen-http ADDR] [-listen-tcp ADDR]
+//	            [-checkpoint-dir DIR] [-checkpoint-every DUR] [-shard-policy hash|leastload]
+//	omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE]
+//	              [-tenants N] [-arrivals N] [-conc N] [-bench-out DIR]
 //
 // serve is the streaming mode: it hosts internal/engine, ingests arrivals
 // continuously (gentrace file traces or JSON-lines op streams, from stdin or
 // -trace) across sharded multi-tenant serving goroutines, and emits
-// deterministic per-tenant snapshots plus wall-clock metrics. See the usage
-// text and the internal/engine package documentation for the wire formats.
+// deterministic per-tenant snapshots plus wall-clock metrics. With
+// -listen-http/-listen-tcp it runs as a network daemon (internal/server):
+// an HTTP API plus a length-prefixed TCP op protocol over one shared engine,
+// periodic checkpoints to -checkpoint-dir with restore-on-start, and
+// graceful drain on SIGINT/SIGTERM. loadgen drives such a daemon (or a
+// server it spawns itself) with concurrent workers and reports achieved
+// arrivals/s and latency percentiles; -bench-out writes BENCH_serve.json.
+// See the usage text and the internal/engine and internal/server package
+// documentation for the wire formats.
 //
 // -workers fans independent experiment repetitions out across goroutines
 // (0 = GOMAXPROCS, 1 = sequential); output is byte-identical for every
@@ -70,6 +81,8 @@ func run(args []string) error {
 		return cmdReplay(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "explain":
 		return cmdExplain(args[1:])
 	case "check":
@@ -93,7 +106,13 @@ func usage() {
   omflp replay -trace FILE [-seed N]             replay a JSON trace through all algorithms
   omflp serve [-trace FILE] [-algo pd|rand] [-shards N] [-tenants N] [-seed N]
               [-mailbox N] [-metrics-every DUR] [-snapshot-out FILE] [-quiet]
+              [-snapshot-compact] [-shard-policy hash|leastload]
+              [-listen-http ADDR] [-listen-tcp ADDR]
+              [-checkpoint-dir DIR] [-checkpoint-every DUR]
                                                  stream arrivals through a serving engine
+  omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE] [-tenants N]
+                [-arrivals N] [-conc N] [-batch N] [-seed N] [-bench-out DIR]
+                                                 drive a serve daemon and measure throughput
   omflp explain -trace FILE                      narrate PD-OMFLP's decisions on a trace
   omflp check -trace FILE                        validate a trace's metric and cost assumptions
 
@@ -107,7 +126,33 @@ serve reads a gentrace JSON trace or a JSON-lines op stream from stdin (or
 end. Final per-tenant snapshots (open facilities, assignments, cost vs dual
 lower bound) are printed as JSON to stdout, byte-identical for every -shards
 value under a fixed seed; metrics (arrivals/s, p50/p99 serve latency, queue
-depth) go to stderr. The op-stream format is documented in internal/engine.`)
+depth) go to stderr. The op-stream format is documented in internal/engine.
+
+With -listen-http/-listen-tcp, serve runs as a network daemon instead:
+  POST /v1/tenants/{id}           create a tenant (universe, distances, cost_by_size)
+  POST /v1/tenants/{id}/arrive    one arrival {"point":p,"demands":[..]} or a batch {"arrivals":[...]}
+  GET  /v1/tenants/{id}/snapshot  consistent snapshot (?compact=1 drops assignment history)
+  GET  /v1/snapshots              all tenants — same artifact as the stdin path
+  GET  /v1/metrics, GET /healthz  engine metrics and liveness
+  POST /v1/checkpoint             force a checkpoint now
+The TCP listener ingests length-prefixed frames (4-byte big-endian length +
+one JSON op) and acks each stream once on half-close. -checkpoint-dir DIR
+persists engine state to DIR/engine.ckpt.json (atomic rename) every
+-checkpoint-every; a restarted daemon restores it and resumes every tenant
+with no cost divergence. SIGINT/SIGTERM drains, checkpoints and exits.
+
+Quickstart:
+  omflp serve -listen-http 127.0.0.1:8080 -checkpoint-dir /tmp/omflp &
+  curl -X POST localhost:8080/v1/tenants/a -d '{"universe":2,
+    "distances":[[0,1],[1,0]],"cost_by_size":[0,1,1.5]}'
+  curl -X POST localhost:8080/v1/tenants/a/arrive -d '{"point":0,"demands":[0,1]}'
+  curl localhost:8080/v1/tenants/a/snapshot
+
+loadgen creates tenants and fans arrivals across -conc workers (tenants
+partitioned per worker, preserving per-tenant order), then reports achieved
+arrivals/s and latency percentiles as JSON. Without -addr it spawns an
+in-process server on loopback; -bench-out DIR writes/updates
+BENCH_serve.json keyed by transport mode.`)
 }
 
 func cmdList() error {

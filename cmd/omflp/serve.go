@@ -1,23 +1,32 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/server"
 )
 
-// cmdServe is the streaming serving mode: it hosts an engine, ingests
-// arrivals from stdin or -trace (either a gentrace file trace or a JSON-lines
-// op stream — autodetected), and emits the final per-tenant snapshots as
-// JSON. Snapshots go to -snapshot-out (default stdout) and are byte-identical
-// for every -shards value under a fixed seed; metrics go to stderr, where
-// they cannot pollute golden-file diffs.
+// cmdServe is the streaming serving mode. Without listeners it hosts an
+// engine, ingests arrivals from stdin or -trace (either a gentrace file
+// trace or a JSON-lines op stream — autodetected), and emits the final
+// per-tenant snapshots as JSON. With -listen-http and/or -listen-tcp it runs
+// as a network daemon instead: arrivals come over the HTTP API and the
+// framed TCP op protocol, state is checkpointed to -checkpoint-dir (and
+// restored from it on startup), and SIGINT/SIGTERM triggers a graceful
+// shutdown — drain mailboxes, final checkpoint, final snapshots. Snapshots
+// go to -snapshot-out (default stdout) and are byte-identical for every
+// -shards value under a fixed seed; metrics go to stderr, where they cannot
+// pollute golden-file diffs.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
@@ -27,13 +36,43 @@ func cmdServe(args []string) error {
 		tenants      = fs.Int("tenants", 1, "tenants to fan a file trace across (round-robin); ignored for op streams")
 		mailbox      = fs.Int("mailbox", 0, "per-shard queue capacity (0 = 256); full mailboxes block ingestion")
 		seed         = fs.Int64("seed", 1, "engine seed (rand tenants derive per-tenant streams from it)")
+		shardPolicy  = fs.String("shard-policy", "hash", "tenant→shard assignment: hash or leastload")
 		noPrediction = fs.Bool("no-prediction", false, "ablation: disable large facilities")
 		metricsEvery = fs.Duration("metrics-every", 0, "dump engine metrics to stderr at this interval (0 = off)")
 		snapOut      = fs.String("snapshot-out", "", "file for the final snapshots (default: stdout)")
+		snapCompact  = fs.Bool("snapshot-compact", false, "emit compact snapshots (facilities + cost only, no assignment history)")
 		quiet        = fs.Bool("quiet", false, "suppress the final metrics summary on stderr")
+		listenHTTP   = fs.String("listen-http", "", "daemon mode: HTTP API listen address (e.g. 127.0.0.1:8080)")
+		listenTCP    = fs.String("listen-tcp", "", "daemon mode: framed-op TCP listen address")
+		ckptDir      = fs.String("checkpoint-dir", "", "daemon mode: directory for periodic state checkpoints (restored on start)")
+		ckptEvery    = fs.Duration("checkpoint-every", 15*time.Second, "daemon mode: checkpoint interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	engCfg := engine.Config{
+		Algorithm:   *algo,
+		Shards:      *shards,
+		Mailbox:     *mailbox,
+		Seed:        *seed,
+		ShardPolicy: *shardPolicy,
+		Options:     core.Options{DisablePrediction: *noPrediction},
+	}
+	if *listenHTTP != "" || *listenTCP != "" {
+		return serveDaemon(daemonConfig{
+			engine:    engCfg,
+			http:      *listenHTTP,
+			tcp:       *listenTCP,
+			ckptDir:   *ckptDir,
+			ckptEvery: *ckptEvery,
+			trace:     *tracePath,
+			tenants:   *tenants,
+			metrics:   *metricsEvery,
+			snapOut:   *snapOut,
+			compact:   *snapCompact,
+			quiet:     *quiet,
+		})
 	}
 
 	var input io.Reader = os.Stdin
@@ -46,55 +85,21 @@ func cmdServe(args []string) error {
 		input = f
 	}
 
-	eng, err := engine.NewChecked(engine.Config{
-		Algorithm: *algo,
-		Shards:    *shards,
-		Mailbox:   *mailbox,
-		Seed:      *seed,
-		Options:   core.Options{DisablePrediction: *noPrediction},
-	})
+	eng, err := engine.NewChecked(engCfg)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 
-	if *metricsEvery > 0 {
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			tick := time.NewTicker(*metricsEvery)
-			defer tick.Stop()
-			enc := json.NewEncoder(os.Stderr)
-			for {
-				select {
-				case <-tick.C:
-					enc.Encode(eng.Metrics())
-				case <-stop:
-					return
-				}
-			}
-		}()
-	}
+	stopMetrics := startMetricsDump(eng, *metricsEvery)
+	defer stopMetrics()
 
 	arrivals, err := eng.ReplayReader(input, *tenants)
 	if err != nil {
 		return fmt.Errorf("serve: %v", err)
 	}
 
-	snaps, err := eng.SnapshotAll()
-	if err != nil {
-		return err
-	}
-	out := os.Stdout
-	if *snapOut != "" {
-		f, err := os.Create(*snapOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := writeSnapshots(out, snaps); err != nil {
+	if err := emitSnapshots(eng, *snapOut, *snapCompact); err != nil {
 		return err
 	}
 
@@ -105,6 +110,166 @@ func cmdServe(args []string) error {
 			arrivals, m.Tenants, m.Shards, m.ArrivalsPerSec, m.LatencyP50Micros, m.LatencyP99Micros)
 	}
 	return nil
+}
+
+// startMetricsDump starts the periodic stderr metrics dump; the returned
+// stop function is idempotent. every <= 0 disables it.
+func startMetricsDump(eng *engine.Engine, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		enc := json.NewEncoder(os.Stderr)
+		for {
+			select {
+			case <-tick.C:
+				enc.Encode(eng.Metrics())
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+			<-done
+		}
+	}
+}
+
+// emitSnapshots writes the final snapshot artifact to path (stdout if "").
+func emitSnapshots(eng *engine.Engine, path string, compact bool) error {
+	var snaps []*engine.TenantSnapshot
+	var err error
+	if compact {
+		snaps, err = eng.SnapshotAllCompact()
+	} else {
+		snaps, err = eng.SnapshotAll()
+	}
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return writeSnapshots(out, snaps)
+}
+
+type daemonConfig struct {
+	engine    engine.Config
+	http, tcp string
+	ckptDir   string
+	ckptEvery time.Duration
+	trace     string
+	tenants   int
+	metrics   time.Duration
+	snapOut   string
+	compact   bool
+	quiet     bool
+}
+
+// serveDaemon runs the network serving layer until SIGINT/SIGTERM, then
+// shuts down gracefully: drain, final checkpoint, final snapshot artifact.
+func serveDaemon(cfg daemonConfig) error {
+	// Register the signal handler before anything becomes observable
+	// (listeners, checkpoints): once the daemon looks ready, SIGTERM is
+	// guaranteed to mean graceful shutdown, never the default kill.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	srv, err := server.New(server.Config{
+		HTTPAddr:        cfg.http,
+		TCPAddr:         cfg.tcp,
+		CheckpointDir:   cfg.ckptDir,
+		CheckpointEvery: cfg.ckptEvery,
+		Engine:          cfg.engine,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	eng := srv.Engine()
+	if n := srv.Restored(); n > 0 && !cfg.quiet {
+		fmt.Fprintf(os.Stderr, "serve: restored %d arrivals from checkpoint in %s\n", n, cfg.ckptDir)
+	}
+	if !cfg.quiet {
+		if a := srv.HTTPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "serve: http listening on %s\n", a)
+		}
+		if a := srv.TCPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "serve: tcp listening on %s\n", a)
+		}
+	}
+
+	// An explicit -trace seeds the daemon before network traffic — but not
+	// after a checkpoint restore: the checkpoint already contains the
+	// seeded arrivals, and replaying them again would double-serve every
+	// request (the standard restart command line keeps the same flags).
+	if cfg.trace != "" && srv.Restored() == 0 {
+		f, err := os.Open(cfg.trace)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.ReplayReader(f, cfg.tenants); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: %v", err)
+		}
+		f.Close()
+	} else if cfg.trace != "" && !cfg.quiet {
+		fmt.Fprintln(os.Stderr, "serve: checkpoint restored; skipping -trace seeding")
+	}
+
+	stopMetrics := startMetricsDump(eng, cfg.metrics)
+	defer stopMetrics()
+
+	sig := <-sigs
+	signal.Stop(sigs)
+	if !cfg.quiet {
+		fmt.Fprintf(os.Stderr, "serve: %v — shutting down\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	stopMetrics()
+
+	// The engine is closed after Shutdown; emit the artifact from the
+	// final checkpoint when available, otherwise skip (snapshots were
+	// observable over HTTP while the daemon ran).
+	if cfg.ckptDir == "" {
+		return nil
+	}
+	ck, err := engine.ReadCheckpointFile(cfg.ckptDir + "/" + server.CheckpointFile)
+	if err != nil {
+		return err
+	}
+	replay, err := engine.NewChecked(cfg.engine)
+	if err != nil {
+		return err
+	}
+	defer replay.Close()
+	if err := replay.Restore(ck); err != nil {
+		return err
+	}
+	return emitSnapshots(replay, cfg.snapOut, cfg.compact)
 }
 
 // writeSnapshots emits the deterministic snapshot artifact: indented JSON,

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// TestServeDaemonCheckpointAndShutdown drives the daemon path end to end
+// in-process: seed it with the smoke trace, wait for a periodic checkpoint
+// covering every arrival, SIGTERM it, and check that the final snapshot
+// artifact written on shutdown equals the stdin path's committed golden.
+// (The daemon registers its signal handler before any readiness signal, so
+// observing the checkpoint file means SIGTERM is already safe.)
+func TestServeDaemonCheckpointAndShutdown(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	snapOut := filepath.Join(dir, "snap.json")
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve",
+			"-listen-http", "127.0.0.1:0",
+			"-listen-tcp", "127.0.0.1:0",
+			"-checkpoint-dir", ckptDir,
+			"-checkpoint-every", "30ms",
+			"-trace", smokeTrace, "-tenants", "3",
+			"-algo", "pd", "-shards", "4", "-seed", "1",
+			"-snapshot-out", snapOut, "-quiet"})
+	}()
+
+	// Wait until a checkpoint covering the whole seeded trace exists.
+	ckptPath := filepath.Join(ckptDir, server.CheckpointFile)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ck, err := engine.ReadCheckpointFile(ckptPath); err == nil && ck.Arrivals() == 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no full checkpoint appeared within 10s")
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+
+	got, err := os.ReadFile(snapOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("daemon snapshot artifact differs from %s", smokeGolden)
+	}
+}

@@ -33,9 +33,27 @@
 // per-tenant snapshots (open facilities, assignments, cost-so-far vs the
 // PD dual lower bound) plus engine-wide metrics (arrivals/s, p50/p99 serve
 // latency, queue depth). Snapshots are deterministic: a fixed trace and seed
-// yield byte-identical output for every shard count. The CLI front end is
+// yield byte-identical output for every shard count; compact snapshots
+// (facilities + cost only, no assignment history) stay O(facilities) however
+// long the stream. Tenants pin to shards by name hash or, with the
+// leastload policy, to the least-loaded shard. The CLI front end is
 // "omflp serve"; "gentrace ... | omflp serve -algo pd -shards 8" streams a
 // generated workload end to end.
+//
+// Serving over the network. With -listen-http/-listen-tcp, omflp serve runs
+// as a daemon (see internal/server): an HTTP API — POST
+// /v1/tenants/{id} (create), POST /v1/tenants/{id}/arrive (single or
+// batched arrivals), GET /v1/tenants/{id}/snapshot (?compact=1), GET
+// /v1/snapshots, GET /v1/metrics, GET /healthz, POST /v1/checkpoint — and a
+// length-prefixed TCP framing of the same op protocol share one engine.
+// Engine state checkpoints to <dir>/engine.ckpt.json (atomic rename) on a
+// configurable interval and on graceful shutdown; a restarted daemon
+// restores the checkpoint and resumes every tenant with no cost divergence,
+// because tenant algorithm seeds derive from names and replaying the
+// checkpointed arrivals reproduces state byte-for-byte. "omflp loadgen"
+// drives a daemon (or spawns one in-process) over either transport with
+// configurable concurrency and reports achieved arrivals/s and latency
+// percentiles (BENCH_serve.json records them).
 //
 // Performance. PD-OMFLP maintains its Constraint (3)/(4) bid sums
 // incrementally — per (commodity, candidate) accumulators updated when a

@@ -319,3 +319,120 @@ func BenchmarkPerCommodityServe(b *testing.B) {
 		}
 	}
 }
+
+// TestLocalSearchParallelIdentical is the parallel local-search contract:
+// every worker count must walk the exact same move trajectory — identical
+// final cost, facility list and assignments (and therefore byte-identical
+// experiment tables downstream).
+func TestLocalSearchParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 8, 5, 25)
+		greedy := StarGreedy(in)
+		ref := LocalSearchParallel(in, greedy.Solution.Facilities, 30, 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := LocalSearchParallel(in, greedy.Solution.Facilities, 30, workers)
+			if got.Cost != ref.Cost {
+				t.Fatalf("trial %d workers=%d: cost %g, sequential %g", trial, workers, got.Cost, ref.Cost)
+			}
+			if len(got.Solution.Facilities) != len(ref.Solution.Facilities) {
+				t.Fatalf("trial %d workers=%d: %d facilities, sequential %d",
+					trial, workers, len(got.Solution.Facilities), len(ref.Solution.Facilities))
+			}
+			for i, f := range got.Solution.Facilities {
+				rf := ref.Solution.Facilities[i]
+				if f.Point != rf.Point || f.Config.Key() != rf.Config.Key() {
+					t.Fatalf("trial %d workers=%d: facility %d = %v, sequential %v", trial, workers, i, f, rf)
+				}
+			}
+		}
+		// BestOffline must agree too (it wraps the same scans).
+		a := BestOfflineParallel(in, 30, 1)
+		b := BestOfflineParallel(in, 30, 4)
+		if a.Cost != b.Cost || a.Name != b.Name {
+			t.Fatalf("trial %d: BestOffline diverges across workers: %g/%s vs %g/%s",
+				trial, a.Cost, a.Name, b.Cost, b.Name)
+		}
+	}
+}
+
+// TestLocalSearchMatchesLegacySequential pins the refactored scan order to
+// the original nested-loop semantics on a brute-force reimplementation.
+func TestLocalSearchMatchesLegacySequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 7, 4, 18)
+		start := StarGreedy(in).Solution.Facilities
+		got := LocalSearchParallel(in, start, 25, 4)
+		want := legacyLocalSearch(in, start, 25)
+		if got.Cost != want.Cost || len(got.Solution.Facilities) != len(want.Solution.Facilities) {
+			t.Fatalf("trial %d: refactored %g (%d facilities), legacy %g (%d)", trial,
+				got.Cost, len(got.Solution.Facilities), want.Cost, len(want.Solution.Facilities))
+		}
+	}
+}
+
+// legacyLocalSearch is the pre-parallel implementation, kept verbatim in the
+// tests as the semantic reference for the scan order.
+func legacyLocalSearch(in *instance.Instance, start []instance.Facility, maxMoves int) OfflineResult {
+	cands := candidateFacilities(in, 5, proxyMaxCands)
+	scan := cands
+	if len(scan) > proxyScanCap {
+		scan = make([]instance.Facility, 0, proxyScanCap)
+		stride := len(cands) / proxyScanCap
+		for i := 0; i < len(cands); i += stride {
+			scan = append(scan, cands[i])
+		}
+	}
+	current := append([]instance.Facility(nil), start...)
+	_, best := instance.AssignAll(in, current)
+	improved := true
+	moves := 0
+	for improved && moves < maxMoves {
+		improved = false
+		for i := 0; i < len(current) && moves < maxMoves; i++ {
+			trial := append(append([]instance.Facility(nil), current[:i]...), current[i+1:]...)
+			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+				current, best = trial, c
+				improved = true
+				moves++
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		for _, f := range scan {
+			if moves >= maxMoves {
+				break
+			}
+			trial := append(append([]instance.Facility(nil), current...), f)
+			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+				current, best = trial, c
+				improved = true
+				moves++
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		for i := 0; i < len(current) && !improved; i++ {
+			for _, f := range scan {
+				if moves >= maxMoves {
+					break
+				}
+				trial := append([]instance.Facility(nil), current...)
+				trial[i] = f
+				if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
+					current, best = trial, c
+					improved = true
+					moves++
+					break
+				}
+			}
+		}
+	}
+	sol, c := instance.AssignAll(in, current)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-local-search"}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/commodity"
 	"repro/internal/instance"
+	"repro/internal/par"
 )
 
 // OfflineResult is a complete offline solution with its cost.
@@ -183,8 +184,45 @@ func StarGreedy(in *instance.Instance) OfflineResult {
 // LocalSearch improves a starting solution by add / drop / swap moves over
 // the candidate facility list, re-assigning requests optimally after each
 // tentative move, until no move improves the cost or the move budget is
-// exhausted.
+// exhausted. Move evaluation fans out across GOMAXPROCS goroutines; use
+// LocalSearchParallel to control the worker count (1 = fully sequential).
 func LocalSearch(in *instance.Instance, start []instance.Facility, maxMoves int) OfflineResult {
+	return LocalSearchParallel(in, start, maxMoves, 0)
+}
+
+// firstImproving evaluates the n trial solutions produced by trial(i) and
+// returns the index of the first one beating best (with its cost), or
+// (-1, best). The scan is first-improvement by index: with several workers
+// every trial is evaluated concurrently and the lowest improving index wins,
+// so the chosen move — and therefore the whole search trajectory — is
+// byte-identical to a sequential scan for every worker count. A sequential
+// scan (workers resolving to 1) keeps the early exit.
+func firstImproving(in *instance.Instance, workers, n int, best float64, trial func(i int) []instance.Facility) (int, float64) {
+	if par.Workers(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if _, c := instance.AssignAll(in, trial(i)); c < best-1e-12 {
+				return i, c
+			}
+		}
+		return -1, best
+	}
+	costs, _ := par.Map(workers, n, func(i int) (float64, error) {
+		_, c := instance.AssignAll(in, trial(i))
+		return c, nil
+	})
+	for i, c := range costs {
+		if c < best-1e-12 {
+			return i, c
+		}
+	}
+	return -1, best
+}
+
+// LocalSearchParallel is LocalSearch with an explicit worker count for the
+// move-evaluation scans (< 1 means GOMAXPROCS). Results are byte-identical
+// for every worker count: each scan applies the first improving move in
+// candidate order, exactly as the sequential search would.
+func LocalSearchParallel(in *instance.Instance, start []instance.Facility, maxMoves, workers int) OfflineResult {
 	cands := candidateFacilities(in, 5, proxyMaxCands)
 	// Cap scan width: sample the candidate list for add/swap scans.
 	scan := cands
@@ -198,54 +236,46 @@ func LocalSearch(in *instance.Instance, start []instance.Facility, maxMoves int)
 	current := append([]instance.Facility(nil), start...)
 	_, best := instance.AssignAll(in, current)
 
+	// One scan = at most one applied move, so the sequential budget checks
+	// (which only ever change on an applied move) reduce to the outer
+	// condition.
 	improved := true
 	moves := 0
 	for improved && moves < maxMoves {
 		improved = false
 
 		// Drop moves.
-		for i := 0; i < len(current) && moves < maxMoves; i++ {
-			trial := append(append([]instance.Facility(nil), current[:i]...), current[i+1:]...)
-			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
-				current, best = trial, c
-				improved = true
-				moves++
-				break
-			}
+		drop := func(i int) []instance.Facility {
+			return append(append([]instance.Facility(nil), current[:i]...), current[i+1:]...)
 		}
-		if improved {
+		if i, c := firstImproving(in, workers, len(current), best, drop); i >= 0 {
+			current, best = drop(i), c
+			improved = true
+			moves++
 			continue
 		}
 		// Add moves.
-		for _, f := range scan {
-			if moves >= maxMoves {
-				break
-			}
-			trial := append(append([]instance.Facility(nil), current...), f)
-			if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
-				current, best = trial, c
-				improved = true
-				moves++
-				break
-			}
+		add := func(i int) []instance.Facility {
+			return append(append([]instance.Facility(nil), current...), scan[i])
 		}
-		if improved {
+		if i, c := firstImproving(in, workers, len(scan), best, add); i >= 0 {
+			current, best = add(i), c
+			improved = true
+			moves++
 			continue
 		}
-		// Swap moves (replace one chosen facility by one candidate).
-		for i := 0; i < len(current) && !improved; i++ {
-			for _, f := range scan {
-				if moves >= maxMoves {
-					break
-				}
-				trial := append([]instance.Facility(nil), current...)
-				trial[i] = f
-				if _, c := instance.AssignAll(in, trial); c < best-1e-12 {
-					current, best = trial, c
-					improved = true
-					moves++
-					break
-				}
+		// Swap moves (replace one chosen facility by one candidate), in
+		// (facility, candidate) row-major order like the sequential scan.
+		swap := func(i int) []instance.Facility {
+			trial := append([]instance.Facility(nil), current...)
+			trial[i/len(scan)] = scan[i%len(scan)]
+			return trial
+		}
+		if len(scan) > 0 && len(current) > 0 {
+			if i, c := firstImproving(in, workers, len(current)*len(scan), best, swap); i >= 0 {
+				current, best = swap(i), c
+				improved = true
+				moves++
 			}
 		}
 	}
@@ -256,10 +286,17 @@ func LocalSearch(in *instance.Instance, start []instance.Facility, maxMoves int)
 
 // BestOffline runs StarGreedy followed by LocalSearch refinement and returns
 // the better result — the standard OPT proxy for instances too large for
-// ExactSmall.
+// ExactSmall. Move evaluation is parallel (GOMAXPROCS); BestOfflineParallel
+// takes an explicit worker count.
 func BestOffline(in *instance.Instance, maxMoves int) OfflineResult {
+	return BestOfflineParallel(in, maxMoves, 0)
+}
+
+// BestOfflineParallel is BestOffline with an explicit worker count for the
+// local-search move scans; results are byte-identical for every count.
+func BestOfflineParallel(in *instance.Instance, maxMoves, workers int) OfflineResult {
 	greedy := StarGreedy(in)
-	ls := LocalSearch(in, greedy.Solution.Facilities, maxMoves)
+	ls := LocalSearchParallel(in, greedy.Solution.Facilities, maxMoves, workers)
 	if ls.Cost <= greedy.Cost {
 		ls.Name = "offline-best(greedy+ls)"
 		return ls

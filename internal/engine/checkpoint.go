@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// CheckpointVersion is the format version written into checkpoints; Restore
+// rejects anything else.
+const CheckpointVersion = 1
+
+// Checkpoint is a durable, self-contained record of an engine's state: for
+// every tenant, the substrate it was created on (matrix metric + size cost
+// table, the same serializable shape as the op protocol and gentrace files)
+// and the exact arrival sequence it has served. Because tenant algorithm
+// seeds derive from the engine seed and the tenant name — never from timing
+// or shard layout — re-creating each tenant and replaying its arrivals
+// reproduces its state byte-for-byte: snapshot(before crash) ==
+// snapshot(restore + replay).
+type Checkpoint struct {
+	Version   int                `json:"version"`
+	Algorithm string             `json:"algorithm"`
+	Seed      int64              `json:"seed"`
+	Tenants   []TenantCheckpoint `json:"tenants"`
+}
+
+// TenantCheckpoint is one tenant's replayable record.
+type TenantCheckpoint struct {
+	Tenant string `json:"tenant"`
+	TenantOrigin
+	Arrivals []ArrivalRecord `json:"arrivals"`
+}
+
+// TenantOrigin is the serializable description of a tenant's substrate.
+type TenantOrigin struct {
+	Universe   int         `json:"universe"`
+	Distances  [][]float64 `json:"distances"`
+	CostBySize []float64   `json:"cost_by_size"`
+}
+
+// ArrivalRecord is one served arrival.
+type ArrivalRecord struct {
+	Point   int   `json:"point"`
+	Demands []int `json:"demands"`
+}
+
+// Arrivals returns the total arrival count recorded in the checkpoint.
+func (ck *Checkpoint) Arrivals() int {
+	n := 0
+	for i := range ck.Tenants {
+		n += len(ck.Tenants[i].Arrivals)
+	}
+	return n
+}
+
+// checkpointOrigin returns the tenant's serializable origin, synthesizing
+// (and caching) one from its space and cost model when the tenant was
+// created through the API rather than the op protocol. Must run on the
+// tenant's shard goroutine. Synthesis materializes the distance matrix and
+// samples the cost model into a by-size table; like workload.WriteJSON it
+// fails on cost models that are detectably non-uniform across points, which
+// a size table cannot represent.
+func (t *tenant) checkpointOrigin() (*TenantOrigin, error) {
+	if t.origin != nil {
+		return t.origin, nil
+	}
+	n := t.space.Len()
+	u := t.costs.Universe()
+	o := &TenantOrigin{
+		Universe:   u,
+		Distances:  make([][]float64, n),
+		CostBySize: make([]float64, u+1),
+	}
+	for i := 0; i < n; i++ {
+		o.Distances[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			o.Distances[i][j] = t.space.Distance(i, j)
+		}
+	}
+	for k := 1; k <= u; k++ {
+		cfg := commodity.Full(k)
+		c0 := t.costs.Cost(0, cfg)
+		for m := 1; m < n; m++ {
+			if t.costs.Cost(m, cfg) != c0 {
+				return nil, fmt.Errorf("engine: tenant %q: cost model %q is non-uniform across points; not checkpointable",
+					t.id, t.costs.Name())
+			}
+		}
+		o.CostBySize[k] = c0
+	}
+	t.origin = o
+	return o, nil
+}
+
+// checkpoint builds the tenant's replayable record; shard goroutine only.
+func (t *tenant) checkpoint() (TenantCheckpoint, error) {
+	o, err := t.checkpointOrigin()
+	if err != nil {
+		return TenantCheckpoint{}, err
+	}
+	tc := TenantCheckpoint{
+		Tenant:       t.id,
+		TenantOrigin: *o,
+		Arrivals:     make([]ArrivalRecord, len(t.history)),
+	}
+	for i, r := range t.history {
+		tc.Arrivals[i] = ArrivalRecord{Point: r.Point, Demands: r.Demands.IDs()}
+	}
+	return tc, nil
+}
+
+// Checkpoint captures a consistent engine checkpoint: every tenant's record
+// is taken on its shard goroutine, serialized with its arrival stream, so
+// each tenant's arrival list is a consistent cut covering everything
+// admitted for it before the call. Tenants are sorted by name, making the
+// artifact deterministic. Requires Config.RecordArrivals; errors otherwise,
+// and on tenants whose substrate cannot be serialized.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	if !e.cfg.RecordArrivals {
+		return nil, fmt.Errorf("engine: Checkpoint requires Config.RecordArrivals")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: %w", ErrClosed)
+	}
+	tns := make([]*tenant, 0, len(e.tenants))
+	for _, t := range e.tenants {
+		tns = append(tns, t)
+	}
+	e.mu.Unlock()
+	sort.Slice(tns, func(i, j int) bool { return tns[i].id < tns[j].id })
+
+	byShard := map[*shard][]*tenant{}
+	for _, t := range tns {
+		byShard[t.shard] = append(byShard[t.shard], t)
+	}
+	records := make(map[string]TenantCheckpoint, len(tns))
+	var rmu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for s, group := range byShard {
+		wg.Add(1)
+		go func(s *shard, group []*tenant) {
+			defer wg.Done()
+			s.control(func() {
+				for _, t := range group {
+					tc, err := t.checkpoint()
+					rmu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					records[t.id] = tc
+					rmu.Unlock()
+				}
+			})
+		}(s, group)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	ck := &Checkpoint{
+		Version:   CheckpointVersion,
+		Algorithm: e.cfg.algoName(),
+		Seed:      e.cfg.Seed,
+		Tenants:   make([]TenantCheckpoint, len(tns)),
+	}
+	for i, t := range tns {
+		ck.Tenants[i] = records[t.id]
+	}
+	return ck, nil
+}
+
+// Restore rebuilds the checkpointed tenants on the engine: each tenant is
+// re-created on its serialized substrate and its arrivals are replayed
+// through the normal serve path. The engine's algorithm and seed must match
+// the checkpoint's — restoring under different ones would silently change
+// every tenant's decisions — and none of the checkpointed tenants may
+// already exist. Restore returns once all arrivals are admitted; snapshots
+// (which serialize behind the replay on each shard) see the restored state.
+func (e *Engine) Restore(ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("engine: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	if got, want := e.cfg.algoName(), ck.Algorithm; got != want {
+		return fmt.Errorf("engine: checkpoint was taken with algorithm %q, engine runs %q", want, got)
+	}
+	if e.cfg.Seed != ck.Seed {
+		return fmt.Errorf("engine: checkpoint was taken with seed %d, engine runs seed %d", ck.Seed, e.cfg.Seed)
+	}
+	for i := range ck.Tenants {
+		tc := &ck.Tenants[i]
+		if len(tc.CostBySize) != tc.Universe+1 {
+			return fmt.Errorf("engine: restore %q: cost table has %d entries for universe %d",
+				tc.Tenant, len(tc.CostBySize), tc.Universe)
+		}
+		table, err := cost.NewTable(tc.CostBySize)
+		if err != nil {
+			return fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+		}
+		origin := tc.TenantOrigin
+		if err := e.createTenant(tc.Tenant, metric.NewMatrix(tc.Distances), table, &origin); err != nil {
+			return err
+		}
+		for _, a := range tc.Arrivals {
+			err := e.Serve(tc.Tenant, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
+			if err != nil {
+				return fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the checkpoint to path atomically: the JSON document goes
+// to a temporary file in the same directory, is synced, and is renamed over
+// path — a crash mid-write never corrupts the previous checkpoint.
+func (ck *Checkpoint) WriteFile(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCheckpointFile reads a checkpoint written by WriteFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint %s: %v", path, err)
+	}
+	return &ck, nil
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+// serveHalves splits a trace's fan-out at an arbitrary point so tests can
+// checkpoint mid-stream: it creates the tenants, serves requests [0, cut),
+// hands control to between, then serves the rest.
+func serveHalves(t *testing.T, e *Engine, tr *workload.Trace, tenants, cut int, between func()) {
+	t.Helper()
+	in := tr.Instance
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = tenantName(i)
+		if err := e.CreateTenant(names[i], in.Space, in.Costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range in.Requests {
+		if i == cut && between != nil {
+			between()
+		}
+		if err := e.Serve(names[i%tenants], r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tenantName(i int) string {
+	return []string{"tenant-000", "tenant-001", "tenant-002", "tenant-003"}[i]
+}
+
+// TestCheckpointRestoreRoundTrip is the durability contract: a snapshot
+// taken at checkpoint time must equal the snapshot of a fresh engine that
+// restored the checkpoint — for both algorithms, and for API-created tenants
+// whose origin is synthesized (matrix + sampled cost table).
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	tr := fixedTrace(21, 100, 6, 12)
+	for _, algo := range []string{"pd", "rand"} {
+		cfg := Config{Algorithm: algo, Shards: 3, Seed: 7, RecordArrivals: true}
+		e := New(cfg)
+		var ck *Checkpoint
+		serveHalves(t, e, tr, 3, 60, func() {
+			var err error
+			if ck, err = e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		e.Close()
+
+		if got := ck.Arrivals(); got != 60 {
+			t.Fatalf("%s: checkpoint records %d arrivals, want 60", algo, got)
+		}
+
+		// Restore the checkpoint into a second engine (different shard
+		// count on purpose) and snapshot; it must match an engine that
+		// served the same prefix directly.
+		restored := New(Config{Algorithm: algo, Shards: 5, Seed: 7, RecordArrivals: true})
+		defer restored.Close()
+		if err := restored.Restore(ck); err != nil {
+			t.Fatal(err)
+		}
+		restoredSnaps, err := restored.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Only the first 60 arrivals: rebuild via a trimmed trace.
+		trimmed := *tr
+		in := *tr.Instance
+		in.Requests = in.Requests[:60]
+		trimmed.Instance = &in
+		direct2 := New(cfg)
+		defer direct2.Close()
+		if _, err := direct2.ReplayTrace(&trimmed, 3); err != nil {
+			t.Fatal(err)
+		}
+		directSnaps, err := direct2.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(marshalSnaps(t, restoredSnaps), marshalSnaps(t, directSnaps)) {
+			t.Errorf("%s: restored snapshots differ from a direct run of the same prefix", algo)
+		}
+	}
+}
+
+// TestCheckpointThenContinue: serving the second half after a restore must
+// land on exactly the state of an uninterrupted run — the "no cost
+// divergence across a crash" guarantee.
+func TestCheckpointThenContinue(t *testing.T) {
+	tr := fixedTrace(33, 120, 5, 10)
+	cfg := Config{Algorithm: "pd", Shards: 4, Seed: 11, RecordArrivals: true}
+
+	// Uninterrupted run.
+	e := New(cfg)
+	defer e.Close()
+	if _, err := e.ReplayTrace(tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint at 70, "crash", restore, serve the rest.
+	crashed := New(cfg)
+	var ck *Checkpoint
+	serveHalves(t, crashed, tr, 2, 70, func() {
+		var err error
+		if ck, err = crashed.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	crashed.Close() // arrivals after the checkpoint die with the process
+
+	resumed := New(cfg)
+	defer resumed.Close()
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr.Instance.Requests {
+		if i < 70 {
+			continue
+		}
+		if err := resumed.Serve(tenantName(i%2), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resumed.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+		t.Error("checkpoint + restore + replay diverged from the uninterrupted run")
+	}
+}
+
+func TestCheckpointFileAtomicRoundTrip(t *testing.T) {
+	tr := fixedTrace(5, 40, 4, 8)
+	e := New(Config{Algorithm: "pd", Shards: 2, Seed: 3, RecordArrivals: true})
+	defer e.Close()
+	if _, err := e.ReplayTrace(tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	ck, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt", "engine.ckpt.json")
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite must go through the tmp+rename path too.
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != CheckpointVersion || got.Algorithm != "pd" || got.Seed != 3 {
+		t.Errorf("checkpoint header = %+v", got)
+	}
+	if got.Arrivals() != ck.Arrivals() || len(got.Tenants) != len(ck.Tenants) {
+		t.Errorf("read back %d arrivals/%d tenants, want %d/%d",
+			got.Arrivals(), len(got.Tenants), ck.Arrivals(), len(ck.Tenants))
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	// Without RecordArrivals checkpointing must refuse rather than silently
+	// produce an empty state.
+	e := New(Config{Shards: 1})
+	if _, err := e.Checkpoint(); err == nil {
+		t.Error("Checkpoint without RecordArrivals succeeded")
+	}
+	e.Close()
+	if _, err := e.Checkpoint(); err == nil {
+		t.Error("Checkpoint on closed engine succeeded")
+	}
+
+	// Mismatched restore targets are configuration errors.
+	src := New(Config{Algorithm: "pd", Seed: 1, Shards: 1, RecordArrivals: true})
+	defer src.Close()
+	if _, err := src.ReplayTrace(fixedTrace(1, 10, 4, 6), 1); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustEngine(t, Config{Algorithm: "rand", Seed: 1, Shards: 1}).Restore(ck); err == nil {
+		t.Error("restore under a different algorithm succeeded")
+	}
+	if err := mustEngine(t, Config{Algorithm: "pd", Seed: 2, Shards: 1}).Restore(ck); err == nil {
+		t.Error("restore under a different seed succeeded")
+	}
+	dup := mustEngine(t, Config{Algorithm: "pd", Seed: 1, Shards: 1})
+	if err := dup.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.Restore(ck); err == nil {
+		t.Error("double restore of the same tenants succeeded")
+	}
+	bad := *ck
+	bad.Version = 99
+	if err := mustEngine(t, Config{Algorithm: "pd", Seed: 1, Shards: 1}).Restore(&bad); err == nil {
+		t.Error("unknown checkpoint version accepted")
+	}
+
+	if _, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing checkpoint file read succeeded")
+	}
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestCheckpointNonUniformCostRefused: a point-scaled cost model cannot be
+// sampled into a by-size table; checkpointing such a tenant must error, not
+// silently misprice the restore.
+func TestCheckpointNonUniformCostRefused(t *testing.T) {
+	e := New(Config{Shards: 1, RecordArrivals: true})
+	defer e.Close()
+	space := metric.NewLine([]float64{0, 1, 2})
+	scaled := cost.NewPointScaled(cost.PowerLaw(3, 1, 1), []float64{1, 2, 3})
+	if err := e.CreateTenant("scaled", space, scaled); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); err == nil {
+		t.Error("checkpoint of a point-scaled tenant succeeded")
+	}
+}

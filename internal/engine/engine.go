@@ -36,6 +36,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -50,6 +51,27 @@ import (
 	"repro/internal/metric"
 	"repro/internal/online"
 	"repro/internal/workload"
+)
+
+// Sentinel errors, wrapped by the engine's error returns so network front
+// ends can map them to protocol statuses (404/409/503) with errors.Is.
+var (
+	ErrClosed          = errors.New("engine closed")
+	ErrUnknownTenant   = errors.New("unknown tenant")
+	ErrDuplicateTenant = errors.New("tenant already exists")
+)
+
+// Shard assignment policies for Config.ShardPolicy.
+const (
+	// PolicyHash pins each tenant to a shard by a hash of its name:
+	// stable across runs and independent of creation order, but several
+	// hot tenants can collide on one shard.
+	PolicyHash = "hash"
+	// PolicyLeastLoad assigns each new tenant to the shard currently
+	// hosting the fewest tenants (ties to the lowest shard index):
+	// deterministic given creation order, and immune to hash collisions
+	// piling hot tenants onto one goroutine.
+	PolicyLeastLoad = "leastload"
 )
 
 // Config configures an Engine.
@@ -67,8 +89,25 @@ type Config struct {
 	// seeds from it and their name). Fixed seed + fixed trace = identical
 	// snapshots for every shard count.
 	Seed int64
+	// ShardPolicy selects how tenants are pinned to shards: PolicyHash
+	// (default) or PolicyLeastLoad. Tenants are independent, so the policy
+	// never affects any tenant's snapshot — only load balance.
+	ShardPolicy string
+	// RecordArrivals keeps each tenant's served arrival sequence in
+	// memory, which Checkpoint needs to build a replayable state record.
+	// Off by default: op-stream batch runs don't pay for durability they
+	// don't use.
+	RecordArrivals bool
 	// Options is passed through to the core algorithms.
 	Options core.Options
+}
+
+// algoName returns the normalized algorithm name ("" means "pd").
+func (c Config) algoName() string {
+	if c.Algorithm == "" {
+		return "pd"
+	}
+	return c.Algorithm
 }
 
 func (c Config) factory() (online.Factory, error) {
@@ -94,6 +133,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
+	loads    []int // tenants assigned per shard, for PolicyLeastLoad
 	closed   bool
 	lastAt   time.Time // previous Metrics call, for windowed rates
 	lastSrvd int64
@@ -113,6 +153,15 @@ type tenant struct {
 	construction float64
 	assignment   float64
 	facCursor    int // facilities already priced into construction
+
+	// record + history support Checkpoint: the served arrival sequence,
+	// appended on the shard goroutine, replayable on restore. origin is
+	// the serializable (matrix metric, size table) description of the
+	// tenant's substrate — provided by op-stream creation, or synthesized
+	// lazily at checkpoint time for API-created tenants.
+	record  bool
+	history []instance.Request
+	origin  *TenantOrigin
 }
 
 // serve processes one arrival and keeps the cost accounting incremental:
@@ -129,6 +178,9 @@ func (t *tenant) serve(r instance.Request) {
 		t.assignment += t.space.Distance(r.Point, sol.Facilities[fi].Point)
 	}
 	t.served++
+	if t.record {
+		t.history = append(t.history, r)
+	}
 }
 
 // shardOp is one mailbox entry: either an arrival for a tenant or a control
@@ -178,6 +230,12 @@ func NewChecked(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.ShardPolicy {
+	case "", PolicyHash, PolicyLeastLoad:
+	default:
+		return nil, fmt.Errorf("engine: unknown shard policy %q (want %s or %s)",
+			cfg.ShardPolicy, PolicyHash, PolicyLeastLoad)
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -190,6 +248,7 @@ func NewChecked(cfg Config) (*Engine, error) {
 		shards:  make([]*shard, cfg.Shards),
 		start:   time.Now(),
 		tenants: map[string]*tenant{},
+		loads:   make([]int, cfg.Shards),
 	}
 	e.lastAt = e.start
 	for i := range e.shards {
@@ -200,18 +259,33 @@ func NewChecked(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// shardFor pins a tenant name to a shard: stable across runs, independent of
-// creation order.
-func (e *Engine) shardFor(id string) *shard {
+// shardIndexFor picks the shard for a new tenant. Must run under e.mu (it
+// reads and updates the per-shard load counts for PolicyLeastLoad).
+func (e *Engine) shardIndexFor(id string) int {
+	if e.cfg.ShardPolicy == PolicyLeastLoad {
+		best := 0
+		for i, l := range e.loads {
+			if l < e.loads[best] {
+				best = i
+			}
+		}
+		return best
+	}
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return e.shards[int(h.Sum32())%len(e.shards)]
+	return int(h.Sum32()) % len(e.shards)
 }
 
 // CreateTenant registers a new tenant serving requests on the given space
 // and cost model. The tenant's algorithm instance is constructed here with a
 // name-derived seed; arrivals may be served as soon as CreateTenant returns.
 func (e *Engine) CreateTenant(id string, space metric.Space, costs cost.Model) error {
+	return e.createTenant(id, space, costs, nil)
+}
+
+// createTenant is CreateTenant with an optional serializable origin (known
+// when the tenant arrives through the op protocol or a checkpoint restore).
+func (e *Engine) createTenant(id string, space metric.Space, costs cost.Model, origin *TenantOrigin) error {
 	if id == "" {
 		return fmt.Errorf("engine: tenant name must be non-empty")
 	}
@@ -222,18 +296,22 @@ func (e *Engine) CreateTenant(id string, space metric.Space, costs cost.Model) e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return fmt.Errorf("engine: closed")
+		return fmt.Errorf("engine: %w", ErrClosed)
 	}
 	if _, dup := e.tenants[id]; dup {
-		return fmt.Errorf("engine: tenant %q already exists", id)
+		return fmt.Errorf("engine: tenant %q: %w", id, ErrDuplicateTenant)
 	}
+	idx := e.shardIndexFor(id)
+	e.loads[idx]++
 	e.tenants[id] = &tenant{
 		id:       id,
-		shard:    e.shardFor(id),
+		shard:    e.shards[idx],
 		space:    space,
 		costs:    costs,
 		universe: commodity.Full(costs.Universe()),
 		alg:      alg,
+		record:   e.cfg.RecordArrivals,
+		origin:   origin,
 	}
 	return nil
 }
@@ -242,11 +320,11 @@ func (e *Engine) tenant(id string) (*tenant, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, fmt.Errorf("engine: closed")
+		return nil, fmt.Errorf("engine: %w", ErrClosed)
 	}
 	t, ok := e.tenants[id]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown tenant %q", id)
+		return nil, fmt.Errorf("engine: tenant %q: %w", id, ErrUnknownTenant)
 	}
 	return t, nil
 }
@@ -322,12 +400,23 @@ func (e *Engine) Close() {
 // Snapshot returns a consistent snapshot of one tenant, taken on its shard's
 // goroutine after every previously admitted arrival for it has been served.
 func (e *Engine) Snapshot(tenantID string) (*TenantSnapshot, error) {
+	return e.snapshotOne(tenantID, false)
+}
+
+// SnapshotCompact is Snapshot without the per-arrival assignment history —
+// facilities, served count and cost accounting only. For tenants with
+// millions of served arrivals the compact form is the one to poll.
+func (e *Engine) SnapshotCompact(tenantID string) (*TenantSnapshot, error) {
+	return e.snapshotOne(tenantID, true)
+}
+
+func (e *Engine) snapshotOne(tenantID string, compact bool) (*TenantSnapshot, error) {
 	t, err := e.tenant(tenantID)
 	if err != nil {
 		return nil, err
 	}
 	var snap *TenantSnapshot
-	t.shard.control(func() { snap = t.snapshot(e.factory.Name) })
+	t.shard.control(func() { snap = t.snapshot(e.factory.Name, compact) })
 	return snap, nil
 }
 
@@ -335,10 +424,19 @@ func (e *Engine) Snapshot(tenantID string) (*TenantSnapshot, error) {
 // by tenant name — the deterministic artifact the serve CLI emits: fixed
 // seed + fixed trace yield byte-identical JSON for every shard count.
 func (e *Engine) SnapshotAll() ([]*TenantSnapshot, error) {
+	return e.snapshotAll(false)
+}
+
+// SnapshotAllCompact is SnapshotAll with assignment histories omitted.
+func (e *Engine) SnapshotAllCompact() ([]*TenantSnapshot, error) {
+	return e.snapshotAll(true)
+}
+
+func (e *Engine) snapshotAll(compact bool) ([]*TenantSnapshot, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: closed")
+		return nil, fmt.Errorf("engine: %w", ErrClosed)
 	}
 	tns := make([]*tenant, 0, len(e.tenants))
 	for _, t := range e.tenants {
@@ -361,7 +459,7 @@ func (e *Engine) SnapshotAll() ([]*TenantSnapshot, error) {
 			defer wg.Done()
 			s.control(func() {
 				for _, t := range group {
-					snap := t.snapshot(e.factory.Name)
+					snap := t.snapshot(e.factory.Name, compact)
 					smu.Lock()
 					snaps[t.id] = snap
 					smu.Unlock()
@@ -388,6 +486,9 @@ type TenantSnapshot struct {
 	// Facilities lists open facilities in opening order.
 	Facilities []SnapshotFacility `json:"facilities"`
 	// Assignments[i] lists the facility indices arrival i connects to.
+	// Full snapshots always carry the field ("[]" for a tenant that has
+	// served nothing); compact snapshots (SnapshotCompact) set it to
+	// null — the history is deliberately absent, not empty.
 	Assignments [][]int `json:"assignments"`
 	// Cost = ConstructionCost + AssignmentCost, maintained incrementally.
 	ConstructionCost float64 `json:"construction_cost"`
@@ -405,15 +506,16 @@ type SnapshotFacility struct {
 	Commodities []int `json:"commodities"`
 }
 
-// snapshot must run on the tenant's shard goroutine.
-func (t *tenant) snapshot(algName string) *TenantSnapshot {
+// snapshot must run on the tenant's shard goroutine. With compact set the
+// per-arrival assignment history is skipped entirely (never copied), so the
+// cost of a compact snapshot is O(facilities) regardless of stream length.
+func (t *tenant) snapshot(algName string, compact bool) *TenantSnapshot {
 	sol := t.alg.Solution()
 	snap := &TenantSnapshot{
 		Tenant:           t.id,
 		Algorithm:        algName,
 		Served:           t.served,
 		Facilities:       make([]SnapshotFacility, len(sol.Facilities)),
-		Assignments:      make([][]int, len(sol.Assign)),
 		ConstructionCost: t.construction,
 		AssignmentCost:   t.assignment,
 		Cost:             t.construction + t.assignment,
@@ -421,8 +523,11 @@ func (t *tenant) snapshot(algName string) *TenantSnapshot {
 	for i, f := range sol.Facilities {
 		snap.Facilities[i] = SnapshotFacility{Point: f.Point, Commodities: f.Config.IDs()}
 	}
-	for i, links := range sol.Assign {
-		snap.Assignments[i] = append([]int{}, links...)
+	if !compact {
+		snap.Assignments = make([][]int, len(sol.Assign))
+		for i, links := range sol.Assign {
+			snap.Assignments[i] = append([]int{}, links...)
+		}
 	}
 	if d, ok := t.alg.(interface{ DualTotal() float64 }); ok {
 		snap.DualTotal = d.DualTotal()

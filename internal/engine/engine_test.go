@@ -250,6 +250,109 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestDrainOnClose: Close must serve every admitted arrival before stopping
+// the shards — closing right after the last Serve returns may find hundreds
+// of arrivals still queued in mailboxes, and none may be dropped.
+func TestDrainOnClose(t *testing.T) {
+	tr := fixedTrace(8, 300, 4, 8)
+	e := New(Config{Algorithm: "pd", Shards: 4, Mailbox: 512, Seed: 1})
+	n, err := e.ReplayTrace(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close() // no explicit Drain: Close itself is the barrier
+	if _, total := mergedHist(e.shards); total != int64(n) {
+		t.Errorf("served %d of %d admitted arrivals after Close", total, n)
+	}
+	depth := 0
+	for _, s := range e.shards {
+		depth += len(s.ops)
+	}
+	if depth != 0 {
+		t.Errorf("%d arrivals left in mailboxes after Close", depth)
+	}
+}
+
+// TestShardPolicyLeastLoad: with more shards than tenants every tenant gets
+// its own shard (hash can collide; least-load cannot), and the policy never
+// changes snapshots — only placement.
+func TestShardPolicyLeastLoad(t *testing.T) {
+	tr := fixedTrace(13, 80, 5, 10)
+	const tenants = 4
+	hash := runTrace(t, Config{Algorithm: "pd", Shards: 8, Seed: 2}, tr, tenants)
+	least := runTrace(t, Config{Algorithm: "pd", Shards: 8, Seed: 2, ShardPolicy: PolicyLeastLoad}, tr, tenants)
+	if !bytes.Equal(hash, least) {
+		t.Error("shard policy changed tenant snapshots")
+	}
+
+	e := New(Config{Algorithm: "pd", Shards: 8, Seed: 2, ShardPolicy: PolicyLeastLoad})
+	defer e.Close()
+	if _, err := e.ReplayTrace(tr, tenants); err != nil {
+		t.Fatal(err)
+	}
+	used := map[*shard]int{}
+	e.mu.Lock()
+	for _, tn := range e.tenants {
+		used[tn.shard]++
+	}
+	e.mu.Unlock()
+	if len(used) != tenants {
+		t.Errorf("least-load packed %d tenants onto %d shards, want one shard each", tenants, len(used))
+	}
+	for _, c := range used {
+		if c != 1 {
+			t.Errorf("least-load shard hosts %d tenants, want 1", c)
+		}
+	}
+
+	if _, err := NewChecked(Config{ShardPolicy: "roulette"}); err == nil {
+		t.Error("unknown shard policy accepted")
+	}
+}
+
+// TestCompactSnapshots: compact snapshots drop only the assignment history
+// and agree with full snapshots on everything else.
+func TestCompactSnapshots(t *testing.T) {
+	tr := fixedTrace(17, 60, 5, 9)
+	e := New(Config{Algorithm: "pd", Shards: 2, Seed: 4})
+	defer e.Close()
+	if _, err := e.ReplayTrace(tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := e.SnapshotAllCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(compact) {
+		t.Fatalf("%d full vs %d compact snapshots", len(full), len(compact))
+	}
+	for i := range full {
+		f, c := full[i], compact[i]
+		if c.Assignments != nil {
+			t.Errorf("%s: compact snapshot carries %d assignment rows", c.Tenant, len(c.Assignments))
+		}
+		if len(f.Assignments) != f.Served {
+			t.Errorf("%s: full snapshot has %d assignment rows for %d served", f.Tenant, len(f.Assignments), f.Served)
+		}
+		c.Assignments, f.Assignments = nil, nil
+		a, b := marshalSnaps(t, []*TenantSnapshot{f}), marshalSnaps(t, []*TenantSnapshot{c})
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: compact snapshot disagrees with full beyond assignments", f.Tenant)
+		}
+	}
+	one, err := e.SnapshotCompact(compact[0].Tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Assignments != nil || one.Served != compact[0].Served {
+		t.Errorf("SnapshotCompact = %+v, want compact form of %+v", one, compact[0])
+	}
+}
+
 func TestLatencyHistQuantiles(t *testing.T) {
 	s := &shard{}
 	for i := 0; i < 99; i++ {

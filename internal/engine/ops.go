@@ -60,7 +60,11 @@ func (e *Engine) Apply(op Op) error {
 					op.Tenant, i, len(row), n)
 			}
 		}
-		return e.CreateTenant(op.Tenant, metric.NewMatrix(op.Distances), table)
+		return e.createTenant(op.Tenant, metric.NewMatrix(op.Distances), table, &TenantOrigin{
+			Universe:   op.Universe,
+			Distances:  op.Distances,
+			CostBySize: op.CostBySize,
+		})
 	case "arrive":
 		if len(op.Demands) == 0 {
 			return fmt.Errorf("engine: arrive for %q demands nothing", op.Tenant)

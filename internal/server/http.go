@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/commodity"
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+// Arrival is the HTTP arrival document: one request for a tenant.
+type Arrival struct {
+	Point   int   `json:"point"`
+	Demands []int `json:"demands"`
+}
+
+// arriveBody accepts both shapes of POST .../arrive: a single arrival
+// ({"point":..,"demands":[..]}) or a batch ({"arrivals":[...]}).
+type arriveBody struct {
+	Arrival
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// createBody is the POST /v1/tenants/{id} document — the substrate fields of
+// the op protocol's create.
+type createBody struct {
+	Universe   int         `json:"universe"`
+	Distances  [][]float64 `json:"distances"`
+	CostBySize []float64   `json:"cost_by_size"`
+}
+
+// trackRequests counts in-flight handlers so Shutdown can wait for them
+// even after its context expires, and turns away requests arriving once
+// draining has begun.
+func (s *Server) trackRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqMu.Lock()
+		if s.draining {
+			s.reqMu.Unlock()
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+			return
+		}
+		s.httpReqs.Add(1)
+		s.reqMu.Unlock()
+		defer s.httpReqs.Done()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}", s.handleCreate)
+	mux.HandleFunc("POST /v1/tenants/{id}/arrive", s.handleArrive)
+	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+// httpStatus maps engine errors onto protocol statuses.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrDuplicateTenant):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var body createBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding create body: %v", err))
+		return
+	}
+	err := s.eng.Apply(engine.Op{
+		Op:         "create",
+		Tenant:     r.PathValue("id"),
+		Universe:   body.Universe,
+		Distances:  body.Distances,
+		CostBySize: body.CostBySize,
+	})
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"tenant": r.PathValue("id"), "status": "created"})
+}
+
+func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
+	var body arriveBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding arrive body: %v", err))
+		return
+	}
+	batch := body.Arrivals
+	if batch == nil {
+		batch = []Arrival{body.Arrival}
+	}
+	id := r.PathValue("id")
+	for i, a := range batch {
+		err := s.eng.Serve(id, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
+		if err != nil {
+			// Arrivals before i are already admitted and irrevocable —
+			// report how far the batch got alongside the error.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(httpStatus(err))
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"error": err.Error(), "accepted": i,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch)})
+}
+
+// compactParam parses the ?compact= query value: absent/empty means false,
+// anything strconv.ParseBool accepts ("1", "true", "0", ...) means itself,
+// garbage is a client error.
+func compactParam(r *http.Request) (bool, error) {
+	v := r.URL.Query().Get("compact")
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("compact=%q is not a boolean", v)
+	}
+	return b, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	compact, perr := compactParam(r)
+	if perr != nil {
+		writeErr(w, http.StatusBadRequest, perr)
+		return
+	}
+	var snap *engine.TenantSnapshot
+	var err error
+	if compact {
+		snap, err = s.eng.SnapshotCompact(r.PathValue("id"))
+	} else {
+		snap, err = s.eng.Snapshot(r.PathValue("id"))
+	}
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSnapshots emits exactly the serve CLI's snapshot artifact — all
+// tenants sorted by name, indented JSON, trailing newline — so goldens from
+// the stdin path diff cleanly against the network path.
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	compact, perr := compactParam(r)
+	if perr != nil {
+		writeErr(w, http.StatusBadRequest, perr)
+		return
+	}
+	var snaps []*engine.TenantSnapshot
+	var err error
+	if compact {
+		snaps, err = s.eng.SnapshotAllCompact()
+	} else {
+		snaps, err = s.eng.SnapshotAll()
+	}
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": m.UptimeSeconds,
+		"tenants":        m.Tenants,
+		"served":         m.Served,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.CheckpointDir == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("checkpointing not configured"))
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "checkpointed"})
+}

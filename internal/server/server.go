@@ -1,0 +1,288 @@
+// Package server is the network serving layer that turns the streaming
+// engine into a daemon: an HTTP API and a length-prefixed TCP ingestion
+// protocol multiplex onto one shared engine.Engine, with periodic snapshot
+// checkpointing to disk and restore-on-start.
+//
+// # Endpoints
+//
+//	POST /v1/tenants/{id}           create a tenant (universe, distances, cost_by_size)
+//	POST /v1/tenants/{id}/arrive    serve one arrival or a batch ({"arrivals":[...]})
+//	GET  /v1/tenants/{id}/snapshot  consistent tenant snapshot (?compact=1 drops history)
+//	GET  /v1/snapshots              all tenants, the serve CLI's snapshot artifact
+//	GET  /v1/metrics                engine-wide metrics (arrivals/s, latency, queues)
+//	GET  /healthz                   liveness + uptime
+//	POST /v1/checkpoint             force a checkpoint now (404 when disabled)
+//
+// The TCP listener speaks frames: a 4-byte big-endian length followed by one
+// JSON engine.Op — the same create/arrive documents the JSON-lines stdin
+// protocol uses, minus the line discipline, so ingestion never re-scans for
+// newlines. When the client half-closes its write side the server replies
+// with a single result frame {"ok":bool,"arrivals":n,"error":...} and closes.
+//
+// # Checkpoints
+//
+// With Config.CheckpointDir set, the server writes engine checkpoints to
+// <dir>/engine.ckpt.json every CheckpointEvery (atomic temp-file + rename, so
+// a crash mid-write preserves the previous checkpoint), once more during
+// graceful shutdown, and restores from that file on startup — a restarted
+// server resumes every tenant from its last checkpoint with no cost
+// divergence (engine seeds are name-derived, so replaying the checkpointed
+// arrivals reproduces state byte-for-byte).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// CheckpointFile is the checkpoint's file name inside Config.CheckpointDir.
+const CheckpointFile = "engine.ckpt.json"
+
+// Config configures a Server.
+type Config struct {
+	// HTTPAddr is the HTTP listen address (e.g. "127.0.0.1:8080" or ":0");
+	// empty disables the HTTP listener.
+	HTTPAddr string
+	// TCPAddr is the framed-op TCP listen address; empty disables it.
+	TCPAddr string
+	// CheckpointDir enables checkpointing: snapshots of engine state land
+	// in <dir>/engine.ckpt.json and are restored from there on New.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval; <= 0 means 15s. Only
+	// meaningful with CheckpointDir set.
+	CheckpointEvery time.Duration
+	// Engine configures the shared engine. RecordArrivals is forced on
+	// when CheckpointDir is set.
+	Engine engine.Config
+}
+
+// Server multiplexes HTTP and TCP front ends onto one engine. Create with
+// New (which restores any existing checkpoint), bind with Start, stop with
+// Shutdown.
+type Server struct {
+	cfg Config
+	eng *engine.Engine
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+	tcpLn   net.Listener
+
+	stop     chan struct{}  // closed by Shutdown: background loops exit
+	loops    sync.WaitGroup // checkpoint loop + TCP accept loop
+	tcpConns sync.WaitGroup // in-flight TCP connections
+
+	// In-flight HTTP requests. http.Server.Shutdown returns on context
+	// expiry with active handlers still running; a handler blocked in
+	// engine.Serve on mailbox backpressure must still finish before the
+	// engine closes (shards keep serving until Close, so such handlers
+	// always unblock). draining rejects new requests once Shutdown begins.
+	reqMu    sync.Mutex
+	httpReqs sync.WaitGroup
+	draining bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	ckptMu   sync.Mutex // serializes checkpoint writes
+	restored int        // arrivals replayed from the checkpoint at New
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New creates the engine and, when checkpointing is configured and a
+// checkpoint file exists, restores it. Listeners are not bound until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.CheckpointDir != "" {
+		cfg.Engine.RecordArrivals = true
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 15 * time.Second
+		}
+	}
+	eng, err := engine.NewChecked(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		stop:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+	}
+	if cfg.CheckpointDir != "" {
+		path := s.checkpointPath()
+		if _, err := os.Stat(path); err == nil {
+			ck, err := engine.ReadCheckpointFile(path)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			if err := eng.Restore(ck); err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("server: restoring %s: %v", path, err)
+			}
+			s.restored = ck.Arrivals()
+		} else if !os.IsNotExist(err) {
+			eng.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the shared engine (for in-process callers and tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Restored reports how many arrivals were replayed from the checkpoint
+// during New (0 when none was found).
+func (s *Server) Restored() int { return s.restored }
+
+func (s *Server) checkpointPath() string {
+	return filepath.Join(s.cfg.CheckpointDir, CheckpointFile)
+}
+
+// Start binds the configured listeners and starts the serving and
+// checkpoint loops. At least one listener must be configured.
+func (s *Server) Start() error {
+	if s.cfg.HTTPAddr == "" && s.cfg.TCPAddr == "" {
+		return fmt.Errorf("server: no listeners configured (need HTTPAddr and/or TCPAddr)")
+	}
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			return err
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: s.trackRequests(s.handler())}
+		go s.httpSrv.Serve(ln) // returns ErrServerClosed on Shutdown
+	}
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			if s.httpLn != nil {
+				s.httpLn.Close()
+			}
+			return err
+		}
+		s.tcpLn = ln
+		s.loops.Add(1)
+		go s.acceptLoop(ln)
+	}
+	if s.cfg.CheckpointDir != "" {
+		s.loops.Add(1)
+		go s.checkpointLoop()
+	}
+	return nil
+}
+
+// HTTPAddr returns the bound HTTP address ("" when disabled) — useful with
+// ":0" listen addresses.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// TCPAddr returns the bound TCP framing address ("" when disabled).
+func (s *Server) TCPAddr() string {
+	if s.tcpLn == nil {
+		return ""
+	}
+	return s.tcpLn.Addr().String()
+}
+
+// Checkpoint captures and atomically persists a checkpoint now. Errors when
+// checkpointing is not configured.
+func (s *Server) Checkpoint() error {
+	if s.cfg.CheckpointDir == "" {
+		return fmt.Errorf("server: checkpointing not configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	ck, err := s.eng.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return ck.WriteFile(s.checkpointPath())
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.loops.Done()
+	tick := time.NewTicker(s.cfg.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			// Best-effort: a failed periodic checkpoint (e.g. disk full)
+			// must not kill the serving loops; the next tick retries.
+			s.Checkpoint() //nolint:errcheck
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: listeners close (no new work), the
+// HTTP server waits for in-flight requests, open TCP connections finish
+// their streams (force-closed when ctx expires), mailboxes drain, a final
+// checkpoint is written, and the engine stops. Safe to call once; repeated
+// calls return the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.reqMu.Lock()
+		s.draining = true
+		s.reqMu.Unlock()
+		close(s.stop)
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if s.tcpLn != nil {
+			keep(s.tcpLn.Close())
+		}
+		if s.httpSrv != nil {
+			keep(s.httpSrv.Shutdown(ctx))
+		}
+		// Wait for in-flight TCP streams, force-closing at ctx expiry.
+		done := make(chan struct{})
+		go func() {
+			s.tcpConns.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+			<-done
+			keep(ctx.Err())
+		}
+		// HTTP handlers that outlived ctx (e.g. blocked on mailbox
+		// backpressure) must finish before the engine closes: Close is
+		// not safe concurrently with Serve. Progress is guaranteed —
+		// shards keep draining mailboxes until Close.
+		s.httpReqs.Wait()
+		s.loops.Wait()
+		s.eng.Drain()
+		if s.cfg.CheckpointDir != "" {
+			keep(s.Checkpoint())
+		}
+		s.eng.Close()
+		s.shutdownErr = firstErr
+	})
+	return s.shutdownErr
+}

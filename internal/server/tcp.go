@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/commodity"
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+// MaxFrame bounds one frame's payload (64 MiB — matches the op scanner's
+// line limit; create ops carry whole distance matrices).
+const MaxFrame = 1 << 26
+
+// WriteFrame writes one length-prefixed frame: 4-byte big-endian payload
+// length, then the payload. Callers stream ops by framing each marshaled
+// engine.Op; buffering (bufio.Writer) is the caller's business.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame, reusing buf when large
+// enough. io.EOF (clean close between frames) passes through unchanged so
+// callers can distinguish end-of-stream from a truncated frame.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("server: reading frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("server: reading %d-byte frame: %v", n, err)
+	}
+	return buf, nil
+}
+
+// TCPResult is the single result frame the server sends when an ingestion
+// stream ends (client half-close) or fails.
+type TCPResult struct {
+	OK       bool   `json:"ok"`
+	Arrivals int    `json:"arrivals"`
+	Error    string `json:"error,omitempty"`
+}
+
+// arrivePrefix is the byte shape json.Marshal gives an arrive op's head;
+// fastArrive only accepts frames in exactly this canonical form.
+var (
+	arrivePrefix  = []byte(`{"op":"arrive","tenant":"`)
+	pointSep      = []byte(`","point":`)
+	demandsSep    = []byte(`,"demands":[`)
+	arriveClosing = []byte(`]}`)
+)
+
+// fastArrive parses the canonical arrive frame
+// {"op":"arrive","tenant":"...","point":N,"demands":[..]} without
+// encoding/json — the per-op hot path of TCP ingestion. ok is false for
+// anything unexpected (field order, escapes, other ops); callers then fall
+// back to the general decoder, so this is a pure fast path, never a
+// behavior change. demands is appended to ids (pass a reusable scratch;
+// commodity.New copies values into a bitset).
+func fastArrive(b []byte, ids []int) (tenant string, point int, demands []int, ok bool) {
+	if !bytes.HasPrefix(b, arrivePrefix) {
+		return "", 0, nil, false
+	}
+	b = b[len(arrivePrefix):]
+	end := bytes.IndexByte(b, '"')
+	if end < 0 || bytes.IndexByte(b[:end], '\\') >= 0 {
+		return "", 0, nil, false
+	}
+	tenant = string(b[:end])
+	b = b[end:]
+	if !bytes.HasPrefix(b, pointSep) {
+		return "", 0, nil, false
+	}
+	b = b[len(pointSep):]
+	point, b, ok = parseInt(b)
+	if !ok || !bytes.HasPrefix(b, demandsSep) {
+		return "", 0, nil, false
+	}
+	b = b[len(demandsSep):]
+	for {
+		var id int
+		id, b, ok = parseInt(b)
+		if !ok {
+			return "", 0, nil, false
+		}
+		ids = append(ids, id)
+		if len(b) == 0 {
+			return "", 0, nil, false
+		}
+		if b[0] == ',' {
+			b = b[1:]
+			continue
+		}
+		break
+	}
+	if !bytes.Equal(b, arriveClosing) {
+		return "", 0, nil, false
+	}
+	return tenant, point, ids, true
+}
+
+// parseInt consumes a non-negative decimal integer prefix (engine points and
+// commodity ids are never negative; anything else falls back to the general
+// decoder).
+func parseInt(b []byte) (int, []byte, bool) {
+	n, i := 0, 0
+	for ; i < len(b) && b[i] >= '0' && b[i] <= '9'; i++ {
+		if n > (1<<62)/10 {
+			return 0, b, false
+		}
+		n = n*10 + int(b[i]-'0')
+	}
+	if i == 0 {
+		return 0, b, false
+	}
+	return n, b[i:], true
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.loops.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.tcpConns.Add(1)
+		go func() {
+			defer s.tcpConns.Done()
+			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// serveConn drains one framed op stream into the engine. Per-tenant arrival
+// order is preserved within a connection; clients that split one tenant
+// across connections order their own arrivals.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	buf := make([]byte, 0, 4096)
+	scratch := make([]int, 0, 64) // demand-id scratch for the fast path
+	arrivals := 0
+	var failure error
+	for failure == nil {
+		frame, err := ReadFrame(br, buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				failure = err
+			}
+			break
+		}
+		if len(frame) == 0 {
+			continue
+		}
+		// Hot path: canonical arrive frames (the exact byte shape
+		// json.Marshal gives an arrive op) skip encoding/json entirely;
+		// anything else takes the general decoder.
+		if tenant, point, demands, ok := fastArrive(frame, scratch[:0]); ok {
+			if err := s.eng.Serve(tenant, instance.Request{Point: point, Demands: commodity.New(demands...)}); err != nil {
+				failure = err
+				break
+			}
+			scratch = demands
+			arrivals++
+			buf = frame[:0]
+			continue
+		}
+		var op engine.Op
+		if err := json.Unmarshal(frame, &op); err != nil {
+			failure = fmt.Errorf("server: decoding op: %v", err)
+			break
+		}
+		if err := s.eng.Apply(op); err != nil {
+			failure = err
+			break
+		}
+		if op.Op == "arrive" {
+			arrivals++
+		}
+		buf = frame[:0]
+	}
+	res := TCPResult{OK: failure == nil, Arrivals: arrivals}
+	if failure != nil {
+		res.Error = failure.Error()
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	WriteFrame(conn, payload) //nolint:errcheck // client may already be gone
+}

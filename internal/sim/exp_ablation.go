@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"sort"
 
 	"repro/internal/baseline"
@@ -49,34 +48,51 @@ func exactTinyOPT(in *instance.Instance) float64 {
 	return baseline.ExactSmall(in, 4).Cost
 }
 
+// Workload generation in the ablations below follows the thm4/thm19
+// discipline: every row draws from its own sub-seeded rng stream
+// (workload.Rng with a per-experiment stream id and a per-row index), so
+// whole rows fan out across Config.Workers with byte-identical tables.
+
 func runAblationPred(cfg Config) (*Result, error) {
 	sizes := pick(cfg, []int{16, 64}, []int{16, 64, 256, 1024})
 	tab := report.NewTable("ablation_pred: full-universe single-commodity sequence at one point",
 		"|S|", "OPT", "pd", "pd(no-prediction)", "rand", "rand(no-prediction)")
 	tab.Note = "without prediction both algorithms degrade from Θ(√|S|) to Θ(|S|)"
-	for _, u := range sizes {
-		costs := cost.CeilSqrt(u)
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		tr := workload.SinglePointSingles(rng, costs, u)
+	factories := []online.Factory{
+		core.PDFactory(core.Options{}),
+		core.PDFactory(core.Options{DisablePrediction: true}),
+		core.RandFactory(core.Options{}),
+		core.RandFactory(core.Options{DisablePrediction: true}),
+	}
+	type predRow struct {
+		opt    float64
+		ratios []float64
+	}
+	rows, err := par.Map(cfg.Workers, len(sizes), func(i int) (predRow, error) {
+		u := sizes[i]
+		rng := workload.Rng(cfg.Seed, 12, int64(i))
+		tr := workload.SinglePointSingles(rng, cost.CeilSqrt(u), u)
 		opt, ok := baseline.SinglePointOPT(tr.Instance)
 		if !ok {
 			panic("sim: single-point workload not on a single point")
 		}
-		row := []interface{}{u, opt}
-		factories := []online.Factory{
-			core.PDFactory(core.Options{}),
-			core.PDFactory(core.Options{DisablePrediction: true}),
-			core.RandFactory(core.Options{}),
-			core.RandFactory(core.Options{DisablePrediction: true}),
+		ratios := make([]float64, len(factories))
+		for fi, f := range factories {
+			c, err := meanCost(seqConfig(cfg), f, tr, cfg.Seed, pickInt(cfg, 2, 5))
+			if err != nil {
+				return predRow{}, err
+			}
+			ratios[fi] = c / opt
 		}
-		algCosts, err := par.Map(cfg.Workers, len(factories), func(i int) (float64, error) {
-			return meanCost(seqConfig(cfg), factories[i], tr, cfg.Seed, pickInt(cfg, 2, 5))
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range algCosts {
-			row = append(row, c/opt)
+		return predRow{opt: opt, ratios: ratios}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		row := []interface{}{sizes[i], r.opt}
+		for _, ratio := range r.ratios {
+			row = append(row, ratio)
 		}
 		tab.AddRow(row...)
 	}
@@ -84,7 +100,7 @@ func runAblationPred(cfg Config) (*Result, error) {
 }
 
 func runAblationCandidates(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := workload.Rng(cfg.Seed, 13, 0)
 	u := pickInt(cfg, 5, 8)
 	n := pickInt(cfg, 20, 80)
 	points := pickInt(cfg, 10, 30)
@@ -153,7 +169,7 @@ func (h *heavyHostileCost) Cost(m int, sigma commodity.Set) float64 {
 }
 
 func runAblationHeavy(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := workload.Rng(cfg.Seed, 14, 0)
 	u := pickInt(cfg, 6, 10)
 	n := pickInt(cfg, 30, 100)
 	space := metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 5)
@@ -192,7 +208,7 @@ func runAblationHeavy(cfg Config) (*Result, error) {
 }
 
 func runAblationReassign(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := workload.Rng(cfg.Seed, 15, 0)
 	u := pickInt(cfg, 5, 8)
 	n := pickInt(cfg, 25, 100)
 	space := metric.RandomEuclidean(rng, pickInt(cfg, 10, 25), 2, 50)
@@ -203,18 +219,23 @@ func runAblationReassign(cfg Config) (*Result, error) {
 	reps := pickInt(cfg, 3, 10)
 	tab := report.NewTable("ablation_reassign: RAND-OMFLP connection rules",
 		"rule", "mean cost", "ratio vs "+src)
-	for _, tc := range []struct {
+	rules := []struct {
 		name string
 		opts core.Options
 	}{
 		{"two-mode (Figure 3)", core.Options{}},
 		{"exact subset DP", core.Options{OptimalReassign: true}},
-	} {
-		c, err := meanCost(cfg, core.RandFactory(tc.opts), tr, cfg.Seed, reps)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(tc.name, c, c/opt)
+	}
+	// The two rules evaluate independently: fan whole rows out and merge
+	// in rule order.
+	costsOut, err := par.Map(cfg.Workers, len(rules), func(i int) (float64, error) {
+		return meanCost(seqConfig(cfg), core.RandFactory(rules[i].opts), tr, cfg.Seed, reps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range rules {
+		tab.AddRow(tc.name, costsOut[i], costsOut[i]/opt)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }

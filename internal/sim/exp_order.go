@@ -29,8 +29,13 @@ func init() {
 // Meyerson's algorithm — the basis of RAND-OMFLP — performs much better
 // when the adversary loses control of the order; this experiment makes the
 // claim measurable for the multi-commodity generalization.
+//
+// Each workload builds its trace from its own sub-seeded rng stream
+// (workload.Rng with a per-row stream id) and whole (workload × algorithm)
+// rows fan out across Config.Workers — including the OPT proxy and the
+// shuffled replays, which dominate wall-clock — while the merged table stays
+// byte-identical to a sequential run.
 func runExtOrder(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	reps := pickInt(cfg, 3, 10)
 
 	tab := report.NewTable("ext_order: ratio under arrival-order policies",
@@ -39,7 +44,7 @@ func runExtOrder(cfg Config) (*Result, error) {
 
 	type wl struct {
 		name string
-		mk   func() *workload.Trace
+		mk   func(rng *rand.Rand) *workload.Trace
 	}
 	u := pickInt(cfg, 6, 9)
 	n := pickInt(cfg, 30, 90)
@@ -49,14 +54,13 @@ func runExtOrder(cfg Config) (*Result, error) {
 			// Hard ordering: cluster-by-cluster sweep (the generator
 			// already groups clusters; sort by point index exaggerates it).
 			name: "clustered-sweep",
-			mk: func() *workload.Trace {
-				tr := workload.Clustered(rng, costs, n, 3, 100, 2)
-				return tr
+			mk: func(rng *rand.Rand) *workload.Trace {
+				return workload.Clustered(rng, costs, n, 3, 100, 2)
 			},
 		},
 		{
 			name: "zipf-line",
-			mk: func() *workload.Trace {
+			mk: func(rng *rand.Rand) *workload.Trace {
 				space := metric.RandomLine(rng, pickInt(cfg, 8, 20), 100)
 				return workload.Zipf(rng, space, costs, n, u/2, 1.4)
 			},
@@ -67,17 +71,29 @@ func runExtOrder(cfg Config) (*Result, error) {
 		core.PDFactory(core.Options{}),
 		core.RandFactory(core.Options{}),
 	}
-	for _, w := range wls {
-		tr := w.mk()
+	type orderRow struct {
+		algorithm             string
+		orig, shuffled, ratio float64
+	}
+	type orderGroup struct {
+		workload string
+		rows     []orderRow
+	}
+	groups, err := par.Map(cfg.Workers, len(wls), func(wi int) (orderGroup, error) {
+		w := wls[wi]
+		// Trace and OPT proxy (the expensive part) computed once per
+		// workload, shared by both algorithm rows.
+		tr := w.mk(workload.Rng(cfg.Seed, 11, int64(wi)))
 		opt, _ := bestKnownOPT(tr, pickInt(cfg, 10, 30))
+		g := orderGroup{workload: w.name}
 		for _, f := range algos {
-			orig, err := meanCost(cfg, f, tr, cfg.Seed, reps)
+			orig, err := meanCost(seqConfig(cfg), f, tr, cfg.Seed, reps)
 			if err != nil {
-				return nil, err
+				return orderGroup{}, err
 			}
-			// Random order: shuffle a copy per repetition; each rep derives
-			// its permutation and seed from the rep index, so reps fan out.
-			shuffled, err := par.MeanOf(cfg.Workers, reps, func(rep int) (float64, error) {
+			// Random order: shuffle a copy per repetition; each rep
+			// derives its permutation and seed from the rep index.
+			shuffled, err := par.MeanOf(1, reps, func(rep int) (float64, error) {
 				perm := rand.New(rand.NewSource(cfg.Seed + int64(rep)*13)).Perm(len(tr.Instance.Requests))
 				cp := &workload.Trace{
 					Instance: &instance.Instance{
@@ -92,9 +108,19 @@ func runExtOrder(cfg Config) (*Result, error) {
 				return meanCost(seqConfig(cfg), f, cp, cfg.Seed+int64(rep)*17, 1)
 			})
 			if err != nil {
-				return nil, err
+				return orderGroup{}, err
 			}
-			tab.AddRow(w.name, f.Name, orig/opt, shuffled/opt, shuffled/orig)
+			g.rows = append(g.rows, orderRow{algorithm: f.Name,
+				orig: orig / opt, shuffled: shuffled / opt, ratio: shuffled / orig})
+		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		for _, r := range g.rows {
+			tab.AddRow(g.workload, r.algorithm, r.orig, r.shuffled, r.ratio)
 		}
 	}
 

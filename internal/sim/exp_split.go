@@ -29,8 +29,11 @@ func init() {
 // per-commodity accounting, and the cost of running PD directly on the
 // split sequence — the paper's reduction says the latter solves the
 // alternative model at a ≤ 2× ratio penalty.
+//
+// Every row owns a sub-seeded rng stream (workload.Rng with a per-row
+// stream id), so whole rows — trace generation included — fan out across
+// Config.Workers while staying byte-identical to a sequential run.
 func runExtSplit(cfg Config) (*Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	u := pickInt(cfg, 5, 8)
 	n := pickInt(cfg, 20, 60)
 	costs := cost.PowerLaw(u, 1, 2)
@@ -39,18 +42,21 @@ func runExtSplit(cfg Config) (*Result, error) {
 		"workload", "pd joint cost", "re-priced per-commodity", "pd on split sequence", "split n")
 	tab.Note = "per-commodity re-pricing ≥ joint; running on the split sequence solves the alternative model"
 
-	traces := []*workload.Trace{
-		workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 40), costs, n, u/2+1),
-		workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 12), 2, 40), costs, n/2),
+	builders := []func(rng *rand.Rand) *workload.Trace{
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Uniform(rng, metric.RandomEuclidean(rng, pickInt(cfg, 8, 16), 2, 40), costs, n, u/2+1)
+		},
+		func(rng *rand.Rand) *workload.Trace {
+			return workload.Bundled(rng, metric.RandomEuclidean(rng, pickInt(cfg, 6, 12), 2, 40), costs, n/2)
+		},
 	}
-	// The two traces evaluate independently (three PD runs each); fan them
-	// out and add rows back in trace order.
 	type splitRow struct {
+		name                       string
 		joint, rePriced, splitCost float64
 		splitN                     int
 	}
-	rows, err := par.Map(cfg.Workers, len(traces), func(i int) (splitRow, error) {
-		tr := traces[i]
+	rows, err := par.Map(cfg.Workers, len(builders), func(i int) (splitRow, error) {
+		tr := builders[i](workload.Rng(cfg.Seed, 10, int64(i)))
 		sol, joint, err := online.Run(core.PDFactory(core.Options{}), tr.Instance, cfg.Seed, true)
 		if err != nil {
 			return splitRow{}, err
@@ -62,14 +68,14 @@ func runExtSplit(cfg Config) (*Result, error) {
 		if err != nil {
 			return splitRow{}, err
 		}
-		return splitRow{joint: joint, rePriced: rePriced, splitCost: splitCost, splitN: len(split.Requests)}, nil
+		return splitRow{name: tr.Name, joint: joint, rePriced: rePriced,
+			splitCost: splitCost, splitN: len(split.Requests)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, tr := range traces {
-		r := rows[i]
-		tab.AddRow(tr.Name, r.joint, r.rePriced, r.splitCost, r.splitN)
+	for _, r := range rows {
+		tab.AddRow(r.name, r.joint, r.rePriced, r.splitCost, r.splitN)
 	}
 	return &Result{Tables: []*report.Table{tab}}, nil
 }
