@@ -63,9 +63,29 @@ type (
 	Metrics = engine.Metrics
 	// EngineOp is one line of the engine's JSON-lines ingestion protocol.
 	EngineOp = engine.Op
-	// Checkpoint is a durable, replayable record of engine state: per
-	// tenant, the serializable substrate plus the served arrival sequence.
+	// Checkpoint is a durable, restorable record of engine state (format
+	// v2): per tenant, the serializable substrate, a base snapshot of the
+	// algorithm's serialized state, and the arrival-log segment served
+	// since the base. Restore loads the state and replays only the
+	// segment; legacy v1 checkpoints (full arrival history) stay readable.
 	Checkpoint = engine.Checkpoint
+	// RestoreStats reports what a checkpoint restore did: tenants rebuilt,
+	// total arrivals represented, arrivals actually replayed (the tail
+	// segments) and base-state bytes loaded.
+	RestoreStats = engine.RestoreStats
+	// StateCodec is implemented by algorithms whose complete serving state
+	// serializes and restores without replaying history — PD-OMFLP,
+	// RAND-OMFLP, the heavy-aware extension and the online baselines all
+	// do. It is the foundation of checkpoint format v2.
+	StateCodec = online.StateCodec
+)
+
+// Checkpoint format versions: CheckpointVersion is the v2 format Checkpoint
+// writes (base states + tail segments); CheckpointVersionV1 the legacy
+// full-replay format, still accepted by Restore.
+const (
+	CheckpointVersion   = engine.CheckpointVersion
+	CheckpointVersionV1 = engine.CheckpointVersionV1
 )
 
 // NewEngine starts a streaming serving engine; see EngineConfig. The
@@ -84,6 +104,9 @@ type (
 	// ServerConfig selects listen addresses, checkpoint directory and
 	// interval, and the underlying engine configuration.
 	ServerConfig = server.Config
+	// ServerMetrics is the server health report: engine metrics (with the
+	// per-shard breakdown) plus checkpoint size/latency and restore stats.
+	ServerMetrics = server.Metrics
 )
 
 // NewServer creates a network serving layer (restoring any checkpoint found
@@ -189,8 +212,12 @@ func Run(f Factory, in *Instance, seed int64) (*Solution, float64, error) {
 
 // Offline OPT proxies.
 var (
-	// StarGreedy is the Ravi–Sinha-flavoured offline greedy.
+	// StarGreedy is the Ravi–Sinha-flavoured offline greedy, with its
+	// candidate-star scans fanned across GOMAXPROCS goroutines.
 	StarGreedy = baseline.StarGreedy
+	// StarGreedyParallel is StarGreedy with an explicit worker count;
+	// results are byte-identical for every count.
+	StarGreedyParallel = baseline.StarGreedyParallel
 	// LocalSearch refines a facility set by add/drop/swap moves, with
 	// move evaluation fanned across GOMAXPROCS goroutines.
 	LocalSearch = baseline.LocalSearch

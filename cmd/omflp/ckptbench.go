@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/metric"
+	"repro/internal/workload"
+)
+
+// cmdCkptBench benchmarks checkpoint capture and restore across format
+// versions: for each history length it runs the same trace through two
+// engines — one sealing-disabled (v1 capture: full arrival history) and one
+// sealing at -seal-every (v2 capture: base state + tail segment) — then
+// times a restore of each checkpoint into a fresh engine and verifies every
+// restored snapshot against the source engine's, byte for byte.
+//
+// The gate encodes the v2 design claim: restore work must be flat in
+// history length. Concretely (a) a v2 restore replays at most -seal-every
+// arrivals at every history length — the exact counter, immune to timer
+// noise — and (b) at the deepest history the v2 restore is cheaper on the
+// wall clock than the v1 full replay. Failing either exits non-zero, which
+// is what the CI step relies on.
+func cmdCkptBench(args []string) error {
+	fs := flag.NewFlagSet("ckpt-bench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "directory to write BENCH_checkpoint.json (empty: stdout only)")
+		histories = fs.String("histories", "1000,100000", "comma-separated history lengths (arrivals per run)")
+		sealEvery = fs.Int("seal-every", 1000, "v2 sealing threshold (re-base once the tail reaches N)")
+		algos     = fs.String("algos", "pd,rand", "comma-separated algorithms to bench")
+		points    = fs.Int("points", 20, "points in the synthetic metric space")
+		universe  = fs.Int("universe", 6, "universe size |S|")
+		shards    = fs.Int("shards", 4, "engine shards")
+		seed      = fs.Int64("seed", 1, "workload + engine seed")
+		quiet     = fs.Bool("quiet", false, "suppress progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sealEvery < 1 {
+		return fmt.Errorf("ckpt-bench: -seal-every must be >= 1")
+	}
+	var lengths []int
+	for _, s := range strings.Split(*histories, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("ckpt-bench: bad history length %q", s)
+		}
+		lengths = append(lengths, n)
+	}
+
+	doc := ckptBenchDoc{
+		Benchmark: "checkpoint restore: v1 full replay vs v2 base state + tail segment",
+		SealEvery: *sealEvery,
+		Algos:     map[string]*ckptBenchAlgo{},
+		GatePass:  true,
+	}
+	for _, algo := range strings.Split(*algos, ",") {
+		algo = strings.TrimSpace(algo)
+		res := &ckptBenchAlgo{}
+		doc.Algos[algo] = res
+		for _, h := range lengths {
+			row, err := ckptBenchRun(algo, h, *sealEvery, *points, *universe, *shards, *seed)
+			if err != nil {
+				return fmt.Errorf("ckpt-bench: %s/%d: %v", algo, h, err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr,
+					"ckpt-bench: %s n=%-7d v1 %7d B restore %7.1fms (replayed %d)   v2 %7d B restore %7.1fms (replayed %d)\n",
+					algo, h, row.V1.Bytes, row.V1.RestoreMs, row.V1.Replayed, row.V2.Bytes, row.V2.RestoreMs, row.V2.Replayed)
+			}
+			res.Histories = append(res.Histories, row)
+		}
+		// Gate (a): v2 replay work flat in history — bounded by seal-every
+		// at every length.
+		for _, row := range res.Histories {
+			if row.V2.Replayed > *sealEvery {
+				res.GateFailures = append(res.GateFailures, fmt.Sprintf(
+					"v2 restore at history %d replayed %d arrivals > seal-every %d",
+					row.Arrivals, row.V2.Replayed, *sealEvery))
+			}
+			if row.V1.Replayed != row.Arrivals {
+				res.GateFailures = append(res.GateFailures, fmt.Sprintf(
+					"v1 restore at history %d replayed %d arrivals, want the full %d",
+					row.Arrivals, row.V1.Replayed, row.Arrivals))
+			}
+		}
+		// Gate (b): at the deepest history the v2 restore must beat the v1
+		// full replay on the wall clock (only judged once the v1 time is
+		// far above timer noise).
+		deep := res.Histories[len(res.Histories)-1]
+		if deep.V1.RestoreMs > 50 && deep.V2.RestoreMs >= deep.V1.RestoreMs {
+			res.GateFailures = append(res.GateFailures, fmt.Sprintf(
+				"v2 restore at history %d took %.1fms, not faster than v1's %.1fms",
+				deep.Arrivals, deep.V2.RestoreMs, deep.V1.RestoreMs))
+		}
+		if len(res.GateFailures) > 0 {
+			doc.GatePass = false
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "BENCH_checkpoint.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !doc.GatePass {
+		for algo, res := range doc.Algos {
+			for _, f := range res.GateFailures {
+				fmt.Fprintf(os.Stderr, "ckpt-bench: GATE FAILED (%s): %s\n", algo, f)
+			}
+		}
+		return fmt.Errorf("ckpt-bench: v2 restore gate failed")
+	}
+	return nil
+}
+
+type ckptBenchDoc struct {
+	Benchmark string                    `json:"benchmark"`
+	SealEvery int                       `json:"seal_every"`
+	Algos     map[string]*ckptBenchAlgo `json:"algos"`
+	GatePass  bool                      `json:"gate_pass"`
+}
+
+type ckptBenchAlgo struct {
+	Histories    []ckptBenchRow `json:"histories"`
+	GateFailures []string       `json:"gate_failures,omitempty"`
+}
+
+type ckptBenchRow struct {
+	Arrivals int           `json:"arrivals"`
+	V1       ckptBenchSide `json:"v1"`
+	V2       ckptBenchSide `json:"v2"`
+}
+
+type ckptBenchSide struct {
+	Bytes     int     `json:"bytes"`
+	CaptureMs float64 `json:"capture_ms"`
+	RestoreMs float64 `json:"restore_ms"`
+	Replayed  int     `json:"replayed"`
+	// TailArrivals is the checkpoint's replay obligation (== Replayed on a
+	// successful restore); kept separately so the artifact is self-checking.
+	TailArrivals int `json:"tail_arrivals"`
+}
+
+// ckptBenchRun drives one (algorithm, history length) cell: capture both
+// formats from identical runs, time both restores, verify both restored
+// snapshot sets against the source.
+func ckptBenchRun(algo string, arrivals, sealEvery, points, universe, shards int, seed int64) (ckptBenchRow, error) {
+	row := ckptBenchRow{Arrivals: arrivals}
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.RandomEuclidean(rng, points, 2, 100)
+	tr := workload.Uniform(rng, space, cost.PowerLaw(universe, 1, 1), arrivals, universe/2+1)
+
+	base := engine.Config{Algorithm: algo, Shards: shards, Seed: seed, RecordArrivals: true}
+
+	capture := func(sealCfg int, take func(*engine.Engine) (*engine.Checkpoint, error)) (*engine.Checkpoint, []byte, float64, error) {
+		cfg := base
+		cfg.SealEvery = sealCfg
+		e, err := engine.NewChecked(cfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		defer e.Close()
+		if _, err := e.ReplayTrace(tr, 1); err != nil {
+			return nil, nil, 0, err
+		}
+		e.Drain()
+		start := time.Now()
+		ck, err := take(e)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		golden, err := snapshotBytes(e)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return ck, golden, ms, nil
+	}
+
+	ckV1, golden, msV1, err := capture(-1, (*engine.Engine).CheckpointV1)
+	if err != nil {
+		return row, err
+	}
+	ckV2, goldenV2, msV2, err := capture(sealEvery, (*engine.Engine).Checkpoint)
+	if err != nil {
+		return row, err
+	}
+	if string(golden) != string(goldenV2) {
+		return row, fmt.Errorf("sealing changed the served state: snapshots diverged between capture engines")
+	}
+
+	restore := func(ck *engine.Checkpoint) (engine.RestoreStats, float64, error) {
+		cfg := base
+		// Match the restore engine's sealing to the format under test: the
+		// v1 baseline must measure a pure full replay, not replay plus the
+		// v2 seal marshals it would trigger every sealEvery arrivals.
+		if ck.Version == engine.CheckpointVersionV1 {
+			cfg.SealEvery = -1
+		} else {
+			cfg.SealEvery = sealEvery
+		}
+		e, err := engine.NewChecked(cfg)
+		if err != nil {
+			return engine.RestoreStats{}, 0, err
+		}
+		defer e.Close()
+		start := time.Now()
+		stats, err := e.Restore(ck)
+		if err != nil {
+			return stats, 0, err
+		}
+		e.Drain()
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		got, err := snapshotBytes(e)
+		if err != nil {
+			return stats, ms, err
+		}
+		if string(got) != string(golden) {
+			return stats, ms, fmt.Errorf("restored snapshots diverge from the source engine (version %d)", ck.Version)
+		}
+		return stats, ms, nil
+	}
+
+	statsV1, restoreMsV1, err := restore(ckV1)
+	if err != nil {
+		return row, err
+	}
+	statsV2, restoreMsV2, err := restore(ckV2)
+	if err != nil {
+		return row, err
+	}
+
+	sizeOf := func(ck *engine.Checkpoint) (int, error) {
+		data, err := json.Marshal(ck)
+		return len(data), err
+	}
+	b1, err := sizeOf(ckV1)
+	if err != nil {
+		return row, err
+	}
+	b2, err := sizeOf(ckV2)
+	if err != nil {
+		return row, err
+	}
+	row.V1 = ckptBenchSide{Bytes: b1, CaptureMs: msV1, RestoreMs: restoreMsV1,
+		Replayed: statsV1.Replayed, TailArrivals: ckV1.TailArrivals()}
+	row.V2 = ckptBenchSide{Bytes: b2, CaptureMs: msV2, RestoreMs: restoreMsV2,
+		Replayed: statsV2.Replayed, TailArrivals: ckV2.TailArrivals()}
+	return row, nil
+}
+
+func snapshotBytes(e *engine.Engine) ([]byte, error) {
+	snaps, err := e.SnapshotAll()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(snaps)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCkptBenchSmall drives the checkpoint benchmark end to end at small
+// history lengths: the artifact must be written, the gate must pass (v2
+// replays ≤ seal-every arrivals at every length while v1 replays
+// everything), and the recorded replay counts must encode exactly that.
+func TestCkptBenchSmall(t *testing.T) {
+	dir := t.TempDir()
+	// Silence the stdout JSON: the command writes the same doc to -out.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	err = run([]string{"ckpt-bench", "-histories", "150,600", "-seal-every", "40",
+		"-algos", "pd,rand", "-points", "10", "-universe", "4", "-out", dir, "-quiet"})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatalf("ckpt-bench failed: %v", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_checkpoint.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ckptBenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.GatePass {
+		t.Fatalf("gate failed: %+v", doc.Algos)
+	}
+	for algo, res := range doc.Algos {
+		if len(res.Histories) != 2 {
+			t.Fatalf("%s: %d history rows, want 2", algo, len(res.Histories))
+		}
+		for _, row := range res.Histories {
+			if row.V1.Replayed != row.Arrivals {
+				t.Errorf("%s n=%d: v1 replayed %d, want the full history", algo, row.Arrivals, row.V1.Replayed)
+			}
+			if row.V2.Replayed > doc.SealEvery {
+				t.Errorf("%s n=%d: v2 replayed %d > seal-every %d", algo, row.Arrivals, row.V2.Replayed, doc.SealEvery)
+			}
+			if row.V1.Bytes == 0 || row.V2.Bytes == 0 {
+				t.Errorf("%s n=%d: zero checkpoint bytes recorded", algo, row.Arrivals)
+			}
+		}
+	}
+}
+
+// TestCkptBenchBadFlags: malformed inputs must error before any engine work.
+func TestCkptBenchBadFlags(t *testing.T) {
+	if err := run([]string{"ckpt-bench", "-histories", "abc"}); err == nil {
+		t.Error("bad -histories accepted")
+	}
+	if err := run([]string{"ckpt-bench", "-seal-every", "0"}); err == nil {
+		t.Error("-seal-every 0 accepted")
+	}
+}

@@ -42,6 +42,9 @@ func cmdLoadgen(args []string) error {
 		arrivals  = fs.Int("arrivals", 20000, "synthetic arrivals to send (ignored with -trace)")
 		points    = fs.Int("points", 20, "points in the synthetic metric space")
 		universe  = fs.Int("universe", 8, "universe size |S| of the synthetic workload")
+		dist      = fs.String("dist", "uniform", "synthetic workload mix: uniform, zipf (skewed commodity popularity) or bundled (every request demands all of S)")
+		zipfS     = fs.Float64("zipf-s", 1.5, "zipf exponent for -dist zipf (> 1; larger = more skew)")
+		rate      = fs.Float64("rate", 0, "open-loop arrival schedule: target arrivals/s across all workers (0 = closed loop, as fast as the server admits)")
 		conc      = fs.Int("conc", 4, "concurrent driver workers (connections in tcp mode)")
 		batch     = fs.Int("batch", 64, "arrivals per HTTP request (http mode)")
 		seed      = fs.Int64("seed", 1, "workload + engine seed")
@@ -55,6 +58,20 @@ func cmdLoadgen(args []string) error {
 	}
 	if *mode != "http" && *mode != "tcp" {
 		return fmt.Errorf("loadgen: unknown mode %q (want http or tcp)", *mode)
+	}
+	// Validate the workload flags even when -trace overrides them: a typo'd
+	// mix must fail loudly, never be silently ignored.
+	switch *dist {
+	case "uniform", "bundled":
+	case "zipf":
+		if *zipfS <= 1 {
+			return fmt.Errorf("loadgen: -zipf-s must be > 1 (got %g)", *zipfS)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown -dist %q (want uniform, zipf or bundled)", *dist)
+	}
+	if *rate < 0 {
+		return fmt.Errorf("loadgen: -rate must be >= 0")
 	}
 	if *conc < 1 {
 		*conc = 1
@@ -76,7 +93,15 @@ func cmdLoadgen(args []string) error {
 	} else {
 		rng := rand.New(rand.NewSource(*seed))
 		space := metric.RandomEuclidean(rng, *points, 2, 100)
-		tr = workload.Uniform(rng, space, cost.PowerLaw(*universe, 1, 1), *arrivals, *universe/2+1)
+		costs := cost.PowerLaw(*universe, 1, 1)
+		switch *dist {
+		case "uniform":
+			tr = workload.Uniform(rng, space, costs, *arrivals, *universe/2+1)
+		case "zipf":
+			tr = workload.Zipf(rng, space, costs, *arrivals, *universe/2+1, *zipfS)
+		case "bundled":
+			tr = workload.Bundled(rng, space, costs, *arrivals)
+		}
 	}
 	ops := traceToOps(tr, *tenants)
 
@@ -126,7 +151,7 @@ func cmdLoadgen(args []string) error {
 	// worker so per-tenant order is preserved. Payload rendering happens
 	// before the clock starts — the measurement is server ingestion, not
 	// client-side JSON marshaling.
-	work, err := prepareDrive(*mode, ops, *conc)
+	work, err := prepareDrive(*mode, ops, *conc, *rate)
 	if err != nil {
 		return err
 	}
@@ -160,6 +185,10 @@ func cmdLoadgen(args []string) error {
 		Concurrency:    *conc,
 		ElapsedSeconds: elapsed.Seconds(),
 		ArrivalsPerSec: float64(sent) / elapsed.Seconds(),
+		OfferedRate:    *rate,
+	}
+	if *tracePath == "" {
+		rep.Dist = *dist
 	}
 	if *mode == "http" {
 		rep.Batch = *batch
@@ -191,11 +220,17 @@ func cmdLoadgen(args []string) error {
 
 // loadgenReport is the machine-readable result of one loadgen run.
 type loadgenReport struct {
-	Mode           string  `json:"mode"`
-	Arrivals       int     `json:"arrivals"`
-	Tenants        int     `json:"tenants"`
-	Concurrency    int     `json:"concurrency"`
-	Batch          int     `json:"batch,omitempty"`
+	Mode     string `json:"mode"`
+	Arrivals int    `json:"arrivals"`
+	Tenants  int    `json:"tenants"`
+	// Dist names the synthetic workload mix (uniform/zipf/bundled); empty
+	// for trace-driven runs.
+	Dist        string `json:"dist,omitempty"`
+	Concurrency int    `json:"concurrency"`
+	Batch       int    `json:"batch,omitempty"`
+	// OfferedRate is the open-loop arrivals/s target (0 = closed loop);
+	// compare with ArrivalsPerSec to see whether the server kept up.
+	OfferedRate    float64 `json:"offered_rate_per_sec,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
 	// Request latencies are client-side per-HTTP-request round trips;
@@ -264,22 +299,28 @@ func runCreates(mode, target string, creates []engine.Op) error {
 		}
 		return nil
 	}
-	_, err := streamTCP(target, creates)
-	return err
+	return streamTCP(target, creates)
 }
 
 // driveWork is one worker's pre-partitioned (and, in tcp mode,
 // pre-rendered) share of the arrival stream.
 type driveWork struct {
 	ops      []engine.Op // http mode
-	blob     []byte      // tcp mode: concatenated frames, ready to write
+	blob     []byte      // tcp closed loop: concatenated frames, ready to write
+	frames   [][]byte    // tcp open loop: one pre-rendered frame per arrival
 	arrivals int
+	// rate is this worker's open-loop target in arrivals/s — its
+	// proportional share of the global -rate (0 = closed loop).
+	rate float64
 }
 
 // prepareDrive partitions the arrivals across conc workers (tenant t on
-// worker t%conc, preserving per-tenant order) and, in tcp mode, renders each
-// worker's stream into one frame blob up front.
-func prepareDrive(mode string, ops opSplit, conc int) ([]driveWork, error) {
+// worker t%conc, preserving per-tenant order) and, in tcp mode, renders the
+// frames up front: one blob per worker in closed-loop mode, one frame per
+// arrival when an open-loop -rate needs to pace individual sends. Each
+// worker's rate is its arrival share of the global rate, so all workers
+// finish the schedule together and the offered aggregate equals -rate.
+func prepareDrive(mode string, ops opSplit, conc int, rate float64) ([]driveWork, error) {
 	work := make([]driveWork, conc)
 	for _, op := range ops.arrives {
 		var tn int
@@ -288,23 +329,64 @@ func prepareDrive(mode string, ops opSplit, conc int) ([]driveWork, error) {
 		w.ops = append(w.ops, op)
 		w.arrivals++
 	}
+	if rate > 0 && len(ops.arrives) > 0 {
+		for i := range work {
+			work[i].rate = rate * float64(work[i].arrivals) / float64(len(ops.arrives))
+		}
+	}
 	if mode == "tcp" {
 		for i := range work {
-			var blob bytes.Buffer
-			for _, op := range work[i].ops {
-				payload, err := json.Marshal(op)
-				if err != nil {
-					return nil, err
+			if rate > 0 {
+				frames := make([][]byte, 0, len(work[i].ops))
+				for _, op := range work[i].ops {
+					fr, err := renderFrame(op)
+					if err != nil {
+						return nil, err
+					}
+					frames = append(frames, fr)
 				}
-				if err := server.WriteFrame(&blob, payload); err != nil {
-					return nil, err
+				work[i].frames = frames
+			} else {
+				var blob bytes.Buffer
+				for _, op := range work[i].ops {
+					payload, err := json.Marshal(op)
+					if err != nil {
+						return nil, err
+					}
+					if err := server.WriteFrame(&blob, payload); err != nil {
+						return nil, err
+					}
 				}
+				work[i].blob = blob.Bytes()
 			}
-			work[i].blob = blob.Bytes()
 			work[i].ops = nil
 		}
 	}
 	return work, nil
+}
+
+func renderFrame(op engine.Op) ([]byte, error) {
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := server.WriteFrame(&buf, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// pace sleeps until arrival idx's scheduled send time under an open-loop
+// schedule of rate arrivals/s started at start; no-op in closed-loop mode.
+func pace(start time.Time, rate float64, idx int) {
+	if rate <= 0 {
+		return
+	}
+	target := start.Add(time.Duration(float64(idx) / rate * float64(time.Second)))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // runArrivals fans the prepared work across its workers and returns
@@ -325,9 +407,12 @@ func runArrivals(mode, target string, work []driveWork, batch int) ([]float64, e
 			defer wg.Done()
 			var lats []float64
 			var err error
-			if mode == "http" {
-				lats, err = driveHTTP(target, w.ops, batch)
-			} else {
+			switch {
+			case mode == "http":
+				lats, err = driveHTTP(target, w.ops, batch, w.rate)
+			case w.rate > 0:
+				err = streamFramesPaced(target, w.frames, w.rate)
+			default:
 				err = streamBlob(target, w.blob, w.arrivals)
 			}
 			mu.Lock()
@@ -342,6 +427,29 @@ func runArrivals(mode, target string, work []driveWork, batch int) ([]float64, e
 	return allLats, firstErr
 }
 
+// streamFramesPaced writes one worker's frames over a single connection on
+// its open-loop schedule (flushing per frame so pacing is visible on the
+// wire), half-closes and checks the server's ack.
+func streamFramesPaced(target string, frames [][]byte, rate float64) error {
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	start := time.Now()
+	for i, fr := range frames {
+		pace(start, rate, i)
+		if _, err := bw.Write(fr); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return finishStream(conn, len(frames))
+}
+
 // streamBlob writes a pre-rendered frame blob over one connection,
 // half-closes and checks the server's ack.
 func streamBlob(target string, blob []byte, arrivals int) error {
@@ -353,6 +461,13 @@ func streamBlob(target string, blob []byte, arrivals int) error {
 	if _, err := conn.Write(blob); err != nil {
 		return err
 	}
+	return finishStream(conn, arrivals)
+}
+
+// finishStream half-closes the write side of a frame stream and verifies
+// the server's single result frame acks exactly the arrivals sent — the
+// shared tail of every TCP drive path.
+func finishStream(conn net.Conn, arrivals int) error {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		if err := tc.CloseWrite(); err != nil {
 			return err
@@ -377,7 +492,9 @@ func streamBlob(target string, blob []byte, arrivals int) error {
 
 // driveHTTP sends one worker's arrivals as batched POSTs, measuring each
 // request's round trip. Consecutive ops for the same tenant share a batch.
-func driveHTTP(target string, ops []engine.Op, batch int) ([]float64, error) {
+// With an open-loop rate, each batch waits for its first arrival's slot on
+// the schedule before posting.
+func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float64, error) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -386,13 +503,17 @@ func driveHTTP(target string, ops []engine.Op, batch int) ([]float64, error) {
 		Demands []int `json:"demands"`
 	}
 	var lats []float64
+	clock := time.Now()
+	sent := 0
 	flush := func(tenant string, group []arrival) error {
 		if len(group) == 0 {
 			return nil
 		}
+		pace(clock, rate, sent)
 		start := time.Now()
 		_, err := postJSON(target, "/v1/tenants/"+tenant+"/arrive", map[string]interface{}{"arrivals": group})
 		lats = append(lats, float64(time.Since(start).Microseconds())/1e3)
+		sent += len(group)
 		return err
 	}
 	var group []arrival
@@ -414,43 +535,32 @@ func driveHTTP(target string, ops []engine.Op, batch int) ([]float64, error) {
 }
 
 // streamTCP sends ops as one framed stream, half-closes and awaits the
-// server's result frame.
-func streamTCP(target string, ops []engine.Op) (server.TCPResult, error) {
-	var res server.TCPResult
+// server's result frame. The ack's arrival count must match the arrive ops
+// sent (zero for a creates-only stream).
+func streamTCP(target string, ops []engine.Op) error {
+	arrivals := 0
 	conn, err := net.Dial("tcp", target)
 	if err != nil {
-		return res, err
+		return err
 	}
 	defer conn.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	for _, op := range ops {
 		payload, err := json.Marshal(op)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if err := server.WriteFrame(bw, payload); err != nil {
-			return res, err
+			return err
+		}
+		if op.Op == "arrive" {
+			arrivals++
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return res, err
+		return err
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		if err := tc.CloseWrite(); err != nil {
-			return res, err
-		}
-	}
-	frame, err := server.ReadFrame(bufio.NewReader(conn), nil)
-	if err != nil {
-		return res, err
-	}
-	if err := json.Unmarshal(frame, &res); err != nil {
-		return res, err
-	}
-	if !res.OK {
-		return res, fmt.Errorf("loadgen: server rejected stream: %s", res.Error)
-	}
-	return res, nil
+	return finishStream(conn, arrivals)
 }
 
 func postJSON(host, path string, body interface{}) ([]byte, error) {

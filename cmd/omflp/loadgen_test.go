@@ -132,3 +132,62 @@ func TestLoadgenErrors(t *testing.T) {
 		t.Error("missing trace accepted")
 	}
 }
+
+// TestLoadgenDistAndRate: the zipf/bundled workload mixes and the open-loop
+// -rate schedule drive a spawned server end to end; the report must carry
+// the mix and offered rate, and a paced run must not beat its own schedule.
+func TestLoadgenDistAndRate(t *testing.T) {
+	for _, tc := range []struct {
+		dist string
+		mode string
+		rate string
+	}{
+		{dist: "zipf", mode: "tcp", rate: "0"},
+		{dist: "bundled", mode: "http", rate: "0"},
+		{dist: "uniform", mode: "tcp", rate: "2000"},
+		{dist: "zipf", mode: "http", rate: "2000"},
+	} {
+		out := captureStdout(t, func() error {
+			return run([]string{"loadgen", "-mode", tc.mode, "-dist", tc.dist,
+				"-arrivals", "300", "-tenants", "2", "-conc", "2", "-points", "8",
+				"-universe", "4", "-seed", "5", "-rate", tc.rate, "-quiet"})
+		})
+		var rep struct {
+			Dist           string  `json:"dist"`
+			Arrivals       int     `json:"arrivals"`
+			OfferedRate    float64 `json:"offered_rate_per_sec"`
+			ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+			Elapsed        float64 `json:"elapsed_seconds"`
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatalf("%s/%s: report not JSON: %v\n%s", tc.dist, tc.mode, err, out)
+		}
+		if rep.Dist != tc.dist || rep.Arrivals != 300 || rep.ArrivalsPerSec <= 0 {
+			t.Errorf("%s/%s: report %+v", tc.dist, tc.mode, rep)
+		}
+		if tc.rate != "0" {
+			// 300 arrivals at 2000/s is a 150ms schedule; a paced run
+			// cannot finish meaningfully faster than its schedule.
+			if rep.OfferedRate != 2000 {
+				t.Errorf("%s/%s: offered rate %g, want 2000", tc.dist, tc.mode, rep.OfferedRate)
+			}
+			if rep.Elapsed < 0.10 {
+				t.Errorf("%s/%s: open-loop run finished in %.0fms, faster than its own 150ms schedule",
+					tc.dist, tc.mode, rep.Elapsed*1e3)
+			}
+		}
+	}
+}
+
+// TestLoadgenBadDist: unknown mixes and negative rates must be rejected.
+func TestLoadgenBadDist(t *testing.T) {
+	if err := run([]string{"loadgen", "-dist", "nope", "-arrivals", "1"}); err == nil {
+		t.Error("unknown -dist accepted")
+	}
+	if err := run([]string{"loadgen", "-rate", "-1", "-arrivals", "1"}); err == nil {
+		t.Error("negative -rate accepted")
+	}
+	if err := run([]string{"loadgen", "-dist", "zipf", "-zipf-s", "0.5", "-arrivals", "1"}); err == nil {
+		t.Error("-zipf-s <= 1 accepted")
+	}
+}

@@ -10,9 +10,12 @@
 //	omflp serve [-trace FILE] [-algo pd|rand] [-shards N] [-tenants N]
 //	            [-metrics-every DUR] [-snapshot-out FILE] [-snapshot-compact]
 //	            [-listen-http ADDR] [-listen-tcp ADDR]
-//	            [-checkpoint-dir DIR] [-checkpoint-every DUR] [-shard-policy hash|leastload]
+//	            [-checkpoint-dir DIR] [-checkpoint-every DUR]
+//	            [-checkpoint-seal-every N] [-shard-policy hash|leastload]
 //	omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE]
+//	              [-dist uniform|zipf|bundled] [-rate N]
 //	              [-tenants N] [-arrivals N] [-conc N] [-bench-out DIR]
+//	omflp ckpt-bench [-histories N,N,...] [-seal-every N] [-out DIR]
 //
 // serve is the streaming mode: it hosts internal/engine, ingests arrivals
 // continuously (gentrace file traces or JSON-lines op streams, from stdin or
@@ -83,6 +86,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "ckpt-bench":
+		return cmdCkptBench(args[1:])
 	case "explain":
 		return cmdExplain(args[1:])
 	case "check":
@@ -108,11 +113,14 @@ func usage() {
               [-mailbox N] [-metrics-every DUR] [-snapshot-out FILE] [-quiet]
               [-snapshot-compact] [-shard-policy hash|leastload]
               [-listen-http ADDR] [-listen-tcp ADDR]
-              [-checkpoint-dir DIR] [-checkpoint-every DUR]
+              [-checkpoint-dir DIR] [-checkpoint-every DUR] [-checkpoint-seal-every N]
                                                  stream arrivals through a serving engine
   omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE] [-tenants N]
+                [-dist uniform|zipf|bundled] [-zipf-s S] [-rate N]
                 [-arrivals N] [-conc N] [-batch N] [-seed N] [-bench-out DIR]
                                                  drive a serve daemon and measure throughput
+  omflp ckpt-bench [-histories N,N] [-seal-every N] [-algos pd,rand] [-out DIR]
+                                                 benchmark v1 vs v2 checkpoint restores
   omflp explain -trace FILE                      narrate PD-OMFLP's decisions on a trace
   omflp check -trace FILE                        validate a trace's metric and cost assumptions
 
@@ -139,7 +147,20 @@ The TCP listener ingests length-prefixed frames (4-byte big-endian length +
 one JSON op) and acks each stream once on half-close. -checkpoint-dir DIR
 persists engine state to DIR/engine.ckpt.json (atomic rename) every
 -checkpoint-every; a restarted daemon restores it and resumes every tenant
-with no cost divergence. SIGINT/SIGTERM drains, checkpoints and exits.
+with no cost divergence. Checkpoints use format v2: a base snapshot of each
+tenant's serialized algorithm state plus the arrival segment served since —
+-checkpoint-seal-every N re-bases a tenant once its tail exceeds N arrivals
+(default 4096, negative = never), so a restore replays at most N arrivals
+per tenant instead of the full history. Legacy v1 checkpoints restore too.
+SIGINT/SIGTERM drains, checkpoints and exits.
+
+loadgen's synthetic workload takes -dist uniform|zipf|bundled (zipf skews
+commodity popularity with exponent -zipf-s; bundled demands all of S every
+request) and -rate R sends on an open-loop schedule of R arrivals/s across
+all workers (0 = closed loop). ckpt-bench writes BENCH_checkpoint.json
+(restore time + checkpoint bytes per history length, v1 vs v2) and fails if
+a v2 restore replays more than -seal-every arrivals or loses to the v1 full
+replay at the deepest history.
 
 Quickstart:
   omflp serve -listen-http 127.0.0.1:8080 -checkpoint-dir /tmp/omflp &

@@ -46,6 +46,7 @@ func cmdServe(args []string) error {
 		listenTCP    = fs.String("listen-tcp", "", "daemon mode: framed-op TCP listen address")
 		ckptDir      = fs.String("checkpoint-dir", "", "daemon mode: directory for periodic state checkpoints (restored on start)")
 		ckptEvery    = fs.Duration("checkpoint-every", 15*time.Second, "daemon mode: checkpoint interval")
+		sealEvery    = fs.Int("checkpoint-seal-every", 0, "re-base a tenant's checkpoint once its arrival tail exceeds N (0 = 4096 default, negative = never seal: full-replay restores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +58,7 @@ func cmdServe(args []string) error {
 		Mailbox:     *mailbox,
 		Seed:        *seed,
 		ShardPolicy: *shardPolicy,
+		SealEvery:   *sealEvery,
 		Options:     core.Options{DisablePrediction: *noPrediction},
 	}
 	if *listenHTTP != "" || *listenTCP != "" {
@@ -266,7 +268,7 @@ func serveDaemon(cfg daemonConfig) error {
 		return err
 	}
 	defer replay.Close()
-	if err := replay.Restore(ck); err != nil {
+	if _, err := replay.Restore(ck); err != nil {
 		return err
 	}
 	return emitSnapshots(replay, cfg.snapOut, cfg.compact)

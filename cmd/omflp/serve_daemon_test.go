@@ -30,6 +30,9 @@ func TestServeDaemonCheckpointAndShutdown(t *testing.T) {
 			"-listen-tcp", "127.0.0.1:0",
 			"-checkpoint-dir", ckptDir,
 			"-checkpoint-every", "30ms",
+			// Seal aggressively so the shutdown artifact is produced
+			// through a v2 base-state restore, not a full replay.
+			"-checkpoint-seal-every", "10",
 			"-trace", smokeTrace, "-tenants", "3",
 			"-algo", "pd", "-shards", "4", "-seed", "1",
 			"-snapshot-out", snapOut, "-quiet"})

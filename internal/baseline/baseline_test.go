@@ -3,6 +3,7 @@ package baseline
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -435,4 +436,126 @@ func legacyLocalSearch(in *instance.Instance, start []instance.Facility, maxMove
 	}
 	sol, c := instance.AssignAll(in, current)
 	return OfflineResult{Solution: sol, Cost: c, Name: "offline-local-search"}
+}
+
+// TestStarGreedyParallelIdentical is the parallel star-greedy contract:
+// every worker count must choose the exact same star sequence — identical
+// final cost, facility list and assignments.
+func TestStarGreedyParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 9, 5, 30)
+		ref := StarGreedyParallel(in, 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := StarGreedyParallel(in, workers)
+			if got.Cost != ref.Cost {
+				t.Fatalf("trial %d workers=%d: cost %g, sequential %g", trial, workers, got.Cost, ref.Cost)
+			}
+			if len(got.Solution.Facilities) != len(ref.Solution.Facilities) {
+				t.Fatalf("trial %d workers=%d: %d facilities, sequential %d",
+					trial, workers, len(got.Solution.Facilities), len(ref.Solution.Facilities))
+			}
+			for i, f := range got.Solution.Facilities {
+				rf := ref.Solution.Facilities[i]
+				if f.Point != rf.Point || f.Config.Key() != rf.Config.Key() {
+					t.Fatalf("trial %d workers=%d: facility %d = %v, sequential %v", trial, workers, i, f, rf)
+				}
+			}
+		}
+	}
+}
+
+// TestStarGreedyMatchesLegacySequential pins the fan-out refactor to the
+// original strict-improvement nested scan, kept verbatim below.
+func TestStarGreedyMatchesLegacySequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 8, 5, 26)
+		got := StarGreedyParallel(in, 4)
+		want := legacyStarGreedy(in)
+		if got.Cost != want.Cost || len(got.Solution.Facilities) != len(want.Solution.Facilities) {
+			t.Fatalf("trial %d: refactored %g (%d facilities), legacy %g (%d)", trial,
+				got.Cost, len(got.Solution.Facilities), want.Cost, len(want.Solution.Facilities))
+		}
+		for i, f := range got.Solution.Facilities {
+			wf := want.Solution.Facilities[i]
+			if f.Point != wf.Point || f.Config.Key() != wf.Config.Key() {
+				t.Fatalf("trial %d: facility %d = %v, legacy %v", trial, i, f, wf)
+			}
+		}
+	}
+}
+
+// legacyStarGreedy is the pre-parallel implementation, kept verbatim as the
+// semantic reference for the star selection order.
+func legacyStarGreedy(in *instance.Instance) OfflineResult {
+	type pair struct{ r, e int }
+	uncovered := map[pair]bool{}
+	for ri, r := range in.Requests {
+		r.Demands.ForEach(func(e int) {
+			uncovered[pair{ri, e}] = true
+		})
+	}
+	cands := candidateFacilities(in, 5, proxyMaxCands)
+	var chosen []instance.Facility
+
+	for len(uncovered) > 0 {
+		bestRatio := math.Inf(1)
+		var bestFac instance.Facility
+		var bestCover []pair
+		for _, f := range cands {
+			type rg struct {
+				ri   int
+				gain int
+				d    float64
+			}
+			var rgs []rg
+			for ri, r := range in.Requests {
+				gain := 0
+				r.Demands.Intersect(f.Config).ForEach(func(e int) {
+					if uncovered[pair{ri, e}] {
+						gain++
+					}
+				})
+				if gain > 0 {
+					rgs = append(rgs, rg{ri: ri, gain: gain, d: in.Space.Distance(r.Point, f.Point)})
+				}
+			}
+			if len(rgs) == 0 {
+				continue
+			}
+			sort.Slice(rgs, func(i, j int) bool {
+				return rgs[i].d*float64(rgs[j].gain) < rgs[j].d*float64(rgs[i].gain)
+			})
+			fCost := in.Costs.Cost(f.Point, f.Config)
+			cum, gains := fCost, 0
+			for k, x := range rgs {
+				cum += x.d
+				gains += x.gain
+				ratio := cum / float64(gains)
+				if ratio < bestRatio {
+					bestRatio = ratio
+					bestFac = f
+					bestCover = bestCover[:0]
+					for _, y := range rgs[:k+1] {
+						in.Requests[y.ri].Demands.Intersect(f.Config).ForEach(func(e int) {
+							if uncovered[pair{y.ri, e}] {
+								bestCover = append(bestCover, pair{y.ri, e})
+							}
+						})
+					}
+				}
+			}
+		}
+		if len(bestCover) == 0 {
+			panic("baseline: StarGreedy made no progress")
+		}
+		chosen = append(chosen, bestFac)
+		for _, pr := range bestCover {
+			delete(uncovered, pr)
+		}
+	}
+
+	sol, c := instance.AssignAll(in, chosen)
+	return OfflineResult{Solution: sol, Cost: c, Name: "offline-star-greedy"}
 }

@@ -101,80 +101,116 @@ const proxyMaxCands = 600
 // proxyScanCap caps how many candidates one local-search scan evaluates.
 const proxyScanCap = 150
 
+// reqPair is one (request, commodity) coverage unit of the star greedy.
+type reqPair struct{ r, e int }
+
+// starRG is one request's contribution to a candidate star: its index, how
+// many uncovered demanded commodities the candidate's config would newly
+// cover, and its distance to the candidate.
+type starRG struct {
+	ri   int
+	gain int
+	d    float64
+}
+
+// starRequests lists the requests a candidate star could newly cover,
+// sorted by distance per gain — a pure function of (instance, candidate,
+// uncovered), evaluated identically by the sequential and parallel scans.
+func starRequests(in *instance.Instance, f instance.Facility, uncovered map[reqPair]bool) []starRG {
+	var rgs []starRG
+	for ri, r := range in.Requests {
+		gain := 0
+		r.Demands.Intersect(f.Config).ForEach(func(e int) {
+			if uncovered[reqPair{ri, e}] {
+				gain++
+			}
+		})
+		if gain > 0 {
+			rgs = append(rgs, starRG{ri: ri, gain: gain, d: in.Space.Distance(r.Point, f.Point)})
+		}
+	}
+	sort.Slice(rgs, func(i, j int) bool {
+		return rgs[i].d*float64(rgs[j].gain) < rgs[j].d*float64(rgs[i].gain)
+	})
+	return rgs
+}
+
+// evalStar scores one candidate: the minimal (construction + connection) per
+// newly covered pair over request prefixes, and the shortest prefix
+// attaining it (k = 0 when the candidate covers nothing). The float
+// accumulation order matches the original sequential scan exactly, so the
+// winning star — chosen by strict-< reduction in candidate order — is
+// byte-identical to the pre-parallel implementation for every worker count.
+func evalStar(in *instance.Instance, f instance.Facility, uncovered map[reqPair]bool) (ratio float64, k int, rgs []starRG) {
+	rgs = starRequests(in, f, uncovered)
+	ratio = math.Inf(1)
+	cum, gains := in.Costs.Cost(f.Point, f.Config), 0
+	for i, x := range rgs {
+		cum += x.d
+		gains += x.gain
+		if r := cum / float64(gains); r < ratio {
+			ratio = r
+			k = i + 1
+		}
+	}
+	return ratio, k, rgs
+}
+
 // StarGreedy is an offline greedy in the spirit of Ravi–Sinha: repeatedly
 // pick the "star" — a candidate facility plus a set of requests connected to
 // it — minimizing (construction + connection) per newly covered
 // (request, commodity) pair, until all pairs are covered. Finally requests
-// are re-assigned optimally against the chosen facilities.
+// are re-assigned optimally against the chosen facilities. The per-round
+// candidate scan fans out across GOMAXPROCS goroutines; use
+// StarGreedyParallel to control the worker count (1 = fully sequential).
 func StarGreedy(in *instance.Instance) OfflineResult {
-	type pair struct{ r, e int }
-	uncovered := map[pair]bool{}
+	return StarGreedyParallel(in, 0)
+}
+
+// StarGreedyParallel is StarGreedy with an explicit worker count for the
+// candidate-star scans (< 1 means GOMAXPROCS). Each candidate's evaluation
+// is a pure function of the current uncovered set, and the reduction picks
+// the first candidate (in list order) attaining the minimal ratio — exactly
+// the sequential scan's strict-improvement winner — so results are
+// byte-identical for every worker count.
+func StarGreedyParallel(in *instance.Instance, workers int) OfflineResult {
+	uncovered := map[reqPair]bool{}
 	for ri, r := range in.Requests {
 		r.Demands.ForEach(func(e int) {
-			uncovered[pair{ri, e}] = true
+			uncovered[reqPair{ri, e}] = true
 		})
 	}
 	cands := candidateFacilities(in, 5, proxyMaxCands)
 	var chosen []instance.Facility
 
+	type starEval struct {
+		ratio float64
+		k     int
+	}
 	for len(uncovered) > 0 {
-		bestRatio := math.Inf(1)
-		var bestFac instance.Facility
-		var bestCover []pair
-		for _, f := range cands {
-			// Per request: gain = #uncovered demanded commodities in the
-			// config; cost = distance. Choose the best prefix of requests
-			// sorted by distance/gain.
-			type rg struct {
-				ri   int
-				gain int
-				d    float64
-			}
-			var rgs []rg
-			for ri, r := range in.Requests {
-				gain := 0
-				r.Demands.Intersect(f.Config).ForEach(func(e int) {
-					if uncovered[pair{ri, e}] {
-						gain++
-					}
-				})
-				if gain > 0 {
-					rgs = append(rgs, rg{ri: ri, gain: gain, d: in.Space.Distance(r.Point, f.Point)})
-				}
-			}
-			if len(rgs) == 0 {
-				continue
-			}
-			sort.Slice(rgs, func(i, j int) bool {
-				return rgs[i].d*float64(rgs[j].gain) < rgs[j].d*float64(rgs[i].gain)
-			})
-			fCost := in.Costs.Cost(f.Point, f.Config)
-			cum, gains := fCost, 0
-			for k, x := range rgs {
-				cum += x.d
-				gains += x.gain
-				ratio := cum / float64(gains)
-				if ratio < bestRatio {
-					bestRatio = ratio
-					bestFac = f
-					bestCover = bestCover[:0]
-					for _, y := range rgs[:k+1] {
-						in.Requests[y.ri].Demands.Intersect(f.Config).ForEach(func(e int) {
-							if uncovered[pair{y.ri, e}] {
-								bestCover = append(bestCover, pair{y.ri, e})
-							}
-						})
-					}
-				}
+		evals, _ := par.Map(workers, len(cands), func(ci int) (starEval, error) {
+			ratio, k, _ := evalStar(in, cands[ci], uncovered)
+			return starEval{ratio: ratio, k: k}, nil
+		})
+		bestRatio, bestIdx := math.Inf(1), -1
+		for ci, ev := range evals {
+			if ev.k > 0 && ev.ratio < bestRatio {
+				bestRatio, bestIdx = ev.ratio, ci
 			}
 		}
-		if len(bestCover) == 0 {
+		if bestIdx < 0 {
 			panic("baseline: StarGreedy made no progress")
 		}
-		chosen = append(chosen, bestFac)
-		for _, pr := range bestCover {
-			delete(uncovered, pr)
+		// Re-materialize the winner's covered pairs (cheaper than keeping
+		// every candidate's request list alive across the fan-out).
+		f := cands[bestIdx]
+		_, k, rgs := evalStar(in, f, uncovered)
+		for _, y := range rgs[:k] {
+			in.Requests[y.ri].Demands.Intersect(f.Config).ForEach(func(e int) {
+				delete(uncovered, reqPair{y.ri, e})
+			})
 		}
+		chosen = append(chosen, f)
 	}
 
 	sol, c := instance.AssignAll(in, chosen)
@@ -292,10 +328,11 @@ func BestOffline(in *instance.Instance, maxMoves int) OfflineResult {
 	return BestOfflineParallel(in, maxMoves, 0)
 }
 
-// BestOfflineParallel is BestOffline with an explicit worker count for the
-// local-search move scans; results are byte-identical for every count.
+// BestOfflineParallel is BestOffline with an explicit worker count for both
+// the star-greedy candidate scans and the local-search move scans; results
+// are byte-identical for every count.
 func BestOfflineParallel(in *instance.Instance, maxMoves, workers int) OfflineResult {
-	greedy := StarGreedy(in)
+	greedy := StarGreedyParallel(in, workers)
 	ls := LocalSearchParallel(in, greedy.Solution.Facilities, maxMoves, workers)
 	if ls.Cost <= greedy.Cost {
 		ls.Name = "offline-best(greedy+ls)"

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/commodity"
+	"repro/internal/instance"
+	"repro/internal/online"
+)
+
+// State serialization for the online baselines, implementing the
+// online.StateCodec contract: state restored onto a freshly constructed
+// instance with the same parameters (and seed, for the Meyerson substrate)
+// serves any suffix identically.
+
+// baselineStateSchema versions the layouts below.
+const baselineStateSchema = 1
+
+// Interface conformance (compile-time).
+var (
+	_ online.StateCodec = (*PerCommodity)(nil)
+	_ online.StateCodec = (*NoPrediction)(nil)
+)
+
+// pcFacilityState is one opened singleton facility: commodity + point.
+type pcFacilityState struct {
+	E     int `json:"e"`
+	Point int `json:"p"`
+}
+
+// pcState is PerCommodity's serialized state: one sub-state per commodity
+// (in commodity order) plus the global facility list and assignments. The
+// (commodity, point) → index map is derived from the facility list.
+type pcState struct {
+	Schema     int               `json:"schema"`
+	Universe   int               `json:"universe"`
+	Subs       []json.RawMessage `json:"subs"`
+	Facilities []pcFacilityState `json:"facilities"`
+	Assign     [][]int           `json:"assign"`
+}
+
+// MarshalState implements online.StateCodec.
+func (pc *PerCommodity) MarshalState() ([]byte, error) {
+	st := pcState{
+		Schema:     baselineStateSchema,
+		Universe:   pc.u,
+		Subs:       make([]json.RawMessage, pc.u),
+		Facilities: make([]pcFacilityState, len(pc.sol.Facilities)),
+		Assign:     pc.sol.Assign,
+	}
+	for e, alg := range pc.algs {
+		sc, ok := alg.(online.StateCodec)
+		if !ok {
+			return nil, fmt.Errorf("baseline: %s substrate for commodity %d is not state-serializable", pc.name, e)
+		}
+		data, err := sc.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.Subs[e] = data
+	}
+	for i, f := range pc.sol.Facilities {
+		st.Facilities[i] = pcFacilityState{E: f.Config.IDs()[0], Point: f.Point}
+	}
+	return json.Marshal(&st)
+}
+
+// UnmarshalState implements online.StateCodec; the receiver must be freshly
+// constructed with the same parameters (and, for the Meyerson substrate, the
+// same seed) as the marshaled instance.
+func (pc *PerCommodity) UnmarshalState(data []byte) error {
+	if len(pc.sol.Facilities) != 0 || len(pc.sol.Assign) != 0 {
+		return fmt.Errorf("baseline: %s state restore needs a fresh instance", pc.name)
+	}
+	var st pcState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("baseline: %s state: %v", pc.name, err)
+	}
+	if st.Schema != baselineStateSchema {
+		return fmt.Errorf("baseline: %s state schema %d, want %d", pc.name, st.Schema, baselineStateSchema)
+	}
+	if st.Universe != pc.u || len(st.Subs) != pc.u {
+		return fmt.Errorf("baseline: %s state universe %d (%d substates), want %d", pc.name, st.Universe, len(st.Subs), pc.u)
+	}
+	for e, alg := range pc.algs {
+		sc, ok := alg.(online.StateCodec)
+		if !ok {
+			return fmt.Errorf("baseline: %s substrate for commodity %d is not state-serializable", pc.name, e)
+		}
+		if err := sc.UnmarshalState(st.Subs[e]); err != nil {
+			return err
+		}
+	}
+	for i, f := range st.Facilities {
+		pc.sol.Facilities = append(pc.sol.Facilities, instance.Facility{Point: f.Point, Config: commodity.New(f.E)})
+		pc.facIdx[[2]int{f.E, f.Point}] = i
+	}
+	pc.sol.Assign = st.Assign
+	return nil
+}
+
+// npState is NoPrediction's serialized state; the per-commodity facility
+// index lists are derived from the facility list.
+type npState struct {
+	Schema     int               `json:"schema"`
+	Universe   int               `json:"universe"`
+	Facilities []pcFacilityState `json:"facilities"`
+	Assign     [][]int           `json:"assign"`
+}
+
+// MarshalState implements online.StateCodec.
+func (np *NoPrediction) MarshalState() ([]byte, error) {
+	st := npState{
+		Schema:     baselineStateSchema,
+		Universe:   len(np.byE),
+		Facilities: make([]pcFacilityState, len(np.sol.Facilities)),
+		Assign:     np.sol.Assign,
+	}
+	for i, f := range np.sol.Facilities {
+		st.Facilities[i] = pcFacilityState{E: f.Config.IDs()[0], Point: f.Point}
+	}
+	return json.Marshal(&st)
+}
+
+// UnmarshalState implements online.StateCodec; the receiver must be freshly
+// constructed with the same parameters as the marshaled instance.
+func (np *NoPrediction) UnmarshalState(data []byte) error {
+	if len(np.sol.Facilities) != 0 || len(np.sol.Assign) != 0 {
+		return fmt.Errorf("baseline: no-prediction state restore needs a fresh instance")
+	}
+	var st npState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("baseline: no-prediction state: %v", err)
+	}
+	if st.Schema != baselineStateSchema {
+		return fmt.Errorf("baseline: no-prediction state schema %d, want %d", st.Schema, baselineStateSchema)
+	}
+	if st.Universe != len(np.byE) {
+		return fmt.Errorf("baseline: no-prediction state universe %d, want %d", st.Universe, len(np.byE))
+	}
+	for i, f := range st.Facilities {
+		if f.E < 0 || f.E >= len(np.byE) {
+			return fmt.Errorf("baseline: no-prediction state facility for commodity %d outside universe", f.E)
+		}
+		np.sol.Facilities = append(np.sol.Facilities, instance.Facility{Point: f.Point, Config: commodity.New(f.E)})
+		np.byE[f.E] = append(np.byE[f.E], i)
+	}
+	np.sol.Assign = st.Assign
+	return nil
+}

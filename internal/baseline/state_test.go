@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// baselineStateRig is the shared workload for the baseline state tests.
+type baselineStateRig struct {
+	space    metric.Space
+	costs    cost.Model
+	u        int
+	requests []instance.Request
+}
+
+func newBaselineRig(seed int64, n int) *baselineStateRig {
+	rng := rand.New(rand.NewSource(seed))
+	u := 2 + rng.Intn(5)
+	space := metric.RandomEuclidean(rng, 6+rng.Intn(10), 2, 50)
+	rig := &baselineStateRig{space: space, costs: cost.PowerLaw(u, 1, 1+rng.Float64()*2), u: u}
+	for i := 0; i < n; i++ {
+		rig.requests = append(rig.requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+	}
+	return rig
+}
+
+// roundTripSuffix marshals orig at cut, restores into a fresh clone and
+// requires bit-identical solutions over the suffix.
+func roundTripSuffix(t *testing.T, rig *baselineStateRig, cut int, orig online.Algorithm, fresh func() online.Algorithm) {
+	t.Helper()
+	for _, r := range rig.requests[:cut] {
+		orig.Serve(r)
+	}
+	blob, err := orig.(online.StateCodec).MarshalState()
+	if err != nil {
+		t.Fatalf("cut %d: marshal: %v", cut, err)
+	}
+	restored := fresh()
+	if err := restored.(online.StateCodec).UnmarshalState(blob); err != nil {
+		t.Fatalf("cut %d: unmarshal: %v", cut, err)
+	}
+	for i, r := range rig.requests[cut:] {
+		orig.Serve(r)
+		restored.Serve(r)
+		if !reflect.DeepEqual(orig.Solution(), restored.Solution()) {
+			t.Fatalf("cut %d: solutions diverge at suffix arrival %d", cut, i)
+		}
+	}
+}
+
+func TestPerCommodityPDStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rig := newBaselineRig(seed, 40)
+		for _, cut := range []int{0, 15, 40} {
+			roundTripSuffix(t, rig, cut,
+				NewPerCommodityPD(rig.space, rig.costs, candidateList(rig.space, nil)),
+				func() online.Algorithm { return NewPerCommodityPD(rig.space, rig.costs, candidateList(rig.space, nil)) })
+		}
+	}
+}
+
+func TestPerCommodityMeyersonStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rig := newBaselineRig(seed, 40)
+		for _, cut := range []int{0, 15, 40} {
+			// The constructor consumes one parent-rng draw per commodity;
+			// identical parent seeds give identical substrate streams.
+			roundTripSuffix(t, rig, cut,
+				NewPerCommodityMeyerson(rig.space, rig.costs, candidateList(rig.space, nil), rand.New(rand.NewSource(seed*13))),
+				func() online.Algorithm {
+					return NewPerCommodityMeyerson(rig.space, rig.costs, candidateList(rig.space, nil), rand.New(rand.NewSource(seed*13)))
+				})
+		}
+	}
+}
+
+func TestNoPredictionStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rig := newBaselineRig(seed, 40)
+		for _, cut := range []int{0, 15, 40} {
+			roundTripSuffix(t, rig, cut,
+				NewNoPrediction(rig.space, rig.costs, nil),
+				func() online.Algorithm { return NewNoPrediction(rig.space, rig.costs, nil) })
+		}
+	}
+}
+
+func TestBaselineStateRestoreErrors(t *testing.T) {
+	rig := newBaselineRig(4, 10)
+	pc := NewPerCommodityPD(rig.space, rig.costs, candidateList(rig.space, nil))
+	for _, r := range rig.requests {
+		pc.Serve(r)
+	}
+	blob, err := pc.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.UnmarshalState(blob); err == nil {
+		t.Error("per-commodity restore onto a non-fresh instance succeeded")
+	}
+	if err := NewPerCommodityPD(rig.space, cost.PowerLaw(rig.u+1, 1, 1), candidateList(rig.space, nil)).UnmarshalState(blob); err == nil {
+		t.Error("per-commodity restore under a different universe succeeded")
+	}
+	np := NewNoPrediction(rig.space, rig.costs, nil)
+	np.Serve(rig.requests[0])
+	nb, err := np.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.UnmarshalState(nb); err == nil {
+		t.Error("no-prediction restore onto a non-fresh instance succeeded")
+	}
+	if err := NewNoPrediction(rig.space, cost.PowerLaw(rig.u+2, 1, 1), nil).UnmarshalState(nb); err == nil {
+		t.Error("no-prediction restore under a different universe succeeded")
+	}
+}

@@ -37,6 +37,12 @@ type RandOMFLP struct {
 	rng   *rand.Rand
 	fx    *facilityIndex
 
+	// nCands and draws support state serialization: the candidate count
+	// validates restores, and the coin-flip count is the serializable form
+	// of the rng position (see UnmarshalState).
+	nCands int
+	draws  int64
+
 	smallClasses []tauClasses // per commodity
 	largeClasses tauClasses
 	// dedupe: open small facilities per (e, point), and large per point,
@@ -176,6 +182,7 @@ func NewRandOMFLP(space metric.Space, costs cost.Model, opts Options, rng *rand.
 		opts:      opts,
 		rng:       rng,
 		fx:        newFacilityIndex(space, u),
+		nCands:    len(cands),
 		smallOpen: map[[2]int]bool{},
 		largeOpen: map[int]bool{},
 	}
@@ -225,6 +232,14 @@ func RandFactory(opts Options) online.Factory {
 			return NewRandOMFLP(space, costs, opts, rand.New(rand.NewSource(seed)))
 		},
 	}
+}
+
+// flip draws one coin flip, counting the draw so the rng position is part
+// of the serializable state (see UnmarshalState). Every consumption of the
+// rng goes through here.
+func (ra *RandOMFLP) flip() float64 {
+	ra.draws++
+	return ra.rng.Float64()
 }
 
 // budgetSmall returns X(r,e) and the (class, point) minimizing
@@ -319,7 +334,7 @@ func (ra *RandOMFLP) Serve(r instance.Request) {
 			if prob > 1 {
 				prob = 1
 			}
-			if ra.rng.Float64() < prob {
+			if ra.flip() < prob {
 				ra.openSmallDedup(e, pt)
 			}
 		}
@@ -340,7 +355,7 @@ func (ra *RandOMFLP) Serve(r instance.Request) {
 			if prob > 1 {
 				prob = 1
 			}
-			if ra.rng.Float64() < prob {
+			if ra.flip() < prob {
 				ra.openLargeDedup(pt)
 			}
 		}

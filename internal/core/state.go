@@ -1,0 +1,433 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/commodity"
+	"repro/internal/instance"
+	"repro/internal/ofl"
+	"repro/internal/online"
+)
+
+// This file implements online.StateCodec for the core algorithms: the
+// complete serving state of PD-OMFLP, RAND-OMFLP and the heavy-aware
+// extension, serialized as JSON. The paper's algorithms are online — each
+// arrival freezes a small, well-defined increment of state (duals and
+// credits for PD, coin-flip position and open facilities for RAND) — so the
+// state is exactly recoverable without replaying the arrival history, which
+// is what the engine's checkpoint format v2 builds on.
+//
+// Derived caches are deliberately NOT serialized: the facility-index nearest
+// caches, the cost-table distance rows and RAND's per-point budget caches
+// are pure functions of the serialized state and rebuild lazily with the
+// same tie-breaking (earliest-opened facility wins), so a restored instance
+// serves any suffix bit-identically to the original.
+//
+// All floats survive the round trip exactly: encoding/json emits the
+// shortest representation that parses back to the same float64, and every
+// serialized quantity is finite (the internal "infinity" sentinel is the
+// finite 1e308).
+
+// stateSchema versions the serialized state layouts below; bump on any
+// incompatible change.
+const stateSchema = 1
+
+// facilityState is one open facility as serialized state. Small facilities
+// offer the single commodity E; large facilities (Large true) offer the full
+// universe. The explicit flag matters: in a universe of size 1 a large
+// facility's configuration equals the singleton's, so the configuration
+// alone cannot distinguish them.
+type facilityState struct {
+	Point int  `json:"p"`
+	E     int  `json:"e,omitempty"`
+	Large bool `json:"l,omitempty"`
+}
+
+// creditState is one recorded bid credit: the request's point and its
+// current (possibly lowered) credit value.
+type creditState struct {
+	Point  int     `json:"p"`
+	Credit float64 `json:"c"`
+}
+
+// pdState is PD-OMFLP's serialized state.
+type pdState struct {
+	Schema     int `json:"schema"`
+	Universe   int `json:"universe"`
+	Candidates int `json:"candidates"`
+
+	Points      []int       `json:"points"`
+	DemandIDs   [][]int     `json:"demand_ids"`
+	Duals       [][]float64 `json:"duals"`
+	FacBoundary []int       `json:"fac_boundary"`
+
+	CreditSmall [][]creditState `json:"credit_small"`
+	CreditLarge []creditState   `json:"credit_large"`
+	// Bid accumulators; omitted when the instance runs in naive reference
+	// mode (they are then recomputed per arrival, never maintained).
+	BidSmall [][]float64 `json:"bid_small,omitempty"`
+	BidLarge []float64   `json:"bid_large,omitempty"`
+
+	Facilities []facilityState `json:"facilities"`
+	Assign     [][]int         `json:"assign"`
+}
+
+// MarshalState implements online.StateCodec. It refuses instances running
+// with TraceAnalysis: the Lemma 14 analysis history is diagnostic-only and
+// deliberately outside the serving-state contract.
+func (pd *PDOMFLP) MarshalState() ([]byte, error) {
+	if pd.opts.TraceAnalysis {
+		return nil, fmt.Errorf("core: PD-OMFLP state marshal does not support TraceAnalysis")
+	}
+	st := pdState{
+		Schema:      stateSchema,
+		Universe:    pd.u,
+		Candidates:  len(pd.ct.cands),
+		Points:      pd.points,
+		DemandIDs:   pd.demandIDs,
+		Duals:       pd.duals,
+		FacBoundary: pd.facBoundary,
+		CreditSmall: make([][]creditState, pd.u),
+		CreditLarge: creditsToState(pd.creditLarge),
+		Facilities:  facilitiesToState(pd.fx),
+		Assign:      pd.fx.sol.Assign,
+	}
+	for e := range pd.creditSmall {
+		st.CreditSmall[e] = creditsToState(pd.creditSmall[e])
+	}
+	if !pd.naiveBids {
+		st.BidSmall = pd.bidSmall
+		st.BidLarge = pd.bidLarge
+	}
+	return json.Marshal(&st)
+}
+
+// UnmarshalState implements online.StateCodec; see the interface contract —
+// the receiver must be freshly constructed with the parameters of the
+// instance that was marshaled.
+func (pd *PDOMFLP) UnmarshalState(data []byte) error {
+	if pd.opts.TraceAnalysis {
+		return fmt.Errorf("core: PD-OMFLP state restore does not support TraceAnalysis")
+	}
+	if len(pd.points) != 0 || len(pd.fx.sol.Facilities) != 0 {
+		return fmt.Errorf("core: PD-OMFLP state restore needs a fresh instance")
+	}
+	var st pdState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: PD-OMFLP state: %v", err)
+	}
+	if err := checkStateHeader("PD-OMFLP", st.Schema, st.Universe, pd.u, st.Candidates, len(pd.ct.cands)); err != nil {
+		return err
+	}
+	if len(st.CreditSmall) != pd.u {
+		return fmt.Errorf("core: PD-OMFLP state has %d credit rows for universe %d", len(st.CreditSmall), pd.u)
+	}
+	if err := restoreFacilities(pd.fx, st.Facilities); err != nil {
+		return err
+	}
+	pd.fx.sol.Assign = st.Assign
+	pd.points = st.Points
+	pd.demandIDs = st.DemandIDs
+	pd.duals = st.Duals
+	pd.facBoundary = st.FacBoundary
+	for e := range pd.creditSmall {
+		pd.creditSmall[e] = creditsFromState(st.CreditSmall[e])
+	}
+	pd.creditLarge = creditsFromState(st.CreditLarge)
+	if pd.naiveBids {
+		return nil // reference mode recomputes bids per arrival
+	}
+	if st.BidLarge != nil {
+		// State from an incremental instance: adopt the exact accumulator
+		// values (bit-identical continuation).
+		if len(st.BidSmall) != pd.u || len(st.BidLarge) != len(pd.ct.cands) {
+			return fmt.Errorf("core: PD-OMFLP state bid rows do not match universe/candidates")
+		}
+		for e, row := range st.BidSmall {
+			if row != nil && len(row) != len(pd.ct.cands) {
+				return fmt.Errorf("core: PD-OMFLP state bid row %d has %d entries, want %d", e, len(row), len(pd.ct.cands))
+			}
+			pd.bidSmall[e] = row
+		}
+		pd.bidLarge = st.BidLarge
+		return nil
+	}
+	// State from a naive reference instance: rebuild the accumulators from
+	// the (current) credit values.
+	for e, credits := range pd.creditSmall {
+		for _, cr := range credits {
+			pd.addBidRestored(e, cr)
+		}
+	}
+	for _, cr := range pd.creditLarge {
+		pd.addBid(pd.bidLarge, cr.point, cr.credit)
+	}
+	return nil
+}
+
+// addBidRestored folds one restored small credit into commodity e's bid row,
+// allocating the row on first use exactly like addCreditSmall.
+func (pd *PDOMFLP) addBidRestored(e int, cr pdCredit) {
+	row := pd.bidSmall[e]
+	if row == nil {
+		row = make([]float64, len(pd.ct.cands))
+		pd.bidSmall[e] = row
+	}
+	pd.addBid(row, cr.point, cr.credit)
+}
+
+// randState is RAND-OMFLP's serialized state. The rng position is recorded
+// as the number of coin flips drawn: a freshly constructed instance with the
+// same seed fast-forwards its generator by Draws to resume the identical
+// random stream (O(Draws) at a few ns per draw — cheap next to replaying
+// arrivals, and the only way to serialize math/rand's opaque source).
+type randState struct {
+	Schema     int `json:"schema"`
+	Universe   int `json:"universe"`
+	Candidates int `json:"candidates"`
+
+	Facilities []facilityState `json:"facilities"`
+	Assign     [][]int         `json:"assign"`
+	Served     int             `json:"served"`
+	Draws      int64           `json:"draws"`
+}
+
+// MarshalState implements online.StateCodec.
+func (ra *RandOMFLP) MarshalState() ([]byte, error) {
+	st := randState{
+		Schema:     stateSchema,
+		Universe:   ra.u,
+		Candidates: ra.nCands,
+		Facilities: facilitiesToState(ra.fx),
+		Assign:     ra.fx.sol.Assign,
+		Served:     len(ra.fx.sol.Assign),
+		Draws:      ra.draws,
+	}
+	return json.Marshal(&st)
+}
+
+// UnmarshalState implements online.StateCodec; the receiver must be freshly
+// constructed with the same space, costs, options and rng seed.
+func (ra *RandOMFLP) UnmarshalState(data []byte) error {
+	if len(ra.fx.sol.Facilities) != 0 || len(ra.fx.sol.Assign) != 0 || ra.draws != 0 {
+		return fmt.Errorf("core: RAND-OMFLP state restore needs a fresh instance")
+	}
+	var st randState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: RAND-OMFLP state: %v", err)
+	}
+	if err := checkStateHeader("RAND-OMFLP", st.Schema, st.Universe, ra.u, st.Candidates, ra.nCands); err != nil {
+		return err
+	}
+	if st.Served != len(st.Assign) {
+		return fmt.Errorf("core: RAND-OMFLP state served %d requests but carries %d assignments", st.Served, len(st.Assign))
+	}
+	if err := restoreFacilities(ra.fx, st.Facilities); err != nil {
+		return err
+	}
+	ra.fx.sol.Assign = st.Assign
+	for _, f := range st.Facilities {
+		if f.Large {
+			ra.largeOpen[f.Point] = true
+		} else {
+			ra.smallOpen[[2]int{f.E, f.Point}] = true
+		}
+	}
+	for i := int64(0); i < st.Draws; i++ {
+		ra.rng.Float64()
+	}
+	ra.draws = st.Draws
+	return nil
+}
+
+// heavyState is the heavy-aware extension's serialized state: the inner
+// PD-OMFLP state, each heavy commodity's OFL state, and the global
+// solution-translation bookkeeping. The light/heavy split itself is a pure
+// function of the constructor parameters and is re-derived, not serialized.
+type heavyState struct {
+	Schema   int `json:"schema"`
+	Universe int `json:"universe"`
+
+	Inner json.RawMessage `json:"inner"`
+	Heavy []heavySubState `json:"heavy,omitempty"`
+
+	Facilities    []heavyFacilityState `json:"facilities"`
+	Assign        [][]int              `json:"assign"`
+	InnerToGlobal []int                `json:"inner_to_global,omitempty"`
+	HeavyFacIdx   []heavyFacIdxState   `json:"heavy_fac_idx,omitempty"`
+}
+
+type heavySubState struct {
+	E     int             `json:"e"`
+	State json.RawMessage `json:"state"`
+}
+
+type heavyFacilityState struct {
+	Point int   `json:"p"`
+	IDs   []int `json:"ids"`
+}
+
+type heavyFacIdxState struct {
+	E     int `json:"e"`
+	Point int `json:"p"`
+	Idx   int `json:"i"`
+}
+
+// MarshalState implements online.StateCodec.
+func (ha *HeavyAware) MarshalState() ([]byte, error) {
+	inner, err := ha.inner.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	st := heavyState{
+		Schema:        stateSchema,
+		Universe:      ha.u,
+		Inner:         inner,
+		Facilities:    make([]heavyFacilityState, len(ha.sol.Facilities)),
+		Assign:        ha.sol.Assign,
+		InnerToGlobal: ha.innerToGlobal,
+	}
+	for i, f := range ha.sol.Facilities {
+		st.Facilities[i] = heavyFacilityState{Point: f.Point, IDs: f.Config.IDs()}
+	}
+	for _, e := range ha.heavy {
+		sub, err := ha.heavyA[e].MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.Heavy = append(st.Heavy, heavySubState{E: e, State: sub})
+	}
+	for key, idx := range ha.heavyFacIdx {
+		st.HeavyFacIdx = append(st.HeavyFacIdx, heavyFacIdxState{E: key[0], Point: key[1], Idx: idx})
+	}
+	sort.Slice(st.HeavyFacIdx, func(i, j int) bool {
+		a, b := st.HeavyFacIdx[i], st.HeavyFacIdx[j]
+		if a.E != b.E {
+			return a.E < b.E
+		}
+		return a.Point < b.Point
+	})
+	return json.Marshal(&st)
+}
+
+// UnmarshalState implements online.StateCodec; the receiver must be freshly
+// constructed with the same space, costs, options and threshold.
+func (ha *HeavyAware) UnmarshalState(data []byte) error {
+	if len(ha.sol.Facilities) != 0 || len(ha.sol.Assign) != 0 {
+		return fmt.Errorf("core: heavy-aware state restore needs a fresh instance")
+	}
+	var st heavyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: heavy-aware state: %v", err)
+	}
+	if st.Schema != stateSchema {
+		return fmt.Errorf("core: heavy-aware state schema %d, want %d", st.Schema, stateSchema)
+	}
+	if st.Universe != ha.u {
+		return fmt.Errorf("core: heavy-aware state universe %d, want %d", st.Universe, ha.u)
+	}
+	if len(st.Heavy) != len(ha.heavy) {
+		return fmt.Errorf("core: heavy-aware state has %d heavy commodities, want %d (different split?)",
+			len(st.Heavy), len(ha.heavy))
+	}
+	if err := ha.inner.UnmarshalState(st.Inner); err != nil {
+		return err
+	}
+	for _, sub := range st.Heavy {
+		alg, ok := ha.heavyA[sub.E]
+		if !ok {
+			return fmt.Errorf("core: heavy-aware state names heavy commodity %d, not heavy here", sub.E)
+		}
+		if err := alg.UnmarshalState(sub.State); err != nil {
+			return err
+		}
+	}
+	for _, f := range st.Facilities {
+		ha.sol.Facilities = append(ha.sol.Facilities, instance.Facility{Point: f.Point, Config: commodity.New(f.IDs...)})
+	}
+	ha.sol.Assign = st.Assign
+	ha.innerToGlobal = st.InnerToGlobal
+	for _, x := range st.HeavyFacIdx {
+		ha.heavyFacIdx[[2]int{x.E, x.Point}] = x.Idx
+	}
+	return nil
+}
+
+// facilitiesToState serializes a facility index's open facilities in opening
+// order with explicit small/large kinds.
+func facilitiesToState(fx *facilityIndex) []facilityState {
+	large := make(map[int]bool, len(fx.large))
+	for _, idx := range fx.large {
+		large[idx] = true
+	}
+	out := make([]facilityState, len(fx.sol.Facilities))
+	for i, f := range fx.sol.Facilities {
+		if large[i] {
+			out[i] = facilityState{Point: f.Point, Large: true}
+		} else {
+			out[i] = facilityState{Point: f.Point, E: f.Config.IDs()[0]}
+		}
+	}
+	return out
+}
+
+// restoreFacilities replays the serialized opening sequence through a fresh
+// facility index, rebuilding the per-commodity lists (and leaving the
+// nearest caches to refill lazily with identical tie-breaking).
+func restoreFacilities(fx *facilityIndex, facs []facilityState) error {
+	for _, f := range facs {
+		if f.Point < 0 || f.Point >= fx.space.Len() {
+			return fmt.Errorf("core: state facility at point %d outside space of %d points", f.Point, fx.space.Len())
+		}
+		if f.Large {
+			fx.openLarge(f.Point)
+			continue
+		}
+		if f.E < 0 || f.E >= fx.u {
+			return fmt.Errorf("core: state facility for commodity %d outside universe of %d", f.E, fx.u)
+		}
+		fx.openSmall(f.E, f.Point)
+	}
+	return nil
+}
+
+func creditsToState(credits []pdCredit) []creditState {
+	out := make([]creditState, len(credits))
+	for i, cr := range credits {
+		out[i] = creditState{Point: cr.point, Credit: cr.credit}
+	}
+	return out
+}
+
+func creditsFromState(credits []creditState) []pdCredit {
+	out := make([]pdCredit, len(credits))
+	for i, cr := range credits {
+		out[i] = pdCredit{point: cr.Point, credit: cr.Credit}
+	}
+	return out
+}
+
+func checkStateHeader(alg string, schema, universe, wantU, cands, wantCands int) error {
+	if schema != stateSchema {
+		return fmt.Errorf("core: %s state schema %d, want %d", alg, schema, stateSchema)
+	}
+	if universe != wantU {
+		return fmt.Errorf("core: %s state universe %d, want %d", alg, universe, wantU)
+	}
+	if cands != wantCands {
+		return fmt.Errorf("core: %s state has %d candidates, want %d", alg, cands, wantCands)
+	}
+	return nil
+}
+
+// Interface conformance (compile-time): the core algorithms and the ofl
+// substrates satisfy online.StateCodec.
+var (
+	_ online.StateCodec = (*PDOMFLP)(nil)
+	_ online.StateCodec = (*RandOMFLP)(nil)
+	_ online.StateCodec = (*HeavyAware)(nil)
+	_ online.StateCodec = (*ofl.FotakisPD)(nil)
+	_ online.StateCodec = (*ofl.Meyerson)(nil)
+)

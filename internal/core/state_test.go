@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+	"repro/internal/online"
+)
+
+// stateTestRig builds a deterministic random workload on a shared substrate
+// for the marshal/restore differential tests.
+type stateTestRig struct {
+	space    metric.Space
+	costs    cost.Model
+	u        int
+	requests []instance.Request
+}
+
+func newStateRig(seed int64, n int) *stateTestRig {
+	rng := rand.New(rand.NewSource(seed))
+	u := 2 + rng.Intn(6)
+	space := metric.RandomEuclidean(rng, 6+rng.Intn(14), 2, 60)
+	rig := &stateTestRig{
+		space: space,
+		costs: cost.PowerLaw(u, 1, 0.5+rng.Float64()*3),
+		u:     u,
+	}
+	for i := 0; i < n; i++ {
+		rig.requests = append(rig.requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+	}
+	return rig
+}
+
+// assertSuffixIdentical drives the original algorithm to `cut`, marshals it,
+// restores the bytes into the freshly built clone, serves the identical
+// suffix through both, and requires bit-identical solutions throughout —
+// the online.StateCodec contract.
+func assertSuffixIdentical(t *testing.T, rig *stateTestRig, cut int, orig online.Algorithm, fresh func() online.Algorithm) {
+	t.Helper()
+	for _, r := range rig.requests[:cut] {
+		orig.Serve(r)
+	}
+	sc := orig.(online.StateCodec)
+	blob, err := sc.MarshalState()
+	if err != nil {
+		t.Fatalf("cut %d: marshal: %v", cut, err)
+	}
+	restored := fresh()
+	if err := restored.(online.StateCodec).UnmarshalState(blob); err != nil {
+		t.Fatalf("cut %d: unmarshal: %v", cut, err)
+	}
+	if !reflect.DeepEqual(orig.Solution(), restored.Solution()) {
+		t.Fatalf("cut %d: restored solution differs before any suffix arrival", cut)
+	}
+	for i, r := range rig.requests[cut:] {
+		orig.Serve(r)
+		restored.Serve(r)
+		if !reflect.DeepEqual(orig.Solution(), restored.Solution()) {
+			t.Fatalf("cut %d: solutions diverge at suffix arrival %d", cut, i)
+		}
+	}
+	// A second marshal of both must agree byte-for-byte: the restored
+	// instance carries the full serving state, not just the solution.
+	a, err := orig.(online.StateCodec).MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.(online.StateCodec).MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("cut %d: post-suffix states differ", cut)
+	}
+}
+
+func TestPDStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rig := newStateRig(seed, 60)
+		for _, cut := range []int{0, 1, 17, 60} {
+			for _, opts := range []Options{{}, {DisablePrediction: true}} {
+				opts := opts
+				assertSuffixIdentical(t, rig, cut,
+					NewPDOMFLP(rig.space, rig.costs, opts),
+					func() online.Algorithm { return NewPDOMFLP(rig.space, rig.costs, opts) })
+			}
+		}
+	}
+}
+
+// TestPDStateDualsPreserved: the dual objective — the certified lower bound
+// snapshots report — must survive the round trip exactly.
+func TestPDStateDualsPreserved(t *testing.T) {
+	rig := newStateRig(9, 50)
+	pd := NewPDOMFLP(rig.space, rig.costs, Options{})
+	for _, r := range rig.requests {
+		pd.Serve(r)
+	}
+	blob, err := pd.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewPDOMFLP(rig.space, rig.costs, Options{})
+	if err := back.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.DualTotal(), pd.DualTotal(); got != want {
+		t.Errorf("DualTotal = %v after restore, want %v (must be exact)", got, want)
+	}
+	ids1, duals1, pts1 := pd.Duals()
+	ids2, duals2, pts2 := back.Duals()
+	if !reflect.DeepEqual(ids1, ids2) || !reflect.DeepEqual(duals1, duals2) || !reflect.DeepEqual(pts1, pts2) {
+		t.Error("frozen duals changed across the state round trip")
+	}
+	// ServeLog reconstructs from the restored history bookkeeping.
+	if !reflect.DeepEqual(pd.ServeLog(), back.ServeLog()) {
+		t.Error("ServeLog changed across the state round trip")
+	}
+}
+
+// TestPDStateFromReference: state marshaled by the naive-bids reference
+// instance restores onto an incremental instance (bids rebuilt from
+// credits) and serves suffixes identically to the reference.
+func TestPDStateFromReference(t *testing.T) {
+	rig := newStateRig(5, 40)
+	ref := NewPDReference(rig.space, rig.costs, Options{})
+	for _, r := range rig.requests[:25] {
+		ref.Serve(r)
+	}
+	blob, err := ref.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewPDOMFLP(rig.space, rig.costs, Options{})
+	if err := inc.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rig.requests[25:] {
+		ref.Serve(r)
+		inc.Serve(r)
+	}
+	if !reflect.DeepEqual(ref.Solution(), inc.Solution()) {
+		t.Error("incremental restore of reference state diverged on the suffix")
+	}
+}
+
+func TestRandStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rig := newStateRig(seed, 60)
+		for _, cut := range []int{0, 1, 23, 60} {
+			for _, opts := range []Options{{}, {DisablePrediction: true}} {
+				opts := opts
+				assertSuffixIdentical(t, rig, cut,
+					NewRandOMFLP(rig.space, rig.costs, opts, rand.New(rand.NewSource(seed*101))),
+					func() online.Algorithm {
+						return NewRandOMFLP(rig.space, rig.costs, opts, rand.New(rand.NewSource(seed*101)))
+					})
+			}
+		}
+	}
+}
+
+func TestHeavyAwareStateSuffixIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := 5
+	space := metric.RandomEuclidean(rng, 12, 2, 60)
+	// A size-table model with near-linear growth: singletons are expensive
+	// relative to the average, so the heavy/light split is non-trivial.
+	costs := mustTable(t, u)
+	rig := &stateTestRig{space: space, costs: costs, u: u}
+	for i := 0; i < 50; i++ {
+		rig.requests = append(rig.requests, instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+	}
+	for _, cut := range []int{0, 13, 50} {
+		assertSuffixIdentical(t, rig, cut,
+			NewHeavyAware(rig.space, rig.costs, Options{}, 1.5),
+			func() online.Algorithm { return NewHeavyAware(rig.space, rig.costs, Options{}, 1.5) })
+	}
+}
+
+func mustTable(t *testing.T, u int) cost.Model {
+	t.Helper()
+	bySize := make([]float64, u+1)
+	for k := 1; k <= u; k++ {
+		bySize[k] = float64(k) * 1.5
+	}
+	m, err := cost.NewTable(bySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStateRestoreErrors: mismatched or stale restores must refuse loudly.
+func TestStateRestoreErrors(t *testing.T) {
+	rig := newStateRig(2, 10)
+	pd := NewPDOMFLP(rig.space, rig.costs, Options{})
+	for _, r := range rig.requests {
+		pd.Serve(r)
+	}
+	blob, err := pd.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restoring onto a non-fresh instance.
+	used := NewPDOMFLP(rig.space, rig.costs, Options{})
+	used.Serve(rig.requests[0])
+	if err := used.UnmarshalState(blob); err == nil {
+		t.Error("restore onto a non-fresh instance succeeded")
+	}
+	// Restoring under a different universe.
+	other := NewPDOMFLP(rig.space, cost.PowerLaw(rig.u+1, 1, 1), Options{})
+	if err := other.UnmarshalState(blob); err == nil {
+		t.Error("restore under a different universe succeeded")
+	}
+	// Restoring under a different candidate set.
+	cands := NewPDOMFLP(rig.space, rig.costs, Options{Candidates: []int{0, 1}})
+	if err := cands.UnmarshalState(blob); err == nil {
+		t.Error("restore under a different candidate set succeeded")
+	}
+	// Garbage bytes.
+	fresh := NewPDOMFLP(rig.space, rig.costs, Options{})
+	if err := fresh.UnmarshalState([]byte("{")); err == nil {
+		t.Error("restore of corrupt bytes succeeded")
+	}
+	// TraceAnalysis instances are outside the contract, both directions.
+	ta := NewPDOMFLP(rig.space, rig.costs, Options{TraceAnalysis: true})
+	if _, err := ta.MarshalState(); err == nil {
+		t.Error("marshal with TraceAnalysis succeeded")
+	}
+	if err := ta.UnmarshalState(blob); err == nil {
+		t.Error("restore into a TraceAnalysis instance succeeded")
+	}
+
+	// RAND: wrong candidate count and non-fresh instance.
+	ra := NewRandOMFLP(rig.space, rig.costs, Options{}, rand.New(rand.NewSource(1)))
+	for _, r := range rig.requests {
+		ra.Serve(r)
+	}
+	rblob, err := ra.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.UnmarshalState(rblob); err == nil {
+		t.Error("RAND restore onto a non-fresh instance succeeded")
+	}
+	raCands := NewRandOMFLP(rig.space, rig.costs, Options{Candidates: []int{0}}, rand.New(rand.NewSource(1)))
+	if err := raCands.UnmarshalState(rblob); err == nil {
+		t.Error("RAND restore under a different candidate set succeeded")
+	}
+}
+
+// TestStateSingletonUniverse: with |S| = 1 a large facility's configuration
+// equals the singleton's, so the explicit large flag in the serialized
+// facility list is load-bearing — a restore must preserve facility kinds.
+func TestStateSingletonUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	space := metric.RandomEuclidean(rng, 8, 2, 40)
+	costs := cost.PowerLaw(1, 1, 2)
+	var reqs []instance.Request
+	for i := 0; i < 30; i++ {
+		reqs = append(reqs, instance.Request{Point: rng.Intn(space.Len()), Demands: commodity.New(0)})
+	}
+	rig := &stateTestRig{space: space, costs: costs, u: 1, requests: reqs}
+	assertSuffixIdentical(t, rig, 15,
+		NewPDOMFLP(space, costs, Options{}),
+		func() online.Algorithm { return NewPDOMFLP(space, costs, Options{}) })
+	assertSuffixIdentical(t, rig, 15,
+		NewRandOMFLP(space, costs, Options{}, rand.New(rand.NewSource(4))),
+		func() online.Algorithm { return NewRandOMFLP(space, costs, Options{}, rand.New(rand.NewSource(4))) })
+}

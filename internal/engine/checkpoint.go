@@ -12,20 +12,29 @@ import (
 	"repro/internal/cost"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/online"
 )
 
-// CheckpointVersion is the format version written into checkpoints; Restore
-// rejects anything else.
-const CheckpointVersion = 1
+// Checkpoint format versions. Version 1 recorded every tenant's full arrival
+// history and restored by replaying all of it — O(history) work and
+// unbounded growth. Version 2 (the format Checkpoint now writes) records,
+// per tenant, a base snapshot of the algorithm's serialized state plus only
+// the arrival-log segment served since that base, so Restore loads the state
+// and replays O(segment) arrivals. Version 1 checkpoints remain readable:
+// Restore treats them as an empty base with the full history as the tail.
+const (
+	CheckpointVersionV1 = 1
+	CheckpointVersion   = 2
+)
 
 // Checkpoint is a durable, self-contained record of an engine's state: for
 // every tenant, the substrate it was created on (matrix metric + size cost
-// table, the same serializable shape as the op protocol and gentrace files)
-// and the exact arrival sequence it has served. Because tenant algorithm
-// seeds derive from the engine seed and the tenant name — never from timing
-// or shard layout — re-creating each tenant and replaying its arrivals
-// reproduces its state byte-for-byte: snapshot(before crash) ==
-// snapshot(restore + replay).
+// table, the same serializable shape as the op protocol and gentrace files),
+// an optional base state snapshot, and the arrival segment served since the
+// base. Tenant algorithm seeds derive from the engine seed and the tenant
+// name — never from timing or shard layout — so re-creating each tenant,
+// loading its base state and replaying its tail reproduces its state
+// byte-for-byte: snapshot(before crash) == snapshot(restore + replay).
 type Checkpoint struct {
 	Version   int                `json:"version"`
 	Algorithm string             `json:"algorithm"`
@@ -33,10 +42,22 @@ type Checkpoint struct {
 	Tenants   []TenantCheckpoint `json:"tenants"`
 }
 
-// TenantCheckpoint is one tenant's replayable record.
+// TenantCheckpoint is one tenant's restorable record.
 type TenantCheckpoint struct {
 	Tenant string `json:"tenant"`
 	TenantOrigin
+
+	// BaseState is the tenant algorithm's serialized state at BaseServed
+	// arrivals (online.StateCodec), with the cost accounting frozen at
+	// that moment. Absent (v1 checkpoints, or never-sealed v2 tenants)
+	// the tenant restores from genesis.
+	BaseState        json.RawMessage `json:"base_state,omitempty"`
+	BaseServed       int             `json:"base_served,omitempty"`
+	BaseConstruction float64         `json:"base_construction,omitempty"`
+	BaseAssignment   float64         `json:"base_assignment,omitempty"`
+
+	// Arrivals is the append-only arrival-log segment since the base
+	// (v1: the full history). Restore replays exactly these.
 	Arrivals []ArrivalRecord `json:"arrivals"`
 }
 
@@ -53,8 +74,19 @@ type ArrivalRecord struct {
 	Demands []int `json:"demands"`
 }
 
-// Arrivals returns the total arrival count recorded in the checkpoint.
+// Arrivals returns the total arrival count the checkpoint represents:
+// arrivals folded into base states plus tail segments.
 func (ck *Checkpoint) Arrivals() int {
+	n := 0
+	for i := range ck.Tenants {
+		n += ck.Tenants[i].BaseServed + len(ck.Tenants[i].Arrivals)
+	}
+	return n
+}
+
+// TailArrivals returns the arrival count in the tail segments only — the
+// number of arrivals a restore of this checkpoint will replay.
+func (ck *Checkpoint) TailArrivals() int {
 	n := 0
 	for i := range ck.Tenants {
 		n += len(ck.Tenants[i].Arrivals)
@@ -101,8 +133,51 @@ func (t *tenant) checkpointOrigin() (*TenantOrigin, error) {
 	return o, nil
 }
 
-// checkpoint builds the tenant's replayable record; shard goroutine only.
-func (t *tenant) checkpoint() (TenantCheckpoint, error) {
+// checkpointV2 builds the tenant's v2 record; shard goroutine only. A
+// non-recording tenant is sealed on every capture (base = now, empty tail);
+// a recording tenant re-bases only when its tail reached SealEvery (the
+// serve path normally keeps that invariant already) and otherwise reuses the
+// cached base bytes.
+func (t *tenant) checkpointV2() (TenantCheckpoint, error) {
+	o, err := t.checkpointOrigin()
+	if err != nil {
+		return TenantCheckpoint{}, err
+	}
+	if !t.record {
+		if err := t.seal(); err != nil {
+			return TenantCheckpoint{}, fmt.Errorf("%v (enable Config.RecordArrivals to checkpoint by arrival replay)", err)
+		}
+	} else if t.sealEvery > 0 && !t.sealBroken && len(t.history) >= t.sealEvery {
+		if t.seal() != nil {
+			t.sealBroken = true // fall back to the full tail below
+		}
+	}
+	tc := TenantCheckpoint{
+		Tenant:           t.id,
+		TenantOrigin:     *o,
+		BaseState:        t.baseState,
+		BaseServed:       t.baseServed,
+		BaseConstruction: t.baseConstruction,
+		BaseAssignment:   t.baseAssignment,
+		Arrivals:         make([]ArrivalRecord, len(t.history)),
+	}
+	for i, r := range t.history {
+		tc.Arrivals[i] = ArrivalRecord{Point: r.Point, Demands: r.Demands.IDs()}
+	}
+	return tc, nil
+}
+
+// checkpointV1 builds the tenant's legacy v1 record: the full arrival
+// history, no base. It errors once any arrivals have been folded into a
+// base (the history is then no longer complete). Shard goroutine only.
+func (t *tenant) checkpointV1() (TenantCheckpoint, error) {
+	if !t.record {
+		return TenantCheckpoint{}, fmt.Errorf("engine: tenant %q: v1 checkpoints require Config.RecordArrivals", t.id)
+	}
+	if t.baseServed > 0 {
+		return TenantCheckpoint{}, fmt.Errorf("engine: tenant %q: %d arrivals already sealed into a base state; v1 checkpoint impossible (set Config.SealEvery < 0 to disable sealing)",
+			t.id, t.baseServed)
+	}
 	o, err := t.checkpointOrigin()
 	if err != nil {
 		return TenantCheckpoint{}, err
@@ -118,16 +193,33 @@ func (t *tenant) checkpoint() (TenantCheckpoint, error) {
 	return tc, nil
 }
 
-// Checkpoint captures a consistent engine checkpoint: every tenant's record
-// is taken on its shard goroutine, serialized with its arrival stream, so
-// each tenant's arrival list is a consistent cut covering everything
-// admitted for it before the call. Tenants are sorted by name, making the
-// artifact deterministic. Requires Config.RecordArrivals; errors otherwise,
-// and on tenants whose substrate cannot be serialized.
+// Checkpoint captures a consistent engine checkpoint in format v2: every
+// tenant's record is taken on its shard goroutine, serialized with its
+// arrival stream, so each record is a consistent cut covering everything
+// admitted for the tenant before the call. Tenants are sorted by name,
+// making the artifact deterministic.
+//
+// With Config.RecordArrivals the capture is cheap — cached base bytes plus
+// the bounded arrival tail. Without it, every tenant's algorithm state is
+// marshaled afresh on every call, which requires the algorithm to implement
+// online.StateCodec (both built-in algorithms do); tenants whose substrate
+// cannot be serialized error in either mode.
 func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	return e.capture(CheckpointVersion, (*tenant).checkpointV2)
+}
+
+// CheckpointV1 captures a checkpoint in the legacy v1 format (full arrival
+// history, no base states) — for migration tests and format benchmarks. It
+// requires Config.RecordArrivals and fails once any tenant has sealed part
+// of its history into a base (disable sealing with Config.SealEvery < 0).
+func (e *Engine) CheckpointV1() (*Checkpoint, error) {
 	if !e.cfg.RecordArrivals {
-		return nil, fmt.Errorf("engine: Checkpoint requires Config.RecordArrivals")
+		return nil, fmt.Errorf("engine: CheckpointV1 requires Config.RecordArrivals")
 	}
+	return e.capture(CheckpointVersionV1, (*tenant).checkpointV1)
+}
+
+func (e *Engine) capture(version int, record func(*tenant) (TenantCheckpoint, error)) (*Checkpoint, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -154,7 +246,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 			defer wg.Done()
 			s.control(func() {
 				for _, t := range group {
-					tc, err := t.checkpoint()
+					tc, err := record(t)
 					rmu.Lock()
 					if err != nil && firstErr == nil {
 						firstErr = err
@@ -171,7 +263,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	}
 
 	ck := &Checkpoint{
-		Version:   CheckpointVersion,
+		Version:   version,
 		Algorithm: e.cfg.algoName(),
 		Seed:      e.cfg.Seed,
 		Tenants:   make([]TenantCheckpoint, len(tns)),
@@ -182,79 +274,140 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	return ck, nil
 }
 
+// RestoreStats reports what a Restore did: how many tenants were rebuilt,
+// the total arrivals the checkpoint represents, how many of those were
+// actually replayed through the serve path (the tail segments — the rest
+// were loaded as serialized state), and the base-state volume loaded.
+type RestoreStats struct {
+	Tenants     int   `json:"tenants"`
+	Arrivals    int   `json:"arrivals"`
+	Replayed    int   `json:"replayed"`
+	BasesLoaded int   `json:"bases_loaded"`
+	StateBytes  int64 `json:"state_bytes"`
+}
+
 // Restore rebuilds the checkpointed tenants on the engine: each tenant is
-// re-created on its serialized substrate and its arrivals are replayed
-// through the normal serve path. The engine's algorithm and seed must match
-// the checkpoint's — restoring under different ones would silently change
-// every tenant's decisions — and none of the checkpointed tenants may
-// already exist. Restore returns once all arrivals are admitted; snapshots
-// (which serialize behind the replay on each shard) see the restored state.
-func (e *Engine) Restore(ck *Checkpoint) error {
-	if ck.Version != CheckpointVersion {
-		return fmt.Errorf("engine: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+// re-created on its serialized substrate, its base state (if any) is loaded
+// through online.StateCodec, and only the tail segment is replayed through
+// the normal serve path — O(segment) serve work per tenant, not O(history).
+// The engine's algorithm and seed must match the checkpoint's — restoring
+// under different ones would silently change every tenant's decisions — and
+// none of the checkpointed tenants may already exist. Restore returns once
+// all tail arrivals are admitted; snapshots (which serialize behind the
+// replay on each shard) see the restored state.
+func (e *Engine) Restore(ck *Checkpoint) (RestoreStats, error) {
+	var stats RestoreStats
+	switch ck.Version {
+	case CheckpointVersionV1, CheckpointVersion:
+	default:
+		return stats, fmt.Errorf("engine: checkpoint version %d, want %d or %d",
+			ck.Version, CheckpointVersionV1, CheckpointVersion)
 	}
 	if got, want := e.cfg.algoName(), ck.Algorithm; got != want {
-		return fmt.Errorf("engine: checkpoint was taken with algorithm %q, engine runs %q", want, got)
+		return stats, fmt.Errorf("engine: checkpoint was taken with algorithm %q, engine runs %q", want, got)
 	}
 	if e.cfg.Seed != ck.Seed {
-		return fmt.Errorf("engine: checkpoint was taken with seed %d, engine runs seed %d", ck.Seed, e.cfg.Seed)
+		return stats, fmt.Errorf("engine: checkpoint was taken with seed %d, engine runs seed %d", ck.Seed, e.cfg.Seed)
 	}
 	for i := range ck.Tenants {
 		tc := &ck.Tenants[i]
 		if len(tc.CostBySize) != tc.Universe+1 {
-			return fmt.Errorf("engine: restore %q: cost table has %d entries for universe %d",
+			return stats, fmt.Errorf("engine: restore %q: cost table has %d entries for universe %d",
 				tc.Tenant, len(tc.CostBySize), tc.Universe)
 		}
 		table, err := cost.NewTable(tc.CostBySize)
 		if err != nil {
-			return fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+			return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
 		}
 		origin := tc.TenantOrigin
 		if err := e.createTenant(tc.Tenant, metric.NewMatrix(tc.Distances), table, &origin); err != nil {
-			return err
+			return stats, err
+		}
+		if len(tc.BaseState) > 0 {
+			if err := e.loadBase(tc); err != nil {
+				return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+			}
+			stats.BasesLoaded++
+			stats.StateBytes += int64(len(tc.BaseState))
 		}
 		for _, a := range tc.Arrivals {
 			err := e.Serve(tc.Tenant, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
 			if err != nil {
-				return fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+				return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
 			}
 		}
+		stats.Tenants++
+		stats.Arrivals += tc.BaseServed + len(tc.Arrivals)
+		stats.Replayed += len(tc.Arrivals)
 	}
-	return nil
+	return stats, nil
+}
+
+// loadBase installs a checkpointed base state into a freshly created tenant:
+// the algorithm state is unmarshaled and the serve counters are set to their
+// sealed values, all on the shard goroutine so it serializes before any
+// replayed arrivals.
+func (e *Engine) loadBase(tc *TenantCheckpoint) error {
+	e.mu.Lock()
+	t := e.tenants[tc.Tenant]
+	e.mu.Unlock()
+	var rerr error
+	t.shard.control(func() {
+		sc, ok := t.alg.(online.StateCodec)
+		if !ok {
+			rerr = fmt.Errorf("checkpoint has a base state but algorithm %q cannot load one", t.alg.Name())
+			return
+		}
+		if err := sc.UnmarshalState(tc.BaseState); err != nil {
+			rerr = err
+			return
+		}
+		t.served = tc.BaseServed
+		t.construction = tc.BaseConstruction
+		t.assignment = tc.BaseAssignment
+		t.facCursor = len(t.alg.Solution().Facilities)
+		t.baseState = tc.BaseState
+		t.baseServed = tc.BaseServed
+		t.baseConstruction = tc.BaseConstruction
+		t.baseAssignment = tc.BaseAssignment
+	})
+	return rerr
 }
 
 // WriteFile writes the checkpoint to path atomically: the JSON document goes
 // to a temporary file in the same directory, is synced, and is renamed over
-// path — a crash mid-write never corrupts the previous checkpoint.
-func (ck *Checkpoint) WriteFile(path string) error {
+// path — a crash mid-write never corrupts the previous checkpoint. It
+// returns the encoded size in bytes.
+func (ck *Checkpoint) WriteFile(path string) (int, error) {
 	data, err := json.Marshal(ck)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp.Name(), path)
+	return len(data), os.Rename(tmp.Name(), path)
 }
 
-// ReadCheckpointFile reads a checkpoint written by WriteFile.
+// ReadCheckpointFile reads a checkpoint written by WriteFile (either
+// format version).
 func ReadCheckpointFile(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -65,7 +65,7 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 		// served the same prefix directly.
 		restored := New(Config{Algorithm: algo, Shards: 5, Seed: 7, RecordArrivals: true})
 		defer restored.Close()
-		if err := restored.Restore(ck); err != nil {
+		if _, err := restored.Restore(ck); err != nil {
 			t.Fatal(err)
 		}
 		restoredSnaps, err := restored.SnapshotAll()
@@ -125,7 +125,7 @@ func TestCheckpointThenContinue(t *testing.T) {
 
 	resumed := New(cfg)
 	defer resumed.Close()
-	if err := resumed.Restore(ck); err != nil {
+	if _, err := resumed.Restore(ck); err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range tr.Instance.Requests {
@@ -158,11 +158,11 @@ func TestCheckpointFileAtomicRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ckpt", "engine.ckpt.json")
-	if err := ck.WriteFile(path); err != nil {
+	if _, err := ck.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	// Overwrite must go through the tmp+rename path too.
-	if err := ck.WriteFile(path); err != nil {
+	if _, err := ck.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadCheckpointFile(path)
@@ -187,16 +187,23 @@ func TestCheckpointFileAtomicRoundTrip(t *testing.T) {
 }
 
 func TestCheckpointErrors(t *testing.T) {
-	// Without RecordArrivals checkpointing must refuse rather than silently
-	// produce an empty state.
+	// Without RecordArrivals checkpointing works through the state-marshal
+	// path (both built-in algorithms implement online.StateCodec); a closed
+	// engine must still refuse.
 	e := New(Config{Shards: 1})
-	if _, err := e.Checkpoint(); err == nil {
-		t.Error("Checkpoint without RecordArrivals succeeded")
+	if _, err := e.Checkpoint(); err != nil {
+		t.Errorf("Checkpoint without RecordArrivals failed: %v", err)
 	}
 	e.Close()
 	if _, err := e.Checkpoint(); err == nil {
 		t.Error("Checkpoint on closed engine succeeded")
 	}
+	// The legacy v1 capture does require the recorded history.
+	e2 := New(Config{Shards: 1})
+	if _, err := e2.CheckpointV1(); err == nil {
+		t.Error("CheckpointV1 without RecordArrivals succeeded")
+	}
+	e2.Close()
 
 	// Mismatched restore targets are configuration errors.
 	src := New(Config{Algorithm: "pd", Seed: 1, Shards: 1, RecordArrivals: true})
@@ -208,22 +215,22 @@ func TestCheckpointErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mustEngine(t, Config{Algorithm: "rand", Seed: 1, Shards: 1}).Restore(ck); err == nil {
+	if _, err := mustEngine(t, Config{Algorithm: "rand", Seed: 1, Shards: 1}).Restore(ck); err == nil {
 		t.Error("restore under a different algorithm succeeded")
 	}
-	if err := mustEngine(t, Config{Algorithm: "pd", Seed: 2, Shards: 1}).Restore(ck); err == nil {
+	if _, err := mustEngine(t, Config{Algorithm: "pd", Seed: 2, Shards: 1}).Restore(ck); err == nil {
 		t.Error("restore under a different seed succeeded")
 	}
 	dup := mustEngine(t, Config{Algorithm: "pd", Seed: 1, Shards: 1})
-	if err := dup.Restore(ck); err != nil {
+	if _, err := dup.Restore(ck); err != nil {
 		t.Fatal(err)
 	}
-	if err := dup.Restore(ck); err == nil {
+	if _, err := dup.Restore(ck); err == nil {
 		t.Error("double restore of the same tenants succeeded")
 	}
 	bad := *ck
 	bad.Version = 99
-	if err := mustEngine(t, Config{Algorithm: "pd", Seed: 1, Shards: 1}).Restore(&bad); err == nil {
+	if _, err := mustEngine(t, Config{Algorithm: "pd", Seed: 1, Shards: 1}).Restore(&bad); err == nil {
 		t.Error("unknown checkpoint version accepted")
 	}
 
@@ -252,5 +259,267 @@ func TestCheckpointNonUniformCostRefused(t *testing.T) {
 	}
 	if _, err := e.Checkpoint(); err == nil {
 		t.Error("checkpoint of a point-scaled tenant succeeded")
+	}
+}
+
+// TestCheckpointV2SealedRoundTrip is the format-v2 durability contract at
+// several shard counts: with a small SealEvery, tenants re-base on the serve
+// path, the checkpoint carries base states plus short tails, a restore
+// replays at most SealEvery arrivals per tenant, and the restored snapshots
+// equal both the pre-checkpoint snapshots and a direct run of the same
+// prefix. Runs under -race in CI.
+func TestCheckpointV2SealedRoundTrip(t *testing.T) {
+	const (
+		tenants   = 3
+		arrivals  = 150
+		sealEvery = 10
+	)
+	tr := fixedTrace(42, arrivals, 6, 12)
+	for _, algo := range []string{"pd", "rand"} {
+		for _, shards := range []int{1, 2, 8} {
+			cfg := Config{Algorithm: algo, Shards: shards, Seed: 7, RecordArrivals: true, SealEvery: sealEvery}
+			e := New(cfg)
+			if _, err := e.ReplayTrace(tr, tenants); err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.SnapshotAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, err := e.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Close()
+
+			if ck.Version != CheckpointVersion {
+				t.Fatalf("%s/%d shards: checkpoint version %d, want %d", algo, shards, ck.Version, CheckpointVersion)
+			}
+			if got := ck.Arrivals(); got != arrivals {
+				t.Fatalf("%s/%d shards: checkpoint represents %d arrivals, want %d", algo, shards, got, arrivals)
+			}
+			if tail := ck.TailArrivals(); tail >= tenants*sealEvery {
+				t.Errorf("%s/%d shards: tail %d arrivals, want < tenants×SealEvery = %d",
+					algo, shards, tail, tenants*sealEvery)
+			}
+			for i := range ck.Tenants {
+				if len(ck.Tenants[i].BaseState) == 0 {
+					t.Errorf("%s/%d shards: tenant %s has no base state", algo, shards, ck.Tenants[i].Tenant)
+				}
+			}
+
+			// Restore on a different shard count on purpose.
+			restored := New(Config{Algorithm: algo, Shards: shards%8 + 1, Seed: 7, RecordArrivals: true, SealEvery: sealEvery})
+			stats, err := restored.Restore(ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Arrivals != arrivals || stats.Tenants != tenants || stats.BasesLoaded != tenants {
+				t.Errorf("%s/%d shards: restore stats %+v", algo, shards, stats)
+			}
+			if stats.Replayed != ck.TailArrivals() || stats.Replayed >= tenants*sealEvery {
+				t.Errorf("%s/%d shards: restore replayed %d arrivals, want tail (%d) and < %d",
+					algo, shards, stats.Replayed, ck.TailArrivals(), tenants*sealEvery)
+			}
+			got, err := restored.SnapshotAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored.Close()
+			if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+				t.Errorf("%s/%d shards: restored snapshots differ from pre-checkpoint snapshots", algo, shards)
+			}
+		}
+	}
+}
+
+// TestCheckpointV2ThenContinue: restoring a v2 checkpoint mid-stream and
+// serving the rest must land on exactly the uninterrupted run's state — the
+// crash-consistency guarantee through base states instead of full replay.
+func TestCheckpointV2ThenContinue(t *testing.T) {
+	tr := fixedTrace(33, 120, 5, 10)
+	for _, algo := range []string{"pd", "rand"} {
+		cfg := Config{Algorithm: algo, Shards: 4, Seed: 11, RecordArrivals: true, SealEvery: 16}
+
+		e := New(cfg)
+		if _, err := e.ReplayTrace(tr, 2); err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+
+		crashed := New(cfg)
+		var ck *Checkpoint
+		serveHalves(t, crashed, tr, 2, 70, func() {
+			var err error
+			if ck, err = crashed.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		crashed.Close()
+
+		resumed := New(cfg)
+		stats, err := resumed.Restore(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Replayed > 2*16 {
+			t.Errorf("%s: restore replayed %d arrivals, want ≤ tenants×SealEvery = 32", algo, stats.Replayed)
+		}
+		for i, r := range tr.Instance.Requests {
+			if i < 70 {
+				continue
+			}
+			if err := resumed.Serve(tenantName(i%2), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := resumed.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed.Close()
+		if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+			t.Errorf("%s: v2 checkpoint + restore + replay diverged from the uninterrupted run", algo)
+		}
+	}
+}
+
+// TestCheckpointWithoutRecordArrivals: without the arrival history the
+// engine checkpoints by marshaling state at capture time — every tenant is
+// sealed, nothing is replayed on restore, snapshots still match exactly.
+func TestCheckpointWithoutRecordArrivals(t *testing.T) {
+	tr := fixedTrace(8, 90, 5, 11)
+	for _, algo := range []string{"pd", "rand"} {
+		cfg := Config{Algorithm: algo, Shards: 3, Seed: 5}
+		e := New(cfg)
+		if _, err := e.ReplayTrace(tr, 3); err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := e.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		if ck.TailArrivals() != 0 {
+			t.Fatalf("%s: no-record checkpoint has a %d-arrival tail, want 0", algo, ck.TailArrivals())
+		}
+		if ck.Arrivals() != 90 {
+			t.Fatalf("%s: no-record checkpoint represents %d arrivals, want 90", algo, ck.Arrivals())
+		}
+		restored := New(cfg)
+		stats, err := restored.Restore(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Replayed != 0 || stats.BasesLoaded != 3 {
+			t.Errorf("%s: restore stats %+v, want 0 replayed / 3 bases", algo, stats)
+		}
+		got, err := restored.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored.Close()
+		if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+			t.Errorf("%s: state-only restore diverged from the source engine", algo)
+		}
+	}
+}
+
+// TestCheckpointV1Migration is the v1 → v2 migration path: a legacy v1
+// checkpoint restores (full replay), the restored engine's next Checkpoint
+// emits v2, and that v2 checkpoint restores with bounded replay onto a
+// third engine — all three agreeing byte-for-byte.
+func TestCheckpointV1Migration(t *testing.T) {
+	tr := fixedTrace(14, 100, 6, 12)
+	for _, algo := range []string{"pd", "rand"} {
+		// SealEvery < 0 disables sealing so the full history stays
+		// available for the legacy capture.
+		legacy := New(Config{Algorithm: algo, Shards: 2, Seed: 9, RecordArrivals: true, SealEvery: -1})
+		if _, err := legacy.ReplayTrace(tr, 2); err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacy.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckV1, err := legacy.CheckpointV1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy.Close()
+		if ckV1.Version != CheckpointVersionV1 {
+			t.Fatalf("%s: CheckpointV1 emitted version %d", algo, ckV1.Version)
+		}
+
+		// Migrate: restore v1 (full replay), then capture v2.
+		mid := New(Config{Algorithm: algo, Shards: 3, Seed: 9, RecordArrivals: true, SealEvery: 8})
+		stats, err := mid.Restore(ckV1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Replayed != 100 || stats.BasesLoaded != 0 {
+			t.Errorf("%s: v1 restore stats %+v, want full replay and no bases", algo, stats)
+		}
+		ckV2, err := mid.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		midSnaps, err := mid.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid.Close()
+		if ckV2.Version != CheckpointVersion {
+			t.Fatalf("%s: migrated checkpoint version %d, want %d", algo, ckV2.Version, CheckpointVersion)
+		}
+		if ckV2.TailArrivals() >= 2*8 {
+			t.Errorf("%s: migrated checkpoint tail %d, want < tenants×SealEvery", algo, ckV2.TailArrivals())
+		}
+
+		final := New(Config{Algorithm: algo, Shards: 1, Seed: 9, RecordArrivals: true, SealEvery: 8})
+		fstats, err := final.Restore(ckV2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fstats.Replayed != ckV2.TailArrivals() {
+			t.Errorf("%s: v2 restore replayed %d, want %d", algo, fstats.Replayed, ckV2.TailArrivals())
+		}
+		got, err := final.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		final.Close()
+		if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, midSnaps)) {
+			t.Errorf("%s: v1 restore diverged from the legacy engine", algo)
+		}
+		if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+			t.Errorf("%s: v1→v2 migrated restore diverged from the legacy engine", algo)
+		}
+	}
+}
+
+// TestCheckpointV1SealedRefused: once part of the history is sealed into a
+// base, the legacy capture must refuse (its history is incomplete) while
+// the v2 capture keeps working.
+func TestCheckpointV1SealedRefused(t *testing.T) {
+	e := New(Config{Algorithm: "pd", Shards: 1, Seed: 1, RecordArrivals: true, SealEvery: 5})
+	defer e.Close()
+	if _, err := e.ReplayTrace(fixedTrace(3, 30, 4, 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	if _, err := e.CheckpointV1(); err == nil {
+		t.Error("CheckpointV1 succeeded on a sealed tenant")
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Errorf("v2 Checkpoint failed on a sealed tenant: %v", err)
 	}
 }

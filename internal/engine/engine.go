@@ -93,14 +93,29 @@ type Config struct {
 	// (default) or PolicyLeastLoad. Tenants are independent, so the policy
 	// never affects any tenant's snapshot — only load balance.
 	ShardPolicy string
-	// RecordArrivals keeps each tenant's served arrival sequence in
-	// memory, which Checkpoint needs to build a replayable state record.
-	// Off by default: op-stream batch runs don't pay for durability they
-	// don't use.
+	// RecordArrivals keeps each tenant's served arrival tail (the segment
+	// since its last sealed base state) in memory. With it, periodic
+	// checkpoints are cheap — cached base bytes plus a short tail — and
+	// restores replay at most SealEvery arrivals. Without it, Checkpoint
+	// falls back to marshaling every tenant's full algorithm state on every
+	// call (requires the algorithm to implement online.StateCodec), and
+	// restores replay nothing.
 	RecordArrivals bool
+	// SealEvery bounds a recording tenant's in-memory arrival tail: once
+	// the tail reaches SealEvery arrivals the tenant re-bases — marshals
+	// its algorithm state as the new checkpoint base and truncates the
+	// tail — so checkpoint restores replay at most SealEvery arrivals
+	// (checkpoint format v2). 0 means the 4096 default; negative disables
+	// sealing entirely (unbounded tails, full-replay restores — the v1
+	// behavior, required to capture v1-format checkpoints).
+	SealEvery int
 	// Options is passed through to the core algorithms.
 	Options core.Options
 }
+
+// DefaultSealEvery is the arrival-tail bound used when Config.SealEvery is
+// zero.
+const DefaultSealEvery = 4096
 
 // algoName returns the normalized algorithm name ("" means "pd").
 func (c Config) algoName() string {
@@ -133,10 +148,10 @@ type Engine struct {
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
-	loads    []int // tenants assigned per shard, for PolicyLeastLoad
+	loads    []int // tenants assigned per shard (least-load policy + metrics)
 	closed   bool
 	lastAt   time.Time // previous Metrics call, for windowed rates
-	lastSrvd int64
+	lastSrvd []int64   // served per shard at the previous Metrics call
 }
 
 // tenant is one hosted OMFLP instance. After creation its mutable state is
@@ -154,7 +169,7 @@ type tenant struct {
 	assignment   float64
 	facCursor    int // facilities already priced into construction
 
-	// record + history support Checkpoint: the served arrival sequence,
+	// record + history support Checkpoint: the served arrival tail,
 	// appended on the shard goroutine, replayable on restore. origin is
 	// the serializable (matrix metric, size table) description of the
 	// tenant's substrate — provided by op-stream creation, or synthesized
@@ -162,6 +177,37 @@ type tenant struct {
 	record  bool
 	history []instance.Request
 	origin  *TenantOrigin
+
+	// Checkpoint v2 base: the algorithm state marshaled at the last seal,
+	// with the serve counters frozen at that moment. history holds only
+	// the arrivals served since. sealEvery caps the tail (0 = never seal);
+	// sealBroken latches a failed seal so the serve path does not retry
+	// the marshal on every arrival. All owned by the shard goroutine.
+	sealEvery        int
+	sealBroken       bool
+	baseState        []byte
+	baseServed       int
+	baseConstruction float64
+	baseAssignment   float64
+}
+
+// seal re-bases the tenant: its algorithm state becomes the new checkpoint
+// base and the arrival tail resets. Must run on the shard goroutine.
+func (t *tenant) seal() error {
+	sc, ok := t.alg.(online.StateCodec)
+	if !ok {
+		return fmt.Errorf("engine: tenant %q: algorithm does not support state serialization", t.id)
+	}
+	data, err := sc.MarshalState()
+	if err != nil {
+		return fmt.Errorf("engine: tenant %q: %v", t.id, err)
+	}
+	t.baseState = data
+	t.baseServed = t.served
+	t.baseConstruction = t.construction
+	t.baseAssignment = t.assignment
+	t.history = t.history[:0]
+	return nil
 }
 
 // serve processes one arrival and keeps the cost accounting incremental:
@@ -180,6 +226,15 @@ func (t *tenant) serve(r instance.Request) {
 	t.served++
 	if t.record {
 		t.history = append(t.history, r)
+		if t.sealEvery > 0 && !t.sealBroken && len(t.history) >= t.sealEvery {
+			// Re-base so the tail never exceeds SealEvery. A failed
+			// marshal (algorithm without state support) latches: the
+			// tail then grows unbounded and checkpoints fall back to
+			// full-replay restores.
+			if t.seal() != nil {
+				t.sealBroken = true
+			}
+		}
 	}
 }
 
@@ -242,13 +297,20 @@ func NewChecked(cfg Config) (*Engine, error) {
 	if cfg.Mailbox <= 0 {
 		cfg.Mailbox = 256
 	}
+	switch {
+	case cfg.SealEvery == 0:
+		cfg.SealEvery = DefaultSealEvery
+	case cfg.SealEvery < 0:
+		cfg.SealEvery = 0 // sealing disabled
+	}
 	e := &Engine{
-		cfg:     cfg,
-		factory: f,
-		shards:  make([]*shard, cfg.Shards),
-		start:   time.Now(),
-		tenants: map[string]*tenant{},
-		loads:   make([]int, cfg.Shards),
+		cfg:      cfg,
+		factory:  f,
+		shards:   make([]*shard, cfg.Shards),
+		start:    time.Now(),
+		tenants:  map[string]*tenant{},
+		loads:    make([]int, cfg.Shards),
+		lastSrvd: make([]int64, cfg.Shards),
 	}
 	e.lastAt = e.start
 	for i := range e.shards {
@@ -304,14 +366,15 @@ func (e *Engine) createTenant(id string, space metric.Space, costs cost.Model, o
 	idx := e.shardIndexFor(id)
 	e.loads[idx]++
 	e.tenants[id] = &tenant{
-		id:       id,
-		shard:    e.shards[idx],
-		space:    space,
-		costs:    costs,
-		universe: commodity.Full(costs.Universe()),
-		alg:      alg,
-		record:   e.cfg.RecordArrivals,
-		origin:   origin,
+		id:        id,
+		shard:     e.shards[idx],
+		space:     space,
+		costs:     costs,
+		universe:  commodity.Full(costs.Universe()),
+		alg:       alg,
+		record:    e.cfg.RecordArrivals,
+		sealEvery: e.cfg.SealEvery,
+		origin:    origin,
 	}
 	return nil
 }

@@ -261,7 +261,7 @@ func TestDrainOnClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Close() // no explicit Drain: Close itself is the barrier
-	if _, total := mergedHist(e.shards); total != int64(n) {
+	if _, total, _ := mergedHist(e.shards); total != int64(n) {
 		t.Errorf("served %d of %d admitted arrivals after Close", total, n)
 	}
 	depth := 0
@@ -359,7 +359,7 @@ func TestLatencyHistQuantiles(t *testing.T) {
 		s.hist.record(100 * time.Nanosecond) // bucket [64,128)
 	}
 	s.hist.record(time.Millisecond) // the single p100 outlier
-	sum, total := mergedHist([]*shard{s})
+	sum, total, _ := mergedHist([]*shard{s})
 	if total != 100 {
 		t.Fatalf("total = %d, want 100", total)
 	}

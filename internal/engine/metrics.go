@@ -29,16 +29,19 @@ func (h *latencyHist) record(d time.Duration) {
 	h.buckets[b].Add(1)
 }
 
-// merged sums per-shard histograms into one bucket vector plus a total.
-func mergedHist(shards []*shard) (sum [histBuckets]int64, total int64) {
-	for _, s := range shards {
+// merged sums per-shard histograms into one bucket vector plus a total, and
+// also returns each shard's own served count (its histogram total).
+func mergedHist(shards []*shard) (sum [histBuckets]int64, total int64, perShard []int64) {
+	perShard = make([]int64, len(shards))
+	for i, s := range shards {
 		for b := range sum {
 			c := s.hist.buckets[b].Load()
 			sum[b] += c
 			total += c
+			perShard[i] += c
 		}
 	}
-	return sum, total
+	return sum, total, perShard
 }
 
 // quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds from a merged
@@ -85,28 +88,51 @@ type Metrics struct {
 	// Serve latency quantiles from the merged per-shard histograms.
 	LatencyP50Micros float64 `json:"serve_latency_p50_us"`
 	LatencyP99Micros float64 `json:"serve_latency_p99_us"`
+	// PerShard breaks the load down by serving goroutine: mailbox depth,
+	// tenants pinned, served totals and rates per shard — the numbers that
+	// reveal a hot shard the aggregates hide.
+	PerShard []ShardMetrics `json:"per_shard"`
+}
+
+// ShardMetrics is one serving goroutine's share of the engine load.
+type ShardMetrics struct {
+	Shard   int   `json:"shard"`
+	Tenants int   `json:"tenants"`
+	Served  int64 `json:"served"`
+	// QueueDepth is this shard's mailbox backlog (admitted, not served).
+	QueueDepth int `json:"queue_depth"`
+	// ArrivalsPerSec is the shard's lifetime serving rate;
+	// WindowArrivalsPerSec its rate since the previous Metrics call.
+	ArrivalsPerSec       float64 `json:"arrivals_per_sec"`
+	WindowArrivalsPerSec float64 `json:"window_arrivals_per_sec"`
 }
 
 // Metrics reports current engine health. Each call also closes the rate
 // window opened by the previous one.
 func (e *Engine) Metrics() Metrics {
+	depths := make([]int, len(e.shards))
 	depth := 0
-	for _, s := range e.shards {
-		depth += len(s.ops)
+	for i, s := range e.shards {
+		depths[i] = len(s.ops)
+		depth += depths[i]
 	}
 
 	// The histogram read happens under the mutex so concurrent Metrics
-	// calls serialize: the served total is monotone, so each caller's read
-	// is ≥ the lastSrvd recorded by the previous one and the window count
-	// can never go negative.
+	// calls serialize: the served totals are monotone, so each caller's
+	// read is ≥ the lastSrvd recorded by the previous one and the window
+	// counts can never go negative.
 	e.mu.Lock()
 	now := time.Now()
-	sum, total := mergedHist(e.shards)
+	sum, total, perShard := mergedHist(e.shards)
 	window := now.Sub(e.lastAt).Seconds()
-	windowServed := total - e.lastSrvd
+	windowShard := make([]int64, len(perShard))
+	for i, c := range perShard {
+		windowShard[i] = c - e.lastSrvd[i]
+		e.lastSrvd[i] = c
+	}
 	e.lastAt = now
-	e.lastSrvd = total
 	tenants := len(e.tenants)
+	loads := append([]int(nil), e.loads...)
 	e.mu.Unlock()
 
 	m := Metrics{
@@ -117,6 +143,24 @@ func (e *Engine) Metrics() Metrics {
 		QueueDepth:       depth,
 		LatencyP50Micros: quantile(sum, total, 0.50) / 1e3,
 		LatencyP99Micros: quantile(sum, total, 0.99) / 1e3,
+		PerShard:         make([]ShardMetrics, len(e.shards)),
+	}
+	var windowServed int64
+	for i := range m.PerShard {
+		sm := ShardMetrics{
+			Shard:      i,
+			Tenants:    loads[i],
+			Served:     perShard[i],
+			QueueDepth: depths[i],
+		}
+		if up := m.UptimeSeconds; up > 0 {
+			sm.ArrivalsPerSec = float64(perShard[i]) / up
+		}
+		if window > 0 {
+			sm.WindowArrivalsPerSec = float64(windowShard[i]) / window
+		}
+		windowServed += windowShard[i]
+		m.PerShard[i] = sm
 	}
 	if up := m.UptimeSeconds; up > 0 {
 		m.ArrivalsPerSec = float64(total) / up

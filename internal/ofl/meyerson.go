@@ -27,6 +27,9 @@ type Meyerson struct {
 	cl         classes
 	facilities []int
 	open       map[int]bool
+	// draws counts rng consumptions — the serializable form of the rng
+	// position (see UnmarshalState in state.go).
+	draws int64
 }
 
 // NewMeyerson builds the algorithm over the given candidate facility points.
@@ -45,6 +48,13 @@ func NewMeyerson(space metric.Space, fc FacilityCost, candidates []int, rng *ran
 
 // Facilities returns the open facility points in opening order.
 func (m *Meyerson) Facilities() []int { return m.facilities }
+
+// flip draws one coin flip, counting the draw; every rng consumption goes
+// through here so the position can be serialized.
+func (m *Meyerson) flip() float64 {
+	m.draws++
+	return m.rng.Float64()
+}
 
 // Place processes a demand at p.
 func (m *Meyerson) Place(p int) (connectTo int, opened []int) {
@@ -71,7 +81,7 @@ func (m *Meyerson) Place(p int) (connectTo int, opened []int) {
 		if prob > 1 {
 			prob = 1
 		}
-		if m.rng.Float64() < prob {
+		if m.flip() < prob {
 			if !m.open[pt] {
 				m.open[pt] = true
 				m.facilities = append(m.facilities, pt)

@@ -1,0 +1,108 @@
+package ofl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// State serialization for the single-commodity substrates, mirroring the
+// online.StateCodec contract (the interface lives in internal/online; these
+// implementations satisfy it structurally so ofl keeps its minimal
+// dependency surface): MarshalState captures everything future Place calls
+// depend on, and UnmarshalState must run on a freshly constructed instance
+// with the same space, facility costs, candidates and — for Meyerson — the
+// same rng seed.
+
+// oflStateSchema versions the layouts below.
+const oflStateSchema = 1
+
+// fotakisState is FotakisPD's serialized state: open facilities in opening
+// order plus the credit ledger (the open set is derived).
+type fotakisState struct {
+	Schema     int       `json:"schema"`
+	Candidates int       `json:"candidates"`
+	Facilities []int     `json:"facilities"`
+	Credits    []float64 `json:"credits"`
+	Points     []int     `json:"points"`
+}
+
+// MarshalState serializes the algorithm's complete serving state.
+func (f *FotakisPD) MarshalState() ([]byte, error) {
+	return json.Marshal(&fotakisState{
+		Schema:     oflStateSchema,
+		Candidates: len(f.cands),
+		Facilities: f.facilities,
+		Credits:    f.credits,
+		Points:     f.points,
+	})
+}
+
+// UnmarshalState restores state marshaled from an identically constructed
+// instance.
+func (f *FotakisPD) UnmarshalState(data []byte) error {
+	if len(f.facilities) != 0 || len(f.credits) != 0 {
+		return fmt.Errorf("ofl: FotakisPD state restore needs a fresh instance")
+	}
+	var st fotakisState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("ofl: FotakisPD state: %v", err)
+	}
+	if st.Schema != oflStateSchema {
+		return fmt.Errorf("ofl: FotakisPD state schema %d, want %d", st.Schema, oflStateSchema)
+	}
+	if st.Candidates != len(f.cands) {
+		return fmt.Errorf("ofl: FotakisPD state has %d candidates, want %d", st.Candidates, len(f.cands))
+	}
+	if len(st.Credits) != len(st.Points) {
+		return fmt.Errorf("ofl: FotakisPD state has %d credits for %d points", len(st.Credits), len(st.Points))
+	}
+	f.facilities = st.Facilities
+	f.credits = st.Credits
+	f.points = st.Points
+	for _, m := range st.Facilities {
+		f.open[m] = true
+	}
+	return nil
+}
+
+// meyersonState is Meyerson's serialized state. The rng position is the
+// draw count: a fresh instance with the same seed fast-forwards to resume
+// the identical random stream.
+type meyersonState struct {
+	Schema     int   `json:"schema"`
+	Facilities []int `json:"facilities"`
+	Draws      int64 `json:"draws"`
+}
+
+// MarshalState serializes the algorithm's complete serving state.
+func (m *Meyerson) MarshalState() ([]byte, error) {
+	return json.Marshal(&meyersonState{
+		Schema:     oflStateSchema,
+		Facilities: m.facilities,
+		Draws:      m.draws,
+	})
+}
+
+// UnmarshalState restores state marshaled from an identically constructed
+// (and identically seeded) instance.
+func (m *Meyerson) UnmarshalState(data []byte) error {
+	if len(m.facilities) != 0 || m.draws != 0 {
+		return fmt.Errorf("ofl: Meyerson state restore needs a fresh instance")
+	}
+	var st meyersonState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("ofl: Meyerson state: %v", err)
+	}
+	if st.Schema != oflStateSchema {
+		return fmt.Errorf("ofl: Meyerson state schema %d, want %d", st.Schema, oflStateSchema)
+	}
+	m.facilities = st.Facilities
+	for _, pt := range st.Facilities {
+		m.open[pt] = true
+	}
+	for i := int64(0); i < st.Draws; i++ {
+		m.rng.Float64()
+	}
+	m.draws = st.Draws
+	return nil
+}

@@ -1,0 +1,123 @@
+package ofl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// oflRig is a deterministic demand stream over a random space for the
+// state round-trip tests.
+type oflRig struct {
+	space   metric.Space
+	cands   []int
+	fc      FacilityCost
+	demands []int
+}
+
+func newOflRig(seed int64, n int) *oflRig {
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.RandomEuclidean(rng, 8+rng.Intn(10), 2, 50)
+	cands := make([]int, space.Len())
+	costs := make([]float64, space.Len())
+	for i := range cands {
+		cands[i] = i
+		costs[i] = 0.5 + rng.Float64()*8
+	}
+	rig := &oflRig{space: space, cands: cands, fc: func(m int) float64 { return costs[m] }}
+	for i := 0; i < n; i++ {
+		rig.demands = append(rig.demands, rng.Intn(space.Len()))
+	}
+	return rig
+}
+
+// driveBoth serves the suffix through both instances and asserts identical
+// placements throughout.
+func driveBoth(t *testing.T, rig *oflRig, cut int, a, b Algorithm) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Facilities(), b.Facilities()) {
+		t.Fatalf("cut %d: facilities differ right after restore", cut)
+	}
+	for i, p := range rig.demands[cut:] {
+		ca, oa := a.Place(p)
+		cb, ob := b.Place(p)
+		if ca != cb || !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("cut %d: placement diverged at suffix demand %d: (%d,%v) vs (%d,%v)", cut, i, ca, oa, cb, ob)
+		}
+	}
+}
+
+func TestFotakisPDStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rig := newOflRig(seed, 40)
+		for _, cut := range []int{0, 1, 20, 40} {
+			orig := NewFotakisPD(rig.space, rig.fc, rig.cands)
+			for _, p := range rig.demands[:cut] {
+				orig.Place(p)
+			}
+			blob, err := orig.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := NewFotakisPD(rig.space, rig.fc, rig.cands)
+			if err := restored.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			driveBoth(t, rig, cut, orig, restored)
+		}
+	}
+}
+
+func TestMeyersonStateSuffixIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rig := newOflRig(seed, 40)
+		for _, cut := range []int{0, 1, 20, 40} {
+			orig := NewMeyerson(rig.space, rig.fc, rig.cands, rand.New(rand.NewSource(seed*7)))
+			for _, p := range rig.demands[:cut] {
+				orig.Place(p)
+			}
+			blob, err := orig.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := NewMeyerson(rig.space, rig.fc, rig.cands, rand.New(rand.NewSource(seed*7)))
+			if err := restored.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			driveBoth(t, rig, cut, orig, restored)
+		}
+	}
+}
+
+func TestOflStateRestoreErrors(t *testing.T) {
+	rig := newOflRig(2, 10)
+	f := NewFotakisPD(rig.space, rig.fc, rig.cands)
+	for _, p := range rig.demands {
+		f.Place(p)
+	}
+	blob, err := f.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.UnmarshalState(blob); err == nil {
+		t.Error("FotakisPD restore onto a non-fresh instance succeeded")
+	}
+	if err := NewFotakisPD(rig.space, rig.fc, rig.cands[:2]).UnmarshalState(blob); err == nil {
+		t.Error("FotakisPD restore under a different candidate set succeeded")
+	}
+	m := NewMeyerson(rig.space, rig.fc, rig.cands, rand.New(rand.NewSource(1)))
+	m.Place(rig.demands[0])
+	mb, err := m.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnmarshalState(mb); err == nil {
+		t.Error("Meyerson restore onto a non-fresh instance succeeded")
+	}
+	fresh := NewMeyerson(rig.space, rig.fc, rig.cands, rand.New(rand.NewSource(1)))
+	if err := fresh.UnmarshalState([]byte("nope")); err == nil {
+		t.Error("Meyerson restore of corrupt bytes succeeded")
+	}
+}

@@ -27,6 +27,30 @@ type Algorithm interface {
 	Solution() *instance.Solution
 }
 
+// StateCodec is optionally implemented by algorithms whose complete serving
+// state can be serialized and restored without replaying the arrival
+// history. The contract:
+//
+//   - MarshalState captures everything future Serve calls depend on (duals,
+//     credits, budgets, open facilities, assignments, rng position, ...) so
+//     that an instance restored from the bytes serves any suffix of arrivals
+//     identically — bit-for-bit — to the original instance.
+//   - UnmarshalState must be called on a freshly constructed instance built
+//     with the same constructor parameters (space, cost model, options and —
+//     for randomized algorithms — the same seed) as the instance that was
+//     marshaled. Implementations validate what they can (universe size,
+//     candidate count, state schema version) but cannot detect every
+//     mismatch; restoring under different parameters is undefined.
+//
+// The streaming engine's checkpoint format v2 builds on this interface: a
+// tenant's checkpoint is its marshaled state plus the short arrival segment
+// served since, so a restore replays O(segment) arrivals instead of the full
+// history.
+type StateCodec interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState(data []byte) error
+}
+
 // Factory constructs a fresh algorithm instance for the given space and cost
 // model. Randomized algorithms must derive all randomness from the seed so
 // experiment repetitions are reproducible.

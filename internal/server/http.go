@@ -203,7 +203,7 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Metrics())
+	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -26,8 +26,14 @@
 // a crash mid-write preserves the previous checkpoint), once more during
 // graceful shutdown, and restores from that file on startup — a restarted
 // server resumes every tenant from its last checkpoint with no cost
-// divergence (engine seeds are name-derived, so replaying the checkpointed
-// arrivals reproduces state byte-for-byte).
+// divergence. Checkpoints use the engine's format v2: each tenant's record
+// is a base snapshot of its serialized algorithm state plus the arrival
+// segment served since (Engine.Config.SealEvery bounds the segment), so a
+// restore loads state and replays O(segment) arrivals rather than the full
+// history; legacy v1 checkpoints restore too. /v1/metrics reports the
+// checkpoint pipeline's health — write size and latency, and the restore's
+// duration, replay count and state bytes — alongside the engine's
+// per-shard load breakdown.
 package server
 
 import (
@@ -91,11 +97,26 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	ckptMu   sync.Mutex // serializes checkpoint writes
-	restored int        // arrivals replayed from the checkpoint at New
+	// Checkpoint bookkeeping: ckptMu serializes checkpoint writes and
+	// guards the capture-side metrics; the restore-side fields are written
+	// once in New, before any concurrency.
+	ckptMu    sync.Mutex
+	ckptCount int64
+	ckptLast  ckptRecord
+	restored  engine.RestoreStats // what New's restore did
+	restoreMs float64             // wall time of that restore (load + replay + drain)
 
 	shutdownOnce sync.Once
 	shutdownErr  error
+}
+
+// ckptRecord captures one checkpoint write for the metrics report.
+type ckptRecord struct {
+	bytes    int
+	ms       float64
+	unix     int64
+	arrivals int
+	tail     int
 }
 
 // New creates the engine and, when checkpointing is configured and a
@@ -125,11 +146,17 @@ func New(cfg Config) (*Server, error) {
 				eng.Close()
 				return nil, err
 			}
-			if err := eng.Restore(ck); err != nil {
+			start := time.Now()
+			stats, err := eng.Restore(ck)
+			if err != nil {
 				eng.Close()
 				return nil, fmt.Errorf("server: restoring %s: %v", path, err)
 			}
-			s.restored = ck.Arrivals()
+			// Restore returns on admission; drain so the reported restore
+			// time covers serving the tail, not just enqueueing it.
+			eng.Drain()
+			s.restored = stats
+			s.restoreMs = float64(time.Since(start).Microseconds()) / 1e3
 		} else if !os.IsNotExist(err) {
 			eng.Close()
 			return nil, err
@@ -141,9 +168,14 @@ func New(cfg Config) (*Server, error) {
 // Engine exposes the shared engine (for in-process callers and tests).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// Restored reports how many arrivals were replayed from the checkpoint
-// during New (0 when none was found).
-func (s *Server) Restored() int { return s.restored }
+// Restored reports how many arrivals the checkpoint restored during New
+// represents — base-state arrivals plus replayed tail (0 when no checkpoint
+// was found).
+func (s *Server) Restored() int { return s.restored.Arrivals }
+
+// RestoreStats reports what New's checkpoint restore did (zero value when
+// no checkpoint was found).
+func (s *Server) RestoreStats() engine.RestoreStats { return s.restored }
 
 func (s *Server) checkpointPath() string {
 	return filepath.Join(s.cfg.CheckpointDir, CheckpointFile)
@@ -200,19 +232,90 @@ func (s *Server) TCPAddr() string {
 	return s.tcpLn.Addr().String()
 }
 
-// Checkpoint captures and atomically persists a checkpoint now. Errors when
-// checkpointing is not configured.
+// Checkpoint captures and atomically persists a checkpoint now (format v2:
+// per-tenant base states + tail segments). Errors when checkpointing is not
+// configured.
 func (s *Server) Checkpoint() error {
 	if s.cfg.CheckpointDir == "" {
 		return fmt.Errorf("server: checkpointing not configured")
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	start := time.Now()
 	ck, err := s.eng.Checkpoint()
 	if err != nil {
 		return err
 	}
-	return ck.WriteFile(s.checkpointPath())
+	n, err := ck.WriteFile(s.checkpointPath())
+	if err != nil {
+		return err
+	}
+	s.ckptCount++
+	s.ckptLast = ckptRecord{
+		bytes:    n,
+		ms:       float64(time.Since(start).Microseconds()) / 1e3,
+		unix:     time.Now().Unix(),
+		arrivals: ck.Arrivals(),
+		tail:     ck.TailArrivals(),
+	}
+	return nil
+}
+
+// Metrics is the server's health report: the engine metrics plus the
+// checkpoint/restore observability the durability pipeline needs — how big
+// and how slow checkpoints are, and how much of the last restore was served
+// from serialized state versus replayed.
+type Metrics struct {
+	engine.Metrics
+	Checkpoint CheckpointMetrics `json:"checkpoint"`
+}
+
+// CheckpointMetrics reports the durability pipeline's health.
+type CheckpointMetrics struct {
+	// Configured is false when the server runs without a checkpoint dir
+	// (every other field is then zero).
+	Configured bool `json:"configured"`
+	// Count is the number of checkpoints written since start.
+	Count int64 `json:"count"`
+	// LastBytes / LastDurationMs / LastUnix describe the latest write.
+	LastBytes      int     `json:"last_bytes,omitempty"`
+	LastDurationMs float64 `json:"last_duration_ms,omitempty"`
+	LastUnix       int64   `json:"last_unix,omitempty"`
+	// LastArrivals is the arrival count the latest checkpoint represents;
+	// LastTailArrivals how many of those a restore would replay (the rest
+	// load as serialized base state).
+	LastArrivals     int `json:"last_arrivals,omitempty"`
+	LastTailArrivals int `json:"last_tail_arrivals,omitempty"`
+	// Restore describes the checkpoint restore at startup, if any.
+	RestoreDurationMs  float64 `json:"restore_duration_ms,omitempty"`
+	RestoredArrivals   int     `json:"restored_arrivals,omitempty"`
+	RestoredReplayed   int     `json:"restored_replayed,omitempty"`
+	RestoredStateBytes int64   `json:"restored_state_bytes,omitempty"`
+}
+
+// Metrics returns the server health report.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{Metrics: s.eng.Metrics()}
+	if s.cfg.CheckpointDir == "" {
+		return m
+	}
+	s.ckptMu.Lock()
+	count, last := s.ckptCount, s.ckptLast
+	s.ckptMu.Unlock()
+	m.Checkpoint = CheckpointMetrics{
+		Configured:         true,
+		Count:              count,
+		LastBytes:          last.bytes,
+		LastDurationMs:     last.ms,
+		LastUnix:           last.unix,
+		LastArrivals:       last.arrivals,
+		LastTailArrivals:   last.tail,
+		RestoreDurationMs:  s.restoreMs,
+		RestoredArrivals:   s.restored.Arrivals,
+		RestoredReplayed:   s.restored.Replayed,
+		RestoredStateBytes: s.restored.StateBytes,
+	}
+	return m
 }
 
 func (s *Server) checkpointLoop() {

@@ -441,3 +441,100 @@ func TestServerConfigErrors(t *testing.T) {
 	}
 	s.Engine().Close()
 }
+
+// TestMetricsCheckpointAndPerShard: /v1/metrics must expose the per-shard
+// breakdown (satellite of the observability work) and the checkpoint
+// pipeline's size/latency/restore numbers.
+func TestMetricsCheckpointAndPerShard(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrace(31, 40, 4, 8)
+	ops := traceOps(t, tr, 3)
+	engCfg := engine.Config{Algorithm: "pd", Shards: 3, Seed: 2, SealEvery: 5}
+	mk := func() Config {
+		return Config{
+			HTTPAddr:        "127.0.0.1:0",
+			CheckpointDir:   dir,
+			CheckpointEvery: time.Hour,
+			Engine:          engCfg,
+		}
+	}
+	s1, err := New(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s1.HTTPAddr()
+	for _, op := range ops {
+		applyOverHTTP(t, base, op)
+	}
+	s1.Engine().Drain()
+	httpJSON(t, "POST", base+"/v1/checkpoint", nil, http.StatusOK)
+
+	var m Metrics
+	if err := json.Unmarshal(httpJSON(t, "GET", base+"/v1/metrics", nil, http.StatusOK), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerShard) != 3 {
+		t.Fatalf("metrics has %d per-shard rows, want 3", len(m.PerShard))
+	}
+	var served int64
+	tenants := 0
+	for i, sm := range m.PerShard {
+		if sm.Shard != i {
+			t.Errorf("per-shard row %d has shard id %d", i, sm.Shard)
+		}
+		served += sm.Served
+		tenants += sm.Tenants
+	}
+	if served != m.Served {
+		t.Errorf("per-shard served sums to %d, aggregate %d", served, m.Served)
+	}
+	if tenants != m.Tenants {
+		t.Errorf("per-shard tenants sum to %d, aggregate %d", tenants, m.Tenants)
+	}
+	if !m.Checkpoint.Configured || m.Checkpoint.Count < 1 || m.Checkpoint.LastBytes <= 0 {
+		t.Errorf("checkpoint metrics %+v, want configured with ≥1 write", m.Checkpoint)
+	}
+	if m.Checkpoint.LastArrivals != 40 {
+		t.Errorf("checkpoint metrics report %d arrivals, want 40", m.Checkpoint.LastArrivals)
+	}
+	// SealEvery 5 means at most 3 tenants × 4 tail arrivals survive unsealed.
+	if m.Checkpoint.LastTailArrivals >= 3*5 {
+		t.Errorf("checkpoint tail %d arrivals, want < tenants×SealEvery", m.Checkpoint.LastTailArrivals)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk artifact must be a v2 checkpoint with sealed bases.
+	ck, err := engine.ReadCheckpointFile(dir + "/" + CheckpointFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Version != engine.CheckpointVersion {
+		t.Fatalf("checkpoint file version %d, want %d", ck.Version, engine.CheckpointVersion)
+	}
+	for i := range ck.Tenants {
+		if len(ck.Tenants[i].BaseState) == 0 {
+			t.Errorf("tenant %s checkpointed without a base state", ck.Tenants[i].Tenant)
+		}
+	}
+
+	// A restarted server reports the restore side: bounded replay, state
+	// bytes loaded, and a restore duration.
+	s2 := startServer(t, mk())
+	if got := s2.RestoreStats(); got.Arrivals != 40 || got.Replayed >= 3*5 || got.BasesLoaded != 3 {
+		t.Errorf("restore stats %+v, want 40 arrivals, <15 replayed, 3 bases", got)
+	}
+	var m2 Metrics
+	if err := json.Unmarshal(httpJSON(t, "GET", "http://"+s2.HTTPAddr()+"/v1/metrics", nil, http.StatusOK), &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Checkpoint.RestoredArrivals != 40 || m2.Checkpoint.RestoredStateBytes <= 0 {
+		t.Errorf("restarted metrics restore section %+v", m2.Checkpoint)
+	}
+}
