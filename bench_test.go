@@ -95,23 +95,33 @@ func BenchmarkPDOnlineThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkPDBidAccounting compares the incremental bid accumulators
-// against the naive per-arrival rebuild across n — run with benchstat to
-// verify the ≥2× serve-throughput claim at n ≥ 2000 (the perf experiment's
-// BENCH_pd.json reports the same comparison machine-readably).
+// BenchmarkPDBidAccounting compares the three PD serve-loop
+// implementations across n: the event-driven loop (production), the
+// pre-refactor incremental loop (per-event candidate rescans) and the naive
+// reference (bids rebuilt from the full history). Run with benchstat to
+// verify the ≥2× event-vs-incremental serve-throughput claim at n ≥ 2000
+// (the perf experiment's BENCH_pd.json reports the same comparison
+// machine-readably).
 func BenchmarkPDBidAccounting(b *testing.B) {
+	newByMode := map[string]func(*workload.Trace) *core.PDOMFLP{
+		"event": func(tr *workload.Trace) *core.PDOMFLP {
+			return core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+		},
+		"incremental": func(tr *workload.Trace) *core.PDOMFLP {
+			return core.NewPDLoopReference(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+		},
+		"naive": func(tr *workload.Trace) *core.PDOMFLP {
+			return core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{})
+		},
+	}
 	for _, n := range []int{500, 2000} {
 		tr := benchWorkload(n, 8, 25)
-		for _, mode := range []string{"incremental", "naive"} {
+		for _, mode := range []string{"event", "incremental", "naive"} {
+			construct := newByMode[mode]
 			b.Run(fmt.Sprintf("mode=%s/n=%d", mode, n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					var pd *core.PDOMFLP
-					if mode == "naive" {
-						pd = core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{})
-					} else {
-						pd = core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{})
-					}
+					pd := construct(tr)
 					for _, r := range tr.Instance.Requests {
 						pd.Serve(r)
 					}

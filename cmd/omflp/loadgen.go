@@ -31,7 +31,7 @@ import (
 // stack with one command. Workers partition tenants (tenant t drives on
 // worker t mod conc), so per-tenant arrival order is exactly trace order:
 // driving a server with -trace reproduces the stdin path's snapshots.
-func cmdLoadgen(args []string) error {
+func cmdLoadgen(args []string) (retErr error) {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
 		mode      = fs.String("mode", "tcp", "transport to drive: http or tcp")
@@ -53,9 +53,16 @@ func cmdLoadgen(args []string) error {
 		benchDir  = fs.String("bench-out", "", "directory to write/update BENCH_serve.json")
 		quiet     = fs.Bool("quiet", false, "suppress progress messages on stderr")
 	)
+	var prof profileFlags
+	prof.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.startDeferred(&retErr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *mode != "http" && *mode != "tcp" {
 		return fmt.Errorf("loadgen: unknown mode %q (want http or tcp)", *mode)
 	}

@@ -17,6 +17,9 @@
 //	              [-tenants N] [-arrivals N] [-conc N] [-bench-out DIR]
 //	omflp ckpt-bench [-histories N,N,...] [-seal-every N] [-out DIR]
 //
+// run/all, serve and loadgen accept -cpuprofile/-memprofile FILE to write
+// pprof profiles of the run.
+//
 // serve is the streaming mode: it hosts internal/engine, ingests arrivals
 // continuously (gentrace file traces or JSON-lines op streams, from stdin or
 // -trace) across sharded multi-tenant serving goroutines, and emits
@@ -128,6 +131,9 @@ func usage() {
 -workers 1 forces a sequential run. Tables are byte-identical either way
 under a fixed seed. -bench-out DIR makes the perf experiment write
 BENCH_pd.json and BENCH_algos.json (per-algorithm serve throughput) into DIR.
+run/all, serve and loadgen all take -cpuprofile FILE and -memprofile FILE to
+write go-tool-pprof profiles of the run (CPU stopped and heap captured on
+exit), so serve-path perf work needs no code edits to diagnose.
 
 serve reads a gentrace JSON trace or a JSON-lines op stream from stdin (or
 -trace FILE) — "gentrace ... | omflp serve -algo pd -shards 8" works end to
@@ -158,9 +164,10 @@ loadgen's synthetic workload takes -dist uniform|zipf|bundled (zipf skews
 commodity popularity with exponent -zipf-s; bundled demands all of S every
 request) and -rate R sends on an open-loop schedule of R arrivals/s across
 all workers (0 = closed loop). ckpt-bench writes BENCH_checkpoint.json
-(restore time + checkpoint bytes per history length, v1 vs v2) and fails if
-a v2 restore replays more than -seal-every arrivals or loses to the v1 full
-replay at the deepest history.
+(capture/restore time + raw and flate-compressed bytes per history length,
+v1 vs v2) and fails if a v2 restore replays more than -seal-every arrivals,
+a deep v2 capture loses to v1's full-history marshal, or the compressed v2
+artifact is not smaller than v1's raw document.
 
 Quickstart:
   omflp serve -listen-http 127.0.0.1:8080 -checkpoint-dir /tmp/omflp &
@@ -191,6 +198,7 @@ type runFlags struct {
 	csvDir   string
 	benchDir string
 	noChart  bool
+	prof     profileFlags
 }
 
 func parseRunFlags(name string, args []string) (runFlags, []string, error) {
@@ -202,6 +210,7 @@ func parseRunFlags(name string, args []string) (runFlags, []string, error) {
 	fs.StringVar(&rf.csvDir, "csv", "", "directory to also write tables as CSV")
 	fs.StringVar(&rf.benchDir, "bench-out", "", "directory for machine-readable benchmark artifacts (perf writes BENCH_pd.json)")
 	fs.BoolVar(&rf.noChart, "no-charts", false, "suppress ASCII charts")
+	rf.prof.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return rf, nil, err
 	}
@@ -224,7 +233,7 @@ func cmdRun(args []string) error {
 	if id == "" {
 		return fmt.Errorf("run: missing experiment id (try `omflp list`)")
 	}
-	return execute(id, rf)
+	return rf.prof.withProfiles(func() error { return execute(id, rf) })
 }
 
 func cmdAll(args []string) error {
@@ -232,13 +241,15 @@ func cmdAll(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, e := range sim.All() {
-		if err := execute(e.ID, rf); err != nil {
-			return fmt.Errorf("%s: %v", e.ID, err)
+	return rf.prof.withProfiles(func() error {
+		for _, e := range sim.All() {
+			if err := execute(e.ID, rf); err != nil {
+				return fmt.Errorf("%s: %v", e.ID, err)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-	}
-	return nil
+		return nil
+	})
 }
 
 func execute(id string, rf runFlags) error {

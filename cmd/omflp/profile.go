@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags is the shared -cpuprofile/-memprofile wiring for the
+// long-running subcommands (run/all, serve, loadgen), so perf work on the
+// serve path is diagnosable with stock `go tool pprof` instead of editing
+// benchmark code.
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+func (pf *profileFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&pf.cpu, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	fs.StringVar(&pf.mem, "memprofile", "", "write an allocation profile to this file on exit")
+}
+
+// start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and captures the heap profile. The stop function
+// must run on every exit path (defer it right after start succeeds); it
+// reports profile-writing errors so a truncated profile fails the command
+// loudly instead of silently producing garbage.
+func (pf *profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if pf.cpu != "" {
+		cpuFile, err = os.Create(pf.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %v", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %v", err)
+			}
+		}
+		if pf.mem != "" {
+			f, err := os.Create(pf.mem)
+			if err != nil {
+				return fmt.Errorf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("memprofile: %v", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// startDeferred is the defer-friendly profile lifecycle for commands with a
+// named error return: `defer stop()` finishes the profiles and folds a
+// profile-writing error into *retErr only when the command body itself
+// succeeded, so it never masks the real failure.
+func (pf *profileFlags) startDeferred(retErr *error) (stop func(), err error) {
+	stopProf, err := pf.start()
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		if err := stopProf(); err != nil && *retErr == nil {
+			*retErr = err
+		}
+	}, nil
+}
+
+// withProfiles runs fn bracketed by the same lifecycle, for commands whose
+// body is already a closure.
+func (pf *profileFlags) withProfiles(fn func() error) (retErr error) {
+	stop, err := pf.startDeferred(&retErr)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	return fn()
+}

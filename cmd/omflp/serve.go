@@ -27,7 +27,7 @@ import (
 // go to -snapshot-out (default stdout) and are byte-identical for every
 // -shards value under a fixed seed; metrics go to stderr, where they cannot
 // pollute golden-file diffs.
-func cmdServe(args []string) error {
+func cmdServe(args []string) (retErr error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
 		tracePath    = fs.String("trace", "", "input file (default: stdin); gentrace JSON or a JSON-lines op stream")
@@ -48,9 +48,16 @@ func cmdServe(args []string) error {
 		ckptEvery    = fs.Duration("checkpoint-every", 15*time.Second, "daemon mode: checkpoint interval")
 		sealEvery    = fs.Int("checkpoint-seal-every", 0, "re-base a tenant's checkpoint once its arrival tail exceeds N (0 = 4096 default, negative = never seal: full-replay restores)")
 	)
+	var prof profileFlags
+	prof.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.startDeferred(&retErr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	engCfg := engine.Config{
 		Algorithm:   *algo,

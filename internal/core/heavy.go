@@ -36,6 +36,11 @@ type HeavyAware struct {
 	// Bookkeeping to translate inner solutions into the global one.
 	innerToGlobal []int          // inner facility index -> global facility index
 	heavyFacIdx   map[[2]int]int // (heavy e, point) -> global facility index
+
+	// linkBuf is the per-arrival link-dedup scratch, reused across Serve
+	// calls (the retained Assign row is copied out of it) so the hot path
+	// stays allocation-free alongside the inner PD's event-driven loop.
+	linkBuf []int
 }
 
 // lightCost exposes the inner (light-only) universe of a base cost model:
@@ -117,13 +122,17 @@ func (ha *HeavyAware) HeavySplit() (light, heavy []int) { return ha.light, ha.he
 // Serve implements online.Algorithm: light commodities go to the inner
 // PD-OMFLP (with IDs remapped), heavy ones to their dedicated OFL instances.
 func (ha *HeavyAware) Serve(r instance.Request) {
-	var links []int
-	linkSet := map[int]bool{}
+	// Dedup links with a linear scan over the reusable buffer instead of a
+	// per-arrival map: link counts are tiny (≤ demanded commodities), and
+	// first-occurrence order — the serialized contract — is preserved.
+	ha.linkBuf = ha.linkBuf[:0]
 	addLink := func(idx int) {
-		if !linkSet[idx] {
-			linkSet[idx] = true
-			links = append(links, idx)
+		for _, l := range ha.linkBuf {
+			if l == idx {
+				return
+			}
 		}
+		ha.linkBuf = append(ha.linkBuf, idx)
 	}
 
 	lightPart := r.Demands.Intersect(ha.lightMask)
@@ -172,6 +181,11 @@ func (ha *HeavyAware) Serve(r instance.Request) {
 		addLink(idx)
 	})
 
+	var links []int
+	if len(ha.linkBuf) > 0 {
+		links = make([]int, len(ha.linkBuf))
+		copy(links, ha.linkBuf)
+	}
 	ha.sol.Assign = append(ha.sol.Assign, links)
 }
 

@@ -23,8 +23,21 @@ import (
 // distance to the nearest facility already serving them (the min-terms of
 // the constraints). Tight (3) opens a temporary small facility; tight (2) or
 // (4) serves the whole request with a single large facility and discards the
-// temporaries. All raises happen event-driven: every threshold is affine in
-// the raise Δ, so the algorithm jumps straight to the earliest event.
+// temporaries.
+//
+// All raises happen event-driven: every threshold is affine in the raise Δ
+// (slope 1 for (1)/(3), slope `unfrozen` for (2)/(4)), so the algorithm
+// jumps straight to the earliest event. Serve exploits that d(F(e), r), the
+// bid sums and the candidate costs are all static for the duration of one
+// arrival's event loop — no real facility opens and no credit changes until
+// the loop ends — by collapsing each candidate scan into one per-arrival
+// threshold: T3[i] = min_m(f_m^{e_i} − bids + d(m, r)) per demanded
+// commodity and the Constraint (4) analogue T4. Each event then costs O(k)
+// over four scalars per commodity instead of O(k·|cands|); the full
+// candidate scan runs only once per commodity at freeze time, to resolve
+// the nearest-tight-candidate tie-break with the exact pre-refactor
+// predicate (see tightSmall). serveReference keeps the original
+// rescan-every-event loop as the differential oracle.
 type PDOMFLP struct {
 	space metric.Space
 	costs cost.Model
@@ -43,6 +56,12 @@ type PDOMFLP struct {
 	creditSmall [][]pdCredit
 	// creditLarge holds, per earlier request, min{Σ_e a_je, d(F̂, j)}.
 	creditLarge []pdCredit
+	// liveSmall lists the commodities with at least one recorded credit, in
+	// first-credit order, so the refresh after a large opening touches only
+	// live rows instead of sweeping all u of them. Derived state: rebuilt
+	// (in ascending order — rows are independent, so order is irrelevant)
+	// on UnmarshalState, never serialized.
+	liveSmall []int
 
 	// bidSmall[e][ci] = Σ_j (creditSmall[e][j].credit − d(m_ci, j.point))_+,
 	// the Constraint (3) bid sum toward candidate ci, maintained
@@ -62,6 +81,16 @@ type PDOMFLP struct {
 	// accounting, kept as the reference implementation for differential
 	// tests and benchmarks (see NewPDReference).
 	naiveBids bool
+	// refLoop routes Serve through serveReference, the pre-refactor event
+	// loop that rescans every candidate on every event and sweeps credits
+	// unconditionally. NewPDReference and NewPDLoopReference set it; the
+	// differential tests pin the event-driven loop against it.
+	refLoop bool
+	// scratch holds the per-arrival working buffers of the event-driven
+	// serve path, reused across arrivals so the hot path allocates only
+	// what it retains (the dual row and the assignment links). Pure
+	// scratch: excluded from MarshalState, never read across arrivals.
+	scratch pdScratch
 	// distHistory backs the Lemma 14 analysis extraction (TraceAnalysis).
 	distHistory map[int][]analysisRecord
 	// facBoundary[i] = number of facilities after arrival i (for ServeLog).
@@ -71,6 +100,51 @@ type PDOMFLP struct {
 type pdCredit struct {
 	point  int
 	credit float64
+}
+
+// pdScratch is the reusable per-arrival working set of the event-driven
+// serve path; see PDOMFLP.scratch.
+type pdScratch struct {
+	dFe    []float64 // d(F(e_i), r) per demanded commodity
+	a      []float64 // duals being raised (copied out once frozen)
+	t3     []float64 // T3[i]: min Constraint (3) threshold per commodity
+	m3     []float64 // magnitude bound for t3's rounding-safety margin
+	frozen []bool
+	serve  []pdServe
+	bid3   [][]float64 // per-commodity bid-row views (aliases, not owned)
+	temps  []pdTemp
+	opened []int
+	links  []int
+}
+
+// reset readies the scratch for an arrival with k demanded commodities. The
+// fixed-size rows are grown as needed and zeroed; append-driven buffers are
+// truncated in place, keeping their capacity.
+func (s *pdScratch) reset(k int) {
+	if cap(s.dFe) < k {
+		s.dFe = make([]float64, k)
+		s.a = make([]float64, k)
+		s.t3 = make([]float64, k)
+		s.m3 = make([]float64, k)
+		s.frozen = make([]bool, k)
+		s.serve = make([]pdServe, k)
+		s.bid3 = make([][]float64, k)
+	}
+	s.dFe = s.dFe[:k]
+	s.a = s.a[:k]
+	s.t3 = s.t3[:k]
+	s.m3 = s.m3[:k]
+	s.frozen = s.frozen[:k]
+	s.serve = s.serve[:k]
+	s.bid3 = s.bid3[:k]
+	for i := 0; i < k; i++ {
+		s.a[i] = 0
+		s.frozen[i] = false
+		s.serve[i] = pdServe{}
+	}
+	s.temps = s.temps[:0]
+	s.opened = s.opened[:0]
+	s.links = s.links[:0]
 }
 
 // NewPDOMFLP constructs the deterministic algorithm.
@@ -96,12 +170,28 @@ func NewPDOMFLP(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
 
 // NewPDReference constructs PD-OMFLP with the original per-arrival
 // recomputation of the bid sums from the full credit history instead of the
-// incremental accumulators. It is semantically identical to NewPDOMFLP but
-// pays O(history × candidates) per arrival; it exists so benchmarks can
-// quantify — and differential tests validate — the incremental accounting.
+// incremental accumulators, running the pre-refactor candidate-rescanning
+// event loop. It is semantically identical to NewPDOMFLP but pays
+// O(history × candidates) per arrival; it exists so benchmarks can
+// quantify — and differential tests validate — both the incremental
+// accounting and the event-driven loop.
 func NewPDReference(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
 	pd := NewPDOMFLP(space, costs, opts)
 	pd.naiveBids = true
+	pd.refLoop = true
+	return pd
+}
+
+// NewPDLoopReference constructs PD-OMFLP with the incremental bid
+// accumulators but the pre-refactor event loop that rescans all candidates
+// on every raise event and sweeps every credit row after every large serve —
+// the exact serve path before the event-driven refactor. It pins the
+// refactor in differential tests (same freeze order, byte-identical
+// solutions) and is the "incremental" baseline the perf experiment and the
+// CI benchmark-regression gate measure the event-driven loop against.
+func NewPDLoopReference(space metric.Space, costs cost.Model, opts Options) *PDOMFLP {
+	pd := NewPDOMFLP(space, costs, opts)
+	pd.refLoop = true
 	return pd
 }
 
@@ -140,14 +230,40 @@ type pdServe struct {
 }
 
 type pdTemp struct {
-	e, m    int
-	removed bool
+	e, m int
+	ci   int // candidate index of m (event-driven path; unset in reference)
 }
 
 const pdEps = 1e-9
 
+// pdMarginEps bounds, relative to the involved magnitudes, the disagreement
+// between the scalar threshold comparison a ≥ T3 − tol and the pre-refactor
+// per-candidate predicate a − d(m,r) + bids ≥ f_m − tol. The two are equal
+// in real arithmetic but associate differently, so each may round a few ulps
+// (≈ 2⁻⁵²) apart; 1e-12 is ~4500 ulps of slack — vastly conservative, yet
+// small enough that the exact scan still runs only when a commodity is
+// within a hair of freezing. The scalar form is therefore only ever a
+// prefilter: whenever it says "possibly tight", the original scan decides,
+// so freeze decisions are byte-identical to the reference loop.
+const pdMarginEps = 1e-12
+
 // Serve implements online.Algorithm: Algorithm 1 on arrival of request r.
+// Naive-bids instances always take the reference loop: the event-driven
+// path reads the incremental accumulators, which naive mode does not
+// maintain.
 func (pd *PDOMFLP) Serve(r instance.Request) {
+	if pd.refLoop || pd.naiveBids {
+		pd.serveReference(r)
+		return
+	}
+	pd.serveEvent(r)
+}
+
+// serveEvent is the event-driven serve path: per-arrival threshold
+// precomputation, a scalar event loop, and the zero-allocation scratch. It
+// produces byte-identical facilities, assignments, duals and credits to
+// serveReference.
+func (pd *PDOMFLP) serveEvent(r instance.Request) {
 	p := r.Point
 	ids := r.Demands.IDs()
 	k := len(ids)
@@ -158,20 +274,322 @@ func (pd *PDOMFLP) Serve(r instance.Request) {
 		analysisSnaps = pd.snapshotAnalysis(ids)
 	}
 
+	s := &pd.scratch
+	s.reset(k)
+
 	// Static per-arrival quantities: distances to nearest facilities and
 	// the earlier requests' bid sums toward each candidate point. No real
-	// facility opens mid-arrival, so these stay valid for the whole loop.
+	// facility opens and no credit changes mid-arrival, so these stay valid
+	// for the whole event loop.
+	dFe := s.dFe
+	for i, e := range ids {
+		_, dFe[i] = pd.fx.nearestOffering(e, p)
+	}
+	_, dLarge := pd.fx.nearestLarge(p)
+
+	// The incremental accumulators hold exactly the bid sums the
+	// constraints need; credits only change after the event loop, so
+	// aliasing the live rows is safe. (Naive-bids instances never reach
+	// this path — Serve routes them through serveReference.)
+	bid3 := s.bid3
+	for i, e := range ids {
+		if row := pd.bidSmall[e]; row != nil {
+			bid3[i] = row
+		} else {
+			bid3[i] = pd.zeroBids
+		}
+	}
+	bid4 := pd.bidLarge
+	dCand := pd.ct.distTo(p)
+
+	// Hoisted candidate scans — the once-per-arrival O(k·|cands|) pass the
+	// event loop then never repeats. t3[i] keeps the exact association
+	// order of the reference delta expression (single − bids + dCand), so
+	// t3[i] − a is bit-identical to the reference's per-candidate minimum
+	// (rounding is monotone). m3[i]/m4 bound the magnitudes feeding the
+	// pdMarginEps safety margin of the freeze prefilter.
+	t3, m3 := s.t3, s.m3
+	for i := range ids {
+		single := pd.ct.single[ids[i]]
+		row := bid3[i]
+		minThr, maxMag := math.Inf(1), 0.0
+		for ci := range cands {
+			thr := single[ci] - row[ci] + dCand[ci]
+			if thr < minThr {
+				minThr = thr
+			}
+			if m := math.Abs(single[ci]) + math.Abs(row[ci]) + dCand[ci]; m > maxMag {
+				maxMag = m
+			}
+		}
+		t3[i], m3[i] = minThr, maxMag
+	}
+	t4, m4 := math.Inf(1), 0.0
+	if !pd.opts.DisablePrediction {
+		full := pd.ct.full
+		for ci := range cands {
+			thr := full[ci] - bid4[ci] + dCand[ci]
+			if thr < t4 {
+				t4 = thr
+			}
+			if m := math.Abs(full[ci]) + math.Abs(bid4[ci]) + dCand[ci]; m > m4 {
+				m4 = m
+			}
+		}
+	}
+
+	a := s.a
+	frozen := s.frozen
+	serve := s.serve
+	temps := s.temps
+	sumA := 0.0
+	unfrozen := k
+	largeServed := -1 // facility index once the request is served large
+	largeCi := -1     // candidate index when Constraint (4) opened it
+
+	for unfrozen > 0 {
+		unfrozenBefore := unfrozen
+		// Find the earliest event over four scalars per commodity: slope-1
+		// thresholds dFe[i] and t3[i], slope-`unfrozen` thresholds dLarge
+		// and t4 on the sum.
+		delta := math.Inf(1)
+		for i := range a {
+			if frozen[i] {
+				continue
+			}
+			if d := dFe[i] - a[i]; d < delta {
+				delta = d
+			}
+			need := t3[i] - a[i]
+			if need < 0 {
+				need = 0
+			}
+			if need < delta {
+				delta = need
+			}
+		}
+		if !pd.opts.DisablePrediction {
+			if dLarge < infinity {
+				if d := (dLarge - sumA) / float64(unfrozen); d < delta {
+					delta = d
+				}
+			}
+			need := (t4 - sumA) / float64(unfrozen)
+			if need < 0 {
+				need = 0
+			}
+			if need < delta {
+				delta = need
+			}
+		}
+		if math.IsInf(delta, 1) {
+			panic("core: PD-OMFLP found no tight constraint; no candidate can serve the request")
+		}
+		if delta < 0 {
+			delta = 0
+		}
+
+		// Raise all unfrozen duals by delta.
+		for i := range a {
+			if !frozen[i] {
+				a[i] += delta
+			}
+		}
+		sumA += float64(unfrozen) * delta
+		tol := pdEps * (1 + sumA)
+
+		// Lines 3–5: freeze commodities with tight Constraint (1) or (3).
+		// The t3 comparison is only a prefilter (with the pdMarginEps
+		// rounding margin): tightSmall re-evaluates the exact pre-refactor
+		// predicate and picks the same facility it would have.
+		for i := range a {
+			if frozen[i] {
+				continue
+			}
+			if a[i] >= dFe[i]-tol {
+				// Constraint (1): connect to the nearest existing facility.
+				fac, _ := pd.fx.nearestOffering(ids[i], p)
+				frozen[i] = true
+				unfrozen--
+				serve[i] = pdServe{mode: 1, fac: fac}
+				continue
+			}
+			if a[i]+pdMarginEps*(m3[i]+a[i]+tol) < t3[i]-tol {
+				continue // no candidate can be tight yet
+			}
+			if bestM := pd.tightSmall(ids[i], a[i], bid3[i], dCand, tol); bestM >= 0 {
+				// Constraint (3): temporary small facility at the
+				// nearest tight point.
+				frozen[i] = true
+				unfrozen--
+				serve[i] = pdServe{mode: 2, temp: len(temps)}
+				temps = append(temps, pdTemp{e: ids[i], m: cands[bestM], ci: bestM})
+			}
+		}
+
+		if !pd.opts.DisablePrediction {
+			// Lines 6–9: Constraint (2) — existing large facility.
+			if dLarge < infinity && sumA >= dLarge-tol {
+				fac, _ := pd.fx.nearestLarge(p)
+				largeServed = fac
+				break
+			}
+			// Constraint (4): open a new large facility at the nearest
+			// tight candidate. Scalar prefilter, exact scan on the rare
+			// near-tight event — a spurious scan finds nothing and
+			// continues, exactly like the reference.
+			if sumA+pdMarginEps*(m4+sumA+tol) >= t4-tol {
+				if bestM := pd.tightLarge(sumA, bid4, dCand, tol); bestM >= 0 {
+					largeServed = pd.fx.openLarge(cands[bestM])
+					largeCi = bestM
+					break
+				}
+			}
+		}
+
+		// Progress guard. A delta=0 iteration that froze nothing and served
+		// nothing leaves the state bit-identical, so the next iteration
+		// would repeat forever — reachable only when cost/bid magnitudes
+		// are so extreme (≈ tol/ulp ≳ 4.5e6·(1+sumA)) that the clamped
+		// threshold arithmetic and the exact tol-window predicates disagree
+		// by more than tol. The pre-refactor loop hangs silently in that
+		// state; fail loudly instead of wedging a serving shard.
+		if delta == 0 && unfrozen == unfrozenBefore {
+			panic("core: PD-OMFLP event loop stalled on a zero-delta event (cost magnitudes exceed the pdEps tolerance's precision); rescale the cost model")
+		}
+	}
+
+	// Materialize the outcome. Only the retained rows allocate: the frozen
+	// dual row and the assignment links.
+	pd.points = append(pd.points, p)
+	pd.demandIDs = append(pd.demandIDs, ids)
+	aRow := make([]float64, k)
+	copy(aRow, a)
+	pd.duals = append(pd.duals, aRow)
+
+	var links []int
+	if largeServed >= 0 {
+		// Whole request served by one large facility; temporaries vanish.
+		links = []int{largeServed}
+		if largeCi >= 0 {
+			// Constraint (4): a genuinely new facility — sweep the credits.
+			pd.refreshLargeAt(largeCi)
+		}
+		// Constraint (2) needs no sweep: every credit is recorded as
+		// min{dual, d(F, ·)} against the then-open facilities and only ever
+		// lowered when a new facility opens, so a credit is invariantly ≤
+		// its distance to every already-open facility — the pre-refactor
+		// sweep against an existing facility was a provable no-op (the
+		// reference loop still runs it; differential tests pin the
+		// equality).
+	} else {
+		// Open the surviving temporaries and connect each commodity.
+		opened := s.opened
+		for _, tmp := range temps {
+			opened = append(opened, pd.fx.openSmall(tmp.e, tmp.m))
+		}
+		linkBuf := s.links
+		for i := range ids {
+			var fac int
+			switch serve[i].mode {
+			case 1:
+				fac = serve[i].fac
+			case 2:
+				fac = opened[serve[i].temp]
+			default:
+				panic("core: PD-OMFLP left a commodity unserved")
+			}
+			dup := false
+			for _, l := range linkBuf {
+				if l == fac {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				linkBuf = append(linkBuf, fac)
+			}
+		}
+		if len(linkBuf) > 0 {
+			links = make([]int, len(linkBuf))
+			copy(links, linkBuf)
+		}
+		for _, tmp := range temps {
+			pd.refreshSmallAt(tmp.e, tmp.ci)
+		}
+		s.opened, s.links = opened[:0], linkBuf[:0]
+	}
+	pd.fx.sol.Assign = append(pd.fx.sol.Assign, links)
+	pd.facBoundary = append(pd.facBoundary, len(pd.fx.sol.Facilities))
+	s.temps = temps[:0]
+
+	if pd.opts.TraceAnalysis {
+		pd.recordAnalysis(ids, aRow, p, analysisSnaps)
+	}
+
+	// Record this request's own credits against the updated facility sets.
+	for i, e := range ids {
+		_, d := pd.fx.nearestOffering(e, p)
+		pd.addCreditSmall(e, p, math.Min(a[i], d))
+	}
+	_, dHat := pd.fx.nearestLarge(p)
+	pd.addCreditLarge(p, math.Min(sumA, dHat))
+}
+
+// tightSmall is the pre-refactor Constraint (3) candidate scan, verbatim:
+// among the candidates inside the tol window it returns the nearest one
+// (ties to the lowest index), or -1 when none is tight. Running it only at
+// freeze time — once per commodity per arrival — instead of on every event
+// is what the t3 thresholds buy.
+func (pd *PDOMFLP) tightSmall(e int, a float64, bids, dCand []float64, tol float64) int {
+	single := pd.ct.single[e]
+	bestM, bestD := -1, math.Inf(1)
+	for ci := range dCand {
+		if a-dCand[ci]+bids[ci] >= single[ci]-tol {
+			if dCand[ci] < bestD {
+				bestM, bestD = ci, dCand[ci]
+			}
+		}
+	}
+	return bestM
+}
+
+// tightLarge is the Constraint (4) analogue of tightSmall.
+func (pd *PDOMFLP) tightLarge(sumA float64, bids, dCand []float64, tol float64) int {
+	full := pd.ct.full
+	bestM, bestD := -1, math.Inf(1)
+	for ci := range dCand {
+		if sumA-dCand[ci]+bids[ci] >= full[ci]-tol {
+			if dCand[ci] < bestD {
+				bestM, bestD = ci, dCand[ci]
+			}
+		}
+	}
+	return bestM
+}
+
+// serveReference is the pre-refactor serve path, kept verbatim as the
+// differential oracle for the event-driven loop: it rescans all four
+// constraint families over every candidate on every raise event, allocates
+// its working set per arrival, and sweeps the credit ledgers even when the
+// request was served by an already-open large facility.
+func (pd *PDOMFLP) serveReference(r instance.Request) {
+	p := r.Point
+	ids := r.Demands.IDs()
+	k := len(ids)
+	cands := pd.ct.cands
+
+	var analysisSnaps map[int][]float64
+	if pd.opts.TraceAnalysis {
+		analysisSnaps = pd.snapshotAnalysis(ids)
+	}
+
 	dFe := make([]float64, k)
 	for i, e := range ids {
 		_, dFe[i] = pd.fx.nearestOffering(e, p)
 	}
 	_, dLarge := pd.fx.nearestLarge(p)
 
-	// bid3[i][ci] = Σ_j (creditSmall[e_i][j] − d(m_ci, j))_+ and
-	// bid4[ci] the Constraint (4) analogue. The incremental accumulators
-	// hold exactly these sums; credits only change after the event loop, so
-	// aliasing the live rows is safe. The reference mode rescans the credit
-	// history instead.
 	bid3 := make([][]float64, k)
 	var bid4 []float64
 	if pd.naiveBids {
@@ -392,6 +810,9 @@ func (pd *PDOMFLP) addBid(row []float64, p int, credit float64) {
 // addCreditSmall records a new small-facility credit for commodity e and
 // folds its contribution into the per-candidate bid accumulators.
 func (pd *PDOMFLP) addCreditSmall(e, p int, credit float64) {
+	if len(pd.creditSmall[e]) == 0 {
+		pd.liveSmall = append(pd.liveSmall, e)
+	}
 	pd.creditSmall[e] = append(pd.creditSmall[e], pdCredit{point: p, credit: credit})
 	if pd.naiveBids {
 		return
@@ -457,11 +878,51 @@ func (pd *PDOMFLP) naiveLargeBids() []float64 {
 	return pd.naiveBidsOver(pd.creditLarge)
 }
 
+// refreshSmallAt lowers the small-facility credits of commodity e after a
+// new facility for e opened at candidate index ci — the event-driven
+// counterpart of refreshCreditsForSmall. It reads the (candidate, point)
+// distances through the costTable rows, which cache exactly
+// Distance(cands[ci], point), so every distance in the sweep is computed at
+// most once over the whole run instead of once per sweep; values are
+// byte-identical to the reference's direct calls.
+func (pd *PDOMFLP) refreshSmallAt(e, ci int) {
+	credits := pd.creditSmall[e]
+	for j := range credits {
+		d := pd.ct.distTo(credits[j].point)[ci]
+		if d >= credits[j].credit {
+			continue
+		}
+		// Event-path only, so the incremental rows are always maintained.
+		pd.lowerBid(pd.bidSmall[e], credits[j].point, credits[j].credit, d)
+		credits[j].credit = d
+	}
+}
+
+// refreshLargeAt lowers credits after a new large facility opened at
+// candidate index ci: the facility offers every commodity, so both the
+// large credits and every live commodity's small credits shrink. Iterating
+// liveSmall instead of all u rows skips commodities that never recorded a
+// credit (rows are independent, so the order difference vs the reference's
+// ascending sweep cannot change any value).
+func (pd *PDOMFLP) refreshLargeAt(ci int) {
+	for j := range pd.creditLarge {
+		d := pd.ct.distTo(pd.creditLarge[j].point)[ci]
+		if d >= pd.creditLarge[j].credit {
+			continue
+		}
+		pd.lowerBid(pd.bidLarge, pd.creditLarge[j].point, pd.creditLarge[j].credit, d)
+		pd.creditLarge[j].credit = d
+	}
+	for _, e := range pd.liveSmall {
+		pd.refreshSmallAt(e, ci)
+	}
+}
+
 // refreshCreditsForSmall lowers the small-facility credits of commodity e
 // after a new facility for e opened at point m, correcting the bid
 // accumulators by the exact contribution each lowered credit loses.
-// Together with addCreditSmall/addCreditLarge and refreshCreditsForLarge,
-// these are the only places bids change.
+// Pre-refactor implementation, used by serveReference only; the event path
+// uses refreshSmallAt.
 func (pd *PDOMFLP) refreshCreditsForSmall(e, m int) {
 	credits := pd.creditSmall[e]
 	for j := range credits {
@@ -478,10 +939,10 @@ func (pd *PDOMFLP) refreshCreditsForSmall(e, m int) {
 
 // refreshCreditsForLarge lowers credits after a large facility opened at
 // point m: the facility offers every commodity, so both the large credits
-// and every commodity's small credits shrink. (This used to be
-// refreshCreditsForPoint(m, large bool); the large=false branch was a dead
-// no-op — small openings are handled by refreshCreditsForSmall — so the
-// flag is gone.)
+// and every commodity's small credits shrink. Pre-refactor implementation,
+// used by serveReference only (which also calls it — harmlessly, as a
+// provable no-op — when the request connected to an already-open large
+// facility); the event path uses refreshLargeAt.
 func (pd *PDOMFLP) refreshCreditsForLarge(m int) {
 	for j := range pd.creditLarge {
 		d := pd.space.Distance(m, pd.creditLarge[j].point)

@@ -31,6 +31,7 @@ func diffWorkload(t *testing.T, seed int64, opts Options, n int) {
 
 	inc := NewPDOMFLP(space, costs, opts)
 	ref := NewPDReference(space, costs, opts)
+	loop := NewPDLoopReference(space, costs, opts)
 	if !ref.naiveBids || inc.naiveBids {
 		t.Fatal("reference/incremental modes mis-wired")
 	}
@@ -41,7 +42,11 @@ func diffWorkload(t *testing.T, seed int64, opts Options, n int) {
 		}
 		inc.Serve(r)
 		ref.Serve(r)
+		loop.Serve(r)
 		compareStates(t, seed, i, inc, ref)
+		// The pre-refactor loop over the same incremental bids must agree
+		// bit for bit with the event-driven loop, not just within tolerance.
+		comparePDExact(t, "loop-reference", i, inc, loop)
 		if t.Failed() {
 			return
 		}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// This file pins the event-driven serve loop (per-arrival T3/T4 threshold
+// precomputation + scalar event loop + candidate-indexed credit refresh)
+// against the pre-refactor reference loop. The contract is byte-identity,
+// not tolerance: NewPDLoopReference runs the original candidate-rescanning
+// event loop over the same incremental bid accumulators, so every facility,
+// assignment link, dual value and credit must be EXACTLY equal — any ulp of
+// divergence in a freeze decision would eventually open different
+// facilities. NewPDReference (naive bids) is additionally diffed with the
+// usual float tolerance, since its bid sums associate differently.
+
+// comparePDExact asserts byte-identical solutions, duals and credit ledgers
+// between the event-driven instance and the pre-refactor loop reference.
+func comparePDExact(t *testing.T, label string, step int, ev, ref *PDOMFLP) {
+	t.Helper()
+	evSol, refSol := ev.Solution(), ref.Solution()
+	if len(evSol.Facilities) != len(refSol.Facilities) {
+		t.Fatalf("%s step %d: %d facilities vs reference %d",
+			label, step, len(evSol.Facilities), len(refSol.Facilities))
+	}
+	for fi := range evSol.Facilities {
+		a, b := evSol.Facilities[fi], refSol.Facilities[fi]
+		if a.Point != b.Point || !a.Config.Equal(b.Config) {
+			t.Fatalf("%s step %d: facility %d = (%d,%v) vs reference (%d,%v)",
+				label, step, fi, a.Point, a.Config, b.Point, b.Config)
+		}
+	}
+	la, lb := evSol.Assign[step], refSol.Assign[step]
+	if len(la) != len(lb) {
+		t.Fatalf("%s step %d: links %v vs reference %v", label, step, la, lb)
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("%s step %d: links %v vs reference %v", label, step, la, lb)
+		}
+	}
+	for i, d := range ev.duals[step] {
+		if d != ref.duals[step][i] {
+			t.Fatalf("%s step %d: dual[%d] = %v vs reference %v (must be bit-identical)",
+				label, step, i, d, ref.duals[step][i])
+		}
+	}
+	for e := range ev.creditSmall {
+		if len(ev.creditSmall[e]) != len(ref.creditSmall[e]) {
+			t.Fatalf("%s step %d: commodity %d has %d credits vs reference %d",
+				label, step, e, len(ev.creditSmall[e]), len(ref.creditSmall[e]))
+		}
+		for j := range ev.creditSmall[e] {
+			if ev.creditSmall[e][j] != ref.creditSmall[e][j] {
+				t.Fatalf("%s step %d: creditSmall[%d][%d] = %+v vs reference %+v",
+					label, step, e, j, ev.creditSmall[e][j], ref.creditSmall[e][j])
+			}
+		}
+	}
+	for j := range ev.creditLarge {
+		if ev.creditLarge[j] != ref.creditLarge[j] {
+			t.Fatalf("%s step %d: creditLarge[%d] = %+v vs reference %+v",
+				label, step, j, ev.creditLarge[j], ref.creditLarge[j])
+		}
+	}
+	if !ev.naiveBids {
+		for e := range ev.bidSmall {
+			for ci := range ev.bidSmall[e] {
+				if ev.bidSmall[e][ci] != ref.bidSmall[e][ci] {
+					t.Fatalf("%s step %d: bidSmall[%d][%d] = %v vs reference %v",
+						label, step, e, ci, ev.bidSmall[e][ci], ref.bidSmall[e][ci])
+				}
+			}
+		}
+		for ci := range ev.bidLarge {
+			if ev.bidLarge[ci] != ref.bidLarge[ci] {
+				t.Fatalf("%s step %d: bidLarge[%d] = %v vs reference %v",
+					label, step, ci, ev.bidLarge[ci], ref.bidLarge[ci])
+			}
+		}
+	}
+}
+
+// runExactDiff replays one request sequence through the event-driven loop
+// and the pre-refactor loop reference, asserting exact equality per arrival.
+func runExactDiff(t *testing.T, label string, space metric.Space, costs cost.Model, opts Options, reqs []instance.Request) {
+	t.Helper()
+	ev := NewPDOMFLP(space, costs, opts)
+	ref := NewPDLoopReference(space, costs, opts)
+	if ev.refLoop || !ref.refLoop || ref.naiveBids {
+		t.Fatal("event/loop-reference modes mis-wired")
+	}
+	for i, r := range reqs {
+		ev.Serve(r)
+		ref.Serve(r)
+		comparePDExact(t, label, i, ev, ref)
+	}
+	if ev.DualTotal() != ref.DualTotal() {
+		t.Errorf("%s: DualTotal %v vs reference %v", label, ev.DualTotal(), ref.DualTotal())
+	}
+}
+
+func randomRequests(rng *rand.Rand, space metric.Space, u, n int) []instance.Request {
+	reqs := make([]instance.Request, n)
+	for i := range reqs {
+		reqs[i] = instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		}
+	}
+	return reqs
+}
+
+// TestPDEventMatchesLoopReferenceDeep drives long random workloads — deep
+// enough for large facilities to open, credits to be lowered repeatedly and
+// the Constraint (2) sweep-skip to trigger many times — through both loops.
+func TestPDEventMatchesLoopReferenceDeep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		u := 2 + rng.Intn(10)
+		space := metric.RandomEuclidean(rng, 5+rng.Intn(25), 2, 80)
+		costs := cost.PowerLaw(u, rng.Float64()*2, 0.5+rng.Float64()*3)
+		runExactDiff(t, "deep", space, costs, Options{},
+			randomRequests(rng, space, u, 300))
+	}
+}
+
+func TestPDEventMatchesLoopReferenceNoPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u := 5
+	space := metric.RandomLine(rng, 14, 40)
+	costs := cost.PowerLaw(u, 1.2, 2)
+	runExactDiff(t, "no-prediction", space, costs, Options{DisablePrediction: true},
+		randomRequests(rng, space, u, 120))
+}
+
+// TestPDEventZeroCostTies forces Δ=0 events on every arrival: all opening
+// costs are zero, so Constraint (3) (and (4)) are tight immediately for
+// every candidate at distance 0, and the tie-break (nearest candidate,
+// lowest index on equal distance) decides everything.
+func TestPDEventZeroCostTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := 4
+	// NewSizeCost skips the positivity validation of the public
+	// constructors: zero opening costs are exactly the degenerate tie the
+	// event loop must survive.
+	costs := cost.NewSizeCost(u, func(int) float64 { return 0 }, "zero")
+	// Colocated points: a matrix metric where points {0,1} and {2,3}
+	// coincide — zero distances off the diagonal, so several candidates are
+	// tight at the same Δ=0 event with equal dCand.
+	d := [][]float64{
+		{0, 0, 5, 5},
+		{0, 0, 5, 5},
+		{5, 5, 0, 0},
+		{5, 5, 0, 0},
+	}
+	space := metric.NewMatrix(d)
+	runExactDiff(t, "zero-cost", space, costs, Options{},
+		randomRequests(rng, space, u, 80))
+}
+
+// TestPDEventColocatedCandidates restricts candidates to duplicated points
+// so the freeze-time nearest-tight-candidate scan has genuine distance ties
+// that only the candidate-index order breaks.
+func TestPDEventColocatedCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := 3
+	pts := [][]float64{{0, 0}, {0, 0}, {3, 4}, {3, 4}, {6, 0}}
+	space := metric.NewEuclidean(pts)
+	costs := cost.PowerLaw(u, 1, 1)
+	for _, cands := range [][]int{nil, {1, 0, 3, 2}, {4, 1}} {
+		runExactDiff(t, "colocated", space, costs, Options{Candidates: cands},
+			randomRequests(rng, space, u, 120))
+	}
+}
+
+// TestPDEventSingletonUniverse exercises |S|=1, where a large facility's
+// configuration equals the singleton's and Constraints (2)/(4) compete with
+// (1)/(3) on every event (sum slope == single slope).
+func TestPDEventSingletonUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	space := metric.RandomEuclidean(rng, 10, 2, 30)
+	costs := cost.PowerLaw(1, 1.5, 2)
+	reqs := make([]instance.Request, 150)
+	for i := range reqs {
+		reqs[i] = instance.Request{Point: rng.Intn(space.Len()), Demands: commodity.New(0)}
+	}
+	runExactDiff(t, "singleton", space, costs, Options{}, reqs)
+}
+
+// TestPDEventToleranceEdges plants thresholds a hair apart — well inside
+// the pdEps*(1+sumA) freeze window but separated by far more than the
+// pdMarginEps prefilter slack — so several candidates sit inside the tol
+// window at the freezing event and the exact pre-refactor scan must pick
+// among them identically in both loops.
+func TestPDEventToleranceEdges(t *testing.T) {
+	u := 2
+	// A line where candidate distances differ by ~1e-11: inside tol for
+	// moderate sums, so the tol window holds several candidates at once.
+	pos := []float64{0, 1e-11, 2e-11, 1, 1 + 1e-11}
+	space := metric.NewLine(pos)
+	costs := cost.PowerLaw(u, 1, 1)
+	rng := rand.New(rand.NewSource(17))
+	runExactDiff(t, "tol-edges", space, costs, Options{},
+		randomRequests(rng, space, u, 100))
+
+	// And against the naive reference with the usual tolerance, closing the
+	// three-way diff (event loop + incremental bids vs naive everything).
+	rng = rand.New(rand.NewSource(17))
+	ev := NewPDOMFLP(space, costs, Options{})
+	naive := NewPDReference(space, costs, Options{})
+	for i, r := range randomRequests(rng, space, u, 100) {
+		ev.Serve(r)
+		naive.Serve(r)
+		compareStates(t, 17, i, ev, naive)
+		if t.Failed() {
+			t.Fatalf("three-way diff diverged at step %d", i)
+		}
+	}
+}
+
+// TestPDEventUniformZeroDistance collapses the whole space to a single
+// location (uniform metric with d=0): every constraint for every candidate
+// goes tight at the same instant, the ultimate Δ=0 stress.
+func TestPDEventUniformZeroDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	u := 3
+	space := metric.NewUniform(4, 0)
+	costs := cost.PowerLaw(u, 0.7, 1)
+	runExactDiff(t, "uniform-zero", space, costs, Options{},
+		randomRequests(rng, space, u, 60))
+}
+
+// TestPDEventRestoredInstanceServesIdentically restores mid-stream state
+// into a fresh event-driven instance (rebuilding the derived liveSmall list
+// in ascending order rather than first-credit order) and asserts the suffix
+// still matches the loop reference exactly — the derived-state rebuild
+// cannot perturb the sweep results.
+func TestPDEventRestoredInstanceServesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	u := 6
+	space := metric.RandomEuclidean(rng, 15, 2, 60)
+	costs := cost.PowerLaw(u, 1, 2)
+	reqs := randomRequests(rng, space, u, 200)
+
+	ev := NewPDOMFLP(space, costs, Options{})
+	ref := NewPDLoopReference(space, costs, Options{})
+	for _, r := range reqs[:120] {
+		ev.Serve(r)
+		ref.Serve(r)
+	}
+	state, err := ev.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPDOMFLP(space, costs, Options{})
+	if err := restored.UnmarshalState(state); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs[120:] {
+		restored.Serve(r)
+		ref.Serve(r)
+		comparePDExact(t, "restored", 120+i, restored, ref)
+	}
+}
+
+// TestPDEventDualsFinite guards the scratch reuse: duals rows appended to
+// the history must be copies, not aliases of the reusable scratch buffer.
+func TestPDEventDualsFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	u := 4
+	space := metric.RandomEuclidean(rng, 12, 2, 50)
+	costs := cost.PowerLaw(u, 1, 2)
+	pd := NewPDOMFLP(space, costs, Options{})
+	var rows [][]float64
+	var want [][]float64
+	for i := 0; i < 50; i++ {
+		pd.Serve(instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		})
+		_, duals, _ := pd.Duals()
+		row := duals[len(duals)-1]
+		rows = append(rows, row)
+		want = append(want, append([]float64(nil), row...))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != want[i][j] || math.IsNaN(rows[i][j]) {
+				t.Fatalf("dual row %d mutated after later arrivals: %v, recorded %v",
+					i, rows[i], want[i])
+			}
+		}
+	}
+}

@@ -20,10 +20,11 @@ import (
 // is what the engine's checkpoint format v2 builds on.
 //
 // Derived caches are deliberately NOT serialized: the facility-index nearest
-// caches, the cost-table distance rows and RAND's per-point budget caches
-// are pure functions of the serialized state and rebuild lazily with the
-// same tie-breaking (earliest-opened facility wins), so a restored instance
-// serves any suffix bit-identically to the original.
+// caches, the cost-table distance rows, PD's live-credit commodity list and
+// per-arrival scratch buffers, and RAND's per-point budget caches are pure
+// functions of the serialized state (or pure scratch) and rebuild lazily
+// with the same tie-breaking (earliest-opened facility wins), so a restored
+// instance serves any suffix bit-identically to the original.
 //
 // All floats survive the round trip exactly: encoding/json emits the
 // shortest representation that parses back to the same float64, and every
@@ -134,6 +135,12 @@ func (pd *PDOMFLP) UnmarshalState(data []byte) error {
 	pd.facBoundary = st.FacBoundary
 	for e := range pd.creditSmall {
 		pd.creditSmall[e] = creditsFromState(st.CreditSmall[e])
+		if len(pd.creditSmall[e]) > 0 {
+			// liveSmall is derived state (the commodities with credits);
+			// ascending order here vs first-credit order on a live instance
+			// is fine — refresh sweeps treat rows independently.
+			pd.liveSmall = append(pd.liveSmall, e)
+		}
 	}
 	pd.creditLarge = creditsFromState(st.CreditLarge)
 	if pd.naiveBids {

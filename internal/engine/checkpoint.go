@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,11 +39,24 @@ const (
 // loading its base state and replaying its tail reproduces its state
 // byte-for-byte: snapshot(before crash) == snapshot(restore + replay).
 type Checkpoint struct {
-	Version   int                `json:"version"`
-	Algorithm string             `json:"algorithm"`
-	Seed      int64              `json:"seed"`
-	Tenants   []TenantCheckpoint `json:"tenants"`
+	Version   int    `json:"version"`
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+	// Compression flags how tenant base states are encoded: "" for inline
+	// JSON in base_state, CompressionFlate for flate-compressed bytes in
+	// base_state_z. WriteFile compresses; ReadCheckpointFile and Restore
+	// transparently decompress, so uncompressed v2 (and v1) checkpoints
+	// remain restorable.
+	Compression string             `json:"compression,omitempty"`
+	Tenants     []TenantCheckpoint `json:"tenants"`
 }
+
+// CompressionFlate marks base states stored flate-compressed (RFC 1951) in
+// the base_state_z field. The base states are the bulk of a v2 checkpoint —
+// per-request duals and credit ledgers serialize to highly redundant JSON —
+// so compressing just them recovers most of the size v2 pays over v1 while
+// the arrival tails stay greppable.
+const CompressionFlate = "flate"
 
 // TenantCheckpoint is one tenant's restorable record.
 type TenantCheckpoint struct {
@@ -51,10 +67,13 @@ type TenantCheckpoint struct {
 	// arrivals (online.StateCodec), with the cost accounting frozen at
 	// that moment. Absent (v1 checkpoints, or never-sealed v2 tenants)
 	// the tenant restores from genesis.
-	BaseState        json.RawMessage `json:"base_state,omitempty"`
-	BaseServed       int             `json:"base_served,omitempty"`
-	BaseConstruction float64         `json:"base_construction,omitempty"`
-	BaseAssignment   float64         `json:"base_assignment,omitempty"`
+	BaseState json.RawMessage `json:"base_state,omitempty"`
+	// BaseStateZ is BaseState flate-compressed (checkpoints with the
+	// Compression header set); exactly one of the two is present.
+	BaseStateZ       []byte  `json:"base_state_z,omitempty"`
+	BaseServed       int     `json:"base_served,omitempty"`
+	BaseConstruction float64 `json:"base_construction,omitempty"`
+	BaseAssignment   float64 `json:"base_assignment,omitempty"`
 
 	// Arrivals is the append-only arrival-log segment since the base
 	// (v1: the full history). Restore replays exactly these.
@@ -303,6 +322,13 @@ func (e *Engine) Restore(ck *Checkpoint) (RestoreStats, error) {
 		return stats, fmt.Errorf("engine: checkpoint version %d, want %d or %d",
 			ck.Version, CheckpointVersionV1, CheckpointVersion)
 	}
+	// Normalize compressed base states so callers may hand Restore a raw
+	// unmarshaled artifact without going through ReadCheckpointFile; the
+	// caller's document is left untouched.
+	ck, err := ck.decompressed()
+	if err != nil {
+		return stats, err
+	}
 	if got, want := e.cfg.algoName(), ck.Algorithm; got != want {
 		return stats, fmt.Errorf("engine: checkpoint was taken with algorithm %q, engine runs %q", want, got)
 	}
@@ -374,12 +400,110 @@ func (e *Engine) loadBase(tc *TenantCheckpoint) error {
 	return rerr
 }
 
+// Compressed returns a copy of the checkpoint with every tenant base state
+// flate-compressed into BaseStateZ and the Compression header set. Tenant
+// records without a base state (v1 checkpoints, never-sealed tenants) pass
+// through unchanged; an already-compressed checkpoint is returned as is.
+// The copy shares the arrival segments and origins with the receiver.
+func (ck *Checkpoint) Compressed() (*Checkpoint, error) {
+	if ck.Compression == CompressionFlate {
+		return ck, nil
+	}
+	if ck.Compression != "" {
+		return nil, fmt.Errorf("engine: checkpoint has unknown compression %q", ck.Compression)
+	}
+	out := *ck
+	out.Compression = CompressionFlate
+	out.Tenants = make([]TenantCheckpoint, len(ck.Tenants))
+	for i, tc := range ck.Tenants {
+		if len(tc.BaseState) > 0 {
+			z, err := deflate(tc.BaseState)
+			if err != nil {
+				return nil, fmt.Errorf("engine: compress %q base state: %v", tc.Tenant, err)
+			}
+			tc.BaseStateZ, tc.BaseState = z, nil
+		}
+		out.Tenants[i] = tc
+	}
+	return &out, nil
+}
+
+// Decompress normalizes the checkpoint in place: compressed base states are
+// inflated back into BaseState and the Compression header cleared, so every
+// consumer downstream sees the inline-JSON layout regardless of how the
+// artifact was encoded. Uncompressed checkpoints are left untouched.
+func (ck *Checkpoint) Decompress() error {
+	out, err := ck.decompressed()
+	if err != nil {
+		return err
+	}
+	if out != ck {
+		*ck = *out
+	}
+	return nil
+}
+
+// decompressed is the non-mutating form of Decompress: it returns the
+// receiver itself when already uncompressed, otherwise a normalized copy
+// with every base state inflated (sharing arrival segments and origins).
+// Restore goes through it so a caller's compressed document — possibly
+// shared across engines — is never written to.
+func (ck *Checkpoint) decompressed() (*Checkpoint, error) {
+	switch ck.Compression {
+	case "":
+		return ck, nil
+	case CompressionFlate:
+	default:
+		return nil, fmt.Errorf("engine: checkpoint has unknown compression %q", ck.Compression)
+	}
+	out := *ck
+	out.Compression = ""
+	out.Tenants = make([]TenantCheckpoint, len(ck.Tenants))
+	for i, tc := range ck.Tenants {
+		if len(tc.BaseStateZ) > 0 {
+			data, err := inflate(tc.BaseStateZ)
+			if err != nil {
+				return nil, fmt.Errorf("engine: decompress %q base state: %v", tc.Tenant, err)
+			}
+			tc.BaseState, tc.BaseStateZ = data, nil
+		}
+		out.Tenants[i] = tc
+	}
+	return &out, nil
+}
+
+func deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func inflate(z []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(z))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
 // WriteFile writes the checkpoint to path atomically: the JSON document goes
 // to a temporary file in the same directory, is synced, and is renamed over
-// path — a crash mid-write never corrupts the previous checkpoint. It
-// returns the encoded size in bytes.
+// path — a crash mid-write never corrupts the previous checkpoint. Base
+// states are flate-compressed on the way out (flagged in the header; see
+// Compressed). It returns the encoded size in bytes.
 func (ck *Checkpoint) WriteFile(path string) (int, error) {
-	data, err := json.Marshal(ck)
+	zck, err := ck.Compressed()
+	if err != nil {
+		return 0, err
+	}
+	data, err := json.Marshal(zck)
 	if err != nil {
 		return 0, err
 	}
@@ -406,8 +530,9 @@ func (ck *Checkpoint) WriteFile(path string) (int, error) {
 	return len(data), os.Rename(tmp.Name(), path)
 }
 
-// ReadCheckpointFile reads a checkpoint written by WriteFile (either
-// format version).
+// ReadCheckpointFile reads a checkpoint written by WriteFile (either format
+// version, compressed or not) and returns it in normalized, decompressed
+// form.
 func ReadCheckpointFile(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -415,6 +540,9 @@ func ReadCheckpointFile(path string) (*Checkpoint, error) {
 	}
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint %s: %v", path, err)
+	}
+	if err := ck.Decompress(); err != nil {
 		return nil, fmt.Errorf("engine: checkpoint %s: %v", path, err)
 	}
 	return &ck, nil

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -522,4 +523,110 @@ func TestCheckpointV1SealedRefused(t *testing.T) {
 	if _, err := e.Checkpoint(); err != nil {
 		t.Errorf("v2 Checkpoint failed on a sealed tenant: %v", err)
 	}
+}
+
+// TestCheckpointCompression pins the flate encoding of v2 base states: the
+// artifact WriteFile produces must be flagged, smaller than the raw
+// marshal, and restore byte-identically both through ReadCheckpointFile and
+// when a still-compressed checkpoint is handed straight to Restore.
+// Uncompressed v2 documents (pre-compression writers) must keep restoring.
+func TestCheckpointCompression(t *testing.T) {
+	tr := fixedTrace(42, 200, 6, 12)
+	cfg := Config{Algorithm: "pd", Shards: 2, Seed: 7, RecordArrivals: true, SealEvery: 10}
+	e := New(cfg)
+	if _, err := e.ReplayTrace(tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.ckpt.json")
+	n, err := ck.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Compression != "" {
+		t.Fatalf("WriteFile mutated the receiver: compression %q", ck.Compression)
+	}
+	if n >= len(raw) {
+		t.Errorf("compressed artifact is %d bytes, raw marshal %d — flate bought nothing", n, len(raw))
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged Checkpoint
+	if err := json.Unmarshal(onDisk, &flagged); err != nil {
+		t.Fatal(err)
+	}
+	if flagged.Compression != CompressionFlate {
+		t.Fatalf("on-disk compression flag %q, want %q", flagged.Compression, CompressionFlate)
+	}
+	for i := range flagged.Tenants {
+		tc := &flagged.Tenants[i]
+		if len(tc.BaseState) != 0 || len(tc.BaseStateZ) == 0 {
+			t.Fatalf("tenant %s on disk: base_state %d bytes, base_state_z %d bytes",
+				tc.Tenant, len(tc.BaseState), len(tc.BaseStateZ))
+		}
+	}
+
+	verify := func(label string, ck *Checkpoint) {
+		t.Helper()
+		restored := New(Config{Algorithm: "pd", Shards: 3, Seed: 7, RecordArrivals: true, SealEvery: 10})
+		defer restored.Close()
+		stats, err := restored.Restore(ck)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if stats.BasesLoaded != 2 || stats.StateBytes == 0 {
+			t.Errorf("%s: restore stats %+v, want 2 decompressed bases", label, stats)
+		}
+		got, err := restored.SnapshotAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalSnaps(t, want), marshalSnaps(t, got)) {
+			t.Errorf("%s: restored snapshots differ from pre-checkpoint snapshots", label)
+		}
+	}
+
+	fromFile, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Compression != "" {
+		t.Errorf("ReadCheckpointFile left compression %q", fromFile.Compression)
+	}
+	verify("read-file", fromFile)
+	verify("restore-compressed-directly", &flagged)
+	// Restore must not mutate the caller's document: a compressed artifact
+	// can be shared across engines (e.g. replicas restoring from one file).
+	if flagged.Compression != CompressionFlate {
+		t.Errorf("Restore cleared the input's compression flag (%q)", flagged.Compression)
+	}
+	for i := range flagged.Tenants {
+		tc := &flagged.Tenants[i]
+		if len(tc.BaseStateZ) == 0 || len(tc.BaseState) != 0 {
+			t.Errorf("Restore mutated input tenant %s: base_state %d bytes, base_state_z %d bytes",
+				tc.Tenant, len(tc.BaseState), len(tc.BaseStateZ))
+		}
+	}
+
+	// An uncompressed v2 document — what a pre-compression writer produced.
+	var plain Checkpoint
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	verify("uncompressed-v2", &plain)
 }

@@ -19,7 +19,7 @@ import (
 func init() {
 	register(Experiment{
 		ID:         "perf",
-		Title:      "Throughput: arrivals/second per algorithm across n and |S|, plus incremental vs naive PD bids",
+		Title:      "Throughput: arrivals/second per algorithm across n and |S|, plus the PD serve-loop ladder (event-driven vs incremental vs naive)",
 		Reproduces: "systems evaluation of the implementations (no paper counterpart — the paper is theory-only)",
 		Run:        runPerf,
 		WallClock:  true,
@@ -46,18 +46,27 @@ type algoBenchFile struct {
 	Rows        []algoBenchRow `json:"rows"`
 }
 
-// pdBenchRow is one machine-readable measurement of the PD-OMFLP serve loop:
-// the incremental bid accounting versus the naive per-arrival recomputation
-// on the same workload. Written to BENCH_pd.json when Config.BenchDir is set.
+// pdBenchRow is one machine-readable measurement of the PD-OMFLP serve
+// loop across its three implementations on the same workload: the
+// event-driven loop (per-arrival threshold precomputation, the production
+// path), the pre-refactor incremental loop (incremental bids, candidate
+// rescans on every event) and the naive reference (bids rebuilt from the
+// full history every arrival). All three produce byte-identical solutions —
+// runPDBench asserts it — so the columns measure pure serve-loop cost.
+// Written to BENCH_pd.json when Config.BenchDir is set; the CI
+// benchmark-regression job gates on event_driven beating incremental.
 type pdBenchRow struct {
-	N                  int     `json:"n"`
-	Universe           int     `json:"universe"`
-	Points             int     `json:"points"`
-	IncrementalPerSec  float64 `json:"incremental_arrivals_per_sec"`
-	NaivePerSec        float64 `json:"naive_arrivals_per_sec"`
-	Speedup            float64 `json:"speedup"`
-	IncrementalSeconds float64 `json:"incremental_seconds"`
-	NaiveSeconds       float64 `json:"naive_seconds"`
+	N                         int     `json:"n"`
+	Universe                  int     `json:"universe"`
+	Points                    int     `json:"points"`
+	EventPerSec               float64 `json:"event_driven_arrivals_per_sec"`
+	IncrementalPerSec         float64 `json:"incremental_arrivals_per_sec"`
+	NaivePerSec               float64 `json:"naive_arrivals_per_sec"`
+	SpeedupEventVsIncremental float64 `json:"speedup_event_vs_incremental"`
+	Speedup                   float64 `json:"speedup"` // incremental vs naive (legacy column)
+	EventSeconds              float64 `json:"event_driven_seconds"`
+	IncrementalSeconds        float64 `json:"incremental_seconds"`
+	NaiveSeconds              float64 `json:"naive_seconds"`
 }
 
 type pdBenchFile struct {
@@ -73,8 +82,10 @@ type pdBenchFile struct {
 // other experiment's tables, which are bit-reproducible under a fixed seed);
 // the purpose is to document the practical cost of the algorithms — the
 // paper's remark that RAND-OMFLP "is much more efficient to implement"
-// (Section 4) becomes measurable here, as does the asymptotic gap between
-// O(k·|cands|) and O(history·|cands|) per arrival in PD.
+// (Section 4) becomes measurable here, as does the gap between the
+// event-driven serve loop (O(k·|cands|) once per arrival), the pre-refactor
+// incremental loop (O(events·k·|cands|)) and the naive reference
+// (O(history·|cands|)) in PD.
 //
 // Unlike the other experiments, the measurement loops deliberately ignore
 // Config.Workers: concurrent timing runs would contend for cores and skew
@@ -169,9 +180,9 @@ func runPDBench(cfg Config) (*report.Table, []pdBenchRow) {
 	sizes := pick(cfg, []int{200, 400}, []int{500, 1000, 2000})
 	const u, points = 8, 25
 
-	tab := report.NewTable("perf: PD-OMFLP serve loop, incremental vs naive bid accounting",
-		"n", "|S|", "points", "incremental arrivals/s", "naive arrivals/s", "speedup")
-	tab.Note = "wall-clock; the naive reference rebuilds bids from the full history every arrival"
+	tab := report.NewTable("perf: PD-OMFLP serve loop, event-driven vs incremental vs naive",
+		"n", "|S|", "points", "event-driven arrivals/s", "incremental arrivals/s", "naive arrivals/s", "event/incremental")
+	tab.Note = "wall-clock; incremental = pre-refactor per-event candidate rescans, naive additionally rebuilds bids from the full history"
 
 	var rows []pdBenchRow
 	for _, n := range sizes {
@@ -179,7 +190,7 @@ func runPDBench(cfg Config) (*report.Table, []pdBenchRow) {
 		space := metric.RandomEuclidean(rng, points, 2, 100)
 		tr := workload.Uniform(rng, space, cost.PowerLaw(u, 1, 2), n, u/2+1)
 
-		timeRun := func(alg online.Algorithm) float64 {
+		timeRun := func(alg online.Algorithm) (float64, *core.PDOMFLP) {
 			start := time.Now()
 			for _, r := range tr.Instance.Requests {
 				alg.Serve(r)
@@ -188,25 +199,59 @@ func runPDBench(cfg Config) (*report.Table, []pdBenchRow) {
 			if elapsed <= 0 {
 				elapsed = time.Nanosecond
 			}
-			return elapsed.Seconds()
+			return elapsed.Seconds(), alg.(*core.PDOMFLP)
 		}
-		incSec := timeRun(core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
-		naiveSec := timeRun(core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+		eventSec, eventPD := timeRun(core.NewPDOMFLP(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+		incSec, incPD := timeRun(core.NewPDLoopReference(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+		naiveSec, naivePD := timeRun(core.NewPDReference(tr.Instance.Space, tr.Instance.Costs, core.Options{}))
+
+		// The three loops must be implementations of the same algorithm,
+		// not three algorithms: identical facilities and assignments.
+		assertSameSolution(eventPD, incPD, "event-driven vs incremental")
+		assertSameSolution(eventPD, naivePD, "event-driven vs naive")
 
 		row := pdBenchRow{
-			N:                  n,
-			Universe:           u,
-			Points:             points,
-			IncrementalPerSec:  float64(n) / incSec,
-			NaivePerSec:        float64(n) / naiveSec,
-			Speedup:            naiveSec / incSec,
-			IncrementalSeconds: incSec,
-			NaiveSeconds:       naiveSec,
+			N:                         n,
+			Universe:                  u,
+			Points:                    points,
+			EventPerSec:               float64(n) / eventSec,
+			IncrementalPerSec:         float64(n) / incSec,
+			NaivePerSec:               float64(n) / naiveSec,
+			SpeedupEventVsIncremental: incSec / eventSec,
+			Speedup:                   naiveSec / incSec,
+			EventSeconds:              eventSec,
+			IncrementalSeconds:        incSec,
+			NaiveSeconds:              naiveSec,
 		}
 		rows = append(rows, row)
-		tab.AddRow(n, u, points, row.IncrementalPerSec, row.NaivePerSec, row.Speedup)
+		tab.AddRow(n, u, points, row.EventPerSec, row.IncrementalPerSec, row.NaivePerSec, row.SpeedupEventVsIncremental)
 	}
 	return tab, rows
+}
+
+// assertSameSolution panics when two PD serve loops disagree on any opened
+// facility or assignment link — the benchmark would otherwise be comparing
+// different algorithms and its speedups would be meaningless.
+func assertSameSolution(a, b *core.PDOMFLP, label string) {
+	sa, sb := a.Solution(), b.Solution()
+	if len(sa.Facilities) != len(sb.Facilities) || len(sa.Assign) != len(sb.Assign) {
+		panic("perf: PD serve loops diverged (" + label + ")")
+	}
+	for i := range sa.Facilities {
+		if sa.Facilities[i].Point != sb.Facilities[i].Point || !sa.Facilities[i].Config.Equal(sb.Facilities[i].Config) {
+			panic("perf: PD serve loops diverged (" + label + ")")
+		}
+	}
+	for i := range sa.Assign {
+		if len(sa.Assign[i]) != len(sb.Assign[i]) {
+			panic("perf: PD serve loops diverged (" + label + ")")
+		}
+		for j := range sa.Assign[i] {
+			if sa.Assign[i][j] != sb.Assign[i][j] {
+				panic("perf: PD serve loops diverged (" + label + ")")
+			}
+		}
+	}
 }
 
 func writePDBench(cfg Config, rows []pdBenchRow) error {
@@ -214,7 +259,7 @@ func writePDBench(cfg Config, rows []pdBenchRow) error {
 		return err
 	}
 	out := pdBenchFile{
-		Description: "PD-OMFLP serve throughput: incremental bid accounting vs naive per-arrival rebuild",
+		Description: "PD-OMFLP serve throughput: event-driven loop vs pre-refactor incremental loop vs naive per-arrival rebuild (byte-identical solutions)",
 		Seed:        cfg.Seed,
 		Quick:       cfg.Quick,
 		Rows:        rows,
