@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the per-package unit description the go command hands a
+// -vettool (the same JSON cmd/go feeds x/tools' unitchecker). Dependencies
+// arrive as compiler export data in PackageFile, so a unit check never
+// re-parses the dependency graph.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit runs the analyzer suite over one vet unit and returns the process
+// exit code: 0 clean, 2 findings (the unitchecker convention — the go
+// command treats any nonzero exit as a failed check and relays stderr).
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omflp-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "omflp-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The tool's analyzers export no facts, but the driver still expects the
+	// facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "omflp-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omflp-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:    &vetImporter{imp: imp, importMap: cfg.ImportMap},
+		FakeImportC: true,
+		GoVersion:   cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "omflp-lint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omflp-lint: %v\n", err)
+		return 1
+	}
+	// Unlike the standalone driver (which loads non-test files only), vet
+	// units for test packages include _test.go files; the exact-equality
+	// differential oracles living there are exempt from the determinism
+	// rules by design.
+	n := 0
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		n++
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter applies the unit's ImportMap (vendor and module resolution)
+// before delegating to the export-data importer.
+type vetImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	return v.imp.Import(path)
+}

@@ -1,0 +1,99 @@
+// Package analysistest runs an analyzer over fixture packages and compares
+// its diagnostics against `// want "regex"` expectations embedded in the
+// fixture sources — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// repository's stdlib-only analysis framework.
+//
+// A fixture line may carry one or more expectations:
+//
+//	rand.Intn(5) // want "unseeded"
+//
+// Each `want` regex must match a diagnostic reported on that line, each
+// diagnostic must be claimed by a `want`, and suppression-comment cases are
+// simply lines whose annotation silences the analyzer with no `want`
+// present.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`want\s+("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages rooted at srcDir (GOPATH layout:
+// srcDir/<import path>/*.go), applies the analyzer, and checks every
+// diagnostic against the fixtures' want comments.
+func Run(t *testing.T, srcDir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixture(srcDir, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						quoted := m[1]
+						pat, err := strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, quoted, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %s: %v", pos, quoted, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		claimed := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}

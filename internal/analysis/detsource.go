@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetSource bans ambient nondeterminism sources in the determinism-critical
+// packages:
+//
+//   - top-level math/rand (and math/rand/v2) draws — Intn, Float64, Perm,
+//     Shuffle, ... on the package's global generator. All randomness must
+//     flow from a seeded *rand.Rand handed in by the caller (workload.Rng,
+//     online.Factory seeds); constructors (New, NewSource, NewZipf) are
+//     allowed since they are how seeded generators are built;
+//   - wall-clock reads — time.Now, Since, Until, After, Tick, NewTimer,
+//     NewTicker. Clocks must be injected so replays and differential runs
+//     are reproducible; reads that feed metrics only are allowlisted in
+//     internal/engine (engine.go, metrics.go — the serve-latency and
+//     throughput instrumentation) and elsewhere carry //omflp:wallclock;
+//   - environment reads — os.Getenv, LookupEnv, Environ. Configuration
+//     reaches deterministic code through explicit parameters, never
+//     ambiently.
+var DetSource = &Analyzer{
+	Name:        "detsource",
+	Doc:         "bans unseeded randomness, wall-clock reads and env reads in determinism-critical packages",
+	Suppression: "wallclock",
+	Run:         runDetSource,
+}
+
+// detSourceAllowlist maps (import path, file base name) pairs whose
+// wall-clock reads are accepted without annotation: the engine's metrics
+// instrumentation measures real latency by design, and the snapshots the
+// determinism tests pin never include those readings.
+var detSourceAllowlist = map[[2]string]bool{
+	{"repro/internal/engine", "engine.go"}:  true,
+	{"repro/internal/engine", "metrics.go"}: true,
+}
+
+// wallClockFuncs are the time package functions that read (or schedule
+// against) the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os package functions that read the process environment.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+func runDetSource(pass *Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		fileBase := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		wallClockAllowed := detSourceAllowlist[[2]string{pass.Pkg.Path(), fileBase}]
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil || fn.Pkg() == nil {
+				return true // methods are fine: a *rand.Rand receiver is a seeded stream
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(), "top-level %s.%s draws from the unseeded global generator; draw from an injected seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+				}
+			case "time":
+				if wallClockFuncs[fn.Name()] && !wallClockAllowed {
+					pass.Reportf(call.Pos(), "wall-clock read time.%s in a deterministic package; inject the clock, or annotate //omflp:wallclock if the reading feeds metrics/benchmarks only", fn.Name())
+				}
+			case "os":
+				if envFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "environment read os.%s in a deterministic package; pass configuration explicitly", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDetSource covers unseeded math/rand draws, wall-clock and environment
+// reads (positive), seeded generators and out-of-scope packages (negative),
+// and the //omflp:wallclock suppression.
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.DetSource,
+		"repro/internal/workload", "repro/internal/server")
+}
+
+// TestDetSourceAllowlist pins the metrics-path carve-out: wall-clock reads in
+// engine.go/metrics.go pass, everything else in the package — and every
+// environment read — is still flagged.
+func TestDetSourceAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.DetSource,
+		"repro/internal/engine")
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadFixture loads analysistest-style fixture packages from a GOPATH-like
+// tree: srcDir/<import path>/*.go. Fixture packages may import each other
+// (resolved inside srcDir) and the standard library (type-checked from
+// source via the go command, declarations only). Returned packages carry
+// full type information, ready for Run.
+//
+// Fixture trees live under testdata/, so the go tool never builds them and
+// deliberately broken packages (the positive analyzer cases) cannot leak
+// into the module build.
+func LoadFixture(srcDir string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+
+	// Parse the requested fixture packages plus everything they import from
+	// inside srcDir, collecting external (standard library) imports.
+	parsed := map[string][]*ast.File{}
+	order := []string{} // post-order: dependencies before dependents
+	stdlib := map[string]bool{}
+	var load func(path string, from string) error
+	visiting := map[string]bool{}
+	load = func(path, from string) error {
+		if _, done := parsed[path]; done {
+			return nil
+		}
+		if visiting[path] {
+			return fmt.Errorf("analysis: fixture import cycle through %q", path)
+		}
+		visiting[path] = true
+		defer delete(visiting, path)
+		dir := filepath.Join(srcDir, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("analysis: fixture %q (imported from %q): %v", path, from, err)
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		files, err := parseFiles(fset, dir, names)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if fixtureDirExists(srcDir, ipath) {
+					if err := load(ipath, path); err != nil {
+						return err
+					}
+				} else {
+					stdlib[ipath] = true
+				}
+			}
+		}
+		parsed[path] = files
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := load(p, "<test>"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check the standard-library closure the fixtures need.
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	if len(stdlib) > 0 {
+		var std []string
+		for p := range stdlib {
+			std = append(std, p)
+		}
+		sort.Strings(std)
+		listed, err := goList(srcDir, std)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			if lp.ImportPath == "unsafe" {
+				continue
+			}
+			files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+			if err != nil {
+				return nil, err
+			}
+			conf := types.Config{
+				Importer:         &mapImporter{checked: checked, importMap: lp.ImportMap},
+				IgnoreFuncBodies: true,
+				FakeImportC:      true,
+			}
+			tpkg, err := conf.Check(lp.ImportPath, fset, files, nil)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+			}
+			checked[lp.ImportPath] = tpkg
+		}
+	}
+
+	// Type-check the fixture packages in dependency order.
+	requested := map[string]bool{}
+	for _, p := range paths {
+		requested[p] = true
+	}
+	var out []*Package
+	for _, path := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: &mapImporter{checked: checked}}
+		tpkg, err := conf.Check(path, fset, parsed[path], info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking fixture %s: %v", path, err)
+		}
+		checked[path] = tpkg
+		if requested[path] {
+			out = append(out, &Package{
+				ImportPath: path,
+				Dir:        filepath.Join(srcDir, filepath.FromSlash(path)),
+				Fset:       fset,
+				Files:      parsed[path],
+				Types:      tpkg,
+				Info:       info,
+			})
+		}
+	}
+	return out, nil
+}
+
+func fixtureDirExists(srcDir, path string) bool {
+	st, err := os.Stat(filepath.Join(srcDir, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}

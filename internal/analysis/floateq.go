@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags ==, != and switch on floating-point operands in the
+// determinism-critical packages. The tolerance discipline of
+// internal/core/pd.go (pdEps for constraint tightness, pdMarginEps for the
+// prefilter margin) exists because accumulated rounding makes exact float
+// comparison semantically meaningless on the serving paths; a raw == is
+// either a bug or an intentional bit-identity check, and the latter carries
+// a //omflp:floatexact annotation saying why exactness is sound (e.g. both
+// sides are produced by the identical expression).
+//
+// Comparisons against an untouched-sentinel constant are not special-cased:
+// the flagged sites in this repo's history were all accumulator comparisons
+// that looked like sentinel checks.
+var FloatEq = &Analyzer{
+	Name:        "floateq",
+	Doc:         "flags raw ==/!=/switch on floats outside the pdEps/pdMarginEps tolerance discipline",
+	Suppression: "floatexact",
+	Run:         runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if typeIsFloat(pass.TypesInfo.TypeOf(n.X)) || typeIsFloat(pass.TypesInfo.TypeOf(n.Y)) {
+					pass.Reportf(n.OpPos, "raw float %s comparison; use the pdEps/pdMarginEps tolerance discipline or annotate //omflp:floatexact with a rationale", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && typeIsFloat(pass.TypesInfo.TypeOf(n.Tag)) {
+					pass.Reportf(n.Switch, "switch on a floating-point value compares exactly; use the tolerance discipline or annotate //omflp:floatexact")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestFloatEq covers ==/!=/switch on float operands (positive), tolerance
+// helpers and integer comparisons (negative), the out-of-scope server
+// package, and the //omflp:floatexact suppression.
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.FloatEq,
+		"repro/internal/sim", "repro/internal/server")
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed and type-checked target package ready for
+// analysis. Dependencies are type-checked too (declarations only) but not
+// returned: analyzers run over the packages the user named.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir) with the
+// go command, then parses and type-checks them bottom-up — dependencies,
+// including the standard library, are checked from source with
+// IgnoreFuncBodies, so the loader needs no export data and no modules
+// beyond the target module itself.
+//
+// Only non-test files are loaded. That is deliberate, not a shortcut: the
+// _test.go trees are where the exact-equality differential oracles live
+// (byte-identity asserts compare floats with == on purpose), so linting
+// them against the determinism rules would be noise.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	var targets []*Package
+
+	// `go list -deps` emits packages in dependency order: every package
+	// appears after all of its imports, so one forward pass suffices.
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		target := !lp.DepOnly && !lp.Standard
+		files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{
+			Importer:         &mapImporter{checked: checked, importMap: lp.ImportMap},
+			IgnoreFuncBodies: !target,
+			FakeImportC:      true,
+		}
+		var info *types.Info
+		if target {
+			info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		if target {
+			targets = append(targets, &Package{
+				ImportPath: lp.ImportPath,
+				Dir:        lp.Dir,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				Info:       info,
+			})
+		}
+	}
+	return targets, nil
+}
+
+// goList runs `go list -deps -json` over the patterns with cgo disabled
+// (the pure-Go fallbacks of net, os/user etc. keep the whole dependency
+// closure type-checkable from source).
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves imports against the already-checked package set,
+// applying the importing package's ImportMap (which carries the GOROOT
+// vendor mapping, e.g. golang.org/x/net/... -> vendor/golang.org/x/net/...).
+type mapImporter struct {
+	checked   map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (go list -deps should have listed it first)", path)
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in the determinism-critical packages
+// when the loop body has order-sensitive effects. Go randomizes map
+// iteration order per run, so any such loop is a latent break of the
+// byte-identical guarantees (PR 1 fixed exactly this bug in
+// ablation_candidates). Effects considered order-sensitive:
+//
+//   - append to a slice (the result order depends on visit order) — except
+//     the recognized collect-keys idiom, a body consisting solely of
+//     `keys = append(keys, k)`, which is only ever useful followed by a
+//     sort;
+//   - floating-point accumulation (+=, -=, *=, /=, or x = x + ...): float
+//     addition is not associative, so even a commutative-looking sum
+//     differs across orders;
+//   - assignment to a variable declared outside the loop (first/min-match
+//     selection depends on which key wins);
+//   - break or return inside the body (first-match semantics);
+//   - rng draws (order permutes the random stream);
+//   - encoding/printing/IO calls and channel sends (emission order).
+//
+// Loops that are provably commutative (e.g. integer counting, writes keyed
+// by the iteration variable into another map) pass; anything else either
+// iterates sorted keys or carries a //omflp:orderinvariant annotation with
+// a rationale.
+var MapOrder = &Analyzer{
+	Name:        "maporder",
+	Doc:         "flags order-sensitive iteration over maps in determinism-critical packages",
+	Suppression: "orderinvariant",
+	Run:         runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectKeysIdiom(pass, rs) {
+				return true
+			}
+			if effect := orderSensitiveEffect(pass, rs); effect != "" {
+				pass.Reportf(rs.Pos(), "map iteration with order-sensitive effect (%s); iterate sorted keys or annotate //omflp:orderinvariant with a rationale", effect)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectKeysIdiom recognizes the canonical sorted-iteration prelude: a
+// body that only appends the range key to a slice, `for k := range m {
+// keys = append(keys, k) }`, to be sorted before the real loop.
+func isCollectKeysIdiom(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[arg] == pass.TypesInfo.Defs[key]
+}
+
+// orderSensitiveEffect scans the loop body and returns a description of the
+// first order-sensitive effect found, or "".
+func orderSensitiveEffect(pass *Pass, rs *ast.RangeStmt) string {
+	var effect string
+	set := func(e string) {
+		if effect == "" {
+			effect = e
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if typeIsFloat(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+					set("floating-point accumulation")
+				}
+			case token.ASSIGN:
+				if len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+							if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); ok && b.Name() == "append" {
+								set("append (result order depends on iteration order)")
+							}
+						}
+					}
+				}
+				for _, lhs := range n.Lhs {
+					if assignsOuterVar(pass, rs, lhs) {
+						set("assignment to a variable declared outside the loop")
+					}
+				}
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				set("break (first-match selection)")
+			}
+		case *ast.ReturnStmt:
+			set("return inside the loop (first-match selection)")
+		case *ast.SendStmt:
+			set("channel send")
+		case *ast.CallExpr:
+			if e := callEffect(pass, n); e != "" {
+				set(e)
+			}
+		}
+		return true
+	})
+	return effect
+}
+
+// assignsOuterVar reports whether lhs plainly assigns a variable declared
+// outside the range statement. Index expressions (m2[k] = v) and blank
+// identifiers are commutative and skipped.
+func assignsOuterVar(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// callEffect classifies a call inside a map-range body: rng draws and
+// output/encoding calls make the loop order-sensitive; appends (outside the
+// collect idiom) order their result slice.
+func callEffect(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "append" {
+			if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+				return "append (result order depends on iteration order)"
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				if pkg := fn.Pkg(); pkg != nil {
+					switch pkg.Path() {
+					case "math/rand", "math/rand/v2":
+						return "random draw (permutes the rng stream)"
+					case "fmt", "io", "bufio", "encoding/json", "encoding/gob", "encoding/binary", "encoding/csv":
+						return "output/encoding call (emission order)"
+					}
+				}
+				// Method draws on a seeded generator still permute its
+				// stream: the receiver type decides.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if named := namedOf(sig.Recv().Type()); named != nil {
+						if pkg := named.Obj().Pkg(); pkg != nil &&
+							(pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+							return "random draw (permutes the rng stream)"
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to reach a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestMapOrder covers positives (append under range, float accumulation,
+// first-match break, min-style selection into outer variables), negatives
+// (collect-keys idiom, commutative keyed writes, out-of-scope package), and
+// the //omflp:orderinvariant suppression.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MapOrder,
+		"repro/internal/core", "repro/internal/server")
+}

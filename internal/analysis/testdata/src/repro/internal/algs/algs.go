@@ -1,0 +1,120 @@
+// Package algs is the statecodec fixture: Algorithm implementations with
+// complete, incomplete and missing state codecs.
+package algs
+
+import (
+	"encoding/json"
+
+	"repro/internal/online"
+)
+
+// Complete implements Algorithm and a codec covering every field: clean.
+type Complete struct {
+	served int
+	opened []int
+}
+
+func (c *Complete) Name() string { return "complete" }
+func (c *Complete) Serve(p int)  { c.served++; c.opened = append(c.opened, p) }
+
+type completeState struct {
+	Served int   `json:"served"`
+	Opened []int `json:"opened"`
+}
+
+func (c *Complete) MarshalState() ([]byte, error) {
+	return json.Marshal(&completeState{Served: c.served, Opened: c.opened})
+}
+
+func (c *Complete) UnmarshalState(data []byte) error {
+	var st completeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.served = st.Served
+	c.opened = st.Opened
+	return nil
+}
+
+// NoCodec implements Algorithm but not StateCodec.
+type NoCodec struct { // want "NoCodec implements online.Algorithm but not online.StateCodec"
+	served int
+}
+
+func (n *NoCodec) Name() string { return "nocodec" }
+func (n *NoCodec) Serve(p int)  { n.served++ }
+
+// Leaky has a codec, but the credits field — real serving state — is
+// marshaled nowhere: the restore-bit-identity bug class.
+type Leaky struct {
+	served  int
+	credits []float64 // want "field Leaky.credits is referenced in neither MarshalState nor UnmarshalState"
+	scratch []int     //omflp:nostate — fixture: per-arrival scratch, never read across arrivals
+}
+
+func (l *Leaky) Name() string { return "leaky" }
+func (l *Leaky) Serve(p int) {
+	l.served++
+	l.credits = append(l.credits, float64(p))
+	l.scratch = l.scratch[:0]
+}
+
+type leakyState struct {
+	Served int `json:"served"`
+}
+
+func (l *Leaky) MarshalState() ([]byte, error) {
+	return json.Marshal(&leakyState{Served: l.served})
+}
+
+func (l *Leaky) UnmarshalState(data []byte) error {
+	var st leakyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	l.served = st.Served
+	return nil
+}
+
+// Delegating marshals one field only through a same-package helper — the
+// call-graph walk must count that as a reference.
+type Delegating struct {
+	served int
+	duals  []float64
+}
+
+func (d *Delegating) Name() string { return "delegating" }
+func (d *Delegating) Serve(p int)  { d.served++; d.duals = append(d.duals, float64(p)) }
+
+type delegatingState struct {
+	Served int       `json:"served"`
+	Duals  []float64 `json:"duals"`
+}
+
+func dualsToState(d *Delegating, st *delegatingState) { st.Duals = d.duals }
+
+func (d *Delegating) MarshalState() ([]byte, error) {
+	st := delegatingState{Served: d.served}
+	dualsToState(d, &st)
+	return json.Marshal(&st)
+}
+
+func (d *Delegating) UnmarshalState(data []byte) error {
+	var st delegatingState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	d.served = st.Served
+	d.duals = st.Duals
+	return nil
+}
+
+// Conformance pins: the fixture's clean types really implement the fixture
+// interfaces (so the analyzer's Implements checks exercise the real path).
+var (
+	_ online.Algorithm  = (*Complete)(nil)
+	_ online.Algorithm  = (*NoCodec)(nil)
+	_ online.StateCodec = (*Complete)(nil)
+	_ online.StateCodec = (*Leaky)(nil)
+	_ online.StateCodec = (*Delegating)(nil)
+)

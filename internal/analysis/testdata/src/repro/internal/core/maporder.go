@@ -1,0 +1,77 @@
+// Package core is a maporder/floateq/detsource fixture: its import path
+// matches the determinism-critical set, so the analyzers treat it exactly
+// like the real serving code.
+package core
+
+import "sort"
+
+func appendUnderRange(m map[int]float64) []int {
+	var out []int
+	for k := range m { // want "order-sensitive effect \\(append"
+		out = append(out, k+1)
+	}
+	return out
+}
+
+func floatAccumulation(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "floating-point accumulation"
+		sum += v
+	}
+	return sum
+}
+
+func firstMatchSelection(m map[int]bool) int {
+	found := -1
+	for k := range m { // want "order-sensitive effect"
+		if m[k] {
+			found = k
+			break
+		}
+	}
+	return found
+}
+
+func minSelection(m map[int]float64) float64 {
+	best := 0.0
+	first := true
+	for _, v := range m { // want "assignment to a variable declared outside the loop"
+		if first || v < best {
+			best, first = v, false
+		}
+	}
+	return best
+}
+
+// collectKeysIdiom is the recognized sorted-iteration prelude: allowed.
+func collectKeysIdiom(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// commutativeCount only counts and writes keyed entries: allowed.
+func commutativeCount(m map[int]float64, out map[int]int) int {
+	n := 0
+	for k := range m {
+		n++
+		out[k] = n * 0
+	}
+	return n
+}
+
+// annotated is order-sensitive but carries the suppression annotation.
+func annotated(m map[int]float64) []int {
+	var out []int
+	for k := range m { //omflp:orderinvariant — fixture: rationale goes here
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package engine is the detsource allowlist fixture: wall-clock reads in
+// metrics.go and engine.go feed the latency/throughput instrumentation and
+// pass without annotation; everything else in the package is still checked.
+package engine
+
+import (
+	"os"
+	"time"
+)
+
+// instrumentLatency reads the clock on the allowlisted metrics path: allowed.
+func instrumentLatency() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// envInMetrics is still an environment read — the allowlist covers the wall
+// clock only.
+func envInMetrics() string {
+	return os.Getenv("OMFLP_SHARDS") // want "environment read os.Getenv"
+}

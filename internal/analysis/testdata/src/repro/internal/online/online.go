@@ -1,0 +1,16 @@
+// Package online is the interface fixture for the statecodec analyzer: the
+// same Algorithm/StateCodec shape as the real repro/internal/online, found
+// by the analyzer through the import path suffix.
+package online
+
+// Algorithm is the fixture's online-algorithm interface.
+type Algorithm interface {
+	Name() string
+	Serve(p int)
+}
+
+// StateCodec is the fixture's serializable-state interface.
+type StateCodec interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState(data []byte) error
+}

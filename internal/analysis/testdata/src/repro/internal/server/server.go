@@ -1,0 +1,18 @@
+// Package server is a negative fixture: it is not in the deterministic set,
+// so order-sensitive map iteration, float equality and ambient clocks are
+// all out of maporder/floateq/detsource scope here.
+package server
+
+import "time"
+
+func appendUnderRange(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func rawEquality(a, b float64) bool { return a == b }
+
+func wallClock() time.Time { return time.Now() }

@@ -1,0 +1,39 @@
+package sim
+
+import "math"
+
+const eps = 1e-9
+
+func rawEquality(a, b float64) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func rawInequality(a float64) bool {
+	if a != 0 { // want "raw float != comparison"
+		return true
+	}
+	return false
+}
+
+func switchOnFloat(a float64) int {
+	switch a { // want "switch on a floating-point value"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+// toleranceComparison is the blessed discipline: allowed.
+func toleranceComparison(a, b float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a))
+}
+
+// intEquality is not a float comparison: allowed.
+func intEquality(a, b int) bool {
+	return a == b
+}
+
+// annotatedExact carries the suppression annotation.
+func annotatedExact(a, b float64) bool {
+	return a == b //omflp:floatexact — fixture: both sides produced by the identical expression
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func unseededDraw() int {
+	return rand.Intn(5) // want "unseeded global generator"
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func envRead() string {
+	return os.Getenv("OMFLP_MODE") // want "environment read os.Getenv"
+}
+
+// seededDraw flows all randomness from an injected seeded generator:
+// allowed (constructors are how seeded generators are built).
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// annotatedClock carries the suppression annotation.
+func annotatedClock() time.Time {
+	return time.Now() //omflp:wallclock — fixture: feeds a benchmark report only
+}

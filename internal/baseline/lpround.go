@@ -48,7 +48,7 @@ func LPRound(in *instance.Instance) (OfflineResult, error) {
 	}
 
 	sort.SliceStable(ws, func(a, b int) bool {
-		if ws[a].y != ws[b].y {
+		if ws[a].y != ws[b].y { //omflp:floatexact — sort comparator; exact comparison of stored values keeps the order strict-weak
 			return ws[a].y > ws[b].y
 		}
 		ca := in.Costs.Cost(ws[a].fac.Point, ws[a].fac.Config)

@@ -61,7 +61,7 @@ func configFamily(in *instance.Instance, maxFull int) []commodity.Set {
 		}
 	}
 	var out []commodity.Set
-	for _, s := range seen {
+	for _, s := range seen { //omflp:orderinvariant — commodity.Sorted below canonicalizes the order
 		out = append(out, s)
 	}
 	return commodity.Sorted(out)

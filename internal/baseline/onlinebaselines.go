@@ -31,7 +31,7 @@ import (
 // commodity. All its facilities are singletons, so requests connect to one
 // facility per demanded commodity.
 type PerCommodity struct {
-	space metric.Space
+	space metric.Space //omflp:nostate — constructor parameter; restore requires an identically constructed instance
 	u     int
 	algs  []ofl.Algorithm
 	sol   *instance.Solution
@@ -150,9 +150,9 @@ func candidateList(space metric.Space, candidates []int) []int {
 // singleton facility (cost + distance) is cheaper — and never offers a
 // commodity that was not requested.
 type NoPrediction struct {
-	space metric.Space
-	costs cost.Model
-	cands []int
+	space metric.Space //omflp:nostate — constructor parameter; restore requires an identically constructed instance
+	costs cost.Model   //omflp:nostate — constructor parameter, ditto
+	cands []int        //omflp:nostate — constructor parameter, ditto
 	sol   *instance.Solution
 	byE   [][]int // facility indices per commodity
 }

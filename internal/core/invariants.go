@@ -1,0 +1,134 @@
+//go:build invariants
+
+// Runtime assertion layer, enabled with `go test -tags invariants ./...`.
+// After every served arrival it re-derives the two properties the PD
+// implementation leans on and panics on the first violation:
+//
+//  1. Credit invariant: every recorded credit is at most the distance from
+//     its request point to the nearest open facility that offers it
+//     (small-for-its-commodity or large for Constraint (3) credits, large
+//     for Constraint (4) credits). Credits are recorded as min{dual, d} and
+//     only ever lowered to a new, smaller distance, so the invariant holds
+//     by construction — it is exactly what lets the event-driven loop skip
+//     the unconditional credit sweep of the pre-refactor implementation,
+//     which is why a violation must crash instead of silently degrading the
+//     competitive ratio.
+//  2. Bid-accumulator consistency: the incremental Constraint (3)/(4) bid
+//     rows (bidSmall, bidLarge) must agree with a from-scratch recomputation
+//     over the full credit history (naiveSmallBids, naiveLargeBids) to
+//     within accumulation tolerance.
+//
+// Both checks rescan the credit history, so arrivals past the first
+// invariantsFullWindow are checked on a stride — dense coverage early (where
+// differential tests live), bounded overhead on long workloads.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// invariantsEnabled gates the runtime assertion layer; see invariants_off.go
+// for the default build.
+const invariantsEnabled = true
+
+// invariantsFullWindow is the arrival count up to which every arrival is
+// checked; past it, checks run every invariantsStride-th arrival.
+const (
+	invariantsFullWindow = 256
+	invariantsStride     = 16
+)
+
+// invariantsEps bounds the allowed drift between the incremental bid
+// accumulators and their naive recomputation. Looser than pdEps: the
+// incremental rows take one add and at most one subtract per (credit,
+// candidate) pair, so cancellation error grows with history length.
+const invariantsEps = 1e-6
+
+func (pd *PDOMFLP) assertInvariants() {
+	n := len(pd.points)
+	if n > invariantsFullWindow && n%invariantsStride != 0 {
+		return
+	}
+	pd.assertCreditInvariant()
+	pd.assertBidConsistency()
+}
+
+// assertCreditInvariant checks property 1. Distances are recomputed by a
+// direct scan over the open facilities rather than through facilityIndex, so
+// the assertion cannot mask a stale nearest-cache by reading through it.
+func (pd *PDOMFLP) assertCreditInvariant() {
+	for e, credits := range pd.creditSmall {
+		for j, cr := range credits {
+			d := pd.scanNearestOffering(e, cr.point)
+			if cr.credit > d+pdEps*(1+d) {
+				panic(fmt.Sprintf(
+					"core: invariant violation: small credit %d of commodity %d at point %d is %g > %g (distance to nearest offering facility)",
+					j, e, cr.point, cr.credit, d))
+			}
+		}
+	}
+	for j, cr := range pd.creditLarge {
+		d := pd.scanNearestLarge(cr.point)
+		if cr.credit > d+pdEps*(1+d) {
+			panic(fmt.Sprintf(
+				"core: invariant violation: large credit %d at point %d is %g > %g (distance to nearest large facility)",
+				j, cr.point, cr.credit, d))
+		}
+	}
+}
+
+// assertBidConsistency checks property 2: incremental accumulators against
+// the naive reference rows. Naive-bids instances have nothing to check —
+// they recompute the rows from scratch each arrival and never maintain the
+// accumulators.
+func (pd *PDOMFLP) assertBidConsistency() {
+	if pd.naiveBids {
+		return
+	}
+	for e, row := range pd.bidSmall {
+		if row == nil {
+			if len(pd.creditSmall[e]) != 0 {
+				panic(fmt.Sprintf("core: invariant violation: commodity %d has %d credits but no bid row",
+					e, len(pd.creditSmall[e])))
+			}
+			continue
+		}
+		assertBidRow("small", e, row, pd.naiveSmallBids(e))
+	}
+	assertBidRow("large", -1, pd.bidLarge, pd.naiveLargeBids())
+}
+
+func assertBidRow(kind string, e int, got, want []float64) {
+	for ci := range want {
+		if diff := math.Abs(got[ci] - want[ci]); diff > invariantsEps*(1+math.Abs(want[ci])) {
+			panic(fmt.Sprintf(
+				"core: invariant violation: %s bid row (commodity %d) candidate %d: incremental %g vs naive %g (diff %g)",
+				kind, e, ci, got[ci], want[ci], diff))
+		}
+	}
+}
+
+// scanNearestOffering is the assertion-layer counterpart of
+// facilityIndex.nearestOffering: a full scan with no cache reads or writes.
+func (pd *PDOMFLP) scanNearestOffering(e, p int) float64 {
+	best := pd.scanNearestLarge(p)
+	for _, idx := range pd.fx.smallBy[e] {
+		if d := pd.space.Distance(p, pd.fx.sol.Facilities[idx].Point); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// scanNearestLarge is the cache-free counterpart of
+// facilityIndex.nearestLarge.
+func (pd *PDOMFLP) scanNearestLarge(p int) float64 {
+	best := infinity
+	for _, idx := range pd.fx.large {
+		if d := pd.space.Distance(p, pd.fx.sol.Facilities[idx].Point); d < best {
+			best = d
+		}
+	}
+	return best
+}

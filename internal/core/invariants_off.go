@@ -1,0 +1,10 @@
+//go:build !invariants
+
+package core
+
+// invariantsEnabled gates the runtime assertion layer (see invariants.go).
+// In default builds the const-false guard makes the assertion calls compile
+// to nothing, keeping the serve hot path untouched.
+const invariantsEnabled = false
+
+func (pd *PDOMFLP) assertInvariants() {}

@@ -39,8 +39,8 @@ import (
 // predicate (see tightSmall). serveReference keeps the original
 // rescan-every-event loop as the differential oracle.
 type PDOMFLP struct {
-	space metric.Space
-	costs cost.Model
+	space metric.Space //omflp:nostate — constructor parameter; the restore contract requires an identically constructed instance
+	costs cost.Model   //omflp:nostate — constructor parameter, ditto
 	u     int
 	opts  Options
 	fx    *facilityIndex
@@ -75,7 +75,7 @@ type PDOMFLP struct {
 	// zeroBids is the shared all-zero row read for commodities that have no
 	// credits yet. Callers never mutate bid rows mid-arrival, so sharing is
 	// safe.
-	zeroBids []float64
+	zeroBids []float64 //omflp:nostate — shared all-zero constant, never mutated
 	// naiveBids switches Serve to recomputing the bid sums from the full
 	// credit history on every arrival — the original O(history×candidates)
 	// accounting, kept as the reference implementation for differential
@@ -85,14 +85,14 @@ type PDOMFLP struct {
 	// loop that rescans every candidate on every event and sweeps credits
 	// unconditionally. NewPDReference and NewPDLoopReference set it; the
 	// differential tests pin the event-driven loop against it.
-	refLoop bool
+	refLoop bool //omflp:nostate — construction-time mode flag, not serving state
 	// scratch holds the per-arrival working buffers of the event-driven
 	// serve path, reused across arrivals so the hot path allocates only
 	// what it retains (the dual row and the assignment links). Pure
 	// scratch: excluded from MarshalState, never read across arrivals.
-	scratch pdScratch
+	scratch pdScratch //omflp:nostate — per-arrival scratch, never read across arrivals
 	// distHistory backs the Lemma 14 analysis extraction (TraceAnalysis).
-	distHistory map[int][]analysisRecord
+	distHistory map[int][]analysisRecord //omflp:nostate — diagnostic only; MarshalState refuses TraceAnalysis instances
 	// facBoundary[i] = number of facilities after arrival i (for ServeLog).
 	facBoundary []int
 }
@@ -254,9 +254,12 @@ const pdMarginEps = 1e-12
 func (pd *PDOMFLP) Serve(r instance.Request) {
 	if pd.refLoop || pd.naiveBids {
 		pd.serveReference(r)
-		return
+	} else {
+		pd.serveEvent(r)
 	}
-	pd.serveEvent(r)
+	if invariantsEnabled {
+		pd.assertInvariants()
+	}
 }
 
 // serveEvent is the event-driven serve path: per-arrival threshold
@@ -454,7 +457,7 @@ func (pd *PDOMFLP) serveEvent(r instance.Request) {
 		// threshold arithmetic and the exact tol-window predicates disagree
 		// by more than tol. The pre-refactor loop hangs silently in that
 		// state; fail loudly instead of wedging a serving shard.
-		if delta == 0 && unfrozen == unfrozenBefore {
+		if delta == 0 && unfrozen == unfrozenBefore { //omflp:floatexact — delta is clamped to literal 0 above; this detects that exact case
 			panic("core: PD-OMFLP event loop stalled on a zero-delta event (cost magnitudes exceed the pdEps tolerance's precision); rescale the cost model")
 		}
 	}

@@ -30,10 +30,10 @@ import (
 // it). Finally the request connects in the cheaper of the two Figure 3
 // modes: per-commodity nearest facilities, or one shared large facility.
 type RandOMFLP struct {
-	space metric.Space
-	costs cost.Model
+	space metric.Space //omflp:nostate — constructor parameter; the restore contract requires an identically constructed instance
+	costs cost.Model   //omflp:nostate — constructor parameter, ditto
 	u     int
-	opts  Options
+	opts  Options //omflp:nostate — constructor parameter, ditto
 	rng   *rand.Rand
 	fx    *facilityIndex
 
@@ -43,8 +43,8 @@ type RandOMFLP struct {
 	nCands int
 	draws  int64
 
-	smallClasses []tauClasses // per commodity
-	largeClasses tauClasses
+	smallClasses []tauClasses //omflp:nostate — pure function of space/costs/opts, rebuilt by the constructor (per commodity)
+	largeClasses tauClasses   //omflp:nostate — ditto
 	// dedupe: open small facilities per (e, point), and large per point,
 	// to avoid paying twice for an identical facility.
 	smallOpen map[[2]int]bool
@@ -152,7 +152,7 @@ func buildTauClasses(cands []int, costAt func(m int) float64) tauClasses {
 			pts = append(pts, tc.points[i-1]...)
 		}
 		for _, x := range pcs {
-			if x.class == v {
+			if x.class == v { //omflp:floatexact — class tags are computed by the identical Pow(2, Floor(Log2)) expression; equality is bit-reliable
 				pts = append(pts, x.point)
 			}
 		}

