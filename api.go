@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/commodity"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -119,6 +120,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // ReadCheckpoint reads a checkpoint file written by the serving layer (or
 // Checkpoint.WriteFile); replay it onto a fresh engine with Engine.Restore.
 var ReadCheckpoint = engine.ReadCheckpointFile
+
+// Cluster serving: a Router fronts N worker Servers with the same HTTP API
+// and TCP framing, owning the tenant→node map, migrating tenants live and
+// recovering workers from their checkpoints. The CLI front end is
+// "omflp serve -cluster-router -nodes addr1,addr2,...".
+type (
+	// Router is the cluster front; see internal/cluster.
+	Router = cluster.Router
+	// RouterConfig selects the router's listen addresses, the worker node
+	// list, the placement policy and the health/rebalance cadence.
+	RouterConfig = cluster.Config
+	// ClusterMetrics is the merged cluster view GET /v1/metrics serves
+	// from a router: per-node reports plus aggregation-safe totals.
+	ClusterMetrics = cluster.Metrics
+)
+
+// NewRouter creates a cluster router over the configured worker nodes;
+// call Start to probe the fleet and bind listeners, Shutdown to stop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	return cluster.New(cfg)
+}
 
 // Commodity set constructors.
 var (

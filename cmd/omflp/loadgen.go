@@ -7,12 +7,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,8 +38,13 @@ func cmdLoadgen(args []string) (retErr error) {
 	var (
 		mode      = fs.String("mode", "tcp", "transport to drive: http or tcp")
 		addr      = fs.String("addr", "", "server address (empty: spawn an in-process server on loopback)")
+		targets   = fs.String("targets", "", "comma-separated target addresses; tenants are partitioned across them (overrides -addr)")
 		httpAddr  = fs.String("http-addr", "", "HTTP address of the target server for metrics/draining (default: -addr in http mode)")
-		tracePath = fs.String("trace", "", "drive a gentrace JSON file instead of a synthetic workload")
+		httpTgts  = fs.String("http-targets", "", "comma-separated HTTP addresses (any order) polled for metrics/draining with -targets")
+		tracePath = fs.String("trace", "", "drive a gentrace JSON file or a JSON-lines op stream instead of a synthetic workload")
+		opsOut    = fs.String("ops-out", "", "write the op stream (creates, then arrivals) as JSON lines to this file and exit")
+		benchKey  = fs.String("bench-key", "", "BENCH_serve.json section to record under (default: -mode)")
+		benchNote = fs.String("bench-note", "", "free-form note recorded with the bench row (machine shape, topology)")
 		tenants   = fs.Int("tenants", 4, "tenants to create and fan arrivals across")
 		arrivals  = fs.Int("arrivals", 20000, "synthetic arrivals to send (ignored with -trace)")
 		points    = fs.Int("points", 20, "points in the synthetic metric space")
@@ -84,16 +91,13 @@ func cmdLoadgen(args []string) (retErr error) {
 		*conc = 1
 	}
 
-	// Workload: a trace file, or a synthetic uniform workload.
+	// Workload: a trace or op-stream file, or a synthetic uniform workload.
 	var tr *workload.Trace
+	var ops opSplit
+	haveOps := false
 	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
 		var rerr error
-		tr, rerr = workload.ReadJSON(f)
-		f.Close()
+		ops, haveOps, tr, rerr = readWorkloadFile(*tracePath)
 		if rerr != nil {
 			return rerr
 		}
@@ -110,47 +114,68 @@ func cmdLoadgen(args []string) (retErr error) {
 			tr = workload.Bundled(rng, space, costs, *arrivals)
 		}
 	}
-	ops := traceToOps(tr, *tenants)
-
-	// Target: an external server, or a spawned in-process one.
-	target := *addr
-	metricsBase := *httpAddr
-	if *mode == "http" && metricsBase == "" {
-		metricsBase = *addr
+	if !haveOps {
+		ops = traceToOps(tr, *tenants)
 	}
-	if target == "" {
-		srv, err := server.New(server.Config{
-			HTTPAddr: "127.0.0.1:0",
-			TCPAddr:  "127.0.0.1:0",
-			Engine:   engine.Config{Algorithm: *algo, Shards: *shards, Seed: *seed},
-		})
-		if err != nil {
-			return err
-		}
-		if err := srv.Start(); err != nil {
-			return err
-		}
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			srv.Shutdown(ctx)
-		}()
-		if *mode == "http" {
-			target = srv.HTTPAddr()
-		} else {
-			target = srv.TCPAddr()
-		}
-		metricsBase = srv.HTTPAddr()
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "loadgen: spawned server http=%s tcp=%s\n", srv.HTTPAddr(), srv.TCPAddr())
-		}
+	if *opsOut != "" {
+		return writeOpsFile(*opsOut, ops)
 	}
 
-	servedBefore, _ := serverServed(metricsBase)
+	// Targets: -targets (tenant-partitioned fleet), an external -addr, or a
+	// spawned in-process server.
+	tgts := splitAddrs(*targets)
+	metricsBases := splitAddrs(*httpTgts)
+	if len(tgts) == 0 {
+		target := *addr
+		metricsBase := *httpAddr
+		if *mode == "http" && metricsBase == "" {
+			metricsBase = *addr
+		}
+		if target == "" {
+			srv, err := server.New(server.Config{
+				HTTPAddr: "127.0.0.1:0",
+				TCPAddr:  "127.0.0.1:0",
+				Engine:   engine.Config{Algorithm: *algo, Shards: *shards, Seed: *seed},
+			})
+			if err != nil {
+				return err
+			}
+			if err := srv.Start(); err != nil {
+				return err
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			if *mode == "http" {
+				target = srv.HTTPAddr()
+			} else {
+				target = srv.TCPAddr()
+			}
+			metricsBase = srv.HTTPAddr()
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "loadgen: spawned server http=%s tcp=%s\n", srv.HTTPAddr(), srv.TCPAddr())
+			}
+		}
+		tgts = []string{target}
+		if metricsBase != "" {
+			metricsBases = []string{metricsBase}
+		}
+	} else if len(metricsBases) == 0 {
+		if *httpAddr != "" {
+			metricsBases = []string{*httpAddr}
+		} else if *mode == "http" {
+			metricsBases = tgts
+		}
+	}
+
+	servedBefore, _ := sumServed(metricsBases)
 
 	// Phase 1: create the tenants (serialized; arrivals must not race
-	// tenant existence across workers).
-	if err := runCreates(*mode, target, ops.creates); err != nil {
+	// tenant existence across workers). Each create goes to the target its
+	// tenant's arrivals will drive.
+	if err := runCreates(*mode, tgts, ops.creates, *conc); err != nil {
 		return err
 	}
 
@@ -163,19 +188,19 @@ func cmdLoadgen(args []string) (retErr error) {
 		return err
 	}
 	start := time.Now()
-	lats, err := runArrivals(*mode, target, work, *batch)
+	lats, err := runArrivals(*mode, tgts, work, *batch)
 	if err != nil {
 		return err
 	}
 	sent := len(ops.arrives)
 
 	// The TCP ack (and an HTTP 200) mean admitted, not served: wait until
-	// the server reports everything served before stopping the clock.
+	// the servers report everything served before stopping the clock.
 	// Without an HTTP address to poll (tcp mode against an external server
 	// with no -http-addr) the number would measure admission instead —
 	// say so loudly rather than silently reporting an inflated rate.
-	if metricsBase != "" {
-		if err := waitServed(metricsBase, servedBefore+int64(sent), 30*time.Second); err != nil {
+	if len(metricsBases) > 0 {
+		if err := waitServed(metricsBases, servedBefore+int64(sent), 30*time.Second); err != nil {
 			return err
 		}
 	} else {
@@ -200,13 +225,20 @@ func cmdLoadgen(args []string) (retErr error) {
 	if *mode == "http" {
 		rep.Batch = *batch
 	}
+	if len(tgts) > 1 {
+		rep.Targets = len(tgts)
+	}
+	rep.Note = *benchNote
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		rep.RequestP50Millis = lats[len(lats)/2]
 		rep.RequestP99Millis = lats[(len(lats)*99)/100]
 	}
-	if metricsBase != "" {
-		if m, err := serverMetrics(metricsBase); err == nil {
+	// Engine-side latency is a per-server number — meaningful only when a
+	// single endpoint served everything (a node, or a router's merged view
+	// would need per-node breakdowns the report has no room for).
+	if len(metricsBases) == 1 {
+		if m, err := serverMetrics(metricsBases[0]); err == nil {
 			rep.ServeLatencyP50Micros = m.LatencyP50Micros
 			rep.ServeLatencyP99Micros = m.LatencyP99Micros
 		}
@@ -218,11 +250,98 @@ func cmdLoadgen(args []string) (retErr error) {
 		return err
 	}
 	if *benchDir != "" {
-		if err := writeServeBench(*benchDir, rep); err != nil {
+		key := *benchKey
+		if key == "" {
+			key = rep.Mode
+		}
+		if err := writeServeBench(*benchDir, key, rep); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// readWorkloadFile loads -trace input in either format the serve CLI
+// accepts: a JSON-lines op stream (returned as an opSplit directly) or a
+// gentrace trace document. The first non-blank line decides, exactly like
+// engine.ReplayReader.
+func readWorkloadFile(path string) (opSplit, bool, *workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return opSplit{}, false, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	peek, _ := br.Peek(1 << 16)
+	firstLine := peek
+	if i := bytes.IndexByte(peek, '\n'); i >= 0 {
+		firstLine = peek[:i]
+	}
+	var probe engine.Op
+	if json.Unmarshal(bytes.TrimSpace(firstLine), &probe) == nil && probe.Op != "" {
+		var ops opSplit
+		dec := json.NewDecoder(br)
+		for dec.More() {
+			var op engine.Op
+			if err := dec.Decode(&op); err != nil {
+				return opSplit{}, false, nil, fmt.Errorf("loadgen: decoding op stream %s: %v", path, err)
+			}
+			switch op.Op {
+			case "create":
+				ops.creates = append(ops.creates, op)
+			case "arrive":
+				ops.arrives = append(ops.arrives, op)
+			default:
+				return opSplit{}, false, nil, fmt.Errorf("loadgen: op stream %s: unsupported op %q", path, op.Op)
+			}
+		}
+		return ops, true, nil, nil
+	}
+	tr, err := workload.ReadJSON(br)
+	if err != nil {
+		return opSplit{}, false, nil, err
+	}
+	return opSplit{}, false, tr, nil
+}
+
+// writeOpsFile dumps the op stream as JSON lines — creates first, then
+// arrivals in trace order — the shape both the serve CLI's stdin path and
+// loadgen's own -trace accept, so one dump drives every ingestion path.
+func writeOpsFile(path string, ops opSplit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(bw)
+	for _, op := range ops.creates {
+		if err := enc.Encode(op); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for _, op := range ops.arrives {
+		if err := enc.Encode(op); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadgenReport is the machine-readable result of one loadgen run.
@@ -235,6 +354,9 @@ type loadgenReport struct {
 	Dist        string `json:"dist,omitempty"`
 	Concurrency int    `json:"concurrency"`
 	Batch       int    `json:"batch,omitempty"`
+	// Targets counts the endpoints a -targets run partitioned tenants
+	// across; absent for single-endpoint runs.
+	Targets int `json:"targets,omitempty"`
 	// OfferedRate is the open-loop arrivals/s target (0 = closed loop);
 	// compare with ArrivalsPerSec to see whether the server kept up.
 	OfferedRate    float64 `json:"offered_rate_per_sec,omitempty"`
@@ -247,6 +369,9 @@ type loadgenReport struct {
 	// Serve latencies are the engine-side per-arrival quantiles.
 	ServeLatencyP50Micros float64 `json:"serve_latency_p50_us,omitempty"`
 	ServeLatencyP99Micros float64 `json:"serve_latency_p99_us,omitempty"`
+	// Note carries free-form run context (-bench-note), e.g. the machine
+	// shape a cluster ratio was measured on.
+	Note string `json:"note,omitempty"`
 }
 
 // opSplit is a trace rewritten as creates + arrivals in op form.
@@ -292,21 +417,43 @@ func traceToOps(tr *workload.Trace, tenants int) opSplit {
 	return out
 }
 
+// tenantWorker maps a tenant name to its driving worker. Hashing (rather
+// than parsing a tenant-%03d index) keeps the partition stable for
+// arbitrary tenant names in op-stream inputs; per-tenant arrival order is
+// preserved either way because a tenant always lands on one worker.
+func tenantWorker(tenant string, conc int) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return int(h.Sum32() % uint32(conc))
+}
+
 // runCreates registers the tenants: POSTs in http mode, one awaited framed
-// stream in tcp mode.
-func runCreates(mode, target string, creates []engine.Op) error {
-	if mode == "http" {
-		for _, op := range creates {
-			body := map[string]interface{}{
-				"universe": op.Universe, "distances": op.Distances, "cost_by_size": op.CostBySize,
-			}
-			if _, err := postJSON(target, "/v1/tenants/"+op.Tenant, body); err != nil {
-				return fmt.Errorf("loadgen: creating %s: %v", op.Tenant, err)
-			}
-		}
-		return nil
+// stream per target in tcp mode. Each create goes to the same target its
+// tenant's arrivals will drive (worker w drives tgts[w mod len]).
+func runCreates(mode string, tgts []string, creates []engine.Op, conc int) error {
+	byTarget := make([][]engine.Op, len(tgts))
+	for _, op := range creates {
+		t := tenantWorker(op.Tenant, conc) % len(tgts)
+		byTarget[t] = append(byTarget[t], op)
 	}
-	return streamTCP(target, creates)
+	for t, group := range byTarget {
+		if len(group) == 0 {
+			continue
+		}
+		if mode == "http" {
+			for _, op := range group {
+				body := map[string]interface{}{
+					"universe": op.Universe, "distances": op.Distances, "cost_by_size": op.CostBySize,
+				}
+				if _, err := postJSON(tgts[t], "/v1/tenants/"+op.Tenant, body); err != nil {
+					return fmt.Errorf("loadgen: creating %s: %v", op.Tenant, err)
+				}
+			}
+		} else if err := streamTCP(tgts[t], group); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // driveWork is one worker's pre-partitioned (and, in tcp mode,
@@ -330,9 +477,7 @@ type driveWork struct {
 func prepareDrive(mode string, ops opSplit, conc int, rate float64) ([]driveWork, error) {
 	work := make([]driveWork, conc)
 	for _, op := range ops.arrives {
-		var tn int
-		fmt.Sscanf(op.Tenant, "tenant-%03d", &tn)
-		w := &work[tn%conc]
+		w := &work[tenantWorker(op.Tenant, conc)]
 		w.ops = append(w.ops, op)
 		w.arrivals++
 	}
@@ -396,9 +541,10 @@ func pace(start time.Time, rate float64, idx int) {
 	}
 }
 
-// runArrivals fans the prepared work across its workers and returns
-// client-side per-request latencies (http mode only).
-func runArrivals(mode, target string, work []driveWork, batch int) ([]float64, error) {
+// runArrivals fans the prepared work across its workers — worker w driving
+// tgts[w mod len(tgts)] — and returns client-side per-request latencies
+// (http mode only).
+func runArrivals(mode string, tgts []string, work []driveWork, batch int) ([]float64, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -409,6 +555,7 @@ func runArrivals(mode, target string, work []driveWork, batch int) ([]float64, e
 		if work[w].arrivals == 0 {
 			continue
 		}
+		target := tgts[w%len(tgts)]
 		wg.Add(1)
 		go func(w driveWork) {
 			defer wg.Done()
@@ -598,35 +745,45 @@ func serverMetrics(host string) (engine.Metrics, error) {
 	return m, json.NewDecoder(resp.Body).Decode(&m)
 }
 
-func serverServed(host string) (int64, error) {
-	if host == "" {
-		return 0, nil
+// sumServed totals the served counts across all polled endpoints (a
+// cluster router's /v1/metrics reports its own cluster-wide total, so a
+// router counts once).
+func sumServed(hosts []string) (int64, error) {
+	var total int64
+	for _, h := range hosts {
+		m, err := serverMetrics(h)
+		if err != nil {
+			return total, err
+		}
+		total += m.Served
 	}
-	m, err := serverMetrics(host)
-	return m.Served, err
+	return total, nil
 }
 
-// waitServed polls the server until its served count reaches want.
-func waitServed(host string, want int64, timeout time.Duration) error {
+// waitServed polls the endpoints until their summed served count reaches
+// want.
+func waitServed(hosts []string, want int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		m, err := serverMetrics(host)
-		if err == nil && m.Served >= want {
+		total, err := sumServed(hosts)
+		if err == nil && total >= want {
 			return nil
 		}
 		if time.Now().After(deadline) {
 			if err != nil {
 				return fmt.Errorf("loadgen: waiting for drain: %v", err)
 			}
-			return fmt.Errorf("loadgen: server served %d of %d arrivals before timeout", m.Served, want)
+			return fmt.Errorf("loadgen: servers served %d of %d arrivals before timeout", total, want)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-// writeServeBench writes or updates BENCH_serve.json in dir, keyed by mode,
-// so tcp and http runs accumulate into one artifact.
-func writeServeBench(dir string, rep loadgenReport) error {
+// writeServeBench writes or updates BENCH_serve.json in dir under key
+// (default: the transport mode; cluster runs pass -bench-key so router and
+// direct-fleet numbers land in their own sections), so runs accumulate
+// into one artifact.
+func writeServeBench(dir, key string, rep loadgenReport) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -641,7 +798,7 @@ func writeServeBench(dir string, rep loadgenReport) error {
 			doc.Modes = map[string]loadgenReport{}
 		}
 	}
-	doc.Modes[rep.Mode] = rep
+	doc.Modes[key] = rep
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

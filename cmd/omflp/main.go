@@ -12,9 +12,12 @@
 //	            [-listen-http ADDR] [-listen-tcp ADDR]
 //	            [-checkpoint-dir DIR] [-checkpoint-every DUR]
 //	            [-checkpoint-seal-every N] [-shard-policy hash|leastload]
-//	omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE]
-//	              [-dist uniform|zipf|bundled] [-rate N]
-//	              [-tenants N] [-arrivals N] [-conc N] [-bench-out DIR]
+//	omflp serve -cluster-router -nodes H:P,H:P,... -listen-http ADDR
+//	            [-listen-tcp ADDR] [-placement leastload|rendezvous]
+//	            [-health-every DUR] [-migrate-threshold F]
+//	omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-targets H:P,...] [-trace FILE]
+//	              [-dist uniform|zipf|bundled] [-rate N] [-ops-out FILE]
+//	              [-tenants N] [-arrivals N] [-conc N] [-bench-out DIR] [-bench-key K]
 //	omflp ckpt-bench [-histories N,N,...] [-seal-every N] [-out DIR]
 //
 // run/all, serve and loadgen accept -cpuprofile/-memprofile FILE to write
@@ -27,11 +30,16 @@
 // -listen-http/-listen-tcp it runs as a network daemon (internal/server):
 // an HTTP API plus a length-prefixed TCP op protocol over one shared engine,
 // periodic checkpoints to -checkpoint-dir with restore-on-start, and
-// graceful drain on SIGINT/SIGTERM. loadgen drives such a daemon (or a
-// server it spawns itself) with concurrent workers and reports achieved
-// arrivals/s and latency percentiles; -bench-out writes BENCH_serve.json.
-// See the usage text and the internal/engine and internal/server package
-// documentation for the wire formats.
+// graceful drain on SIGINT/SIGTERM. With -cluster-router the process is a
+// stateless router fronting a fleet of such daemons with the same two
+// protocols: it places tenants, migrates them live between workers, and
+// recovers routes when a killed worker restarts from its checkpoint (see
+// internal/cluster). loadgen drives a daemon, a router, or a fleet
+// (-targets partitions tenants across endpoints) with concurrent workers
+// and reports achieved arrivals/s and latency percentiles; -bench-out
+// writes BENCH_serve.json. See the usage text and the internal/engine,
+// internal/server and internal/cluster package documentation for the wire
+// formats.
 //
 // -workers fans independent experiment repetitions out across goroutines
 // (0 = GOMAXPROCS, 1 = sequential); output is byte-identical for every
@@ -118,9 +126,13 @@ func usage() {
               [-listen-http ADDR] [-listen-tcp ADDR]
               [-checkpoint-dir DIR] [-checkpoint-every DUR] [-checkpoint-seal-every N]
                                                  stream arrivals through a serving engine
-  omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-trace FILE] [-tenants N]
-                [-dist uniform|zipf|bundled] [-zipf-s S] [-rate N]
-                [-arrivals N] [-conc N] [-batch N] [-seed N] [-bench-out DIR]
+  omflp serve -cluster-router -nodes H:P,H:P,... -listen-http ADDR [-listen-tcp ADDR]
+              [-placement leastload|rendezvous] [-health-every DUR] [-migrate-threshold F]
+                                                 route tenants across worker daemons
+  omflp loadgen [-mode http|tcp] [-addr HOST:PORT] [-targets H:P,...] [-trace FILE]
+                [-dist uniform|zipf|bundled] [-zipf-s S] [-rate N] [-tenants N]
+                [-arrivals N] [-conc N] [-batch N] [-seed N] [-ops-out FILE]
+                [-bench-out DIR] [-bench-key K] [-http-targets H:P,...]
                                                  drive a serve daemon and measure throughput
   omflp ckpt-bench [-histories N,N] [-seal-every N] [-algos pd,rand] [-out DIR]
                                                  benchmark v1 vs v2 checkpoint restores
@@ -180,7 +192,27 @@ loadgen creates tenants and fans arrivals across -conc workers (tenants
 partitioned per worker, preserving per-tenant order), then reports achieved
 arrivals/s and latency percentiles as JSON. Without -addr it spawns an
 in-process server on loopback; -bench-out DIR writes/updates
-BENCH_serve.json keyed by transport mode.`)
+BENCH_serve.json keyed by transport mode (-bench-key overrides the key, so
+cluster runs get their own section). -targets A,B,... partitions tenants
+across several endpoints (a worker fleet driven directly); -http-targets
+lists the matching HTTP addresses to poll for drain-aware timing. -ops-out
+FILE dumps the op stream as JSON lines and exits — the dump replays through
+serve stdin, loadgen -trace, and the TCP protocol alike.
+
+Cluster mode: omflp serve -cluster-router -nodes A,B -listen-http ADDR
+fronts worker daemons (started with their own -listen-http/-listen-tcp and
+identical -algo/-seed) with the same HTTP API and TCP framing — clients and
+loadgen run unchanged. The router places each tenant on one worker
+(-placement leastload|rendezvous), health-checks workers every
+-health-every, re-admits and re-syncs a worker that restarts from its
+checkpoint, and migrates tenants live: POST /v1/migrate
+{"tenant":"t","target":"host:port"} quiesces the tenant, moves its state,
+replays arrivals buffered during the move, and flips the route — snapshots
+are byte-identical across the move. -migrate-threshold F does this
+automatically when the busiest worker's arrival rate exceeds the idlest's
+F-fold. GET /v1/routes shows placements; GET /v1/metrics merges worker
+metrics (stale scrapes flagged by sequence number, never double-counted).
+Router-only endpoints return 421 for tenants with no route.`)
 }
 
 func cmdList() error {

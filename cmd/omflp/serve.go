@@ -8,9 +8,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
@@ -27,6 +29,14 @@ import (
 // go to -snapshot-out (default stdout) and are byte-identical for every
 // -shards value under a fixed seed; metrics go to stderr, where they cannot
 // pollute golden-file diffs.
+//
+// With -cluster-router the process hosts no engine at all: it fronts the
+// worker daemons named by -nodes with the same HTTP and TCP surface,
+// placing tenants (-placement), health-checking and re-admitting workers,
+// migrating tenants live (POST /v1/migrate, or automatically past
+// -migrate-threshold), and merging worker metrics into one cluster view.
+// Engine flags (-algo, -seed, -shards, ...) are meaningless in router mode;
+// the cluster's algorithm and seed come from the workers, which must agree.
 func cmdServe(args []string) (retErr error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
@@ -47,6 +57,11 @@ func cmdServe(args []string) (retErr error) {
 		ckptDir      = fs.String("checkpoint-dir", "", "daemon mode: directory for periodic state checkpoints (restored on start)")
 		ckptEvery    = fs.Duration("checkpoint-every", 15*time.Second, "daemon mode: checkpoint interval")
 		sealEvery    = fs.Int("checkpoint-seal-every", 0, "re-base a tenant's checkpoint once its arrival tail exceeds N (0 = 4096 default, negative = never seal: full-replay restores)")
+		routerMode   = fs.Bool("cluster-router", false, "run as a cluster router in front of -nodes instead of hosting an engine")
+		nodes        = fs.String("nodes", "", "router mode: comma-separated worker HTTP addresses (host:port,...)")
+		placement    = fs.String("placement", "leastload", "router mode: tenant placement policy, leastload or rendezvous")
+		healthEvery  = fs.Duration("health-every", time.Second, "router mode: node health-probe interval")
+		migThreshold = fs.Float64("migrate-threshold", 0, "router mode: auto-migrate when the busiest node's arrival rate exceeds the idlest's by this factor (0 = off)")
 	)
 	var prof profileFlags
 	prof.register(fs)
@@ -58,6 +73,23 @@ func cmdServe(args []string) (retErr error) {
 		return err
 	}
 	defer stopProf()
+
+	if *routerMode {
+		if *nodes == "" {
+			return fmt.Errorf("serve: -cluster-router needs -nodes")
+		}
+		if *listenHTTP == "" {
+			return fmt.Errorf("serve: -cluster-router needs -listen-http")
+		}
+		return routerDaemon(cluster.Config{
+			HTTPAddr:         *listenHTTP,
+			TCPAddr:          *listenTCP,
+			Nodes:            strings.Split(*nodes, ","),
+			Placement:        *placement,
+			HealthEvery:      *healthEvery,
+			MigrateThreshold: *migThreshold,
+		}, *quiet)
+	}
 
 	engCfg := engine.Config{
 		Algorithm:   *algo,
@@ -175,6 +207,41 @@ func emitSnapshots(eng *engine.Engine, path string, compact bool) error {
 		out = f
 	}
 	return writeSnapshots(out, snaps)
+}
+
+// routerDaemon fronts a fleet of worker daemons until SIGINT/SIGTERM. The
+// router holds no engine and no durable state: tenants live on the
+// workers, and the routing table rebuilds from their snapshots at start.
+func routerDaemon(cfg cluster.Config, quiet bool) error {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	if !quiet {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	router, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := router.Start(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "serve: router http listening on %s\n", router.HTTPAddr())
+		if a := router.TCPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "serve: router tcp listening on %s\n", a)
+		}
+	}
+
+	sig := <-sigs
+	signal.Stop(sigs)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "serve: %v — router shutting down\n", sig)
+	}
+	return router.Shutdown(30 * time.Second)
 }
 
 type daemonConfig struct {

@@ -1,0 +1,405 @@
+// Package cluster turns a fleet of single-node omflp servers into one
+// serving surface. A Router fronts N worker nodes (each an ordinary
+// internal/server instance) with the same HTTP API and length-prefixed TCP
+// op protocol the nodes themselves speak, so clients and load generators
+// run unchanged against a cluster.
+//
+// # Topology and routing
+//
+// Each tenant lives on exactly one node; the router owns the tenant→node
+// map. Creates place the tenant (least-loaded by default, rendezvous
+// hashing optionally) and arrivals are forwarded to the owner — raw frames
+// over a pooled TCP connection on the framed path, batched JSON on the HTTP
+// path. Because a tenant's algorithmic randomness derives from
+// workload.NamedSeed(engine seed, tenant name), every node must run the
+// same algorithm and seed; the router verifies this at admission and
+// refuses mismatched nodes. Under that invariant a tenant's snapshot is
+// byte-identical wherever it is served, which is what makes migration and
+// recovery testable against single-node goldens.
+//
+// # The arrival ledger
+//
+// For every route the router counts arrivals it has forwarded to the owner
+// (route.count). The counter is maintained under the routing table's read
+// lock, and forwarding I/O happens under that same read lock — so taking
+// the write lock is a barrier: once held, no forward is in flight and the
+// ledger exactly names the number of arrivals the owner has admitted for
+// that tenant. Migration's quiesce step is built on this: the coordinator
+// reads the ledger under the write lock and the source node waits until the
+// tenant's served count reaches it before capturing state.
+//
+// # Live migration
+//
+// Migrate moves one tenant with no arrival loss and no reordering: mark the
+// route migrating (new arrivals buffer in the router), flush in-flight
+// frames, extract on the source once served equals the ledger, checkpoint
+// the source (so a later restart does not resurrect the moved tenant),
+// inject on the target, checkpoint the target, replay the buffered tail,
+// and flip the route once the buffer drains. Snapshots on the target are
+// byte-identical to what the source would have produced.
+//
+// # Failure model
+//
+// The router health-checks nodes and stops placing tenants on unreachable
+// ones. A worker that dies takes its un-checkpointed tail with it — the
+// same contract as a single node — and arrivals routed to it fail until it
+// returns. When a restarted worker (restored from its v2 checkpoint)
+// rejoins, the router re-syncs the routes and ledgers for its tenants from
+// the node's snapshots and traffic resumes. The router itself holds no
+// durable state: on restart it rebuilds the routing table by asking every
+// node what it hosts, preferring the higher served count when two nodes
+// claim one tenant (the footprint of a migration interrupted mid-flight).
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config configures a Router.
+type Config struct {
+	// HTTPAddr is the router's HTTP listen address (required).
+	HTTPAddr string
+	// TCPAddr is the router's framed-op listen address ("" disables TCP).
+	TCPAddr string
+	// Nodes lists worker HTTP addresses ("host:port"). At least one.
+	Nodes []string
+	// Placement picks the tenant-placement policy: "leastload" (default)
+	// places on the node hosting the fewest tenants, "rendezvous" by
+	// highest rendezvous hash (stable as nodes come and go).
+	Placement string
+	// HealthEvery is the node health-probe period (default 1s).
+	HealthEvery time.Duration
+	// MigrateThreshold enables automatic rebalancing when > 1: when the
+	// busiest node's arrival rate exceeds the idlest's by this factor
+	// (measured between health probes), the router migrates the busiest
+	// node's hottest tenant to the idlest node. 0 disables.
+	MigrateThreshold float64
+	// Logf receives router progress lines (default: discard).
+	Logf func(format string, args ...interface{})
+}
+
+// Router is the cluster front: it owns the tenant→node routing table,
+// proxies both protocols, coordinates migrations, and merges node metrics.
+type Router struct {
+	cfg   Config
+	nodes []*node
+
+	// client is used for all node-side HTTP calls. Its timeout must exceed
+	// the node's extract quiesce deadline.
+	client *http.Client
+
+	// ident is the cluster identity (algorithm, seed) learned from the
+	// first admitted node; every other node must match.
+	identMu  sync.Mutex
+	identSet bool
+	ident    struct {
+		algorithm string
+		seed      int64
+	}
+
+	// mu guards routes. Forwarding I/O runs under RLock (see package doc:
+	// the write lock is the quiesce barrier).
+	mu     sync.RWMutex
+	routes map[string]*route
+
+	// upstreams registers every live session's node connections so the
+	// migration coordinator can flush frames it did not write.
+	upMu      sync.Mutex
+	upstreams map[*upstream]struct{}
+
+	// migMu serializes migrations — one tenant moves at a time.
+	migMu      sync.Mutex
+	migrations atomic.Int64
+
+	httpLn   net.Listener
+	tcpLn    net.Listener
+	httpSrv  *http.Server
+	loops    sync.WaitGroup
+	tcpConns sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// node is the router's view of one worker.
+type node struct {
+	idx  int
+	addr string // host:port as configured
+	base string // http://host:port
+
+	mu      sync.Mutex
+	healthy bool
+	info    server.NodeInfo
+	// lastSeq/lastWall are the node's (Metrics.Seq, WallUnixNano) at the
+	// previous cluster scrape; an unchanged pair marks the next report
+	// stale (see metrics.go).
+	lastSeq  int64
+	lastWall int64
+	// prevServed supports the rebalance window (health.go).
+	prevServed int64
+	probed     bool // prevServed is meaningful only after one probe
+}
+
+func (n *node) tcp() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.info.TCPAddr
+}
+
+func (n *node) isHealthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healthy
+}
+
+// route is one tenant's placement.
+type route struct {
+	node int
+	// count is the arrival ledger: lifetime arrivals the routed node has
+	// admitted for this tenant (bootstrap seeds it from the node's served
+	// count). Incremented under Router.mu.RLock, read authoritatively
+	// under WLock.
+	count atomic.Int64
+	// lastCount is count at the previous rebalance check. Touched only by
+	// the health loop goroutine.
+	lastCount int64
+	// mig is non-nil while the tenant is migrating; arrivals then buffer
+	// in it instead of being forwarded.
+	mig *migration
+}
+
+// New validates the config and builds a Router. Start brings it up.
+func New(cfg Config) (*Router, error) {
+	if cfg.HTTPAddr == "" {
+		return nil, fmt.Errorf("cluster: config needs an HTTP listen address")
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: config needs at least one node")
+	}
+	switch cfg.Placement {
+	case "", "leastload", "rendezvous":
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q", cfg.Placement)
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	r := &Router{
+		cfg:       cfg,
+		client:    &http.Client{Timeout: 30 * time.Second},
+		routes:    make(map[string]*route),
+		upstreams: make(map[*upstream]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for i, addr := range cfg.Nodes {
+		addr = strings.TrimPrefix(strings.TrimSpace(addr), "http://")
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty address", i)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("cluster: node address %s listed twice", addr)
+		}
+		seen[addr] = true
+		r.nodes = append(r.nodes, &node{idx: i, addr: addr, base: "http://" + addr})
+	}
+	return r, nil
+}
+
+// Start probes every node once (admitting the reachable ones and
+// bootstrapping routes from their snapshots), then opens the listeners and
+// begins the health loop. At least one node must be reachable.
+func (r *Router) Start() error {
+	healthy := 0
+	for _, n := range r.nodes {
+		if err := r.probe(n); err != nil {
+			r.cfg.Logf("cluster: node %s not admitted at start: %v", n.addr, err)
+			continue
+		}
+		healthy++
+	}
+	if healthy == 0 {
+		return fmt.Errorf("cluster: no node among %v is reachable", r.cfg.Nodes)
+	}
+
+	httpLn, err := net.Listen("tcp", r.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: listening on %s: %v", r.cfg.HTTPAddr, err)
+	}
+	r.httpLn = httpLn
+	r.httpSrv = &http.Server{Handler: r.handler()}
+	r.loops.Add(1)
+	go func() {
+		defer r.loops.Done()
+		r.httpSrv.Serve(httpLn) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+
+	if r.cfg.TCPAddr != "" {
+		tcpLn, err := net.Listen("tcp", r.cfg.TCPAddr)
+		if err != nil {
+			httpLn.Close()
+			return fmt.Errorf("cluster: listening on %s: %v", r.cfg.TCPAddr, err)
+		}
+		r.tcpLn = tcpLn
+		r.loops.Add(1)
+		go r.acceptLoop(tcpLn)
+	}
+
+	r.loops.Add(1)
+	go r.healthLoop()
+	r.cfg.Logf("cluster: router up — http %s tcp %s nodes %d (%d healthy)",
+		r.HTTPAddr(), r.TCPAddr(), len(r.nodes), healthy)
+	return nil
+}
+
+// HTTPAddr returns the bound HTTP address ("" before Start).
+func (r *Router) HTTPAddr() string {
+	if r.httpLn == nil {
+		return ""
+	}
+	return r.httpLn.Addr().String()
+}
+
+// TCPAddr returns the bound framed-op address ("" when disabled).
+func (r *Router) TCPAddr() string {
+	if r.tcpLn == nil {
+		return ""
+	}
+	return r.tcpLn.Addr().String()
+}
+
+// Shutdown stops the listeners, waits for in-flight sessions, and stops the
+// health loop. Worker nodes are not touched — they outlive their router.
+func (r *Router) Shutdown(timeout time.Duration) error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	var err error
+	if r.tcpLn != nil {
+		r.tcpLn.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		r.tcpConns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		err = fmt.Errorf("cluster: TCP sessions still open after %v", timeout)
+		r.connMu.Lock()
+		for c := range r.conns {
+			c.Close()
+		}
+		r.connMu.Unlock()
+	}
+	if r.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if serr := r.httpSrv.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	r.loops.Wait()
+	return err
+}
+
+// checkIdentity admits a node into the cluster identity (algorithm, seed)
+// or rejects it: migration correctness depends on every node running the
+// same deterministic policy.
+func (r *Router) checkIdentity(info server.NodeInfo) error {
+	r.identMu.Lock()
+	defer r.identMu.Unlock()
+	if !r.identSet {
+		r.ident.algorithm, r.ident.seed = info.Algorithm, info.Seed
+		r.identSet = true
+		return nil
+	}
+	if info.Algorithm != r.ident.algorithm || info.Seed != r.ident.seed {
+		return fmt.Errorf("node runs %s/seed=%d, cluster runs %s/seed=%d",
+			info.Algorithm, info.Seed, r.ident.algorithm, r.ident.seed)
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the body into v (non-2xx is an error).
+func (r *Router) getJSON(url string, v interface{}) error {
+	resp, err := r.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, snippet(resp.Body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// postJSON posts v (pre-marshaled when []byte) to url and decodes the
+// response into out when non-nil.
+func (r *Router) postJSON(url string, v interface{}, out interface{}) error {
+	var body []byte
+	switch b := v.(type) {
+	case nil:
+	case []byte:
+		body = b
+	default:
+		var err error
+		if body, err = json.Marshal(v); err != nil {
+			return err
+		}
+	}
+	resp, err := r.client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, snippet(resp.Body))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postRaw posts a pre-marshaled JSON body (nil allowed) and hands back the
+// raw success-response bytes. Migration uses it for the tenant transfer:
+// the bytes extracted from the source are forwarded to the target verbatim,
+// never re-encoded by the router.
+func (r *Router) postRaw(url string, body []byte, out *[]byte) error {
+	resp, err := r.client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, snippet(resp.Body))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	*out = b
+	return nil
+}
+
+// snippet reads a short error-body excerpt for diagnostics.
+func snippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 256))
+	return strings.TrimSpace(string(b))
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// healthLoop probes every node each HealthEvery tick, re-syncing routes
+// when a node (re)joins and — when MigrateThreshold is set — rebalancing
+// the hottest tenant off the busiest node.
+func (r *Router) healthLoop() {
+	defer r.loops.Done()
+	tick := time.NewTicker(r.cfg.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		for _, n := range r.nodes {
+			if err := r.probe(n); err != nil {
+				n.mu.Lock()
+				was := n.healthy
+				n.healthy = false
+				n.mu.Unlock()
+				if was {
+					r.cfg.Logf("cluster: node %s down: %v", n.addr, err)
+				}
+			}
+		}
+		r.maybeRebalance()
+	}
+}
+
+// probe asks one node who it is. On the unhealthy→healthy transition
+// (first contact and every rejoin) the node's identity is checked against
+// the cluster's and its tenants are re-synced into the routing table.
+func (r *Router) probe(n *node) error {
+	var info server.NodeInfo
+	if err := r.getJSON(n.base+"/v1/node", &info); err != nil {
+		return err
+	}
+	if err := r.checkIdentity(info); err != nil {
+		return fmt.Errorf("identity mismatch: %v", err)
+	}
+	n.mu.Lock()
+	was := n.healthy
+	n.healthy = true
+	n.info = info
+	n.mu.Unlock()
+	if !was {
+		if err := r.syncNode(n); err != nil {
+			n.mu.Lock()
+			n.healthy = false
+			n.mu.Unlock()
+			return fmt.Errorf("route sync: %v", err)
+		}
+		r.cfg.Logf("cluster: node %s joined (%d tenants, %d served)", n.addr, info.Tenants, info.Served)
+	}
+	return nil
+}
+
+// syncNode folds one node's hosted tenants into the routing table — the
+// router's only source of route state (it keeps none durably). Routes for
+// tenants the table does not know are created; routes already pointing at
+// this node have their ledger reset to the node's served count (a node
+// restarted from checkpoint may have lost a tail the ledger still counts —
+// the node's state is the truth). When another node also claims the
+// tenant, the higher served count wins: that is the footprint of a
+// migration interrupted between extract and the source's checkpoint, and
+// the higher count is the state that includes the move.
+func (r *Router) syncNode(n *node) error {
+	var snaps []*engine.TenantSnapshot
+	if err := r.getJSON(n.base+"/v1/snapshots?compact=true", &snaps); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range snaps {
+		rt, ok := r.routes[s.Tenant]
+		switch {
+		case !ok:
+			rt = &route{node: n.idx}
+			rt.count.Store(int64(s.Served))
+			r.routes[s.Tenant] = rt
+		case rt.mig != nil:
+			// Mid-migration state is the coordinator's to resolve.
+		case rt.node == n.idx:
+			if rt.count.Load() != int64(s.Served) {
+				r.cfg.Logf("cluster: ledger for %s reset %d -> %d from node %s",
+					s.Tenant, rt.count.Load(), s.Served, n.addr)
+			}
+			rt.count.Store(int64(s.Served))
+		case int64(s.Served) > rt.count.Load():
+			r.cfg.Logf("cluster: tenant %s claimed by %s (served %d) over %s (ledger %d); rerouting",
+				s.Tenant, n.addr, s.Served, r.nodes[rt.node].addr, rt.count.Load())
+			rt.node = n.idx
+			rt.count.Store(int64(s.Served))
+		}
+	}
+	return nil
+}
+
+// maybeRebalance moves the hottest tenant off the busiest node when the
+// per-probe arrival-rate spread exceeds MigrateThreshold. All inputs are
+// the router's own observations — node served counts from probes, route
+// ledgers for picking the tenant — so it needs no extra node round trips.
+func (r *Router) maybeRebalance() {
+	if r.cfg.MigrateThreshold <= 1 {
+		return
+	}
+	// Arrival deltas since the previous probe, per healthy node.
+	type load struct {
+		n     *node
+		delta int64
+	}
+	var loads []load
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		if !n.healthy {
+			n.mu.Unlock()
+			continue
+		}
+		var delta int64 = -1
+		if n.probed {
+			delta = n.info.Served - n.prevServed
+		}
+		n.prevServed = n.info.Served
+		n.probed = true
+		n.mu.Unlock()
+		if delta >= 0 {
+			loads = append(loads, load{n, delta})
+		}
+	}
+	if len(loads) < 2 {
+		return
+	}
+	hot, cold := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l.delta > hot.delta {
+			hot = l
+		}
+		if l.delta < cold.delta {
+			cold = l
+		}
+	}
+	// rebalanceFloor keeps probe-window noise from triggering moves.
+	const rebalanceFloor = 64
+	if hot.delta < rebalanceFloor || float64(hot.delta) < r.cfg.MigrateThreshold*float64(max64(cold.delta, 1)) {
+		return
+	}
+
+	// Hottest tenant on the hot node by ledger delta — and only if the hot
+	// node hosts more than one tenant (moving its only tenant would just
+	// move the hotspot).
+	var tenant string
+	var tenantDelta int64
+	hosted := 0
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		if rt.node != hot.n.idx || rt.mig != nil {
+			continue
+		}
+		hosted++
+		d := rt.count.Load() - rt.lastCount
+		rt.lastCount = rt.count.Load()
+		if tenant == "" || d > tenantDelta {
+			tenant, tenantDelta = id, d
+		}
+	}
+	r.mu.RUnlock()
+	if hosted < 2 || tenant == "" {
+		return
+	}
+	r.cfg.Logf("cluster: rebalancing %s from %s (+%d arrivals) to %s (+%d)",
+		tenant, hot.n.addr, hot.delta, cold.n.addr, cold.delta)
+	if _, err := r.Migrate(tenant, cold.n.addr); err != nil {
+		r.cfg.Logf("cluster: rebalance migration failed: %v", err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// handler builds the router's HTTP surface: the node API verbatim (create,
+// arrive, snapshots, metrics, healthz, checkpoint) plus the cluster-only
+// verbs (migrate, routes).
+func (r *Router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}", r.handleCreate)
+	mux.HandleFunc("POST /v1/tenants/{id}/arrive", r.handleArrive)
+	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", r.handleSnapshot)
+	mux.HandleFunc("GET /v1/snapshots", r.handleSnapshots)
+	mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("POST /v1/checkpoint", r.handleCheckpoint)
+	mux.HandleFunc("POST /v1/migrate", r.handleMigrate)
+	mux.HandleFunc("GET /v1/routes", r.handleRoutes)
+	return mux
+}
+
+// clusterStatus maps router errors onto HTTP statuses. A stale or missing
+// route answers 421 Misdirected Request — the cluster cousin of the node's
+// 404: the tenant may exist, just not where this request went.
+func clusterStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownTenant):
+		return http.StatusMisdirectedRequest
+	case errors.Is(err, engine.ErrDuplicateTenant):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type createBody struct {
+	Universe   int         `json:"universe"`
+	Distances  [][]float64 `json:"distances"`
+	CostBySize []float64   `json:"cost_by_size"`
+}
+
+type arriveBody struct {
+	server.Arrival
+	Arrivals []server.Arrival `json:"arrivals"`
+}
+
+func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var body createBody
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding create body: %v", err))
+		return
+	}
+	id := req.PathValue("id")
+	if err := r.createTenant(id, body.Universe, body.Distances, body.CostBySize); err != nil {
+		writeErr(w, clusterStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"tenant": id, "status": "created"})
+}
+
+func (r *Router) handleArrive(w http.ResponseWriter, req *http.Request) {
+	var body arriveBody
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding arrive body: %v", err))
+		return
+	}
+	batch := body.Arrivals
+	if batch == nil {
+		batch = []server.Arrival{body.Arrival}
+	}
+	accepted, err := r.forwardArrivals(req.PathValue("id"), batch)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(clusterStatus(err))
+		json.NewEncoder(w).Encode(map[string]interface{}{"error": err.Error(), "accepted": accepted})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+}
+
+// handleSnapshot proxies a single-tenant snapshot to the owner node. While
+// the tenant migrates there is a window (extracted, not yet injected) in
+// which the source answers 404; clients retry, as they would any transient.
+func (r *Router) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.RLock()
+	rt := r.routes[id]
+	var base string
+	if rt != nil {
+		base = r.nodes[rt.node].base
+	}
+	r.mu.RUnlock()
+	if rt == nil {
+		writeErr(w, http.StatusMisdirectedRequest,
+			fmt.Errorf("cluster: tenant %q has no route: %w", id, engine.ErrUnknownTenant))
+		return
+	}
+	url := base + "/v1/tenants/" + id + "/snapshot"
+	if q := req.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	resp, err := r.client.Get(url)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: node snapshot: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client-side failure
+}
+
+// handleSnapshots merges every node's snapshots into the exact artifact a
+// single node emits — all tenants sorted by name, indented, trailing
+// newline — so cluster goldens diff against single-node goldens. Each
+// node's list is filtered by the routing table, which drops ghosts (a
+// tenant a node still hosts after its migration away, e.g. because the
+// post-extract checkpoint could not be written before a restart).
+func (r *Router) handleSnapshots(w http.ResponseWriter, req *http.Request) {
+	q := ""
+	if v := req.URL.Query().Get("compact"); v != "" {
+		if _, err := strconv.ParseBool(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("compact=%q is not a boolean", v))
+			return
+		}
+		q = "?compact=" + v
+	}
+
+	owned := make(map[string]int)
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		owned[id] = rt.node
+	}
+	r.mu.RUnlock()
+
+	var merged []*engine.TenantSnapshot
+	for _, n := range r.nodes {
+		if !n.isHealthy() {
+			// An unreachable node makes the artifact incomplete; refuse
+			// rather than silently emitting a partial cluster state.
+			if nodeOwnsAny(owned, n.idx) {
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("cluster: node %s (owning tenants) is unreachable", n.addr))
+				return
+			}
+			continue
+		}
+		var snaps []*engine.TenantSnapshot
+		if err := r.getJSON(n.base+"/v1/snapshots"+q, &snaps); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: snapshots from %s: %v", n.addr, err))
+			return
+		}
+		for _, s := range snaps {
+			if idx, ok := owned[s.Tenant]; ok && idx == n.idx {
+				merged = append(merged, s)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Tenant < merged[j].Tenant })
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n')) //nolint:errcheck // client-side failure
+}
+
+func nodeOwnsAny(owned map[string]int, idx int) bool {
+	for _, n := range owned {
+		if n == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Metrics())
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy := 0
+	for _, n := range r.nodes {
+		if n.isHealthy() {
+			healthy++
+		}
+	}
+	r.mu.RLock()
+	tenants := len(r.routes)
+	r.mu.RUnlock()
+	status := "ok"
+	if healthy < len(r.nodes) {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  status,
+		"role":    "router",
+		"nodes":   len(r.nodes),
+		"healthy": healthy,
+		"tenants": tenants,
+	})
+}
+
+// handleCheckpoint fans the checkpoint verb out to every healthy node, so
+// "persist the cluster" is one call — the smoke test's pre-kill step.
+func (r *Router) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
+	type nodeStatus struct {
+		Node  string `json:"node"`
+		OK    bool   `json:"ok"`
+		Error string `json:"error,omitempty"`
+	}
+	statuses := make([]nodeStatus, 0, len(r.nodes))
+	failed := 0
+	for _, n := range r.nodes {
+		st := nodeStatus{Node: n.addr}
+		if !n.isHealthy() {
+			st.Error = "unreachable"
+			failed++
+		} else if err := r.postJSON(n.base+"/v1/checkpoint", nil, nil); err != nil {
+			st.Error = err.Error()
+			failed++
+		} else {
+			st.OK = true
+		}
+		statuses = append(statuses, st)
+	}
+	code := http.StatusOK
+	if failed > 0 {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, map[string]interface{}{"nodes": statuses, "failed": failed})
+}
+
+// migrateBody is the POST /v1/migrate document. Target may be empty: the
+// router then picks the healthy node (other than the current owner) with
+// the fewest tenants.
+type migrateBody struct {
+	Tenant string `json:"tenant"`
+	Target string `json:"target"`
+}
+
+func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
+	var body migrateBody
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding migrate body: %v", err))
+		return
+	}
+	if body.Tenant == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("migrate needs a tenant"))
+		return
+	}
+	target := body.Target
+	if target == "" {
+		t, err := r.pickMigrateTarget(body.Tenant)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		target = t
+	}
+	res, err := r.Migrate(body.Tenant, target)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// pickMigrateTarget chooses where an unspecified migration should land:
+// the healthy node with the fewest routed tenants, excluding the current
+// owner.
+func (r *Router) pickMigrateTarget(tenant string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rt := r.routes[tenant]
+	if rt == nil {
+		return "", fmt.Errorf("cluster: tenant %q has no route", tenant)
+	}
+	hosted := make([]int, len(r.nodes))
+	for _, other := range r.routes {
+		hosted[other.node]++
+	}
+	best := -1
+	for _, n := range r.nodes {
+		if n.idx == rt.node || !n.isHealthy() {
+			continue
+		}
+		if best == -1 || hosted[n.idx] < hosted[best] {
+			best = n.idx
+		}
+	}
+	if best == -1 {
+		return "", fmt.Errorf("cluster: no healthy node other than %s to migrate %q to",
+			r.nodes[rt.node].addr, tenant)
+	}
+	return r.nodes[best].addr, nil
+}
+
+// RouteInfo is one tenant's routing entry as reported by GET /v1/routes.
+type RouteInfo struct {
+	Node      string `json:"node"`
+	Arrivals  int64  `json:"arrivals"`
+	Migrating bool   `json:"migrating"`
+}
+
+func (r *Router) handleRoutes(w http.ResponseWriter, req *http.Request) {
+	out := make(map[string]RouteInfo)
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		out[id] = RouteInfo{
+			Node:      r.nodes[rt.node].addr,
+			Arrivals:  rt.count.Load(),
+			Migrating: rt.mig != nil,
+		}
+	}
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}

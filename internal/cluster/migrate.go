@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// migration buffers arrivals for a tenant whose route is mid-move. Sessions
+// append under Router.mu.RLock + buf's own lock; the coordinator drains
+// under buf's lock alone and flips the route once the buffer is observed
+// empty under the write lock (at which point no appender can be in flight).
+type migration struct {
+	mu  sync.Mutex
+	buf []server.Arrival
+}
+
+func (m *migration) add(batch ...server.Arrival) {
+	m.mu.Lock()
+	m.buf = append(m.buf, batch...)
+	m.mu.Unlock()
+}
+
+func (m *migration) take() []server.Arrival {
+	m.mu.Lock()
+	b := m.buf
+	m.buf = nil
+	m.mu.Unlock()
+	return b
+}
+
+// MigrateResult describes one completed migration.
+type MigrateResult struct {
+	Tenant string `json:"tenant"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	// Served is the arrival ledger at quiesce — the state the transfer
+	// captured; Replayed counts arrivals buffered during the move and
+	// replayed on the target before the route flipped.
+	Served   int64 `json:"served"`
+	Replayed int   `json:"replayed"`
+}
+
+// Migrate moves one tenant to the node at target's address live. One
+// migration runs at a time; arrivals for the tenant keep being accepted
+// throughout (they buffer in the router between quiesce and flip, so a
+// client sees added latency, never an error). Ordering and state identity
+// are preserved end to end: everything forwarded before quiesce is in the
+// extracted state, everything accepted during the move replays on the
+// target in admission order before the route flips.
+func (r *Router) Migrate(tenant, target string) (*MigrateResult, error) {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+
+	var tgt *node
+	for _, n := range r.nodes {
+		if n.addr == target || n.base == target {
+			tgt = n
+			break
+		}
+	}
+	if tgt == nil {
+		return nil, fmt.Errorf("cluster: %q is not a cluster node", target)
+	}
+	if !tgt.isHealthy() {
+		return nil, fmt.Errorf("cluster: target node %s is unhealthy", tgt.addr)
+	}
+
+	// Quiesce: mark the route migrating and read the arrival ledger under
+	// the write lock — from here arrivals buffer, and the ledger is exact
+	// (no forward is in flight while the lock is held).
+	r.mu.Lock()
+	rt := r.routes[tenant]
+	if rt == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("cluster: tenant %q has no route", tenant)
+	}
+	if rt.mig != nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("cluster: tenant %q is already migrating", tenant)
+	}
+	src := r.nodes[rt.node]
+	if src == tgt {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("cluster: tenant %q already lives on %s", tenant, tgt.addr)
+	}
+	mig := &migration{}
+	rt.mig = mig
+	served := rt.count.Load()
+	r.mu.Unlock()
+
+	res, err := r.runMigration(rt, mig, tenant, src, tgt, served)
+	if err != nil {
+		return nil, err
+	}
+	r.migrations.Add(1)
+	r.cfg.Logf("cluster: migrated %s from %s to %s (served %d, replayed %d)",
+		tenant, src.addr, tgt.addr, res.Served, res.Replayed)
+	return res, nil
+}
+
+func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt *node, served int64) (*MigrateResult, error) {
+	// Frames counted in the ledger may still sit in session write buffers;
+	// flush every registered connection to the source so the node can see
+	// all of them, then extract with served=N — the source waits until the
+	// tenant has served exactly N arrivals before capturing.
+	r.flushNodeUpstreams(src.idx)
+	var transfer []byte
+	if err := r.postRaw(src.base+"/v1/tenants/"+tenant+"/extract?served="+fmt.Sprint(served), nil, &transfer); err != nil {
+		r.abortMigration(rt, mig, src, tenant)
+		return nil, fmt.Errorf("cluster: extracting %q from %s: %v", tenant, src.addr, err)
+	}
+
+	// Persist the source without the tenant so a restart there cannot
+	// resurrect it. Best-effort: a node without checkpointing 404s.
+	if err := r.postJSON(src.base+"/v1/checkpoint", nil, nil); err != nil {
+		r.cfg.Logf("cluster: post-extract checkpoint on %s: %v", src.addr, err)
+	}
+
+	if err := r.postJSON(tgt.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); err != nil {
+		// The tenant exists only in the transfer bytes now. Put it back on
+		// the source before failing; if even that fails the state is gone
+		// from the cluster and the operator restores from the source's
+		// checkpoint (taken just above, pre-extract state minus nothing —
+		// the extract quiesced first).
+		if rerr := r.postJSON(src.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); rerr != nil {
+			r.dropRoute(rt, mig, tenant)
+			return nil, fmt.Errorf("cluster: inject of %q failed on target %s (%v) AND source %s (%v); tenant needs manual restore from checkpoint",
+				tenant, tgt.addr, err, src.addr, rerr)
+		}
+		r.abortMigration(rt, mig, src, tenant)
+		return nil, fmt.Errorf("cluster: injecting %q into %s: %v", tenant, tgt.addr, err)
+	}
+	if err := r.postJSON(tgt.base+"/v1/checkpoint", nil, nil); err != nil {
+		r.cfg.Logf("cluster: post-inject checkpoint on %s: %v", tgt.addr, err)
+	}
+
+	replayed, err := r.drainAndFlip(rt, mig, tenant, tgt, served)
+	if err != nil {
+		return nil, err
+	}
+	return &MigrateResult{Tenant: tenant, From: src.addr, To: tgt.addr, Served: served, Replayed: replayed}, nil
+}
+
+// drainAndFlip replays buffered arrivals to dst until the buffer is
+// observed empty under the write lock, then atomically points the route at
+// dst with the ledger advanced by the replay.
+func (r *Router) drainAndFlip(rt *route, mig *migration, tenant string, dst *node, served int64) (int, error) {
+	replayed := 0
+	for {
+		batch := mig.take()
+		if len(batch) > 0 {
+			n, err := r.postArrivals(dst, tenant, batch)
+			replayed += n
+			if err != nil {
+				// Arrivals batch[n:] are lost — the same window a node
+				// crash loses. Flip anyway: the tenant's state lives on
+				// dst, and leaving the route migrating forever would
+				// buffer arrivals with no one left to replay them.
+				r.finishFlip(rt, mig, dst.idx, served+int64(replayed))
+				return replayed, fmt.Errorf("cluster: replaying %d buffered arrivals of %q to %s: %v",
+					len(batch)-n, tenant, dst.addr, err)
+			}
+			continue
+		}
+		// Buffer looked empty; confirm under the write lock, where no
+		// appender can be mid-flight, and flip.
+		r.mu.Lock()
+		mig.mu.Lock()
+		empty := len(mig.buf) == 0
+		mig.mu.Unlock()
+		if empty {
+			rt.node = dst.idx
+			rt.count.Store(served + int64(replayed))
+			rt.mig = nil
+			r.mu.Unlock()
+			return replayed, nil
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *Router) finishFlip(rt *route, mig *migration, nodeIdx int, count int64) {
+	r.mu.Lock()
+	rt.node = nodeIdx
+	rt.count.Store(count)
+	rt.mig = nil
+	r.mu.Unlock()
+	// Anything still buffered is dropped; take it so appenders' memory is
+	// released. New arrivals forward normally once mig is cleared.
+	mig.take()
+}
+
+// abortMigration undoes the quiesce: buffered arrivals replay to the
+// source (whose state never left) and the route unmarks. Used when the
+// move fails before the tenant landed anywhere else.
+func (r *Router) abortMigration(rt *route, mig *migration, src *node, tenant string) {
+	for {
+		batch := mig.take()
+		if len(batch) > 0 {
+			n, err := r.postArrivals(src, tenant, batch)
+			r.mu.RLock()
+			rt.count.Add(int64(n))
+			r.mu.RUnlock()
+			if err != nil {
+				r.cfg.Logf("cluster: abort of %q migration lost %d buffered arrivals: %v", tenant, len(batch)-n, err)
+			} else {
+				continue
+			}
+		}
+		r.mu.Lock()
+		mig.mu.Lock()
+		empty := len(mig.buf) == 0
+		mig.mu.Unlock()
+		if empty {
+			rt.mig = nil
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+	}
+}
+
+// dropRoute removes a tenant whose state was lost mid-migration so later
+// requests fail fast with no-route instead of hitting a node that has
+// never heard of it.
+func (r *Router) dropRoute(rt *route, mig *migration, tenant string) {
+	r.mu.Lock()
+	if cur := r.routes[tenant]; cur == rt {
+		delete(r.routes, tenant)
+	}
+	r.mu.Unlock()
+	mig.take()
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// place picks the node for a new tenant. Callers hold Router.mu (write).
+// Only healthy nodes are candidates; both policies are deterministic given
+// the same routing table and health state.
+func (r *Router) place(tenant string) (int, error) {
+	switch r.cfg.Placement {
+	case "rendezvous":
+		return r.placeRendezvous(tenant)
+	default:
+		return r.placeLeastLoad()
+	}
+}
+
+// placeLeastLoad picks the healthy node hosting the fewest tenants (by the
+// routing table, which includes in-flight reservations), lowest index on
+// ties — the cluster analogue of the engine's PolicyLeastLoad shard
+// pinning.
+func (r *Router) placeLeastLoad() (int, error) {
+	hosted := make([]int, len(r.nodes))
+	for _, rt := range r.routes {
+		hosted[rt.node]++
+	}
+	best, bestLoad := -1, 0
+	for _, n := range r.nodes {
+		if !n.isHealthy() {
+			continue
+		}
+		if best == -1 || hosted[n.idx] < bestLoad {
+			best, bestLoad = n.idx, hosted[n.idx]
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("cluster: no healthy node to place on")
+	}
+	return best, nil
+}
+
+// placeRendezvous picks the healthy node with the highest rendezvous hash
+// of (tenant, node address): each tenant has its own preference order over
+// nodes, so load spreads without a shared counter and placements stay
+// stable when unrelated nodes join or leave.
+func (r *Router) placeRendezvous(tenant string) (int, error) {
+	best, bestScore := -1, uint64(0)
+	for _, n := range r.nodes {
+		if !n.isHealthy() {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(tenant))
+		h.Write([]byte{0})
+		h.Write([]byte(n.addr))
+		if s := h.Sum64(); best == -1 || s > bestScore {
+			best, bestScore = n.idx, s
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("cluster: no healthy node to place on")
+	}
+	return best, nil
+}
+
+// createTenant places a tenant and creates it on the chosen node. The route
+// is reserved under the write lock before the node call so two concurrent
+// creates cannot land the tenant on two nodes; a failed node create rolls
+// the reservation back. As on a single node, clients must not race arrivals
+// against their own create.
+func (r *Router) createTenant(id string, universe int, distances [][]float64, costBySize []float64) error {
+	r.mu.Lock()
+	if _, ok := r.routes[id]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: tenant %q: %w", id, engine.ErrDuplicateTenant)
+	}
+	idx, err := r.place(id)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.routes[id] = &route{node: idx}
+	r.mu.Unlock()
+
+	body := map[string]interface{}{
+		"universe":     universe,
+		"distances":    distances,
+		"cost_by_size": costBySize,
+	}
+	if err := r.postJSON(r.nodes[idx].base+"/v1/tenants/"+id, body, nil); err != nil {
+		r.mu.Lock()
+		delete(r.routes, id)
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: creating %q on node %s: %v", id, r.nodes[idx].addr, err)
+	}
+	r.cfg.Logf("cluster: tenant %s placed on node %s", id, r.nodes[idx].addr)
+	return nil
+}
+
+// forwardArrivals routes a batch of arrivals for one tenant: buffered into
+// the live migration when one is in flight, otherwise posted to the owner
+// node. The node call runs under RLock — that is the quiesce barrier, not
+// an accident (see the package doc) — and the route ledger advances by
+// exactly the number of arrivals the node admitted.
+func (r *Router) forwardArrivals(id string, batch []server.Arrival) (int, error) {
+	r.mu.RLock()
+	rt := r.routes[id]
+	if rt == nil {
+		r.mu.RUnlock()
+		return 0, fmt.Errorf("cluster: tenant %q has no route: %w", id, engine.ErrUnknownTenant)
+	}
+	if m := rt.mig; m != nil {
+		m.add(batch...)
+		r.mu.RUnlock()
+		return len(batch), nil
+	}
+	node := r.nodes[rt.node]
+	accepted, err := r.postArrivals(node, id, batch)
+	rt.count.Add(int64(accepted))
+	r.mu.RUnlock()
+	return accepted, err
+}
+
+// postArrivals posts one arrive batch to a node and reports how many
+// arrivals the node admitted — decoded from the body even on error
+// statuses, because a batch that fails at element i has irrevocably
+// admitted the i before it and the ledger must say so. Only a transport
+// failure leaves the count unknowable (reported as 0); the ledger then
+// undercounts and a later migration of the tenant times out in quiesce
+// rather than silently losing the discrepancy.
+func (r *Router) postArrivals(n *node, id string, batch []server.Arrival) (int, error) {
+	body, err := json.Marshal(map[string]interface{}{"arrivals": batch})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Post(n.base+"/v1/tenants/"+id+"/arrive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: forwarding to node %s: %v", n.addr, err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil && resp.StatusCode/100 == 2 {
+		return 0, fmt.Errorf("cluster: decoding node %s arrive response: %v", n.addr, derr)
+	}
+	if resp.StatusCode/100 != 2 {
+		err := fmt.Errorf("cluster: node %s: %s: %s", n.addr, resp.Status, out.Error)
+		if resp.StatusCode == http.StatusNotFound {
+			// The node does not host the tenant the routing table says it
+			// does (a crash lost it, or a migration raced): surface the
+			// sentinel so callers can tell a stale route from a bad request.
+			err = fmt.Errorf("cluster: node %s: %s: %w", n.addr, out.Error, engine.ErrUnknownTenant)
+		}
+		return out.Accepted, err
+	}
+	return out.Accepted, nil
+}

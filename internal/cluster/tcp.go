@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// upstream is one session's framed connection to one worker node. Writes
+// take mu; the migration coordinator also takes mu to flush frames the
+// owning session has buffered but not yet pushed to the wire.
+type upstream struct {
+	node int
+	conn net.Conn
+	bw   *bufio.Writer
+	mu   sync.Mutex
+	err  error // first write error; poisons further writes
+}
+
+func (u *upstream) writeFrame(frame []byte) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.err != nil {
+		return u.err
+	}
+	u.err = server.WriteFrame(u.bw, frame)
+	return u.err
+}
+
+func (u *upstream) flush() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.err != nil {
+		return u.err
+	}
+	u.err = u.bw.Flush()
+	return u.err
+}
+
+func (r *Router) registerUpstream(u *upstream) {
+	r.upMu.Lock()
+	r.upstreams[u] = struct{}{}
+	r.upMu.Unlock()
+}
+
+func (r *Router) unregisterUpstream(u *upstream) {
+	r.upMu.Lock()
+	delete(r.upstreams, u)
+	r.upMu.Unlock()
+}
+
+// flushNodeUpstreams pushes every session's buffered frames for one node to
+// the wire — the migration coordinator's half of the quiesce: the ledger
+// counts frames at write-to-buffer time, so before waiting for the source's
+// served count to reach the ledger, everything buffered must actually go.
+func (r *Router) flushNodeUpstreams(nodeIdx int) {
+	r.upMu.Lock()
+	ups := make([]*upstream, 0, len(r.upstreams))
+	for u := range r.upstreams {
+		if u.node == nodeIdx {
+			ups = append(ups, u)
+		}
+	}
+	r.upMu.Unlock()
+	for _, u := range ups {
+		u.flush() //nolint:errcheck // a dead conn fails its own session; quiesce then times out loudly
+	}
+}
+
+// session is one downstream TCP client's state: lazily-dialed upstream
+// connections per node plus the count of arrivals absorbed into migration
+// buffers (accepted, but not represented in any upstream's result frame).
+type session struct {
+	r        *Router
+	ups      map[int]*upstream
+	buffered int
+}
+
+func (s *session) upstream(idx int) (*upstream, error) {
+	if u, ok := s.ups[idx]; ok {
+		if u.err != nil {
+			return nil, u.err
+		}
+		return u, nil
+	}
+	n := s.r.nodes[idx]
+	addr := n.tcp()
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: node %s exposes no TCP listener", n.addr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing node %s: %v", n.addr, err)
+	}
+	u := &upstream{node: idx, conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	s.ups[idx] = u
+	s.r.registerUpstream(u)
+	return u, nil
+}
+
+func (s *session) flushAll() {
+	for _, u := range s.ups {
+		u.flush() //nolint:errcheck // surfaced by the next write to the same upstream
+	}
+}
+
+// arrive routes one arrival frame. Mirrors forwardArrivals for the framed
+// protocol: buffer under migration, else write the raw frame to the owner
+// under RLock with the ledger advancing at buffer-write time (flushes are
+// the coordinator's and the idle loop's business).
+func (s *session) arrive(tenant string, point int, demands []int, frame []byte) error {
+	r := s.r
+	r.mu.RLock()
+	rt := r.routes[tenant]
+	if rt == nil {
+		r.mu.RUnlock()
+		return fmt.Errorf("cluster: tenant %q has no route: %w", tenant, engine.ErrUnknownTenant)
+	}
+	if m := rt.mig; m != nil {
+		// demands aliases the parser's scratch buffer — copy before it is
+		// reused by the next frame.
+		m.add(server.Arrival{Point: point, Demands: append([]int(nil), demands...)})
+		r.mu.RUnlock()
+		s.buffered++
+		return nil
+	}
+	u, err := s.upstream(rt.node)
+	if err == nil {
+		if err = u.writeFrame(frame); err == nil {
+			rt.count.Add(1)
+		}
+	}
+	r.mu.RUnlock()
+	return err
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.loops.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		r.connMu.Lock()
+		r.conns[conn] = struct{}{}
+		r.connMu.Unlock()
+		r.tcpConns.Add(1)
+		go func() {
+			defer r.tcpConns.Done()
+			r.serveConn(conn)
+			r.connMu.Lock()
+			delete(r.conns, conn)
+			r.connMu.Unlock()
+		}()
+	}
+}
+
+// serveConn proxies one framed op stream: arrives forward as raw frames to
+// their owner nodes, creates place the tenant and run over HTTP, and at
+// half-close the session collects every node's result frame into one
+// aggregate result — the same contract a single node gives, so loadgen and
+// clients cannot tell a router from a server.
+func (r *Router) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{r: r, ups: make(map[int]*upstream)}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	buf := make([]byte, 0, 4096)
+	scratch := make([]int, 0, 64)
+	var failure error
+	for failure == nil {
+		// About to block on the downstream socket: push everything already
+		// routed to the wire so nodes never wait on frames parked in our
+		// write buffers while the client thinks them sent.
+		if br.Buffered() == 0 {
+			sess.flushAll()
+		}
+		frame, err := server.ReadFrame(br, buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				failure = err
+			}
+			break
+		}
+		if len(frame) == 0 {
+			continue
+		}
+		if tenant, point, demands, ok := server.FastArrive(frame, scratch[:0]); ok {
+			if err := sess.arrive(tenant, point, demands, frame); err != nil {
+				failure = err
+				break
+			}
+			scratch = demands
+			buf = frame[:0]
+			continue
+		}
+		var op engine.Op
+		if err := json.Unmarshal(frame, &op); err != nil {
+			failure = fmt.Errorf("cluster: decoding op: %v", err)
+			break
+		}
+		switch op.Op {
+		case "create":
+			failure = r.createTenant(op.Tenant, op.Universe, op.Distances, op.CostBySize)
+		case "arrive":
+			failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame)
+		default:
+			failure = fmt.Errorf("cluster: unsupported op %q", op.Op)
+		}
+		buf = frame[:0]
+	}
+	res := sess.finish(failure)
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	server.WriteFrame(conn, payload) //nolint:errcheck // client may already be gone
+}
+
+// finish closes every upstream for writing, collects the nodes' result
+// frames, and folds them into the single result the downstream client gets:
+// arrivals summed across nodes plus the migration-buffered ones, the first
+// failure's message and code carried through.
+func (s *session) finish(failure error) server.TCPResult {
+	res := server.TCPResult{OK: failure == nil, Arrivals: s.buffered}
+	if failure != nil {
+		res.Error = failure.Error()
+		res.Code = server.ErrorCode(failure)
+	}
+	idxs := make([]int, 0, len(s.ups))
+	for idx := range s.ups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		u := s.ups[idx]
+		s.r.unregisterUpstream(u)
+		nodeAddr := s.r.nodes[idx].addr
+		nr, err := u.collect()
+		if err != nil {
+			if res.OK {
+				res.OK = false
+				res.Error = fmt.Sprintf("node %s: %v", nodeAddr, err)
+			}
+			continue
+		}
+		res.Arrivals += nr.Arrivals
+		if !nr.OK && res.OK {
+			res.OK = false
+			res.Error = fmt.Sprintf("node %s: %s", nodeAddr, nr.Error)
+			res.Code = nr.Code
+		}
+	}
+	return res
+}
+
+// collect flushes, half-closes, and reads the node's result frame.
+func (u *upstream) collect() (server.TCPResult, error) {
+	defer u.conn.Close()
+	if err := u.flush(); err != nil {
+		return server.TCPResult{}, err
+	}
+	if tc, ok := u.conn.(*net.TCPConn); ok {
+		tc.CloseWrite() //nolint:errcheck // read below surfaces a dead conn
+	}
+	u.conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	frame, err := server.ReadFrame(u.conn, nil)
+	if err != nil {
+		return server.TCPResult{}, fmt.Errorf("reading result: %v", err)
+	}
+	var res server.TCPResult
+	if err := json.Unmarshal(frame, &res); err != nil {
+		return server.TCPResult{}, fmt.Errorf("decoding result: %v", err)
+	}
+	return res, nil
+}

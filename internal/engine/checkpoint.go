@@ -337,36 +337,54 @@ func (e *Engine) Restore(ck *Checkpoint) (RestoreStats, error) {
 	}
 	for i := range ck.Tenants {
 		tc := &ck.Tenants[i]
-		if len(tc.CostBySize) != tc.Universe+1 {
-			return stats, fmt.Errorf("engine: restore %q: cost table has %d entries for universe %d",
-				tc.Tenant, len(tc.CostBySize), tc.Universe)
-		}
-		table, err := cost.NewTable(tc.CostBySize)
+		baseLoaded, err := e.restoreTenant(tc)
 		if err != nil {
-			return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
-		}
-		origin := tc.TenantOrigin
-		if err := e.createTenant(tc.Tenant, metric.NewMatrix(tc.Distances), table, &origin); err != nil {
 			return stats, err
 		}
-		if len(tc.BaseState) > 0 {
-			if err := e.loadBase(tc); err != nil {
-				return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
-			}
+		if baseLoaded {
 			stats.BasesLoaded++
 			stats.StateBytes += int64(len(tc.BaseState))
-		}
-		for _, a := range tc.Arrivals {
-			err := e.Serve(tc.Tenant, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
-			if err != nil {
-				return stats, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
-			}
 		}
 		stats.Tenants++
 		stats.Arrivals += tc.BaseServed + len(tc.Arrivals)
 		stats.Replayed += len(tc.Arrivals)
 	}
 	return stats, nil
+}
+
+// restoreTenant rebuilds one checkpointed tenant on the engine: it is
+// re-created on its serialized substrate, its base state (if any) is loaded
+// through online.StateCodec, and the tail segment is replayed through the
+// normal serve path. Shared by Restore and InjectTenant — the mechanism that
+// makes kill -9 safe is the same one that makes tenants movable while live.
+// It returns whether a base state was loaded; replayed arrivals are admitted
+// but not necessarily served on return.
+func (e *Engine) restoreTenant(tc *TenantCheckpoint) (baseLoaded bool, err error) {
+	if len(tc.CostBySize) != tc.Universe+1 {
+		return false, fmt.Errorf("engine: restore %q: cost table has %d entries for universe %d",
+			tc.Tenant, len(tc.CostBySize), tc.Universe)
+	}
+	table, err := cost.NewTable(tc.CostBySize)
+	if err != nil {
+		return false, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+	}
+	origin := tc.TenantOrigin
+	if err := e.createTenant(tc.Tenant, metric.NewMatrix(tc.Distances), table, &origin); err != nil {
+		return false, err
+	}
+	if len(tc.BaseState) > 0 {
+		if err := e.loadBase(tc); err != nil {
+			return false, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+		}
+		baseLoaded = true
+	}
+	for _, a := range tc.Arrivals {
+		err := e.Serve(tc.Tenant, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
+		if err != nil {
+			return baseLoaded, fmt.Errorf("engine: restore %q: %v", tc.Tenant, err)
+		}
+	}
+	return baseLoaded, nil
 }
 
 // loadBase installs a checkpointed base state into a freshly created tenant:

@@ -146,12 +146,13 @@ type Engine struct {
 	shards  []*shard
 	start   time.Time
 
-	mu       sync.Mutex
-	tenants  map[string]*tenant
-	loads    []int // tenants assigned per shard (least-load policy + metrics)
-	closed   bool
-	lastAt   time.Time // previous Metrics call, for windowed rates
-	lastSrvd []int64   // served per shard at the previous Metrics call
+	mu        sync.Mutex
+	tenants   map[string]*tenant
+	loads     []int // tenants assigned per shard (least-load policy + metrics)
+	closed    bool
+	lastAt    time.Time // previous Metrics call, for windowed rates
+	lastSrvd  []int64   // served per shard at the previous Metrics call
+	scrapeSeq int64     // Metrics calls so far (Metrics.Seq)
 }
 
 // tenant is one hosted OMFLP instance. After creation its mutable state is
@@ -159,6 +160,7 @@ type Engine struct {
 type tenant struct {
 	id       string
 	shard    *shard
+	shardIdx int // index of shard in Engine.shards (load accounting)
 	space    metric.Space
 	costs    cost.Model
 	universe commodity.Set // Full(|S|), for admission-time demand validation
@@ -368,6 +370,7 @@ func (e *Engine) createTenant(id string, space metric.Space, costs cost.Model, o
 	e.tenants[id] = &tenant{
 		id:        id,
 		shard:     e.shards[idx],
+		shardIdx:  idx,
 		space:     space,
 		costs:     costs,
 		universe:  commodity.Full(costs.Universe()),
@@ -603,4 +606,20 @@ func (e *Engine) TenantCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.tenants)
+}
+
+// ServedCount returns how many arrivals the tenant has served. The count is
+// read on the tenant's shard goroutine after every previously admitted
+// arrival for it has drained, so a caller that stops sending and then polls
+// ServedCount observes the final, settled total — the synchronization
+// primitive behind cluster tenant handoff (quiesce means "served reached the
+// count the router forwarded").
+func (e *Engine) ServedCount(id string) (int, error) {
+	t, err := e.tenant(id)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	t.shard.control(func() { n = t.served })
+	return n, nil
 }

@@ -73,9 +73,19 @@ func quantile(sum [histBuckets]int64, total int64, q float64) float64 {
 // wall-clock measurements — unlike snapshots they are not part of the
 // deterministic-output contract.
 type Metrics struct {
-	Tenants int   `json:"tenants"`
-	Shards  int   `json:"shards"`
-	Served  int64 `json:"served"`
+	// Seq is a monotonic scrape sequence number: it increments on every
+	// Metrics call, so a consumer merging reports from many engines (the
+	// cluster router) can tell a fresh scrape from a stale or duplicated
+	// one — two reports with the same Seq describe the same rate window,
+	// and summing both would double-count. WallUnixNano timestamps the
+	// scrape on the wall clock for the same purpose across restarts (Seq
+	// resets with the process; the pair does not go backwards while it
+	// lives).
+	Seq          int64 `json:"seq"`
+	WallUnixNano int64 `json:"wall_unix_nano"`
+	Tenants      int   `json:"tenants"`
+	Shards       int   `json:"shards"`
+	Served       int64 `json:"served"`
 	// UptimeSeconds is the time since New.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// ArrivalsPerSec is the lifetime serving rate; WindowArrivalsPerSec
@@ -107,6 +117,15 @@ type ShardMetrics struct {
 	WindowArrivalsPerSec float64 `json:"window_arrivals_per_sec"`
 }
 
+// ServedTotal returns the number of arrivals served so far. Unlike Metrics
+// it neither closes the rate window nor advances the scrape sequence, so
+// health probes and placement polls can read it at any frequency without
+// distorting windowed rates for real metrics consumers.
+func (e *Engine) ServedTotal() int64 {
+	_, total, _ := mergedHist(e.shards)
+	return total
+}
+
 // Metrics reports current engine health. Each call also closes the rate
 // window opened by the previous one.
 func (e *Engine) Metrics() Metrics {
@@ -131,11 +150,15 @@ func (e *Engine) Metrics() Metrics {
 		e.lastSrvd[i] = c
 	}
 	e.lastAt = now
+	e.scrapeSeq++
+	seq := e.scrapeSeq
 	tenants := len(e.tenants)
 	loads := append([]int(nil), e.loads...)
 	e.mu.Unlock()
 
 	m := Metrics{
+		Seq:              seq,
+		WallUnixNano:     now.UnixNano(),
 		Tenants:          tenants,
 		Shards:           len(e.shards),
 		Served:           total,

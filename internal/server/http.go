@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/commodity"
 	"repro/internal/engine"
@@ -60,6 +61,9 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/node", s.handleNode)
+	mux.HandleFunc("POST /v1/tenants/{id}/extract", s.handleExtract)
+	mux.HandleFunc("POST /v1/tenants/{id}/inject", s.handleInject)
 	return mux
 }
 
@@ -213,6 +217,89 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": m.UptimeSeconds,
 		"tenants":        m.Tenants,
 		"served":         m.Served,
+	})
+}
+
+// handleNode reports this node's identity for cluster admission: a router
+// only places tenants on nodes whose algorithm and seed match its own view,
+// because migration identity depends on them. Reads are window-neutral
+// (TenantCount/ServedTotal, not Metrics) so routers can poll at any
+// frequency without distorting windowed rates.
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.NodeInfo())
+}
+
+// extractWait bounds how long an extract waits for the served count to
+// reach the router's forwarded count before giving up on quiescence.
+const extractWait = 10 * time.Second
+
+// handleExtract removes a tenant and returns its portable state
+// (engine.TenantTransfer). With ?served=N the handler first waits until the
+// tenant has served exactly N arrivals — the router passes the number it has
+// forwarded, so the wait drains anything still queued in shard mailboxes
+// before the state is captured. A count above N means the router's ledger is
+// wrong (some other client reached this tenant directly); extraction is
+// refused rather than silently losing those arrivals from the ledger.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if v := r.URL.Query().Get("served"); v != "" {
+		want, err := strconv.Atoi(v)
+		if err != nil || want < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("served=%q is not a count", v))
+			return
+		}
+		deadline := time.Now().Add(extractWait)
+		for {
+			n, err := s.eng.ServedCount(id)
+			if err != nil {
+				writeErr(w, httpStatus(err), err)
+				return
+			}
+			if n == want {
+				break
+			}
+			if n > want {
+				writeErr(w, http.StatusConflict,
+					fmt.Errorf("tenant %q served %d arrivals, extract expected %d", id, n, want))
+				return
+			}
+			if time.Now().After(deadline) {
+				writeErr(w, http.StatusGatewayTimeout,
+					fmt.Errorf("tenant %q served %d of %d expected arrivals within %v", id, n, want, extractWait))
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	tr, err := s.eng.ExtractTenant(id)
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleInject restores an extracted tenant on this node. The body is the
+// engine.TenantTransfer produced by extract; the path id must match the
+// transfer's tenant so a mis-addressed inject fails loudly instead of
+// restoring state under the wrong route.
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	var tr engine.TenantTransfer
+	if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding transfer body: %v", err))
+		return
+	}
+	if id := r.PathValue("id"); id != tr.Tenant {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("inject path names tenant %q, transfer carries %q", id, tr.Tenant))
+		return
+	}
+	if err := s.eng.InjectTenant(&tr); err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tenant": tr.Tenant, "status": "injected", "arrivals": len(tr.Arrivals),
 	})
 }
 

@@ -168,6 +168,38 @@ func New(cfg Config) (*Server, error) {
 // Engine exposes the shared engine (for in-process callers and tests).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
+// NodeInfo identifies one serving node to a cluster router: where to reach
+// it (both listeners, as bound), what it runs (algorithm + seed — tenants
+// may only move between nodes that agree on both, or their decisions would
+// silently diverge), whether it can make migrations durable (checkpointing
+// configured), and its current tenant/served counts for placement.
+type NodeInfo struct {
+	HTTPAddr     string `json:"http_addr"`
+	TCPAddr      string `json:"tcp_addr,omitempty"`
+	Algorithm    string `json:"algorithm"`
+	Seed         int64  `json:"seed"`
+	Checkpointed bool   `json:"checkpointed"`
+	Tenants      int    `json:"tenants"`
+	Served       int64  `json:"served"`
+}
+
+// NodeInfo reports this server's cluster identity (see the NodeInfo type).
+func (s *Server) NodeInfo() NodeInfo {
+	alg := s.cfg.Engine.Algorithm
+	if alg == "" {
+		alg = "pd"
+	}
+	return NodeInfo{
+		HTTPAddr:     s.HTTPAddr(),
+		TCPAddr:      s.TCPAddr(),
+		Algorithm:    alg,
+		Seed:         s.cfg.Engine.Seed,
+		Checkpointed: s.cfg.CheckpointDir != "",
+		Tenants:      s.eng.TenantCount(),
+		Served:       s.eng.ServedTotal(),
+	}
+}
+
 // Restored reports how many arrivals the checkpoint restored during New
 // represents — base-state arrivals plus replayed tail (0 when no checkpoint
 // was found).

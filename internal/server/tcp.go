@@ -66,10 +66,46 @@ type TCPResult struct {
 	OK       bool   `json:"ok"`
 	Arrivals int    `json:"arrivals"`
 	Error    string `json:"error,omitempty"`
+	// Code classifies a failure the way httpStatus classifies engine errors
+	// for the HTTP API (unknown tenant ↔ 404/421, duplicate ↔ 409, engine
+	// closed ↔ 503): a router in front of many nodes needs to distinguish
+	// "this node does not host that tenant" — retry elsewhere, re-place the
+	// tenant — from a genuine client error, which no amount of re-routing
+	// fixes. Empty on success and for unclassified (client) errors.
+	Code string `json:"code,omitempty"`
+}
+
+// TCPResult failure codes.
+const (
+	// CodeUnknownTenant: the op addressed a tenant this node does not host —
+	// the tenant may live on another node or have been migrated away. The
+	// HTTP equivalent is 404 (and 421 Misdirected Request at a router).
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeDuplicateTenant: a create for a tenant that already exists (409).
+	CodeDuplicateTenant = "duplicate_tenant"
+	// CodeUnavailable: the engine is shutting down (503); retry elsewhere.
+	CodeUnavailable = "unavailable"
+)
+
+// ErrorCode maps an engine error onto the TCPResult code vocabulary (""
+// for unclassified errors) — the frame-protocol analogue of httpStatus.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, engine.ErrUnknownTenant):
+		return CodeUnknownTenant
+	case errors.Is(err, engine.ErrDuplicateTenant):
+		return CodeDuplicateTenant
+	case errors.Is(err, engine.ErrClosed):
+		return CodeUnavailable
+	default:
+		return ""
+	}
 }
 
 // arrivePrefix is the byte shape json.Marshal gives an arrive op's head;
-// fastArrive only accepts frames in exactly this canonical form.
+// FastArrive only accepts frames in exactly this canonical form.
 var (
 	arrivePrefix  = []byte(`{"op":"arrive","tenant":"`)
 	pointSep      = []byte(`","point":`)
@@ -77,14 +113,15 @@ var (
 	arriveClosing = []byte(`]}`)
 )
 
-// fastArrive parses the canonical arrive frame
+// FastArrive parses the canonical arrive frame
 // {"op":"arrive","tenant":"...","point":N,"demands":[..]} without
-// encoding/json — the per-op hot path of TCP ingestion. ok is false for
+// encoding/json — the per-op hot path of TCP ingestion, exported so the
+// cluster router can pick a frame's tenant without a decode. ok is false for
 // anything unexpected (field order, escapes, other ops); callers then fall
 // back to the general decoder, so this is a pure fast path, never a
 // behavior change. demands is appended to ids (pass a reusable scratch;
 // commodity.New copies values into a bitset).
-func fastArrive(b []byte, ids []int) (tenant string, point int, demands []int, ok bool) {
+func FastArrive(b []byte, ids []int) (tenant string, point int, demands []int, ok bool) {
 	if !bytes.HasPrefix(b, arrivePrefix) {
 		return "", 0, nil, false
 	}
@@ -188,7 +225,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// Hot path: canonical arrive frames (the exact byte shape
 		// json.Marshal gives an arrive op) skip encoding/json entirely;
 		// anything else takes the general decoder.
-		if tenant, point, demands, ok := fastArrive(frame, scratch[:0]); ok {
+		if tenant, point, demands, ok := FastArrive(frame, scratch[:0]); ok {
 			if err := s.eng.Serve(tenant, instance.Request{Point: point, Demands: commodity.New(demands...)}); err != nil {
 				failure = err
 				break
@@ -215,6 +252,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	res := TCPResult{OK: failure == nil, Arrivals: arrivals}
 	if failure != nil {
 		res.Error = failure.Error()
+		res.Code = ErrorCode(failure)
 	}
 	payload, err := json.Marshal(res)
 	if err != nil {

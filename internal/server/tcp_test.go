@@ -24,7 +24,7 @@ func TestFastArriveMatchesJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tenant, point, demands, ok := fastArrive(payload, nil)
+		tenant, point, demands, ok := FastArrive(payload, nil)
 		if !ok {
 			t.Fatalf("fast path declined canonical frame %s", payload)
 		}
@@ -48,7 +48,7 @@ func TestFastArriveMatchesJSON(t *testing.T) {
 		``,
 		`{}`,
 	} {
-		if tenant, point, demands, ok := fastArrive([]byte(in), nil); ok {
+		if tenant, point, demands, ok := FastArrive([]byte(in), nil); ok {
 			// The only acceptable "ok" is when encoding/json agrees exactly.
 			var op engine.Op
 			if err := json.Unmarshal([]byte(in), &op); err != nil ||
