@@ -13,6 +13,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/lowerbound"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/report"
 	"repro/internal/server"
@@ -141,6 +142,43 @@ type (
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	return cluster.New(cfg)
 }
+
+// Observability (see internal/obs): sampled op tracing with per-stage
+// latency histograms, a lock-free flight recorder, hand-rolled Prometheus
+// text exposition and structured slog logging — shared by the engine, the
+// network server and the cluster router. EngineConfig.TraceSample /
+// FlightRecords turn tracing on; ServerConfig.EnablePprof gates
+// /debug/pprof/.
+type (
+	// HistSummary is a serialized latency histogram: occupied power-of-two
+	// buckets plus pre-computed p50/p99/p999 (microseconds). Summaries
+	// merge losslessly across shards and nodes.
+	HistSummary = obs.HistSummary
+	// StageBreakdown carries one latency histogram per pipeline stage
+	// (decode, enqueue, dequeue, serve, ack, total) over traced arrivals.
+	StageBreakdown = obs.StageBreakdown
+	// FlightRecord is one traced arrival as kept by the flight recorder
+	// ring and served by GET /v1/debug/flight: trace id, tenant, shard,
+	// outcome, per-stage microseconds and (in merged cluster dumps) the
+	// origin node.
+	FlightRecord = obs.FlightRecord
+	// RuntimeStats is a point-in-time Go runtime health snapshot:
+	// goroutines, heap, GC activity.
+	RuntimeStats = obs.RuntimeStats
+)
+
+// TraceHeader is the HTTP request header carrying a 16-hex-digit trace id
+// end to end (router → worker → flight record).
+const TraceHeader = server.TraceHeader
+
+// Trace id codecs for TraceHeader and the framed-TCP trace field.
+var (
+	// TraceIDString formats a trace id as 16 lowercase hex digits.
+	TraceIDString = obs.TraceIDString
+	// ParseTraceID parses TraceIDString output; malformed input yields 0
+	// (untraced).
+	ParseTraceID = obs.ParseTraceID
+)
 
 // Commodity set constructors.
 var (

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -57,6 +58,8 @@ func cmdLoadgen(args []string) (retErr error) {
 		seed      = fs.Int64("seed", 1, "workload + engine seed")
 		algo      = fs.String("algo", "pd", "algorithm for a spawned server: pd or rand")
 		shards    = fs.Int("shards", 0, "shards for a spawned server (0 = GOMAXPROCS)")
+		trcSample = fs.Int("trace-sample", 0, "op-trace sample rate for a spawned server (1 in N arrivals; 0 = off) — the tracing-overhead benchmark knob")
+		latOut    = fs.String("latency-out", "", "write the full client-side latency histogram (JSON) to this file")
 		benchDir  = fs.String("bench-out", "", "directory to write/update BENCH_serve.json")
 		quiet     = fs.Bool("quiet", false, "suppress progress messages on stderr")
 	)
@@ -135,7 +138,10 @@ func cmdLoadgen(args []string) (retErr error) {
 			srv, err := server.New(server.Config{
 				HTTPAddr: "127.0.0.1:0",
 				TCPAddr:  "127.0.0.1:0",
-				Engine:   engine.Config{Algorithm: *algo, Shards: *shards, Seed: *seed},
+				Engine: engine.Config{
+					Algorithm: *algo, Shards: *shards, Seed: *seed,
+					TraceSample: *trcSample,
+				},
 			})
 			if err != nil {
 				return err
@@ -188,7 +194,7 @@ func cmdLoadgen(args []string) (retErr error) {
 		return err
 	}
 	start := time.Now()
-	lats, err := runArrivals(*mode, tgts, work, *batch)
+	lats, streamLats, err := runArrivals(*mode, tgts, work, *batch)
 	if err != nil {
 		return err
 	}
@@ -241,6 +247,12 @@ func cmdLoadgen(args []string) (retErr error) {
 		if m, err := serverMetrics(metricsBases[0]); err == nil {
 			rep.ServeLatencyP50Micros = m.LatencyP50Micros
 			rep.ServeLatencyP99Micros = m.LatencyP99Micros
+		}
+	}
+
+	if *latOut != "" {
+		if err := writeLatencyFile(*latOut, *mode, lats, streamLats); err != nil {
+			return err
 		}
 	}
 
@@ -542,14 +554,14 @@ func pace(start time.Time, rate float64, idx int) {
 }
 
 // runArrivals fans the prepared work across its workers — worker w driving
-// tgts[w mod len(tgts)] — and returns client-side per-request latencies
-// (http mode only).
-func runArrivals(mode string, tgts []string, work []driveWork, batch int) ([]float64, error) {
+// tgts[w mod len(tgts)] — and returns client-side latencies: per-request
+// round trips in http mode, per-stream round trips (dial to ack) in tcp
+// mode. Both in milliseconds.
+func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLats, streamLats []float64, err error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		allLats  []float64
 	)
 	for w := range work {
 		if work[w].arrivals == 0 {
@@ -561,6 +573,7 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) ([]flo
 			defer wg.Done()
 			var lats []float64
 			var err error
+			start := time.Now()
 			switch {
 			case mode == "http":
 				lats, err = driveHTTP(target, w.ops, batch, w.rate)
@@ -569,16 +582,20 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) ([]flo
 			default:
 				err = streamBlob(target, w.blob, w.arrivals)
 			}
+			stream := float64(time.Since(start).Microseconds()) / 1e3
 			mu.Lock()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
-			allLats = append(allLats, lats...)
+			reqLats = append(reqLats, lats...)
+			if mode != "http" {
+				streamLats = append(streamLats, stream)
+			}
 			mu.Unlock()
 		}(work[w])
 	}
 	wg.Wait()
-	return allLats, firstErr
+	return reqLats, streamLats, firstErr
 }
 
 // streamFramesPaced writes one worker's frames over a single connection on
@@ -777,6 +794,64 @@ func waitServed(hosts []string, want int64, timeout time.Duration) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// latencyDoc is the -latency-out artifact: the client-side latency
+// distribution in full — exact quantiles from the sorted samples plus the
+// power-of-two histogram (obs.HistSummary) so runs can be merged or
+// re-quantiled downstream.
+type latencyDoc struct {
+	Mode string `json:"mode"`
+	// Unit names what one sample measures: an HTTP request round trip or a
+	// whole framed-TCP stream (dial to result frame).
+	Unit       string  `json:"unit"`
+	Count      int     `json:"count"`
+	P50Millis  float64 `json:"p50_ms"`
+	P90Millis  float64 `json:"p90_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	P999Millis float64 `json:"p999_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	// Hist is the same power-of-two-bucket histogram the engine exposes
+	// (buckets in nanoseconds, quantiles in microseconds).
+	Hist obs.HistSummary `json:"hist"`
+}
+
+// writeLatencyFile renders the client-side latency histogram: per-request
+// samples in http mode, per-stream samples in tcp mode.
+func writeLatencyFile(path, mode string, reqLats, streamLats []float64) error {
+	samples, unit := reqLats, "http_request_round_trip"
+	if mode != "http" {
+		samples, unit = streamLats, "tcp_stream_round_trip"
+	}
+	doc := latencyDoc{Mode: mode, Unit: unit, Count: len(samples)}
+	if len(samples) > 0 {
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		exact := func(q float64) float64 {
+			i := int(q * float64(len(sorted)))
+			if i >= len(sorted) {
+				i = len(sorted) - 1
+			}
+			return sorted[i]
+		}
+		doc.P50Millis = exact(0.50)
+		doc.P90Millis = exact(0.90)
+		doc.P99Millis = exact(0.99)
+		doc.P999Millis = exact(0.999)
+		doc.MaxMillis = sorted[len(sorted)-1]
+		var h obs.Hist
+		for _, ms := range sorted {
+			h.RecordNs(int64(ms * 1e6))
+		}
+		var sum [obs.HistBuckets]int64
+		h.AddTo(&sum)
+		doc.Hist = obs.Summarize(sum)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeServeBench writes or updates BENCH_serve.json in dir under key

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -62,6 +64,11 @@ func cmdServe(args []string) (retErr error) {
 		placement    = fs.String("placement", "leastload", "router mode: tenant placement policy, leastload or rendezvous")
 		healthEvery  = fs.Duration("health-every", time.Second, "router mode: node health-probe interval")
 		migThreshold = fs.Float64("migrate-threshold", 0, "router mode: auto-migrate when the busiest node's arrival rate exceeds the idlest's by this factor (0 = off)")
+		traceSample  = fs.Int("trace-sample", 0, "trace 1 in N arrivals end to end (stage latencies + flight records; 0 = off)")
+		flightRecs   = fs.Int("flight-records", 0, "per-shard flight-recorder capacity (0 = 256); needs -trace-sample")
+		logLevel     = fs.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
+		logOut       = fs.String("log-out", "stderr", "structured-log destination: stderr, stdout, or a file path (appended)")
+		pprofOn      = fs.Bool("pprof", false, "daemon/router mode: mount net/http/pprof under /debug/pprof/ on the HTTP listener")
 	)
 	var prof profileFlags
 	prof.register(fs)
@@ -73,6 +80,26 @@ func cmdServe(args []string) (retErr error) {
 		return err
 	}
 	defer stopProf()
+
+	// -quiet lifts the log threshold to warn unless the user pinned one
+	// explicitly — lifecycle chatter off, failures still visible.
+	level := *logLevel
+	if *quiet {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "log-level" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			level = "warn"
+		}
+	}
+	logger, closeLog, err := obs.NewLogger(level, *logOut)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	defer closeLog()
 
 	if *routerMode {
 		if *nodes == "" {
@@ -88,17 +115,23 @@ func cmdServe(args []string) (retErr error) {
 			Placement:        *placement,
 			HealthEvery:      *healthEvery,
 			MigrateThreshold: *migThreshold,
+			TraceSample:      *traceSample,
+			EnablePprof:      *pprofOn,
+			Logger:           logger,
 		}, *quiet)
 	}
 
 	engCfg := engine.Config{
-		Algorithm:   *algo,
-		Shards:      *shards,
-		Mailbox:     *mailbox,
-		Seed:        *seed,
-		ShardPolicy: *shardPolicy,
-		SealEvery:   *sealEvery,
-		Options:     core.Options{DisablePrediction: *noPrediction},
+		Algorithm:     *algo,
+		Shards:        *shards,
+		Mailbox:       *mailbox,
+		Seed:          *seed,
+		ShardPolicy:   *shardPolicy,
+		SealEvery:     *sealEvery,
+		TraceSample:   *traceSample,
+		FlightRecords: *flightRecs,
+		Logger:        logger,
+		Options:       core.Options{DisablePrediction: *noPrediction},
 	}
 	if *listenHTTP != "" || *listenTCP != "" {
 		return serveDaemon(daemonConfig{
@@ -113,6 +146,8 @@ func cmdServe(args []string) (retErr error) {
 			snapOut:   *snapOut,
 			compact:   *snapCompact,
 			quiet:     *quiet,
+			pprof:     *pprofOn,
+			logger:    logger,
 		})
 	}
 
@@ -217,11 +252,6 @@ func routerDaemon(cfg cluster.Config, quiet bool) error {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 
-	if !quiet {
-		cfg.Logf = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
 	router, err := cluster.New(cfg)
 	if err != nil {
 		return err
@@ -255,6 +285,8 @@ type daemonConfig struct {
 	snapOut   string
 	compact   bool
 	quiet     bool
+	pprof     bool
+	logger    *slog.Logger
 }
 
 // serveDaemon runs the network serving layer until SIGINT/SIGTERM, then
@@ -272,6 +304,8 @@ func serveDaemon(cfg daemonConfig) error {
 		TCPAddr:         cfg.tcp,
 		CheckpointDir:   cfg.ckptDir,
 		CheckpointEvery: cfg.ckptEvery,
+		EnablePprof:     cfg.pprof,
+		Logger:          cfg.logger,
 		Engine:          cfg.engine,
 	})
 	if err != nil {

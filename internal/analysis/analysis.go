@@ -34,8 +34,9 @@
 //     packages: top-level math/rand draws (rand must flow from a seeded
 //     *rand.Rand), wall-clock reads (time.Now and friends), and environment
 //     reads are all flagged. Clock reads that feed metrics only are
-//     allowlisted in internal/engine (engine.go, metrics.go) and elsewhere
-//     carry `//omflp:wallclock`.
+//     allowlisted in internal/engine (engine.go, metrics.go), package-wide
+//     in internal/obs (measurement is its whole job), and elsewhere carry
+//     `//omflp:wallclock`.
 //
 //   - statecodec: every concrete online.Algorithm implementation also
 //     implements online.StateCodec, and every field of a codec-implementing
@@ -221,6 +222,7 @@ var DeterministicPkgs = []string{
 	"repro/internal/workload",
 	"repro/internal/baseline",
 	"repro/internal/lowerbound",
+	"repro/internal/obs",
 }
 
 // deterministic reports whether the package's import path is in the

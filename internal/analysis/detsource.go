@@ -19,7 +19,9 @@ import (
 //     NewTicker. Clocks must be injected so replays and differential runs
 //     are reproducible; reads that feed metrics only are allowlisted in
 //     internal/engine (engine.go, metrics.go — the serve-latency and
-//     throughput instrumentation) and elsewhere carry //omflp:wallclock;
+//     throughput instrumentation), package-wide in internal/obs (the whole
+//     package exists to timestamp and measure), and elsewhere carry
+//     //omflp:wallclock;
 //   - environment reads — os.Getenv, LookupEnv, Environ. Configuration
 //     reaches deterministic code through explicit parameters, never
 //     ambiently.
@@ -37,6 +39,17 @@ var DetSource = &Analyzer{
 var detSourceAllowlist = map[[2]string]bool{
 	{"repro/internal/engine", "engine.go"}:  true,
 	{"repro/internal/engine", "metrics.go"}: true,
+}
+
+// detSourcePkgAllowlist lists import paths whose wall-clock reads are
+// accepted in every file. internal/obs is measurement infrastructure — its
+// histograms, flight records and runtime stats timestamp real events by
+// design — yet it still belongs in the deterministic set so maporder,
+// floateq and the rand/env halves of this check keep applying to it. The
+// allowlist covers the wall clock ONLY: randomness and environment reads in
+// obs are flagged like anywhere else.
+var detSourcePkgAllowlist = map[string]bool{
+	"repro/internal/obs": true,
 }
 
 // wallClockFuncs are the time package functions that read (or schedule
@@ -57,7 +70,8 @@ func runDetSource(pass *Pass) error {
 	}
 	for _, f := range pass.Files {
 		fileBase := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
-		wallClockAllowed := detSourceAllowlist[[2]string{pass.Pkg.Path(), fileBase}]
+		wallClockAllowed := detSourcePkgAllowlist[pass.Pkg.Path()] ||
+			detSourceAllowlist[[2]string{pass.Pkg.Path(), fileBase}]
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

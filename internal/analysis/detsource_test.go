@@ -22,3 +22,13 @@ func TestDetSourceAllowlist(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.DetSource,
 		"repro/internal/engine")
 }
+
+// TestDetSourcePkgAllowlist pins the package-level wallclock carve-out for
+// internal/obs: clock reads pass in every file of the package without
+// annotation, while unseeded randomness and environment reads in obs — and
+// wall-clock reads in the algorithm packages (the engine fixture above) —
+// stay flagged.
+func TestDetSourcePkgAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.DetSource,
+		"repro/internal/obs")
+}

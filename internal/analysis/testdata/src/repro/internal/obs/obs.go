@@ -1,0 +1,34 @@
+// Package obs is the detsource package-level allowlist fixture: wall-clock
+// reads pass in EVERY file of repro/internal/obs without annotation, while
+// randomness and environment reads stay flagged — the carve-out covers the
+// clock only.
+package obs
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stampRecord reads the wall clock to timestamp a flight record: allowed
+// package-wide, no annotation needed.
+func stampRecord() int64 {
+	return time.Now().UnixNano()
+}
+
+// measure reads the monotonic/wall clock for a latency sample: allowed.
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// sampleJitter draws from the unseeded global generator: the wallclock
+// carve-out does not extend to randomness.
+func sampleJitter() int {
+	return rand.Intn(16) // want "unseeded global generator"
+}
+
+// envKnob reads the environment: still flagged in obs.
+func envKnob() string {
+	return os.Getenv("OMFLP_TRACE") // want "environment read os.Getenv"
+}

@@ -1,0 +1,9 @@
+package obs
+
+import "time"
+
+// ringStamp proves the carve-out is package-level, not per-file: a
+// wall-clock read in a second file of obs passes too.
+func ringStamp() time.Time {
+	return time.Now()
+}

@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -63,6 +64,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -85,15 +87,30 @@ type Config struct {
 	// (measured between health probes), the router migrates the busiest
 	// node's hottest tenant to the idlest node. 0 disables.
 	MigrateThreshold float64
-	// Logf receives router progress lines (default: discard).
-	Logf func(format string, args ...interface{})
+	// TraceSample samples 1-in-N framed arrivals forwarded over TCP for op
+	// tracing: the router stamps a trace id on the upstream frame and the
+	// worker records the op under that id, so a cluster-wide flight dump
+	// ties a forwarded arrival to the node that served it. Inbound frames
+	// that already carry an id keep it. 0 disables router-side sampling
+	// (worker-side sampling still applies).
+	TraceSample int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the router's
+	// HTTP listener.
+	EnablePprof bool
+	// Logger receives structured router lifecycle events — placements,
+	// node up/down/rejoin, migration phases (default: discard).
+	Logger *slog.Logger
 }
 
 // Router is the cluster front: it owns the tenant→node routing table,
 // proxies both protocols, coordinates migrations, and merges node metrics.
 type Router struct {
-	cfg   Config
-	nodes []*node
+	cfg    Config
+	nodes  []*node
+	logger *slog.Logger
+	// tracer samples forwarded TCP arrivals (nil = off); see
+	// Config.TraceSample.
+	tracer *obs.Tracer
 
 	// client is used for all node-side HTTP calls. Its timeout must exceed
 	// the node's extract quiesce deadline.
@@ -196,11 +213,14 @@ func New(cfg Config) (*Router, error) {
 	if cfg.HealthEvery <= 0 {
 		cfg.HealthEvery = time.Second
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...interface{}) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
 	}
 	r := &Router{
 		cfg:       cfg,
+		logger:    logger,
+		tracer:    obs.NewTracer(cfg.TraceSample),
 		client:    &http.Client{Timeout: 30 * time.Second},
 		routes:    make(map[string]*route),
 		upstreams: make(map[*upstream]struct{}),
@@ -229,7 +249,7 @@ func (r *Router) Start() error {
 	healthy := 0
 	for _, n := range r.nodes {
 		if err := r.probe(n); err != nil {
-			r.cfg.Logf("cluster: node %s not admitted at start: %v", n.addr, err)
+			r.logger.Warn("node not admitted at start", "node", n.addr, "err", err)
 			continue
 		}
 		healthy++
@@ -263,8 +283,8 @@ func (r *Router) Start() error {
 
 	r.loops.Add(1)
 	go r.healthLoop()
-	r.cfg.Logf("cluster: router up — http %s tcp %s nodes %d (%d healthy)",
-		r.HTTPAddr(), r.TCPAddr(), len(r.nodes), healthy)
+	r.logger.Info("router up",
+		"http", r.HTTPAddr(), "tcp", r.TCPAddr(), "nodes", len(r.nodes), "healthy", healthy)
 	return nil
 }
 

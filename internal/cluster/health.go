@@ -28,7 +28,7 @@ func (r *Router) healthLoop() {
 				n.healthy = false
 				n.mu.Unlock()
 				if was {
-					r.cfg.Logf("cluster: node %s down: %v", n.addr, err)
+					r.logger.Warn("node down", "node", n.addr, "err", err)
 				}
 			}
 		}
@@ -59,7 +59,7 @@ func (r *Router) probe(n *node) error {
 			n.mu.Unlock()
 			return fmt.Errorf("route sync: %v", err)
 		}
-		r.cfg.Logf("cluster: node %s joined (%d tenants, %d served)", n.addr, info.Tenants, info.Served)
+		r.logger.Info("node joined", "node", n.addr, "tenants", info.Tenants, "served", info.Served)
 	}
 	return nil
 }
@@ -91,13 +91,14 @@ func (r *Router) syncNode(n *node) error {
 			// Mid-migration state is the coordinator's to resolve.
 		case rt.node == n.idx:
 			if rt.count.Load() != int64(s.Served) {
-				r.cfg.Logf("cluster: ledger for %s reset %d -> %d from node %s",
-					s.Tenant, rt.count.Load(), s.Served, n.addr)
+				r.logger.Warn("ledger reset from node state",
+					"tenant", s.Tenant, "ledger", rt.count.Load(), "served", s.Served, "node", n.addr)
 			}
 			rt.count.Store(int64(s.Served))
 		case int64(s.Served) > rt.count.Load():
-			r.cfg.Logf("cluster: tenant %s claimed by %s (served %d) over %s (ledger %d); rerouting",
-				s.Tenant, n.addr, s.Served, r.nodes[rt.node].addr, rt.count.Load())
+			r.logger.Warn("tenant rerouted to higher-served claimant",
+				"tenant", s.Tenant, "node", n.addr, "served", s.Served,
+				"prev_node", r.nodes[rt.node].addr, "ledger", rt.count.Load())
 			rt.node = n.idx
 			rt.count.Store(int64(s.Served))
 		}
@@ -176,10 +177,11 @@ func (r *Router) maybeRebalance() {
 	if hosted < 2 || tenant == "" {
 		return
 	}
-	r.cfg.Logf("cluster: rebalancing %s from %s (+%d arrivals) to %s (+%d)",
-		tenant, hot.n.addr, hot.delta, cold.n.addr, cold.delta)
+	r.logger.Info("rebalancing",
+		"tenant", tenant, "from", hot.n.addr, "hot_delta", hot.delta,
+		"to", cold.n.addr, "cold_delta", cold.delta)
 	if _, err := r.Migrate(tenant, cold.n.addr); err != nil {
-		r.cfg.Logf("cluster: rebalance migration failed: %v", err)
+		r.logger.Error("rebalance migration failed", "tenant", tenant, "err", err)
 	}
 }
 

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -23,10 +25,19 @@ func (r *Router) handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", r.handleSnapshot)
 	mux.HandleFunc("GET /v1/snapshots", r.handleSnapshots)
 	mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
+	mux.HandleFunc("GET /metrics", r.handleProm)
+	mux.HandleFunc("GET /v1/debug/flight", r.handleFlight)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("POST /v1/checkpoint", r.handleCheckpoint)
 	mux.HandleFunc("POST /v1/migrate", r.handleMigrate)
 	mux.HandleFunc("GET /v1/routes", r.handleRoutes)
+	if r.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -95,7 +106,13 @@ func (r *Router) handleArrive(w http.ResponseWriter, req *http.Request) {
 	if batch == nil {
 		batch = []server.Arrival{body.Arrival}
 	}
-	accepted, err := r.forwardArrivals(req.PathValue("id"), batch)
+	// Propagate an inbound trace id, or sample one at the router, so the
+	// worker's record carries the cluster-level trace context.
+	traceID := obs.ParseTraceID(req.Header.Get(server.TraceHeader))
+	if traceID == 0 {
+		traceID = r.tracer.Sample()
+	}
+	accepted, err := r.forwardArrivals(req.PathValue("id"), batch, traceID)
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(clusterStatus(err))

@@ -89,14 +89,19 @@ func (r *Router) Migrate(tenant, target string) (*MigrateResult, error) {
 	rt.mig = mig
 	served := rt.count.Load()
 	r.mu.Unlock()
+	r.logger.Info("migration quiesced",
+		"tenant", tenant, "from", src.addr, "to", tgt.addr, "served", served)
 
 	res, err := r.runMigration(rt, mig, tenant, src, tgt, served)
 	if err != nil {
+		r.logger.Error("migration failed",
+			"tenant", tenant, "from", src.addr, "to", tgt.addr, "err", err)
 		return nil, err
 	}
 	r.migrations.Add(1)
-	r.cfg.Logf("cluster: migrated %s from %s to %s (served %d, replayed %d)",
-		tenant, src.addr, tgt.addr, res.Served, res.Replayed)
+	r.logger.Info("migration complete",
+		"tenant", tenant, "from", src.addr, "to", tgt.addr,
+		"served", res.Served, "replayed", res.Replayed)
 	return res, nil
 }
 
@@ -112,10 +117,12 @@ func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt
 		return nil, fmt.Errorf("cluster: extracting %q from %s: %v", tenant, src.addr, err)
 	}
 
+	r.logger.Info("migration extracted", "tenant", tenant, "from", src.addr, "bytes", len(transfer))
+
 	// Persist the source without the tenant so a restart there cannot
 	// resurrect it. Best-effort: a node without checkpointing 404s.
 	if err := r.postJSON(src.base+"/v1/checkpoint", nil, nil); err != nil {
-		r.cfg.Logf("cluster: post-extract checkpoint on %s: %v", src.addr, err)
+		r.logger.Warn("post-extract checkpoint failed", "node", src.addr, "err", err)
 	}
 
 	if err := r.postJSON(tgt.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); err != nil {
@@ -132,8 +139,9 @@ func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt
 		r.abortMigration(rt, mig, src, tenant)
 		return nil, fmt.Errorf("cluster: injecting %q into %s: %v", tenant, tgt.addr, err)
 	}
+	r.logger.Info("migration injected", "tenant", tenant, "to", tgt.addr)
 	if err := r.postJSON(tgt.base+"/v1/checkpoint", nil, nil); err != nil {
-		r.cfg.Logf("cluster: post-inject checkpoint on %s: %v", tgt.addr, err)
+		r.logger.Warn("post-inject checkpoint failed", "node", tgt.addr, "err", err)
 	}
 
 	replayed, err := r.drainAndFlip(rt, mig, tenant, tgt, served)
@@ -204,7 +212,8 @@ func (r *Router) abortMigration(rt *route, mig *migration, src *node, tenant str
 			rt.count.Add(int64(n))
 			r.mu.RUnlock()
 			if err != nil {
-				r.cfg.Logf("cluster: abort of %q migration lost %d buffered arrivals: %v", tenant, len(batch)-n, err)
+				r.logger.Error("migration abort lost buffered arrivals",
+					"tenant", tenant, "lost", len(batch)-n, "err", err)
 			} else {
 				continue
 			}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -101,7 +102,7 @@ func (r *Router) createTenant(id string, universe int, distances [][]float64, co
 		r.mu.Unlock()
 		return fmt.Errorf("cluster: creating %q on node %s: %v", id, r.nodes[idx].addr, err)
 	}
-	r.cfg.Logf("cluster: tenant %s placed on node %s", id, r.nodes[idx].addr)
+	r.logger.Info("tenant placed", "tenant", id, "node", r.nodes[idx].addr)
 	return nil
 }
 
@@ -109,8 +110,10 @@ func (r *Router) createTenant(id string, universe int, distances [][]float64, co
 // the live migration when one is in flight, otherwise posted to the owner
 // node. The node call runs under RLock — that is the quiesce barrier, not
 // an accident (see the package doc) — and the route ledger advances by
-// exactly the number of arrivals the node admitted.
-func (r *Router) forwardArrivals(id string, batch []server.Arrival) (int, error) {
+// exactly the number of arrivals the node admitted. traceID (0 = untraced)
+// is forwarded in the X-Omflp-Trace header so the worker records the
+// batch's first arrival under it.
+func (r *Router) forwardArrivals(id string, batch []server.Arrival, traceID uint64) (int, error) {
 	r.mu.RLock()
 	rt := r.routes[id]
 	if rt == nil {
@@ -123,7 +126,7 @@ func (r *Router) forwardArrivals(id string, batch []server.Arrival) (int, error)
 		return len(batch), nil
 	}
 	node := r.nodes[rt.node]
-	accepted, err := r.postArrivals(node, id, batch)
+	accepted, err := r.postArrivalsTraced(node, id, batch, traceID)
 	rt.count.Add(int64(accepted))
 	r.mu.RUnlock()
 	return accepted, err
@@ -137,11 +140,23 @@ func (r *Router) forwardArrivals(id string, batch []server.Arrival) (int, error)
 // undercounts and a later migration of the tenant times out in quiesce
 // rather than silently losing the discrepancy.
 func (r *Router) postArrivals(n *node, id string, batch []server.Arrival) (int, error) {
+	return r.postArrivalsTraced(n, id, batch, 0)
+}
+
+func (r *Router) postArrivalsTraced(n *node, id string, batch []server.Arrival, traceID uint64) (int, error) {
 	body, err := json.Marshal(map[string]interface{}{"arrivals": batch})
 	if err != nil {
 		return 0, err
 	}
-	resp, err := r.client.Post(n.base+"/v1/tenants/"+id+"/arrive", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest("POST", n.base+"/v1/tenants/"+id+"/arrive", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != 0 {
+		req.Header.Set(server.TraceHeader, obs.TraceIDString(traceID))
+	}
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: forwarding to node %s: %v", n.addr, err)
 	}

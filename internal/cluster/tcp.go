@@ -26,13 +26,15 @@ type upstream struct {
 	err  error // first write error; poisons further writes
 }
 
-func (u *upstream) writeFrame(frame []byte) error {
+// writeFrame forwards one frame, re-framed with traceID when non-zero so
+// the worker records the op under the router's (or the client's) trace id.
+func (u *upstream) writeFrame(frame []byte, traceID uint64) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.err != nil {
 		return u.err
 	}
-	u.err = server.WriteFrame(u.bw, frame)
+	u.err = server.WriteFrameTrace(u.bw, frame, traceID)
 	return u.err
 }
 
@@ -116,8 +118,10 @@ func (s *session) flushAll() {
 // arrive routes one arrival frame. Mirrors forwardArrivals for the framed
 // protocol: buffer under migration, else write the raw frame to the owner
 // under RLock with the ledger advancing at buffer-write time (flushes are
-// the coordinator's and the idle loop's business).
-func (s *session) arrive(tenant string, point int, demands []int, frame []byte) error {
+// the coordinator's and the idle loop's business). traceID (0 = untraced)
+// rides the upstream frame header; a migration-buffered arrival drops it —
+// the replay path is HTTP and the record would describe the wrong journey.
+func (s *session) arrive(tenant string, point int, demands []int, frame []byte, traceID uint64) error {
 	r := s.r
 	r.mu.RLock()
 	rt := r.routes[tenant]
@@ -135,7 +139,7 @@ func (s *session) arrive(tenant string, point int, demands []int, frame []byte) 
 	}
 	u, err := s.upstream(rt.node)
 	if err == nil {
-		if err = u.writeFrame(frame); err == nil {
+		if err = u.writeFrame(frame, traceID); err == nil {
 			rt.count.Add(1)
 		}
 	}
@@ -183,7 +187,7 @@ func (r *Router) serveConn(conn net.Conn) {
 		if br.Buffered() == 0 {
 			sess.flushAll()
 		}
-		frame, err := server.ReadFrame(br, buf)
+		frame, wireID, err := server.ReadFrameTrace(br, buf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				failure = err
@@ -193,8 +197,15 @@ func (r *Router) serveConn(conn net.Conn) {
 		if len(frame) == 0 {
 			continue
 		}
+		// Trace context: an inbound id is propagated as-is; otherwise the
+		// router samples so cluster-wide tracing works even when clients
+		// send plain frames.
+		id := wireID
+		if id == 0 {
+			id = r.tracer.Sample()
+		}
 		if tenant, point, demands, ok := server.FastArrive(frame, scratch[:0]); ok {
-			if err := sess.arrive(tenant, point, demands, frame); err != nil {
+			if err := sess.arrive(tenant, point, demands, frame, id); err != nil {
 				failure = err
 				break
 			}
@@ -211,7 +222,7 @@ func (r *Router) serveConn(conn net.Conn) {
 		case "create":
 			failure = r.createTenant(op.Tenant, op.Universe, op.Distances, op.CostBySize)
 		case "arrive":
-			failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame)
+			failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame, id)
 		default:
 			failure = fmt.Errorf("cluster: unsupported op %q", op.Op)
 		}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/workload"
 )
@@ -111,7 +113,23 @@ type Config struct {
 	SealEvery int
 	// Options is passed through to the core algorithms.
 	Options core.Options
+	// TraceSample enables op tracing: 1 in TraceSample arrivals entering
+	// through a tracing front end gets a full per-stage latency record and
+	// a flight-recorder entry. 0 disables tracing entirely — the serve hot
+	// path then carries only nil checks. Tracing is observation-only:
+	// snapshots stay byte-identical whatever the sample rate.
+	TraceSample int
+	// FlightRecords sizes each shard's flight ring (last N traced ops);
+	// <= 0 means DefaultFlightRecords. Only meaningful with TraceSample.
+	FlightRecords int
+	// Logger receives structured lifecycle events (seal failures). nil
+	// means discard.
+	Logger *slog.Logger
 }
+
+// DefaultFlightRecords is the per-shard flight-ring capacity used when
+// Config.FlightRecords is zero.
+const DefaultFlightRecords = 256
 
 // DefaultSealEvery is the arrival-tail bound used when Config.SealEvery is
 // zero.
@@ -145,6 +163,13 @@ type Engine struct {
 	factory online.Factory
 	shards  []*shard
 	start   time.Time
+	logger  *slog.Logger
+
+	// tracer decides which arrivals get per-stage records (nil = tracing
+	// off); errRing remembers admission rejections (unknown tenant, bad
+	// demands), which never reach a shard ring.
+	tracer  *obs.Tracer
+	errRing *obs.Flight
 
 	mu        sync.Mutex
 	tenants   map[string]*tenant
@@ -191,6 +216,8 @@ type tenant struct {
 	baseServed       int
 	baseConstruction float64
 	baseAssignment   float64
+
+	logger *slog.Logger
 }
 
 // seal re-bases the tenant: its algorithm state becomes the new checkpoint
@@ -214,9 +241,14 @@ func (t *tenant) seal() error {
 
 // serve processes one arrival and keeps the cost accounting incremental:
 // facilities only open and assignments never change retroactively, so the
-// deltas are exact.
-func (t *tenant) serve(r instance.Request) {
+// deltas are exact. rec, when non-nil, gets its serve-stage stamp closed
+// right after the algorithm's Serve call, so post-serve bookkeeping (cost
+// accounting, seal-triggered state marshals) lands in the ack stage.
+func (t *tenant) serve(r instance.Request, rec *obs.OpRecord) {
 	t.alg.Serve(r)
+	if rec != nil {
+		rec.MarkServed()
+	}
 	sol := t.alg.Solution()
 	for _, f := range sol.Facilities[t.facCursor:] {
 		t.construction += t.costs.Cost(f.Point, f.Config)
@@ -233,8 +265,10 @@ func (t *tenant) serve(r instance.Request) {
 			// marshal (algorithm without state support) latches: the
 			// tail then grows unbounded and checkpoints fall back to
 			// full-replay restores.
-			if t.seal() != nil {
+			if err := t.seal(); err != nil {
 				t.sealBroken = true
+				t.logger.Warn("seal failed; tail now unbounded",
+					"tenant", t.id, "served", t.served, "err", err)
 			}
 		}
 	}
@@ -247,12 +281,18 @@ type shardOp struct {
 	req  instance.Request
 	fn   func()
 	done chan<- struct{}
+	// rec is the op's trace context; nil for the sampled-out majority.
+	rec *obs.OpRecord
 }
 
 type shard struct {
+	idx  int
 	ops  chan shardOp
 	done chan struct{}
-	hist latencyHist
+	hist obs.Hist
+	// rec aggregates traced ops (stage histograms + flight ring); nil when
+	// tracing is off, in which case every op.rec is nil too.
+	rec *obs.Recorder
 }
 
 func (s *shard) run() {
@@ -263,9 +303,15 @@ func (s *shard) run() {
 			close(op.done)
 			continue
 		}
+		if op.rec != nil {
+			op.rec.MarkDequeued()
+		}
 		start := time.Now()
-		op.tn.serve(op.req)
-		s.hist.record(time.Since(start))
+		op.tn.serve(op.req, op.rec)
+		s.hist.Record(time.Since(start))
+		if op.rec != nil && s.rec != nil {
+			s.rec.Publish(op.rec, s.idx, "")
+		}
 	}
 }
 
@@ -305,23 +351,43 @@ func NewChecked(cfg Config) (*Engine, error) {
 	case cfg.SealEvery < 0:
 		cfg.SealEvery = 0 // sealing disabled
 	}
+	if cfg.FlightRecords <= 0 {
+		cfg.FlightRecords = DefaultFlightRecords
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	e := &Engine{
 		cfg:      cfg,
 		factory:  f,
 		shards:   make([]*shard, cfg.Shards),
 		start:    time.Now(),
+		logger:   logger,
+		tracer:   obs.NewTracer(cfg.TraceSample),
 		tenants:  map[string]*tenant{},
 		loads:    make([]int, cfg.Shards),
 		lastSrvd: make([]int64, cfg.Shards),
 	}
+	if e.tracer.Enabled() {
+		e.errRing = obs.NewFlight(cfg.FlightRecords)
+	}
 	e.lastAt = e.start
 	for i := range e.shards {
-		s := &shard{ops: make(chan shardOp, cfg.Mailbox), done: make(chan struct{})}
+		s := &shard{idx: i, ops: make(chan shardOp, cfg.Mailbox), done: make(chan struct{})}
+		if e.tracer.Enabled() {
+			s.rec = obs.NewRecorder(cfg.FlightRecords)
+		}
 		e.shards[i] = s
 		go s.run()
 	}
 	return e, nil
 }
+
+// Tracer exposes the engine's sampling decisions to network front ends: the
+// decode site calls Sample() to decide whether an arrival gets a trace
+// record. nil (tracing off) is a valid, inert tracer.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // shardIndexFor picks the shard for a new tenant. Must run under e.mu (it
 // reads and updates the per-shard load counts for PolicyLeastLoad).
@@ -378,6 +444,7 @@ func (e *Engine) createTenant(id string, space metric.Space, costs cost.Model, o
 		record:    e.cfg.RecordArrivals,
 		sealEvery: e.cfg.SealEvery,
 		origin:    origin,
+		logger:    e.logger,
 	}
 	return nil
 }
@@ -399,22 +466,77 @@ func (e *Engine) tenant(id string) (*tenant, error) {
 // shard mailbox is full (backpressure) and returns once the arrival is
 // admitted — not necessarily served; Drain waits for the latter.
 func (e *Engine) Serve(tenantID string, r instance.Request) error {
+	return e.ServeTraced(tenantID, r, nil)
+}
+
+// ServeTraced is Serve carrying an optional trace context: rec (from the
+// decode site, already MarkDecoded) rides the mailbox to the shard, which
+// closes its stage stamps and publishes it to the flight recorder. A nil
+// rec is the sampled-out fast path — identical to Serve. Admission
+// failures land in the engine's error ring so a flight dump shows rejected
+// ops alongside served ones.
+func (e *Engine) ServeTraced(tenantID string, r instance.Request, rec *obs.OpRecord) error {
 	t, err := e.tenant(tenantID)
 	if err != nil {
+		e.recordReject(rec, tenantID, err)
 		return err
 	}
 	if r.Point < 0 || r.Point >= t.space.Len() {
-		return fmt.Errorf("engine: tenant %q: point %d outside space of %d points", tenantID, r.Point, t.space.Len())
+		err := fmt.Errorf("engine: tenant %q: point %d outside space of %d points", tenantID, r.Point, t.space.Len())
+		e.recordReject(rec, tenantID, err)
+		return err
 	}
 	if r.Demands.IsEmpty() {
-		return fmt.Errorf("engine: tenant %q: request demands nothing", tenantID)
+		err := fmt.Errorf("engine: tenant %q: request demands nothing", tenantID)
+		e.recordReject(rec, tenantID, err)
+		return err
 	}
 	if !r.Demands.SubsetOf(t.universe) {
-		return fmt.Errorf("engine: tenant %q: demands %v outside universe of %d",
+		err := fmt.Errorf("engine: tenant %q: demands %v outside universe of %d",
 			tenantID, r.Demands, t.universe.Len())
+		e.recordReject(rec, tenantID, err)
+		return err
 	}
-	t.shard.ops <- shardOp{tn: t, req: r}
+	t.shard.ops <- shardOp{tn: t, req: r, rec: rec}
+	if rec != nil {
+		rec.MarkAdmitted()
+	}
 	return nil
+}
+
+// recordReject drops an admission failure into the error ring (tracing on
+// only). Rejections are rare, so they are recorded whether or not the op
+// itself was sampled; unsampled rejects get a minimal record.
+func (e *Engine) recordReject(rec *obs.OpRecord, tenantID string, err error) {
+	if e.errRing == nil {
+		return
+	}
+	outcome := rejectOutcome(err)
+	if rec != nil {
+		e.errRing.Put(rec.Reject(outcome))
+		return
+	}
+	e.errRing.Put(&obs.FlightRecord{
+		Tenant:       tenantID,
+		WallUnixNano: time.Now().UnixNano(),
+		Shard:        -1,
+		Outcome:      outcome,
+	})
+}
+
+// rejectOutcome classifies an admission error the way the TCP result codes
+// do, so flight-record outcomes line up with what the client saw.
+func rejectOutcome(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		return "unknown_tenant"
+	case errors.Is(err, ErrDuplicateTenant):
+		return "duplicate_tenant"
+	case errors.Is(err, ErrClosed):
+		return "unavailable"
+	default:
+		return "invalid_request"
+	}
 }
 
 // control runs fn on the shard's goroutine, serialized with its arrival

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/workload"
 )
@@ -356,26 +357,26 @@ func TestCompactSnapshots(t *testing.T) {
 func TestLatencyHistQuantiles(t *testing.T) {
 	s := &shard{}
 	for i := 0; i < 99; i++ {
-		s.hist.record(100 * time.Nanosecond) // bucket [64,128)
+		s.hist.Record(100 * time.Nanosecond) // bucket [64,128)
 	}
-	s.hist.record(time.Millisecond) // the single p100 outlier
+	s.hist.Record(time.Millisecond) // the single p100 outlier
 	sum, total, _ := mergedHist([]*shard{s})
 	if total != 100 {
 		t.Fatalf("total = %d, want 100", total)
 	}
-	p50 := quantile(sum, total, 0.50)
+	p50 := obs.Quantile(sum, total, 0.50)
 	if p50 < 64 || p50 > 128 {
 		t.Errorf("p50 = %gns, want within [64,128)", p50)
 	}
-	p99 := quantile(sum, total, 0.99)
+	p99 := obs.Quantile(sum, total, 0.99)
 	if p99 > 128 {
 		t.Errorf("p99 = %gns, should still sit in the 100ns bucket", p99)
 	}
-	p100 := quantile(sum, total, 1)
+	p100 := obs.Quantile(sum, total, 1)
 	if p100 < float64(512*1024) {
 		t.Errorf("p100 = %gns, should reach the millisecond bucket", p100)
 	}
-	if q := quantile([histBuckets]int64{}, 0, 0.5); q != 0 {
+	if q := obs.Quantile([obs.HistBuckets]int64{}, 0, 0.5); q != 0 {
 		t.Errorf("empty histogram quantile = %g, want 0", q)
 	}
 }

@@ -1,72 +1,26 @@
 package engine
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyHist is a lock-free power-of-two latency histogram: bucket b counts
-// serve durations whose nanosecond count has bit-length b, i.e. d ∈
-// [2^(b-1), 2^b). One writer (the shard goroutine) and any number of readers
-// (Metrics) touch it concurrently, hence the atomics.
-type latencyHist struct {
-	buckets [histBuckets]atomic.Int64
-}
+// The serve-latency histograms are obs.Hist: lock-free power-of-two
+// histograms — bucket b counts durations whose nanosecond count has
+// bit-length b, i.e. d ∈ [2^(b-1), 2^b) ns (see obs.Hist for the full
+// bucket-boundary contract). One writer (the shard goroutine) and any
+// number of readers (Metrics) touch each histogram concurrently.
 
-// histBuckets covers durations up to 2^47 ns ≈ 39 h — beyond any serve call.
-const histBuckets = 48
-
-func (h *latencyHist) record(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	b := bits.Len64(uint64(ns))
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	h.buckets[b].Add(1)
-}
-
-// merged sums per-shard histograms into one bucket vector plus a total, and
-// also returns each shard's own served count (its histogram total).
-func mergedHist(shards []*shard) (sum [histBuckets]int64, total int64, perShard []int64) {
+// mergedHist sums per-shard histograms into one bucket vector plus a total,
+// and also returns each shard's own served count (its histogram total).
+func mergedHist(shards []*shard) (sum [obs.HistBuckets]int64, total int64, perShard []int64) {
 	perShard = make([]int64, len(shards))
 	for i, s := range shards {
-		for b := range sum {
-			c := s.hist.buckets[b].Load()
-			sum[b] += c
-			total += c
-			perShard[i] += c
-		}
+		perShard[i] = s.hist.AddTo(&sum)
+		total += perShard[i]
 	}
 	return sum, total, perShard
-}
-
-// quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds from a merged
-// histogram: the geometric midpoint of the bucket holding the target rank.
-// Zero when nothing has been recorded.
-func quantile(sum [histBuckets]int64, total int64, q float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var cum int64
-	for b, c := range sum {
-		cum += c
-		if cum >= target {
-			if b == 0 {
-				return 0
-			}
-			lo := float64(int64(1) << uint(b-1))
-			return lo * 1.5 // midpoint of [2^(b-1), 2^b)
-		}
-	}
-	return 0
 }
 
 // Metrics is an engine-wide health report. Rates and latencies are
@@ -95,9 +49,19 @@ type Metrics struct {
 	// QueueDepth counts arrivals admitted but not yet served, summed over
 	// shard mailboxes.
 	QueueDepth int `json:"queue_depth"`
-	// Serve latency quantiles from the merged per-shard histograms.
-	LatencyP50Micros float64 `json:"serve_latency_p50_us"`
-	LatencyP99Micros float64 `json:"serve_latency_p99_us"`
+	// Serve latency quantiles from the merged per-shard histograms
+	// (geometric bucket midpoints — within sqrt(2) of the true order
+	// statistic; see obs.Hist).
+	LatencyP50Micros  float64 `json:"serve_latency_p50_us"`
+	LatencyP99Micros  float64 `json:"serve_latency_p99_us"`
+	LatencyP999Micros float64 `json:"serve_latency_p999_us"`
+	// ServeLatency is the full merged serve-latency histogram in wire
+	// form, so downstream mergers (the cluster router) re-aggregate raw
+	// buckets instead of averaging quantiles.
+	ServeLatency obs.HistSummary `json:"serve_latency"`
+	// Stages is the per-stage latency breakdown over traced arrivals
+	// (decode/enqueue/dequeue/serve/ack + total). nil when tracing is off.
+	Stages *obs.StageBreakdown `json:"stages,omitempty"`
 	// PerShard breaks the load down by serving goroutine: mailbox depth,
 	// tenants pinned, served totals and rates per shard — the numbers that
 	// reveal a hot shard the aggregates hide.
@@ -157,16 +121,19 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Unlock()
 
 	m := Metrics{
-		Seq:              seq,
-		WallUnixNano:     now.UnixNano(),
-		Tenants:          tenants,
-		Shards:           len(e.shards),
-		Served:           total,
-		UptimeSeconds:    now.Sub(e.start).Seconds(),
-		QueueDepth:       depth,
-		LatencyP50Micros: quantile(sum, total, 0.50) / 1e3,
-		LatencyP99Micros: quantile(sum, total, 0.99) / 1e3,
-		PerShard:         make([]ShardMetrics, len(e.shards)),
+		Seq:               seq,
+		WallUnixNano:      now.UnixNano(),
+		Tenants:           tenants,
+		Shards:            len(e.shards),
+		Served:            total,
+		UptimeSeconds:     now.Sub(e.start).Seconds(),
+		QueueDepth:        depth,
+		LatencyP50Micros:  obs.Quantile(sum, total, 0.50) / 1e3,
+		LatencyP99Micros:  obs.Quantile(sum, total, 0.99) / 1e3,
+		LatencyP999Micros: obs.Quantile(sum, total, 0.999) / 1e3,
+		ServeLatency:      obs.Summarize(sum),
+		Stages:            e.stageBreakdown(),
+		PerShard:          make([]ShardMetrics, len(e.shards)),
 	}
 	var windowServed int64
 	for i := range m.PerShard {
@@ -192,4 +159,36 @@ func (e *Engine) Metrics() Metrics {
 		m.WindowArrivalsPerSec = float64(windowServed) / window
 	}
 	return m
+}
+
+// stageBreakdown merges the per-shard stage histograms; nil when tracing is
+// off.
+func (e *Engine) stageBreakdown() *obs.StageBreakdown {
+	if e.tracer == nil {
+		return nil
+	}
+	var sums [obs.NumStages + 1][obs.HistBuckets]int64
+	var sampled int64
+	for _, s := range e.shards {
+		sampled += s.rec.AddTo(&sums)
+	}
+	return obs.NewStageBreakdown(&sums, sampled)
+}
+
+// FlightDump returns the engine's flight-recorder contents: the newest
+// records from every shard ring plus the admission-error ring, merged
+// oldest-first. tenant filters ("" = all); max caps to the newest records
+// (<= 0 = everything still in the rings). Empty (not nil) when tracing is
+// off.
+func (e *Engine) FlightDump(tenant string, max int) []obs.FlightRecord {
+	recs := []obs.FlightRecord{}
+	if e.tracer == nil {
+		return recs
+	}
+	for _, s := range e.shards {
+		recs = append(recs, s.rec.Ring().Dump()...)
+	}
+	recs = append(recs, e.errRing.Dump()...)
+	obs.SortFlight(recs)
+	return obs.FilterFlight(recs, tenant, max)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/instance"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,12 @@ type Op struct {
 
 // Apply executes one op against the engine.
 func (e *Engine) Apply(op Op) error {
+	return e.ApplyTraced(op, nil)
+}
+
+// ApplyTraced is Apply carrying an optional trace context; only arrive ops
+// record stages (creates are rare control-plane work, not serving traffic).
+func (e *Engine) ApplyTraced(op Op, rec *obs.OpRecord) error {
 	switch op.Op {
 	case "create":
 		if len(op.CostBySize) != op.Universe+1 {
@@ -69,10 +76,10 @@ func (e *Engine) Apply(op Op) error {
 		if len(op.Demands) == 0 {
 			return fmt.Errorf("engine: arrive for %q demands nothing", op.Tenant)
 		}
-		return e.Serve(op.Tenant, instance.Request{
+		return e.ServeTraced(op.Tenant, instance.Request{
 			Point:   op.Point,
 			Demands: commodity.New(op.Demands...),
-		})
+		}, rec)
 	default:
 		return fmt.Errorf("engine: unknown op %q", op.Op)
 	}

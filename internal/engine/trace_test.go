@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// replayTraced mirrors ReplayTrace but drives ServeTraced the way a network
+// front end does: sample at the decode site, stamp decode, hand the record
+// to admission.
+func replayTraced(t *testing.T, e *Engine, tenants int, seed int64, n, u, points int) []string {
+	t.Helper()
+	tr := fixedTrace(seed, n, u, points)
+	in := tr.Instance
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = tenantName(i)
+		if err := e.CreateTenant(names[i], in.Space, in.Costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range in.Requests {
+		var rec *obs.OpRecord
+		if id := e.Tracer().Sample(); id != 0 {
+			rec = obs.NewOpRecord(id, names[i%tenants])
+			rec.MarkDecoded(1)
+		}
+		if err := e.ServeTraced(names[i%tenants], r, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+// TestTracingDoesNotPerturbSnapshots is the determinism contract with
+// tracing on: the same trace served fully traced (sample 1) must produce
+// byte-identical snapshots to an untraced run — observation only, no
+// feedback into algorithm state.
+func TestTracingDoesNotPerturbSnapshots(t *testing.T) {
+	tr := fixedTrace(11, 150, 6, 15)
+	want := runTrace(t, Config{Shards: 4, Seed: 3}, tr, 3)
+	got := runTrace(t, Config{Shards: 4, Seed: 3, TraceSample: 1, FlightRecords: 16}, tr, 3)
+	if !bytes.Equal(want, got) {
+		t.Fatal("snapshots differ between traced and untraced runs")
+	}
+}
+
+func TestServeTracedStagesAndFlight(t *testing.T) {
+	e := New(Config{Shards: 2, Seed: 1, TraceSample: 1, FlightRecords: 128})
+	defer e.Close()
+	const n, tenants = 120, 3
+	names := replayTraced(t, e, tenants, 13, n, 4, 12)
+	e.Drain()
+
+	m := e.Metrics()
+	if m.Stages == nil {
+		t.Fatal("Metrics.Stages nil with tracing on")
+	}
+	if m.Stages.Sampled != n {
+		t.Fatalf("Stages.Sampled = %d, want %d", m.Stages.Sampled, n)
+	}
+	m.Stages.Each(func(stage string, h obs.HistSummary) {
+		if h.Count != n {
+			t.Errorf("stage %s count = %d, want %d", stage, h.Count, n)
+		}
+	})
+	if m.ServeLatency.Count != n {
+		t.Fatalf("ServeLatency.Count = %d, want %d", m.ServeLatency.Count, n)
+	}
+	if m.LatencyP999Micros < m.LatencyP50Micros {
+		t.Fatalf("p999 %v < p50 %v", m.LatencyP999Micros, m.LatencyP50Micros)
+	}
+
+	dump := e.FlightDump("", 0)
+	if len(dump) != n { // 120 records across 2 rings of 128 — nothing evicted
+		t.Fatalf("flight dump has %d records, want %d", len(dump), n)
+	}
+	seen := map[string]bool{}
+	for i, r := range dump {
+		if r.Outcome != "ok" || r.TraceID == "" || r.Shard < 0 {
+			t.Fatalf("bad record %+v", r)
+		}
+		if seen[r.TraceID] {
+			t.Fatalf("duplicate trace id %s", r.TraceID)
+		}
+		seen[r.TraceID] = true
+		if i > 0 && r.WallUnixNano < dump[i-1].WallUnixNano {
+			t.Fatal("dump not oldest-first")
+		}
+	}
+
+	one := e.FlightDump(names[0], 5)
+	if len(one) != 5 {
+		t.Fatalf("filtered dump has %d records, want 5", len(one))
+	}
+	for _, r := range one {
+		if r.Tenant != names[0] {
+			t.Fatalf("tenant filter leaked %+v", r)
+		}
+	}
+}
+
+func TestServeTracedRejectionsLandInFlightDump(t *testing.T) {
+	e := New(Config{Shards: 1, Seed: 1, TraceSample: 1})
+	defer e.Close()
+
+	rec := obs.NewOpRecord(e.Tracer().Sample(), "ghost")
+	rec.MarkDecoded(1)
+	if err := e.ServeTraced("ghost", fixedTrace(5, 1, 3, 8).Instance.Requests[0], rec); err == nil {
+		t.Fatal("expected unknown-tenant error")
+	}
+	// An unsampled reject must be recorded too.
+	if err := e.Serve("ghost2", fixedTrace(5, 1, 3, 8).Instance.Requests[0]); err == nil {
+		t.Fatal("expected unknown-tenant error")
+	}
+
+	dump := e.FlightDump("", 0)
+	if len(dump) != 2 {
+		t.Fatalf("flight dump has %d records, want 2 rejects", len(dump))
+	}
+	for _, r := range dump {
+		if r.Outcome != "unknown_tenant" || r.Shard != -1 {
+			t.Fatalf("bad reject record %+v", r)
+		}
+	}
+}
+
+func TestFlightDumpEmptyWhenTracingOff(t *testing.T) {
+	e := New(Config{Shards: 1, Seed: 1})
+	defer e.Close()
+	if e.Tracer().Enabled() {
+		t.Fatal("tracer enabled without TraceSample")
+	}
+	if dump := e.FlightDump("", 0); dump == nil || len(dump) != 0 {
+		t.Fatalf("dump = %#v, want empty non-nil", dump)
+	}
+	if m := e.Metrics(); m.Stages != nil {
+		t.Fatal("Stages should be nil with tracing off")
+	}
+}

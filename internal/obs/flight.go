@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// FlightRecord is one completed (or rejected) op as the flight recorder
+// remembers it. Stage durations are in microseconds; WallUnixNano is the
+// publish instant on the wall clock, the only stamp comparable across
+// nodes. Outcome is "ok" or a machine error code (the TCP result codes:
+// "unknown_tenant", "invalid_request", ...). Rejected ops never reach a
+// shard, so Shard is -1 and only Decode/Total carry time.
+type FlightRecord struct {
+	TraceID       string  `json:"trace_id"`
+	Tenant        string  `json:"tenant"`
+	WallUnixNano  int64   `json:"wall_unix_nano"`
+	Shard         int     `json:"shard"`
+	Outcome       string  `json:"outcome"`
+	DecodeMicros  float64 `json:"decode_us"`
+	EnqueueMicros float64 `json:"enqueue_us"`
+	DequeueMicros float64 `json:"dequeue_us"`
+	ServeMicros   float64 `json:"serve_us"`
+	AckMicros     float64 `json:"ack_us"`
+	TotalMicros   float64 `json:"total_us"`
+	// Node is empty on a single node; the cluster router stamps it when
+	// merging dumps so a record's origin survives the merge.
+	Node string `json:"node,omitempty"`
+}
+
+// Flight is a fixed-size lock-free ring of the last N op records. Writers
+// publish immutable records through per-slot atomic pointers, so Put is
+// lock-free, allocation-free beyond the record itself, and safe from any
+// number of goroutines; Dump never blocks writers.
+type Flight struct {
+	slots []atomic.Pointer[FlightRecord]
+	pos   atomic.Uint64
+}
+
+// NewFlight returns a ring holding the last n records (n < 8 clamps to 8).
+func NewFlight(n int) *Flight {
+	if n < 8 {
+		n = 8
+	}
+	return &Flight{slots: make([]atomic.Pointer[FlightRecord], n)}
+}
+
+// Put appends a record, evicting the oldest once the ring is full. The
+// record must not be mutated after Put.
+func (f *Flight) Put(rec *FlightRecord) {
+	p := f.pos.Add(1) - 1
+	f.slots[p%uint64(len(f.slots))].Store(rec)
+}
+
+// Dump returns the ring's current records ordered oldest-first by wall
+// stamp. The copy is not a consistent snapshot across slots — records that
+// land mid-dump may or may not appear — but every returned record is
+// internally consistent (records are immutable once published).
+func (f *Flight) Dump() []FlightRecord {
+	out := make([]FlightRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if rec := f.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	SortFlight(out)
+	return out
+}
+
+// SortFlight orders records oldest-first by wall stamp, tie-breaking on
+// trace id then tenant so merged multi-node dumps are stable.
+func SortFlight(recs []FlightRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].WallUnixNano != recs[j].WallUnixNano {
+			return recs[i].WallUnixNano < recs[j].WallUnixNano
+		}
+		if recs[i].TraceID != recs[j].TraceID {
+			return recs[i].TraceID < recs[j].TraceID
+		}
+		return recs[i].Tenant < recs[j].Tenant
+	})
+}
+
+// FilterFlight keeps records matching tenant (empty = all) and caps the
+// result to the newest max records (max <= 0 = unlimited). recs must be
+// sorted oldest-first; the result preserves that order.
+func FilterFlight(recs []FlightRecord, tenant string, max int) []FlightRecord {
+	if tenant != "" {
+		kept := recs[:0:0]
+		for _, r := range recs {
+			if r.Tenant == tenant {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	if max > 0 && len(recs) > max {
+		recs = recs[len(recs)-max:]
+	}
+	return recs
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Discard returns a logger that drops everything — the default wherever a
+// *slog.Logger is optional, so call sites never nil-check.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the daemon's structured event logger: JSON lines at the
+// given level, written to out — "" or "stderr" for standard error, "-" or
+// "stdout" for standard output, anything else a file path opened in append
+// mode. The returned closer is a no-op for the standard streams.
+func NewLogger(level, out string) (*slog.Logger, func() error, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w io.Writer
+	closer := func() error { return nil }
+	switch out {
+	case "", "stderr":
+		w = os.Stderr
+	case "-", "stdout":
+		w = os.Stdout
+	default:
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: open log output: %w", err)
+		}
+		w = f
+		closer = f.Close
+	}
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})
+	return slog.New(h), closer, nil
+}

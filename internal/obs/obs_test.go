@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSampling(t *testing.T) {
+	var off *Tracer
+	if off.Enabled() || off.Sample() != 0 {
+		t.Fatal("nil tracer must be disabled")
+	}
+	if NewTracer(0) != nil {
+		t.Fatal("sample 0 must disable tracing")
+	}
+
+	tr := NewTracer(4)
+	ids := 0
+	for i := 0; i < 400; i++ {
+		if tr.Sample() != 0 {
+			ids++
+		}
+	}
+	if ids != 100 {
+		t.Fatalf("1-in-4 sampling picked %d of 400", ids)
+	}
+
+	all := NewTracer(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := all.Sample()
+		if id == 0 {
+			t.Fatal("sample 1 must trace everything")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDStringRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0), 0x0123456789abcdef} {
+		s := TraceIDString(id)
+		if len(s) != 16 {
+			t.Fatalf("TraceIDString(%x) = %q: want 16 hex digits", id, s)
+		}
+		if got := ParseTraceID(s); got != id {
+			t.Fatalf("round trip %x -> %q -> %x", id, s, got)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "123", strings.Repeat("g", 16)} {
+		if ParseTraceID(bad) != 0 {
+			t.Fatalf("ParseTraceID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOpRecordStages(t *testing.T) {
+	rec := NewOpRecord(42, "tn")
+	rec.MarkDecoded(1)
+	rec.MarkAdmitted()
+	rec.MarkDequeued()
+	rec.MarkServed()
+	rc := NewRecorder(8)
+	rc.Publish(rec, 3, "")
+	if rc.Sampled() != 1 {
+		t.Fatalf("Sampled = %d", rc.Sampled())
+	}
+	dump := rc.Ring().Dump()
+	if len(dump) != 1 {
+		t.Fatalf("dump len = %d", len(dump))
+	}
+	r := dump[0]
+	if r.TraceID != TraceIDString(42) || r.Tenant != "tn" || r.Shard != 3 || r.Outcome != "ok" {
+		t.Fatalf("unexpected record: %+v", r)
+	}
+	if r.TotalMicros < r.ServeMicros {
+		t.Fatalf("total %v < serve %v", r.TotalMicros, r.ServeMicros)
+	}
+	for _, d := range []float64{r.DecodeMicros, r.EnqueueMicros, r.DequeueMicros, r.ServeMicros, r.AckMicros} {
+		if d < 0 {
+			t.Fatalf("negative stage duration in %+v", r)
+		}
+	}
+	var sums [NumStages + 1][HistBuckets]int64
+	if n := rc.AddTo(&sums); n != 1 {
+		t.Fatalf("AddTo = %d", n)
+	}
+	bd := NewStageBreakdown(&sums, 1)
+	stages := 0
+	bd.Each(func(stage string, h HistSummary) {
+		stages++
+		if h.Count != 1 {
+			t.Fatalf("stage %s count = %d", stage, h.Count)
+		}
+	})
+	if stages != NumStages+1 {
+		t.Fatalf("Each visited %d stages", stages)
+	}
+}
+
+// TestOpRecordAdmitRace covers the shard winning the race with the sender's
+// MarkAdmitted: the wait folds into dequeue and nothing goes negative.
+func TestOpRecordAdmitRace(t *testing.T) {
+	rec := NewOpRecord(7, "tn")
+	rec.MarkDecoded(1)
+	rec.MarkDequeued() // admit stamp never set
+	rec.MarkServed()
+	stages, total := rec.finish()
+	if stages[StageEnqueue] != 0 {
+		t.Fatalf("enqueue = %d, want 0 when admit stamp missing", stages[StageEnqueue])
+	}
+	for i, d := range stages {
+		if d < 0 {
+			t.Fatalf("stage %s negative: %d", StageNames[i], d)
+		}
+	}
+	if total < 0 {
+		t.Fatal("negative total")
+	}
+}
+
+func TestFlightWrapAndFilter(t *testing.T) {
+	f := NewFlight(8)
+	for i := 0; i < 20; i++ {
+		f.Put(&FlightRecord{TraceID: TraceIDString(uint64(i + 1)), Tenant: fmt.Sprintf("t%d", i%2), WallUnixNano: int64(i)})
+	}
+	dump := f.Dump()
+	if len(dump) != 8 {
+		t.Fatalf("dump len = %d, want ring size 8", len(dump))
+	}
+	for i, r := range dump {
+		if r.WallUnixNano != int64(12+i) {
+			t.Fatalf("dump[%d].Wall = %d, want %d (oldest-first tail)", i, r.WallUnixNano, 12+i)
+		}
+	}
+	only := FilterFlight(dump, "t1", 2)
+	if len(only) != 2 {
+		t.Fatalf("filtered len = %d", len(only))
+	}
+	for _, r := range only {
+		if r.Tenant != "t1" {
+			t.Fatalf("filter leaked %+v", r)
+		}
+	}
+	if only[0].WallUnixNano >= only[1].WallUnixNano {
+		t.Fatal("filter broke oldest-first order")
+	}
+}
+
+// TestFlightConcurrent hammers the ring from many writers while dumping —
+// run under -race this proves the lock-free claim.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Put(&FlightRecord{TraceID: TraceIDString(uint64(w*1000 + i + 1)), WallUnixNano: int64(i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, r := range f.Dump() {
+				if r.TraceID == "" {
+					t.Error("torn record")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(f.Dump()); got != 64 {
+		t.Fatalf("final dump len = %d", got)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromLabel is one name="value" pair on a Prometheus series.
+type PromLabel struct {
+	Name, Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). It is a hand-rolled writer — the repo takes no
+// dependencies — emitting # HELP and # TYPE once per metric name even when
+// the same metric is written repeatedly with different label sets (the
+// router's per-node merge). Errors latch; check Err after the last write.
+type PromWriter struct {
+	w     *bufio.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps w. Call Flush when done.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), typed: map[string]bool{}}
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...PromLabel) {
+	p.sample(name, help, "gauge", name, labels, v)
+}
+
+// Counter writes one counter sample. By Prometheus convention the name
+// should end in _total.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...PromLabel) {
+	p.sample(name, help, "counter", name, labels, v)
+}
+
+// Histogram renders a HistSummary as a native Prometheus histogram in
+// seconds: cumulative _bucket{le="..."} series over the power-of-two
+// boundaries (only the occupied range is emitted, plus +Inf), _count, and
+// _sum. The histogram stores no exact sum, so _sum is estimated from
+// geometric bucket midpoints — documented in the HELP line.
+func (p *PromWriter) Histogram(name, help string, h HistSummary, labels ...PromLabel) {
+	p.header(name, help+" (seconds; _sum estimated from power-of-two bucket midpoints)", "histogram")
+	sum := h.Bucketized()
+	lo, hi := -1, -1
+	for b, c := range sum {
+		if c != 0 {
+			if lo < 0 {
+				lo = b
+			}
+			hi = b
+		}
+	}
+	var cum int64
+	var est float64
+	buf := make([]PromLabel, 0, len(labels)+1)
+	if lo >= 0 {
+		for b := lo; b <= hi; b++ {
+			cum += sum[b]
+			if sum[b] != 0 && b > 0 {
+				est += float64(sum[b]) * 1.5 * float64(int64(1)<<uint(b-1))
+			}
+			le := strconv.FormatFloat(float64(BucketUpperNs(b))/1e9, 'g', -1, 64)
+			if b == HistBuckets-1 {
+				le = "+Inf"
+			}
+			buf = append(buf[:0], labels...)
+			buf = append(buf, PromLabel{"le", le})
+			p.line(name+"_bucket", buf, float64(cum))
+		}
+	}
+	if hi != HistBuckets-1 {
+		buf = append(buf[:0], labels...)
+		buf = append(buf, PromLabel{"le", "+Inf"})
+		p.line(name+"_bucket", buf, float64(cum))
+	}
+	p.line(name+"_sum", labels, est/1e9)
+	p.line(name+"_count", labels, float64(h.Count))
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (p *PromWriter) Flush() error {
+	if p.err == nil {
+		p.err = p.w.Flush()
+	}
+	return p.err
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) sample(name, help, typ, series string, labels []PromLabel, v float64) {
+	p.header(name, help, typ)
+	p.line(series, labels, v)
+}
+
+// header emits # HELP / # TYPE once per metric name.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	p.ws("# HELP ")
+	p.ws(name)
+	p.ws(" ")
+	p.ws(escapeHelp(help))
+	p.ws("\n# TYPE ")
+	p.ws(name)
+	p.ws(" ")
+	p.ws(typ)
+	p.ws("\n")
+}
+
+func (p *PromWriter) line(series string, labels []PromLabel, v float64) {
+	p.ws(series)
+	if len(labels) > 0 {
+		p.ws("{")
+		for i, l := range labels {
+			if i > 0 {
+				p.ws(",")
+			}
+			p.ws(l.Name)
+			p.ws(`="`)
+			p.ws(escapeLabel(l.Value))
+			p.ws(`"`)
+		}
+		p.ws("}")
+	}
+	p.ws(" ")
+	p.ws(strconv.FormatFloat(v, 'g', -1, 64))
+	p.ws("\n")
+}
+
+func (p *PromWriter) ws(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.WriteString(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Gauge("omflp_tenants", "Registered tenants.", 3)
+	p.Gauge("omflp_tenants", "Registered tenants.", 5, PromLabel{"node", "127.0.0.1:9001"})
+	p.Counter("omflp_served_total", "Arrivals served.", 12345)
+	var h Hist
+	for _, ns := range []int64{900, 1500, 1500, 70_000} {
+		h.RecordNs(ns)
+	}
+	var sum [HistBuckets]int64
+	h.AddTo(&sum)
+	p.Histogram("omflp_serve_latency_seconds", "Serve latency.", Summarize(sum), PromLabel{"stage", `odd"label\`})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE omflp_tenants gauge"); n != 1 {
+		t.Fatalf("TYPE omflp_tenants emitted %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"omflp_tenants 3\n",
+		`omflp_tenants{node="127.0.0.1:9001"} 5` + "\n",
+		"# TYPE omflp_served_total counter",
+		"omflp_served_total 12345\n",
+		"# TYPE omflp_serve_latency_seconds histogram",
+		`odd\"label\\`,
+		"omflp_serve_latency_seconds_count{stage=",
+		"omflp_serve_latency_seconds_sum{stage=",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The exposition-format invariants CI's validator also checks:
+	// cumulative non-decreasing buckets ending at +Inf == _count.
+	var lastCum float64 = -1
+	var infCum, count float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "omflp_serve_latency_seconds_bucket") {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("bad sample line %q: %v", line, err)
+			}
+			if v < lastCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infCum = v
+			}
+		}
+		if strings.HasPrefix(line, "omflp_serve_latency_seconds_count") {
+			count, _ = strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		}
+	}
+	if infCum != 4 || count != 4 {
+		t.Fatalf("+Inf bucket %v and _count %v must both equal 4", infCum, count)
+	}
+}
+
+func TestPromWriterEmptyHistogram(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Histogram("omflp_stage_latency_seconds", "Stage latency.", HistSummary{}, PromLabel{"stage", "decode"})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`omflp_stage_latency_seconds_bucket{stage="decode",le="+Inf"} 0`,
+		`omflp_stage_latency_seconds_count{stage="decode"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

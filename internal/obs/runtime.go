@@ -1,0 +1,48 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is the Go runtime health snapshot exposed alongside serving
+// metrics: is the process leaking goroutines, how hard is the GC working,
+// how big is the heap. Collected per node; never merged across nodes (the
+// router reports each node's stats under its own label).
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	HeapObjects         uint64  `json:"heap_objects"`
+	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	NumGC               uint32  `json:"num_gc"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	GCCPUFraction       float64 `json:"gc_cpu_fraction"`
+}
+
+// ReadRuntime collects the current runtime stats. It calls
+// runtime.ReadMemStats, which briefly stops the world — cheap at scrape
+// frequency, not something to put on a per-op path.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		HeapObjects:         ms.HeapObjects,
+		TotalAllocBytes:     ms.TotalAlloc,
+		NumGC:               ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		GCCPUFraction:       ms.GCCPUFraction,
+	}
+}
+
+// WriteProm renders the runtime stats as Prometheus series.
+func (s RuntimeStats) WriteProm(p *PromWriter, labels ...PromLabel) {
+	p.Gauge("omflp_goroutines", "Live goroutines.", float64(s.Goroutines), labels...)
+	p.Gauge("omflp_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(s.HeapAllocBytes), labels...)
+	p.Gauge("omflp_heap_sys_bytes", "Bytes of heap obtained from the OS.", float64(s.HeapSysBytes), labels...)
+	p.Gauge("omflp_heap_objects", "Live heap objects.", float64(s.HeapObjects), labels...)
+	p.Counter("omflp_alloc_bytes_total", "Cumulative bytes allocated.", float64(s.TotalAllocBytes), labels...)
+	p.Counter("omflp_gc_cycles_total", "Completed GC cycles.", float64(s.NumGC), labels...)
+	p.Counter("omflp_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", s.GCPauseTotalSeconds, labels...)
+	p.Gauge("omflp_gc_cpu_fraction", "Fraction of CPU spent in GC since start.", s.GCCPUFraction, labels...)
+}

@@ -5,13 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/commodity"
 	"repro/internal/engine"
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
+
+// TraceHeader carries a trace id (16 hex digits) across the router → worker
+// HTTP hop: the router samples, the worker records under the same id.
+const TraceHeader = "X-Omflp-Trace"
 
 // Arrival is the HTTP arrival document: one request for a tenant.
 type Arrival struct {
@@ -59,11 +65,20 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleProm)
+	mux.HandleFunc("GET /v1/debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/node", s.handleNode)
 	mux.HandleFunc("POST /v1/tenants/{id}/extract", s.handleExtract)
 	mux.HandleFunc("POST /v1/tenants/{id}/inject", s.handleInject)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -116,6 +131,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
+	tracer := s.eng.Tracer()
+	wireID := obs.ParseTraceID(r.Header.Get(TraceHeader))
+	var decodeStart int64
+	if tracer.Enabled() || wireID != 0 {
+		decodeStart = obs.Mono()
+	}
 	var body arriveBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding arrive body: %v", err))
@@ -126,8 +147,29 @@ func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
 		batch = []Arrival{body.Arrival}
 	}
 	id := r.PathValue("id")
+	// Sampling: a wire trace id (from the router) forces a record for the
+	// batch's first arrival; the rest sample locally. The one body decode
+	// is attributed evenly across the batch's sampled records.
+	var recs []*obs.OpRecord
+	if tracer.Enabled() || wireID != 0 {
+		recs = make([]*obs.OpRecord, len(batch))
+		for i := range batch {
+			tid := tracer.Sample()
+			if i == 0 && wireID != 0 {
+				tid = wireID
+			}
+			if tid != 0 {
+				recs[i] = obs.NewOpRecordAt(tid, id, decodeStart)
+				recs[i].MarkDecoded(len(batch))
+			}
+		}
+	}
 	for i, a := range batch {
-		err := s.eng.Serve(id, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)})
+		var rec *obs.OpRecord
+		if recs != nil {
+			rec = recs[i]
+		}
+		err := s.eng.ServeTraced(id, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)}, rec)
 		if err != nil {
 			// Arrivals before i are already admitted and irrevocable —
 			// report how far the batch got alongside the error.
@@ -208,6 +250,49 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// PromContentType is the Prometheus text exposition content type served on
+// GET /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// handleProm serves GET /metrics: the same health report as /v1/metrics in
+// Prometheus text exposition format.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", PromContentType)
+	pw := obs.NewPromWriter(w)
+	WriteMetricsProm(pw, &m)
+	pw.Flush() //nolint:errcheck // client gone mid-scrape
+}
+
+// FlightDumpDoc is the GET /v1/debug/flight response body (and the unit the
+// cluster router merges across nodes).
+type FlightDumpDoc struct {
+	// Tracing is false when the node runs without -trace-sample; the dump
+	// is then always empty.
+	Tracing bool `json:"tracing"`
+	// Records is oldest-first; on a router merge each record carries its
+	// origin node.
+	Records []obs.FlightRecord `json:"records"`
+}
+
+// handleFlight serves GET /v1/debug/flight: the flight recorder's current
+// contents. ?tenant= filters, ?max=N keeps the newest N records.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("max=%q is not a count", v))
+			return
+		}
+		max = n
+	}
+	writeJSON(w, http.StatusOK, FlightDumpDoc{
+		Tracing: s.eng.Tracer().Enabled(),
+		Records: s.eng.FlightDump(r.URL.Query().Get("tenant"), max),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -39,6 +39,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // CheckpointFile is the checkpoint's file name inside Config.CheckpointDir.
@@ -68,14 +70,23 @@ type Config struct {
 	// Engine configures the shared engine. RecordArrivals is forced on
 	// when CheckpointDir is set.
 	Engine engine.Config
+	// Logger receives structured lifecycle events (checkpoint capture,
+	// restore, drain, TCP stream failures). nil means discard. It is also
+	// handed to the engine unless Engine.Logger is set explicitly.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// listener — opt-in, since profiling endpoints on a serving port are a
+	// deliberate choice.
+	EnablePprof bool
 }
 
 // Server multiplexes HTTP and TCP front ends onto one engine. Create with
 // New (which restores any existing checkpoint), bind with Start, stop with
 // Shutdown.
 type Server struct {
-	cfg Config
-	eng *engine.Engine
+	cfg    Config
+	eng    *engine.Engine
+	logger *slog.Logger
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -128,15 +139,23 @@ func New(cfg Config) (*Server, error) {
 			cfg.CheckpointEvery = 15 * time.Second
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	if cfg.Engine.Logger == nil {
+		cfg.Engine.Logger = logger
+	}
 	eng, err := engine.NewChecked(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		stop:  make(chan struct{}),
-		conns: map[net.Conn]struct{}{},
+		cfg:    cfg,
+		eng:    eng,
+		logger: logger,
+		stop:   make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
 	}
 	if cfg.CheckpointDir != "" {
 		path := s.checkpointPath()
@@ -157,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 			eng.Drain()
 			s.restored = stats
 			s.restoreMs = float64(time.Since(start).Microseconds()) / 1e3
+			logger.Info("checkpoint restored",
+				"path", path, "arrivals", stats.Arrivals, "replayed", stats.Replayed,
+				"state_bytes", stats.StateBytes, "ms", s.restoreMs)
 		} else if !os.IsNotExist(err) {
 			eng.Close()
 			return nil, err
@@ -290,6 +312,9 @@ func (s *Server) Checkpoint() error {
 		arrivals: ck.Arrivals(),
 		tail:     ck.TailArrivals(),
 	}
+	s.logger.Info("checkpoint written",
+		"bytes", n, "ms", s.ckptLast.ms, "arrivals", s.ckptLast.arrivals,
+		"tail_arrivals", s.ckptLast.tail, "count", s.ckptCount)
 	return nil
 }
 
@@ -300,6 +325,9 @@ func (s *Server) Checkpoint() error {
 type Metrics struct {
 	engine.Metrics
 	Checkpoint CheckpointMetrics `json:"checkpoint"`
+	// Runtime is the node's Go runtime health (goroutines, heap, GC). Never
+	// merged across nodes — the router reports it per node.
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 // CheckpointMetrics reports the durability pipeline's health.
@@ -327,7 +355,7 @@ type CheckpointMetrics struct {
 
 // Metrics returns the server health report.
 func (s *Server) Metrics() Metrics {
-	m := Metrics{Metrics: s.eng.Metrics()}
+	m := Metrics{Metrics: s.eng.Metrics(), Runtime: obs.ReadRuntime()}
 	if s.cfg.CheckpointDir == "" {
 		return m
 	}
@@ -376,6 +404,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.reqMu.Lock()
 		s.draining = true
 		s.reqMu.Unlock()
+		s.logger.Info("drain started", "tenants", s.eng.TenantCount(), "served", s.eng.ServedTotal())
 		close(s.stop)
 		var firstErr error
 		keep := func(err error) {
@@ -417,7 +446,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			keep(s.Checkpoint())
 		}
 		s.eng.Close()
+		s.logger.Info("shutdown complete", "err", errString(firstErr))
 		s.shutdownErr = firstErr
 	})
 	return s.shutdownErr
+}
+
+// errString renders an error for a log attribute ("" when nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }

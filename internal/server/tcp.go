@@ -13,51 +13,91 @@ import (
 	"repro/internal/commodity"
 	"repro/internal/engine"
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // MaxFrame bounds one frame's payload (64 MiB — matches the op scanner's
 // line limit; create ops carry whole distance matrices).
 const MaxFrame = 1 << 26
 
+// frameTraceFlag marks a traced frame in the length header's top bit: the
+// header is then followed by an 8-byte big-endian trace id before the
+// payload. MaxFrame is 2^26, so flagging bit 31 can never collide with a
+// legal length — readers that know the flag decode both forms, and untraced
+// frames are byte-identical to the pre-trace protocol.
+const frameTraceFlag = uint32(1) << 31
+
 // WriteFrame writes one length-prefixed frame: 4-byte big-endian payload
 // length, then the payload. Callers stream ops by framing each marshaled
 // engine.Op; buffering (bufio.Writer) is the caller's business.
 func WriteFrame(w io.Writer, payload []byte) error {
+	return WriteFrameTrace(w, payload, 0)
+}
+
+// WriteFrameTrace writes one frame carrying a trace id (0 = untraced,
+// identical to WriteFrame): the length header with frameTraceFlag set, the
+// 8-byte big-endian id, then the payload. This is the frame-level trace
+// context the cluster router uses to propagate its sampling decision to the
+// worker that serves the op.
+func WriteFrameTrace(w io.Writer, payload []byte, traceID uint64) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	var hdr [12]byte
+	n := 4
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	if traceID != 0 {
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload))|frameTraceFlag)
+		binary.BigEndian.PutUint64(hdr[4:12], traceID)
+		n = 12
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame reads one frame written by WriteFrame, reusing buf when large
-// enough. io.EOF (clean close between frames) passes through unchanged so
-// callers can distinguish end-of-stream from a truncated frame.
+// ReadFrame reads one frame written by WriteFrame or WriteFrameTrace,
+// discarding any trace id, reusing buf when large enough. io.EOF (clean
+// close between frames) passes through unchanged so callers can distinguish
+// end-of-stream from a truncated frame.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	payload, _, err := ReadFrameTrace(r, buf)
+	return payload, err
+}
+
+// ReadFrameTrace is ReadFrame keeping the trace id (0 when the frame is
+// untraced).
+func ReadFrameTrace(r io.Reader, buf []byte) ([]byte, uint64, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return nil, 0, io.EOF
 		}
-		return nil, fmt.Errorf("server: reading frame header: %v", err)
+		return nil, 0, fmt.Errorf("server: reading frame header: %v", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	var traceID uint64
+	if n&frameTraceFlag != 0 {
+		n &^= frameTraceFlag
+		var idb [8]byte
+		if _, err := io.ReadFull(r, idb[:]); err != nil {
+			return nil, 0, fmt.Errorf("server: reading frame trace id: %v", err)
+		}
+		traceID = binary.BigEndian.Uint64(idb[:])
+	}
 	if n > MaxFrame {
-		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+		return nil, 0, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("server: reading %d-byte frame: %v", n, err)
+		return nil, 0, fmt.Errorf("server: reading %d-byte frame: %v", n, err)
 	}
-	return buf, nil
+	return buf, traceID, nil
 }
 
 // TCPResult is the single result frame the server sends when an ingestion
@@ -204,15 +244,21 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // serveConn drains one framed op stream into the engine. Per-tenant arrival
 // order is preserved within a connection; clients that split one tenant
 // across connections order their own arrivals.
+//
+// Tracing: a frame carrying a wire trace id (a router upstream) is always
+// traced under that id; otherwise the engine's tracer samples locally. The
+// sampled-out path allocates nothing — one atomic increment, then nil
+// checks.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	buf := make([]byte, 0, 4096)
 	scratch := make([]int, 0, 64) // demand-id scratch for the fast path
+	tracer := s.eng.Tracer()
 	arrivals := 0
 	var failure error
 	for failure == nil {
-		frame, err := ReadFrame(br, buf)
+		frame, wireID, err := ReadFrameTrace(br, buf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				failure = err
@@ -222,11 +268,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(frame) == 0 {
 			continue
 		}
+		id := wireID
+		if id == 0 {
+			id = tracer.Sample()
+		}
+		var rec *obs.OpRecord
+		if id != 0 {
+			rec = obs.NewOpRecord(id, "") // decode starts now; tenant known after parse
+		}
 		// Hot path: canonical arrive frames (the exact byte shape
 		// json.Marshal gives an arrive op) skip encoding/json entirely;
 		// anything else takes the general decoder.
 		if tenant, point, demands, ok := FastArrive(frame, scratch[:0]); ok {
-			if err := s.eng.Serve(tenant, instance.Request{Point: point, Demands: commodity.New(demands...)}); err != nil {
+			if rec != nil {
+				rec.Tenant = tenant
+				rec.MarkDecoded(1)
+			}
+			if err := s.eng.ServeTraced(tenant, instance.Request{Point: point, Demands: commodity.New(demands...)}, rec); err != nil {
 				failure = err
 				break
 			}
@@ -240,7 +298,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			failure = fmt.Errorf("server: decoding op: %v", err)
 			break
 		}
-		if err := s.eng.Apply(op); err != nil {
+		if rec != nil {
+			rec.Tenant = op.Tenant
+			rec.MarkDecoded(1)
+		}
+		if err := s.eng.ApplyTraced(op, rec); err != nil {
 			failure = err
 			break
 		}
@@ -253,6 +315,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	if failure != nil {
 		res.Error = failure.Error()
 		res.Code = ErrorCode(failure)
+		// Error-sentinel auto-dump: the stream died on a classified
+		// condition — log the event with the freshest flight records so
+		// the trace context that led here is preserved even if the rings
+		// roll over before anyone curls /v1/debug/flight.
+		if res.Code != "" {
+			s.logger.Error("tcp stream failed",
+				"code", res.Code, "err", res.Error, "arrivals", arrivals,
+				"remote", conn.RemoteAddr().String(),
+				"flight", s.eng.FlightDump("", 8))
+		}
 	}
 	payload, err := json.Marshal(res)
 	if err != nil {
