@@ -55,6 +55,9 @@ func cmdLoadgen(args []string) (retErr error) {
 		rate      = fs.Float64("rate", 0, "open-loop arrival schedule: target arrivals/s across all workers (0 = closed loop, as fast as the server admits)")
 		conc      = fs.Int("conc", 4, "concurrent driver workers (connections in tcp mode)")
 		batch     = fs.Int("batch", 64, "arrivals per HTTP request (http mode)")
+		wire      = fs.String("wire", "json", "tcp frame encoding: json or binary")
+		wireBatch = fs.Int("wire-batch", 64, "arrivals per binary BATCH frame (-wire binary)")
+		window    = fs.Int("window", 0, "windowed acks: max in-flight arrivals per connection (0 = stream without acks; requires -wire binary)")
 		seed      = fs.Int64("seed", 1, "workload + engine seed")
 		algo      = fs.String("algo", "pd", "algorithm for a spawned server: pd or rand")
 		shards    = fs.Int("shards", 0, "shards for a spawned server (0 = GOMAXPROCS)")
@@ -92,6 +95,29 @@ func cmdLoadgen(args []string) (retErr error) {
 	}
 	if *conc < 1 {
 		*conc = 1
+	}
+	switch *wire {
+	case "json":
+		if *window > 0 {
+			return fmt.Errorf("loadgen: -window requires -wire binary")
+		}
+	case "binary":
+		if *mode != "tcp" {
+			return fmt.Errorf("loadgen: -wire binary requires -mode tcp")
+		}
+		if *wireBatch < 1 {
+			*wireBatch = 1
+		}
+		if *window < 0 || *window > server.MaxAckWindow {
+			return fmt.Errorf("loadgen: -window must be in 0..%d", server.MaxAckWindow)
+		}
+		// A batch frame larger than the window could never fit the
+		// in-flight budget; clamp so windowed streams make progress.
+		if *window > 0 && *wireBatch > *window {
+			*wireBatch = *window
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown -wire %q (want json or binary)", *wire)
 	}
 
 	// Workload: a trace or op-stream file, or a synthetic uniform workload.
@@ -189,7 +215,7 @@ func cmdLoadgen(args []string) (retErr error) {
 	// worker so per-tenant order is preserved. Payload rendering happens
 	// before the clock starts — the measurement is server ingestion, not
 	// client-side JSON marshaling.
-	work, err := prepareDrive(*mode, ops, *conc, *rate)
+	work, err := prepareDrive(*mode, ops, *conc, *rate, *wire, *wireBatch, *window)
 	if err != nil {
 		return err
 	}
@@ -230,6 +256,13 @@ func cmdLoadgen(args []string) (retErr error) {
 	}
 	if *mode == "http" {
 		rep.Batch = *batch
+	}
+	if *mode == "tcp" {
+		rep.Wire = *wire
+		if *wire == "binary" {
+			rep.Batch = *wireBatch
+			rep.Window = *window
+		}
 	}
 	if len(tgts) > 1 {
 		rep.Targets = len(tgts)
@@ -366,6 +399,10 @@ type loadgenReport struct {
 	Dist        string `json:"dist,omitempty"`
 	Concurrency int    `json:"concurrency"`
 	Batch       int    `json:"batch,omitempty"`
+	// Wire names the TCP frame encoding (json/binary); Window is the
+	// windowed-ack in-flight budget (0 = no acks). Both tcp-mode only.
+	Wire   string `json:"wire,omitempty"`
+	Window int    `json:"window,omitempty"`
 	// Targets counts the endpoints a -targets run partitioned tenants
 	// across; absent for single-endpoint runs.
 	Targets int `json:"targets,omitempty"`
@@ -473,20 +510,102 @@ func runCreates(mode string, tgts []string, creates []engine.Op, conc int) error
 type driveWork struct {
 	ops      []engine.Op // http mode
 	blob     []byte      // tcp closed loop: concatenated frames, ready to write
-	frames   [][]byte    // tcp open loop: one pre-rendered frame per arrival
+	frames   [][]byte    // tcp open loop (json): one pre-rendered frame per arrival
+	bin      []binFrame  // tcp binary wire with pacing and/or windowed acks
+	window   int
 	arrivals int
 	// rate is this worker's open-loop target in arrivals/s — its
 	// proportional share of the global -rate (0 = closed loop).
 	rate float64
 }
 
+// binFrame is one pre-rendered binary wire frame (length prefix included)
+// with the arrival count it carries (0 for BIND and WINDOW frames).
+type binFrame struct {
+	data     []byte
+	arrivals int
+}
+
+// renderBinary renders one worker's ops as binary wire frames: a leading
+// WINDOW frame when windowed acks are on, a BIND on each tenant's first
+// use, and arrivals coalesced per tenant into BATCH frames (a bare ARRIVE
+// for singletons) of at most batchCap arrivals. Coalescing reorders ops
+// across tenants — each tenant's buffer is flushed when it fills, not when
+// another tenant's op interleaves — which is safe because tenants are
+// independent instances; per-tenant arrival order is preserved, so
+// snapshots are byte-identical to any other interleaving.
+func renderBinary(ops []engine.Op, batchCap, window int) ([]binFrame, error) {
+	var out []binFrame
+	var fb bytes.Buffer
+	emit := func(payload []byte, arrivals int) error {
+		fb.Reset()
+		if err := server.WriteFrame(&fb, payload); err != nil {
+			return err
+		}
+		out = append(out, binFrame{data: append([]byte(nil), fb.Bytes()...), arrivals: arrivals})
+		return nil
+	}
+	if window > 0 {
+		if err := emit(server.AppendWireWindow(nil, window, false), 0); err != nil {
+			return nil, err
+		}
+	}
+	refs := make(map[string]uint64)
+	pending := make(map[string][]server.WireItem)
+	var order []string // tenants in first-seen order, for a deterministic final drain
+	flush := func(tenant string) error {
+		items := pending[tenant]
+		if len(items) == 0 {
+			return nil
+		}
+		ref, ok := refs[tenant]
+		if !ok {
+			ref = uint64(len(refs))
+			refs[tenant] = ref
+			if err := emit(server.AppendWireBind(nil, ref, tenant), 0); err != nil {
+				return err
+			}
+		}
+		var payload []byte
+		if len(items) == 1 {
+			payload = server.AppendWireArrive(nil, ref, items[0].Point, items[0].Demands)
+		} else {
+			payload = server.AppendWireBatch(nil, ref, items)
+		}
+		if err := emit(payload, len(items)); err != nil {
+			return err
+		}
+		pending[tenant] = items[:0]
+		return nil
+	}
+	for _, op := range ops {
+		items, seen := pending[op.Tenant]
+		if !seen {
+			order = append(order, op.Tenant)
+		}
+		pending[op.Tenant] = append(items, server.WireItem{Point: op.Point, Demands: op.Demands})
+		if len(pending[op.Tenant]) >= batchCap {
+			if err := flush(op.Tenant); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, tenant := range order {
+		if err := flush(tenant); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // prepareDrive partitions the arrivals across conc workers (tenant t on
 // worker t%conc, preserving per-tenant order) and, in tcp mode, renders the
-// frames up front: one blob per worker in closed-loop mode, one frame per
-// arrival when an open-loop -rate needs to pace individual sends. Each
-// worker's rate is its arrival share of the global rate, so all workers
-// finish the schedule together and the offered aggregate equals -rate.
-func prepareDrive(mode string, ops opSplit, conc int, rate float64) ([]driveWork, error) {
+// frames up front: one blob per worker in closed-loop mode, individual
+// frames when an open-loop -rate or an ack window needs per-send control.
+// Each worker's rate is its arrival share of the global rate, so all
+// workers finish the schedule together and the offered aggregate equals
+// -rate.
+func prepareDrive(mode string, ops opSplit, conc int, rate float64, wire string, wireBatch, window int) ([]driveWork, error) {
 	work := make([]driveWork, conc)
 	for _, op := range ops.arrives {
 		w := &work[tenantWorker(op.Tenant, conc)]
@@ -498,33 +617,52 @@ func prepareDrive(mode string, ops opSplit, conc int, rate float64) ([]driveWork
 			work[i].rate = rate * float64(work[i].arrivals) / float64(len(ops.arrives))
 		}
 	}
-	if mode == "tcp" {
-		for i := range work {
-			if rate > 0 {
-				frames := make([][]byte, 0, len(work[i].ops))
-				for _, op := range work[i].ops {
-					fr, err := renderFrame(op)
-					if err != nil {
-						return nil, err
-					}
-					frames = append(frames, fr)
-				}
-				work[i].frames = frames
-			} else {
+	if mode != "tcp" {
+		return work, nil
+	}
+	for i := range work {
+		switch {
+		case wire == "binary":
+			bin, err := renderBinary(work[i].ops, wireBatch, window)
+			if err != nil {
+				return nil, err
+			}
+			if rate == 0 && window == 0 {
+				// No pacing, no acks: collapse into one blob and take the
+				// bulk-write path.
 				var blob bytes.Buffer
-				for _, op := range work[i].ops {
-					payload, err := json.Marshal(op)
-					if err != nil {
-						return nil, err
-					}
-					if err := server.WriteFrame(&blob, payload); err != nil {
-						return nil, err
-					}
+				for _, fr := range bin {
+					blob.Write(fr.data)
 				}
 				work[i].blob = blob.Bytes()
+			} else {
+				work[i].bin = bin
+				work[i].window = window
 			}
-			work[i].ops = nil
+		case rate > 0:
+			frames := make([][]byte, 0, len(work[i].ops))
+			for _, op := range work[i].ops {
+				fr, err := renderFrame(op)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, fr)
+			}
+			work[i].frames = frames
+		default:
+			var blob bytes.Buffer
+			for _, op := range work[i].ops {
+				payload, err := json.Marshal(op)
+				if err != nil {
+					return nil, err
+				}
+				if err := server.WriteFrame(&blob, payload); err != nil {
+					return nil, err
+				}
+			}
+			work[i].blob = blob.Bytes()
 		}
+		work[i].ops = nil
 	}
 	return work, nil
 }
@@ -577,6 +715,8 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLa
 			switch {
 			case mode == "http":
 				lats, err = driveHTTP(target, w.ops, batch, w.rate)
+			case w.bin != nil:
+				err = streamBinary(target, w.bin, w.rate, w.window, w.arrivals)
 			case w.rate > 0:
 				err = streamFramesPaced(target, w.frames, w.rate)
 			default:
@@ -635,6 +775,137 @@ func streamBlob(target string, blob []byte, arrivals int) error {
 	return finishStream(conn, arrivals)
 }
 
+// streamBinary drives one worker's pre-rendered binary frames over a single
+// connection, pacing sends under an open-loop rate and honoring a
+// windowed-ack budget. A reader goroutine owns every inbound frame: ACKs
+// advance the in-flight budget, and the stream's JSON result frame ends it.
+func streamBinary(target string, frames []binFrame, rate float64, window int, arrivals int) error {
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		acked  int
+		rdErr  error
+		result *server.TCPResult
+	)
+	done := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		rdErr = err
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	go func() {
+		defer close(done)
+		br := bufio.NewReaderSize(conn, 1<<16)
+		buf := make([]byte, 0, 4096)
+		for {
+			frame, err := server.ReadFrame(br, buf)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if server.IsBinaryFrame(frame) {
+				op, body, err := server.WireFrameKind(frame)
+				if err == nil && op != server.WireAck {
+					err = fmt.Errorf("unexpected binary op 0x%02x from server", op)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				ack, err := server.DecodeWireAck(body)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				acked += len(ack.Codes)
+				cond.Broadcast()
+				mu.Unlock()
+				buf = frame[:0]
+				continue
+			}
+			var res server.TCPResult
+			if err := json.Unmarshal(frame, &res); err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			result = &res
+			cond.Broadcast()
+			mu.Unlock()
+			return
+		}
+	}()
+
+	sent := 0
+	start := time.Now()
+	for _, fr := range frames {
+		pace(start, rate, sent)
+		if window > 0 && fr.arrivals > 0 {
+			mu.Lock()
+			if rdErr == nil && sent+fr.arrivals-acked > window {
+				// About to block on acks: frames parked in our write buffer
+				// are invisible to the server, so push them first.
+				mu.Unlock()
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				mu.Lock()
+				for rdErr == nil && sent+fr.arrivals-acked > window {
+					cond.Wait()
+				}
+			}
+			err := rdErr
+			mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("loadgen: ack stream: %v", err)
+			}
+		}
+		if _, err := bw.Write(fr.data); err != nil {
+			return err
+		}
+		sent += fr.arrivals
+		if rate > 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return err
+		}
+	}
+	<-done
+	mu.Lock()
+	res, readErr, ackTotal := result, rdErr, acked
+	mu.Unlock()
+	if res == nil {
+		return fmt.Errorf("loadgen: stream ended without result: %v", readErr)
+	}
+	if !res.OK {
+		return fmt.Errorf("loadgen: server rejected stream: %s", res.Error)
+	}
+	if res.Arrivals != arrivals {
+		return fmt.Errorf("loadgen: server acked %d of %d arrivals", res.Arrivals, arrivals)
+	}
+	if window > 0 && ackTotal != arrivals {
+		return fmt.Errorf("loadgen: windowed stream acked %d of %d arrivals", ackTotal, arrivals)
+	}
+	return nil
+}
+
 // finishStream half-closes the write side of a frame stream and verifies
 // the server's single result frame acks exactly the arrivals sent — the
 // shared tail of every TCP drive path.
@@ -662,9 +933,13 @@ func finishStream(conn net.Conn, arrivals int) error {
 }
 
 // driveHTTP sends one worker's arrivals as batched POSTs, measuring each
-// request's round trip. Consecutive ops for the same tenant share a batch.
-// With an open-loop rate, each batch waits for its first arrival's slot on
-// the schedule before posting.
+// request's round trip. Batches coalesce per tenant across the op stream —
+// tenants are independent instances, so posting tenant B's arrivals before
+// tenant A's earlier ones changes no tenant's outcome as long as each
+// tenant's own order is preserved, and a tenant-interleaved workload still
+// fills real batches (the same reordering renderBinary applies on the
+// binary wire). With an open-loop rate, each batch waits for its first
+// arrival's slot on the schedule before posting.
 func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float64, error) {
 	if batch < 1 {
 		batch = 1
@@ -676,7 +951,10 @@ func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float
 	var lats []float64
 	clock := time.Now()
 	sent := 0
-	flush := func(tenant string, group []arrival) error {
+	pending := make(map[string][]arrival)
+	var order []string // tenants in first-seen order, for a deterministic final drain
+	flush := func(tenant string) error {
+		group := pending[tenant]
 		if len(group) == 0 {
 			return nil
 		}
@@ -685,22 +963,25 @@ func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float
 		_, err := postJSON(target, "/v1/tenants/"+tenant+"/arrive", map[string]interface{}{"arrivals": group})
 		lats = append(lats, float64(time.Since(start).Microseconds())/1e3)
 		sent += len(group)
+		pending[tenant] = group[:0]
 		return err
 	}
-	var group []arrival
-	curTenant := ""
 	for _, op := range ops {
-		if op.Tenant != curTenant || len(group) >= batch {
-			if err := flush(curTenant, group); err != nil {
+		group, seen := pending[op.Tenant]
+		if !seen {
+			order = append(order, op.Tenant)
+		}
+		pending[op.Tenant] = append(group, arrival{Point: op.Point, Demands: op.Demands})
+		if len(pending[op.Tenant]) >= batch {
+			if err := flush(op.Tenant); err != nil {
 				return lats, err
 			}
-			group = group[:0]
-			curTenant = op.Tenant
 		}
-		group = append(group, arrival{Point: op.Point, Demands: op.Demands})
 	}
-	if err := flush(curTenant, group); err != nil {
-		return lats, err
+	for _, tenant := range order {
+		if err := flush(tenant); err != nil {
+			return lats, err
+		}
 	}
 	return lats, nil
 }

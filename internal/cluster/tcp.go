@@ -24,6 +24,11 @@ type upstream struct {
 	bw   *bufio.Writer
 	mu   sync.Mutex
 	err  error // first write error; poisons further writes
+
+	// refs maps tenant name → the binary wire ref this session has bound
+	// on this upstream (BIND emitted on first use). Only the owning
+	// session goroutine touches it, so it needs no lock.
+	refs map[string]uint64
 }
 
 // writeFrame forwards one frame, re-framed with traceID when non-zero so
@@ -81,10 +86,65 @@ func (r *Router) flushNodeUpstreams(nodeIdx int) {
 // session is one downstream TCP client's state: lazily-dialed upstream
 // connections per node plus the count of arrivals absorbed into migration
 // buffers (accepted, but not represented in any upstream's result frame).
+//
+// Binary wire state: refs holds the client's BIND declarations (consumed
+// here, never forwarded — each upstream gets its own ref table), and the
+// ack fields implement router-side windowed acks. The router acks at
+// forward/buffer time with result code 0 and no latencies — its acks mean
+// "accepted and routed", not "served"; the stream's final result frame is
+// still the served/failed truth (see the wire spec in internal/server).
 type session struct {
 	r        *Router
 	ups      map[int]*upstream
 	buffered int
+
+	dw   *bufio.Writer // downstream writer: acks + the final result frame
+	refs map[uint64]string
+
+	window     int    // 0 until the client negotiates windowed acks
+	seq        uint64 // arrivals accepted so far (any wire format)
+	ackNext    uint64 // first sequence number of the next ack frame
+	ackPending int
+
+	scratch  []int  // demand-id decode scratch
+	wbuf     []byte // re-framed upstream payload / ack payload scratch
+	ackCodes []byte
+}
+
+// maxRouterAckRun bounds the arrivals one router ack frame covers, so the
+// codes buffer stays small even for enormous windows.
+const maxRouterAckRun = 1 << 14
+
+// emitAcks flushes the pending router-side ack run downstream.
+func (s *session) emitAcks() error {
+	if s.window == 0 || s.ackPending == 0 {
+		return nil
+	}
+	codes := s.ackCodes[:0]
+	for i := 0; i < s.ackPending; i++ {
+		codes = append(codes, 0)
+	}
+	s.ackCodes = codes
+	s.wbuf = server.AppendWireAck(s.wbuf[:0], s.ackNext, codes, nil)
+	if err := server.WriteFrame(s.dw, s.wbuf); err != nil {
+		return err
+	}
+	s.ackNext += uint64(s.ackPending)
+	s.ackPending = 0
+	return s.dw.Flush()
+}
+
+// accepted records n arrivals as accepted for seq/ack bookkeeping.
+func (s *session) accepted(n int) error {
+	s.seq += uint64(n)
+	if s.window == 0 {
+		return nil
+	}
+	s.ackPending += n
+	if s.ackPending >= maxRouterAckRun {
+		return s.emitAcks()
+	}
+	return nil
 }
 
 func (s *session) upstream(idx int) (*upstream, error) {
@@ -103,7 +163,7 @@ func (s *session) upstream(idx int) (*upstream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dialing node %s: %v", n.addr, err)
 	}
-	u := &upstream{node: idx, conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
+	u := &upstream{node: idx, conn: conn, bw: bufio.NewWriterSize(conn, 1<<16), refs: make(map[string]uint64)}
 	s.ups[idx] = u
 	s.r.registerUpstream(u)
 	return u, nil
@@ -147,6 +207,144 @@ func (s *session) arrive(tenant string, point int, demands []int, frame []byte, 
 	return err
 }
 
+// bindRef returns the upstream's ref for tenant, emitting a BIND frame the
+// first time this session addresses the tenant on this upstream.
+func (s *session) bindRef(u *upstream, tenant string) (uint64, error) {
+	if ref, ok := u.refs[tenant]; ok {
+		return ref, nil
+	}
+	ref := uint64(len(u.refs))
+	s.wbuf = server.AppendWireBind(s.wbuf[:0], ref, tenant)
+	if err := u.writeFrame(s.wbuf, 0); err != nil {
+		return 0, err
+	}
+	u.refs[tenant] = ref
+	return ref, nil
+}
+
+// routeBinary forwards one binary arrive/batch frame carrying count arrivals
+// for tenant: buffered under migration (buffer re-decodes the frame's items
+// with copied demand slices), else re-framed with the owner upstream's ref —
+// everything after the ref is copied verbatim, never re-encoded. The ledger
+// advances by count at buffer-write time, mirroring the JSON path.
+func (s *session) routeBinary(tenant string, frame []byte, count int, traceID uint64, buffer func(add func(...server.Arrival))) error {
+	r := s.r
+	r.mu.RLock()
+	rt := r.routes[tenant]
+	if rt == nil {
+		r.mu.RUnlock()
+		return fmt.Errorf("cluster: tenant %q has no route: %w", tenant, engine.ErrUnknownTenant)
+	}
+	if m := rt.mig; m != nil {
+		buffer(m.add)
+		r.mu.RUnlock()
+		s.buffered += count
+		return nil
+	}
+	u, err := s.upstream(rt.node)
+	if err == nil {
+		var ref uint64
+		if ref, err = s.bindRef(u, tenant); err == nil {
+			if s.wbuf, err = server.RewireTenantRef(s.wbuf[:0], frame, ref); err == nil {
+				if err = u.writeFrame(s.wbuf, traceID); err == nil {
+					rt.count.Add(int64(count))
+				}
+			}
+		}
+	}
+	r.mu.RUnlock()
+	return err
+}
+
+// handleBinary dispatches one binary wire frame from the downstream client.
+// BIND and WINDOW are consumed locally (each upstream gets its own ref
+// table, and WINDOW is never forwarded — an upstream stream must produce
+// exactly one result frame, so the router acks from its own layer instead).
+func (s *session) handleBinary(frame []byte, traceID uint64) error {
+	op, body, err := server.WireFrameKind(frame)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case server.WireBind:
+		ref, tenant, err := server.DecodeWireBind(body)
+		if err != nil {
+			return err
+		}
+		if s.refs == nil {
+			s.refs = make(map[uint64]string)
+		}
+		s.refs[ref] = tenant
+		return nil
+	case server.WireArrive:
+		ref, point, demands, err := server.DecodeWireArrive(body, s.scratch[:0])
+		if err != nil {
+			return err
+		}
+		s.scratch = demands[:0]
+		tenant, ok := s.refs[ref]
+		if !ok {
+			return fmt.Errorf("cluster: arrive ref %d: %w", ref, server.ErrWireRef)
+		}
+		err = s.routeBinary(tenant, frame, 1, traceID, func(add func(...server.Arrival)) {
+			add(server.Arrival{Point: point, Demands: append([]int(nil), demands...)})
+		})
+		if err != nil {
+			return err
+		}
+		return s.accepted(1)
+	case server.WireBatch:
+		ref, count, items, err := server.DecodeWireBatchHeader(body)
+		if err != nil {
+			return err
+		}
+		tenant, ok := s.refs[ref]
+		if !ok {
+			return fmt.Errorf("cluster: batch ref %d: %w", ref, server.ErrWireRef)
+		}
+		// Validate the item bytes before forwarding: a malformed batch
+		// passed through verbatim would poison the whole upstream stream,
+		// failing unrelated tenants pinned to the same node.
+		walk := items
+		for i := 0; i < count; i++ {
+			var demands []int
+			if _, demands, walk, err = server.DecodeWireBatchItem(walk, s.scratch[:0]); err != nil {
+				return err
+			}
+			s.scratch = demands[:0]
+		}
+		if len(walk) != 0 {
+			return fmt.Errorf("cluster: %d trailing bytes after batch: %w", len(walk), server.ErrWireTruncated)
+		}
+		err = s.routeBinary(tenant, frame, count, traceID, func(add func(...server.Arrival)) {
+			rest := items
+			for i := 0; i < count; i++ {
+				var point int
+				var demands []int
+				point, demands, rest, _ = server.DecodeWireBatchItem(rest, nil)
+				add(server.Arrival{Point: point, Demands: demands})
+			}
+		})
+		if err != nil {
+			return err
+		}
+		return s.accepted(count)
+	case server.WireWindow:
+		w, _, err := server.DecodeWireWindow(body)
+		if err != nil {
+			return err
+		}
+		if s.seq != 0 || s.window != 0 {
+			return fmt.Errorf("cluster: window after first arrival: %w", server.ErrWireWindow)
+		}
+		s.window = w
+		return nil
+	case server.WireAck:
+		return fmt.Errorf("cluster: ack frame from client: %w", server.ErrWireOp)
+	}
+	return nil // unreachable: WireFrameKind rejects unknown ops
+}
+
 func (r *Router) acceptLoop(ln net.Listener) {
 	defer r.loops.Done()
 	for {
@@ -175,17 +373,25 @@ func (r *Router) acceptLoop(ln net.Listener) {
 // clients cannot tell a router from a server.
 func (r *Router) serveConn(conn net.Conn) {
 	defer conn.Close()
-	sess := &session{r: r, ups: make(map[int]*upstream)}
+	sess := &session{
+		r:       r,
+		ups:     make(map[int]*upstream),
+		dw:      bufio.NewWriterSize(conn, 1<<16),
+		scratch: make([]int, 0, 64),
+	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	buf := make([]byte, 0, 4096)
-	scratch := make([]int, 0, 64)
 	var failure error
 	for failure == nil {
 		// About to block on the downstream socket: push everything already
 		// routed to the wire so nodes never wait on frames parked in our
-		// write buffers while the client thinks them sent.
+		// write buffers while the client thinks them sent — and flush our
+		// own pending acks for the same reason.
 		if br.Buffered() == 0 {
 			sess.flushAll()
+			if err := sess.emitAcks(); err != nil {
+				break // downstream gone; the result frame is undeliverable
+			}
 		}
 		frame, wireID, err := server.ReadFrameTrace(br, buf)
 		if err != nil {
@@ -204,13 +410,21 @@ func (r *Router) serveConn(conn net.Conn) {
 		if id == 0 {
 			id = r.tracer.Sample()
 		}
-		if tenant, point, demands, ok := server.FastArrive(frame, scratch[:0]); ok {
+		if server.IsBinaryFrame(frame) {
+			if failure = sess.handleBinary(frame, id); failure == nil {
+				buf = frame[:0]
+			}
+			continue
+		}
+		if tenant, point, demands, ok := server.FastArrive(frame, sess.scratch[:0]); ok {
 			if err := sess.arrive(tenant, point, demands, frame, id); err != nil {
 				failure = err
 				break
 			}
-			scratch = demands
-			buf = frame[:0]
+			sess.scratch = demands[:0]
+			if failure = sess.accepted(1); failure == nil {
+				buf = frame[:0]
+			}
 			continue
 		}
 		var op engine.Op
@@ -222,18 +436,23 @@ func (r *Router) serveConn(conn net.Conn) {
 		case "create":
 			failure = r.createTenant(op.Tenant, op.Universe, op.Distances, op.CostBySize)
 		case "arrive":
-			failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame, id)
+			if failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame, id); failure == nil {
+				failure = sess.accepted(1)
+			}
 		default:
 			failure = fmt.Errorf("cluster: unsupported op %q", op.Op)
 		}
 		buf = frame[:0]
 	}
+	sess.emitAcks() //nolint:errcheck // the result frame below is the stream's truth
 	res := sess.finish(failure)
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return
 	}
-	server.WriteFrame(conn, payload) //nolint:errcheck // client may already be gone
+	if server.WriteFrame(sess.dw, payload) == nil {
+		sess.dw.Flush() //nolint:errcheck // client may already be gone
+	}
 }
 
 // finish closes every upstream for writing, collects the nodes' result

@@ -73,7 +73,9 @@ func TestCreditInvariantViolationPanics(t *testing.T) {
 }
 
 // TestBidConsistencyViolationPanics corrupts an incremental bid accumulator
-// and checks that the next arrival trips the differential assertion.
+// and checks that the next arrival trips the differential assertion. The
+// threshold cache is invalidated first so its (earlier) oracle check sees a
+// self-consistent — if corrupt — row and defers to the bid assertion.
 func TestBidConsistencyViolationPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	u := 2
@@ -81,7 +83,24 @@ func TestBidConsistencyViolationPanics(t *testing.T) {
 	pd := NewPDOMFLP(space, cost.PowerLaw(u, 1, 1.5), Options{})
 	serveRandom(pd, rng, space, u, 20)
 	pd.bidLarge[0] += 0.5
+	pd.thr.large.invalidate()
 	mustPanic(t, "invariant violation: large bid row", func() {
+		pd.Serve(instance.Request{Point: 0, Demands: commodity.New(0)})
+	})
+}
+
+// TestThresholdCacheDivergencePanics corrupts a bid accumulator without
+// telling the threshold cache and checks that the cache's oracle
+// cross-check — which fires before the bid assertion — catches the stale
+// cached minima on the next arrival.
+func TestThresholdCacheDivergencePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := 2
+	space := metric.RandomLine(rng, 5, 10)
+	pd := NewPDOMFLP(space, cost.PowerLaw(u, 1, 1.5), Options{})
+	serveRandom(pd, rng, space, u, 20)
+	pd.bidLarge[0] += 0.5
+	mustPanic(t, "threshold cache diverged", func() {
 		pd.Serve(instance.Request{Point: 0, Demands: commodity.New(0)})
 	})
 }

@@ -91,6 +91,12 @@ type PDOMFLP struct {
 	// what it retains (the dual row and the assignment links). Pure
 	// scratch: excluded from MarshalState, never read across arrivals.
 	scratch pdScratch //omflp:nostate — per-arrival scratch, never read across arrivals
+	// thr caches the event loop's threshold minima (t3/m3, t4/m4) per
+	// (bid row, point), maintained incrementally as bids change instead of
+	// rescanning every candidate each arrival; see pdThrCache. Derived
+	// state: built lazily by serveEvent, dropped on UnmarshalState, nil on
+	// reference instances.
+	thr *pdThrCache //omflp:nostate — derived cache, rebuilt lazily from the bid rows
 	// distHistory backs the Lemma 14 analysis extraction (TraceAnalysis).
 	distHistory map[int][]analysisRecord //omflp:nostate — diagnostic only; MarshalState refuses TraceAnalysis instances
 	// facBoundary[i] = number of facilities after arrival i (for ServeLog).
@@ -305,38 +311,40 @@ func (pd *PDOMFLP) serveEvent(r instance.Request) {
 	bid4 := pd.bidLarge
 	dCand := pd.ct.distTo(p)
 
-	// Hoisted candidate scans — the once-per-arrival O(k·|cands|) pass the
-	// event loop then never repeats. t3[i] keeps the exact association
-	// order of the reference delta expression (single − bids + dCand), so
-	// t3[i] − a is bit-identical to the reference's per-candidate minimum
-	// (rounding is monotone). m3[i]/m4 bound the magnitudes feeding the
-	// pdMarginEps safety margin of the freeze prefilter.
+	// Hoisted candidate thresholds — incrementally maintained across
+	// arrivals by pd.thr (ROADMAP item 5a): each query folds only the
+	// candidates whose bids changed since this (row, point) pair was last
+	// computed, falling back to the full pdScanThresholds oracle scan when
+	// stale. t3[i] keeps the exact association order of the reference
+	// delta expression (single − bids + dCand), so t3[i] − a is
+	// bit-identical to the reference's per-candidate minimum (rounding is
+	// monotone; see pdThrCache for why the fold is byte-exact too).
+	// m3[i]/m4 bound the magnitudes feeding the pdMarginEps safety margin
+	// of the freeze prefilter.
+	if pd.thr == nil {
+		pd.thr = newPDThrCache(pd.u, pd.space.Len())
+	}
 	t3, m3 := s.t3, s.m3
-	for i := range ids {
-		single := pd.ct.single[ids[i]]
-		row := bid3[i]
-		minThr, maxMag := math.Inf(1), 0.0
-		for ci := range cands {
-			thr := single[ci] - row[ci] + dCand[ci]
-			if thr < minThr {
-				minThr = thr
-			}
-			if m := math.Abs(single[ci]) + math.Abs(row[ci]) + dCand[ci]; m > maxMag {
-				maxMag = m
-			}
-		}
-		t3[i], m3[i] = minThr, maxMag
+	for i, e := range ids {
+		t3[i], m3[i] = pd.thr.small[e].query(pd.ct.single[e], bid3[i], dCand, p, pd.thr.nPts)
 	}
 	t4, m4 := math.Inf(1), 0.0
 	if !pd.opts.DisablePrediction {
-		full := pd.ct.full
-		for ci := range cands {
-			thr := full[ci] - bid4[ci] + dCand[ci]
-			if thr < t4 {
-				t4 = thr
+		t4, m4 = pd.thr.large.query(pd.ct.full, bid4, dCand, p, pd.thr.nPts)
+	}
+	if invariantsEnabled {
+		// Differential oracle: every cached threshold must be bit-equal to
+		// the full per-arrival scan it replaces.
+		for i, e := range ids {
+			t, m := pdScanThresholds(pd.ct.single[e], bid3[i], dCand)
+			if t != t3[i] || m != m3[i] { //omflp:floatexact — cache contract is bit-equality with the oracle scan
+				panic("core: PD-OMFLP threshold cache diverged from the oracle scan (t3/m3)")
 			}
-			if m := math.Abs(full[ci]) + math.Abs(bid4[ci]) + dCand[ci]; m > m4 {
-				m4 = m
+		}
+		if !pd.opts.DisablePrediction {
+			t, m := pdScanThresholds(pd.ct.full, bid4, dCand)
+			if t != t4 || m != m4 { //omflp:floatexact — cache contract is bit-equality with the oracle scan
+				panic("core: PD-OMFLP threshold cache diverged from the oracle scan (t4/m4)")
 			}
 		}
 	}
@@ -800,12 +808,18 @@ func (pd *PDOMFLP) serveReference(r instance.Request) {
 }
 
 // addBid folds one credit's contribution (credit − d(m_ci, p))_+ into a bid
-// row; the single place the bid formula is written for accumulation.
-func (pd *PDOMFLP) addBid(row []float64, p int, credit float64) {
+// row; the single place the bid formula is written for accumulation. When
+// the threshold cache is active, thr records each candidate whose bid
+// actually moved (bids only rise here, so cached minima stay foldable);
+// reference instances pass nil.
+func (pd *PDOMFLP) addBid(row []float64, p int, credit float64, thr *pdThrRow) {
 	dRow := pd.ct.distTo(p)
 	for ci := range row {
 		if b := credit - dRow[ci]; b > 0 {
 			row[ci] += b
+			if thr != nil {
+				thr.note(ci, len(row))
+			}
 		}
 	}
 }
@@ -825,7 +839,7 @@ func (pd *PDOMFLP) addCreditSmall(e, p int, credit float64) {
 		row = make([]float64, len(pd.ct.cands))
 		pd.bidSmall[e] = row
 	}
-	pd.addBid(row, p, credit)
+	pd.addBid(row, p, credit, pd.thrSmallLog(e))
 }
 
 // addCreditLarge records a new large-facility credit and folds its
@@ -835,7 +849,7 @@ func (pd *PDOMFLP) addCreditLarge(p int, credit float64) {
 	if pd.naiveBids {
 		return
 	}
-	pd.addBid(pd.bidLarge, p, credit)
+	pd.addBid(pd.bidLarge, p, credit, pd.thrLargeLog())
 }
 
 // lowerBid subtracts from row the contribution change of a credit at point p
@@ -890,6 +904,7 @@ func (pd *PDOMFLP) naiveLargeBids() []float64 {
 // byte-identical to the reference's direct calls.
 func (pd *PDOMFLP) refreshSmallAt(e, ci int) {
 	credits := pd.creditSmall[e]
+	lowered := false
 	for j := range credits {
 		d := pd.ct.distTo(credits[j].point)[ci]
 		if d >= credits[j].credit {
@@ -898,6 +913,14 @@ func (pd *PDOMFLP) refreshSmallAt(e, ci int) {
 		// Event-path only, so the incremental rows are always maintained.
 		pd.lowerBid(pd.bidSmall[e], credits[j].point, credits[j].credit, d)
 		credits[j].credit = d
+		lowered = true
+	}
+	if lowered {
+		// Lowered bids can raise thresholds, which the monotone fold cannot
+		// track: stale the cached minima for this row.
+		if r := pd.thrSmallLog(e); r != nil {
+			r.invalidate()
+		}
 	}
 }
 
@@ -908,6 +931,7 @@ func (pd *PDOMFLP) refreshSmallAt(e, ci int) {
 // credit (rows are independent, so the order difference vs the reference's
 // ascending sweep cannot change any value).
 func (pd *PDOMFLP) refreshLargeAt(ci int) {
+	lowered := false
 	for j := range pd.creditLarge {
 		d := pd.ct.distTo(pd.creditLarge[j].point)[ci]
 		if d >= pd.creditLarge[j].credit {
@@ -915,6 +939,12 @@ func (pd *PDOMFLP) refreshLargeAt(ci int) {
 		}
 		pd.lowerBid(pd.bidLarge, pd.creditLarge[j].point, pd.creditLarge[j].credit, d)
 		pd.creditLarge[j].credit = d
+		lowered = true
+	}
+	if lowered {
+		if r := pd.thrLargeLog(); r != nil {
+			r.invalidate()
+		}
 	}
 	for _, e := range pd.liveSmall {
 		pd.refreshSmallAt(e, ci)

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/commodity"
+	"repro/internal/cost"
+	"repro/internal/instance"
+	"repro/internal/metric"
+)
+
+// TestThresholdCacheMatchesOracle drives a workload and, after every
+// arrival, re-queries the cache for every (live commodity, point) pair and
+// compares bit-for-bit against the full oracle scan. Long runs on a small
+// candidate set force log compactions; facility openings force lowerBid
+// invalidations — both fallback paths are exercised alongside the fold.
+func TestThresholdCacheMatchesOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		u := 2 + rng.Intn(4)
+		space := metric.RandomEuclidean(rng, 4+rng.Intn(6), 2, 20)
+		pd := NewPDOMFLP(space, cost.PowerLaw(u, 1, 1.5), Options{})
+		for i := 0; i < 120; i++ {
+			pd.Serve(instance.Request{
+				Point:   rng.Intn(space.Len()),
+				Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+			})
+			if pd.thr == nil {
+				t.Fatal("event path did not build the threshold cache")
+			}
+			p := rng.Intn(space.Len())
+			dCand := pd.ct.distTo(p)
+			for e := 0; e < u; e++ {
+				row := pd.bidSmall[e]
+				if row == nil {
+					row = pd.zeroBids
+				}
+				gotT, gotM := pd.thr.small[e].query(pd.ct.single[e], row, dCand, p, pd.thr.nPts)
+				wantT, wantM := pdScanThresholds(pd.ct.single[e], row, dCand)
+				if gotT != wantT || gotM != wantM {
+					t.Fatalf("seed %d arrival %d: small[%d] at point %d = (%v,%v), oracle (%v,%v)",
+						seed, i, e, p, gotT, gotM, wantT, wantM)
+				}
+			}
+			gotT, gotM := pd.thr.large.query(pd.ct.full, pd.bidLarge, dCand, p, pd.thr.nPts)
+			wantT, wantM := pdScanThresholds(pd.ct.full, pd.bidLarge, dCand)
+			if gotT != wantT || gotM != wantM {
+				t.Fatalf("seed %d arrival %d: large at point %d = (%v,%v), oracle (%v,%v)",
+					seed, i, p, gotT, gotM, wantT, wantM)
+			}
+		}
+	}
+}
+
+// TestThresholdCacheSurvivesRestore marshals an event instance mid-run,
+// restores into a fresh instance (which drops the cache), continues both,
+// and requires bit-identical facilities, duals and credits — the restored
+// instance rebuilds its cache lazily against the restored bid rows.
+func TestThresholdCacheSurvivesRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u := 3
+	space := metric.RandomEuclidean(rng, 8, 2, 30)
+	costs := cost.PowerLaw(u, 1, 1.5)
+	reqs := make([]instance.Request, 80)
+	for i := range reqs {
+		reqs[i] = instance.Request{
+			Point:   rng.Intn(space.Len()),
+			Demands: commodity.RandomSubset(rng, u, 1+rng.Intn(u)),
+		}
+	}
+
+	full := NewPDOMFLP(space, costs, Options{})
+	for _, r := range reqs {
+		full.Serve(r)
+	}
+
+	half := NewPDOMFLP(space, costs, Options{})
+	for _, r := range reqs[:40] {
+		half.Serve(r)
+	}
+	blob, err := half.MarshalState()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resumed := NewPDOMFLP(space, costs, Options{})
+	if err := resumed.UnmarshalState(blob); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if resumed.thr != nil {
+		t.Fatal("restore left a stale threshold cache")
+	}
+	for _, r := range reqs[40:] {
+		resumed.Serve(r)
+	}
+	comparePDExact(t, "restored", len(reqs)-1, full, resumed)
+}

@@ -143,6 +143,9 @@ func (pd *PDOMFLP) UnmarshalState(data []byte) error {
 		}
 	}
 	pd.creditLarge = creditsFromState(st.CreditLarge)
+	// The threshold cache is derived from the bid rows; drop any stale one
+	// so serveEvent rebuilds it against the restored state.
+	pd.thr = nil
 	if pd.naiveBids {
 		return nil // reference mode recomputes bids per arrival
 	}
@@ -169,7 +172,7 @@ func (pd *PDOMFLP) UnmarshalState(data []byte) error {
 		}
 	}
 	for _, cr := range pd.creditLarge {
-		pd.addBid(pd.bidLarge, cr.point, cr.credit)
+		pd.addBid(pd.bidLarge, cr.point, cr.credit, nil)
 	}
 	return nil
 }
@@ -182,7 +185,7 @@ func (pd *PDOMFLP) addBidRestored(e int, cr pdCredit) {
 		row = make([]float64, len(pd.ct.cands))
 		pd.bidSmall[e] = row
 	}
-	pd.addBid(row, cr.point, cr.credit)
+	pd.addBid(row, cr.point, cr.credit, nil)
 }
 
 // randState is RAND-OMFLP's serialized state. The rng position is recorded

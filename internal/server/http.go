@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/commodity"
@@ -130,6 +132,35 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"tenant": r.PathValue("id"), "status": "created"})
 }
 
+// arriveScratch pools per-request decode state for the arrive hot path: the
+// raw body bytes and the batch-item scratch handed to ServeBatch. Pooling
+// keeps large batch bodies from re-growing buffers on every request.
+type arriveScratch struct {
+	buf   []byte
+	items []engine.BatchItem
+}
+
+var arrivePool = sync.Pool{
+	New: func() any { return &arriveScratch{buf: make([]byte, 0, 1<<16)} },
+}
+
+// readAllInto is io.ReadAll appending into a reusable buffer.
+func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
 	tracer := s.eng.Tracer()
 	wireID := obs.ParseTraceID(r.Header.Get(TraceHeader))
@@ -137,8 +168,21 @@ func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
 	if tracer.Enabled() || wireID != 0 {
 		decodeStart = obs.Mono()
 	}
+	// The scratch's items slice is handed to ServeBatch, which serves it
+	// asynchronously on the shard goroutine — so the pool return rides the
+	// batch's onDone callback on the success path, and only the paths that
+	// never enqueue recycle the scratch here.
+	sc := arrivePool.Get().(*arriveScratch)
+	buf, err := readAllInto(r.Body, sc.buf[:0])
+	sc.buf = buf
+	if err != nil {
+		arrivePool.Put(sc)
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading arrive body: %v", err))
+		return
+	}
 	var body arriveBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(buf, &body); err != nil {
+		arrivePool.Put(sc)
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding arrive body: %v", err))
 		return
 	}
@@ -147,41 +191,48 @@ func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
 		batch = []Arrival{body.Arrival}
 	}
 	id := r.PathValue("id")
+	items := sc.items[:0]
+	for _, a := range batch {
+		items = append(items, engine.BatchItem{
+			Req: instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)},
+		})
+	}
+	sc.items = items
 	// Sampling: a wire trace id (from the router) forces a record for the
 	// batch's first arrival; the rest sample locally. The one body decode
 	// is attributed evenly across the batch's sampled records.
-	var recs []*obs.OpRecord
 	if tracer.Enabled() || wireID != 0 {
-		recs = make([]*obs.OpRecord, len(batch))
-		for i := range batch {
+		for i := range items {
 			tid := tracer.Sample()
 			if i == 0 && wireID != 0 {
 				tid = wireID
 			}
 			if tid != 0 {
-				recs[i] = obs.NewOpRecordAt(tid, id, decodeStart)
-				recs[i].MarkDecoded(len(batch))
+				rec := obs.NewOpRecordAt(tid, id, decodeStart)
+				rec.MarkDecoded(len(items))
+				items[i].Rec = rec
 			}
 		}
 	}
-	for i, a := range batch {
-		var rec *obs.OpRecord
-		if recs != nil {
-			rec = recs[i]
-		}
-		err := s.eng.ServeTraced(id, instance.Request{Point: a.Point, Demands: commodity.New(a.Demands...)}, rec)
-		if err != nil {
-			// Arrivals before i are already admitted and irrevocable —
-			// report how far the batch got alongside the error.
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(httpStatus(err))
-			json.NewEncoder(w).Encode(map[string]interface{}{
-				"error": err.Error(), "accepted": i,
-			})
-			return
-		}
+	// One tenant resolution and one mailbox op for the whole batch.
+	// Arrivals before the first invalid item are already admitted and
+	// irrevocable — ServeBatch's accepted prefix reports how far it got.
+	// The shard goroutine owns items from the enqueue until onDone fires,
+	// so the scratch returns to the pool there; a zero-length enqueue
+	// never calls onDone and the scratch recycles here instead.
+	acc, err := s.eng.ServeBatch(id, items, false, func(int, []int64) { arrivePool.Put(sc) })
+	if acc == 0 {
+		arrivePool.Put(sc)
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch)})
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(httpStatus(err))
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"error": err.Error(), "accepted": acc,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": acc})
 }
 
 // compactParam parses the ?compact= query value: absent/empty means false,

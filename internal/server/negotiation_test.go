@@ -1,0 +1,311 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// binStream is a hand-rolled binary-wire client for negotiation tests: it
+// owns one connection, tracks refs, and reads every inbound frame (acks and
+// the final result) after half-close.
+type binStream struct {
+	t    *testing.T
+	conn *net.TCPConn
+	bw   *bufio.Writer
+	refs map[string]uint64
+	buf  []byte
+}
+
+func dialBin(t *testing.T, addr string) *binStream {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &binStream{t: t, conn: conn.(*net.TCPConn), bw: bufio.NewWriter(conn), refs: map[string]uint64{}}
+	t.Cleanup(func() { conn.Close() })
+	return c
+}
+
+func (c *binStream) frame(payload []byte) {
+	c.t.Helper()
+	if err := WriteFrame(c.bw, payload); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *binStream) window(w int, wantLatency bool) {
+	c.frame(AppendWireWindow(nil, w, wantLatency))
+}
+
+// ref binds tenant on first use and returns its stream-local ref.
+func (c *binStream) ref(tenant string) uint64 {
+	r, ok := c.refs[tenant]
+	if !ok {
+		r = uint64(len(c.refs))
+		c.refs[tenant] = r
+		c.frame(AppendWireBind(nil, r, tenant))
+	}
+	return r
+}
+
+func (c *binStream) arrive(tenant string, point int, demands []int) {
+	c.frame(AppendWireArrive(nil, c.ref(tenant), point, demands))
+}
+
+func (c *binStream) batch(tenant string, items []WireItem) {
+	c.frame(AppendWireBatch(nil, c.ref(tenant), items))
+}
+
+func (c *binStream) jsonOp(op engine.Op) {
+	c.t.Helper()
+	payload, err := json.Marshal(op)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.frame(payload)
+}
+
+// finish half-closes, drains acks, and returns the result frame plus the
+// collected ack frames.
+func (c *binStream) finish() (TCPResult, []WireAckFrame) {
+	c.t.Helper()
+	if err := c.bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.conn.CloseWrite(); err != nil {
+		c.t.Fatal(err)
+	}
+	br := bufio.NewReader(c.conn)
+	var acks []WireAckFrame
+	for {
+		frame, err := ReadFrame(br, c.buf)
+		if err != nil {
+			c.t.Fatalf("reading result: %v", err)
+		}
+		if IsBinaryFrame(frame) {
+			op, body, err := WireFrameKind(frame)
+			if err != nil || op != WireAck {
+				c.t.Fatalf("server sent op 0x%02x (err %v), want ack", op, err)
+			}
+			ack, err := DecodeWireAck(body)
+			if err != nil {
+				c.t.Fatalf("decoding ack: %v", err)
+			}
+			acks = append(acks, ack)
+			continue
+		}
+		var res TCPResult
+		if err := json.Unmarshal(frame, &res); err != nil {
+			c.t.Fatal(err)
+		}
+		return res, acks
+	}
+}
+
+// TestBinaryWirePathMatchesStdinPath is the tentpole contract for the binary
+// wire: arrivals streamed as BIND/ARRIVE/BATCH frames — windowed or not —
+// must produce tenant snapshots byte-identical to the stdin op-stream path
+// and to the JSON wire under the same seed.
+func TestBinaryWirePathMatchesStdinPath(t *testing.T) {
+	tr := testTrace(59, 90, 5, 11)
+	const tenants = 4
+	ops := traceOps(t, tr, tenants)
+	engCfg := engine.Config{Algorithm: "pd", Shards: 2, Seed: 3}
+	want := stdinSnapshots(t, engCfg, ops)
+
+	for _, window := range []int{0, 1, 7, 4096} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			s := startServer(t, Config{HTTPAddr: "127.0.0.1:0", TCPAddr: "127.0.0.1:0", Engine: engCfg})
+			streamOps(t, s.TCPAddr(), ops[:tenants], true) // creates, awaited
+
+			c := dialBin(t, s.TCPAddr())
+			if window > 0 {
+				c.window(window, window == 7) // exercise the latency flag on one size
+			}
+			// Mix singleton ARRIVEs with BATCH frames of varying size.
+			arrivals := 0
+			var pending []WireItem
+			cur := ""
+			flush := func() {
+				switch {
+				case len(pending) == 1:
+					c.arrive(cur, pending[0].Point, pending[0].Demands)
+				case len(pending) > 1:
+					c.batch(cur, pending)
+				}
+				pending = pending[:0]
+			}
+			for _, op := range ops[tenants:] {
+				if op.Tenant != cur || len(pending) >= 5 {
+					flush()
+					cur = op.Tenant
+				}
+				pending = append(pending, WireItem{Point: op.Point, Demands: op.Demands})
+				arrivals++
+			}
+			flush()
+			res, acks := c.finish()
+			if !res.OK || res.Arrivals != arrivals {
+				t.Fatalf("result %+v, want ok with %d arrivals", res, arrivals)
+			}
+			acked := 0
+			for _, a := range acks {
+				for _, code := range a.Codes {
+					if code != 0 {
+						t.Fatalf("ack carried failure code %d", code)
+					}
+				}
+				if window == 7 && len(a.ServeNs) != len(a.Codes) {
+					t.Fatalf("latencies requested but ack has %d ns for %d codes", len(a.ServeNs), len(a.Codes))
+				}
+				acked += len(a.Codes)
+			}
+			if window > 0 && acked != arrivals {
+				t.Fatalf("acked %d of %d arrivals", acked, arrivals)
+			}
+			if window == 0 && acked != 0 {
+				t.Fatalf("unwindowed stream got %d acks", acked)
+			}
+
+			got := httpJSON(t, "GET", "http://"+s.HTTPAddr()+"/v1/snapshots", nil, http.StatusOK)
+			if !bytes.Equal(got, want) {
+				t.Error("binary-wire snapshots differ from the stdin op-stream path")
+			}
+		})
+	}
+}
+
+// TestMixedWireStream interleaves JSON and binary frames on one connection
+// (negotiation is per frame, not per stream) while a second, JSON-only
+// legacy connection drives other tenants on the same listener.
+func TestMixedWireStream(t *testing.T) {
+	tr := testTrace(61, 70, 5, 10)
+	const tenants = 4
+	ops := traceOps(t, tr, tenants)
+	engCfg := engine.Config{Algorithm: "pd", Shards: 2, Seed: 7}
+	want := stdinSnapshots(t, engCfg, ops)
+
+	s := startServer(t, Config{HTTPAddr: "127.0.0.1:0", TCPAddr: "127.0.0.1:0", Engine: engCfg})
+	streamOps(t, s.TCPAddr(), ops[:tenants], true)
+
+	// Tenant parity splits the arrivals: even tenants ride the mixed stream
+	// (alternating JSON and binary frames), odd tenants a plain JSON stream.
+	var mixed, legacy []engine.Op
+	for _, op := range ops[tenants:] {
+		if int(op.Tenant[len(op.Tenant)-1]-'0')%2 == 0 {
+			mixed = append(mixed, op)
+		} else {
+			legacy = append(legacy, op)
+		}
+	}
+
+	c := dialBin(t, s.TCPAddr())
+	c.window(16, false) // acks must cover JSON arrivals on this stream too
+	for i, op := range mixed {
+		if i%2 == 0 {
+			c.jsonOp(op)
+		} else {
+			c.arrive(op.Tenant, op.Point, op.Demands)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		streamOps(t, s.TCPAddr(), legacy, true)
+	}()
+	res, acks := c.finish()
+	<-done
+	if !res.OK || res.Arrivals != len(mixed) {
+		t.Fatalf("mixed stream result %+v, want ok with %d arrivals", res, len(mixed))
+	}
+	acked := 0
+	for _, a := range acks {
+		acked += len(a.Codes)
+	}
+	if acked != len(mixed) {
+		t.Fatalf("mixed stream acked %d of %d arrivals (JSON frames must consume window slots)", acked, len(mixed))
+	}
+
+	got := httpJSON(t, "GET", "http://"+s.HTTPAddr()+"/v1/snapshots", nil, http.StatusOK)
+	if !bytes.Equal(got, want) {
+		t.Error("mixed-wire snapshots differ from the stdin op-stream path")
+	}
+}
+
+// TestBinaryMalformedFrames sends malformed binary frames to a live server
+// and checks each produces a clean failure result carrying the matching
+// sentinel text — never a hang or a bare connection reset — and that the
+// listener keeps serving afterwards.
+func TestBinaryMalformedFrames(t *testing.T) {
+	s := startServer(t, Config{TCPAddr: "127.0.0.1:0", Engine: engine.Config{Algorithm: "pd", Shards: 1, Seed: 1}})
+	streamOps(t, s.TCPAddr(), []engine.Op{{
+		Op: "create", Tenant: "t0", Universe: 2,
+		Distances: [][]float64{{0, 1}, {1, 0}}, CostBySize: []float64{0, 1, 1.5},
+	}}, true)
+
+	truncated := AppendWireArrive(nil, 0, 1, []int{0, 1})
+	oversized := wireHead(nil, WireWindow)
+	oversized = binary.AppendUvarint(oversized, uint64(MaxAckWindow+1))
+	oversized = binary.AppendUvarint(oversized, 0)
+
+	cases := []struct {
+		name string
+		send func(c *binStream)
+		want string
+	}{
+		{"bad version", func(c *binStream) {
+			c.frame([]byte{WireMagic, 0x7E, WireArrive, 0})
+		}, ErrWireVersion.Error()},
+		{"unknown op", func(c *binStream) {
+			c.frame([]byte{WireMagic, WireVersion, 0x6F})
+		}, ErrWireOp.Error()},
+		{"client sends ack", func(c *binStream) {
+			c.frame(AppendWireAck(nil, 0, []byte{0}, nil))
+		}, ErrWireOp.Error()},
+		{"truncated varint", func(c *binStream) {
+			c.ref("t0")
+			c.frame(truncated[:len(truncated)-1])
+		}, ErrWireTruncated.Error()},
+		{"unbound ref", func(c *binStream) {
+			c.frame(AppendWireArrive(nil, 42, 0, []int{0}))
+		}, ErrWireRef.Error()},
+		{"oversized window", func(c *binStream) {
+			c.frame(oversized)
+		}, ErrWireWindow.Error()},
+		{"window after arrival", func(c *binStream) {
+			c.arrive("t0", 0, []int{0})
+			c.window(8, false)
+		}, ErrWireWindow.Error()},
+		{"duplicate window", func(c *binStream) {
+			c.window(8, false)
+			c.window(8, false)
+		}, ErrWireWindow.Error()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := dialBin(t, s.TCPAddr())
+			tc.send(c)
+			res, _ := c.finish()
+			if res.OK || !strings.Contains(res.Error, tc.want) {
+				t.Errorf("result %+v, want failure containing %q", res, tc.want)
+			}
+		})
+	}
+
+	// The listener must still serve clean streams after every failure above.
+	c := dialBin(t, s.TCPAddr())
+	c.arrive("t0", 0, []int{0, 1})
+	if res, _ := c.finish(); !res.OK || res.Arrivals != 1 {
+		t.Fatalf("post-failure stream result %+v, want ok/1", res)
+	}
+}

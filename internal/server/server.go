@@ -1,39 +1,3 @@
-// Package server is the network serving layer that turns the streaming
-// engine into a daemon: an HTTP API and a length-prefixed TCP ingestion
-// protocol multiplex onto one shared engine.Engine, with periodic snapshot
-// checkpointing to disk and restore-on-start.
-//
-// # Endpoints
-//
-//	POST /v1/tenants/{id}           create a tenant (universe, distances, cost_by_size)
-//	POST /v1/tenants/{id}/arrive    serve one arrival or a batch ({"arrivals":[...]})
-//	GET  /v1/tenants/{id}/snapshot  consistent tenant snapshot (?compact=1 drops history)
-//	GET  /v1/snapshots              all tenants, the serve CLI's snapshot artifact
-//	GET  /v1/metrics                engine-wide metrics (arrivals/s, latency, queues)
-//	GET  /healthz                   liveness + uptime
-//	POST /v1/checkpoint             force a checkpoint now (404 when disabled)
-//
-// The TCP listener speaks frames: a 4-byte big-endian length followed by one
-// JSON engine.Op — the same create/arrive documents the JSON-lines stdin
-// protocol uses, minus the line discipline, so ingestion never re-scans for
-// newlines. When the client half-closes its write side the server replies
-// with a single result frame {"ok":bool,"arrivals":n,"error":...} and closes.
-//
-// # Checkpoints
-//
-// With Config.CheckpointDir set, the server writes engine checkpoints to
-// <dir>/engine.ckpt.json every CheckpointEvery (atomic temp-file + rename, so
-// a crash mid-write preserves the previous checkpoint), once more during
-// graceful shutdown, and restores from that file on startup — a restarted
-// server resumes every tenant from its last checkpoint with no cost
-// divergence. Checkpoints use the engine's format v2: each tenant's record
-// is a base snapshot of its serialized algorithm state plus the arrival
-// segment served since (Engine.Config.SealEvery bounds the segment), so a
-// restore loads state and replays O(segment) arrivals rather than the full
-// history; legacy v1 checkpoints restore too. /v1/metrics reports the
-// checkpoint pipeline's health — write size and latency, and the restore's
-// duration, replay count and state bytes — alongside the engine's
-// per-shard load breakdown.
 package server
 
 import (
@@ -78,7 +42,21 @@ type Config struct {
 	// listener — opt-in, since profiling endpoints on a serving port are a
 	// deliberate choice.
 	EnablePprof bool
+	// TCPPipeline is the per-connection depth of the decode→engine handoff
+	// queue: how many coalesced batches may sit between the socket reader
+	// and engine admission before reads block. <= 0 means
+	// DefaultTCPPipeline.
+	TCPPipeline int
+	// TCPBatch caps the arrivals coalesced into one engine batch op on the
+	// TCP path. <= 0 means DefaultTCPBatch.
+	TCPBatch int
 }
+
+// Defaults for the TCP ingestion pipeline knobs.
+const (
+	DefaultTCPPipeline = 32
+	DefaultTCPBatch    = 64
+)
 
 // Server multiplexes HTTP and TCP front ends onto one engine. Create with
 // New (which restores any existing checkpoint), bind with Start, stop with
@@ -138,6 +116,12 @@ func New(cfg Config) (*Server, error) {
 		if cfg.CheckpointEvery <= 0 {
 			cfg.CheckpointEvery = 15 * time.Second
 		}
+	}
+	if cfg.TCPPipeline <= 0 {
+		cfg.TCPPipeline = DefaultTCPPipeline
+	}
+	if cfg.TCPBatch <= 0 {
+		cfg.TCPBatch = DefaultTCPBatch
 	}
 	logger := cfg.Logger
 	if logger == nil {

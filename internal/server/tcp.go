@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/commodity"
 	"repro/internal/engine"
@@ -241,9 +243,368 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn drains one framed op stream into the engine. Per-tenant arrival
-// order is preserved within a connection; clients that split one tenant
-// across connections order their own arrivals.
+// connOp is one unit handed from the connection reader to the feeder
+// goroutine: either a run of same-tenant arrivals (batch != nil) or one
+// generic JSON op (creates and anything else that must keep stream order).
+type connOp struct {
+	tenant   string
+	batch    []engine.BatchItem
+	firstSeq uint64
+	op       *engine.Op
+	rec      *obs.OpRecord
+}
+
+// ackSpan is one completed engine batch awaiting ack emission.
+type ackSpan struct {
+	count   int
+	serveNs []int64
+}
+
+// tcpAcker turns batch completions into coalesced ACK frames. Completions
+// arrive out of order across shards; the acker holds them keyed by first
+// sequence number and emits one ACK per contiguous run from the frontier.
+// The span map stays small regardless of the client's window: in-flight
+// batches are bounded by the pipeline depth plus the engine mailboxes.
+type tcpAcker struct {
+	bw     *bufio.Writer
+	wantNs bool
+
+	mu       sync.Mutex
+	spans    map[uint64]ackSpan
+	frontier uint64
+
+	notify chan struct{}
+	quit   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup // batches handed to the engine, not yet completed
+
+	err error // first ack write error (acker goroutine only)
+}
+
+func newTCPAcker(bw *bufio.Writer, wantNs bool) *tcpAcker {
+	a := &tcpAcker{
+		bw:     bw,
+		wantNs: wantNs,
+		spans:  make(map[uint64]ackSpan),
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+// complete is the engine's onDone target. It runs on a shard goroutine and
+// must not block on the network, so it only files the span and nudges the
+// acker goroutine.
+func (a *tcpAcker) complete(first uint64, served int, serveNs []int64) {
+	a.mu.Lock()
+	a.spans[first] = ackSpan{count: served, serveNs: serveNs}
+	a.mu.Unlock()
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+	a.wg.Done()
+}
+
+// close waits for every outstanding batch to complete, flushes the final
+// acks, and stops the acker goroutine. After close returns the connection
+// writer is free for the result frame.
+func (a *tcpAcker) close() error {
+	a.wg.Wait()
+	close(a.quit)
+	<-a.done
+	return a.err
+}
+
+func (a *tcpAcker) run() {
+	defer close(a.done)
+	var payload, codes []byte
+	for {
+		select {
+		case <-a.notify:
+			a.emit(&payload, &codes)
+		case <-a.quit:
+			a.emit(&payload, &codes)
+			return
+		}
+	}
+}
+
+// emit drains contiguous completed spans from the frontier into ACK frames,
+// flushing the socket once no further span can be coalesced. A failed batch
+// leaves a permanent gap at the frontier (its tail seqs were never served);
+// later spans then stay unacked, which is fine — the stream is already
+// dying and the result frame carries the error.
+func (a *tcpAcker) emit(payload, codes *[]byte) {
+	wrote := false
+	for {
+		a.mu.Lock()
+		first := a.frontier
+		total := 0
+		var ns []int64
+		for {
+			sp, ok := a.spans[a.frontier]
+			if !ok {
+				break
+			}
+			delete(a.spans, a.frontier)
+			a.frontier += uint64(sp.count)
+			total += sp.count
+			if a.wantNs {
+				ns = append(ns, sp.serveNs...)
+			}
+		}
+		a.mu.Unlock()
+		if total == 0 {
+			break
+		}
+		c := (*codes)[:0]
+		for i := 0; i < total; i++ {
+			c = append(c, 0)
+		}
+		*codes = c
+		*payload = AppendWireAck((*payload)[:0], first, c, ns)
+		if a.err == nil {
+			a.err = WriteFrame(a.bw, *payload)
+		}
+		wrote = true
+	}
+	if wrote && a.err == nil {
+		a.err = a.bw.Flush()
+	}
+}
+
+// tcpFeed drains the reader's op queue into the engine, preserving stream
+// order. It owns admission: the socket reader never blocks on engine
+// mailboxes, only on the bounded queue.
+type tcpFeed struct {
+	s      *Server
+	acker  *tcpAcker
+	wantNs bool
+
+	arrivals int   // accepted arrivals (feeder goroutine; read after join)
+	failure  error // first engine error (feeder goroutine; read after join)
+	failed   atomic.Bool
+}
+
+func (f *tcpFeed) run(opCh chan connOp) {
+	for co := range opCh {
+		if f.failure != nil {
+			continue // failure latched: drain without applying
+		}
+		if co.op != nil {
+			if err := f.s.eng.ApplyTraced(*co.op, co.rec); err != nil {
+				f.fail(err)
+			} else if co.op.Op == "arrive" {
+				f.arrivals++
+			}
+			continue
+		}
+		var onDone func(int, []int64)
+		if f.acker != nil {
+			first := co.firstSeq
+			f.acker.wg.Add(1)
+			onDone = func(served int, ns []int64) { f.acker.complete(first, served, ns) }
+		}
+		acc, err := f.s.eng.ServeBatch(co.tenant, co.batch, f.wantNs, onDone)
+		if f.acker != nil && acc == 0 {
+			f.acker.wg.Done() // nothing enqueued: onDone will never fire
+		}
+		f.arrivals += acc
+		if err != nil {
+			f.fail(err)
+		}
+	}
+}
+
+func (f *tcpFeed) fail(err error) {
+	f.failure = err
+	f.failed.Store(true)
+}
+
+// tcpConn is the per-connection pipeline state on the reader side.
+type tcpConn struct {
+	s        *Server
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	opCh     chan connOp
+	feed     *tcpFeed
+	acker    *tcpAcker
+	batchCap int
+
+	refs   map[uint64]string // binary tenant refs, declared by BIND frames
+	seq    uint64            // next arrival sequence number (all wire formats)
+	window int               // 0 until a WINDOW frame arrives
+
+	// pending is the open run of same-tenant arrivals not yet handed to
+	// the feeder. Flushed when the tenant changes, the run hits batchCap,
+	// a non-arrive op needs ordering, or the read buffer drains (no more
+	// pipelined frames to coalesce with).
+	pending       []engine.BatchItem
+	pendingTenant string
+	pendingFirst  uint64
+
+	scratch []int // demand-id decode scratch
+}
+
+// flush hands the pending arrival run to the feeder. The slice is never
+// touched again by the reader (appending stops strictly below cap), so
+// ownership transfers cleanly.
+func (c *tcpConn) flush() {
+	if len(c.pending) == 0 {
+		return
+	}
+	c.opCh <- connOp{tenant: c.pendingTenant, batch: c.pending, firstSeq: c.pendingFirst}
+	c.pending = nil
+}
+
+// addArrival coalesces one decoded arrival into the pending run.
+func (c *tcpConn) addArrival(tenant string, point int, demands []int, rec *obs.OpRecord) {
+	if len(c.pending) > 0 && (c.pendingTenant != tenant || len(c.pending) >= c.batchCap) {
+		c.flush()
+	}
+	if len(c.pending) == 0 {
+		c.pending = make([]engine.BatchItem, 0, c.batchCap)
+		c.pendingTenant = tenant
+		c.pendingFirst = c.seq
+	}
+	c.pending = append(c.pending, engine.BatchItem{
+		Req: instance.Request{Point: point, Demands: commodity.New(demands...)},
+		Rec: rec,
+	})
+	c.seq++
+}
+
+// handleBinary dispatches one binary wire frame.
+func (c *tcpConn) handleBinary(frame []byte, rec *obs.OpRecord) error {
+	op, body, err := WireFrameKind(frame)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case WireBind:
+		ref, tenant, err := DecodeWireBind(body)
+		if err != nil {
+			return err
+		}
+		if c.refs == nil {
+			c.refs = make(map[uint64]string)
+		}
+		c.refs[ref] = tenant
+		return nil
+	case WireArrive:
+		ref, point, demands, err := DecodeWireArrive(body, c.scratch[:0])
+		if err != nil {
+			return err
+		}
+		c.scratch = demands[:0]
+		tenant, ok := c.refs[ref]
+		if !ok {
+			return fmt.Errorf("server: arrive ref %d: %w", ref, ErrWireRef)
+		}
+		if rec != nil {
+			rec.Tenant = tenant
+			rec.MarkDecoded(1)
+		}
+		c.addArrival(tenant, point, demands, rec)
+		return nil
+	case WireBatch:
+		ref, count, items, err := DecodeWireBatchHeader(body)
+		if err != nil {
+			return err
+		}
+		tenant, ok := c.refs[ref]
+		if !ok {
+			return fmt.Errorf("server: batch ref %d: %w", ref, ErrWireRef)
+		}
+		if rec != nil {
+			rec.Tenant = tenant
+			rec.MarkDecoded(count) // one decode covered the whole frame
+		}
+		for i := 0; i < count; i++ {
+			var point int
+			var demands []int
+			point, demands, items, err = DecodeWireBatchItem(items, c.scratch[:0])
+			if err != nil {
+				return err
+			}
+			c.scratch = demands[:0]
+			r := rec
+			if i > 0 {
+				r = nil // trace context rides on the frame's first arrival
+			}
+			c.addArrival(tenant, point, demands, r)
+		}
+		if len(items) != 0 {
+			return fmt.Errorf("server: %d trailing bytes after batch: %w", len(items), ErrWireTruncated)
+		}
+		return nil
+	case WireWindow:
+		window, wantNs, err := DecodeWireWindow(body)
+		if err != nil {
+			return err
+		}
+		if c.seq != 0 || len(c.pending) != 0 || c.acker != nil {
+			return fmt.Errorf("server: window after first arrival: %w", ErrWireWindow)
+		}
+		c.window = window
+		c.acker = newTCPAcker(c.bw, wantNs)
+		// Safe publication: no batch has entered opCh yet (WINDOW precedes
+		// the first arrival), and the channel send that carries the first
+		// batch orders these writes before the feeder reads them.
+		c.feed.acker = c.acker
+		c.feed.wantNs = wantNs
+		return nil
+	case WireAck:
+		return fmt.Errorf("server: ack frame from client: %w", ErrWireOp)
+	}
+	return nil // unreachable: WireFrameKind rejects unknown ops
+}
+
+// handleJSON dispatches one JSON frame: the canonical arrive fast path, the
+// general-decoder arrive, or a generic op through the ordered queue.
+func (c *tcpConn) handleJSON(frame []byte, rec *obs.OpRecord) error {
+	// Hot path: canonical arrive frames (the exact byte shape json.Marshal
+	// gives an arrive op) skip encoding/json entirely.
+	if tenant, point, demands, ok := FastArrive(frame, c.scratch[:0]); ok {
+		c.scratch = demands[:0]
+		if rec != nil {
+			rec.Tenant = tenant
+			rec.MarkDecoded(1)
+		}
+		c.addArrival(tenant, point, demands, rec)
+		return nil
+	}
+	var op engine.Op
+	if err := json.Unmarshal(frame, &op); err != nil {
+		return fmt.Errorf("server: decoding op: %v", err)
+	}
+	if rec != nil {
+		rec.Tenant = op.Tenant
+		rec.MarkDecoded(1)
+	}
+	// Arrives join the batch path so windowed streams ack them like any
+	// other arrival; the empty-demands case stays on the generic path for
+	// ApplyTraced's error message (it can never be served).
+	if op.Op == "arrive" && len(op.Demands) > 0 {
+		c.addArrival(op.Tenant, op.Point, op.Demands, rec)
+		return nil
+	}
+	c.flush() // generic ops (creates) must keep stream order
+	c.opCh <- connOp{op: &op, rec: rec}
+	return nil
+}
+
+// serveConn drains one framed op stream into the engine through a
+// read→decode→shard-handoff pipeline: the reader goroutine (this one)
+// decodes frames and coalesces consecutive same-tenant arrivals, the feeder
+// goroutine blocks on engine admission, and — when the client negotiated
+// windowed acks — the acker goroutine streams coalesced ACK frames back.
+// Socket reads therefore never block on engine mailbox admission. Per-tenant
+// arrival order is preserved within a connection; clients that split one
+// tenant across connections order their own arrivals.
 //
 // Tracing: a frame carrying a wire trace id (a router upstream) is always
 // traced under that id; otherwise the engine's tracer samples locally. The
@@ -251,66 +612,71 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // checks.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 1<<16)
+	c := &tcpConn{
+		s:        s,
+		br:       bufio.NewReaderSize(conn, 1<<16),
+		bw:       bufio.NewWriterSize(conn, 1<<16),
+		opCh:     make(chan connOp, s.cfg.TCPPipeline),
+		feed:     &tcpFeed{s: s},
+		batchCap: s.cfg.TCPBatch,
+		scratch:  make([]int, 0, 64),
+	}
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		c.feed.run(c.opCh)
+	}()
+
 	buf := make([]byte, 0, 4096)
-	scratch := make([]int, 0, 64) // demand-id scratch for the fast path
 	tracer := s.eng.Tracer()
-	arrivals := 0
-	var failure error
-	for failure == nil {
-		frame, wireID, err := ReadFrameTrace(br, buf)
+	var readerErr error
+	for !c.feed.failed.Load() {
+		frame, wireID, err := ReadFrameTrace(c.br, buf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
-				failure = err
+				readerErr = err
 			}
 			break
 		}
-		if len(frame) == 0 {
-			continue
-		}
-		id := wireID
-		if id == 0 {
-			id = tracer.Sample()
-		}
-		var rec *obs.OpRecord
-		if id != 0 {
-			rec = obs.NewOpRecord(id, "") // decode starts now; tenant known after parse
-		}
-		// Hot path: canonical arrive frames (the exact byte shape
-		// json.Marshal gives an arrive op) skip encoding/json entirely;
-		// anything else takes the general decoder.
-		if tenant, point, demands, ok := FastArrive(frame, scratch[:0]); ok {
-			if rec != nil {
-				rec.Tenant = tenant
-				rec.MarkDecoded(1)
+		if len(frame) != 0 {
+			id := wireID
+			if id == 0 {
+				id = tracer.Sample()
 			}
-			if err := s.eng.ServeTraced(tenant, instance.Request{Point: point, Demands: commodity.New(demands...)}, rec); err != nil {
-				failure = err
+			var rec *obs.OpRecord
+			if id != 0 {
+				rec = obs.NewOpRecord(id, "") // decode starts now; tenant known after parse
+			}
+			if IsBinaryFrame(frame) {
+				readerErr = c.handleBinary(frame, rec)
+			} else {
+				readerErr = c.handleJSON(frame, rec)
+			}
+			if readerErr != nil {
 				break
 			}
-			scratch = demands
-			arrivals++
 			buf = frame[:0]
-			continue
 		}
-		var op engine.Op
-		if err := json.Unmarshal(frame, &op); err != nil {
-			failure = fmt.Errorf("server: decoding op: %v", err)
-			break
+		// Read buffer drained: no more frames to coalesce with, so hand
+		// the run over before the next read blocks.
+		if c.br.Buffered() == 0 {
+			c.flush()
 		}
-		if rec != nil {
-			rec.Tenant = op.Tenant
-			rec.MarkDecoded(1)
-		}
-		if err := s.eng.ApplyTraced(op, rec); err != nil {
-			failure = err
-			break
-		}
-		if op.Op == "arrive" {
-			arrivals++
-		}
-		buf = frame[:0]
 	}
+	c.flush()
+	close(c.opCh)
+	<-feederDone
+
+	var ackErr error
+	if c.acker != nil {
+		ackErr = c.acker.close() // drains: the result frame implies all acked
+	}
+
+	failure := c.feed.failure
+	if failure == nil {
+		failure = readerErr
+	}
+	arrivals := c.feed.arrivals
 	res := TCPResult{OK: failure == nil, Arrivals: arrivals}
 	if failure != nil {
 		res.Error = failure.Error()
@@ -326,9 +692,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				"flight", s.eng.FlightDump("", 8))
 		}
 	}
+	if ackErr != nil {
+		return // client already gone; the result frame is undeliverable
+	}
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return
 	}
-	WriteFrame(conn, payload) //nolint:errcheck // client may already be gone
+	if WriteFrame(c.bw, payload) == nil {
+		c.bw.Flush() //nolint:errcheck // client may already be gone
+	}
 }

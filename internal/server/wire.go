@@ -1,0 +1,339 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire protocol. One binary payload rides inside the ordinary
+// length-prefixed frame (WriteFrame/WriteFrameTrace — the trace-id header
+// field works unchanged); the payload's first byte distinguishes it from a
+// JSON op, which always starts with '{'. See doc.go for the full wire
+// specification.
+//
+// Every binary payload is
+//
+//	byte 0  WireMagic (0xBF — not a legal first byte of JSON or UTF-8 text)
+//	byte 1  WireVersion (0x01)
+//	byte 2  op code (WireBind … WireAck)
+//	rest    op-specific body, integers as unsigned varints (encoding/binary)
+const (
+	WireMagic   = 0xBF
+	WireVersion = 0x01
+)
+
+// Binary op codes.
+const (
+	// WireBind declares a stream-local tenant ref: body = ref, nameLen,
+	// name bytes. Later arrive/batch frames address the tenant by ref.
+	WireBind = 0x01
+	// WireArrive is one arrival: body = ref, point, k, k demand ids.
+	WireArrive = 0x02
+	// WireBatch is N same-tenant arrivals in one frame: body = ref, count,
+	// then count × (point, k, k demand ids).
+	WireBatch = 0x03
+	// WireWindow enables windowed acks for the stream: body = window (the
+	// client's intended max in-flight arrivals), flags (bit 0 = the client
+	// wants per-op serve latencies in acks). Must precede the first arrival.
+	WireWindow = 0x04
+	// WireAck is server→client: body = firstSeq, count, count result-code
+	// bytes, then (when latencies were requested and are available)
+	// count serve durations in nanoseconds. Acks cover a contiguous run of
+	// arrival seqs starting at firstSeq; seq 0 is the stream's first arrival.
+	WireAck = 0x05
+)
+
+// MaxAckWindow bounds the window a WireWindow frame may request. The server
+// never buffers per-window state proportional to it (in-flight data is
+// bounded by the engine mailboxes), so the cap exists purely to reject
+// nonsense values loudly.
+const MaxAckWindow = 1 << 20
+
+// maxWireDemands bounds one arrival's demand-id count; maxWireBatch bounds
+// the arrivals in one batch frame. Both are sanity caps against corrupt
+// frames, far above anything a legal workload produces.
+const (
+	maxWireDemands = 1 << 20
+	maxWireBatch   = 1 << 20
+)
+
+// Binary wire error sentinels, wrapped (errors.Is-matchable) by the decode
+// helpers so tests and callers can classify malformed frames precisely.
+var (
+	ErrWireMagic     = errors.New("bad binary frame magic")
+	ErrWireVersion   = errors.New("unsupported binary wire version")
+	ErrWireOp        = errors.New("unknown binary wire op")
+	ErrWireTruncated = errors.New("truncated binary frame")
+	ErrWireRef       = errors.New("unbound tenant ref")
+	ErrWireWindow    = errors.New("bad ack window")
+)
+
+// IsBinaryFrame reports whether a frame payload is a binary wire op (as
+// opposed to a JSON document). Dispatch is per frame, so binary and JSON ops
+// interleave freely on one stream.
+func IsBinaryFrame(b []byte) bool {
+	return len(b) > 0 && b[0] == WireMagic
+}
+
+// wireHead appends the three-byte binary header.
+func wireHead(dst []byte, op byte) []byte {
+	return append(dst, WireMagic, WireVersion, op)
+}
+
+// AppendWireBind appends a BIND payload declaring ref ↦ tenant.
+func AppendWireBind(dst []byte, ref uint64, tenant string) []byte {
+	dst = wireHead(dst, WireBind)
+	dst = binary.AppendUvarint(dst, ref)
+	dst = binary.AppendUvarint(dst, uint64(len(tenant)))
+	return append(dst, tenant...)
+}
+
+// AppendWireArrive appends an ARRIVE payload for one arrival.
+func AppendWireArrive(dst []byte, ref uint64, point int, demands []int) []byte {
+	dst = wireHead(dst, WireArrive)
+	dst = binary.AppendUvarint(dst, ref)
+	return appendWireItem(dst, point, demands)
+}
+
+// WireItem is one arrival inside a batch payload.
+type WireItem struct {
+	Point   int
+	Demands []int
+}
+
+// AppendWireBatch appends a BATCH payload: len(items) same-tenant arrivals.
+func AppendWireBatch(dst []byte, ref uint64, items []WireItem) []byte {
+	dst = wireHead(dst, WireBatch)
+	dst = binary.AppendUvarint(dst, ref)
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = appendWireItem(dst, it.Point, it.Demands)
+	}
+	return dst
+}
+
+func appendWireItem(dst []byte, point int, demands []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(point))
+	dst = binary.AppendUvarint(dst, uint64(len(demands)))
+	for _, d := range demands {
+		dst = binary.AppendUvarint(dst, uint64(d))
+	}
+	return dst
+}
+
+// AppendWireWindow appends a WINDOW payload requesting windowed acks.
+func AppendWireWindow(dst []byte, window int, wantLatency bool) []byte {
+	dst = wireHead(dst, WireWindow)
+	dst = binary.AppendUvarint(dst, uint64(window))
+	var flags uint64
+	if wantLatency {
+		flags |= 1
+	}
+	return binary.AppendUvarint(dst, flags)
+}
+
+// AppendWireAck appends an ACK payload covering len(codes) arrivals starting
+// at firstSeq. serveNs, when non-nil, must align with codes.
+func AppendWireAck(dst []byte, firstSeq uint64, codes []byte, serveNs []int64) []byte {
+	dst = wireHead(dst, WireAck)
+	dst = binary.AppendUvarint(dst, firstSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(codes)))
+	dst = append(dst, codes...)
+	for _, ns := range serveNs {
+		dst = binary.AppendUvarint(dst, uint64(ns))
+	}
+	return dst
+}
+
+// WireFrameKind validates the binary header and returns the op code and the
+// op-specific body.
+func WireFrameKind(b []byte) (op byte, body []byte, err error) {
+	if len(b) < 3 {
+		return 0, nil, fmt.Errorf("server: %d-byte binary frame: %w", len(b), ErrWireTruncated)
+	}
+	if b[0] != WireMagic {
+		return 0, nil, fmt.Errorf("server: frame starts 0x%02x: %w", b[0], ErrWireMagic)
+	}
+	if b[1] != WireVersion {
+		return 0, nil, fmt.Errorf("server: binary wire version %d: %w", b[1], ErrWireVersion)
+	}
+	switch b[2] {
+	case WireBind, WireArrive, WireBatch, WireWindow, WireAck:
+		return b[2], b[3:], nil
+	}
+	return 0, nil, fmt.Errorf("server: binary op 0x%02x: %w", b[2], ErrWireOp)
+}
+
+// wireUvarint consumes one uvarint, classifying truncation.
+func wireUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("server: varint: %w", ErrWireTruncated)
+	}
+	return v, b[n:], nil
+}
+
+// DecodeWireBind parses a BIND body.
+func DecodeWireBind(body []byte) (ref uint64, tenant string, err error) {
+	ref, body, err = wireUvarint(body)
+	if err != nil {
+		return 0, "", err
+	}
+	n, body, err := wireUvarint(body)
+	if err != nil {
+		return 0, "", err
+	}
+	if uint64(len(body)) != n {
+		return 0, "", fmt.Errorf("server: bind name of %d bytes in %d-byte tail: %w", n, len(body), ErrWireTruncated)
+	}
+	return ref, string(body), nil
+}
+
+// DecodeWireArrive parses an ARRIVE body, appending the demand ids to ids
+// (pass reusable scratch; the result aliases it).
+func DecodeWireArrive(body []byte, ids []int) (ref uint64, point int, demands []int, err error) {
+	ref, body, err = wireUvarint(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	point, demands, body, err = decodeWireItem(body, ids)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(body) != 0 {
+		return 0, 0, nil, fmt.Errorf("server: %d trailing bytes after arrive: %w", len(body), ErrWireTruncated)
+	}
+	return ref, point, demands, nil
+}
+
+// DecodeWireBatchHeader parses a BATCH body's head, returning the item bytes
+// for DecodeWireBatchItem iteration.
+func DecodeWireBatchHeader(body []byte) (ref uint64, count int, items []byte, err error) {
+	ref, body, err = wireUvarint(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	n, body, err := wireUvarint(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n > maxWireBatch {
+		return 0, 0, nil, fmt.Errorf("server: batch of %d arrivals exceeds limit %d: %w", n, maxWireBatch, ErrWireTruncated)
+	}
+	return ref, int(n), body, nil
+}
+
+// DecodeWireBatchItem parses one batch item, appending demand ids to ids;
+// rest is the remaining item bytes. After the header's count items, rest must
+// be empty.
+func DecodeWireBatchItem(items []byte, ids []int) (point int, demands []int, rest []byte, err error) {
+	return decodeWireItem(items, ids)
+}
+
+func decodeWireItem(b []byte, ids []int) (point int, demands []int, rest []byte, err error) {
+	p, b, err := wireUvarint(b)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	k, b, err := wireUvarint(b)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if k > maxWireDemands {
+		return 0, nil, nil, fmt.Errorf("server: arrival with %d demands exceeds limit %d: %w", k, maxWireDemands, ErrWireTruncated)
+	}
+	for i := uint64(0); i < k; i++ {
+		var d uint64
+		d, b, err = wireUvarint(b)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		ids = append(ids, int(d))
+	}
+	return int(p), ids, b, nil
+}
+
+// DecodeWireWindow parses a WINDOW body.
+func DecodeWireWindow(body []byte) (window int, wantLatency bool, err error) {
+	w, body, err := wireUvarint(body)
+	if err != nil {
+		return 0, false, err
+	}
+	if w == 0 || w > MaxAckWindow {
+		return 0, false, fmt.Errorf("server: window of %d (want 1..%d): %w", w, MaxAckWindow, ErrWireWindow)
+	}
+	flags, body, err := wireUvarint(body)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(body) != 0 {
+		return 0, false, fmt.Errorf("server: %d trailing bytes after window: %w", len(body), ErrWireTruncated)
+	}
+	return int(w), flags&1 != 0, nil
+}
+
+// WireAckFrame is a decoded ACK payload.
+type WireAckFrame struct {
+	FirstSeq uint64
+	// Codes holds one result code per acked arrival (0 = served).
+	Codes []byte
+	// ServeNs, when present, holds per-arrival serve durations.
+	ServeNs []int64
+}
+
+// DecodeWireAck parses an ACK body (client side; allocates).
+func DecodeWireAck(body []byte) (WireAckFrame, error) {
+	var ack WireAckFrame
+	first, body, err := wireUvarint(body)
+	if err != nil {
+		return ack, err
+	}
+	n, body, err := wireUvarint(body)
+	if err != nil {
+		return ack, err
+	}
+	if n > maxWireBatch || uint64(len(body)) < n {
+		return ack, fmt.Errorf("server: ack covering %d arrivals in %d-byte tail: %w", n, len(body), ErrWireTruncated)
+	}
+	ack.FirstSeq = first
+	ack.Codes = append([]byte(nil), body[:n]...)
+	body = body[n:]
+	if len(body) == 0 {
+		return ack, nil
+	}
+	ack.ServeNs = make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var ns uint64
+		ns, body, err = wireUvarint(body)
+		if err != nil {
+			return ack, err
+		}
+		ack.ServeNs = append(ack.ServeNs, int64(ns))
+	}
+	if len(body) != 0 {
+		return ack, fmt.Errorf("server: %d trailing bytes after ack: %w", len(body), ErrWireTruncated)
+	}
+	return ack, nil
+}
+
+// RewireTenantRef rewrites an ARRIVE or BATCH payload's tenant ref in place
+// of the original, appending the re-framed payload to dst — the router's
+// upstream re-framing primitive: everything after the ref is copied verbatim,
+// so per-arrival bytes are never re-encoded.
+func RewireTenantRef(dst, frame []byte, newRef uint64) ([]byte, error) {
+	op, body, err := WireFrameKind(frame)
+	if err != nil {
+		return dst, err
+	}
+	if op != WireArrive && op != WireBatch {
+		return dst, fmt.Errorf("server: re-ref of binary op 0x%02x: %w", op, ErrWireOp)
+	}
+	_, rest, err := wireUvarint(body)
+	if err != nil {
+		return dst, err
+	}
+	dst = wireHead(dst, op)
+	dst = binary.AppendUvarint(dst, newRef)
+	return append(dst, rest...), nil
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestWireBindRoundTrip(t *testing.T) {
+	frame := AppendWireBind(nil, 7, "tenant-001")
+	op, body, err := WireFrameKind(frame)
+	if err != nil || op != WireBind {
+		t.Fatalf("WireFrameKind = %v, %v; want bind", op, err)
+	}
+	ref, name, err := DecodeWireBind(body)
+	if err != nil || ref != 7 || name != "tenant-001" {
+		t.Fatalf("DecodeWireBind = %d, %q, %v", ref, name, err)
+	}
+}
+
+func TestWireArriveRoundTrip(t *testing.T) {
+	frame := AppendWireArrive(nil, 3, 42, []int{0, 2, 5})
+	op, body, err := WireFrameKind(frame)
+	if err != nil || op != WireArrive {
+		t.Fatalf("WireFrameKind = %v, %v; want arrive", op, err)
+	}
+	scratch := make([]int, 0, 8)
+	ref, point, demands, err := DecodeWireArrive(body, scratch)
+	if err != nil || ref != 3 || point != 42 {
+		t.Fatalf("DecodeWireArrive = %d, %d, %v, %v", ref, point, demands, err)
+	}
+	if want := []int{0, 2, 5}; !equalInts(demands, want) {
+		t.Fatalf("demands = %v, want %v", demands, want)
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	items := []WireItem{
+		{Point: 1, Demands: []int{0}},
+		{Point: 9, Demands: []int{1, 3}},
+		{Point: 0, Demands: []int{2, 4, 6}},
+	}
+	frame := AppendWireBatch(nil, 11, items)
+	op, body, err := WireFrameKind(frame)
+	if err != nil || op != WireBatch {
+		t.Fatalf("WireFrameKind = %v, %v; want batch", op, err)
+	}
+	ref, count, rest, err := DecodeWireBatchHeader(body)
+	if err != nil || ref != 11 || count != len(items) {
+		t.Fatalf("DecodeWireBatchHeader = %d, %d, %v", ref, count, err)
+	}
+	scratch := make([]int, 0, 8)
+	for i := 0; i < count; i++ {
+		var point int
+		var demands []int
+		point, demands, rest, err = DecodeWireBatchItem(rest, scratch[:0])
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if point != items[i].Point || !equalInts(demands, items[i].Demands) {
+			t.Fatalf("item %d = %d %v, want %d %v", i, point, demands, items[i].Point, items[i].Demands)
+		}
+		scratch = demands
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after batch", len(rest))
+	}
+}
+
+func TestWireWindowRoundTrip(t *testing.T) {
+	frame := AppendWireWindow(nil, 4096, true)
+	op, body, err := WireFrameKind(frame)
+	if err != nil || op != WireWindow {
+		t.Fatalf("WireFrameKind = %v, %v; want window", op, err)
+	}
+	w, lat, err := DecodeWireWindow(body)
+	if err != nil || w != 4096 || !lat {
+		t.Fatalf("DecodeWireWindow = %d, %v, %v", w, lat, err)
+	}
+}
+
+func TestWireAckRoundTrip(t *testing.T) {
+	frame := AppendWireAck(nil, 128, []byte{0, 0, 0}, []int64{1500, 900, 12000})
+	op, body, err := WireFrameKind(frame)
+	if err != nil || op != WireAck {
+		t.Fatalf("WireFrameKind = %v, %v; want ack", op, err)
+	}
+	ack, err := DecodeWireAck(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.FirstSeq != 128 || len(ack.Codes) != 3 {
+		t.Fatalf("ack head = %d/%d", ack.FirstSeq, len(ack.Codes))
+	}
+	if len(ack.ServeNs) != 3 || ack.ServeNs[2] != 12000 {
+		t.Fatalf("ack latencies = %v", ack.ServeNs)
+	}
+
+	// Without latencies.
+	frame = AppendWireAck(nil, 0, []byte{0}, nil)
+	_, body, _ = WireFrameKind(frame)
+	ack, err = DecodeWireAck(body)
+	if err != nil || ack.ServeNs != nil {
+		t.Fatalf("latency-free ack = %+v, %v", ack, err)
+	}
+}
+
+func TestWireRewireTenantRef(t *testing.T) {
+	orig := AppendWireBatch(nil, 900, []WireItem{{Point: 5, Demands: []int{1, 2}}})
+	rewired, err := RewireTenantRef(nil, orig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AppendWireBatch(nil, 1, []WireItem{{Point: 5, Demands: []int{1, 2}}})
+	if !bytes.Equal(rewired, want) {
+		t.Fatalf("rewired = %x, want %x", rewired, want)
+	}
+	if _, err := RewireTenantRef(nil, AppendWireBind(nil, 1, "x"), 2); !errors.Is(err, ErrWireOp) {
+		t.Fatalf("re-ref of bind: %v, want ErrWireOp", err)
+	}
+}
+
+func TestWireMalformed(t *testing.T) {
+	arrive := AppendWireArrive(nil, 1, 5, []int{0, 1, 2})
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrWireTruncated},
+		{"short header", []byte{WireMagic, WireVersion}, ErrWireTruncated},
+		{"bad magic", []byte{0x7B, WireVersion, WireArrive}, ErrWireMagic},
+		{"bad version", []byte{WireMagic, 0x7F, WireArrive, 0}, ErrWireVersion},
+		{"unknown op", []byte{WireMagic, WireVersion, 0x6E}, ErrWireOp},
+		{"truncated varint", arrive[:len(arrive)-1], ErrWireTruncated},
+		{"truncated demand list", arrive[:len(arrive)-2], ErrWireTruncated},
+	}
+	for _, tc := range cases {
+		_, body, err := WireFrameKind(tc.frame)
+		if err == nil {
+			_, _, _, err = DecodeWireArrive(body, nil)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Truncated mid-varint inside an item (a multi-byte point value cut
+	// short) must classify as truncation, not decode garbage.
+	big := AppendWireArrive(nil, 1, 1<<20, []int{3})
+	if _, _, _, err := DecodeWireArrive(big[4:len(big)-3], nil); !errors.Is(err, ErrWireTruncated) {
+		t.Errorf("mid-varint cut: %v, want ErrWireTruncated", err)
+	}
+
+	// Oversized window and zero window.
+	over := AppendWireWindow(nil, MaxAckWindow, false)
+	// Patch the window varint to MaxAckWindow+1 by re-encoding.
+	over = wireHead(over[:0], WireWindow)
+	over = binary.AppendUvarint(over, uint64(MaxAckWindow)+1)
+	over = binary.AppendUvarint(over, 0)
+	_, body, _ := WireFrameKind(over)
+	if _, _, err := DecodeWireWindow(body); !errors.Is(err, ErrWireWindow) {
+		t.Errorf("oversized window: %v, want ErrWireWindow", err)
+	}
+	zero := wireHead(nil, WireWindow)
+	zero = binary.AppendUvarint(zero, 0)
+	zero = binary.AppendUvarint(zero, 0)
+	_, body, _ = WireFrameKind(zero)
+	if _, _, err := DecodeWireWindow(body); !errors.Is(err, ErrWireWindow) {
+		t.Errorf("zero window: %v, want ErrWireWindow", err)
+	}
+
+	// Batch with an absurd count must be rejected before any allocation.
+	bomb := wireHead(nil, WireBatch)
+	bomb = binary.AppendUvarint(bomb, 1)
+	bomb = binary.AppendUvarint(bomb, uint64(maxWireBatch)+1)
+	_, body, _ = WireFrameKind(bomb)
+	if _, _, _, err := DecodeWireBatchHeader(body); !errors.Is(err, ErrWireTruncated) {
+		t.Errorf("batch bomb: %v, want ErrWireTruncated", err)
+	}
+
+	// Bind whose name length overruns the payload.
+	bind := wireHead(nil, WireBind)
+	bind = binary.AppendUvarint(bind, 1)
+	bind = binary.AppendUvarint(bind, 100)
+	bind = append(bind, "short"...)
+	_, body, _ = WireFrameKind(bind)
+	if _, _, err := DecodeWireBind(body); !errors.Is(err, ErrWireTruncated) {
+		t.Errorf("overrun bind: %v, want ErrWireTruncated", err)
+	}
+}
+
+func TestIsBinaryFrame(t *testing.T) {
+	if IsBinaryFrame([]byte(`{"op":"arrive"}`)) {
+		t.Fatal("JSON classified as binary")
+	}
+	if !IsBinaryFrame(AppendWireArrive(nil, 0, 0, []int{0})) {
+		t.Fatal("binary frame not recognized")
+	}
+	if IsBinaryFrame(nil) {
+		t.Fatal("empty frame classified as binary")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
