@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,9 +40,9 @@ func cmdLoadgen(args []string) (retErr error) {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
 		mode      = fs.String("mode", "tcp", "transport to drive: http or tcp")
-		addr      = fs.String("addr", "", "server address (empty: spawn an in-process server on loopback)")
+		addr      = fs.String("addr", "", "server address, or a comma-separated failover rotation (active router first, standby after); empty: spawn an in-process server on loopback")
 		targets   = fs.String("targets", "", "comma-separated target addresses; tenants are partitioned across them (overrides -addr)")
-		httpAddr  = fs.String("http-addr", "", "HTTP address of the target server for metrics/draining (default: -addr in http mode)")
+		httpAddr  = fs.String("http-addr", "", "HTTP address of the target server for metrics/draining, or a comma-separated failover rotation (default: -addr in http mode)")
 		httpTgts  = fs.String("http-targets", "", "comma-separated HTTP addresses (any order) polled for metrics/draining with -targets")
 		tracePath = fs.String("trace", "", "drive a gentrace JSON file or a JSON-lines op stream instead of a synthetic workload")
 		opsOut    = fs.String("ops-out", "", "write the op stream (creates, then arrivals) as JSON lines to this file and exit")
@@ -62,6 +64,8 @@ func cmdLoadgen(args []string) (retErr error) {
 		algo      = fs.String("algo", "pd", "algorithm for a spawned server: pd or rand")
 		shards    = fs.Int("shards", 0, "shards for a spawned server (0 = GOMAXPROCS)")
 		trcSample = fs.Int("trace-sample", 0, "op-trace sample rate for a spawned server (1 in N arrivals; 0 = off) — the tracing-overhead benchmark knob")
+		retry     = fs.Int("retry", 0, "retry a failed request or stream up to N times, rotating across the -addr/-http-addr failover lists; arrivals are idempotency-keyed so replays never double-serve (0 = fail fast)")
+		retryWait = fs.Duration("retry-wait", 250*time.Millisecond, "pause between retries")
 		latOut    = fs.String("latency-out", "", "write the full client-side latency histogram (JSON) to this file")
 		benchDir  = fs.String("bench-out", "", "directory to write/update BENCH_serve.json")
 		quiet     = fs.Bool("quiet", false, "suppress progress messages on stderr")
@@ -150,17 +154,24 @@ func cmdLoadgen(args []string) (retErr error) {
 		return writeOpsFile(*opsOut, ops)
 	}
 
-	// Targets: -targets (tenant-partitioned fleet), an external -addr, or a
-	// spawned in-process server.
-	tgts := splitAddrs(*targets)
-	metricsBases := splitAddrs(*httpTgts)
+	rp := clientRetry{attempts: *retry, wait: *retryWait}
+
+	// Targets: -targets (tenant-partitioned fleet), an external -addr
+	// (possibly a failover rotation), or a spawned in-process server.
+	var tgts, metricsBases []*rotation
+	for _, a := range splitAddrs(*targets) {
+		tgts = append(tgts, newRotation(a))
+	}
+	for _, a := range splitAddrs(*httpTgts) {
+		metricsBases = append(metricsBases, newRotation(a))
+	}
 	if len(tgts) == 0 {
-		target := *addr
-		metricsBase := *httpAddr
-		if *mode == "http" && metricsBase == "" {
-			metricsBase = *addr
+		target := splitAddrs(*addr)
+		metricsBase := splitAddrs(*httpAddr)
+		if *mode == "http" && len(metricsBase) == 0 {
+			metricsBase = target
 		}
-		if target == "" {
+		if len(target) == 0 {
 			srv, err := server.New(server.Config{
 				HTTPAddr: "127.0.0.1:0",
 				TCPAddr:  "127.0.0.1:0",
@@ -181,25 +192,35 @@ func cmdLoadgen(args []string) (retErr error) {
 				srv.Shutdown(ctx)
 			}()
 			if *mode == "http" {
-				target = srv.HTTPAddr()
+				target = []string{srv.HTTPAddr()}
 			} else {
-				target = srv.TCPAddr()
+				target = []string{srv.TCPAddr()}
 			}
-			metricsBase = srv.HTTPAddr()
+			metricsBase = []string{srv.HTTPAddr()}
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "loadgen: spawned server http=%s tcp=%s\n", srv.HTTPAddr(), srv.TCPAddr())
 			}
 		}
-		tgts = []string{target}
-		if metricsBase != "" {
-			metricsBases = []string{metricsBase}
+		tgts = []*rotation{newRotation(target...)}
+		if len(metricsBase) > 0 {
+			metricsBases = []*rotation{newRotation(metricsBase...)}
 		}
 	} else if len(metricsBases) == 0 {
-		if *httpAddr != "" {
-			metricsBases = []string{*httpAddr}
+		if hm := splitAddrs(*httpAddr); len(hm) > 0 {
+			metricsBases = []*rotation{newRotation(hm...)}
 		} else if *mode == "http" {
 			metricsBases = tgts
 		}
+	}
+	if rp.attempts == 0 {
+		for _, ep := range append(append([]*rotation{}, tgts...), metricsBases...) {
+			if len(ep.addrs) > 1 {
+				return fmt.Errorf("loadgen: a failover address rotation needs -retry")
+			}
+		}
+	}
+	if rp.attempts > 0 && *mode == "tcp" && len(metricsBases) == 0 {
+		return fmt.Errorf("loadgen: tcp -retry needs -http-addr to recover the resume cursor (GET /v1/tenants/{id}/served)")
 	}
 
 	servedBefore, _ := sumServed(metricsBases)
@@ -207,20 +228,21 @@ func cmdLoadgen(args []string) (retErr error) {
 	// Phase 1: create the tenants (serialized; arrivals must not race
 	// tenant existence across workers). Each create goes to the target its
 	// tenant's arrivals will drive.
-	if err := runCreates(*mode, tgts, ops.creates, *conc); err != nil {
+	if err := runCreates(*mode, tgts, ops.creates, *conc, rp); err != nil {
 		return err
 	}
 
 	// Phase 2: drive arrivals with conc workers, tenants partitioned by
 	// worker so per-tenant order is preserved. Payload rendering happens
 	// before the clock starts — the measurement is server ingestion, not
-	// client-side JSON marshaling.
-	work, err := prepareDrive(*mode, ops, *conc, *rate, *wire, *wireBatch, *window)
+	// client-side JSON marshaling. (Retry mode keeps the raw ops instead:
+	// a resumed stream re-renders from the surviving cursor.)
+	work, err := prepareDrive(*mode, ops, *conc, *rate, *wire, *wireBatch, *window, rp)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	lats, streamLats, err := runArrivals(*mode, tgts, work, *batch)
+	lats, streamLats, err := runArrivals(*mode, tgts, metricsBases, work, *batch, rp)
 	if err != nil {
 		return err
 	}
@@ -315,6 +337,63 @@ func splitAddrs(s string) []string {
 		}
 	}
 	return out
+}
+
+// rotation is one logical endpoint with failover alternates (an active
+// router first, its standby after): pick returns the address to try, fail
+// advances the rotation so the next attempt lands on the alternate.
+type rotation struct {
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+}
+
+func newRotation(addrs ...string) *rotation { return &rotation{addrs: addrs} }
+
+func (r *rotation) pick() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addrs[r.cur]
+}
+
+func (r *rotation) fail() {
+	r.mu.Lock()
+	r.cur = (r.cur + 1) % len(r.addrs)
+	r.mu.Unlock()
+}
+
+// clientRetry is the driver-side retry policy: attempts extra tries after
+// the first (0 = fail fast), pausing wait between them.
+type clientRetry struct {
+	attempts int
+	wait     time.Duration
+}
+
+// getJSONRot GETs path from the rotation, trying each alternate once per
+// call (a 5xx — e.g. a standby's 503 — rotates like a transport error).
+// Outer polling loops supply the retry-over-time.
+func getJSONRot(ep *rotation, path string, out interface{}) error {
+	var lastErr error
+	for i := 0; i < len(ep.addrs); i++ {
+		resp, err := http.Get("http://" + ep.pick() + path)
+		if err != nil {
+			lastErr = err
+			ep.fail()
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck // best-effort error text
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(buf.String()))
+			ep.fail()
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
 }
 
 // readWorkloadFile loads -trace input in either format the serve CLI
@@ -478,8 +557,10 @@ func tenantWorker(tenant string, conc int) int {
 
 // runCreates registers the tenants: POSTs in http mode, one awaited framed
 // stream per target in tcp mode. Each create goes to the same target its
-// tenant's arrivals will drive (worker w drives tgts[w mod len]).
-func runCreates(mode string, tgts []string, creates []engine.Op, conc int) error {
+// tenant's arrivals will drive (worker w drives tgts[w mod len]). In retry
+// mode creates go one per attempt so a replayed create that already landed
+// (duplicate tenant / 409) counts as success instead of failing the group.
+func runCreates(mode string, tgts []*rotation, creates []engine.Op, conc int, rp clientRetry) error {
 	byTarget := make([][]engine.Op, len(tgts))
 	for _, op := range creates {
 		t := tenantWorker(op.Tenant, conc) % len(tgts)
@@ -489,31 +570,82 @@ func runCreates(mode string, tgts []string, creates []engine.Op, conc int) error
 		if len(group) == 0 {
 			continue
 		}
-		if mode == "http" {
+		switch {
+		case mode == "http":
 			for _, op := range group {
-				body := map[string]interface{}{
-					"universe": op.Universe, "distances": op.Distances, "cost_by_size": op.CostBySize,
-				}
-				if _, err := postJSON(tgts[t], "/v1/tenants/"+op.Tenant, body); err != nil {
+				if err := createHTTP(tgts[t], op, rp); err != nil {
 					return fmt.Errorf("loadgen: creating %s: %v", op.Tenant, err)
 				}
 			}
-		} else if err := streamTCP(tgts[t], group); err != nil {
-			return err
+		case rp.attempts > 0:
+			for _, op := range group {
+				if err := createTCP(tgts[t], op, rp); err != nil {
+					return fmt.Errorf("loadgen: creating %s: %v", op.Tenant, err)
+				}
+			}
+		default:
+			if err := streamTCP(tgts[t].pick(), group); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
+// createHTTP registers one tenant over HTTP, retrying across the rotation.
+// A 409 on a retry is a replay of a create that landed before the failure.
+func createHTTP(ep *rotation, op engine.Op, rp clientRetry) error {
+	body := map[string]interface{}{
+		"universe": op.Universe, "distances": op.Distances, "cost_by_size": op.CostBySize,
+	}
+	for attempt := 0; ; attempt++ {
+		_, status, err := postJSONStatus(ep.pick(), "/v1/tenants/"+op.Tenant, body)
+		if err == nil {
+			return nil
+		}
+		if attempt > 0 && status == http.StatusConflict {
+			return nil
+		}
+		if attempt >= rp.attempts {
+			return err
+		}
+		ep.fail()
+		time.Sleep(rp.wait)
+	}
+}
+
+// createTCP registers one tenant over its own framed stream, retrying
+// across the rotation with the same replayed-create tolerance.
+func createTCP(ep *rotation, op engine.Op, rp clientRetry) error {
+	for attempt := 0; ; attempt++ {
+		err := streamTCP(ep.pick(), []engine.Op{op})
+		if err == nil {
+			return nil
+		}
+		if attempt > 0 && errors.Is(err, errStreamDuplicate) {
+			return nil
+		}
+		if attempt >= rp.attempts {
+			return err
+		}
+		ep.fail()
+		time.Sleep(rp.wait)
+	}
+}
+
 // driveWork is one worker's pre-partitioned (and, in tcp mode,
 // pre-rendered) share of the arrival stream.
 type driveWork struct {
-	ops      []engine.Op // http mode
+	ops      []engine.Op // http mode; also tcp retry mode (resume re-renders)
 	blob     []byte      // tcp closed loop: concatenated frames, ready to write
 	frames   [][]byte    // tcp open loop (json): one pre-rendered frame per arrival
 	bin      []binFrame  // tcp binary wire with pacing and/or windowed acks
 	window   int
 	arrivals int
+	// wire/wireBatch survive into tcp retry mode, where each attempt
+	// renders frames from the ops that remain after the resume cursor.
+	wire      string
+	wireBatch int
 	// rate is this worker's open-loop target in arrivals/s — its
 	// proportional share of the global -rate (0 = closed loop).
 	rate float64
@@ -605,7 +737,7 @@ func renderBinary(ops []engine.Op, batchCap, window int) ([]binFrame, error) {
 // Each worker's rate is its arrival share of the global rate, so all
 // workers finish the schedule together and the offered aggregate equals
 // -rate.
-func prepareDrive(mode string, ops opSplit, conc int, rate float64, wire string, wireBatch, window int) ([]driveWork, error) {
+func prepareDrive(mode string, ops opSplit, conc int, rate float64, wire string, wireBatch, window int, rp clientRetry) ([]driveWork, error) {
 	work := make([]driveWork, conc)
 	for _, op := range ops.arrives {
 		w := &work[tenantWorker(op.Tenant, conc)]
@@ -618,6 +750,14 @@ func prepareDrive(mode string, ops opSplit, conc int, rate float64, wire string,
 		}
 	}
 	if mode != "tcp" {
+		return work, nil
+	}
+	if rp.attempts > 0 {
+		// Retry mode keeps the raw ops: a broken stream resumes by asking
+		// the cluster how much was admitted and re-rendering the rest.
+		for i := range work {
+			work[i].wire, work[i].wireBatch, work[i].window = wire, wireBatch, window
+		}
 		return work, nil
 	}
 	for i := range work {
@@ -695,7 +835,7 @@ func pace(start time.Time, rate float64, idx int) {
 // tgts[w mod len(tgts)] — and returns client-side latencies: per-request
 // round trips in http mode, per-stream round trips (dial to ack) in tcp
 // mode. Both in milliseconds.
-func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLats, streamLats []float64, err error) {
+func runArrivals(mode string, tgts, metricsBases []*rotation, work []driveWork, batch int, rp clientRetry) (reqLats, streamLats []float64, err error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -706,6 +846,10 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLa
 			continue
 		}
 		target := tgts[w%len(tgts)]
+		var httpEp *rotation
+		if len(metricsBases) > 0 {
+			httpEp = metricsBases[w%len(metricsBases)]
+		}
 		wg.Add(1)
 		go func(w driveWork) {
 			defer wg.Done()
@@ -714,13 +858,15 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLa
 			start := time.Now()
 			switch {
 			case mode == "http":
-				lats, err = driveHTTP(target, w.ops, batch, w.rate)
+				lats, err = driveHTTP(target, w.ops, batch, w.rate, rp)
+			case rp.attempts > 0:
+				err = streamResumable(target, httpEp, w, rp)
 			case w.bin != nil:
-				err = streamBinary(target, w.bin, w.rate, w.window, w.arrivals)
+				err = streamBinary(target.pick(), w.bin, w.rate, w.window, w.arrivals)
 			case w.rate > 0:
-				err = streamFramesPaced(target, w.frames, w.rate)
+				err = streamFramesPaced(target.pick(), w.frames, w.rate)
 			default:
-				err = streamBlob(target, w.blob, w.arrivals)
+				err = streamBlob(target.pick(), w.blob, w.arrivals)
 			}
 			stream := float64(time.Since(start).Microseconds()) / 1e3
 			mu.Lock()
@@ -736,6 +882,136 @@ func runArrivals(mode string, tgts []string, work []driveWork, batch int) (reqLa
 	}
 	wg.Wait()
 	return reqLats, streamLats, firstErr
+}
+
+// streamResumable drives one worker's ops with failover: every attempt
+// streams whatever remains past the resume cursor, and a broken stream
+// recovers by polling the cluster for each tenant's admitted count (GET
+// /v1/tenants/{id}/served) before retrying — possibly against the rotation's
+// alternate router. Cursors assume this loadgen run is each tenant's only
+// writer, starting at stream position 0 (the same assumption the snapshot
+// goldens make), so admitted counts translate directly into op indices.
+func streamResumable(ep, httpEp *rotation, w driveWork, rp clientRetry) error {
+	admitted := make(map[string]int64)
+	for attempt := 0; ; attempt++ {
+		remaining := w.ops
+		if attempt > 0 {
+			if err := pollAdmitted(httpEp, w.ops, admitted, rp.wait); err != nil {
+				return err
+			}
+			remaining = trimAdmitted(w.ops, admitted)
+		}
+		err := streamOnce(ep.pick(), remaining, w)
+		if err == nil {
+			return nil
+		}
+		if attempt >= rp.attempts {
+			return err
+		}
+		ep.fail()
+		time.Sleep(rp.wait)
+	}
+}
+
+// streamOnce renders and drives one attempt's remaining ops.
+func streamOnce(target string, ops []engine.Op, w driveWork) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if w.wire == "binary" {
+		bin, err := renderBinary(ops, w.wireBatch, w.window)
+		if err != nil {
+			return err
+		}
+		arrivals := 0
+		for _, fr := range bin {
+			arrivals += fr.arrivals
+		}
+		return streamBinary(target, bin, w.rate, w.window, arrivals)
+	}
+	if w.rate > 0 {
+		frames := make([][]byte, 0, len(ops))
+		for _, op := range ops {
+			fr, err := renderFrame(op)
+			if err != nil {
+				return err
+			}
+			frames = append(frames, fr)
+		}
+		return streamFramesPaced(target, frames, w.rate)
+	}
+	var blob bytes.Buffer
+	for _, op := range ops {
+		payload, err := json.Marshal(op)
+		if err != nil {
+			return err
+		}
+		if err := server.WriteFrame(&blob, payload); err != nil {
+			return err
+		}
+	}
+	return streamBlob(target, blob.Bytes(), len(ops))
+}
+
+// pollAdmitted learns each tenant's admitted count — the resume cursor
+// after a broken stream. It waits for the count to hold still across two
+// polls so frames from the dead connection that are still draining (or a
+// follower promotion settling) get counted before the replay is cut.
+func pollAdmitted(httpEp *rotation, ops []engine.Op, out map[string]int64, wait time.Duration) error {
+	if httpEp == nil {
+		return fmt.Errorf("loadgen: no HTTP endpoint to recover the resume cursor from")
+	}
+	if wait < 10*time.Millisecond {
+		wait = 10 * time.Millisecond
+	}
+	seen := make(map[string]bool)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, op := range ops {
+		if seen[op.Tenant] {
+			continue
+		}
+		seen[op.Tenant] = true
+		var doc struct {
+			Served   int64 `json:"served"`
+			Admitted int64 `json:"admitted"`
+		}
+		prev := int64(-1)
+		for {
+			if err := getJSONRot(httpEp, "/v1/tenants/"+op.Tenant+"/served", &doc); err != nil {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("loadgen: resume cursor for %s: %v", op.Tenant, err)
+				}
+				time.Sleep(wait)
+				continue
+			}
+			if doc.Admitted == prev {
+				out[op.Tenant] = doc.Admitted
+				break
+			}
+			prev = doc.Admitted
+			if time.Now().After(deadline) {
+				out[op.Tenant] = doc.Admitted
+				break
+			}
+			time.Sleep(wait)
+		}
+	}
+	return nil
+}
+
+// trimAdmitted drops each tenant's already-admitted prefix from the op
+// stream — what remains is exactly what the cluster has not seen.
+func trimAdmitted(ops []engine.Op, admitted map[string]int64) []engine.Op {
+	cut := make(map[string]int64, len(admitted))
+	var out []engine.Op
+	for _, op := range ops {
+		if cut[op.Tenant] < admitted[op.Tenant] {
+			cut[op.Tenant]++
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
 }
 
 // streamFramesPaced writes one worker's frames over a single connection on
@@ -906,6 +1182,11 @@ func streamBinary(target string, frames []binFrame, rate float64, window int, ar
 	return nil
 }
 
+// errStreamDuplicate marks a stream the server rejected for a duplicate
+// tenant — on a retry, the footprint of a create that landed before the
+// failure, which the retrying caller treats as success.
+var errStreamDuplicate = errors.New("loadgen: stream rejected: duplicate tenant")
+
 // finishStream half-closes the write side of a frame stream and verifies
 // the server's single result frame acks exactly the arrivals sent — the
 // shared tail of every TCP drive path.
@@ -924,6 +1205,9 @@ func finishStream(conn net.Conn, arrivals int) error {
 		return err
 	}
 	if !res.OK {
+		if res.Code == server.CodeDuplicateTenant {
+			return errStreamDuplicate
+		}
 		return fmt.Errorf("loadgen: server rejected stream: %s", res.Error)
 	}
 	if res.Arrivals != arrivals {
@@ -940,7 +1224,7 @@ func finishStream(conn net.Conn, arrivals int) error {
 // fills real batches (the same reordering renderBinary applies on the
 // binary wire). With an open-loop rate, each batch waits for its first
 // arrival's slot on the schedule before posting.
-func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float64, error) {
+func driveHTTP(ep *rotation, ops []engine.Op, batch int, rate float64, rp clientRetry) ([]float64, error) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -951,6 +1235,8 @@ func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float
 	var lats []float64
 	clock := time.Now()
 	sent := 0
+	pos := make(map[string]int64)   // per-tenant stream cursor (idempotency keys)
+	seeded := make(map[string]bool) // tenants whose cursor was read from the cluster
 	pending := make(map[string][]arrival)
 	var order []string // tenants in first-seen order, for a deterministic final drain
 	flush := func(tenant string) error {
@@ -959,10 +1245,49 @@ func driveHTTP(target string, ops []engine.Op, batch int, rate float64) ([]float
 			return nil
 		}
 		pace(clock, rate, sent)
+		body := map[string]interface{}{"arrivals": group}
 		start := time.Now()
-		_, err := postJSON(target, "/v1/tenants/"+tenant+"/arrive", map[string]interface{}{"arrivals": group})
+		var err error
+		if rp.attempts > 0 {
+			// Key the batch by its stream position so replays after an
+			// ambiguous failure are trimmed server-side, never double-served.
+			// The cursor starts at the tenant's current admitted count (read
+			// once per tenant), so a keyed run resumes a pre-served tenant —
+			// an earlier phase, a run cut short — instead of wrongly deduping
+			// against position 0. Keys still assume this run is the tenant's
+			// only concurrent writer, which is why they are opt-in via -retry.
+			if !seeded[tenant] {
+				var doc struct {
+					Admitted int64 `json:"admitted"`
+				}
+				for attempt := 0; ; attempt++ {
+					err = getJSONRot(ep, "/v1/tenants/"+tenant+"/served", &doc)
+					if err == nil || attempt >= rp.attempts {
+						break
+					}
+					time.Sleep(rp.wait)
+				}
+				if err != nil {
+					return fmt.Errorf("loadgen: reading %s's resume cursor: %v", tenant, err)
+				}
+				pos[tenant] = doc.Admitted
+				seeded[tenant] = true
+			}
+			hdr := map[string]string{server.IdemHeader: strconv.FormatInt(pos[tenant], 10)}
+			for attempt := 0; ; attempt++ {
+				_, _, err = postJSONHdr(ep.pick(), "/v1/tenants/"+tenant+"/arrive", body, hdr)
+				if err == nil || attempt >= rp.attempts {
+					break
+				}
+				ep.fail()
+				time.Sleep(rp.wait)
+			}
+		} else {
+			_, err = postJSON(ep.pick(), "/v1/tenants/"+tenant+"/arrive", body)
+		}
 		lats = append(lats, float64(time.Since(start).Microseconds())/1e3)
 		sent += len(group)
+		pos[tenant] += int64(len(group))
 		pending[tenant] = group[:0]
 		return err
 	}
@@ -1016,40 +1341,56 @@ func streamTCP(target string, ops []engine.Op) error {
 }
 
 func postJSON(host, path string, body interface{}) ([]byte, error) {
+	data, _, err := postJSONHdr(host, path, body, nil)
+	return data, err
+}
+
+// postJSONStatus is postJSON with the response status exposed, for callers
+// that treat specific statuses (a create replay's 409) as success.
+func postJSONStatus(host, path string, body interface{}) ([]byte, int, error) {
+	return postJSONHdr(host, path, body, nil)
+}
+
+func postJSONHdr(host, path string, body interface{}, hdr map[string]string) ([]byte, int, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	resp, err := http.Post("http://"+host+path, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequest("POST", "http://"+host+path, bytes.NewReader(data))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	var buf bytes.Buffer
-	buf.ReadFrom(resp.Body)
+	buf.ReadFrom(resp.Body) //nolint:errcheck // best-effort error text
 	if resp.StatusCode/100 != 2 {
-		return buf.Bytes(), fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+		return buf.Bytes(), resp.StatusCode, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, buf.String())
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), resp.StatusCode, nil
 }
 
-func serverMetrics(host string) (engine.Metrics, error) {
+func serverMetrics(ep *rotation) (engine.Metrics, error) {
 	var m engine.Metrics
-	resp, err := http.Get("http://" + host + "/v1/metrics")
-	if err != nil {
-		return m, err
-	}
-	defer resp.Body.Close()
-	return m, json.NewDecoder(resp.Body).Decode(&m)
+	err := getJSONRot(ep, "/v1/metrics", &m)
+	return m, err
 }
 
 // sumServed totals the served counts across all polled endpoints (a
 // cluster router's /v1/metrics reports its own cluster-wide total, so a
-// router counts once).
-func sumServed(hosts []string) (int64, error) {
+// router counts once; a rotation counts once via whichever alternate
+// answers).
+func sumServed(eps []*rotation) (int64, error) {
 	var total int64
-	for _, h := range hosts {
-		m, err := serverMetrics(h)
+	for _, ep := range eps {
+		m, err := serverMetrics(ep)
 		if err != nil {
 			return total, err
 		}
@@ -1060,10 +1401,10 @@ func sumServed(hosts []string) (int64, error) {
 
 // waitServed polls the endpoints until their summed served count reaches
 // want.
-func waitServed(hosts []string, want int64, timeout time.Duration) error {
+func waitServed(eps []*rotation, want int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		total, err := sumServed(hosts)
+		total, err := sumServed(eps)
 		if err == nil && total >= want {
 			return nil
 		}

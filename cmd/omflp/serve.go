@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -64,6 +65,11 @@ func cmdServe(args []string) (retErr error) {
 		placement    = fs.String("placement", "leastload", "router mode: tenant placement policy, leastload or rendezvous")
 		healthEvery  = fs.Duration("health-every", time.Second, "router mode: node health-probe interval")
 		migThreshold = fs.Float64("migrate-threshold", 0, "router mode: auto-migrate when the busiest node's arrival rate exceeds the idlest's by this factor (0 = off)")
+		standbyOf    = fs.String("standby-of", "", "router mode: start passive, following the active router's framed-TCP address and promoting on its failure")
+		replicate    = fs.Bool("replicate", false, "router mode: dual-write every tenant to a follower node so a dead owner fails over without data loss")
+		downAfter    = fs.Int("down-after", 0, "router mode: consecutive probe failures before a node is declared down (0 = 1)")
+		failoverAft  = fs.Int("failover-after", 0, "router mode: consecutive follow-stream losses before a standby promotes itself (0 = 3)")
+		faultSpec    = fs.String("faults", "", "inject deterministic faults into cluster I/O, e.g. seed=7,dial-fail=1/40,conn-reset=1/80,stall=1/60:5ms,partial=1/100,probe-flap=1/50")
 		traceSample  = fs.Int("trace-sample", 0, "trace 1 in N arrivals end to end (stage latencies + flight records; 0 = off)")
 		flightRecs   = fs.Int("flight-records", 0, "per-shard flight-recorder capacity (0 = 256); needs -trace-sample")
 		logLevel     = fs.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
@@ -110,6 +116,18 @@ func cmdServe(args []string) (retErr error) {
 		if *listenHTTP == "" {
 			return fmt.Errorf("serve: -cluster-router needs -listen-http")
 		}
+		if *standbyOf != "" && *listenTCP == "" {
+			return fmt.Errorf("serve: -standby-of needs -listen-tcp (promotion serves the framed protocol)")
+		}
+		var inj *faults.Injector
+		if *faultSpec != "" {
+			var ferr error
+			if inj, ferr = faults.Parse(*faultSpec); ferr != nil {
+				return fmt.Errorf("serve: -faults: %v", ferr)
+			}
+		}
+		// Router mode reuses -checkpoint-dir as the durable route-log
+		// directory: the router's own restart-in-O(1) state.
 		return routerDaemon(cluster.Config{
 			HTTPAddr:         *listenHTTP,
 			TCPAddr:          *listenTCP,
@@ -119,6 +137,12 @@ func cmdServe(args []string) (retErr error) {
 			MigrateThreshold: *migThreshold,
 			TraceSample:      *traceSample,
 			EnablePprof:      *pprofOn,
+			StateDir:         *ckptDir,
+			StandbyOf:        *standbyOf,
+			Replicate:        *replicate,
+			DownAfter:        *downAfter,
+			FailoverAfter:    *failoverAft,
+			Faults:           inj,
 			Logger:           logger,
 		}, *quiet)
 	}
@@ -249,8 +273,9 @@ func emitSnapshots(eng *engine.Engine, path string, compact bool) error {
 }
 
 // routerDaemon fronts a fleet of worker daemons until SIGINT/SIGTERM. The
-// router holds no engine and no durable state: tenants live on the
-// workers, and the routing table rebuilds from their snapshots at start.
+// router holds no engine; tenants live on the workers. With -checkpoint-dir
+// the routing table and arrival ledgers persist as a route log and restore
+// in O(1) at start — without it, the table rebuilds from worker snapshots.
 func routerDaemon(cfg cluster.Config, quiet bool) error {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -41,14 +41,63 @@
 // # Failure model
 //
 // The router health-checks nodes and stops placing tenants on unreachable
-// ones. A worker that dies takes its un-checkpointed tail with it — the
-// same contract as a single node — and arrivals routed to it fail until it
-// returns. When a restarted worker (restored from its v2 checkpoint)
-// rejoins, the router re-syncs the routes and ledgers for its tenants from
-// the node's snapshots and traffic resumes. The router itself holds no
-// durable state: on restart it rebuilds the routing table by asking every
-// node what it hosts, preferring the higher served count when two nodes
-// claim one tenant (the footprint of a migration interrupted mid-flight).
+// ones; a node is declared down only after Config.DownAfter consecutive
+// probe failures, so one flapped probe does not trigger failover. With
+// Config.Replicate off, a worker that dies takes its un-checkpointed tail
+// with it — the same contract as a single node — and arrivals routed to it
+// fail until it returns. When a restarted worker (restored from its v2
+// checkpoint) rejoins, the router re-syncs the routes and ledgers for its
+// tenants from the node's snapshots and traffic resumes.
+//
+// # Durable routes
+//
+// With Config.StateDir set, the router persists its routing table the same
+// way workers persist tenants: a base snapshot (routes.ckpt.json, written
+// atomically via tmp+rename) plus an append-only journal (routes.journal)
+// of placement events — place, flip, drop, promote, follower. Ledger counts
+// are folded in compactly on every health tick rather than per arrival. A
+// restarted router loads the base, replays the journal (a torn final line
+// is the expected kill -9 artifact and is ignored), and is routing again in
+// O(1) — it does not rescan node snapshots. Restored ledgers may trail the
+// truth by at most one health tick; each route is marked unsynced and
+// lazily reconciled against its owner before any operation that needs the
+// exact ledger (migration quiesce). Only the active router writes the
+// journal: a standby follows it read-only and workers never touch it.
+//
+// # Tenant replication
+//
+// With Config.Replicate on, every tenant is placed on an owner and a
+// follower node and created on both. Because tenant state is a pure
+// function of (algorithm, seed, arrival stream), replication is dual-write:
+// the router forwards every arrival to both instances, and an arrival is
+// acked only after both admitted it. The two instances' snapshots are
+// byte-identical. When the owner node dies, the router promotes the route
+// to the follower — epoch++, ledger unchanged — losing at most the
+// in-flight (unacked) window, and reseeds a new follower from the
+// survivor's exported state. Route epochs guard against ghosts: once a
+// route has been promoted, a stale old owner rejoining can never win the
+// route back via snapshot re-sync.
+//
+// # Router failover
+//
+// A second router started with Config.StandbyOf follows the primary's
+// route journal over the framed TCP protocol (a "follow" op streams the
+// base doc and then every journal event live). The follow connection
+// doubles as the health probe: after Config.FailoverAfter consecutive
+// redial failures the standby promotes itself — re-probes the nodes,
+// re-syncs routes as a consistency check, and goes active. Until then it
+// answers routing verbs with 503 and reports role "standby" on /healthz.
+// Clients fail over by retrying against a list of router addresses.
+//
+// # Fault injection
+//
+// All of the above is testable deterministically: a faults.Injector
+// (Config.Faults) hooks the router's upstream dials, connection writes,
+// HTTP transport, and health probes with seed-driven connection resets,
+// stalls, partial frames, dial failures, and probe flaps. Forwarding wraps
+// every node call in a jittered, budgeted retry policy, and arrivals carry
+// idempotency keys (stream positions) end to end, so a replayed batch is
+// trimmed by the owner rather than double-served.
 package cluster
 
 import (
@@ -64,6 +113,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -97,6 +147,33 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the router's
 	// HTTP listener.
 	EnablePprof bool
+	// StateDir is the router's durable-state directory. When set, the
+	// routing table and per-route ledgers are persisted as a base snapshot
+	// plus an append-only journal, and a restarted router restores them in
+	// O(1) instead of rescanning node snapshots. "" keeps routes in memory
+	// only (the pre-durability behavior).
+	StateDir string
+	// StandbyOf names the primary router's framed-op TCP address. When set,
+	// this router starts passive: it follows the primary's route journal
+	// over TCP, answers routing verbs with 503, and promotes itself to
+	// active after FailoverAfter consecutive connection failures.
+	StandbyOf string
+	// Replicate places every tenant on an owner and a follower node,
+	// dual-writes arrivals to both, and promotes the follower when the
+	// owner dies. Needs at least two nodes.
+	Replicate bool
+	// DownAfter is how many consecutive probe failures mark a node down
+	// (default 1 — the pre-hardening behavior). Raise it to ride out probe
+	// flaps without triggering failover.
+	DownAfter int
+	// FailoverAfter is how many consecutive follow-connection failures make
+	// a standby promote itself (default 3). Only read when StandbyOf is
+	// set.
+	FailoverAfter int
+	// Faults, when non-nil, injects deterministic failures into the
+	// router's upstream dials, connection writes, HTTP transport, and
+	// health probes. Testing and chaos drills only.
+	Faults *faults.Injector
 	// Logger receives structured router lifecycle events — placements,
 	// node up/down/rejoin, migration phases (default: discard).
 	Logger *slog.Logger
@@ -130,6 +207,20 @@ type Router struct {
 	mu     sync.RWMutex
 	routes map[string]*route
 
+	// rlog is the durable route log (memory-only when StateDir is "").
+	// Every route mutation is journaled through it under r.mu, so the
+	// journal order is the route-table mutation order; a standby's follow
+	// stream is a subscription to it.
+	rlog *routeLog
+	// routesRestored counts routes recovered from the route log at New —
+	// the restart-was-O(1) observable (/healthz reports it).
+	routesRestored int
+
+	// standby is true while this router is a passive follower of another
+	// router's route journal (Config.StandbyOf). Routing verbs answer 503
+	// until promotion flips it.
+	standby atomic.Bool
+
 	// upstreams registers every live session's node connections so the
 	// migration coordinator can flush frames it did not write.
 	upMu      sync.Mutex
@@ -138,6 +229,17 @@ type Router struct {
 	// migMu serializes migrations — one tenant moves at a time.
 	migMu      sync.Mutex
 	migrations atomic.Int64
+
+	// Hardening counters, surfaced via Metrics and /metrics.
+	retries      atomic.Int64 // node calls retried after a transient error
+	failovers    atomic.Int64 // node-down events that triggered promotions
+	promotions   atomic.Int64 // routes flipped owner→follower
+	replDegrades atomic.Int64 // followers dropped after replication errors
+
+	// migFault, when non-nil, is consulted at each migration phase
+	// ("extract", "inject", "replay", "flip") and aborts the phase when it
+	// returns an error. Fault-injection tests only; nil in production.
+	migFault func(phase string) error
 
 	httpLn   net.Listener
 	tcpLn    net.Listener
@@ -164,9 +266,14 @@ type node struct {
 	// stale (see metrics.go).
 	lastSeq  int64
 	lastWall int64
-	// prevServed supports the rebalance window (health.go).
-	prevServed int64
-	probed     bool // prevServed is meaningful only after one probe
+	// fails counts consecutive probe failures; the node is marked down only
+	// at Config.DownAfter (health-loop goroutine only).
+	fails int
+	// everUp records that this router process has probed the node healthy
+	// at least once. The first successful probe after a clean route-log
+	// restore skips the snapshot re-sync (restart is O(1)); later
+	// transitions (a node rejoining after downtime) still re-sync.
+	everUp bool
 }
 
 func (n *node) tcp() string {
@@ -184,11 +291,24 @@ func (n *node) isHealthy() bool {
 // route is one tenant's placement.
 type route struct {
 	node int
+	// follower is the replica node's index, or -1 when the tenant is not
+	// replicated (Config.Replicate off, or the follower was degraded after
+	// a replication error). Guarded by Router.mu like node.
+	follower int
+	// epoch counts ownership changes (promotions). A route with epoch > 0
+	// has been failed over at least once; snapshot re-sync then refuses to
+	// re-adopt any other claimant — a rejoining stale owner is a ghost.
+	epoch int64
 	// count is the arrival ledger: lifetime arrivals the routed node has
 	// admitted for this tenant (bootstrap seeds it from the node's served
 	// count). Incremented under Router.mu.RLock, read authoritatively
 	// under WLock.
 	count atomic.Int64
+	// synced is false when count was restored from the route log (which
+	// trails the truth by up to one health tick) and has not yet been
+	// reconciled against the owner. Migration re-syncs a stale route
+	// before quiescing on its ledger. Guarded by Router.mu.
+	synced bool
 	// lastCount is count at the previous rebalance check. Touched only by
 	// the health loop goroutine.
 	lastCount int64
@@ -213,15 +333,28 @@ func New(cfg Config) (*Router, error) {
 	if cfg.HealthEvery <= 0 {
 		cfg.HealthEvery = time.Second
 	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 1
+	}
+	if cfg.FailoverAfter <= 0 {
+		cfg.FailoverAfter = 3
+	}
+	if cfg.Replicate && len(cfg.Nodes) < 2 {
+		return nil, fmt.Errorf("cluster: replication needs at least two nodes, got %d", len(cfg.Nodes))
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = obs.Discard()
+	}
+	transport := http.DefaultTransport
+	if cfg.Faults != nil {
+		transport = cfg.Faults.Transport(transport)
 	}
 	r := &Router{
 		cfg:       cfg,
 		logger:    logger,
 		tracer:    obs.NewTracer(cfg.TraceSample),
-		client:    &http.Client{Timeout: 30 * time.Second},
+		client:    &http.Client{Timeout: 30 * time.Second, Transport: transport},
 		routes:    make(map[string]*route),
 		upstreams: make(map[*upstream]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -239,13 +372,75 @@ func New(cfg Config) (*Router, error) {
 		seen[addr] = true
 		r.nodes = append(r.nodes, &node{idx: i, addr: addr, base: "http://" + addr})
 	}
+
+	rl, err := openRouteLog(cfg.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening route log in %s: %v", cfg.StateDir, err)
+	}
+	r.rlog = rl
+	r.restoreRoutes()
 	return r, nil
+}
+
+// restoreRoutes rebuilds the in-memory routing table from the route log's
+// recovered state. Records are keyed by node address, so a restored router
+// must be configured with the same node set; a record naming an address not
+// in the config is dropped with a warning (the operator reshaped the
+// cluster — those tenants will be re-adopted by snapshot re-sync when their
+// node is probed). Restored routes are marked unsynced: the persisted
+// ledger may trail the truth by up to one health tick.
+func (r *Router) restoreRoutes() {
+	state, _ := r.rlog.snapshot()
+	if len(state) == 0 {
+		return
+	}
+	byAddr := make(map[string]int, len(r.nodes))
+	for _, n := range r.nodes {
+		byAddr[n.addr] = n.idx
+	}
+	for tenant, rec := range state {
+		idx, ok := byAddr[rec.Node]
+		if !ok {
+			r.logger.Warn("restored route names an unconfigured node, dropping",
+				"tenant", tenant, "node", rec.Node)
+			continue
+		}
+		rt := &route{node: idx, follower: -1, epoch: rec.Epoch}
+		if rec.Follower != "" {
+			if fidx, ok := byAddr[rec.Follower]; ok {
+				rt.follower = fidx
+			} else {
+				r.logger.Warn("restored route names an unconfigured follower, degrading",
+					"tenant", tenant, "follower", rec.Follower)
+			}
+		}
+		rt.count.Store(rec.Count)
+		r.routes[tenant] = rt
+	}
+	r.routesRestored = len(r.routes)
+	r.logger.Info("routes restored from route log",
+		"routes", r.routesRestored, "dir", r.cfg.StateDir)
 }
 
 // Start probes every node once (admitting the reachable ones and
 // bootstrapping routes from their snapshots), then opens the listeners and
-// begins the health loop. At least one node must be reachable.
+// begins the health loop. At least one node must be reachable. A standby
+// router (Config.StandbyOf) skips the probes and the health loop: it binds
+// its listeners passive and follows the primary's route journal until
+// promotion.
 func (r *Router) Start() error {
+	if r.cfg.StandbyOf != "" {
+		r.standby.Store(true)
+		if err := r.bindListeners(); err != nil {
+			return err
+		}
+		r.loops.Add(1)
+		go r.followLoop()
+		r.logger.Info("router up (standby)",
+			"http", r.HTTPAddr(), "tcp", r.TCPAddr(), "primary", r.cfg.StandbyOf)
+		return nil
+	}
+
 	healthy := 0
 	for _, n := range r.nodes {
 		if err := r.probe(n); err != nil {
@@ -258,6 +453,21 @@ func (r *Router) Start() error {
 		return fmt.Errorf("cluster: no node among %v is reachable", r.cfg.Nodes)
 	}
 
+	if err := r.bindListeners(); err != nil {
+		return err
+	}
+
+	r.loops.Add(1)
+	go r.healthLoop()
+	r.logger.Info("router up",
+		"http", r.HTTPAddr(), "tcp", r.TCPAddr(), "nodes", len(r.nodes),
+		"healthy", healthy, "routes_restored", r.routesRestored)
+	return nil
+}
+
+// bindListeners opens the HTTP (and optional TCP) listeners and starts
+// their serving loops — shared by active start and standby start.
+func (r *Router) bindListeners() error {
 	httpLn, err := net.Listen("tcp", r.cfg.HTTPAddr)
 	if err != nil {
 		return fmt.Errorf("cluster: listening on %s: %v", r.cfg.HTTPAddr, err)
@@ -280,11 +490,6 @@ func (r *Router) Start() error {
 		r.loops.Add(1)
 		go r.acceptLoop(tcpLn)
 	}
-
-	r.loops.Add(1)
-	go r.healthLoop()
-	r.logger.Info("router up",
-		"http", r.HTTPAddr(), "tcp", r.TCPAddr(), "nodes", len(r.nodes), "healthy", healthy)
 	return nil
 }
 
@@ -335,7 +540,26 @@ func (r *Router) Shutdown(timeout time.Duration) error {
 		}
 	}
 	r.loops.Wait()
+	// Final rebase folds the latest in-memory ledgers into the base
+	// snapshot so a clean shutdown restores exact counts.
+	r.mu.RLock()
+	counts := make(map[string]int64, len(r.routes))
+	for id, rt := range r.routes {
+		counts[id] = rt.count.Load()
+	}
+	r.mu.RUnlock()
+	r.rlog.persistCounts(counts)
+	r.rlog.close()
 	return err
+}
+
+// nodeAddr maps a node index to its configured address ("" for -1 / out of
+// range) — the journal records addresses, not indices.
+func (r *Router) nodeAddr(idx int) string {
+	if idx < 0 || idx >= len(r.nodes) {
+		return ""
+	}
+	return r.nodes[idx].addr
 }
 
 // checkIdentity admits a node into the cluster identity (algorithm, seed)
@@ -367,6 +591,26 @@ func (r *Router) getJSON(url string, v interface{}) error {
 		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, snippet(resp.Body))
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// getRaw fetches url and hands back the raw success-response bytes —
+// the GET twin of postRaw, used for tenant exports that must be forwarded
+// verbatim.
+func (r *Router) getRaw(url string, out *[]byte) error {
+	resp, err := r.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, snippet(resp.Body))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	*out = b
+	return nil
 }
 
 // postJSON posts v (pre-marshaled when []byte) to url and decodes the

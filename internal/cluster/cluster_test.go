@@ -493,11 +493,11 @@ func TestRendezvousPlacementStable(t *testing.T) {
 	seen := map[int]bool{}
 	for i := 0; i < 20; i++ {
 		id := tenantName(i)
-		pa, err := a.placeRendezvous(id)
+		pa, err := a.placeRendezvous(id, -1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pb, err := b.placeRendezvous(id)
+		pb, err := b.placeRendezvous(id, -1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,493 @@
+package cluster
+
+// Tests for the hardening layers: the durable route log, router restart,
+// standby failover, tenant replication, and deterministic fault injection.
+// Every recovery path closes the loop against the same golden the rest of
+// the suite uses — the single-node /v1/snapshots artifact for the identical
+// workload — so "survived the fault" always means "byte-identical state",
+// never just "did not crash".
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// TestRouteLogRoundTrip: the folded state of a route log survives a clean
+// close/reopen cycle (base snapshot path) with sequence numbers intact.
+func TestRouteLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rl, err := openRouteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.append(routeEvent{Op: "place", Tenant: "a", Node: "n1:1", Follower: "n2:1"})
+	rl.append(routeEvent{Op: "place", Tenant: "b", Node: "n2:1"})
+	rl.append(routeEvent{Op: "counts", Counts: map[string]int64{"a": 12, "b": 7}})
+	rl.append(routeEvent{Op: "flip", Tenant: "b", Node: "n1:1", Count: 9})
+	rl.append(routeEvent{Op: "promote", Tenant: "a", Node: "n2:1", Count: 12, Epoch: 1})
+	rl.append(routeEvent{Op: "place", Tenant: "c", Node: "n1:1"})
+	rl.append(routeEvent{Op: "drop", Tenant: "c"})
+	want, seq := rl.snapshot()
+	rl.close()
+
+	re, err := openRouteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.close()
+	got, gotSeq := re.snapshot()
+	if gotSeq != seq {
+		t.Errorf("reopened log at seq %d, want %d", gotSeq, seq)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reopened state %+v, want %+v", got, want)
+	}
+	if re.restored != len(want) {
+		t.Errorf("restored %d routes, want %d", re.restored, len(want))
+	}
+}
+
+// TestRouteLogTornJournal: a torn final journal line — the expected kill -9
+// artifact — stops replay cleanly instead of corrupting the restore.
+func TestRouteLogTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	rl, err := openRouteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.append(routeEvent{Op: "place", Tenant: "a", Node: "n1:1"})
+	rl.append(routeEvent{Op: "counts", Counts: map[string]int64{"a": 5}})
+	want, seq := rl.snapshot()
+	// No close: simulate a kill -9 that tore the last line mid-write.
+	f, err := os.OpenFile(filepath.Join(dir, routesJournalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"place","tenant":"torn","node":"nx`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := openRouteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.close()
+	got, gotSeq := re.snapshot()
+	if gotSeq != seq {
+		t.Errorf("replay past the torn line: seq %d, want %d", gotSeq, seq)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("restored state %+v, want %+v", got, want)
+	}
+}
+
+// TestRouterRestartRestoresRoutes: a router with a StateDir restores its
+// routing table and ledgers from its own checkpoint — O(1), no node
+// snapshot rescans — and serves the remaining workload to byte identity.
+func TestRouterRestartRestoresRoutes(t *testing.T) {
+	const tenants, arrivals, cut = 3, 60, 36
+	want := referenceArtifact(t, 31, tenants, arrivals)
+
+	w1 := startWorker(t, 31, "")
+	w2 := startWorker(t, 31, "")
+	nodes := []string{w1.HTTPAddr(), w2.HTTPAddr()}
+	dir := t.TempDir()
+
+	r1 := startRouter(t, Config{Nodes: nodes, StateDir: dir})
+	base := "http://" + r1.HTTPAddr()
+	for i := 0; i < tenants; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i), testCreate, http.StatusCreated)
+	}
+	for i := 0; i < cut; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+	if err := r1.Shutdown(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := startRouter(t, Config{Nodes: nodes, StateDir: dir})
+	base = "http://" + r2.HTTPAddr()
+	if r2.routesRestored != tenants {
+		t.Fatalf("restored %d routes from the route log, want %d", r2.routesRestored, tenants)
+	}
+	var hz struct {
+		Role           string `json:"role"`
+		RoutesRestored int    `json:"routes_restored"`
+	}
+	if err := json.Unmarshal(httpJSON(t, "GET", base+"/healthz", nil, http.StatusOK), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "router" || hz.RoutesRestored != tenants {
+		t.Errorf("healthz role=%s routes_restored=%d, want router/%d", hz.Role, hz.RoutesRestored, tenants)
+	}
+	// A clean shutdown folded the exact ledgers into the base snapshot.
+	r2.mu.RLock()
+	var restored int64
+	for _, rt := range r2.routes {
+		restored += rt.count.Load()
+	}
+	r2.mu.RUnlock()
+	if restored != cut {
+		t.Errorf("restored ledgers sum to %d, want %d", restored, cut)
+	}
+
+	for i := cut; i < arrivals; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+	got := httpJSON(t, "GET", base+"/v1/snapshots", nil, http.StatusOK)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshots after router restart differ from the single-node artifact")
+	}
+}
+
+// TestStandbyPromoteByteIdentity: a standby router follows the primary's
+// route journal, refuses routing verbs while passive, promotes itself when
+// the primary dies, and serves the rest of the workload to byte identity.
+func TestStandbyPromoteByteIdentity(t *testing.T) {
+	const tenants, arrivals, cut = 3, 60, 30
+	want := referenceArtifact(t, 41, tenants, arrivals)
+
+	w1 := startWorker(t, 41, "")
+	w2 := startWorker(t, 41, "")
+	nodes := []string{w1.HTTPAddr(), w2.HTTPAddr()}
+
+	primary := startRouter(t, Config{Nodes: nodes, TCPAddr: "127.0.0.1:0", StateDir: t.TempDir()})
+	pbase := "http://" + primary.HTTPAddr()
+	for i := 0; i < tenants; i++ {
+		httpJSON(t, "POST", pbase+"/v1/tenants/"+tenantName(i), testCreate, http.StatusCreated)
+	}
+	for i := 0; i < cut; i++ {
+		httpJSON(t, "POST", pbase+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+
+	standby := startRouter(t, Config{
+		Nodes: nodes, StandbyOf: primary.TCPAddr(), FailoverAfter: 1, StateDir: t.TempDir(),
+	})
+	sbase := "http://" + standby.HTTPAddr()
+
+	// Passive standbys refuse routing verbs with the rotation signal.
+	httpJSON(t, "GET", sbase+"/v1/snapshots", nil, http.StatusServiceUnavailable)
+
+	// The follow stream must deliver the full table and, within a health
+	// tick, the exact ledgers.
+	waitFor(t, "standby to follow the route table", func() bool {
+		state, _ := standby.rlog.snapshot()
+		if len(state) != tenants {
+			return false
+		}
+		var sum int64
+		for _, rec := range state {
+			sum += rec.Count
+		}
+		return sum == cut
+	})
+
+	if err := primary.Shutdown(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "standby promotion", func() bool { return !standby.standby.Load() })
+
+	var hz struct {
+		Role string `json:"role"`
+	}
+	if err := json.Unmarshal(httpJSON(t, "GET", sbase+"/healthz", nil, http.StatusOK), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "router" {
+		t.Errorf("promoted standby reports role %q, want router", hz.Role)
+	}
+
+	for i := cut; i < arrivals; i++ {
+		httpJSON(t, "POST", sbase+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+	got := httpJSON(t, "GET", sbase+"/v1/snapshots", nil, http.StatusOK)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshots after standby takeover differ from the single-node artifact")
+	}
+}
+
+// TestReplicationWorkerLoss: with Replicate on, every acknowledged arrival
+// survives the owner node's death — the followers promote and the final
+// artifact is byte-identical to the fault-free single-node run.
+func TestReplicationWorkerLoss(t *testing.T) {
+	const tenants, arrivals, cut = 3, 60, 30
+	want := referenceArtifact(t, 51, tenants, arrivals)
+
+	w1 := startWorker(t, 51, "")
+	w2 := startWorker(t, 51, "")
+	r := startRouter(t, Config{Nodes: []string{w1.HTTPAddr(), w2.HTTPAddr()}, Replicate: true})
+	base := "http://" + r.HTTPAddr()
+
+	for i := 0; i < tenants; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i), testCreate, http.StatusCreated)
+	}
+	var m Metrics
+	if err := json.Unmarshal(httpJSON(t, "GET", base+"/v1/metrics", nil, http.StatusOK), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReplicatedTenants != tenants {
+		t.Fatalf("%d of %d tenants replicated", m.ReplicatedTenants, tenants)
+	}
+	// Least-load placement with two nodes puts every owner on node 0 (ties
+	// go to the lowest index) and every follower on node 1 — so killing
+	// node 0 exercises promotion for the whole table.
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		if rt.node != 0 || rt.follower != 1 {
+			t.Fatalf("route %s: owner %d follower %d, want 0/1", id, rt.node, rt.follower)
+		}
+	}
+	r.mu.RUnlock()
+
+	for i := 0; i < cut; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+
+	// Kill the owner node. Every pre-kill arrival was acknowledged only
+	// after both replicas admitted it, so zero acknowledged loss is exactly
+	// byte identity of the survivor's state.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower promotion", func() bool { return r.promotions.Load() == tenants })
+
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		if rt.node != 1 || rt.epoch != 1 {
+			t.Errorf("route %s after failover: owner %d epoch %d, want 1/1", id, rt.node, rt.epoch)
+		}
+		if rt.follower != -1 {
+			t.Errorf("route %s kept follower %d with one node left", id, rt.follower)
+		}
+	}
+	r.mu.RUnlock()
+	if r.failovers.Load() == 0 {
+		t.Error("failover counter never advanced")
+	}
+
+	for i := cut; i < arrivals; i++ {
+		httpJSON(t, "POST", base+"/v1/tenants/"+tenantName(i%tenants)+"/arrive", testArrival(i), http.StatusOK)
+	}
+	got := httpJSON(t, "GET", base+"/v1/snapshots", nil, http.StatusOK)
+	if !bytes.Equal(got, want) {
+		t.Error("snapshots after worker loss differ from the single-node artifact")
+	}
+}
+
+// TestMigrationFaultInjection drives the migration coordinator into every
+// injected failure phase and asserts the documented outcome: extract and
+// inject faults abort cleanly back to the source, a flip fault lands the
+// route on the target anyway (state lives there), and an inject+reinject
+// double fault drops the route rather than leaving it split. In every
+// surviving case the tenant's final snapshot is byte-identical — no
+// arrival is lost or double-served by a faulted migration.
+func TestMigrationFaultInjection(t *testing.T) {
+	const arrivals, cut = 40, 20
+	cases := []struct {
+		name    string
+		fail    map[string]bool
+		flipped bool // route ends on the target despite the error
+		dropped bool // route is gone (tenant needs manual restore)
+	}{
+		{name: "extract-fault-aborts", fail: map[string]bool{"extract": true}},
+		{name: "inject-fault-aborts", fail: map[string]bool{"inject": true}},
+		{name: "flip-fault-flips-anyway", fail: map[string]bool{"flip": true}, flipped: true},
+		{name: "double-fault-drops-route", fail: map[string]bool{"inject": true, "reinject": true}, dropped: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := referenceArtifact(t, 61, 1, arrivals)
+			w1 := startWorker(t, 61, "")
+			w2 := startWorker(t, 61, "")
+			r := startRouter(t, Config{Nodes: []string{w1.HTTPAddr(), w2.HTTPAddr()}})
+			base := "http://" + r.HTTPAddr()
+			id := tenantName(0)
+			httpJSON(t, "POST", base+"/v1/tenants/"+id, testCreate, http.StatusCreated)
+			for i := 0; i < cut; i++ {
+				httpJSON(t, "POST", base+"/v1/tenants/"+id+"/arrive", testArrival(i), http.StatusOK)
+			}
+
+			r.migFault = func(phase string) error {
+				if tc.fail[phase] {
+					return fmt.Errorf("injected %s fault", phase)
+				}
+				return nil
+			}
+			if _, err := r.Migrate(id, w2.HTTPAddr()); err == nil {
+				t.Fatal("migration with an injected fault reported success")
+			}
+			r.migFault = nil
+			if n := r.migrations.Load(); n != 0 {
+				t.Errorf("failed migration counted as complete (%d)", n)
+			}
+
+			if tc.dropped {
+				// The tenant's state was lost mid-move; the route must be
+				// gone so requests fail fast instead of splitting.
+				httpJSON(t, "POST", base+"/v1/tenants/"+id+"/arrive", testArrival(cut), http.StatusMisdirectedRequest)
+				return
+			}
+
+			r.mu.RLock()
+			rt := r.routes[id]
+			var node int
+			var count int64
+			migrating := false
+			if rt != nil {
+				node, count, migrating = rt.node, rt.count.Load(), rt.mig != nil
+			}
+			r.mu.RUnlock()
+			if rt == nil {
+				t.Fatal("route vanished after a recoverable migration fault")
+			}
+			if migrating {
+				t.Fatal("route left in the migrating state")
+			}
+			if count != cut {
+				t.Errorf("ledger reads %d after the faulted migration, want %d", count, cut)
+			}
+			wantNode := 0
+			if tc.flipped {
+				wantNode = 1
+			}
+			if node != wantNode {
+				t.Errorf("route on node %d, want %d", node, wantNode)
+			}
+
+			for i := cut; i < arrivals; i++ {
+				httpJSON(t, "POST", base+"/v1/tenants/"+id+"/arrive", testArrival(i), http.StatusOK)
+			}
+			got := httpJSON(t, "GET", base+"/v1/snapshots", nil, http.StatusOK)
+			if !bytes.Equal(got, want) {
+				t.Error("snapshots after the faulted migration differ from the single-node artifact")
+			}
+		})
+	}
+}
+
+// tryJSON is httpJSON without the fatal status check — fault-injection
+// tests retry around injected transport failures instead of dying on them.
+// The client→router hop carries no injected faults, so a transport error
+// there is still fatal.
+func tryJSON(t *testing.T, method, url string, body interface{}, hdr map[string]string) ([]byte, int) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// TestInjectedFaultsNoDoubleServe runs a full workload through a router
+// whose upstream transport injects deterministic dial failures and stalls.
+// Arrivals carry client-side idempotency keys and are retried until
+// acknowledged; the test asserts the end state the hardening promises —
+// every acknowledged arrival admitted exactly once (ledger == workload,
+// artifact byte-identical) no matter how many forwards the injector killed.
+func TestInjectedFaultsNoDoubleServe(t *testing.T) {
+	const tenants, arrivals = 3, 90
+	want := referenceArtifact(t, 71, tenants, arrivals)
+
+	inj, err := faults.Parse("seed=7,dial-fail=1/25,stall=1/20:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := startWorker(t, 71, "")
+	w2 := startWorker(t, 71, "")
+	// DownAfter rides out injected probe-path faults without failover.
+	r := startRouter(t, Config{Nodes: []string{w1.HTTPAddr(), w2.HTTPAddr()}, DownAfter: 5, Faults: inj})
+	base := "http://" + r.HTTPAddr()
+
+	// Creates are not retried inside the router (a failed create rolls its
+	// reservation back), so retry here; 409 means an earlier attempt won.
+	for i := 0; i < tenants; i++ {
+		url := base + "/v1/tenants/" + tenantName(i)
+		waitFor(t, "create "+tenantName(i), func() bool {
+			_, status := tryJSON(t, "POST", url, testCreate, nil)
+			return status == http.StatusCreated || status == http.StatusConflict
+		})
+	}
+
+	// Keyed arrivals: every post names its stream position, so a retried
+	// batch is trimmed by the ledger, never double-served.
+	pos := make(map[string]int64)
+	for i := 0; i < arrivals; i++ {
+		id := tenantName(i % tenants)
+		sent := false
+		for attempt := 0; attempt < 50 && !sent; attempt++ {
+			_, status := tryJSON(t, "POST", base+"/v1/tenants/"+id+"/arrive", testArrival(i),
+				map[string]string{server.IdemHeader: strconv.FormatInt(pos[id], 10)})
+			if status == http.StatusOK {
+				sent = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !sent {
+			t.Fatalf("arrival %d for %s not admitted after retries", i, id)
+		}
+		pos[id]++
+	}
+
+	m := r.Metrics()
+	if m.Served != arrivals {
+		t.Errorf("route ledgers account %d arrivals, want exactly %d", m.Served, arrivals)
+	}
+	var fired int64
+	for _, n := range m.Faults {
+		fired += n
+	}
+	if fired == 0 {
+		t.Error("fault injector never fired — the workload did not exercise the retry path")
+	}
+
+	// The artifact fetch itself crosses the faulty transport; retry it too.
+	var got []byte
+	waitFor(t, "snapshots through the faulty transport", func() bool {
+		b, status := tryJSON(t, "GET", base+"/v1/snapshots", nil, nil)
+		if status != http.StatusOK {
+			return false
+		}
+		got = b
+		return true
+	})
+	if !bytes.Equal(got, want) {
+		t.Error("snapshots under fault injection differ from the single-node artifact")
+	}
+}

@@ -9,8 +9,11 @@ import (
 )
 
 // healthLoop probes every node each HealthEvery tick, re-syncing routes
-// when a node (re)joins and — when MigrateThreshold is set — rebalancing
-// the hottest tenant off the busiest node.
+// when a node (re)joins, promoting followers when an owner goes down, and —
+// when MigrateThreshold is set — rebalancing the hottest tenant off the
+// busiest node. A node is declared down only after Config.DownAfter
+// consecutive probe failures; injected probe flaps (Config.Faults) count as
+// failures, which is exactly what DownAfter exists to absorb.
 func (r *Router) healthLoop() {
 	defer r.loops.Done()
 	tick := time.NewTicker(r.cfg.HealthEvery)
@@ -21,25 +24,87 @@ func (r *Router) healthLoop() {
 			return
 		case <-tick.C:
 		}
-		for _, n := range r.nodes {
-			if err := r.probe(n); err != nil {
-				n.mu.Lock()
-				was := n.healthy
-				n.healthy = false
-				n.mu.Unlock()
-				if was {
-					r.logger.Warn("node down", "node", n.addr, "err", err)
-				}
-			}
-		}
+		r.probeAll()
+		r.persistLedgers()
+		r.maybeReseed()
 		r.maybeRebalance()
 	}
 }
 
-// probe asks one node who it is. On the unhealthy→healthy transition
-// (first contact and every rejoin) the node's identity is checked against
-// the cluster's and its tenants are re-synced into the routing table.
+// probeAll runs one probe round, handling down transitions (and the
+// failover they trigger).
+func (r *Router) probeAll() {
+	for _, n := range r.nodes {
+		err := r.probe(n)
+		if err == nil {
+			n.mu.Lock()
+			n.fails = 0
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		n.fails++
+		fails := n.fails
+		down := n.healthy && fails >= r.cfg.DownAfter
+		if down {
+			n.healthy = false
+		}
+		stillUp := n.healthy
+		n.mu.Unlock()
+		if down {
+			r.logger.Warn("node down", "node", n.addr, "fails", fails, "err", err)
+			r.failoverNode(n)
+		} else if stillUp {
+			r.logger.Warn("node probe failed, riding it out",
+				"node", n.addr, "fails", fails, "down_after", r.cfg.DownAfter, "err", err)
+		}
+	}
+}
+
+// persistLedgers folds the current route ledgers into the route log as one
+// compact counts event (only ledgers that moved are written). Restored
+// ledgers therefore trail the truth by at most one health tick.
+func (r *Router) persistLedgers() {
+	r.mu.RLock()
+	counts := make(map[string]int64, len(r.routes))
+	for id, rt := range r.routes {
+		counts[id] = rt.count.Load()
+	}
+	r.mu.RUnlock()
+	r.rlog.persistCounts(counts)
+}
+
+// maybeReseed restores redundancy for one unreplicated route per tick —
+// bounded work, so a mass degrade heals gradually instead of stalling the
+// health loop.
+func (r *Router) maybeReseed() {
+	if !r.cfg.Replicate {
+		return
+	}
+	var tenant string
+	r.mu.RLock()
+	for id, rt := range r.routes {
+		if rt.follower < 0 && rt.mig == nil && rt.synced {
+			tenant = id
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if tenant != "" {
+		r.reseedFollower(tenant)
+	}
+}
+
+// probe asks one node who it is. On the unhealthy→healthy transition the
+// node's identity is checked against the cluster's and its tenants are
+// re-synced into the routing table — except on the very first contact after
+// a clean route-log restore, where the table is already authoritative and
+// the restart path must stay O(1) (the re-sync survives as the *rejoin*
+// consistency check, not a recovery step).
 func (r *Router) probe(n *node) error {
+	if r.cfg.Faults.ProbeFlap() {
+		return fmt.Errorf("injected probe flap")
+	}
 	var info server.NodeInfo
 	if err := r.getJSON(n.base+"/v1/node", &info); err != nil {
 		return err
@@ -49,10 +114,17 @@ func (r *Router) probe(n *node) error {
 	}
 	n.mu.Lock()
 	was := n.healthy
+	firstContact := !n.everUp
 	n.healthy = true
+	n.everUp = true
 	n.info = info
 	n.mu.Unlock()
 	if !was {
+		if firstContact && r.routesRestored > 0 {
+			r.logger.Info("node adopted from restored routes",
+				"node", n.addr, "tenants", info.Tenants, "served", info.Served)
+			return nil
+		}
 		if err := r.syncNode(n); err != nil {
 			n.mu.Lock()
 			n.healthy = false
@@ -64,15 +136,18 @@ func (r *Router) probe(n *node) error {
 	return nil
 }
 
-// syncNode folds one node's hosted tenants into the routing table — the
-// router's only source of route state (it keeps none durably). Routes for
-// tenants the table does not know are created; routes already pointing at
-// this node have their ledger reset to the node's served count (a node
+// syncNode folds one node's hosted tenants into the routing table. Routes
+// for tenants the table does not know are created; routes already pointing
+// at this node have their ledger reset to the node's served count (a node
 // restarted from checkpoint may have lost a tail the ledger still counts —
-// the node's state is the truth). When another node also claims the
-// tenant, the higher served count wins: that is the footprint of a
-// migration interrupted between extract and the source's checkpoint, and
-// the higher count is the state that includes the move.
+// the node's state is the truth). When another node also claims the tenant,
+// the higher served count wins — the footprint of a migration interrupted
+// between extract and the source's checkpoint — EXCEPT on a route that has
+// been promoted (epoch > 0): there the claimant is the dead old owner
+// rejoining with state that includes arrivals the survivor also has, and
+// adopting it would fork the stream. Ghosts are logged and skipped. A
+// node hosting a route's follower replica is also left alone — the replica
+// is supposed to mirror the owner's counts.
 func (r *Router) syncNode(n *node) error {
 	var snaps []*engine.TenantSnapshot
 	if err := r.getJSON(n.base+"/v1/snapshots?compact=true", &snaps); err != nil {
@@ -84,80 +159,84 @@ func (r *Router) syncNode(n *node) error {
 		rt, ok := r.routes[s.Tenant]
 		switch {
 		case !ok:
-			rt = &route{node: n.idx}
+			rt = &route{node: n.idx, follower: -1, synced: true}
 			rt.count.Store(int64(s.Served))
 			r.routes[s.Tenant] = rt
+			r.rlog.append(routeEvent{Op: "place", Tenant: s.Tenant, Node: n.addr, Count: int64(s.Served)})
 		case rt.mig != nil:
 			// Mid-migration state is the coordinator's to resolve.
+		case rt.follower == n.idx:
+			// The node hosts this tenant's replica; the owner's ledger rules.
 		case rt.node == n.idx:
 			if rt.count.Load() != int64(s.Served) {
 				r.logger.Warn("ledger reset from node state",
 					"tenant", s.Tenant, "ledger", rt.count.Load(), "served", s.Served, "node", n.addr)
 			}
 			rt.count.Store(int64(s.Served))
+			rt.synced = true
+		case rt.epoch > 0:
+			r.logger.Warn("stale claimant ignored on promoted route (ghost)",
+				"tenant", s.Tenant, "node", n.addr, "served", s.Served,
+				"owner", r.nodes[rt.node].addr, "epoch", rt.epoch)
 		case int64(s.Served) > rt.count.Load():
 			r.logger.Warn("tenant rerouted to higher-served claimant",
 				"tenant", s.Tenant, "node", n.addr, "served", s.Served,
 				"prev_node", r.nodes[rt.node].addr, "ledger", rt.count.Load())
 			rt.node = n.idx
 			rt.count.Store(int64(s.Served))
+			rt.synced = true
+			r.rlog.append(routeEvent{Op: "flip", Tenant: s.Tenant, Node: n.addr,
+				Follower: r.nodeAddr(rt.follower), Count: int64(s.Served), Epoch: rt.epoch})
 		}
 	}
 	return nil
 }
 
 // maybeRebalance moves the hottest tenant off the busiest node when the
-// per-probe arrival-rate spread exceeds MigrateThreshold. All inputs are
-// the router's own observations — node served counts from probes, route
-// ledgers for picking the tenant — so it needs no extra node round trips.
+// nodes' windowed arrival rates spread past MigrateThreshold. Node load is
+// judged by each node's own windowed serving rate (the same
+// window_arrivals_per_sec /v1/metrics reports) — a rate the node computes
+// over its serving window, robust to probe-interval jitter — rather than
+// by raw served-count deltas between probes. The hottest tenant on the hot
+// node is still picked by route-ledger delta (the router's own
+// observation, no extra round trips).
 func (r *Router) maybeRebalance() {
 	if r.cfg.MigrateThreshold <= 1 {
 		return
 	}
-	// Arrival deltas since the previous probe, per healthy node.
+	cm := r.Metrics()
 	type load struct {
-		n     *node
-		delta int64
+		n    *node
+		rate float64
 	}
 	var loads []load
-	for _, n := range r.nodes {
-		n.mu.Lock()
-		if !n.healthy {
-			n.mu.Unlock()
+	for i, rep := range cm.PerNode {
+		if !rep.Healthy || rep.Stale || rep.Metrics == nil {
 			continue
 		}
-		var delta int64 = -1
-		if n.probed {
-			delta = n.info.Served - n.prevServed
-		}
-		n.prevServed = n.info.Served
-		n.probed = true
-		n.mu.Unlock()
-		if delta >= 0 {
-			loads = append(loads, load{n, delta})
-		}
+		loads = append(loads, load{r.nodes[i], rep.Metrics.WindowArrivalsPerSec})
 	}
 	if len(loads) < 2 {
 		return
 	}
 	hot, cold := loads[0], loads[0]
 	for _, l := range loads[1:] {
-		if l.delta > hot.delta {
+		if l.rate > hot.rate {
 			hot = l
 		}
-		if l.delta < cold.delta {
+		if l.rate < cold.rate {
 			cold = l
 		}
 	}
-	// rebalanceFloor keeps probe-window noise from triggering moves.
-	const rebalanceFloor = 64
-	if hot.delta < rebalanceFloor || float64(hot.delta) < r.cfg.MigrateThreshold*float64(max64(cold.delta, 1)) {
+	// rebalanceFloor keeps window noise from triggering moves.
+	const rebalanceFloor = 64.0
+	if hot.rate < rebalanceFloor || hot.rate < r.cfg.MigrateThreshold*maxF(cold.rate, 1) {
 		return
 	}
 
 	// Hottest tenant on the hot node by ledger delta — and only if the hot
 	// node hosts more than one tenant (moving its only tenant would just
-	// move the hotspot).
+	// move the hotspot). The cold node must not host the tenant's replica.
 	var tenant string
 	var tenantDelta int64
 	hosted := 0
@@ -169,6 +248,9 @@ func (r *Router) maybeRebalance() {
 		hosted++
 		d := rt.count.Load() - rt.lastCount
 		rt.lastCount = rt.count.Load()
+		if rt.follower == cold.n.idx {
+			continue
+		}
 		if tenant == "" || d > tenantDelta {
 			tenant, tenantDelta = id, d
 		}
@@ -178,14 +260,14 @@ func (r *Router) maybeRebalance() {
 		return
 	}
 	r.logger.Info("rebalancing",
-		"tenant", tenant, "from", hot.n.addr, "hot_delta", hot.delta,
-		"to", cold.n.addr, "cold_delta", cold.delta)
+		"tenant", tenant, "from", hot.n.addr, "hot_rate", hot.rate,
+		"to", cold.n.addr, "cold_rate", cold.rate)
 	if _, err := r.Migrate(tenant, cold.n.addr); err != nil {
 		r.logger.Error("rebalance migration failed", "tenant", tenant, "err", err)
 	}
 }
 
-func max64(a, b int64) int64 {
+func maxF(a, b float64) float64 {
 	if a > b {
 		return a
 	}

@@ -17,19 +17,23 @@ import (
 
 // handler builds the router's HTTP surface: the node API verbatim (create,
 // arrive, snapshots, metrics, healthz, checkpoint) plus the cluster-only
-// verbs (migrate, routes).
+// verbs (migrate, routes). Routing verbs are gated on the router's role: a
+// passive standby answers them 503 with role=standby so clients rotate to
+// the active router; observability verbs always answer.
 func (r *Router) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/tenants/{id}", r.handleCreate)
-	mux.HandleFunc("POST /v1/tenants/{id}/arrive", r.handleArrive)
-	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", r.handleSnapshot)
-	mux.HandleFunc("GET /v1/snapshots", r.handleSnapshots)
+	active := r.requireActive
+	mux.HandleFunc("POST /v1/tenants/{id}", active(r.handleCreate))
+	mux.HandleFunc("POST /v1/tenants/{id}/arrive", active(r.handleArrive))
+	mux.HandleFunc("GET /v1/tenants/{id}/served", active(r.handleServed))
+	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", active(r.handleSnapshot))
+	mux.HandleFunc("GET /v1/snapshots", active(r.handleSnapshots))
 	mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
 	mux.HandleFunc("GET /metrics", r.handleProm)
 	mux.HandleFunc("GET /v1/debug/flight", r.handleFlight)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
-	mux.HandleFunc("POST /v1/checkpoint", r.handleCheckpoint)
-	mux.HandleFunc("POST /v1/migrate", r.handleMigrate)
+	mux.HandleFunc("POST /v1/checkpoint", active(r.handleCheckpoint))
+	mux.HandleFunc("POST /v1/migrate", active(r.handleMigrate))
 	mux.HandleFunc("GET /v1/routes", r.handleRoutes)
 	if r.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -41,11 +45,32 @@ func (r *Router) handler() http.Handler {
 	return mux
 }
 
+// requireActive refuses routing verbs while the router is a passive
+// standby. 503 + role=standby is the rotation signal: retrying clients
+// (loadgen -retry, the cluster retry policy) move to the next address.
+func (r *Router) requireActive(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r.standby.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": "router is a passive standby", "role": "standby", "primary": r.cfg.StandbyOf,
+			})
+			return
+		}
+		next(w, req)
+	}
+}
+
 // clusterStatus maps router errors onto HTTP statuses. A stale or missing
 // route answers 421 Misdirected Request — the cluster cousin of the node's
-// 404: the tenant may exist, just not where this request went.
+// 404: the tenant may exist, just not where this request went. An
+// idempotency-key gap answers 409, matching the node's contract.
 func clusterStatus(err error) int {
 	switch {
+	case errors.Is(err, engine.ErrArrivalGap):
+		return http.StatusConflict
 	case errors.Is(err, engine.ErrUnknownTenant):
 		return http.StatusMisdirectedRequest
 	case errors.Is(err, engine.ErrDuplicateTenant):
@@ -112,14 +137,62 @@ func (r *Router) handleArrive(w http.ResponseWriter, req *http.Request) {
 	if traceID == 0 {
 		traceID = r.tracer.Sample()
 	}
-	accepted, err := r.forwardArrivals(req.PathValue("id"), batch, traceID)
+	// A client idempotency key (stream position of batch[0]) makes the call
+	// retry-safe end to end: the router trims the already-routed prefix
+	// against its ledger before forwarding, exactly as a node trims against
+	// its admitted count.
+	clientStart := int64(-1)
+	if v := req.Header.Get(server.IdemHeader); v != "" {
+		start, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || start < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad %s %q", server.IdemHeader, v))
+			return
+		}
+		clientStart = start
+	}
+	accepted, deduped, err := r.forwardArrivalsAt(req.PathValue("id"), batch, traceID, clientStart)
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(clusterStatus(err))
-		json.NewEncoder(w).Encode(map[string]interface{}{"error": err.Error(), "accepted": accepted})
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"error": err.Error(), "accepted": accepted, "deduped": deduped,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "deduped": deduped})
+}
+
+// handleServed proxies the owner node's admitted/served counts — what a
+// resuming client needs to rebuild its idempotency key after a failover.
+// The route is re-synced first so a freshly promoted or restarted router
+// answers with the owner's truth, not a restored ledger.
+func (r *Router) handleServed(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if err := r.ensureSynced(id); err != nil {
+		writeErr(w, clusterStatus(err), err)
+		return
+	}
+	r.mu.RLock()
+	rt := r.routes[id]
+	var base string
+	if rt != nil {
+		base = r.nodes[rt.node].base
+	}
+	r.mu.RUnlock()
+	if rt == nil {
+		writeErr(w, http.StatusMisdirectedRequest,
+			fmt.Errorf("cluster: tenant %q has no route: %w", id, engine.ErrUnknownTenant))
+		return
+	}
+	resp, err := r.client.Get(base + "/v1/tenants/" + id + "/served")
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: node served: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client-side failure
 }
 
 // handleSnapshot proxies a single-tenant snapshot to the owner node. While
@@ -232,17 +305,29 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.RLock()
 	tenants := len(r.routes)
+	replicated := 0
+	for _, rt := range r.routes {
+		if rt.follower >= 0 {
+			replicated++
+		}
+	}
 	r.mu.RUnlock()
 	status := "ok"
 	if healthy < len(r.nodes) {
 		status = "degraded"
 	}
+	role := "router"
+	if r.standby.Load() {
+		role = "standby"
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":  status,
-		"role":    "router",
-		"nodes":   len(r.nodes),
-		"healthy": healthy,
-		"tenants": tenants,
+		"status":          status,
+		"role":            role,
+		"nodes":           len(r.nodes),
+		"healthy":         healthy,
+		"tenants":         tenants,
+		"replicated":      replicated,
+		"routes_restored": r.routesRestored,
 	})
 }
 
@@ -344,7 +429,9 @@ func (r *Router) pickMigrateTarget(tenant string) (string, error) {
 // RouteInfo is one tenant's routing entry as reported by GET /v1/routes.
 type RouteInfo struct {
 	Node      string `json:"node"`
+	Follower  string `json:"follower,omitempty"`
 	Arrivals  int64  `json:"arrivals"`
+	Epoch     int64  `json:"epoch,omitempty"`
 	Migrating bool   `json:"migrating"`
 }
 
@@ -354,7 +441,9 @@ func (r *Router) handleRoutes(w http.ResponseWriter, req *http.Request) {
 	for id, rt := range r.routes {
 		out[id] = RouteInfo{
 			Node:      r.nodes[rt.node].addr,
+			Follower:  r.nodeAddr(rt.follower),
 			Arrivals:  rt.count.Load(),
+			Epoch:     rt.epoch,
 			Migrating: rt.mig != nil,
 		}
 	}

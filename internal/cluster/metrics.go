@@ -41,8 +41,23 @@ type Metrics struct {
 	// serving rates.
 	WindowArrivalsPerSec float64 `json:"window_arrivals_per_sec"`
 	// Migrations counts completed migrations since the router started.
-	Migrations int64        `json:"migrations"`
-	PerNode    []NodeReport `json:"per_node"`
+	Migrations int64 `json:"migrations"`
+	// ReplicatedTenants counts routes that currently have a live follower
+	// replica; Replicate-mode clusters want this equal to Tenants.
+	ReplicatedTenants int `json:"replicated_tenants"`
+	// Retries counts forwarding attempts repeated under the retry policy.
+	Retries int64 `json:"retries"`
+	// Failovers counts node-down events that triggered follower promotion;
+	// Promotions counts the tenants promoted across all of them.
+	Failovers  int64 `json:"failovers"`
+	Promotions int64 `json:"promotions"`
+	// ReplicationDegrades counts followers dropped after a dual-write or
+	// reseed failure (each later healed by the health loop's reseeder).
+	ReplicationDegrades int64 `json:"replication_degrades"`
+	// Faults reports injected-fault counts by kind when a fault injector is
+	// configured (absent otherwise).
+	Faults  map[string]int64 `json:"faults,omitempty"`
+	PerNode []NodeReport     `json:"per_node"`
 }
 
 // Metrics scrapes every node and merges the reports. Each node's Seq is
@@ -51,20 +66,30 @@ type Metrics struct {
 func (r *Router) Metrics() Metrics {
 	routed := make(map[int]int)
 	var served int64
+	replicated := 0
 	r.mu.RLock()
 	tenants := len(r.routes)
 	for _, rt := range r.routes {
 		routed[rt.node]++
 		served += rt.count.Load()
+		if rt.follower >= 0 {
+			replicated++
+		}
 	}
 	r.mu.RUnlock()
 
 	cm := Metrics{
-		Nodes:      len(r.nodes),
-		Tenants:    tenants,
-		Served:     served,
-		Migrations: r.migrations.Load(),
-		PerNode:    make([]NodeReport, 0, len(r.nodes)),
+		Nodes:               len(r.nodes),
+		Tenants:             tenants,
+		Served:              served,
+		Migrations:          r.migrations.Load(),
+		ReplicatedTenants:   replicated,
+		Retries:             r.retries.Load(),
+		Failovers:           r.failovers.Load(),
+		Promotions:          r.promotions.Load(),
+		ReplicationDegrades: r.replDegrades.Load(),
+		Faults:              r.cfg.Faults.Counts(),
+		PerNode:             make([]NodeReport, 0, len(r.nodes)),
 	}
 	for _, n := range r.nodes {
 		rep := NodeReport{Node: n.addr, Routed: routed[n.idx]}

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"net"
 	"sync"
+	"time"
 
 	"repro/internal/server"
 )
@@ -28,6 +32,23 @@ func (m *migration) take() []server.Arrival {
 	m.buf = nil
 	m.mu.Unlock()
 	return b
+}
+
+func (m *migration) buffered() int {
+	m.mu.Lock()
+	n := len(m.buf)
+	m.mu.Unlock()
+	return n
+}
+
+// checkMigFault consults the fault-injection hook for a migration phase
+// ("extract", "inject", "reinject", "replay", "flip"). Always nil outside
+// fault-injection tests.
+func (r *Router) checkMigFault(phase string) error {
+	if r.migFault == nil {
+		return nil
+	}
+	return r.migFault(phase)
 }
 
 // MigrateResult describes one completed migration.
@@ -67,6 +88,13 @@ func (r *Router) Migrate(tenant, target string) (*MigrateResult, error) {
 		return nil, fmt.Errorf("cluster: target node %s is unhealthy", tgt.addr)
 	}
 
+	// A route restored from the route log carries a ledger that may trail
+	// the owner; reconcile it before quiescing on it, or extract?served=N
+	// would wait for a count the node passed long ago.
+	if err := r.ensureSynced(tenant); err != nil {
+		return nil, err
+	}
+
 	// Quiesce: mark the route migrating and read the arrival ledger under
 	// the write lock — from here arrivals buffer, and the ledger is exact
 	// (no forward is in flight while the lock is held).
@@ -84,6 +112,10 @@ func (r *Router) Migrate(tenant, target string) (*MigrateResult, error) {
 	if src == tgt {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("cluster: tenant %q already lives on %s", tenant, tgt.addr)
+	}
+	if rt.follower == tgt.idx {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("cluster: tenant %q's follower lives on %s; migrating onto it would collide with the replica", tenant, tgt.addr)
 	}
 	mig := &migration{}
 	rt.mig = mig
@@ -112,7 +144,11 @@ func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt
 	// tenant has served exactly N arrivals before capturing.
 	r.flushNodeUpstreams(src.idx)
 	var transfer []byte
-	if err := r.postRaw(src.base+"/v1/tenants/"+tenant+"/extract?served="+fmt.Sprint(served), nil, &transfer); err != nil {
+	err := r.checkMigFault("extract")
+	if err == nil {
+		err = r.postRaw(src.base+"/v1/tenants/"+tenant+"/extract?served="+fmt.Sprint(served), nil, &transfer)
+	}
+	if err != nil {
 		r.abortMigration(rt, mig, src, tenant)
 		return nil, fmt.Errorf("cluster: extracting %q from %s: %v", tenant, src.addr, err)
 	}
@@ -125,13 +161,21 @@ func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt
 		r.logger.Warn("post-extract checkpoint failed", "node", src.addr, "err", err)
 	}
 
-	if err := r.postJSON(tgt.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); err != nil {
+	err = r.checkMigFault("inject")
+	if err == nil {
+		err = r.postJSON(tgt.base+"/v1/tenants/"+tenant+"/inject", transfer, nil)
+	}
+	if err != nil {
 		// The tenant exists only in the transfer bytes now. Put it back on
 		// the source before failing; if even that fails the state is gone
 		// from the cluster and the operator restores from the source's
 		// checkpoint (taken just above, pre-extract state minus nothing —
 		// the extract quiesced first).
-		if rerr := r.postJSON(src.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); rerr != nil {
+		rerr := r.checkMigFault("reinject")
+		if rerr == nil {
+			rerr = r.postJSON(src.base+"/v1/tenants/"+tenant+"/inject", transfer, nil)
+		}
+		if rerr != nil {
 			r.dropRoute(rt, mig, tenant)
 			return nil, fmt.Errorf("cluster: inject of %q failed on target %s (%v) AND source %s (%v); tenant needs manual restore from checkpoint",
 				tenant, tgt.addr, err, src.addr, rerr)
@@ -151,26 +195,42 @@ func (r *Router) runMigration(rt *route, mig *migration, tenant string, src, tgt
 	return &MigrateResult{Tenant: tenant, From: src.addr, To: tgt.addr, Served: served, Replayed: replayed}, nil
 }
 
-// drainAndFlip replays buffered arrivals to dst until the buffer is
-// observed empty under the write lock, then atomically points the route at
-// dst with the ledger advanced by the replay.
+// drainAndFlip replays buffered arrivals to dst (and to the tenant's
+// follower, whose replica must see the identical stream) until the buffer
+// is observed empty under the write lock, then atomically points the route
+// at dst with the ledger advanced by the replay. The replay rides the
+// binary wire when the node listens on TCP — one BATCH stream instead of an
+// HTTP POST per drained buffer — falling back to HTTP.
 func (r *Router) drainAndFlip(rt *route, mig *migration, tenant string, dst *node, served int64) (int, error) {
 	replayed := 0
 	for {
 		batch := mig.take()
 		if len(batch) > 0 {
-			n, err := r.postArrivals(dst, tenant, batch)
+			err := r.checkMigFault("replay")
+			n := 0
+			if err == nil {
+				n, err = r.replayArrivals(dst, tenant, batch)
+			}
 			replayed += n
 			if err != nil {
 				// Arrivals batch[n:] are lost — the same window a node
 				// crash loses. Flip anyway: the tenant's state lives on
 				// dst, and leaving the route migrating forever would
 				// buffer arrivals with no one left to replay them.
-				r.finishFlip(rt, mig, dst.idx, served+int64(replayed))
+				r.finishFlip(rt, mig, tenant, dst.idx, served+int64(replayed))
 				return replayed, fmt.Errorf("cluster: replaying %d buffered arrivals of %q to %s: %v",
 					len(batch)-n, tenant, dst.addr, err)
 			}
+			r.replayToFollower(rt, tenant, batch)
 			continue
+		}
+		if err := r.checkMigFault("flip"); err != nil {
+			// A fault between replay and flip models a coordinator crash at
+			// the worst moment: the state lives on dst, so flip anyway and
+			// surface the error — the invariant under test is that no
+			// arrival is double-served and the route is never split.
+			r.finishFlip(rt, mig, tenant, dst.idx, served+int64(replayed))
+			return replayed, fmt.Errorf("cluster: flipping %q to %s: %v", tenant, dst.addr, err)
 		}
 		// Buffer looked empty; confirm under the write lock, where no
 		// appender can be mid-flight, and flip.
@@ -182,19 +242,40 @@ func (r *Router) drainAndFlip(rt *route, mig *migration, tenant string, dst *nod
 			rt.node = dst.idx
 			rt.count.Store(served + int64(replayed))
 			rt.mig = nil
+			follower, epoch := rt.follower, rt.epoch
 			r.mu.Unlock()
+			r.rlog.append(routeEvent{Op: "flip", Tenant: tenant, Node: dst.addr,
+				Follower: r.nodeAddr(follower), Count: served + int64(replayed), Epoch: epoch})
 			return replayed, nil
 		}
 		r.mu.Unlock()
 	}
 }
 
-func (r *Router) finishFlip(rt *route, mig *migration, nodeIdx int, count int64) {
+// replayToFollower forwards a replayed batch to the tenant's follower (if
+// any) so the replica's stream stays identical to the owner's. A failure
+// degrades the follower rather than the migration.
+func (r *Router) replayToFollower(rt *route, tenant string, batch []server.Arrival) {
+	r.mu.RLock()
+	fidx := rt.follower
+	r.mu.RUnlock()
+	if fidx < 0 {
+		return
+	}
+	if _, err := r.replayArrivals(r.nodes[fidx], tenant, batch); err != nil {
+		r.degradeFollower(tenant, fidx, err)
+	}
+}
+
+func (r *Router) finishFlip(rt *route, mig *migration, tenant string, nodeIdx int, count int64) {
 	r.mu.Lock()
 	rt.node = nodeIdx
 	rt.count.Store(count)
 	rt.mig = nil
+	follower, epoch := rt.follower, rt.epoch
 	r.mu.Unlock()
+	r.rlog.append(routeEvent{Op: "flip", Tenant: tenant, Node: r.nodeAddr(nodeIdx),
+		Follower: r.nodeAddr(follower), Count: count, Epoch: epoch})
 	// Anything still buffered is dropped; take it so appenders' memory is
 	// released. New arrivals forward normally once mig is cleared.
 	mig.take()
@@ -207,7 +288,7 @@ func (r *Router) abortMigration(rt *route, mig *migration, src *node, tenant str
 	for {
 		batch := mig.take()
 		if len(batch) > 0 {
-			n, err := r.postArrivals(src, tenant, batch)
+			n, err := r.replayArrivals(src, tenant, batch)
 			r.mu.RLock()
 			rt.count.Add(int64(n))
 			r.mu.RUnlock()
@@ -215,6 +296,7 @@ func (r *Router) abortMigration(rt *route, mig *migration, src *node, tenant str
 				r.logger.Error("migration abort lost buffered arrivals",
 					"tenant", tenant, "lost", len(batch)-n, "err", err)
 			} else {
+				r.replayToFollower(rt, tenant, batch)
 				continue
 			}
 		}
@@ -240,5 +322,85 @@ func (r *Router) dropRoute(rt *route, mig *migration, tenant string) {
 		delete(r.routes, tenant)
 	}
 	r.mu.Unlock()
+	r.rlog.append(routeEvent{Op: "drop", Tenant: tenant})
 	mig.take()
 }
+
+// replayArrivals delivers a batch to a node outside the normal forwarding
+// path (migration replay, abort replay, follower catch-up). It prefers the
+// binary wire — one framed BATCH stream per call, acknowledged by the
+// node's result frame — and falls back to the HTTP arrive endpoint when the
+// node has no TCP listener or the stream fails before anything was written.
+func (r *Router) replayArrivals(n *node, tenant string, batch []server.Arrival) (int, error) {
+	if addr := n.tcp(); addr != "" {
+		acc, err := r.replayBinary(addr, tenant, batch)
+		if err == nil || acc > 0 {
+			return acc, err
+		}
+		r.logger.Warn("binary replay failed before admission, retrying over HTTP",
+			"node", n.addr, "tenant", tenant, "err", err)
+	}
+	return r.postArrivals(n, tenant, batch)
+}
+
+// replayBinary streams one tenant's batch to a node as BIND + BATCH frames
+// on a dedicated connection and reads the node's result frame. The result's
+// arrival count is authoritative: a stream that died mid-write reports how
+// many arrivals the node actually admitted.
+func (r *Router) replayBinary(addr, tenant string, batch []server.Arrival) (int, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	buf := server.AppendWireBind(nil, 0, tenant)
+	if err := server.WriteFrame(bw, buf); err != nil {
+		return 0, err
+	}
+	items := make([]server.WireItem, 0, replayChunk)
+	for off := 0; off < len(batch); off += replayChunk {
+		end := off + replayChunk
+		if end > len(batch) {
+			end = len(batch)
+		}
+		items = items[:0]
+		for _, a := range batch[off:end] {
+			items = append(items, server.WireItem{Point: a.Point, Demands: a.Demands})
+		}
+		buf = server.AppendWireBatch(buf[:0], 0, items)
+		if err := server.WriteFrame(bw, buf); err != nil {
+			return 0, fmt.Errorf("writing batch frame: %v", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite() //nolint:errcheck // read below surfaces a dead conn
+	}
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	var res server.TCPResult
+	for {
+		frame, err := server.ReadFrame(conn, nil)
+		if err != nil {
+			return 0, fmt.Errorf("reading result: %v", err)
+		}
+		// Skip ack frames (binary streams may ack); the JSON result frame
+		// is the last one before EOF.
+		if len(frame) > 0 && frame[0] == server.WireMagic {
+			continue
+		}
+		if err := json.Unmarshal(frame, &res); err != nil {
+			return 0, fmt.Errorf("decoding result: %v", err)
+		}
+		break
+	}
+	if !res.OK {
+		return res.Arrivals, fmt.Errorf("node result: %s", res.Error)
+	}
+	return res.Arrivals, nil
+}
+
+// replayChunk bounds one BATCH frame in the binary replay stream.
+const replayChunk = 512

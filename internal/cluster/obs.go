@@ -29,6 +29,17 @@ func (r *Router) handleProm(w http.ResponseWriter, req *http.Request) {
 	p.Counter("omflp_cluster_served_total", "Arrivals admitted through the cluster (route ledgers).", float64(cm.Served))
 	p.Gauge("omflp_cluster_window_arrivals_per_sec", "Summed fresh-node window rates.", cm.WindowArrivalsPerSec)
 	p.Counter("omflp_cluster_migrations_total", "Migrations completed since router start.", float64(cm.Migrations))
+	p.Gauge("omflp_cluster_replicated_tenants", "Routes with a live follower replica.", float64(cm.ReplicatedTenants))
+	p.Counter("omflp_cluster_retries_total", "Forwarding attempts repeated under the retry policy.", float64(cm.Retries))
+	p.Counter("omflp_cluster_failovers_total", "Node-down events that triggered follower promotion.", float64(cm.Failovers))
+	p.Counter("omflp_cluster_promotions_total", "Tenants promoted onto their follower replica.", float64(cm.Promotions))
+	p.Counter("omflp_cluster_replication_degrades_total", "Followers dropped after dual-write or reseed failure.", float64(cm.ReplicationDegrades))
+	for _, kind := range [...]string{"dial_fail", "conn_reset", "stall", "partial", "probe_flap"} {
+		if n, ok := cm.Faults[kind]; ok {
+			p.Counter("omflp_cluster_injected_faults_total", "Injected faults fired, by kind.",
+				float64(n), obs.PromLabel{Name: "kind", Value: kind})
+		}
+	}
 
 	for _, rep := range cm.PerNode {
 		nl := obs.PromLabel{Name: "node", Value: rep.Node}

@@ -6,36 +6,42 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
 
-// place picks the node for a new tenant. Callers hold Router.mu (write).
-// Only healthy nodes are candidates; both policies are deterministic given
-// the same routing table and health state.
-func (r *Router) place(tenant string) (int, error) {
+// place picks the node for a new tenant (or, with exclude >= 0, for its
+// follower replica — the owner's node is never a candidate). Callers hold
+// Router.mu (write). Only healthy nodes are candidates; both policies are
+// deterministic given the same routing table and health state.
+func (r *Router) place(tenant string, exclude int) (int, error) {
 	switch r.cfg.Placement {
 	case "rendezvous":
-		return r.placeRendezvous(tenant)
+		return r.placeRendezvous(tenant, exclude)
 	default:
-		return r.placeLeastLoad()
+		return r.placeLeastLoad(exclude)
 	}
 }
 
 // placeLeastLoad picks the healthy node hosting the fewest tenants (by the
 // routing table, which includes in-flight reservations), lowest index on
 // ties — the cluster analogue of the engine's PolicyLeastLoad shard
-// pinning.
-func (r *Router) placeLeastLoad() (int, error) {
+// pinning. Follower placements count toward load too: a replica serves
+// every arrival its tenant does.
+func (r *Router) placeLeastLoad(exclude int) (int, error) {
 	hosted := make([]int, len(r.nodes))
 	for _, rt := range r.routes {
 		hosted[rt.node]++
+		if rt.follower >= 0 {
+			hosted[rt.follower]++
+		}
 	}
 	best, bestLoad := -1, 0
 	for _, n := range r.nodes {
-		if !n.isHealthy() {
+		if n.idx == exclude || !n.isHealthy() {
 			continue
 		}
 		if best == -1 || hosted[n.idx] < bestLoad {
@@ -51,11 +57,13 @@ func (r *Router) placeLeastLoad() (int, error) {
 // placeRendezvous picks the healthy node with the highest rendezvous hash
 // of (tenant, node address): each tenant has its own preference order over
 // nodes, so load spreads without a shared counter and placements stay
-// stable when unrelated nodes join or leave.
-func (r *Router) placeRendezvous(tenant string) (int, error) {
+// stable when unrelated nodes join or leave. With exclude >= 0 the
+// excluded node is skipped, so a tenant's follower lands on its
+// second-preference node.
+func (r *Router) placeRendezvous(tenant string, exclude int) (int, error) {
 	best, bestScore := -1, uint64(0)
 	for _, n := range r.nodes {
-		if !n.isHealthy() {
+		if n.idx == exclude || !n.isHealthy() {
 			continue
 		}
 		h := fnv.New64a()
@@ -72,23 +80,36 @@ func (r *Router) placeRendezvous(tenant string) (int, error) {
 	return best, nil
 }
 
-// createTenant places a tenant and creates it on the chosen node. The route
-// is reserved under the write lock before the node call so two concurrent
-// creates cannot land the tenant on two nodes; a failed node create rolls
-// the reservation back. As on a single node, clients must not race arrivals
-// against their own create.
+// createTenant places a tenant and creates it on the chosen node — and,
+// with replication on, on a follower node as well (both instances admit
+// the same arrival stream, so their snapshots are byte-identical). The
+// route is reserved under the write lock before the node calls so two
+// concurrent creates cannot land the tenant on two nodes; a failed owner
+// create rolls the reservation back, while a failed follower create only
+// degrades the tenant to unreplicated. The placement is journaled to the
+// route log. As on a single node, clients must not race arrivals against
+// their own create.
 func (r *Router) createTenant(id string, universe int, distances [][]float64, costBySize []float64) error {
 	r.mu.Lock()
 	if _, ok := r.routes[id]; ok {
 		r.mu.Unlock()
 		return fmt.Errorf("cluster: tenant %q: %w", id, engine.ErrDuplicateTenant)
 	}
-	idx, err := r.place(id)
+	idx, err := r.place(id, -1)
 	if err != nil {
 		r.mu.Unlock()
 		return err
 	}
-	r.routes[id] = &route{node: idx}
+	fidx := -1
+	if r.cfg.Replicate {
+		if f, ferr := r.place(id, idx); ferr != nil {
+			r.logger.Warn("no follower placement, tenant unreplicated", "tenant", id, "err", ferr)
+		} else {
+			fidx = f
+		}
+	}
+	rt := &route{node: idx, follower: fidx, synced: true}
+	r.routes[id] = rt
 	r.mu.Unlock()
 
 	body := map[string]interface{}{
@@ -102,34 +123,170 @@ func (r *Router) createTenant(id string, universe int, distances [][]float64, co
 		r.mu.Unlock()
 		return fmt.Errorf("cluster: creating %q on node %s: %v", id, r.nodes[idx].addr, err)
 	}
-	r.logger.Info("tenant placed", "tenant", id, "node", r.nodes[idx].addr)
+	if fidx >= 0 {
+		if err := r.postJSON(r.nodes[fidx].base+"/v1/tenants/"+id, body, nil); err != nil {
+			r.logger.Warn("follower create failed, tenant unreplicated",
+				"tenant", id, "follower", r.nodes[fidx].addr, "err", err)
+			r.replDegrades.Add(1)
+			r.mu.Lock()
+			rt.follower = -1
+			r.mu.Unlock()
+			fidx = -1
+		}
+	}
+	r.rlog.append(routeEvent{Op: "place", Tenant: id, Node: r.nodes[idx].addr, Follower: r.nodeAddr(fidx)})
+	r.logger.Info("tenant placed", "tenant", id, "node", r.nodes[idx].addr, "follower", r.nodeAddr(fidx))
 	return nil
 }
 
 // forwardArrivals routes a batch of arrivals for one tenant: buffered into
 // the live migration when one is in flight, otherwise posted to the owner
-// node. The node call runs under RLock — that is the quiesce barrier, not
-// an accident (see the package doc) — and the route ledger advances by
-// exactly the number of arrivals the node admitted. traceID (0 = untraced)
-// is forwarded in the X-Omflp-Trace header so the worker records the
-// batch's first arrival under it.
+// node (and, for a replicated tenant, to its follower — an arrival is
+// accounted only after both admit it). The node calls run under RLock —
+// that is the quiesce barrier, not an accident (see the package doc) — and
+// the route ledger advances by exactly the number of arrivals the owner
+// admitted. traceID (0 = untraced) is forwarded in the X-Omflp-Trace header
+// so the worker records the batch's first arrival under it.
 func (r *Router) forwardArrivals(id string, batch []server.Arrival, traceID uint64) (int, error) {
+	acc, _, err := r.forwardArrivalsAt(id, batch, traceID, -1)
+	return acc, err
+}
+
+// forwardArrivalsAt is forwardArrivals with an optional client-supplied
+// idempotency key: clientStart >= 0 names the stream position of batch[0]
+// as the client counts it. The router trims the prefix its ledger already
+// accounts for (the footprint of a client retry after a partial forward),
+// refuses gaps, and forwards the remainder stamped with its own key, so
+// both client-side and router-side retries are exactly-once. It returns
+// (accounted, deduped): accounted counts every batch item the cluster now
+// accounts for (admitted or recognized as already admitted), deduped the
+// already-admitted prefix.
+//
+// Each node call runs under the unified retry policy. Retries are safe
+// because the key rides along: a batch resent after a transport failure is
+// trimmed by the worker's admitted counter. This also self-heals the
+// ledger-undercount case — a transport failure that hid a partial
+// admission is reconciled on the next keyed forward, where the worker
+// reports the overlap as deduped instead of double-serving it.
+func (r *Router) forwardArrivalsAt(id string, batch []server.Arrival, traceID uint64, clientStart int64) (int, int, error) {
+	if err := r.ensureSynced(id); err != nil {
+		return 0, 0, err
+	}
 	r.mu.RLock()
 	rt := r.routes[id]
 	if rt == nil {
 		r.mu.RUnlock()
-		return 0, fmt.Errorf("cluster: tenant %q has no route: %w", id, engine.ErrUnknownTenant)
+		return 0, 0, fmt.Errorf("cluster: tenant %q has no route: %w", id, engine.ErrUnknownTenant)
+	}
+	deduped := 0
+	if clientStart >= 0 {
+		pos := rt.count.Load()
+		if m := rt.mig; m != nil {
+			pos += int64(m.buffered())
+		}
+		if clientStart > pos {
+			r.mu.RUnlock()
+			return 0, 0, fmt.Errorf("cluster: tenant %q: batch starts at position %d, cluster accounts %d: %w",
+				id, clientStart, pos, engine.ErrArrivalGap)
+		}
+		skip := int(pos - clientStart)
+		if skip >= len(batch) {
+			r.mu.RUnlock()
+			return len(batch), len(batch), nil
+		}
+		batch = batch[skip:]
+		deduped = skip
 	}
 	if m := rt.mig; m != nil {
 		m.add(batch...)
 		r.mu.RUnlock()
-		return len(batch), nil
+		return deduped + len(batch), deduped, nil
 	}
-	node := r.nodes[rt.node]
-	accepted, err := r.postArrivalsTraced(node, id, batch, traceID)
+	owner := r.nodes[rt.node]
+	start := rt.count.Load()
+	var accepted int
+	err := defaultRetry.do(func() error {
+		var aerr error
+		accepted, _, aerr = r.postArrivalsIdem(owner, id, batch, traceID, start)
+		return aerr
+	}, func(error) { r.retries.Add(1) })
+	// Even a failed batch advances the ledger by what the owner reported
+	// admitted: those arrivals happened and quiesce must account for them.
 	rt.count.Add(int64(accepted))
+	fidx := rt.follower
+	var ferr error
+	if err == nil && fidx >= 0 {
+		ferr = defaultRetry.do(func() error {
+			_, _, e := r.postArrivalsIdem(r.nodes[fidx], id, batch, 0, start)
+			return e
+		}, func(error) { r.retries.Add(1) })
+	}
 	r.mu.RUnlock()
-	return accepted, err
+	if ferr != nil {
+		// The follower missed a batch the owner admitted: its replica has
+		// diverged from the arrival stream and can no longer be promoted.
+		// Degrade now; the health loop reseeds a fresh follower.
+		r.degradeFollower(id, fidx, ferr)
+	}
+	return deduped + accepted, deduped, err
+}
+
+// ensureSynced reconciles a route whose ledger was restored from the route
+// log (and so may trail the owner's admitted count by up to one health
+// tick) before the first keyed forward uses it. Synced routes return
+// immediately; the slow path runs once per restored route.
+func (r *Router) ensureSynced(id string) error {
+	r.mu.RLock()
+	rt := r.routes[id]
+	synced := rt == nil || rt.synced
+	r.mu.RUnlock()
+	if synced {
+		return nil
+	}
+	return r.resyncRoute(id)
+}
+
+// resyncRoute asks the owner for the tenant's admitted count and adopts it
+// as the ledger. It runs under the write lock — the quiesce barrier
+// guarantees no forward is concurrently advancing the count it overwrites.
+// The owner call happens before the lock is taken so an unreachable owner
+// stalls only this tenant's forwards, not the routing table.
+func (r *Router) resyncRoute(id string) error {
+	r.mu.RLock()
+	rt := r.routes[id]
+	if rt == nil || rt.synced {
+		r.mu.RUnlock()
+		return nil
+	}
+	owner := r.nodes[rt.node]
+	r.mu.RUnlock()
+
+	var doc struct {
+		Served   int64 `json:"served"`
+		Admitted int64 `json:"admitted"`
+	}
+	err := defaultRetry.do(func() error {
+		if gerr := r.getJSON(owner.base+"/v1/tenants/"+id+"/served", &doc); gerr != nil {
+			return &unavailableError{gerr}
+		}
+		return nil
+	}, func(error) { r.retries.Add(1) })
+	if err != nil {
+		return fmt.Errorf("cluster: re-syncing restored route for %q against %s: %w", id, owner.addr, err)
+	}
+
+	r.mu.Lock()
+	if rt := r.routes[id]; rt != nil && !rt.synced {
+		old := rt.count.Load()
+		rt.count.Store(doc.Admitted)
+		rt.synced = true
+		if old != doc.Admitted {
+			r.logger.Info("restored ledger re-synced",
+				"tenant", id, "restored", old, "admitted", doc.Admitted)
+		}
+	}
+	r.mu.Unlock()
+	return nil
 }
 
 // postArrivals posts one arrive batch to a node and reports how many
@@ -140,43 +297,60 @@ func (r *Router) forwardArrivals(id string, batch []server.Arrival, traceID uint
 // undercounts and a later migration of the tenant times out in quiesce
 // rather than silently losing the discrepancy.
 func (r *Router) postArrivals(n *node, id string, batch []server.Arrival) (int, error) {
-	return r.postArrivalsTraced(n, id, batch, 0)
+	acc, _, err := r.postArrivalsIdem(n, id, batch, 0, -1)
+	return acc, err
 }
 
-func (r *Router) postArrivalsTraced(n *node, id string, batch []server.Arrival, traceID uint64) (int, error) {
+// postArrivalsIdem posts one arrive batch. start >= 0 stamps the
+// X-Omflp-Idem-Start header (the stream position of batch[0] by the
+// router's ledger): the worker then trims any already-admitted prefix, so
+// resending the same batch is exactly-once. Returns the node's accounted
+// count (admitted plus deduped) and the deduped prefix length. A 5xx or
+// transport failure is wrapped as retry-safe; application refusals (404,
+// 409) are final.
+func (r *Router) postArrivalsIdem(n *node, id string, batch []server.Arrival, traceID uint64, start int64) (int, int, error) {
 	body, err := json.Marshal(map[string]interface{}{"arrivals": batch})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	req, err := http.NewRequest("POST", n.base+"/v1/tenants/"+id+"/arrive", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceID != 0 {
 		req.Header.Set(server.TraceHeader, obs.TraceIDString(traceID))
 	}
+	if start >= 0 {
+		req.Header.Set(server.IdemHeader, strconv.FormatInt(start, 10))
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("cluster: forwarding to node %s: %v", n.addr, err)
+		return 0, 0, &unavailableError{fmt.Errorf("cluster: forwarding to node %s: %v", n.addr, err)}
 	}
 	defer resp.Body.Close()
 	var out struct {
 		Accepted int    `json:"accepted"`
+		Deduped  int    `json:"deduped"`
 		Error    string `json:"error"`
 	}
 	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil && resp.StatusCode/100 == 2 {
-		return 0, fmt.Errorf("cluster: decoding node %s arrive response: %v", n.addr, derr)
+		return 0, 0, fmt.Errorf("cluster: decoding node %s arrive response: %v", n.addr, derr)
 	}
 	if resp.StatusCode/100 != 2 {
 		err := fmt.Errorf("cluster: node %s: %s: %s", n.addr, resp.Status, out.Error)
-		if resp.StatusCode == http.StatusNotFound {
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
 			// The node does not host the tenant the routing table says it
 			// does (a crash lost it, or a migration raced): surface the
 			// sentinel so callers can tell a stale route from a bad request.
 			err = fmt.Errorf("cluster: node %s: %s: %w", n.addr, out.Error, engine.ErrUnknownTenant)
+		case resp.StatusCode/100 == 5:
+			// The node is up but refusing (shutting down, overloaded):
+			// retry-safe under the idempotency key.
+			err = &unavailableError{err}
 		}
-		return out.Accepted, err
+		return out.Accepted, out.Deduped, err
 	}
-	return out.Accepted, nil
+	return out.Accepted, out.Deduped, nil
 }

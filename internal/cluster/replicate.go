@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Tenant replication. A replicated tenant is a live second instance on a
+// follower node fed the identical arrival stream (see forwardArrivalsAt):
+// because tenant state is a pure function of (algorithm, seed, arrivals),
+// the two instances' snapshots are byte-identical at every settled point.
+// There is no follower read path — the replica exists only to be promoted.
+//
+// Invariants:
+//
+//   - An arrival is accounted (acked to the client, counted in the ledger's
+//     settled view) only after both instances admitted it. Promotion
+//     therefore loses at most the in-flight, unacked window — the same
+//     window a single-node crash loses.
+//   - A follower that misses a batch the owner admitted has diverged and is
+//     degraded immediately (rt.follower = -1, journaled); it is never
+//     promoted. The health loop reseeds a fresh follower from the owner's
+//     exported state.
+//   - Promotion bumps the route's epoch. A promoted route never re-adopts
+//     another claimant during snapshot re-sync: the old owner rejoining
+//     with stale state is a ghost, not a candidate (health.go).
+
+// degradeFollower drops a tenant's follower after a replication failure:
+// the replica missed part of the stream and can no longer be promoted.
+// No-op if the follower changed since the caller observed fidx.
+func (r *Router) degradeFollower(tenant string, fidx int, cause error) {
+	r.mu.Lock()
+	rt := r.routes[tenant]
+	if rt == nil || rt.follower != fidx {
+		r.mu.Unlock()
+		return
+	}
+	rt.follower = -1
+	r.mu.Unlock()
+	r.replDegrades.Add(1)
+	r.rlog.append(routeEvent{Op: "follower", Tenant: tenant, Follower: ""})
+	r.logger.Warn("follower degraded",
+		"tenant", tenant, "follower", r.nodeAddr(fidx), "err", cause)
+}
+
+// failoverNode promotes every route owned by a node just declared down to
+// its follower, in one pass under the write lock (the quiesce barrier: no
+// forward is mid-flight while routes flip). Routes without a healthy
+// follower are left pointing at the dead node — they fail fast until it
+// rejoins, the unreplicated contract. Called from the health loop.
+func (r *Router) failoverNode(n *node) {
+	type promo struct {
+		tenant string
+		fidx   int
+		count  int64
+		epoch  int64
+	}
+	var promos []promo
+	r.mu.Lock()
+	for id, rt := range r.routes {
+		if rt.node != n.idx || rt.mig != nil {
+			continue
+		}
+		if rt.follower < 0 || !r.nodes[rt.follower].isHealthy() {
+			continue
+		}
+		rt.node = rt.follower
+		rt.follower = -1
+		rt.epoch++
+		// The persisted/accounted ledger may lead the follower's admitted
+		// count by the in-flight window; reconcile before trusting it.
+		rt.synced = false
+		promos = append(promos, promo{id, rt.node, rt.count.Load(), rt.epoch})
+	}
+	r.mu.Unlock()
+	if len(promos) == 0 {
+		return
+	}
+	r.failovers.Add(1)
+	for _, p := range promos {
+		r.promotions.Add(1)
+		r.rlog.append(routeEvent{Op: "promote", Tenant: p.tenant,
+			Node: r.nodeAddr(p.fidx), Follower: "", Count: p.count, Epoch: p.epoch})
+		r.logger.Warn("route promoted to follower",
+			"tenant", p.tenant, "dead", n.addr, "owner", r.nodeAddr(p.fidx), "epoch", p.epoch)
+	}
+	// Adopt each survivor's admitted count as the ledger, then restore
+	// redundancy. Both are best-effort: an unsynced route re-syncs lazily
+	// on its next forward, an unreplicated one reseeds on a later tick.
+	for _, p := range promos {
+		if err := r.resyncRoute(p.tenant); err != nil {
+			r.logger.Warn("post-promotion ledger re-sync failed", "tenant", p.tenant, "err", err)
+		}
+		r.reseedFollower(p.tenant)
+	}
+}
+
+// reseedFollower brings an unreplicated tenant back to owner+follower: the
+// route is quiesced exactly like a migration (arrivals buffer), the owner's
+// state exported at the precise ledger cut, injected into a freshly placed
+// follower node, and the buffered tail replayed to both before the follower
+// goes live. The quiesce is what makes the replica's stream gapless — an
+// export taken while forwards kept flowing would miss everything between
+// the cut and the follower's first dual-write.
+func (r *Router) reseedFollower(tenant string) {
+	if !r.cfg.Replicate {
+		return
+	}
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+
+	r.mu.Lock()
+	rt := r.routes[tenant]
+	if rt == nil || rt.follower >= 0 || rt.mig != nil || !rt.synced {
+		r.mu.Unlock()
+		return
+	}
+	fidx, err := r.place(tenant, rt.node)
+	if err != nil {
+		r.mu.Unlock()
+		return // no second healthy node; stay unreplicated
+	}
+	owner := r.nodes[rt.node]
+	fnode := r.nodes[fidx]
+	mig := &migration{}
+	rt.mig = mig
+	cut := rt.count.Load()
+	r.mu.Unlock()
+
+	r.flushNodeUpstreams(owner.idx)
+	var transfer []byte
+	if err := r.getRaw(owner.base+"/v1/tenants/"+tenant+"/export?served="+fmt.Sprint(cut), &transfer); err != nil {
+		r.logger.Warn("follower reseed export failed", "tenant", tenant, "owner", owner.addr, "err", err)
+		r.abortMigration(rt, mig, owner, tenant)
+		return
+	}
+	// A stale replica from an earlier degrade may still live on the chosen
+	// node; extract-and-discard clears it so the inject starts clean.
+	var discard []byte
+	r.postRaw(fnode.base+"/v1/tenants/"+tenant+"/extract", nil, &discard) //nolint:errcheck // 404 = nothing stale
+	if err := r.postJSON(fnode.base+"/v1/tenants/"+tenant+"/inject", transfer, nil); err != nil {
+		r.logger.Warn("follower reseed inject failed", "tenant", tenant, "follower", fnode.addr, "err", err)
+		r.abortMigration(rt, mig, owner, tenant)
+		return
+	}
+
+	// Drain the buffered tail to both instances, then activate the
+	// follower once the buffer is observed empty under the write lock.
+	replayed := 0
+	for {
+		batch := mig.take()
+		if len(batch) > 0 {
+			n, err := r.replayArrivals(owner, tenant, batch)
+			r.mu.RLock()
+			rt.count.Add(int64(n))
+			r.mu.RUnlock()
+			replayed += n
+			if err != nil {
+				r.logger.Error("follower reseed lost buffered arrivals",
+					"tenant", tenant, "lost", len(batch)-n, "err", err)
+				r.finishReseed(rt, mig, -1)
+				return
+			}
+			if _, ferr := r.replayArrivals(fnode, tenant, batch); ferr != nil {
+				r.logger.Warn("follower reseed replay failed", "tenant", tenant, "follower", fnode.addr, "err", ferr)
+				r.finishReseed(rt, mig, -1)
+				return
+			}
+			continue
+		}
+		r.mu.Lock()
+		mig.mu.Lock()
+		empty := len(mig.buf) == 0
+		mig.mu.Unlock()
+		if empty {
+			rt.follower = fidx
+			rt.mig = nil
+			r.mu.Unlock()
+			break
+		}
+		r.mu.Unlock()
+	}
+	r.rlog.append(routeEvent{Op: "follower", Tenant: tenant, Follower: fnode.addr})
+	r.logger.Info("follower reseeded",
+		"tenant", tenant, "owner", owner.addr, "follower", fnode.addr,
+		"cut", cut, "replayed", replayed)
+}
+
+// finishReseed unmarks a failed reseed's quiesce. fidx >= 0 would activate
+// the follower; -1 leaves the tenant unreplicated for a later attempt.
+func (r *Router) finishReseed(rt *route, mig *migration, fidx int) {
+	r.mu.Lock()
+	rt.follower = fidx
+	rt.mig = nil
+	r.mu.Unlock()
+	mig.take()
+}

@@ -97,18 +97,21 @@ type session struct {
 	r        *Router
 	ups      map[int]*upstream
 	buffered int
+	// replicated counts arrivals this session dual-wrote to follower
+	// upstreams; the followers' result frames count them too, so finish
+	// subtracts them to keep the client's aggregate exactly-once.
+	replicated int
 
 	dw   *bufio.Writer // downstream writer: acks + the final result frame
 	refs map[uint64]string
 
-	window     int    // 0 until the client negotiates windowed acks
-	seq        uint64 // arrivals accepted so far (any wire format)
-	ackNext    uint64 // first sequence number of the next ack frame
-	ackPending int
+	window  int    // 0 until the client negotiates windowed acks
+	seq     uint64 // arrivals accepted so far (any wire format)
+	ackNext uint64 // first sequence number of the next ack frame
 
-	scratch  []int  // demand-id decode scratch
-	wbuf     []byte // re-framed upstream payload / ack payload scratch
-	ackCodes []byte
+	scratch   []int  // demand-id decode scratch
+	wbuf      []byte // re-framed upstream payload / ack payload scratch
+	pendCodes []byte // per-arrival result codes awaiting the next ack frame
 }
 
 // maxRouterAckRun bounds the arrivals one router ack frame covers, so the
@@ -117,34 +120,49 @@ const maxRouterAckRun = 1 << 14
 
 // emitAcks flushes the pending router-side ack run downstream.
 func (s *session) emitAcks() error {
-	if s.window == 0 || s.ackPending == 0 {
+	if s.window == 0 || len(s.pendCodes) == 0 {
 		return nil
 	}
-	codes := s.ackCodes[:0]
-	for i := 0; i < s.ackPending; i++ {
-		codes = append(codes, 0)
-	}
-	s.ackCodes = codes
-	s.wbuf = server.AppendWireAck(s.wbuf[:0], s.ackNext, codes, nil)
+	s.wbuf = server.AppendWireAck(s.wbuf[:0], s.ackNext, s.pendCodes, nil)
 	if err := server.WriteFrame(s.dw, s.wbuf); err != nil {
 		return err
 	}
-	s.ackNext += uint64(s.ackPending)
-	s.ackPending = 0
+	s.ackNext += uint64(len(s.pendCodes))
+	s.pendCodes = s.pendCodes[:0]
 	return s.dw.Flush()
 }
 
-// accepted records n arrivals as accepted for seq/ack bookkeeping.
-func (s *session) accepted(n int) error {
+// ack records n arrivals for seq/ack bookkeeping, each carrying the same
+// result code. Windowed sessions carry per-op failures here (unknown
+// tenant, owner unavailable) instead of killing the stream: the client
+// learns exactly which window slots failed and the session keeps serving
+// the tenants that still route.
+func (s *session) ack(n int, code byte) error {
 	s.seq += uint64(n)
 	if s.window == 0 {
 		return nil
 	}
-	s.ackPending += n
-	if s.ackPending >= maxRouterAckRun {
+	for i := 0; i < n; i++ {
+		s.pendCodes = append(s.pendCodes, code)
+	}
+	if len(s.pendCodes) >= maxRouterAckRun {
 		return s.emitAcks()
 	}
 	return nil
+}
+
+// ackCodeFor maps a routing failure onto the wire ack-code vocabulary.
+func ackCodeFor(err error) byte {
+	switch {
+	case err == nil:
+		return server.WireAckOK
+	case errors.Is(err, engine.ErrUnknownTenant):
+		return server.WireAckUnknownTenant
+	default:
+		// Transport failures, dead upstreams, injected faults: the owner
+		// is unavailable from this session's point of view.
+		return server.WireAckUnavailable
+	}
 }
 
 func (s *session) upstream(idx int) (*upstream, error) {
@@ -159,10 +177,14 @@ func (s *session) upstream(idx int) (*upstream, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("cluster: node %s exposes no TCP listener", n.addr)
 	}
+	if s.r.cfg.Faults.DialFail() {
+		return nil, &unavailableError{fmt.Errorf("cluster: dialing node %s: injected dial failure", n.addr)}
+	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dialing node %s: %v", n.addr, err)
 	}
+	conn = s.r.cfg.Faults.WrapConn(conn)
 	u := &upstream{node: idx, conn: conn, bw: bufio.NewWriterSize(conn, 1<<16), refs: make(map[string]uint64)}
 	s.ups[idx] = u
 	s.r.registerUpstream(u)
@@ -203,7 +225,21 @@ func (s *session) arrive(tenant string, point int, demands []int, frame []byte, 
 			rt.count.Add(1)
 		}
 	}
+	fidx := rt.follower
+	var ferr error
+	if err == nil && fidx >= 0 {
+		// Dual-write the identical frame to the follower replica. A JSON
+		// arrive frame names its tenant, so it forwards verbatim.
+		if fu, fe := s.upstream(fidx); fe != nil {
+			ferr = fe
+		} else if ferr = fu.writeFrame(frame, 0); ferr == nil {
+			s.replicated++
+		}
+	}
 	r.mu.RUnlock()
+	if ferr != nil {
+		r.degradeFollower(tenant, fidx, ferr)
+	}
 	return err
 }
 
@@ -252,7 +288,27 @@ func (s *session) routeBinary(tenant string, frame []byte, count int, traceID ui
 			}
 		}
 	}
+	fidx := rt.follower
+	var ferr error
+	if err == nil && fidx >= 0 {
+		// Dual-write, re-framed with the follower upstream's own ref.
+		if fu, fe := s.upstream(fidx); fe != nil {
+			ferr = fe
+		} else {
+			var fref uint64
+			if fref, ferr = s.bindRef(fu, tenant); ferr == nil {
+				if s.wbuf, ferr = server.RewireTenantRef(s.wbuf[:0], frame, fref); ferr == nil {
+					if ferr = fu.writeFrame(s.wbuf, 0); ferr == nil {
+						s.replicated += count
+					}
+				}
+			}
+		}
+	}
 	r.mu.RUnlock()
+	if ferr != nil {
+		r.degradeFollower(tenant, fidx, ferr)
+	}
 	return err
 }
 
@@ -290,9 +346,15 @@ func (s *session) handleBinary(frame []byte, traceID uint64) error {
 			add(server.Arrival{Point: point, Demands: append([]int(nil), demands...)})
 		})
 		if err != nil {
+			if s.window > 0 {
+				// Windowed sessions report op-scoped failures in the ack
+				// code instead of dying: the slot is consumed, the client
+				// sees exactly which arrival failed and why.
+				return s.ack(1, ackCodeFor(err))
+			}
 			return err
 		}
-		return s.accepted(1)
+		return s.ack(1, server.WireAckOK)
 	case server.WireBatch:
 		ref, count, items, err := server.DecodeWireBatchHeader(body)
 		if err != nil {
@@ -326,9 +388,13 @@ func (s *session) handleBinary(frame []byte, traceID uint64) error {
 			}
 		})
 		if err != nil {
+			if s.window > 0 {
+				// Whole-batch failure: every slot carries the same code.
+				return s.ack(count, ackCodeFor(err))
+			}
 			return err
 		}
-		return s.accepted(count)
+		return s.ack(count, server.WireAckOK)
 	case server.WireWindow:
 		w, _, err := server.DecodeWireWindow(body)
 		if err != nil {
@@ -403,6 +469,18 @@ func (r *Router) serveConn(conn net.Conn) {
 		if len(frame) == 0 {
 			continue
 		}
+		if r.standby.Load() {
+			// A passive standby serves exactly one op: "follow". Everything
+			// else is refused with the unavailable code so clients rotate to
+			// the active router.
+			var op engine.Op
+			if json.Unmarshal(frame, &op) == nil && op.Op == "follow" {
+				r.serveFollow(sess) //nolint:errcheck // follower hangs up when done
+				return
+			}
+			failure = fmt.Errorf("cluster: router is standby for %s: %w", r.cfg.StandbyOf, engine.ErrClosed)
+			break
+		}
 		// Trace context: an inbound id is propagated as-is; otherwise the
 		// router samples so cluster-wide tracing works even when clients
 		// send plain frames.
@@ -417,12 +495,13 @@ func (r *Router) serveConn(conn net.Conn) {
 			continue
 		}
 		if tenant, point, demands, ok := server.FastArrive(frame, sess.scratch[:0]); ok {
-			if err := sess.arrive(tenant, point, demands, frame, id); err != nil {
+			err := sess.arrive(tenant, point, demands, frame, id)
+			sess.scratch = demands[:0]
+			if err != nil && sess.window == 0 {
 				failure = err
 				break
 			}
-			sess.scratch = demands[:0]
-			if failure = sess.accepted(1); failure == nil {
+			if failure = sess.ack(1, ackCodeFor(err)); failure == nil {
 				buf = frame[:0]
 			}
 			continue
@@ -436,9 +515,17 @@ func (r *Router) serveConn(conn net.Conn) {
 		case "create":
 			failure = r.createTenant(op.Tenant, op.Universe, op.Distances, op.CostBySize)
 		case "arrive":
-			if failure = sess.arrive(op.Tenant, op.Point, op.Demands, frame, id); failure == nil {
-				failure = sess.accepted(1)
+			err := sess.arrive(op.Tenant, op.Point, op.Demands, frame, id)
+			if err != nil && sess.window == 0 {
+				failure = err
+			} else {
+				failure = sess.ack(1, ackCodeFor(err))
 			}
+		case "follow":
+			// A standby (or any journal consumer) subscribing to the route
+			// log: stream the base doc, then live events, until it hangs up.
+			r.serveFollow(sess) //nolint:errcheck // follower hangs up when done
+			return
 		default:
 			failure = fmt.Errorf("cluster: unsupported op %q", op.Op)
 		}
@@ -460,7 +547,7 @@ func (r *Router) serveConn(conn net.Conn) {
 // arrivals summed across nodes plus the migration-buffered ones, the first
 // failure's message and code carried through.
 func (s *session) finish(failure error) server.TCPResult {
-	res := server.TCPResult{OK: failure == nil, Arrivals: s.buffered}
+	res := server.TCPResult{OK: failure == nil, Arrivals: s.buffered - s.replicated}
 	if failure != nil {
 		res.Error = failure.Error()
 		res.Code = server.ErrorCode(failure)
@@ -489,7 +576,47 @@ func (s *session) finish(failure error) server.TCPResult {
 			res.Code = nr.Code
 		}
 	}
+	// Follower result frames counted every dual-written arrival a second
+	// time; replicated (subtracted via the initial Arrivals value above)
+	// keeps the aggregate exactly-once. Clamp for the degenerate case where
+	// a follower upstream died before producing its result frame.
+	if res.Arrivals < 0 {
+		res.Arrivals = 0
+	}
 	return res
+}
+
+// serveFollow streams the route log to one follower (a standby router): the
+// current base doc as the first frame, then one frame per journal event,
+// until the follower hangs up, the log drops it for stalling, or the router
+// shuts down. Journal lines keep their trailing newline — json.Unmarshal on
+// the other end tolerates it.
+func (r *Router) serveFollow(sess *session) error {
+	base, ch := r.rlog.subscribe()
+	defer r.rlog.unsubscribe(ch)
+	if err := server.WriteFrame(sess.dw, base); err != nil {
+		return err
+	}
+	if err := sess.dw.Flush(); err != nil {
+		return err
+	}
+	r.logger.Info("follower attached", "base_bytes", len(base))
+	for {
+		select {
+		case <-r.stop:
+			return nil
+		case line, ok := <-ch:
+			if !ok {
+				return nil // dropped for stalling or log closed
+			}
+			if err := server.WriteFrame(sess.dw, line); err != nil {
+				return err
+			}
+			if err := sess.dw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // collect flushes, half-closes, and reads the node's result frame.

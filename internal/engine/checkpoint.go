@@ -407,6 +407,7 @@ func (e *Engine) loadBase(tc *TenantCheckpoint) error {
 			return
 		}
 		t.served = tc.BaseServed
+		t.admitted.Store(int64(tc.BaseServed))
 		t.construction = tc.BaseConstruction
 		t.assignment = tc.BaseAssignment
 		t.facCursor = len(t.alg.Solution().Facilities)

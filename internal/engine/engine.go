@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/commodity"
@@ -61,6 +62,10 @@ var (
 	ErrClosed          = errors.New("engine closed")
 	ErrUnknownTenant   = errors.New("unknown tenant")
 	ErrDuplicateTenant = errors.New("tenant already exists")
+	// ErrArrivalGap: a position-keyed batch (ServeBatchAt) starts beyond the
+	// tenant's admitted count — accepting it would skip arrivals. The sender
+	// must re-sync its position (409 on the HTTP surface).
+	ErrArrivalGap = errors.New("arrival position beyond admitted count")
 )
 
 // Shard assignment policies for Config.ShardPolicy.
@@ -195,6 +200,18 @@ type tenant struct {
 	construction float64
 	assignment   float64
 	facCursor    int // facilities already priced into construction
+
+	// Stream-position accounting for idempotent, position-keyed ingestion
+	// (ServeBatchAt): admitted counts arrivals accepted into the mailbox —
+	// it leads served by the queue depth and equals it once drained.
+	// admitMu serializes position-checked admissions so concurrent retries
+	// of the same position cannot both pass the dedup check. Only the
+	// position-keyed path takes it; plain Serve/ServeBatch stay lock-free
+	// (mixing keyed and unkeyed senders on one tenant is unsupported, as is
+	// any multi-writer tenant — per-tenant order is the determinism
+	// contract).
+	admitMu  sync.Mutex
+	admitted atomic.Int64
 
 	// record + history support Checkpoint: the served arrival tail,
 	// appended on the shard goroutine, replayable on restore. origin is
@@ -537,6 +554,7 @@ func (e *Engine) ServeTraced(tenantID string, r instance.Request, rec *obs.OpRec
 		return err
 	}
 	t.shard.ops <- shardOp{tn: t, req: r, rec: rec}
+	t.admitted.Add(1)
 	if rec != nil {
 		rec.MarkAdmitted()
 	}
@@ -596,12 +614,86 @@ func (e *Engine) ServeBatch(tenantID string, items []BatchItem, wantNs bool, onD
 		return 0, err
 	}
 	t.shard.ops <- shardOp{tn: t, batch: items[:n], onDone: onDone, wantNs: wantNs}
+	t.admitted.Add(int64(n))
 	for i := 0; i < n; i++ {
 		if rec := items[i].Rec; rec != nil {
 			rec.MarkAdmitted()
 		}
 	}
 	return n, err
+}
+
+// ServeBatchAt is ServeBatch keyed to a stream position: start names the
+// index (in the tenant's arrival stream) of the batch's first item. It is
+// the idempotency primitive under the cluster's retry discipline — a
+// replayed batch can never double-serve:
+//
+//   - start == admitted: the normal case; the batch is enqueued whole.
+//   - start < admitted: the leading admitted-start items were already
+//     accepted by an earlier attempt and are skipped; only the unseen
+//     suffix is enqueued. The returned accepted count still includes the
+//     skipped prefix (it is "reflected in the stream"), with deduped
+//     reporting how many were skipped.
+//   - start > admitted: refused with ErrArrivalGap — accepting would skip
+//     arrivals the sender believes were delivered.
+//
+// start < 0 bypasses position checking entirely (identical to ServeBatch).
+// Validation, onDone and trace semantics match ServeBatch; onDone observes
+// only newly enqueued items and is not called when the whole batch is
+// deduplicated.
+func (e *Engine) ServeBatchAt(tenantID string, start int64, items []BatchItem, wantNs bool, onDone func(served int, servedNs []int64)) (accepted, deduped int, err error) {
+	if start < 0 {
+		n, err := e.ServeBatch(tenantID, items, wantNs, onDone)
+		return n, 0, err
+	}
+	t, err := e.tenant(tenantID)
+	if err != nil {
+		for i := range items {
+			e.recordReject(items[i].Rec, tenantID, err)
+		}
+		return 0, 0, err
+	}
+	t.admitMu.Lock()
+	defer t.admitMu.Unlock()
+	at := t.admitted.Load()
+	if start > at {
+		return 0, 0, fmt.Errorf("engine: tenant %q: batch starts at %d, admitted %d: %w", tenantID, start, at, ErrArrivalGap)
+	}
+	skip := int(at - start)
+	if skip >= len(items) {
+		return len(items), len(items), nil
+	}
+	items = items[skip:]
+	n := len(items)
+	for i := range items {
+		if verr := t.validate(items[i].Req); verr != nil {
+			e.recordReject(items[i].Rec, tenantID, verr)
+			n, err = i, verr
+			break
+		}
+	}
+	if n == 0 {
+		return skip, skip, err
+	}
+	t.shard.ops <- shardOp{tn: t, batch: items[:n], onDone: onDone, wantNs: wantNs}
+	t.admitted.Add(int64(n))
+	for i := 0; i < n; i++ {
+		if rec := items[i].Rec; rec != nil {
+			rec.MarkAdmitted()
+		}
+	}
+	return skip + n, skip, err
+}
+
+// AdmittedCount returns the tenant's stream position: arrivals admitted to
+// its mailbox (served plus queued). It is the position ServeBatchAt checks
+// against.
+func (e *Engine) AdmittedCount(tenantID string) (int64, error) {
+	t, err := e.tenant(tenantID)
+	if err != nil {
+		return 0, err
+	}
+	return t.admitted.Load(), nil
 }
 
 // recordReject drops an admission failure into the error ring (tracing on

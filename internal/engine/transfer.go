@@ -57,6 +57,36 @@ func (e *Engine) ExtractTenant(id string) (*TenantTransfer, error) {
 	return &TenantTransfer{Algorithm: e.cfg.algoName(), Seed: e.cfg.Seed, TenantCheckpoint: tc}, nil
 }
 
+// ExportTenant captures a tenant's portable state without deregistering it
+// — the replication-seeding half of the transfer surface. The capture runs
+// on the shard goroutine, serialized after every arrival admitted before
+// the call, and the tenant keeps serving afterwards. Callers that need the
+// export to reflect a known stream position must quiesce first (stop
+// sending and wait for ServedCount), exactly as with ExtractTenant; an
+// export taken mid-stream is still a consistent cut, just of an unnamed
+// prefix.
+func (e *Engine) ExportTenant(id string) (*TenantTransfer, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: %w", ErrClosed)
+	}
+	t, ok := e.tenants[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: tenant %q: %w", id, ErrUnknownTenant)
+	}
+	e.mu.Unlock()
+
+	var tc TenantCheckpoint
+	var err error
+	t.shard.control(func() { tc, err = t.checkpointV2() })
+	if err != nil {
+		return nil, err
+	}
+	return &TenantTransfer{Algorithm: e.cfg.algoName(), Seed: e.cfg.Seed, TenantCheckpoint: tc}, nil
+}
+
 // InjectTenant restores an extracted tenant into the engine: the tenant is
 // re-created on its serialized substrate, its base state loaded, and its
 // arrival tail replayed through the normal serve path — the per-tenant half

@@ -1,0 +1,290 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// cluster's dial, frame and probe paths. It exists so CI (and local chaos
+// runs) can prove the failover machinery under repeatable adversity: the
+// same spec string and seed always yields the same fault schedule.
+//
+// A spec is a comma-separated list of knobs:
+//
+//	seed=7,dial-fail=1/40,conn-reset=1/80,stall=1/60:5ms,partial=1/100,probe-flap=1/50
+//
+// Each rate is "1/N": every independent decision fires with probability
+// 1/N, drawn from one shared seeded PRNG under a mutex (so the schedule is
+// a pure function of the spec and the decision order). A nil *Injector is
+// valid and injects nothing — callers hook the methods unconditionally.
+//
+// The package is intentionally outside the deterministic-lint set: it is
+// cluster plumbing, not algorithm state, and wall-clock stalls are its job.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spec is a parsed fault specification. Zero rates mean "never".
+type Spec struct {
+	Seed      int64         // PRNG seed (default 1)
+	DialFail  int           // 1/N upstream dials fail outright
+	ConnReset int           // 1/N wrapped-conn writes error mid-stream
+	Stall     int           // 1/N wrapped-conn writes sleep StallFor first
+	StallFor  time.Duration // stall duration (default 5ms)
+	Partial   int           // 1/N wrapped-conn writes write half then error
+	ProbeFlap int           // 1/N health probes report failure spuriously
+}
+
+// Injector draws fault decisions from a seeded PRNG. All methods are safe
+// for concurrent use and safe on a nil receiver (never inject).
+type Injector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	spec Spec
+
+	dialFails  atomic.Int64
+	connResets atomic.Int64
+	stalls     atomic.Int64
+	partials   atomic.Int64
+	probeFlaps atomic.Int64
+}
+
+// Parse builds an Injector from a spec string. An empty spec yields a nil
+// Injector (inject nothing).
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	s := Spec{Seed: 1, StallFor: 5 * time.Millisecond}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+			s.Seed = n
+		case "dial-fail":
+			n, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			s.DialFail = n
+		case "conn-reset":
+			n, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			s.ConnReset = n
+		case "stall":
+			rate, dur, err := parseRateDur(val)
+			if err != nil {
+				return nil, err
+			}
+			s.Stall = rate
+			if dur > 0 {
+				s.StallFor = dur
+			}
+		case "partial":
+			n, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			s.Partial = n
+		case "probe-flap":
+			n, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			s.ProbeFlap = n
+		default:
+			return nil, fmt.Errorf("faults: unknown knob %q", key)
+		}
+	}
+	return New(s), nil
+}
+
+// New builds an Injector from an already-parsed Spec.
+func New(s Spec) *Injector {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.StallFor == 0 {
+		s.StallFor = 5 * time.Millisecond
+	}
+	return &Injector{rng: rand.New(rand.NewSource(s.Seed)), spec: s}
+}
+
+// parseRate parses "1/N" into N.
+func parseRate(val string) (int, error) {
+	num, den, ok := strings.Cut(val, "/")
+	if !ok || num != "1" {
+		return 0, fmt.Errorf("faults: rate %q is not 1/N", val)
+	}
+	n, err := strconv.Atoi(den)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("faults: rate %q is not 1/N", val)
+	}
+	return n, nil
+}
+
+// parseRateDur parses "1/N" or "1/N:dur".
+func parseRateDur(val string) (int, time.Duration, error) {
+	rate, durStr, has := strings.Cut(val, ":")
+	n, err := parseRate(rate)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !has {
+		return n, 0, nil
+	}
+	d, err := time.ParseDuration(durStr)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("faults: stall duration %q: %v", durStr, err)
+	}
+	return n, d, nil
+}
+
+// hit draws one 1/n decision; n <= 0 never fires.
+func (in *Injector) hit(n int) bool {
+	if in == nil || n <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	v := in.rng.Intn(n)
+	in.mu.Unlock()
+	return v == 0
+}
+
+// DialFail reports whether this upstream dial should fail.
+func (in *Injector) DialFail() bool {
+	if in.hit(in.specOf().DialFail) {
+		in.dialFails.Add(1)
+		return true
+	}
+	return false
+}
+
+// ProbeFlap reports whether this health probe should spuriously fail.
+func (in *Injector) ProbeFlap() bool {
+	if in.hit(in.specOf().ProbeFlap) {
+		in.probeFlaps.Add(1)
+		return true
+	}
+	return false
+}
+
+func (in *Injector) specOf() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// Err is the error injected faults surface; it unwraps to a net timeout so
+// retry classifiers treat it as transient.
+type Err struct{ Kind string }
+
+func (e *Err) Error() string   { return "faults: injected " + e.Kind }
+func (e *Err) Timeout() bool   { return true }
+func (e *Err) Temporary() bool { return true }
+
+// WrapConn wraps a connection so writes may reset, stall or truncate per
+// the spec. A nil Injector (or a spec with no conn faults) returns c
+// unchanged.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	if in == nil {
+		return c
+	}
+	s := in.spec
+	if s.ConnReset <= 0 && s.Stall <= 0 && s.Partial <= 0 {
+		return c
+	}
+	return &faultConn{Conn: c, in: in}
+}
+
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	in := fc.in
+	if in.hit(in.spec.Stall) {
+		in.stalls.Add(1)
+		time.Sleep(in.spec.StallFor)
+	}
+	if in.hit(in.spec.ConnReset) {
+		in.connResets.Add(1)
+		fc.Conn.Close()
+		return 0, &Err{Kind: "conn-reset"}
+	}
+	if len(p) > 1 && in.hit(in.spec.Partial) {
+		in.partials.Add(1)
+		n, _ := fc.Conn.Write(p[:len(p)/2])
+		fc.Conn.Close()
+		return n, &Err{Kind: "partial-frame"}
+	}
+	return fc.Conn.Write(p)
+}
+
+// Transport wraps an http.RoundTripper so requests may fail or stall per
+// the dial-fail/stall knobs. A nil Injector returns base unchanged.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if in == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, in: in}
+}
+
+type faultTransport struct {
+	base http.RoundTripper
+	in   *Injector
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := ft.in
+	if in.hit(in.spec.Stall) {
+		in.stalls.Add(1)
+		time.Sleep(in.spec.StallFor)
+	}
+	if in.hit(in.spec.DialFail) {
+		in.dialFails.Add(1)
+		// The request body must be consumed/closed per RoundTripper contract.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &Err{Kind: "dial-fail"}
+	}
+	return ft.base.RoundTrip(req)
+}
+
+// Counts reports how many faults of each kind have fired so far.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	return map[string]int64{
+		"dial_fail":  in.dialFails.Load(),
+		"conn_reset": in.connResets.Load(),
+		"stall":      in.stalls.Load(),
+		"partial":    in.partials.Load(),
+		"probe_flap": in.probeFlaps.Load(),
+	}
+}

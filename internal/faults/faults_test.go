@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestParseAndDeterminism: the same spec yields the same fault schedule —
+// two injectors built from one string agree decision for decision.
+func TestParseAndDeterminism(t *testing.T) {
+	const spec = "seed=7,dial-fail=1/3,probe-flap=1/5"
+	a, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 200; i++ {
+		da, db := a.DialFail(), b.DialFail()
+		if da != db {
+			t.Fatalf("decision %d diverged: %v vs %v", i, da, db)
+		}
+		if da {
+			fired++
+		}
+		if pa, pb := a.ProbeFlap(), b.ProbeFlap(); pa != pb {
+			t.Fatalf("probe decision %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+	if fired == 0 || fired == 200 {
+		t.Errorf("dial-fail at 1/3 fired %d/200 times — not a rate", fired)
+	}
+	if c := a.Counts(); c["dial_fail"] != int64(fired) {
+		t.Errorf("counts %v, want dial_fail=%d", c, fired)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"dial-fail=2/3",     // numerator must be 1
+		"dial-fail=1/0",     // zero denominator
+		"bogus=1/3",         // unknown knob
+		"stall=1/3:-5ms",    // negative stall
+		"seed",              // not key=value
+		"conn-reset=1/3xyz", // trailing junk
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	in, err := Parse("")
+	if err != nil || in != nil {
+		t.Errorf("empty spec: got (%v, %v), want (nil, nil)", in, err)
+	}
+}
+
+// TestNilSafe: every hook is a no-op on a nil injector.
+func TestNilSafe(t *testing.T) {
+	var in *Injector
+	if in.DialFail() || in.ProbeFlap() {
+		t.Error("nil injector fired")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := in.WrapConn(c1); got != c1 {
+		t.Error("nil injector wrapped a conn")
+	}
+	if in.Transport(nil) != nil {
+		t.Error("nil injector wrapped a transport")
+	}
+	if in.Counts() != nil {
+		t.Error("nil injector reported counts")
+	}
+}
+
+// TestWrapConnReset: at rate 1/1 every write resets; the peer sees EOF and
+// the writer gets a transient (timeout-classified) error.
+func TestWrapConnReset(t *testing.T) {
+	in := New(Spec{Seed: 3, ConnReset: 1})
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := in.WrapConn(c1)
+	if fc == c1 {
+		t.Fatal("conn not wrapped")
+	}
+	_, err := fc.Write([]byte("hello"))
+	var fe *Err
+	if !errors.As(err, &fe) || !fe.Timeout() {
+		t.Fatalf("write error %v, want transient *Err", err)
+	}
+	c2.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c2.Read(make([]byte, 8)); err == nil {
+		t.Error("peer read succeeded after injected reset")
+	}
+	if in.Counts()["conn_reset"] != 1 {
+		t.Errorf("counts %v, want one conn_reset", in.Counts())
+	}
+}
+
+// TestWrapConnPartial: a partial fault writes a strict prefix then errors,
+// modelling a torn frame.
+func TestWrapConnPartial(t *testing.T) {
+	in := New(Spec{Seed: 3, Partial: 1})
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := in.WrapConn(c1)
+
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 64)
+		c2.SetReadDeadline(time.Now().Add(time.Second))
+		n, _ := c2.Read(buf)
+		got <- n
+	}()
+	payload := []byte("0123456789")
+	n, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n >= len(payload) {
+		t.Fatalf("partial write wrote %d of %d", n, len(payload))
+	}
+	if read := <-got; read != n {
+		t.Errorf("peer read %d bytes, writer reported %d", read, n)
+	}
+}

@@ -21,6 +21,14 @@ import (
 // HTTP hop: the router samples, the worker records under the same id.
 const TraceHeader = "X-Omflp-Trace"
 
+// IdemHeader is the idempotency key of a batched arrive: the stream
+// position (arrivals admitted before this batch) its first item claims.
+// The engine trims the already-admitted prefix of a replayed batch
+// (engine.ServeBatchAt), so a retried POST can never double-serve — the
+// foundation of the cluster's retry discipline. Positions assume the
+// per-tenant single-writer the determinism contract already requires.
+const IdemHeader = "X-Omflp-Idem-Start"
+
 // Arrival is the HTTP arrival document: one request for a tenant.
 type Arrival struct {
 	Point   int   `json:"point"`
@@ -74,6 +82,8 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/node", s.handleNode)
 	mux.HandleFunc("POST /v1/tenants/{id}/extract", s.handleExtract)
 	mux.HandleFunc("POST /v1/tenants/{id}/inject", s.handleInject)
+	mux.HandleFunc("GET /v1/tenants/{id}/served", s.handleServed)
+	mux.HandleFunc("GET /v1/tenants/{id}/export", s.handleExport)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -93,6 +103,8 @@ func httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, engine.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrArrivalGap):
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
@@ -214,22 +226,38 @@ func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// The idempotency header keys the batch to a stream position: replays
+	// of an already-admitted prefix are trimmed instead of re-served.
+	start := int64(-1)
+	if v := r.Header.Get(IdemHeader); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n < 0 {
+			arrivePool.Put(sc)
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("%s=%q is not a position", IdemHeader, v))
+			return
+		}
+		start = n
+	}
 	// One tenant resolution and one mailbox op for the whole batch.
 	// Arrivals before the first invalid item are already admitted and
 	// irrevocable — ServeBatch's accepted prefix reports how far it got.
 	// The shard goroutine owns items from the enqueue until onDone fires,
-	// so the scratch returns to the pool there; a zero-length enqueue
-	// never calls onDone and the scratch recycles here instead.
-	acc, err := s.eng.ServeBatch(id, items, false, func(int, []int64) { arrivePool.Put(sc) })
-	if acc == 0 {
+	// so the scratch returns to the pool there; an enqueue of zero new
+	// items never calls onDone and the scratch recycles here instead.
+	acc, deduped, err := s.eng.ServeBatchAt(id, start, items, false, func(int, []int64) { arrivePool.Put(sc) })
+	if acc-deduped == 0 {
 		arrivePool.Put(sc)
 	}
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(httpStatus(err))
 		json.NewEncoder(w).Encode(map[string]interface{}{
-			"error": err.Error(), "accepted": acc,
+			"error": err.Error(), "accepted": acc, "deduped": deduped,
 		})
+		return
+	}
+	if deduped > 0 {
+		writeJSON(w, http.StatusOK, map[string]int{"accepted": acc, "deduped": deduped})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": acc})
@@ -378,34 +406,8 @@ const extractWait = 10 * time.Second
 // refused rather than silently losing those arrivals from the ledger.
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if v := r.URL.Query().Get("served"); v != "" {
-		want, err := strconv.Atoi(v)
-		if err != nil || want < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("served=%q is not a count", v))
-			return
-		}
-		deadline := time.Now().Add(extractWait)
-		for {
-			n, err := s.eng.ServedCount(id)
-			if err != nil {
-				writeErr(w, httpStatus(err), err)
-				return
-			}
-			if n == want {
-				break
-			}
-			if n > want {
-				writeErr(w, http.StatusConflict,
-					fmt.Errorf("tenant %q served %d arrivals, extract expected %d", id, n, want))
-				return
-			}
-			if time.Now().After(deadline) {
-				writeErr(w, http.StatusGatewayTimeout,
-					fmt.Errorf("tenant %q served %d of %d expected arrivals within %v", id, n, want, extractWait))
-				return
-			}
-			time.Sleep(2 * time.Millisecond)
-		}
+	if !s.waitServed(w, r, id) {
+		return
 	}
 	tr, err := s.eng.ExtractTenant(id)
 	if err != nil {
@@ -413,6 +415,45 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tr)
+}
+
+// waitServed implements the ?served=N quiesce shared by extract and export:
+// wait until the tenant has served exactly N arrivals, 409 if it has served
+// more (the caller's ledger is wrong), 504 if it does not catch up within
+// extractWait. Reports false after writing an error response; true means
+// the capture may proceed (including when no served= was given).
+func (s *Server) waitServed(w http.ResponseWriter, r *http.Request, id string) bool {
+	v := r.URL.Query().Get("served")
+	if v == "" {
+		return true
+	}
+	want, err := strconv.Atoi(v)
+	if err != nil || want < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("served=%q is not a count", v))
+		return false
+	}
+	deadline := time.Now().Add(extractWait)
+	for {
+		n, err := s.eng.ServedCount(id)
+		if err != nil {
+			writeErr(w, httpStatus(err), err)
+			return false
+		}
+		if n == want {
+			return true
+		}
+		if n > want {
+			writeErr(w, http.StatusConflict,
+				fmt.Errorf("tenant %q served %d arrivals, capture expected %d", id, n, want))
+			return false
+		}
+		if time.Now().After(deadline) {
+			writeErr(w, http.StatusGatewayTimeout,
+				fmt.Errorf("tenant %q served %d of %d expected arrivals within %v", id, n, want, extractWait))
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // handleInject restores an extracted tenant on this node. The body is the
@@ -437,6 +478,45 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"tenant": tr.Tenant, "status": "injected", "arrivals": len(tr.Arrivals),
 	})
+}
+
+// handleServed reports a tenant's authoritative stream position: served is
+// the settled count (arrivals fully applied, read on the shard goroutine),
+// admitted includes anything still queued in the mailbox. Clients resuming
+// after a failover poll until served == admitted and stable, then resend
+// from that index — resumption keyed to the worker's truth, not to acks
+// that may have been lost with the previous router.
+func (s *Server) handleServed(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	served, err := s.eng.ServedCount(id)
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	admitted, err := s.eng.AdmittedCount(id)
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"served": int64(served), "admitted": admitted})
+}
+
+// handleExport captures a tenant's portable state without removing it,
+// honoring the same ?served=N quiesce as extract —
+// the replication-seeding read: the router uses it to bring a new follower
+// up from the current owner (sealed base + unsealed arrival tail over the
+// same transfer codec extract/inject use).
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.waitServed(w, r, id) {
+		return
+	}
+	tr, err := s.eng.ExportTenant(id)
+	if err != nil {
+		writeErr(w, httpStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

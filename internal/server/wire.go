@@ -44,6 +44,37 @@ const (
 	WireAck = 0x05
 )
 
+// WireAck per-op result codes. Code 0 is success; the rest classify op-
+// scoped failures the way TCPResult codes do, so a windowed client learns
+// which arrivals failed (and why) without waiting for the stream's final
+// result frame. On the routed path the router acks these for failures it
+// can scope to single ops (no route, owner down) instead of killing the
+// whole stream.
+const (
+	WireAckOK            byte = 0
+	WireAckUnknownTenant byte = 1 // no such tenant / no route
+	WireAckUnavailable   byte = 2 // engine closing or owner node down
+	WireAckInvalid       byte = 3 // admission-rule rejection (bad point/demands)
+)
+
+// WireAckCodeOf maps an engine/routing error onto the WireAck code
+// vocabulary (WireAckOK for nil).
+func WireAckCodeOf(err error) byte {
+	switch ErrorCode(err) {
+	case "":
+		if err != nil {
+			return WireAckInvalid
+		}
+		return WireAckOK
+	case CodeUnknownTenant:
+		return WireAckUnknownTenant
+	case CodeUnavailable:
+		return WireAckUnavailable
+	default:
+		return WireAckInvalid
+	}
+}
+
 // MaxAckWindow bounds the window a WireWindow frame may request. The server
 // never buffers per-window state proportional to it (in-flight data is
 // bounded by the engine mailboxes), so the cap exists purely to reject
